@@ -1,0 +1,317 @@
+// Command 3dess-cli is the command-line INTERFACE tier for a running
+// 3dess server: it lists shapes, submits query-by-example and
+// query-by-id searches, runs multi-step refinement, sends relevance
+// feedback, and prints the browse hierarchy.
+//
+// Usage:
+//
+//	3dess-cli -server http://localhost:8080 <command> [flags]
+//
+// Commands:
+//
+//	list                                  list stored shapes
+//	stats                                 database statistics
+//	insert  -mesh part.off [-name n] [-group g]
+//	ingest  -dir ./corpus                 bulk-load a shapegen corpus directory
+//	query   (-id N | -mesh part.off) [-feature principal-moments]
+//	        [-k 10 | -threshold 0.85] [-multistep]
+//	feedback -id N -relevant 3,4 [-irrelevant 7] [-feature ...]
+//	browse  [-feature principal-moments]
+//	view    -id N                         dump the triangulated 3D view
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	serverURL := flag.String("server", "http://localhost:8080", "3dess server base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	client := server.NewClient(*serverURL)
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList(client)
+	case "stats":
+		err = cmdStats(client)
+	case "insert":
+		err = cmdInsert(client, args)
+	case "ingest":
+		err = cmdIngest(client, args)
+	case "query":
+		err = cmdQuery(client, args)
+	case "feedback":
+		err = cmdFeedback(client, args)
+	case "browse":
+		err = cmdBrowse(client, args)
+	case "view":
+		err = cmdView(client, args)
+	default:
+		log.Printf("unknown command %q", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("3dess-cli %s: %v", cmd, err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: 3dess-cli [-server URL] <command> [flags]
+commands: list, stats, insert, ingest, query, feedback, browse, view
+run "3dess-cli <command> -h" for command flags`)
+}
+
+func cmdList(c *server.Client) error {
+	shapes, err := c.ListShapes()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-24s %-6s %s\n", "ID", "NAME", "GROUP", "FACES")
+	for _, s := range shapes {
+		fmt.Printf("%-6d %-24s %-6d %d\n", s.ID, s.Name, s.Group, s.Faces)
+	}
+	return nil
+}
+
+func cmdStats(c *server.Client) error {
+	stats, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shapes: %d\n", stats.Shapes)
+	fmt.Printf("indexed features: %s\n", strings.Join(stats.Features, ", "))
+	fmt.Printf("group sizes: %v\n", stats.Groups)
+	return nil
+}
+
+func cmdInsert(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("insert", flag.ExitOnError)
+	meshPath := fs.String("mesh", "", "mesh file (.off/.obj/.stl)")
+	name := fs.String("name", "", "shape name (default: file base name)")
+	group := fs.Int("group", 0, "ground-truth group (0 = none)")
+	fs.Parse(args)
+	if *meshPath == "" {
+		return fmt.Errorf("-mesh is required")
+	}
+	mesh, err := geom.ReadMeshFile(*meshPath)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = strings.TrimSuffix(filepath.Base(*meshPath), filepath.Ext(*meshPath))
+	}
+	id, err := c.InsertShape(*name, *group, mesh)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inserted %q as id %d\n", *name, id)
+	return nil
+}
+
+func cmdQuery(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	id := fs.Int64("id", 0, "query by database shape id")
+	meshPath := fs.String("mesh", "", "query by example mesh file")
+	feature := fs.String("feature", features.PrincipalMoments.String(), "feature vector")
+	k := fs.Int("k", 10, "number of results (top-k mode)")
+	threshold := fs.Float64("threshold", -1, "similarity threshold (enables threshold mode)")
+	multistep := fs.Bool("multistep", false, "use the multi-step strategy (PM keep-15 → eigenvalues)")
+	fs.Parse(args)
+
+	var meshOFF string
+	if *meshPath != "" {
+		mesh, err := geom.ReadMeshFile(*meshPath)
+		if err != nil {
+			return err
+		}
+		meshOFF, err = server.MeshToOFF(mesh)
+		if err != nil {
+			return err
+		}
+	}
+	var results []server.SearchResult
+	var err error
+	if *multistep {
+		results, err = c.MultiStep(server.MultiStepRequest{
+			QueryID: *id,
+			MeshOFF: meshOFF,
+			Steps: []server.StepSpec{
+				{Feature: features.PrincipalMoments.String(), Keep: 15},
+				{Feature: features.Eigenvalues.String()},
+			},
+			K: *k,
+		})
+	} else {
+		req := server.SearchRequest{QueryID: *id, MeshOFF: meshOFF, Feature: *feature, K: *k}
+		if *threshold >= 0 {
+			req.Threshold = threshold
+		}
+		results, err = c.Search(req)
+	}
+	if err != nil {
+		return err
+	}
+	printResults(results)
+	return nil
+}
+
+func cmdFeedback(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("feedback", flag.ExitOnError)
+	id := fs.Int64("id", 0, "query shape id")
+	feature := fs.String("feature", features.PrincipalMoments.String(), "feature vector")
+	relevant := fs.String("relevant", "", "comma-separated relevant shape ids")
+	irrelevant := fs.String("irrelevant", "", "comma-separated irrelevant shape ids")
+	k := fs.Int("k", 10, "number of results")
+	fs.Parse(args)
+	if *id == 0 {
+		return fmt.Errorf("-id is required")
+	}
+	rel, err := parseIDs(*relevant)
+	if err != nil {
+		return err
+	}
+	irr, err := parseIDs(*irrelevant)
+	if err != nil {
+		return err
+	}
+	results, err := c.Feedback(server.FeedbackRequest{
+		QueryID: *id, Feature: *feature, Relevant: rel, Irrelevant: irr, K: *k,
+	})
+	if err != nil {
+		return err
+	}
+	printResults(results)
+	return nil
+}
+
+func cmdBrowse(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("browse", flag.ExitOnError)
+	feature := fs.String("feature", features.PrincipalMoments.String(), "feature vector")
+	fs.Parse(args)
+	root, err := c.Browse(*feature)
+	if err != nil {
+		return err
+	}
+	printBrowse(root, 0)
+	return nil
+}
+
+func printBrowse(n server.BrowseNodeJSON, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if len(n.Children) == 0 {
+		fmt.Printf("%s- leaf: %v\n", indent, n.IDs)
+		return
+	}
+	fmt.Printf("%s+ cluster of %d shapes\n", indent, len(n.IDs))
+	for _, c := range n.Children {
+		printBrowse(c, depth+1)
+	}
+}
+
+func cmdView(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("view", flag.ExitOnError)
+	id := fs.Int64("id", 0, "shape id")
+	fs.Parse(args)
+	if *id == 0 {
+		return fmt.Errorf("-id is required")
+	}
+	view, err := c.GetView(*id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shape %d (%s): %d vertices, %d triangles\n",
+		view.ID, view.Name, len(view.Positions)/3, len(view.Triangles)/3)
+	return nil
+}
+
+func printResults(results []server.SearchResult) {
+	fmt.Printf("%-6s %-24s %-6s %-12s %s\n", "ID", "NAME", "GROUP", "DISTANCE", "SIMILARITY")
+	for _, r := range results {
+		fmt.Printf("%-6d %-24s %-6d %-12.5g %.4f\n", r.ID, r.Name, r.Group, r.Distance, r.Similarity)
+	}
+}
+
+func parseIDs(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad id %q: %w", p, err)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// cmdIngest bulk-loads every mesh in a directory produced by shapegen,
+// reading group labels from classification.map when present.
+func cmdIngest(c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	dir := fs.String("dir", "", "directory of mesh files (+ optional classification.map)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	groups := map[string]int{}
+	if data, err := os.ReadFile(filepath.Join(*dir, "classification.map")); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				continue
+			}
+			g, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fmt.Errorf("classification.map: bad group %q", fields[1])
+			}
+			groups[fields[0]] = g
+		}
+	}
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		return err
+	}
+	loaded := 0
+	for _, e := range entries {
+		ext := strings.ToLower(filepath.Ext(e.Name()))
+		if e.IsDir() || (ext != ".off" && ext != ".obj" && ext != ".stl") {
+			continue
+		}
+		mesh, err := geom.ReadMeshFile(filepath.Join(*dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		id, err := c.InsertShape(name, groups[name], mesh)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		loaded++
+		if loaded%20 == 0 {
+			fmt.Printf("... %d shapes loaded (latest id %d)\n", loaded, id)
+		}
+	}
+	fmt.Printf("ingested %d shapes from %s\n", loaded, *dir)
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command 3dess runs the 3D Engineering Shape Search server: the SERVER
+// and DATABASE tiers of the paper's three-tier architecture behind an
+// HTTP/JSON API (see internal/server for the endpoint reference).
+//
+// Usage:
+//
+//	3dess [-addr :8080] [-data ./data] [-load-corpus] [-seed 42]
+//
+// With -data the shape database is durable (journal + crash recovery);
+// without it the server is in-memory. -load-corpus generates and ingests
+// the 113-shape evaluation corpus on startup when the database is empty.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"threedess/internal/core"
+	"threedess/internal/dataset"
+	"threedess/internal/features"
+	"threedess/internal/server"
+	"threedess/internal/shapedb"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "", "durable database directory (empty = in-memory)")
+	loadCorpus := flag.Bool("load-corpus", false, "ingest the generated 113-shape corpus when the DB is empty")
+	seed := flag.Int64("seed", 42, "corpus generation seed for -load-corpus")
+	voxelRes := flag.Int("voxel-res", 0, "voxel resolution for feature extraction (0 = default)")
+	flag.Parse()
+
+	db, err := shapedb.Open(*dataDir, features.Options{VoxelResolution: *voxelRes})
+	if err != nil {
+		log.Fatalf("opening database: %v", err)
+	}
+	defer db.Close()
+
+	if *loadCorpus && db.Len() == 0 {
+		if err := ingestCorpus(db, *seed); err != nil {
+			log.Fatalf("loading corpus: %v", err)
+		}
+	}
+	log.Printf("3dess: serving %d shapes on %s", db.Len(), *addr)
+	engine := core.NewEngine(db)
+	if err := http.ListenAndServe(*addr, server.New(engine)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func ingestCorpus(db *shapedb.DB, seed int64) error {
+	shapes, err := dataset.Generate(seed)
+	if err != nil {
+		return err
+	}
+	ext := features.NewExtractor(db.Options())
+	sets := make([]features.Set, len(shapes))
+	errs := make([]error, len(shapes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range shapes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sets[i], errs[i] = ext.Extract(shapes[i].Mesh, features.CoreKinds)
+		}(i)
+	}
+	wg.Wait()
+	for i, s := range shapes {
+		if errs[i] != nil {
+			return fmt.Errorf("extracting %s: %w", s.Name, errs[i])
+		}
+		if _, err := db.Insert(s.Name, s.Group, s.Mesh, sets[i]); err != nil {
+			return fmt.Errorf("inserting %s: %w", s.Name, err)
+		}
+	}
+	log.Printf("3dess: ingested %d corpus shapes", len(shapes))
+	return nil
+}

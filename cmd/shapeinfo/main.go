@@ -1,0 +1,114 @@
+// Command shapeinfo inspects a mesh file offline: validates it, prints
+// its integral properties, runs the full §3 feature-extraction pipeline,
+// and summarizes the voxel model and skeletal graph — a debugging lens
+// into every stage the search system relies on.
+//
+// Usage:
+//
+//	shapeinfo part.off [-res 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/moments"
+	"threedess/internal/skeleton"
+	"threedess/internal/skelgraph"
+	"threedess/internal/voxel"
+)
+
+func main() {
+	log.SetFlags(0)
+	res := flag.Int("res", 32, "voxel resolution")
+	dumpVoxels := flag.String("dump-voxels", "", "write the voxel model's boundary mesh to this file")
+	dumpSkeleton := flag.String("dump-skeleton", "", "write the skeleton's boundary mesh to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: shapeinfo [-res N] <mesh.off|obj|stl>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	mesh, err := geom.ReadMeshFile(path)
+	if err != nil {
+		log.Fatalf("reading %s: %v", path, err)
+	}
+
+	fmt.Printf("file: %s\n", path)
+	fmt.Printf("vertices: %d, faces: %d\n", len(mesh.Vertices), len(mesh.Faces))
+	if err := mesh.Validate(); err != nil {
+		log.Fatalf("invalid mesh: %v", err)
+	}
+	fmt.Printf("closed (watertight): %v\n", mesh.IsClosed())
+	fmt.Printf("Euler characteristic: %d\n", mesh.EulerCharacteristic())
+	fmt.Printf("volume: %.6g, surface area: %.6g\n", mesh.Volume(), mesh.SurfaceArea())
+	fmt.Printf("centroid: %v\n", mesh.Centroid())
+	min, max := mesh.Bounds()
+	fmt.Printf("bounds: %v .. %v\n", min, max)
+	longAR, midAR := mesh.AspectRatios()
+	fmt.Printf("aspect ratios: %.3f (long/short), %.3f (mid/short)\n", longAR, midAR)
+
+	// Normalization (§3.1).
+	norm := mesh.Clone()
+	n, err := moments.Normalize(norm, 1)
+	if err != nil {
+		log.Fatalf("normalization: %v", err)
+	}
+	fmt.Printf("\nnormalization: scale %.6g, translation %v\n", n.Scale, n.Translation)
+	pm := moments.PrincipalMoments(moments.OfMesh(norm))
+	fmt.Printf("principal moments (normalized): %.6g %.6g %.6g\n", pm[0], pm[1], pm[2])
+
+	// Feature vectors (§3.5).
+	ext := features.NewExtractor(features.Options{VoxelResolution: *res})
+	set, err := ext.ExtractAll(mesh)
+	if err != nil {
+		log.Fatalf("feature extraction: %v", err)
+	}
+	fmt.Println("\nfeature vectors:")
+	for _, k := range features.AllKinds {
+		fmt.Printf("  %-20s %v\n", k, compact(set[k]))
+	}
+
+	// Voxel + skeleton pipeline (§3.2–3.4).
+	grid, err := voxel.Voxelize(norm, *res)
+	if err != nil {
+		log.Fatalf("voxelization: %v", err)
+	}
+	comps, _ := grid.Components(26)
+	fmt.Printf("\nvoxel model: %d×%d×%d grid, %d set voxels, %d component(s)\n",
+		grid.Nx, grid.Ny, grid.Nz, grid.Count(), comps)
+	skel := skeleton.Thin(grid, skeleton.DefaultOptions())
+	fmt.Printf("skeleton: %d voxels\n", skel.Count())
+	sg := skelgraph.Build(skel)
+	fmt.Printf("skeletal graph: %d nodes (%d line, %d curve, %d loop), %d edges\n",
+		sg.NumNodes(), sg.CountType(skelgraph.Line), sg.CountType(skelgraph.Curve),
+		sg.CountType(skelgraph.Loop), sg.NumEdges())
+
+	if *dumpVoxels != "" {
+		if err := geom.WriteMeshFile(*dumpVoxels, grid.ToMesh()); err != nil {
+			log.Fatalf("dumping voxels: %v", err)
+		}
+		fmt.Printf("wrote voxel boundary mesh to %s\n", *dumpVoxels)
+	}
+	if *dumpSkeleton != "" {
+		if err := geom.WriteMeshFile(*dumpSkeleton, skel.ToMesh()); err != nil {
+			log.Fatalf("dumping skeleton: %v", err)
+		}
+		fmt.Printf("wrote skeleton mesh to %s\n", *dumpSkeleton)
+	}
+}
+
+func compact(v features.Vector) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.4g", x)
+	}
+	return s + "]"
+}

@@ -1,0 +1,81 @@
+package threedess_test
+
+import (
+	"fmt"
+	"log"
+
+	"threedess"
+	"threedess/internal/geom"
+)
+
+// Example demonstrates the core flow: store shapes, query by example.
+func Example() {
+	sys, err := threedess.Open("", threedess.Options{VoxelResolution: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Two similar plates and a cube.
+	if _, err := sys.Insert("plate-a", 1, geom.Box(geom.V(0, 0, 0), geom.V(10, 6, 1))); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Insert("plate-b", 1, geom.Box(geom.V(0, 0, 0), geom.V(10.4, 6.2, 1.05))); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Insert("cube", 2, geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 4))); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query with a rotated third plate.
+	query := geom.Box(geom.V(0, 0, 0), geom.V(10.2, 6.1, 1.02))
+	query.Rotate(geom.RotationZ(0.8)).Translate(geom.V(50, -20, 7))
+	results, err := sys.QueryByExample(query, threedess.Search{
+		Feature: threedess.PrincipalMoments,
+		K:       2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Println(r.Name)
+	}
+	// Output:
+	// plate-a
+	// plate-b
+}
+
+// ExampleSystem_MultiStepByID shows the §4.2 multi-step strategy through
+// the public API.
+func ExampleSystem_MultiStepByID() {
+	sys, err := threedess.Open("", threedess.Options{VoxelResolution: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	ids := make([]int64, 0, 4)
+	for _, part := range []struct {
+		name string
+		mesh *threedess.Mesh
+	}{
+		{"bar-a", geom.Box(geom.V(0, 0, 0), geom.V(12, 1, 1))},
+		{"bar-b", geom.Box(geom.V(0, 0, 0), geom.V(12.5, 1.04, 1.02))},
+		{"slab", geom.Box(geom.V(0, 0, 0), geom.V(8, 6, 1))},
+		{"cube", geom.Box(geom.V(0, 0, 0), geom.V(3, 3, 3))},
+	} {
+		id, err := sys.Insert(part.name, 0, part.mesh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	spec := threedess.RecommendedMultiStep()
+	spec.K = 1
+	res, err := sys.MultiStepByID(ids[0], spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res[0].Name)
+	// Output:
+	// bar-b
+}

@@ -1,0 +1,73 @@
+// Search-by-browsing: the corpus is organized into a drill-down cluster
+// hierarchy (the §2.1 browsing interface); the example walks the tree to
+// the cluster containing a chosen washer and shows its neighbors there.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"threedess"
+)
+
+func main() {
+	sys, err := threedess.Open("", threedess.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fmt.Println("loading the 113-shape corpus...")
+	ids, err := sys.LoadCorpus(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shapes, err := threedess.GenerateCorpus(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nameOf := map[int64]string{}
+	var target int64
+	for i, s := range shapes {
+		nameOf[ids[i]] = s.Name
+		if s.Name == "washer-01" {
+			target = ids[i]
+		}
+	}
+
+	root, err := sys.Browse(threedess.PrincipalMoments, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbrowse hierarchy over principal moments (%d shapes at the root)\n", len(root.IDs))
+
+	// Drill down: at every level pick the child cluster containing the
+	// washer, as a user hunting for ring-like parts would.
+	node := root
+	depth := 0
+	for !node.IsLeaf() {
+		var next *threedess.BrowseNode
+		for _, c := range node.Children {
+			for _, id := range c.IDs {
+				if id == target {
+					next = c
+					break
+				}
+			}
+			if next != nil {
+				break
+			}
+		}
+		if next == nil {
+			log.Fatal("target lost while drilling down")
+		}
+		depth++
+		fmt.Printf("%slevel %d: cluster of %d shapes\n", strings.Repeat("  ", depth), depth, len(next.IDs))
+		node = next
+	}
+	fmt.Printf("\nleaf cluster containing washer-01 (%d shapes):\n", len(node.IDs))
+	for _, id := range node.IDs {
+		fmt.Printf("  - %s\n", nameOf[id])
+	}
+}

@@ -1,0 +1,3 @@
+module threedess
+
+go 1.24

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gaussianBlobs generates k well-separated Gaussian clusters and returns
+// points plus ground-truth labels.
+func gaussianBlobs(k, perCluster, dim int, sep float64, rng *rand.Rand) (points [][]float64, labels []int) {
+	for c := 0; c < k; c++ {
+		center := make([]float64, dim)
+		for d := range center {
+			center[d] = float64(c) * sep * float64(d%2*2-1) // alternate directions
+		}
+		center[0] = float64(c) * sep
+		for i := 0; i < perCluster; i++ {
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = center[d] + rng.NormFloat64()*0.3
+			}
+			points = append(points, p)
+			labels = append(labels, c)
+		}
+	}
+	return points, labels
+}
+
+func TestKMeansSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	points, labels := gaussianBlobs(4, 30, 3, 10, rng)
+	res, err := KMeans(points, 4, rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Purity(res.Assignments, labels); p < 0.99 {
+		t.Errorf("k-means purity on separated blobs = %v", p)
+	}
+	if s := Silhouette(points, res.Assignments); s < 0.7 {
+		t.Errorf("k-means silhouette = %v", s)
+	}
+}
+
+func TestKMeansAssignmentsAreNearestCentroid(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	points, _ := gaussianBlobs(3, 25, 4, 5, rng)
+	res, err := KMeans(points, 3, rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		own := sqDist(p, res.Centroids[res.Assignments[i]])
+		for c := range res.Centroids {
+			if sqDist(p, res.Centroids[c]) < own-1e-9 {
+				t.Fatalf("point %d assigned to %d but %d is closer", i, res.Assignments[i], c)
+			}
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	if _, err := KMeans(nil, 2, rng, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	pts := [][]float64{{1, 2}, {3, 4}}
+	if _, err := KMeans(pts, 0, rng, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(pts, 5, rng, 10); err == nil {
+		t.Error("k>n accepted")
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := KMeans(ragged, 1, rng, 10); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestKMeansKeepsAllClustersAlive(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	points, _ := gaussianBlobs(2, 40, 2, 8, rng)
+	res, err := KMeans(points, 5, rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, s := range res.Sizes() {
+		if s == 0 {
+			t.Errorf("cluster %c empty", c)
+		}
+	}
+}
+
+func TestKMeansDeterministicGivenSeed(t *testing.T) {
+	points, _ := gaussianBlobs(3, 20, 3, 6, rand.New(rand.NewSource(84)))
+	a, err := KMeans(points, 3, rand.New(rand.NewSource(7)), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, 3, rand.New(rand.NewSource(7)), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestSOMSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	points, labels := gaussianBlobs(3, 25, 3, 12, rng)
+	res, err := SOM(points, SOMOptions{Rows: 2, Cols: 2, Epochs: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() < 2 {
+		t.Fatalf("SOM collapsed to %d clusters", res.K())
+	}
+	if p := Purity(res.Assignments, labels); p < 0.9 {
+		t.Errorf("SOM purity = %v", p)
+	}
+}
+
+func TestSOMValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	if _, err := SOM(nil, SOMOptions{Rows: 2, Cols: 2}, rng); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := SOM([][]float64{{1}}, SOMOptions{Rows: 0, Cols: 2}, rng); err == nil {
+		t.Error("zero lattice accepted")
+	}
+}
+
+func TestGASeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	points, labels := gaussianBlobs(3, 20, 2, 10, rng)
+	res, err := GA(points, GAOptions{K: 3, Population: 20, Generations: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Purity(res.Assignments, labels); p < 0.95 {
+		t.Errorf("GA purity = %v", p)
+	}
+}
+
+func TestGAElitismNeverWorsens(t *testing.T) {
+	// GA with many generations must do at least as well as with few
+	// (elitism makes best-so-far monotone in generations for a fixed
+	// seed sequence prefix — we check the weaker property that the final
+	// SSE is no worse than a k-means baseline by a large factor).
+	rng := rand.New(rand.NewSource(88))
+	points, _ := gaussianBlobs(4, 20, 3, 8, rng)
+	ga, err := GA(points, GAOptions{K: 4, Population: 30, Generations: 80}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := KMeans(points, 4, rand.New(rand.NewSource(1)), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.SSE(points) > 3*km.SSE(points)+1e-9 {
+		t.Errorf("GA SSE %v ≫ k-means SSE %v", ga.SSE(points), km.SSE(points))
+	}
+}
+
+func TestGAValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	if _, err := GA(nil, GAOptions{K: 2}, rng); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := GA([][]float64{{1}, {2}}, GAOptions{K: 0}, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestBuildHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	points, _ := gaussianBlobs(4, 20, 3, 10, rng)
+	root, err := BuildHierarchy(points, HierarchyOptions{Branch: 2, LeafSize: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Items) != len(points) {
+		t.Errorf("root has %d items, want %d", len(root.Items), len(points))
+	}
+	if root.IsLeaf() {
+		t.Fatal("80 points with leaf size 5 should split")
+	}
+	if d := root.Depth(); d < 3 {
+		t.Errorf("hierarchy depth = %d, want ≥3", d)
+	}
+	// Every point appears in exactly one leaf.
+	seen := map[int]int{}
+	var walk func(n *HierarchyNode)
+	walk = func(n *HierarchyNode) {
+		if n.IsLeaf() {
+			for _, it := range n.Items {
+				seen[it]++
+			}
+			return
+		}
+		// Children partition the parent's items.
+		totalChild := 0
+		for _, c := range n.Children {
+			totalChild += len(c.Items)
+			walk(c)
+		}
+		if totalChild != len(n.Items) {
+			t.Errorf("children items %d != parent items %d", totalChild, len(n.Items))
+		}
+	}
+	walk(root)
+	if len(seen) != len(points) {
+		t.Errorf("leaves cover %d of %d points", len(seen), len(points))
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			t.Errorf("point %d appears in %d leaves", idx, c)
+		}
+	}
+	if got := root.CountLeaves(); got < 4 {
+		t.Errorf("leaf count = %d, want ≥4", got)
+	}
+}
+
+func TestBuildHierarchySmallInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	points := [][]float64{{1, 1}, {2, 2}}
+	root, err := BuildHierarchy(points, HierarchyOptions{LeafSize: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.IsLeaf() {
+		t.Error("2 points with leaf size 4 should stay a single leaf")
+	}
+	if _, err := BuildHierarchy(nil, HierarchyOptions{}, rng); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBuildHierarchyIdenticalPoints(t *testing.T) {
+	// All-identical points can never split; must terminate as one leaf.
+	rng := rand.New(rand.NewSource(92))
+	points := make([][]float64, 20)
+	for i := range points {
+		points[i] = []float64{3, 3, 3}
+	}
+	root, err := BuildHierarchy(points, HierarchyOptions{LeafSize: 2, MaxDepth: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := root.Depth(); d > 6 {
+		t.Errorf("identical points produced depth %d", d)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	if p := Purity([]int{0, 0, 1, 1}, []int{5, 5, 7, 7}); p != 1 {
+		t.Errorf("perfect purity = %v", p)
+	}
+	if p := Purity([]int{0, 0, 0, 0}, []int{1, 1, 2, 2}); p != 0.5 {
+		t.Errorf("merged purity = %v", p)
+	}
+	if p := Purity(nil, nil); p != 0 {
+		t.Errorf("empty purity = %v", p)
+	}
+	if p := Purity([]int{0}, []int{0, 1}); p != 0 {
+		t.Errorf("mismatched purity = %v", p)
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	// Two tight distant pairs: silhouette near 1.
+	points := [][]float64{{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}}
+	if s := Silhouette(points, []int{0, 0, 1, 1}); s < 0.9 {
+		t.Errorf("separated silhouette = %v", s)
+	}
+	// Mixed assignment: much worse.
+	if s := Silhouette(points, []int{0, 1, 0, 1}); s > 0 {
+		t.Errorf("shuffled silhouette = %v, want ≤0", s)
+	}
+	// Single cluster: zero.
+	if s := Silhouette(points, []int{0, 0, 0, 0}); s != 0 {
+		t.Errorf("single-cluster silhouette = %v", s)
+	}
+	if s := Silhouette(nil, nil); s != 0 {
+		t.Errorf("empty silhouette = %v", s)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{
+		Assignments: []int{0, 1, 1},
+		Centroids:   [][]float64{{0, 0}, {5, 5}},
+	}
+	if r.K() != 2 {
+		t.Errorf("K = %d", r.K())
+	}
+	sizes := r.Sizes()
+	if sizes[0] != 1 || sizes[1] != 2 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+	points := [][]float64{{0, 0}, {5, 5}, {5, 6}}
+	if sse := r.SSE(points); math.Abs(sse-1) > 1e-12 {
+		t.Errorf("SSE = %v, want 1", sse)
+	}
+}

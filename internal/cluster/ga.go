@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// GAOptions configure genetic-algorithm clustering.
+type GAOptions struct {
+	K           int     // number of clusters
+	Population  int     // chromosomes per generation (default 30)
+	Generations int     // evolution steps (default 60)
+	MutationStd float64 // Gaussian mutation scale relative to data spread (default 0.1)
+	Elitism     int     // chromosomes copied unchanged (default 2)
+}
+
+// GA clusters points by evolving centroid sets: a chromosome is a flat
+// list of k centroids, fitness is negative SSE, selection is binary
+// tournament, crossover swaps whole centroids, and mutation adds Gaussian
+// noise. Elitism guarantees the best solution never regresses.
+func GA(points [][]float64, opts GAOptions, rng *rand.Rand) (*Result, error) {
+	dim, err := validate(points, opts.K)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Population <= 0 {
+		opts.Population = 30
+	}
+	if opts.Generations <= 0 {
+		opts.Generations = 60
+	}
+	if opts.MutationStd <= 0 {
+		opts.MutationStd = 0.1
+	}
+	if opts.Elitism <= 0 {
+		opts.Elitism = 2
+	}
+	if opts.Elitism > opts.Population {
+		opts.Elitism = opts.Population
+	}
+	k := opts.K
+
+	// Data spread per dimension scales mutation noise.
+	spread := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range points {
+			lo = math.Min(lo, p[d])
+			hi = math.Max(hi, p[d])
+		}
+		spread[d] = hi - lo
+		if spread[d] == 0 {
+			spread[d] = 1
+		}
+	}
+
+	type chromosome struct {
+		centroids [][]float64
+		sse       float64
+	}
+	clone := func(cs [][]float64) [][]float64 {
+		out := make([][]float64, len(cs))
+		for i := range cs {
+			out[i] = append([]float64(nil), cs[i]...)
+		}
+		return out
+	}
+	evaluate := func(cs [][]float64) float64 {
+		total := 0.0
+		for _, p := range points {
+			best := math.Inf(1)
+			for _, c := range cs {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			total += best
+		}
+		return total
+	}
+	newChromosome := func() chromosome {
+		cs := make([][]float64, k)
+		perm := rng.Perm(len(points))
+		for i := 0; i < k; i++ {
+			cs[i] = append([]float64(nil), points[perm[i%len(perm)]]...)
+		}
+		return chromosome{centroids: cs, sse: evaluate(cs)}
+	}
+
+	pop := make([]chromosome, opts.Population)
+	for i := range pop {
+		pop[i] = newChromosome()
+	}
+	byFitness := func() {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].sse < pop[j].sse })
+	}
+	byFitness()
+
+	tournament := func() chromosome {
+		a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
+		if pop[a].sse <= pop[b].sse {
+			return pop[a]
+		}
+		return pop[b]
+	}
+
+	for g := 0; g < opts.Generations; g++ {
+		next := make([]chromosome, 0, opts.Population)
+		for e := 0; e < opts.Elitism; e++ {
+			next = append(next, chromosome{centroids: clone(pop[e].centroids), sse: pop[e].sse})
+		}
+		for len(next) < opts.Population {
+			p1, p2 := tournament(), tournament()
+			child := clone(p1.centroids)
+			// Uniform centroid-level crossover.
+			for c := 0; c < k; c++ {
+				if rng.Intn(2) == 1 {
+					copy(child[c], p2.centroids[c])
+				}
+			}
+			// Gaussian mutation.
+			for c := 0; c < k; c++ {
+				if rng.Float64() < 0.3 {
+					for d := 0; d < dim; d++ {
+						child[c][d] += rng.NormFloat64() * opts.MutationStd * spread[d]
+					}
+				}
+			}
+			next = append(next, chromosome{centroids: child, sse: evaluate(child)})
+		}
+		pop = next
+		byFitness()
+	}
+
+	best := pop[0]
+	assign := make([]int, len(points))
+	for i, p := range points {
+		bi, bd := 0, math.Inf(1)
+		for c := range best.centroids {
+			if d := sqDist(p, best.centroids[c]); d < bd {
+				bi, bd = c, d
+			}
+		}
+		assign[i] = bi
+	}
+	return &Result{Assignments: assign, Centroids: best.centroids}, nil
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// HierarchyNode is one node of the browse hierarchy: a set of item indices
+// plus child nodes produced by recursive bisecting k-means. Leaves have no
+// children. The paper's INTERFACE tier lets a user "drill down the
+// hierarchical organization of the shapes" — this is that organization.
+type HierarchyNode struct {
+	Items    []int // indices into the original point slice
+	Centroid []float64
+	Children []*HierarchyNode
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *HierarchyNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Depth returns the height of the subtree rooted at n (a leaf has depth 1).
+func (n *HierarchyNode) Depth() int {
+	best := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > best {
+			best = d
+		}
+	}
+	return best + 1
+}
+
+// CountLeaves returns the number of leaves under n.
+func (n *HierarchyNode) CountLeaves() int {
+	if n.IsLeaf() {
+		return 1
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += c.CountLeaves()
+	}
+	return total
+}
+
+// HierarchyOptions configure BuildHierarchy.
+type HierarchyOptions struct {
+	Branch   int // children per split (default 2: bisecting)
+	LeafSize int // stop splitting below this many items (default 4)
+	MaxDepth int // hard depth bound (default 10)
+}
+
+// BuildHierarchy recursively clusters points into a browse tree using
+// repeated k-means splits.
+func BuildHierarchy(points [][]float64, opts HierarchyOptions, rng *rand.Rand) (*HierarchyNode, error) {
+	if _, err := validate(points, 1); err != nil {
+		return nil, err
+	}
+	if opts.Branch < 2 {
+		opts.Branch = 2
+	}
+	if opts.LeafSize < 1 {
+		opts.LeafSize = 4
+	}
+	if opts.MaxDepth < 1 {
+		opts.MaxDepth = 10
+	}
+	items := make([]int, len(points))
+	for i := range items {
+		items[i] = i
+	}
+	root := &HierarchyNode{Items: items, Centroid: meanOf(points, items)}
+	if err := splitNode(root, points, opts, rng, 1); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+func splitNode(n *HierarchyNode, points [][]float64, opts HierarchyOptions, rng *rand.Rand, depth int) error {
+	if len(n.Items) <= opts.LeafSize || depth >= opts.MaxDepth {
+		return nil
+	}
+	k := opts.Branch
+	if k > len(n.Items) {
+		k = len(n.Items)
+	}
+	sub := make([][]float64, len(n.Items))
+	for i, idx := range n.Items {
+		sub[i] = points[idx]
+	}
+	res, err := KMeans(sub, k, rng, 50)
+	if err != nil {
+		return fmt.Errorf("cluster: hierarchy split: %w", err)
+	}
+	buckets := make([][]int, k)
+	for i, a := range res.Assignments {
+		buckets[a] = append(buckets[a], n.Items[i])
+	}
+	nonEmpty := 0
+	for _, b := range buckets {
+		if len(b) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		return nil // cannot make progress; leave as a leaf
+	}
+	for c, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		child := &HierarchyNode{Items: b, Centroid: res.Centroids[c]}
+		n.Children = append(n.Children, child)
+		// A child identical to the parent cannot be split further.
+		if len(b) == len(n.Items) {
+			continue
+		}
+		if err := splitNode(child, points, opts, rng, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func meanOf(points [][]float64, items []int) []float64 {
+	if len(items) == 0 {
+		return nil
+	}
+	dim := len(points[items[0]])
+	m := make([]float64, dim)
+	for _, idx := range items {
+		for d := 0; d < dim; d++ {
+			m[d] += points[idx][d]
+		}
+	}
+	for d := range m {
+		m[d] /= float64(len(items))
+	}
+	return m
+}

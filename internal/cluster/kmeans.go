@@ -1,0 +1,171 @@
+// Package cluster implements the three clustering algorithms the paper's
+// SERVER tier uses to organize the shape database for hierarchical
+// browsing (§2.2): k-means, Self-Organizing Maps, and Genetic-Algorithm
+// clustering, plus the bisecting hierarchy used by the browse interface
+// and quality metrics for comparing them.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result is a flat clustering: an assignment of each input point to one of
+// k clusters and the cluster centroids.
+type Result struct {
+	Assignments []int
+	Centroids   [][]float64
+}
+
+// K returns the number of clusters.
+func (r *Result) K() int { return len(r.Centroids) }
+
+// Sizes returns the number of points in each cluster.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, len(r.Centroids))
+	for _, a := range r.Assignments {
+		sizes[a]++
+	}
+	return sizes
+}
+
+// SSE returns the within-cluster sum of squared distances of the result on
+// the given points.
+func (r *Result) SSE(points [][]float64) float64 {
+	total := 0.0
+	for i, p := range points {
+		total += sqDist(p, r.Centroids[r.Assignments[i]])
+	}
+	return total
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func validate(points [][]float64, k int) (dim int, err error) {
+	if len(points) == 0 {
+		return 0, fmt.Errorf("cluster: no points")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("cluster: k must be positive, got %d", k)
+	}
+	if k > len(points) {
+		return 0, fmt.Errorf("cluster: k=%d exceeds %d points", k, len(points))
+	}
+	dim = len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return 0, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	return dim, nil
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm seeded by
+// k-means++. It is deterministic given the random source.
+func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) (*Result, error) {
+	dim, err := validate(points, k)
+	if err != nil {
+		return nil, err
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			counts[assign[i]]++
+			for d := range p {
+				sums[assign[i]][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid, a standard fix that keeps k clusters alive.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[c] = append([]float64(nil), points[far]...)
+				assign[far] = c
+				changed = true
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return &Result{Assignments: assign, Centroids: centroids}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ scheme.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(len(points))
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var next int
+		if total <= 0 {
+			next = rng.Intn(len(points))
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			next = len(points) - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					next = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[next]...))
+	}
+	return centroids
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import "math"
+
+// Quality metrics for comparing clustering algorithms against each other
+// and against ground-truth labels.
+
+// Silhouette returns the mean silhouette coefficient of the clustering
+// over the points: (b−a)/max(a,b) averaged over all points, where a is
+// the mean intra-cluster distance and b the mean distance to the nearest
+// other cluster. Values near 1 indicate tight, well-separated clusters.
+// Singleton clusters contribute 0.
+func Silhouette(points [][]float64, assignments []int) float64 {
+	n := len(points)
+	if n == 0 || len(assignments) != n {
+		return 0
+	}
+	k := 0
+	for _, a := range assignments {
+		if a+1 > k {
+			k = a + 1
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := range points {
+		// Mean distance to each cluster.
+		sum := make([]float64, k)
+		cnt := make([]int, k)
+		for j := range points {
+			if j == i {
+				continue
+			}
+			sum[assignments[j]] += math.Sqrt(sqDist(points[i], points[j]))
+			cnt[assignments[j]]++
+		}
+		own := assignments[i]
+		if cnt[own] == 0 {
+			continue // singleton: contributes 0
+		}
+		a := sum[own] / float64(cnt[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || cnt[c] == 0 {
+				continue
+			}
+			if m := sum[c] / float64(cnt[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n)
+}
+
+// Purity returns the weighted purity of the clustering against the
+// ground-truth labels: for each cluster, the fraction belonging to its
+// majority label, weighted by cluster size. 1.0 means every cluster is
+// label-pure.
+func Purity(assignments, labels []int) float64 {
+	if len(assignments) == 0 || len(assignments) != len(labels) {
+		return 0
+	}
+	counts := map[int]map[int]int{}
+	for i, a := range assignments {
+		if counts[a] == nil {
+			counts[a] = map[int]int{}
+		}
+		counts[a][labels[i]]++
+	}
+	correct := 0
+	for _, byLabel := range counts {
+		best := 0
+		for _, c := range byLabel {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assignments))
+}

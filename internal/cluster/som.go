@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SOMOptions configure Self-Organizing Map training.
+type SOMOptions struct {
+	Rows, Cols int     // lattice size; Rows×Cols units
+	Epochs     int     // full passes over the data (default 50)
+	LearnRate  float64 // initial learning rate (default 0.5)
+	Radius     float64 // initial neighborhood radius (default max(Rows,Cols)/2)
+}
+
+// SOM trains a 2D self-organizing map on the points and returns a flat
+// clustering: each point is assigned to its best-matching unit, and unit
+// weight vectors act as centroids. Empty units are dropped from the
+// result, so the number of clusters is at most Rows×Cols.
+func SOM(points [][]float64, opts SOMOptions, rng *rand.Rand) (*Result, error) {
+	if opts.Rows <= 0 || opts.Cols <= 0 {
+		return nil, fmt.Errorf("cluster: SOM lattice must be positive, got %d×%d", opts.Rows, opts.Cols)
+	}
+	dim, err := validate(points, 1)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 50
+	}
+	if opts.LearnRate <= 0 {
+		opts.LearnRate = 0.5
+	}
+	if opts.Radius <= 0 {
+		opts.Radius = math.Max(float64(opts.Rows), float64(opts.Cols)) / 2
+	}
+	units := opts.Rows * opts.Cols
+	// Initialize unit weights from random input points.
+	w := make([][]float64, units)
+	for u := range w {
+		w[u] = append([]float64(nil), points[rng.Intn(len(points))]...)
+	}
+	pos := func(u int) (r, c int) { return u / opts.Cols, u % opts.Cols }
+
+	total := opts.Epochs * len(points)
+	step := 0
+	order := rng.Perm(len(points))
+	for e := 0; e < opts.Epochs; e++ {
+		// Reshuffle the presentation order each epoch.
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, pi := range order {
+			p := points[pi]
+			// Exponentially decaying learning rate and radius.
+			frac := float64(step) / float64(total)
+			lr := opts.LearnRate * math.Exp(-3*frac)
+			rad := opts.Radius * math.Exp(-3*frac)
+			if rad < 0.5 {
+				rad = 0.5
+			}
+			// Best-matching unit.
+			bmu, bestD := 0, math.Inf(1)
+			for u := range w {
+				if d := sqDist(p, w[u]); d < bestD {
+					bmu, bestD = u, d
+				}
+			}
+			br, bc := pos(bmu)
+			// Update the neighborhood with a Gaussian kernel.
+			for u := range w {
+				ur, uc := pos(u)
+				dr, dc := float64(ur-br), float64(uc-bc)
+				latt2 := dr*dr + dc*dc
+				if latt2 > 9*rad*rad {
+					continue
+				}
+				h := lr * math.Exp(-latt2/(2*rad*rad))
+				for d := 0; d < dim; d++ {
+					w[u][d] += h * (p[d] - w[u][d])
+				}
+			}
+			step++
+		}
+	}
+	// Assign points to BMUs; compact away empty units.
+	rawAssign := make([]int, len(points))
+	used := map[int]int{}
+	for i, p := range points {
+		bmu, bestD := 0, math.Inf(1)
+		for u := range w {
+			if d := sqDist(p, w[u]); d < bestD {
+				bmu, bestD = u, d
+			}
+		}
+		rawAssign[i] = bmu
+		if _, ok := used[bmu]; !ok {
+			used[bmu] = len(used)
+		}
+	}
+	centroids := make([][]float64, len(used))
+	for u, c := range used {
+		centroids[c] = w[u]
+	}
+	assign := make([]int, len(points))
+	for i, u := range rawAssign {
+		assign[i] = used[u]
+	}
+	return &Result{Assignments: assign, Centroids: centroids}, nil
+}

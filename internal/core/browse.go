@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"threedess/internal/cluster"
+	"threedess/internal/features"
+	"threedess/internal/shapedb"
+)
+
+// BrowseNode is one node of the search-by-browsing hierarchy: the shape
+// IDs it covers and its children. Leaves list concrete shapes; drilling
+// down follows children.
+type BrowseNode struct {
+	IDs      []int64
+	Children []*BrowseNode
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *BrowseNode) IsLeaf() bool { return len(n.Children) == 0 }
+
+// ClusterAlgorithm selects which §2.2 algorithm organizes the database.
+type ClusterAlgorithm int
+
+const (
+	// AlgoKMeans uses k-means++ (the default).
+	AlgoKMeans ClusterAlgorithm = iota
+	// AlgoSOM uses a self-organizing map.
+	AlgoSOM
+	// AlgoGA uses genetic-algorithm clustering.
+	AlgoGA
+)
+
+// String implements fmt.Stringer.
+func (a ClusterAlgorithm) String() string {
+	switch a {
+	case AlgoKMeans:
+		return "kmeans"
+	case AlgoSOM:
+		return "som"
+	case AlgoGA:
+		return "ga"
+	}
+	return "unknown"
+}
+
+// featureMatrix gathers the stored vectors of one kind plus the matching
+// IDs, skipping shapes without that kind.
+func (e *Engine) featureMatrix(kind features.Kind) (points [][]float64, ids []int64) {
+	e.db.ForEach(func(rec *shapedb.Record) {
+		v, ok := rec.Features[kind]
+		if !ok {
+			return
+		}
+		points = append(points, []float64(v))
+		ids = append(ids, rec.ID)
+	})
+	return points, ids
+}
+
+// ClusterShapes groups every stored shape by the chosen feature and
+// algorithm, returning cluster assignments keyed by shape ID plus the
+// result object. The paper builds one classification map per feature
+// vector; call this once per kind.
+func (e *Engine) ClusterShapes(kind features.Kind, algo ClusterAlgorithm, k int, seed int64) (map[int64]int, *cluster.Result, error) {
+	points, ids := e.featureMatrix(kind)
+	if len(points) == 0 {
+		return nil, nil, fmt.Errorf("core: no shapes carry feature %v", kind)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var res *cluster.Result
+	var err error
+	switch algo {
+	case AlgoKMeans:
+		res, err = cluster.KMeans(points, k, rng, 100)
+	case AlgoSOM:
+		rows := 1
+		for rows*rows < k {
+			rows++
+		}
+		res, err = cluster.SOM(points, cluster.SOMOptions{Rows: rows, Cols: (k + rows - 1) / rows}, rng)
+	case AlgoGA:
+		res, err = cluster.GA(points, cluster.GAOptions{K: k}, rng)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown clustering algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	byID := make(map[int64]int, len(ids))
+	for i, id := range ids {
+		byID[id] = res.Assignments[i]
+	}
+	return byID, res, nil
+}
+
+// BuildBrowseHierarchy organizes the database into the drill-down tree of
+// the browsing interface, clustering recursively on the given feature.
+func (e *Engine) BuildBrowseHierarchy(kind features.Kind, seed int64) (*BrowseNode, error) {
+	return e.BuildBrowseHierarchyWeighted(kind, nil, seed)
+}
+
+// BuildBrowseHierarchyWeighted builds a *user-specific* browse hierarchy
+// (the "dynamic, user-specific classification hierarchy" the paper's §2.2
+// names as the better approach): per-dimension weights — typically from
+// ReconfigureWeights after feedback — reshape the metric the clustering
+// runs under, so the drill-down tree reflects that user's similarity view.
+// Nil weights give the uniform metric.
+func (e *Engine) BuildBrowseHierarchyWeighted(kind features.Kind, weights []float64, seed int64) (*BrowseNode, error) {
+	points, ids := e.featureMatrix(kind)
+	if len(points) == 0 {
+		return nil, fmt.Errorf("core: no shapes carry feature %v", kind)
+	}
+	if weights != nil {
+		if len(weights) != len(points[0]) {
+			return nil, fmt.Errorf("core: %d weights for %d-dimensional feature %v",
+				len(weights), len(points[0]), kind)
+		}
+		// Weighted Euclidean distance = plain Euclidean distance in the
+		// space scaled by √w per dimension.
+		scaled := make([][]float64, len(points))
+		for i, p := range points {
+			sp := make([]float64, len(p))
+			for d := range p {
+				if weights[d] < 0 {
+					return nil, fmt.Errorf("core: negative weight at dimension %d", d)
+				}
+				sp[d] = p[d] * math.Sqrt(weights[d])
+			}
+			scaled[i] = sp
+		}
+		points = scaled
+	}
+	rng := rand.New(rand.NewSource(seed))
+	root, err := cluster.BuildHierarchy(points, cluster.HierarchyOptions{Branch: 3, LeafSize: 6}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return toBrowseNode(root, ids), nil
+}
+
+func toBrowseNode(n *cluster.HierarchyNode, ids []int64) *BrowseNode {
+	out := &BrowseNode{IDs: make([]int64, len(n.Items))}
+	for i, item := range n.Items {
+		out.IDs[i] = ids[item]
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, toBrowseNode(c, ids))
+	}
+	return out
+}

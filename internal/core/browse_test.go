@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+)
+
+// clusteredDB builds a DB with two well-separated blobs in principal-
+// moment space.
+func clusteredDB(t *testing.T, perBlob int) (*shapedb.DB, []int64) {
+	t.Helper()
+	db, err := shapedb.Open("", features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	opts := db.Options()
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	var ids []int64
+	for blob := 0; blob < 2; blob++ {
+		for i := 0; i < perBlob; i++ {
+			v := make(features.Vector, opts.Dim(features.PrincipalMoments))
+			for d := range v {
+				v[d] = float64(blob)*100 + float64(i)
+			}
+			id, err := db.Insert("s", blob+1, mesh, features.Set{features.PrincipalMoments: v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	return db, ids
+}
+
+func TestClusterShapesAllAlgorithms(t *testing.T) {
+	db, _ := clusteredDB(t, 10)
+	e := NewEngine(db)
+	for _, algo := range []ClusterAlgorithm{AlgoKMeans, AlgoSOM, AlgoGA} {
+		byID, res, err := e.ClusterShapes(features.PrincipalMoments, algo, 2, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(byID) != db.Len() {
+			t.Errorf("%v: assignments = %d", algo, len(byID))
+		}
+		if res.K() < 2 {
+			t.Errorf("%v: clusters = %d", algo, res.K())
+		}
+		// The two blobs must not be merged: shapes of group 1 and group 2
+		// should mostly land in different clusters.
+		counts := map[[2]int]int{}
+		db.ForEach(func(rec *shapedb.Record) {
+			counts[[2]int{rec.Group, byID[rec.ID]}]++
+		})
+		// Majority cluster per group must differ.
+		maj := func(g int) int {
+			best, bestN := -1, -1
+			for key, n := range counts {
+				if key[0] == g && n > bestN {
+					best, bestN = key[1], n
+				}
+			}
+			return best
+		}
+		if maj(1) == maj(2) {
+			t.Errorf("%v merged the two blobs", algo)
+		}
+	}
+}
+
+func TestClusterShapesErrors(t *testing.T) {
+	db, _ := clusteredDB(t, 5)
+	e := NewEngine(db)
+	if _, _, err := e.ClusterShapes(features.HigherOrder, AlgoKMeans, 2, 1); err == nil {
+		t.Error("missing feature accepted")
+	}
+	if _, _, err := e.ClusterShapes(features.PrincipalMoments, ClusterAlgorithm(9), 2, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if ClusterAlgorithm(9).String() != "unknown" {
+		t.Error("unknown algorithm string")
+	}
+	if AlgoKMeans.String() != "kmeans" || AlgoSOM.String() != "som" || AlgoGA.String() != "ga" {
+		t.Error("algorithm strings wrong")
+	}
+}
+
+func TestBuildBrowseHierarchy(t *testing.T) {
+	db, ids := clusteredDB(t, 15)
+	e := NewEngine(db)
+	root, err := e.BuildBrowseHierarchy(features.PrincipalMoments, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.IDs) != len(ids) {
+		t.Fatalf("root covers %d of %d", len(root.IDs), len(ids))
+	}
+	if root.IsLeaf() {
+		t.Fatal("30 shapes should split")
+	}
+	// Drill down: every ID reachable exactly once through leaves.
+	seen := map[int64]int{}
+	var walk func(n *BrowseNode)
+	walk = func(n *BrowseNode) {
+		if n.IsLeaf() {
+			for _, id := range n.IDs {
+				seen[id]++
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	for _, id := range ids {
+		if seen[id] != 1 {
+			t.Errorf("id %d appears %d times in leaves", id, seen[id])
+		}
+	}
+}
+
+func TestBuildBrowseHierarchyEmpty(t *testing.T) {
+	db, err := shapedb.Open("", features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	e := NewEngine(db)
+	if _, err := e.BuildBrowseHierarchy(features.PrincipalMoments, 1); err == nil {
+		t.Error("empty DB accepted")
+	}
+}
+
+func TestBuildBrowseHierarchyWeighted(t *testing.T) {
+	db, ids := clusteredDB(t, 12)
+	e := NewEngine(db)
+	dim := db.Options().Dim(features.PrincipalMoments)
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = 2
+	}
+	root, err := e.BuildBrowseHierarchyWeighted(features.PrincipalMoments, w, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.IDs) != len(ids) {
+		t.Errorf("weighted root covers %d of %d", len(root.IDs), len(ids))
+	}
+	// Uniform weights give the same tree as unweighted clustering.
+	plain, err := e.BuildBrowseHierarchy(features.PrincipalMoments, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Children) != len(root.Children) {
+		t.Errorf("uniform weights changed the split: %d vs %d children",
+			len(root.Children), len(plain.Children))
+	}
+	// Validation.
+	if _, err := e.BuildBrowseHierarchyWeighted(features.PrincipalMoments, []float64{1}, 7); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := e.BuildBrowseHierarchyWeighted(features.PrincipalMoments, append([]float64{-1}, w[1:]...), 7); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

@@ -1,0 +1,256 @@
+// Package core is the 3DESS search engine — the paper's primary
+// contribution. It ties the feature-extraction pipeline, the shape
+// database, and the R-tree indexes into the query flows of §2.4:
+// query-by-example with a chosen feature vector, threshold (similarity)
+// search under the weighted Euclidean measure of Equations 4.3–4.4, top-k
+// search, the multi-step refinement strategy of §4.2, relevance feedback
+// (query reconstruction and weight reconfiguration, §2.2), and
+// cluster-based browsing.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/rtree"
+	"threedess/internal/shapedb"
+)
+
+// Engine executes shape queries against a database.
+type Engine struct {
+	db        *shapedb.DB
+	extractor *features.Extractor
+}
+
+// NewEngine builds an engine over db, extracting query features with the
+// database's feature options.
+func NewEngine(db *shapedb.DB) *Engine {
+	return &Engine{
+		db:        db,
+		extractor: features.NewExtractor(db.Options()),
+	}
+}
+
+// DB returns the underlying database.
+func (e *Engine) DB() *shapedb.DB { return e.db }
+
+// Extractor returns the query feature extractor.
+func (e *Engine) Extractor() *features.Extractor { return e.extractor }
+
+// Result is one retrieved shape.
+type Result struct {
+	ID         int64
+	Name       string
+	Group      int
+	Distance   float64 // weighted Euclidean distance (Equation 4.3)
+	Similarity float64 // 1 − d/dmax (Equation 4.4), clamped to [0, 1]
+}
+
+// Options configure a single-feature search.
+type Options struct {
+	// Feature selects which descriptor drives the search.
+	Feature features.Kind
+	// Weights are per-dimension weights of Equation 4.3. Nil means
+	// uniform. Non-uniform weights bypass the R-tree (whose metric is
+	// unweighted) and scan, exactly like the prototype's reconfigured
+	// queries.
+	Weights []float64
+	// Threshold is the minimum similarity for SearchThreshold (0..1).
+	Threshold float64
+	// K is the result count for SearchTopK.
+	K int
+}
+
+// WeightedDistance evaluates Equation 4.3.
+func WeightedDistance(q, x features.Vector, w []float64) float64 {
+	sum := 0.0
+	for i := range q {
+		d := q[i] - x[i]
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		sum += wi * d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Similarity evaluates Equation 4.4 for a distance under the given dmax,
+// clamping to [0, 1].
+func Similarity(dist, dmax float64) float64 {
+	if dmax <= 0 {
+		return 0
+	}
+	s := 1 - dist/dmax
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func (e *Engine) checkOptions(opt *Options, query features.Set) (features.Vector, error) {
+	if !opt.Feature.Valid() {
+		return nil, fmt.Errorf("core: invalid feature kind %v", opt.Feature)
+	}
+	qv, ok := query[opt.Feature]
+	if !ok {
+		return nil, fmt.Errorf("core: query has no %v vector", opt.Feature)
+	}
+	if opt.Weights != nil && len(opt.Weights) != len(qv) {
+		return nil, fmt.Errorf("core: %d weights for %d-dimensional feature %v",
+			len(opt.Weights), len(qv), opt.Feature)
+	}
+	if opt.Weights != nil {
+		for i, w := range opt.Weights {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("core: invalid weight %g at dimension %d", w, i)
+			}
+		}
+	}
+	return qv, nil
+}
+
+// ExtractQuery runs feature extraction on a query mesh for the given
+// kinds (nil = the four core descriptors).
+func (e *Engine) ExtractQuery(mesh *geom.Mesh, kinds []features.Kind) (features.Set, error) {
+	if kinds == nil {
+		kinds = features.CoreKinds
+	}
+	return e.extractor.Extract(mesh, kinds)
+}
+
+// QueryFeatures returns the stored feature set of a database shape, for
+// query-by-browsing ("pick a model and submit it as an initial query").
+func (e *Engine) QueryFeatures(id int64) (features.Set, error) {
+	rec, ok := e.db.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("core: no shape with id %d", id)
+	}
+	return rec.Features, nil
+}
+
+// SearchThreshold returns every shape whose similarity to the query meets
+// opt.Threshold, most similar first (the paper's §4.1 query mode).
+func (e *Engine) SearchThreshold(query features.Set, opt Options) ([]Result, error) {
+	qv, err := e.checkOptions(&opt, query)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Threshold < 0 || opt.Threshold > 1 {
+		return nil, fmt.Errorf("core: threshold %g outside [0, 1]", opt.Threshold)
+	}
+	dmax := e.db.DMax(opt.Feature)
+	if opt.Weights == nil {
+		// Equation 4.4: similarity ≥ t ⇔ distance ≤ (1−t)·dmax. Serve
+		// through the index.
+		radius := (1 - opt.Threshold) * dmax
+		nn, err := e.db.WithinRadius(opt.Feature, qv, radius)
+		if err != nil {
+			return nil, err
+		}
+		return e.toResults(nn, dmax), nil
+	}
+	return e.scan(qv, opt, func(r Result) bool { return r.Similarity >= opt.Threshold }, 0, dmax)
+}
+
+// SearchTopK returns the opt.K most similar shapes, most similar first.
+func (e *Engine) SearchTopK(query features.Set, opt Options) ([]Result, error) {
+	qv, err := e.checkOptions(&opt, query)
+	if err != nil {
+		return nil, err
+	}
+	if opt.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", opt.K)
+	}
+	dmax := e.db.DMax(opt.Feature)
+	if opt.Weights == nil {
+		nn, err := e.db.KNN(opt.Feature, qv, opt.K)
+		if err != nil {
+			return nil, err
+		}
+		return e.toResults(nn, dmax), nil
+	}
+	return e.scan(qv, opt, nil, opt.K, dmax)
+}
+
+// scan is the weighted-distance fallback: a full scan ranked by Equation
+// 4.3. keep filters results (nil keeps everything); k > 0 truncates.
+func (e *Engine) scan(qv features.Vector, opt Options, keep func(Result) bool, k int, dmax float64) ([]Result, error) {
+	var out []Result
+	var scanErr error
+	e.db.ForEach(func(rec *shapedb.Record) {
+		if scanErr != nil {
+			return
+		}
+		xv, ok := rec.Features[opt.Feature]
+		if !ok {
+			return
+		}
+		if len(xv) != len(qv) {
+			scanErr = fmt.Errorf("core: stored feature %v of shape %d has dimension %d, query %d",
+				opt.Feature, rec.ID, len(xv), len(qv))
+			return
+		}
+		d := WeightedDistance(qv, xv, opt.Weights)
+		r := Result{
+			ID:         rec.ID,
+			Name:       rec.Name,
+			Group:      rec.Group,
+			Distance:   d,
+			Similarity: Similarity(d, dmax),
+		}
+		if keep == nil || keep(r) {
+			out = append(out, r)
+		}
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+func (e *Engine) toResults(nn []rtree.Neighbor, dmax float64) []Result {
+	out := make([]Result, 0, len(nn))
+	for _, n := range nn {
+		rec, ok := e.db.Get(n.ID)
+		if !ok {
+			continue
+		}
+		out = append(out, Result{
+			ID:         n.ID,
+			Name:       rec.Name,
+			Group:      rec.Group,
+			Distance:   n.Dist,
+			Similarity: Similarity(n.Dist, dmax),
+		})
+	}
+	return out
+}
+
+// ExcludeID filters a result list in place, dropping the given id (used to
+// drop the query shape itself when querying by a database member, since
+// "it is guaranteed to be retrieved").
+func ExcludeID(results []Result, id int64) []Result {
+	out := results[:0]
+	for _, r := range results {
+		if r.ID != id {
+			out = append(out, r)
+		}
+	}
+	return out
+}

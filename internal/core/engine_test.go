@@ -1,0 +1,428 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+)
+
+// synthDB builds an in-memory DB with hand-placed feature vectors so
+// search behaviour is exactly predictable. Group 1 sits near the origin
+// of principal-moment space; group 2 sits far away; geometric params
+// reverse the ordering so re-ranking is observable.
+func synthDB(t *testing.T) (*shapedb.DB, []int64) {
+	t.Helper()
+	db, err := shapedb.Open("", features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	opts := db.Options()
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+
+	mk := func(pm, gp float64) features.Set {
+		set := features.Set{}
+		for _, k := range features.CoreKinds {
+			v := make(features.Vector, opts.Dim(k))
+			base := pm
+			if k == features.GeometricParams {
+				base = gp
+			}
+			for i := range v {
+				v[i] = base
+			}
+			set[k] = v
+		}
+		return set
+	}
+	var ids []int64
+	// Group 1: pm near 0 (0, 1, 2), gp reversed (20, 10, 0).
+	specs := []struct {
+		pm, gp float64
+		group  int
+		name   string
+	}{
+		{0, 20, 1, "a0"},
+		{1, 10, 1, "a1"},
+		{2, 0, 1, "a2"},
+		{40, 40, 2, "b0"},
+		{41, 41, 2, "b1"},
+		{80, 80, 0, "noise"},
+	}
+	for _, s := range specs {
+		id, err := db.Insert(s.name, s.group, mesh, mk(s.pm, s.gp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return db, ids
+}
+
+func queryAt(t *testing.T, db *shapedb.DB, pm, gp float64) features.Set {
+	t.Helper()
+	opts := db.Options()
+	set := features.Set{}
+	for _, k := range features.CoreKinds {
+		v := make(features.Vector, opts.Dim(k))
+		base := pm
+		if k == features.GeometricParams {
+			base = gp
+		}
+		for i := range v {
+			v[i] = base
+		}
+		set[k] = v
+	}
+	return set
+}
+
+func TestSimilarityFunction(t *testing.T) {
+	if s := Similarity(0, 10); s != 1 {
+		t.Errorf("Similarity(0) = %v", s)
+	}
+	if s := Similarity(10, 10); s != 0 {
+		t.Errorf("Similarity(dmax) = %v", s)
+	}
+	if s := Similarity(5, 10); s != 0.5 {
+		t.Errorf("Similarity(half) = %v", s)
+	}
+	if s := Similarity(20, 10); s != 0 {
+		t.Errorf("Similarity(>dmax) = %v, want clamp 0", s)
+	}
+	if s := Similarity(1, 0); s != 0 {
+		t.Errorf("Similarity(dmax=0) = %v", s)
+	}
+}
+
+func TestWeightedDistance(t *testing.T) {
+	q := features.Vector{0, 0}
+	x := features.Vector{3, 4}
+	if d := WeightedDistance(q, x, nil); d != 5 {
+		t.Errorf("unweighted = %v", d)
+	}
+	if d := WeightedDistance(q, x, []float64{1, 0}); d != 3 {
+		t.Errorf("weighted = %v", d)
+	}
+	if d := WeightedDistance(q, x, []float64{4, 0}); d != 6 {
+		t.Errorf("weighted×4 = %v", d)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 0.4, 0)
+	res, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].ID != ids[0] || res[1].ID != ids[1] || res[2].ID != ids[2] {
+		t.Errorf("order = %v %v %v, want %v %v %v",
+			res[0].ID, res[1].ID, res[2].ID, ids[0], ids[1], ids[2])
+	}
+	// Distances ascending, similarity descending in [0, 1].
+	for i := range res {
+		if res[i].Similarity < 0 || res[i].Similarity > 1 {
+			t.Errorf("similarity %v outside [0,1]", res[i].Similarity)
+		}
+		if i > 0 && res[i].Distance < res[i-1].Distance {
+			t.Error("distances not ascending")
+		}
+	}
+	// Metadata populated.
+	if res[0].Name != "a0" || res[0].Group != 1 {
+		t.Errorf("metadata = %+v", res[0])
+	}
+}
+
+func TestSearchThreshold(t *testing.T) {
+	db, _ := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 0, 0)
+	// dmax for principal moments = span 80 in 3 dims = 80√3 ≈ 138.6.
+	// Group-1 shapes lie within distance 2√3 ≈ 3.46; threshold 0.9 ⇒
+	// radius ≈ 13.9 ⇒ exactly the three group-1 shapes.
+	res, err := e.SearchThreshold(q, Options{Feature: features.PrincipalMoments, Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("threshold 0.9 returned %d results: %+v", len(res), res)
+	}
+	for _, r := range res {
+		if r.Group != 1 {
+			t.Errorf("unexpected group %d in results", r.Group)
+		}
+		if r.Similarity < 0.9 {
+			t.Errorf("similarity %v below threshold", r.Similarity)
+		}
+	}
+	// Threshold 0 returns everything.
+	all, err := e.SearchThreshold(q, Options{Feature: features.PrincipalMoments, Threshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != db.Len() {
+		t.Errorf("threshold 0 returned %d of %d", len(all), db.Len())
+	}
+}
+
+func TestSearchWithWeights(t *testing.T) {
+	db, err := shapedb.Open("", features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	opts := db.Options()
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	mk := func(a, b float64) features.Set {
+		v := make(features.Vector, opts.Dim(features.PrincipalMoments))
+		v[0], v[1] = a, b
+		return features.Set{features.PrincipalMoments: v}
+	}
+	idA, _ := db.Insert("A", 0, mesh, mk(1, 0)) // near in dim0
+	idB, _ := db.Insert("B", 0, mesh, mk(0, 2)) // near in dim1
+	e := NewEngine(db)
+	q := features.Set{features.PrincipalMoments: make(features.Vector, opts.Dim(features.PrincipalMoments))}
+
+	// Unweighted: A (dist 1) before B (dist 2).
+	res, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != idA {
+		t.Errorf("unweighted first = %v, want %v", res[0].ID, idA)
+	}
+	// Weight dim0 heavily: B wins.
+	w := make([]float64, opts.Dim(features.PrincipalMoments))
+	for i := range w {
+		w[i] = 1
+	}
+	w[0] = 100
+	res, err = e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 2, Weights: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != idB {
+		t.Errorf("weighted first = %v, want %v", res[0].ID, idB)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	db, _ := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 0, 0)
+	if _, err := e.SearchTopK(q, Options{Feature: features.Kind(99), K: 3}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := e.SearchTopK(q, Options{Feature: features.HigherOrder, K: 1}); err == nil {
+		t.Error("missing feature vector accepted")
+	}
+	if _, err := e.SearchThreshold(q, Options{Feature: features.PrincipalMoments, Threshold: 1.5}); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	if _, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 1, Weights: []float64{1}}); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 1, Weights: []float64{-1, 1, 1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestQueryFeatures(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	set, err := e.QueryFeatures(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != len(features.CoreKinds) {
+		t.Errorf("feature set size = %d", len(set))
+	}
+	if _, err := e.QueryFeatures(9999); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestExcludeID(t *testing.T) {
+	rs := []Result{{ID: 1}, {ID: 2}, {ID: 3}}
+	out := ExcludeID(rs, 2)
+	if len(out) != 2 || out[0].ID != 1 || out[1].ID != 3 {
+		t.Errorf("ExcludeID = %+v", out)
+	}
+	out = ExcludeID(out, 99)
+	if len(out) != 2 {
+		t.Errorf("ExcludeID noop = %+v", out)
+	}
+}
+
+func TestMultiStepReranks(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	// Query near group 1 in pm space, but whose gp matches a2 best
+	// (gp=0). Step 1 (pm) retrieves group 1 in order a0,a1,a2; step 2
+	// (gp) re-orders to a2,a1,a0.
+	q := queryAt(t, db, 0, 0)
+	res, err := e.SearchMultiStep(q, MultiStepOptions{
+		Steps: []Step{
+			{Feature: features.PrincipalMoments},
+			{Feature: features.GeometricParams},
+		},
+		CandidateSize: 3,
+		K:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].ID != ids[2] || res[1].ID != ids[1] || res[2].ID != ids[0] {
+		t.Errorf("re-ranked order = %v,%v,%v want %v,%v,%v",
+			res[0].ID, res[1].ID, res[2].ID, ids[2], ids[1], ids[0])
+	}
+}
+
+func TestMultiStepDefaultsAndValidation(t *testing.T) {
+	db, _ := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 0, 0)
+	if _, err := e.SearchMultiStep(q, MultiStepOptions{}); err == nil {
+		t.Error("no steps accepted")
+	}
+	// Defaults: candidate 30 (> DB size fine), K 10.
+	res, err := e.SearchMultiStep(q, MultiStepOptions{
+		Steps: []Step{{Feature: features.PrincipalMoments}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != db.Len() { // 6 shapes < K=10
+		t.Errorf("results = %d, want %d", len(res), db.Len())
+	}
+	_, err = e.SearchMultiStep(q, MultiStepOptions{
+		Steps: []Step{
+			{Feature: features.PrincipalMoments},
+			{Feature: features.HigherOrder}, // not in query
+		},
+	})
+	if err == nil {
+		t.Error("missing second-step feature accepted")
+	}
+}
+
+func TestSearchCombined(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 0, 0)
+	res, err := e.SearchCombined(q, map[features.Kind]float64{
+		features.PrincipalMoments: 0.5,
+		features.GeometricParams:  0.5,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	// a1 (pm=1, gp=10) combined beats a0 (pm=0, gp=20)? Distances:
+	// pm dmax=80√3, gp dmax=80√3. a0: (0 + 20√3/80√3·0.5)=0.125;
+	// a1: 0.5·(√3/80√3)+0.5·(10√3/80√3) = 0.5/80·(1+10)=0.06875;
+	// a2: 0.5·2/80 + 0 = 0.0125 → order a2, a1, a0.
+	if res[0].ID != ids[2] || res[1].ID != ids[1] || res[2].ID != ids[0] {
+		t.Errorf("combined order = %v,%v,%v", res[0].ID, res[1].ID, res[2].ID)
+	}
+	if _, err := e.SearchCombined(q, nil, 3); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := e.SearchCombined(q, map[features.Kind]float64{features.PrincipalMoments: 1}, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := e.SearchCombined(q, map[features.Kind]float64{features.PrincipalMoments: -1}, 1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := e.SearchCombined(q, map[features.Kind]float64{features.HigherOrder: 1}, 1); err == nil {
+		t.Error("missing feature accepted")
+	}
+}
+
+// End-to-end pipeline: real meshes through extraction, storage, and
+// search — similar shapes must rank before dissimilar ones.
+func TestEndToEndPipeline(t *testing.T) {
+	db, err := shapedb.Open("", features.Options{VoxelResolution: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	e := NewEngine(db)
+	ext := e.Extractor()
+
+	insert := func(name string, group int, mesh *geom.Mesh) int64 {
+		t.Helper()
+		set, err := ext.Extract(mesh, features.CoreKinds)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		id, err := db.Insert(name, group, mesh, set)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return id
+	}
+	// Two similar slabs, one cube, one long bar.
+	slabA := insert("slabA", 1, geom.Box(geom.V(0, 0, 0), geom.V(10, 6, 1)))
+	_ = insert("slabB", 1, geom.Box(geom.V(0, 0, 0), geom.V(11, 6.5, 1.1)))
+	_ = insert("cube", 2, geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 4)))
+	_ = insert("bar", 3, geom.Box(geom.V(0, 0, 0), geom.V(20, 1, 1)))
+
+	qmesh := geom.Box(geom.V(0, 0, 0), geom.V(10.5, 6.2, 1.05))
+	// Rotate the query arbitrarily: results must be pose-independent.
+	qmesh.Rotate(geom.RotationAxisAngle(geom.V(1, 2, 3), 1.1)).Translate(geom.V(5, -3, 9))
+	qset, err := e.ExtractQuery(qmesh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []features.Kind{features.PrincipalMoments, features.MomentInvariants} {
+		res, err := e.SearchTopK(qset, Options{Feature: kind, K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].ID != slabA && res[0].Group != 1 {
+			t.Errorf("%v: top result = %+v, want a slab", kind, res[0])
+		}
+		if res[0].Group != 1 || res[1].Group != 1 {
+			t.Errorf("%v: top-2 groups = %d,%d, want slabs first", kind, res[0].Group, res[1].Group)
+		}
+	}
+}
+
+func TestSimilarityMonotoneInDistance(t *testing.T) {
+	db, _ := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 0, 0)
+	res, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Similarity > res[i-1].Similarity+1e-12 {
+			t.Error("similarity not monotone with rank")
+		}
+	}
+	// The farthest stored point participates in dmax, so its similarity
+	// is bounded but non-negative.
+	last := res[len(res)-1]
+	if last.Similarity < 0 || math.IsNaN(last.Similarity) {
+		t.Errorf("worst similarity = %v", last.Similarity)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+)
+
+// shapedbDB aliases the store type for test helpers.
+type shapedbDB = shapedb.DB
+
+func openMemDB() (*shapedb.DB, error) { return shapedb.Open("", features.Options{}) }
+
+func memMesh() *geom.Mesh { return geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)) }
+
+func TestReconstructQueryMovesTowardRelevant(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 10, 10)
+	fb := Feedback{Relevant: []int64{ids[0], ids[1]}} // pm ≈ 0, 1
+	out, err := e.ReconstructQuery(q, features.PrincipalMoments, fb, RocchioParams{Alpha: 0, Beta: 1, Gamma: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure-relevant reconstruction: q' = mean(relevant) = 0.5 per dim.
+	for i, v := range out[features.PrincipalMoments] {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Errorf("dim %d = %v, want 0.5", i, v)
+		}
+	}
+	// Other kinds untouched.
+	for i, v := range out[features.GeometricParams] {
+		if v != q[features.GeometricParams][i] {
+			t.Error("unrelated feature modified")
+		}
+	}
+	// Input not modified.
+	if q[features.PrincipalMoments][0] != 10 {
+		t.Error("input query modified")
+	}
+}
+
+func TestReconstructQueryPushesFromIrrelevant(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 0, 0)
+	fb := Feedback{Irrelevant: []int64{ids[5]}} // pm = 80
+	out, err := e.ReconstructQuery(q, features.PrincipalMoments, fb, RocchioParams{Alpha: 1, Beta: 0, Gamma: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out[features.PrincipalMoments] {
+		if math.Abs(v-(-8)) > 1e-12 {
+			t.Errorf("dim %d = %v, want -8", i, v)
+		}
+	}
+}
+
+func TestReconstructQueryNoFeedbackIsClone(t *testing.T) {
+	db, _ := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 3, 4)
+	out, err := e.ReconstructQuery(q, features.PrincipalMoments, Feedback{}, DefaultRocchio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[features.PrincipalMoments][0] = 999
+	if q[features.PrincipalMoments][0] == 999 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestReconstructQueryErrors(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 0, 0)
+	if _, err := e.ReconstructQuery(q, features.HigherOrder, Feedback{Relevant: ids[:1]}, DefaultRocchio); err == nil {
+		t.Error("missing query feature accepted")
+	}
+	if _, err := e.ReconstructQuery(q, features.PrincipalMoments, Feedback{Relevant: []int64{9999}}, DefaultRocchio); err == nil {
+		t.Error("unknown relevant id accepted")
+	}
+}
+
+func TestReconstructionImprovesRetrieval(t *testing.T) {
+	// A query landing between two groups is pulled into the right one by
+	// positive feedback.
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	q := queryAt(t, db, 21, 21) // between group 1 (≈0-2) and group 2 (≈40)
+	fb := Feedback{Relevant: []int64{ids[3]}, Irrelevant: []int64{ids[0]}}
+	q2, err := e.ReconstructQuery(q, features.PrincipalMoments, fb, DefaultRocchio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.SearchTopK(q2, Options{Feature: features.PrincipalMoments, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Group != 2 || res[1].Group != 2 {
+		t.Errorf("after feedback, top-2 groups = %d,%d, want group 2", res[0].Group, res[1].Group)
+	}
+}
+
+func TestReconfigureWeights(t *testing.T) {
+	db, relevant := weightTestDB(t)
+	e := NewEngine(db)
+	w, err := e.ReconfigureWeights(features.PrincipalMoments, Feedback{Relevant: relevant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relevant shapes agree on dim 0 (variance ~0) and disagree on dim 1:
+	// weight(dim0) ≫ weight(dim1).
+	if w[0] <= w[1] {
+		t.Errorf("weights = %v, want w[0] > w[1]", w)
+	}
+	// Normalized to mean 1.
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum/float64(len(w))-1) > 1e-9 {
+		t.Errorf("weights mean = %v, want 1", sum/float64(len(w)))
+	}
+}
+
+// weightTestDB builds a DB whose "relevant" shapes agree on dimension 0
+// of the principal-moments vector but scatter on the others.
+func weightTestDB(t *testing.T) (db *shapedbDB, relevant []int64) {
+	t.Helper()
+	d, err := openMemDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	opts := d.Options()
+	mesh := memMesh()
+	for i := 0; i < 3; i++ {
+		v := make(features.Vector, opts.Dim(features.PrincipalMoments))
+		v[0] = 5                // perfectly agreed
+		v[1] = float64(i) * 10  // scattered
+		v[2] = float64(i%2) * 3 // mildly scattered
+		id, err := d.Insert("r", 1, mesh, features.Set{features.PrincipalMoments: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relevant = append(relevant, id)
+	}
+	return d, relevant
+}
+
+func TestReconfigureWeightsErrors(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	if _, err := e.ReconfigureWeights(features.PrincipalMoments, Feedback{Relevant: ids[:1]}); err == nil {
+		t.Error("single relevant shape accepted")
+	}
+	if _, err := e.ReconfigureWeights(features.PrincipalMoments, Feedback{Relevant: []int64{9998, 9999}}); err == nil {
+		t.Error("unknown ids accepted")
+	}
+}
+
+func TestReconfigureWeightsUniformWhenIdentical(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	// a0 compared with itself twice: zero variance everywhere → uniform.
+	w, err := e.ReconfigureWeights(features.PrincipalMoments, Feedback{Relevant: []int64{ids[0], ids[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range w {
+		if x != 1 {
+			t.Errorf("weights = %v, want all 1", w)
+		}
+	}
+}
+
+func TestReconfigureFeatureWeights(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	// Query matches group 1 in pm space (distance ≈ 0) but is far in gp
+	// space → pm gets more weight.
+	q := queryAt(t, db, 1, 100)
+	w, err := e.ReconfigureFeatureWeights(q,
+		[]features.Kind{features.PrincipalMoments, features.GeometricParams},
+		Feedback{Relevant: []int64{ids[0], ids[1], ids[2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[features.PrincipalMoments] <= w[features.GeometricParams] {
+		t.Errorf("feature weights = %v, want pm > gp", w)
+	}
+	sum := w[features.PrincipalMoments] + w[features.GeometricParams]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum = %v", sum)
+	}
+	if _, err := e.ReconfigureFeatureWeights(q, nil, Feedback{}); err == nil {
+		t.Error("empty feedback accepted")
+	}
+}

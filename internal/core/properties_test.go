@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+)
+
+// randomFeatureDB builds a DB with n shapes at random principal-moment
+// positions.
+func randomFeatureDB(t *testing.T, n int, rng *rand.Rand) *shapedb.DB {
+	t.Helper()
+	db, err := shapedb.Open("", features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	dim := db.Options().Dim(features.PrincipalMoments)
+	for i := 0; i < n; i++ {
+		v := make(features.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64() * 100
+		}
+		if _, err := db.Insert("s", 1+i%5, mesh, features.Set{features.PrincipalMoments: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func randomQuery(db *shapedb.DB, rng *rand.Rand) features.Set {
+	dim := db.Options().Dim(features.PrincipalMoments)
+	v := make(features.Vector, dim)
+	for d := range v {
+		v[d] = rng.Float64() * 100
+	}
+	return features.Set{features.PrincipalMoments: v}
+}
+
+// Property: SearchThreshold(t) returns exactly the shapes from
+// SearchThreshold(0) whose similarity is ≥ t.
+func TestQuickThresholdEqualsFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(230))
+	db := randomFeatureDB(t, 120, rng)
+	e := NewEngine(db)
+	for trial := 0; trial < 25; trial++ {
+		q := randomQuery(db, rng)
+		all, err := e.SearchThreshold(q, Options{Feature: features.PrincipalMoments, Threshold: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := rng.Float64()
+		got, err := e.SearchThreshold(q, Options{Feature: features.PrincipalMoments, Threshold: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int64]bool{}
+		for _, r := range all {
+			if r.Similarity >= th {
+				want[r.ID] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d t=%v: got %d, want %d", trial, th, len(got), len(want))
+		}
+		for _, r := range got {
+			if !want[r.ID] {
+				t.Fatalf("trial %d: unexpected id %d", trial, r.ID)
+			}
+		}
+	}
+}
+
+// Property: SearchTopK(k) is a prefix of SearchTopK(k+m).
+func TestQuickTopKPrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	db := randomFeatureDB(t, 100, rng)
+	e := NewEngine(db)
+	for trial := 0; trial < 25; trial++ {
+		q := randomQuery(db, rng)
+		k := 1 + rng.Intn(20)
+		m := 1 + rng.Intn(20)
+		small, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: k + m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range small {
+			if small[i].ID != large[i].ID {
+				t.Fatalf("trial %d: rank %d differs: %d vs %d", trial, i, small[i].ID, large[i].ID)
+			}
+		}
+	}
+}
+
+// Property: uniform weights w are equivalent to unweighted search scaled
+// by √w in distance (and identical in ranking).
+func TestQuickUniformWeightEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(232))
+	db := randomFeatureDB(t, 80, rng)
+	e := NewEngine(db)
+	dim := db.Options().Dim(features.PrincipalMoments)
+	for trial := 0; trial < 15; trial++ {
+		q := randomQuery(db, rng)
+		w := 0.5 + rng.Float64()*4
+		weights := make([]float64, dim)
+		for d := range weights {
+			weights[d] = w
+		}
+		plain, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weighted, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 20, Weights: weights})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain {
+			if plain[i].ID != weighted[i].ID {
+				t.Fatalf("trial %d: uniform weights changed ranking at %d", trial, i)
+			}
+			if math.Abs(weighted[i].Distance-plain[i].Distance*math.Sqrt(w)) > 1e-9*(1+plain[i].Distance) {
+				t.Fatalf("trial %d: distance scaling wrong: %v vs %v·√%v",
+					trial, weighted[i].Distance, plain[i].Distance, w)
+			}
+		}
+	}
+}
+
+// Property: a multi-step search whose later steps repeat the first
+// feature is equivalent to the one-shot search truncated to K.
+func TestQuickMultiStepIdempotentFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	db := randomFeatureDB(t, 90, rng)
+	e := NewEngine(db)
+	for trial := 0; trial < 15; trial++ {
+		q := randomQuery(db, rng)
+		oneShot, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := e.SearchMultiStep(q, MultiStepOptions{
+			Steps: []Step{
+				{Feature: features.PrincipalMoments},
+				{Feature: features.PrincipalMoments},
+			},
+			CandidateSize: 30,
+			K:             10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(multi) != len(oneShot) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(multi), len(oneShot))
+		}
+		for i := range multi {
+			if multi[i].ID != oneShot[i].ID {
+				t.Fatalf("trial %d: rank %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// Property: multi-step Keep=1 after the first step returns at most one
+// result regardless of K.
+func TestMultiStepKeepOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(234))
+	db := randomFeatureDB(t, 40, rng)
+	e := NewEngine(db)
+	q := randomQuery(db, rng)
+	res, err := e.SearchMultiStep(q, MultiStepOptions{
+		Steps: []Step{
+			{Feature: features.PrincipalMoments, Keep: 1},
+			{Feature: features.PrincipalMoments},
+		},
+		CandidateSize: 30,
+		K:             10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Errorf("Keep=1 returned %d results", len(res))
+	}
+}

@@ -1,0 +1,175 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"threedess/internal/geom"
+)
+
+// Shape is one corpus model: a mesh plus its ground-truth group label.
+type Shape struct {
+	Name  string
+	Group int // 1..NumGroups for family members, 0 for noise shapes
+	Mesh  *geom.Mesh
+}
+
+// NumGroups is the number of similarity groups (26 in the paper).
+const NumGroups = 26
+
+// NumNoise is the number of ungrouped noisy shapes (27 in the paper).
+const NumNoise = 27
+
+// TotalShapes is the corpus size (113 in the paper).
+const TotalShapes = 86 + NumNoise
+
+// groupSizes assigns the member count of each group (index = group-1).
+// Sorted ascending the sizes are 2×10, 3×8, 4×3, 5×3, 7, 8 — 26 groups in
+// [2, 8] summing to 86, reproducing Figure 4's distribution.
+var groupSizes = []int{
+	8, 7, 5, 5, 5, 4, 4, 4,
+	3, 3, 3, 3, 3, 3, 3, 3,
+	2, 2, 2, 2, 2, 2, 2, 2, 2, 2,
+}
+
+// GroupSize returns the ground-truth size of group g (1-based).
+func GroupSize(g int) (int, error) {
+	if g < 1 || g > NumGroups {
+		return 0, fmt.Errorf("dataset: group %d out of range 1..%d", g, NumGroups)
+	}
+	return groupSizes[g-1], nil
+}
+
+// GroupSizesAscending returns the 26 group sizes in ascending order, the
+// series plotted in Figure 4.
+func GroupSizesAscending() []int {
+	out := append([]int(nil), groupSizes...)
+	sort.Ints(out)
+	return out
+}
+
+// Generate builds the full 113-shape corpus deterministically from seed.
+// Shapes 0..85 belong to groups (consecutive runs per group in group-id
+// order); shapes 86..112 are noise.
+func Generate(seed int64) ([]Shape, error) {
+	if len(groupSizes) != NumGroups {
+		panic("dataset: group size table corrupt")
+	}
+	total := 0
+	for _, s := range groupSizes {
+		total += s
+	}
+	if total+NumNoise != TotalShapes {
+		panic("dataset: group size table does not sum to corpus size")
+	}
+	shapes := make([]Shape, 0, TotalShapes)
+	for g := 1; g <= NumGroups; g++ {
+		fam := families[g-1]
+		for v := 0; v < groupSizes[g-1]; v++ {
+			// One deterministic stream per (seed, group, variant).
+			rng := rand.New(rand.NewSource(seed*1_000_003 + int64(g)*1_009 + int64(v)))
+			mesh, err := fam.gen(rng)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: group %d (%s) variant %d: %w", g, fam.name, v, err)
+			}
+			if err := prepare(mesh, rng); err != nil {
+				return nil, fmt.Errorf("dataset: group %d (%s) variant %d: %w", g, fam.name, v, err)
+			}
+			shapes = append(shapes, Shape{
+				Name:  fmt.Sprintf("%s-%02d", fam.name, v+1),
+				Group: g,
+				Mesh:  mesh,
+			})
+		}
+	}
+	for i := 0; i < NumNoise; i++ {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + 900_001 + int64(i)*7))
+		mesh, err := noiseShape(i, rng)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: noise shape %d: %w", i, err)
+		}
+		if err := prepare(mesh, rng); err != nil {
+			return nil, fmt.Errorf("dataset: noise shape %d: %w", i, err)
+		}
+		shapes = append(shapes, Shape{
+			Name:  fmt.Sprintf("noise-%02d", i+1),
+			Group: 0,
+			Mesh:  mesh,
+		})
+	}
+	return shapes, nil
+}
+
+// prepare validates a generated mesh and applies a random rigid pose, so
+// the corpus exercises the normalization pipeline the way arbitrarily
+// saved CAD files would.
+func prepare(mesh *geom.Mesh, rng *rand.Rand) error {
+	if err := mesh.Validate(); err != nil {
+		return err
+	}
+	if v := mesh.Volume(); v <= 0 {
+		return fmt.Errorf("generated mesh has volume %g", v)
+	}
+	// A global size jitter on top of the family's proportion jitters:
+	// rigid-invariant descriptors ignore it, size-sensitive ones (the
+	// geometric parameters) see realistic within-group spread.
+	mesh.ScaleUniform(jitter(rng, 1, 0.21))
+	axis := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	if axis.Len() < 1e-9 {
+		axis = geom.V(0, 0, 1)
+	}
+	mesh.Transform(geom.Transform{
+		R: geom.RotationAxisAngle(axis, rng.Float64()*6.28318),
+		T: geom.V(rng.NormFloat64()*20, rng.NormFloat64()*20, rng.NormFloat64()*20),
+	})
+	return nil
+}
+
+// RepresentativeQueries returns the corpus indices of five query shapes
+// from five distinct groups — the Figure 6 role (one member each of the
+// plate, bracket, shaft, gear, and elbow families).
+func RepresentativeQueries(shapes []Shape) []int {
+	wanted := []int{1, 2, 4, 7, 8} // group ids: plate, L-bracket, stepped shaft, gear, pipe elbow
+	var out []int
+	for _, g := range wanted {
+		for i, s := range shapes {
+			if s.Group == g {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// GroupMembers returns the corpus indices of every member of group g.
+func GroupMembers(shapes []Shape, g int) []int {
+	var out []int
+	for i, s := range shapes {
+		if s.Group == g {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WriteCorpus saves every shape as an OFF file under dir plus a
+// classification map file ("name group" per line) — the on-disk form the
+// shapegen tool produces.
+func WriteCorpus(dir string, shapes []Shape) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var manifest []byte
+	for _, s := range shapes {
+		path := filepath.Join(dir, s.Name+".off")
+		if err := geom.WriteMeshFile(path, s.Mesh); err != nil {
+			return fmt.Errorf("dataset: writing %s: %w", path, err)
+		}
+		manifest = append(manifest, []byte(fmt.Sprintf("%s %d\n", s.Name, s.Group))...)
+	}
+	return os.WriteFile(filepath.Join(dir, "classification.map"), manifest, 0o644)
+}

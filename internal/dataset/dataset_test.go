@@ -1,0 +1,241 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"threedess/internal/geom"
+)
+
+func TestGroupSizeTableMatchesFigure4(t *testing.T) {
+	sizes := GroupSizesAscending()
+	if len(sizes) != NumGroups {
+		t.Fatalf("groups = %d, want %d", len(sizes), NumGroups)
+	}
+	sum := 0
+	for i, s := range sizes {
+		if s < 2 || s > 8 {
+			t.Errorf("group size %d out of the paper's 2..8 range", s)
+		}
+		if i > 0 && s < sizes[i-1] {
+			t.Error("sizes not ascending")
+		}
+		sum += s
+	}
+	if sum != 86 {
+		t.Errorf("grouped shapes = %d, want 86", sum)
+	}
+	if sum+NumNoise != TotalShapes || TotalShapes != 113 {
+		t.Errorf("corpus size = %d, want 113", sum+NumNoise)
+	}
+}
+
+func TestGroupSize(t *testing.T) {
+	if _, err := GroupSize(0); err == nil {
+		t.Error("group 0 accepted")
+	}
+	if _, err := GroupSize(27); err == nil {
+		t.Error("group 27 accepted")
+	}
+	s, err := GroupSize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 8 {
+		t.Errorf("group 1 size = %d, want 8", s)
+	}
+}
+
+func TestGenerateCorpus(t *testing.T) {
+	shapes, err := Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != TotalShapes {
+		t.Fatalf("generated %d shapes, want %d", len(shapes), TotalShapes)
+	}
+	// Group populations match the table; every mesh is valid with
+	// positive volume.
+	counts := map[int]int{}
+	names := map[string]bool{}
+	for i, s := range shapes {
+		counts[s.Group]++
+		if names[s.Name] {
+			t.Errorf("duplicate name %q", s.Name)
+		}
+		names[s.Name] = true
+		if err := s.Mesh.Validate(); err != nil {
+			t.Errorf("shape %d (%s): %v", i, s.Name, err)
+		}
+		if v := s.Mesh.Volume(); v <= 0 {
+			t.Errorf("shape %d (%s): volume %v", i, s.Name, v)
+		}
+		if len(s.Mesh.Faces) < 8 {
+			t.Errorf("shape %d (%s): only %d faces", i, s.Name, len(s.Mesh.Faces))
+		}
+	}
+	if counts[0] != NumNoise {
+		t.Errorf("noise count = %d, want %d", counts[0], NumNoise)
+	}
+	for g := 1; g <= NumGroups; g++ {
+		want, _ := GroupSize(g)
+		if counts[g] != want {
+			t.Errorf("group %d count = %d, want %d", g, counts[g], want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Group != b[i].Group {
+			t.Fatalf("shape %d metadata differs", i)
+		}
+		if len(a[i].Mesh.Vertices) != len(b[i].Mesh.Vertices) {
+			t.Fatalf("shape %d vertex count differs", i)
+		}
+		if a[i].Mesh.Vertices[0] != b[i].Mesh.Vertices[0] {
+			t.Fatalf("shape %d geometry differs", i)
+		}
+	}
+	c, err := Generate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := false
+	for i := range a {
+		if len(a[i].Mesh.Vertices) > 0 && len(c[i].Mesh.Vertices) > 0 &&
+			a[i].Mesh.Vertices[0] != c[i].Mesh.Vertices[0] {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGeneratedMeshesAreClosed(t *testing.T) {
+	shapes, err := Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shapes {
+		if !s.Mesh.IsClosed() {
+			t.Errorf("%s is not closed", s.Name)
+		}
+	}
+}
+
+func TestIntraGroupVariation(t *testing.T) {
+	// Members of a group must be similar but not identical: volumes within
+	// a factor, but not equal.
+	shapes, err := Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 1; g <= NumGroups; g++ {
+		members := GroupMembers(shapes, g)
+		if len(members) < 2 {
+			t.Fatalf("group %d has %d members", g, len(members))
+		}
+		v0 := shapes[members[0]].Mesh.Volume()
+		v1 := shapes[members[1]].Mesh.Volume()
+		if v0 == v1 {
+			t.Errorf("group %d members 0 and 1 have identical volume %v", g, v0)
+		}
+		ratio := v0 / v1
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > 8 {
+			t.Errorf("group %d volumes differ by %.1f× — not a similarity group", g, ratio)
+		}
+	}
+}
+
+func TestRepresentativeQueries(t *testing.T) {
+	shapes, err := Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := RepresentativeQueries(shapes)
+	if len(q) != 5 {
+		t.Fatalf("queries = %d, want 5", len(q))
+	}
+	seen := map[int]bool{}
+	for _, idx := range q {
+		g := shapes[idx].Group
+		if g == 0 {
+			t.Errorf("query %d is a noise shape", idx)
+		}
+		if seen[g] {
+			t.Errorf("two queries from group %d", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestWriteCorpus(t *testing.T) {
+	shapes, err := Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCorpus(dir, shapes[:5]); err != nil {
+		t.Fatal(err)
+	}
+	// Files exist and round-trip.
+	back, err := geom.ReadMeshFile(filepath.Join(dir, shapes[0].Name+".off"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Faces) != len(shapes[0].Mesh.Faces) {
+		t.Errorf("round trip faces %d vs %d", len(back.Faces), len(shapes[0].Mesh.Faces))
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "classification.map"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(manifest)), "\n")
+	if len(lines) != 5 {
+		t.Errorf("manifest lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], shapes[0].Name+" ") {
+		t.Errorf("manifest line %q", lines[0])
+	}
+}
+
+func TestGenerateMultiSeedRobustness(t *testing.T) {
+	// The generator must produce structurally sound corpora for any seed,
+	// not just the evaluation default.
+	for _, seed := range []int64{1, 7, 99, 12345} {
+		shapes, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(shapes) != TotalShapes {
+			t.Fatalf("seed %d: %d shapes", seed, len(shapes))
+		}
+		for _, s := range shapes {
+			if err := s.Mesh.Validate(); err != nil {
+				t.Errorf("seed %d %s: %v", seed, s.Name, err)
+			}
+			if !s.Mesh.IsClosed() {
+				t.Errorf("seed %d %s: not closed", seed, s.Name)
+			}
+			if v := s.Mesh.Volume(); v <= 0 {
+				t.Errorf("seed %d %s: volume %v", seed, s.Name, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,435 @@
+// Package dataset procedurally generates the evaluation corpus standing in
+// for the paper's 113 real engineering shapes: 86 models in 26 similarity
+// groups (sizes 2–8, matching Figure 4) plus 27 one-off "noisy" shapes
+// that belong to no group. Each group is a parametric part family —
+// brackets, flanges, gears, pipes, fasteners — whose members differ by the
+// dimension changes a manual classifier would still call "similar".
+//
+// Generation is deterministic for a given seed.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"threedess/internal/geom"
+)
+
+// partFamily generates variant i of a family; variation comes from rng.
+type partFamily struct {
+	name string
+	gen  func(rng *rand.Rand) (*geom.Mesh, error)
+}
+
+// jitter returns base scaled by a uniform factor in [1−spread, 1+spread].
+func jitter(rng *rand.Rand, base, spread float64) float64 {
+	return base * (1 + (rng.Float64()*2-1)*spread)
+}
+
+// segments returns the angular tessellation used across families.
+const segs = 28
+
+// families lists the 26 part families in group-id order (1-based group id
+// = index + 1). Group sizes are assigned in dataset.go.
+var families = []partFamily{
+	{"rect-plate-holes", genRectPlateHoles},
+	{"l-bracket", genLBracket},
+	{"u-channel", genUChannel},
+	{"stepped-shaft", genSteppedShaft},
+	{"washer", genWasher},
+	{"hex-nut", genHexNut},
+	{"gear", genGear},
+	{"pipe-elbow", genPipeElbow},
+	{"i-beam", genIBeam},
+	{"t-section", genTSection},
+	{"flange", genFlange},
+	{"bushing", genBushing},
+	{"pulley", genPulley},
+	{"bolt", genBolt},
+	{"ring", genRing},
+	{"handle", genHandle},
+	{"spring", genSpring},
+	{"pipe-tee", genPipeTee},
+	{"cone-adapter", genConeAdapter},
+	{"knob", genKnob},
+	{"square-tube", genSquareTube},
+	{"angle-bracket", genAngleBracket},
+	{"slotted-plate", genSlottedPlate},
+	{"spacer-block", genSpacerBlock},
+	{"disc", genDisc},
+	{"cross-pipe", genCrossPipe},
+}
+
+func genRectPlateHoles(rng *rand.Rand) (*geom.Mesh, error) {
+	w := jitter(rng, 40, 0.07)
+	h := jitter(rng, 24, 0.07)
+	t := jitter(rng, 3, 0.07)
+	r := jitter(rng, 3, 0.07)
+	nHoles := 2 + rng.Intn(3)
+	outer := geom.RectPolygon(0, 0, w, h)
+	var holes []geom.Polygon
+	for i := 0; i < nHoles; i++ {
+		cx := w * (0.2 + 0.6*float64(i)/float64(maxi(nHoles-1, 1)))
+		cy := h * (0.35 + 0.3*rng.Float64())
+		holes = append(holes, geom.CirclePolygon(geom.Vec2{X: cx, Y: cy}, r, 20, rng.Float64()))
+	}
+	return geom.Extrude(outer, holes, 0, t)
+}
+
+func genLBracket(rng *rand.Rand) (*geom.Mesh, error) {
+	a := jitter(rng, 30, 0.07) // leg 1 length
+	b := jitter(rng, 22, 0.07) // leg 2 length
+	t := jitter(rng, 4, 0.09)  // thickness
+	w := jitter(rng, 16, 0.07) // width (extrusion depth)
+	profile := geom.Poly(0, 0, a, 0, a, t, t, t, t, b, 0, b)
+	return geom.Extrude(profile, nil, 0, w)
+}
+
+func genUChannel(rng *rand.Rand) (*geom.Mesh, error) {
+	w := jitter(rng, 20, 0.07)
+	h := jitter(rng, 14, 0.07)
+	t := jitter(rng, 2.5, 0.07)
+	length := jitter(rng, 50, 0.09)
+	profile := geom.Poly(0, 0, w, 0, w, h, w-t, h, w-t, t, t, t, t, h, 0, h)
+	return geom.Extrude(profile, nil, 0, length)
+}
+
+func genSteppedShaft(rng *rand.Rand) (*geom.Mesh, error) {
+	r1 := jitter(rng, 6, 0.07)
+	r2 := jitter(rng, 4, 0.07)
+	r3 := jitter(rng, 2.5, 0.07)
+	l1 := jitter(rng, 12, 0.07)
+	l2 := jitter(rng, 14, 0.07)
+	l3 := jitter(rng, 10, 0.07)
+	profile := geom.Poly(0, 0, r1, 0, r1, l1, r2, l1, r2, l1+l2, r3, l1+l2, r3, l1+l2+l3, 0, l1+l2+l3)
+	return geom.Lathe(profile, segs)
+}
+
+func genWasher(rng *rand.Rand) (*geom.Mesh, error) {
+	ri := jitter(rng, 5, 0.07)
+	ro := ri + jitter(rng, 10, 0.09)
+	t := jitter(rng, 3, 0.07)
+	return geom.Tube(ri, ro, t, segs)
+}
+
+func genHexNut(rng *rand.Rand) (*geom.Mesh, error) {
+	af := jitter(rng, 12, 0.07)
+	h := jitter(rng, 5, 0.09)
+	hole := af * jitter(rng, 0.35, 0.1)
+	return geom.HexPrism(af, h, []geom.Polygon{geom.CirclePolygon(geom.Vec2{}, hole, 18, 0)})
+}
+
+func genGear(rng *rand.Rand) (*geom.Mesh, error) {
+	teeth := 8 + rng.Intn(6)
+	rRoot := jitter(rng, 14, 0.07)
+	rTip := rRoot * jitter(rng, 1.25, 0.07)
+	t := jitter(rng, 3.5, 0.07)
+	bore := rRoot * 0.3
+	n := teeth * 4
+	outer := make(geom.Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		// Square-wave tooth profile.
+		r := rRoot
+		if (i/2)%2 == 0 {
+			r = rTip
+		}
+		outer = append(outer, geom.Vec2{X: r * math.Cos(a), Y: r * math.Sin(a)})
+	}
+	hole := geom.CirclePolygon(geom.Vec2{}, bore, 16, 0)
+	return geom.Extrude(outer, []geom.Polygon{hole}, 0, t)
+}
+
+func genPipeElbow(rng *rand.Rand) (*geom.Mesh, error) {
+	bend := jitter(rng, 20, 0.07)      // bend radius
+	r := jitter(rng, 4, 0.07)          // pipe radius
+	sweep := jitter(rng, math.Pi/2, 0) // 90° elbow
+	n := 24
+	path := make([]geom.Vec3, 0, n+1)
+	for i := 0; i <= n; i++ {
+		a := sweep * float64(i) / float64(n)
+		path = append(path, geom.V(bend*math.Cos(a), bend*math.Sin(a), 0))
+	}
+	return geom.TubeAlongPath(path, r, 20, false)
+}
+
+func genIBeam(rng *rand.Rand) (*geom.Mesh, error) {
+	w := jitter(rng, 20, 0.07)   // flange width
+	h := jitter(rng, 16, 0.07)   // total height
+	tf := jitter(rng, 3, 0.07)   // flange thickness
+	tw := jitter(rng, 2.5, 0.07) // web thickness
+	length := jitter(rng, 50, 0.09)
+	x0 := (w - tw) / 2
+	x1 := (w + tw) / 2
+	profile := geom.Poly(0, 0, w, 0, w, tf, x1, tf, x1, h-tf, w, h-tf, w, h, 0, h, 0, h-tf, x0, h-tf, x0, tf, 0, tf)
+	return geom.Extrude(profile, nil, 0, length)
+}
+
+func genTSection(rng *rand.Rand) (*geom.Mesh, error) {
+	w := jitter(rng, 20, 0.07)
+	h := jitter(rng, 15, 0.07)
+	t := jitter(rng, 3.5, 0.07)
+	length := jitter(rng, 50, 0.09)
+	x0 := (w - t) / 2
+	x1 := (w + t) / 2
+	profile := geom.Poly(x0, 0, x1, 0, x1, h-t, w, h-t, w, h, 0, h, 0, h-t, x0, h-t)
+	return geom.Extrude(profile, nil, 0, length)
+}
+
+func genFlange(rng *rand.Rand) (*geom.Mesh, error) {
+	rOuter := jitter(rng, 18, 0.07)
+	rBore := jitter(rng, 6, 0.07)
+	t := jitter(rng, 4, 0.07)
+	nBolts := 4 + rng.Intn(3)
+	rBoltCircle := (rOuter + rBore) / 2
+	rBolt := jitter(rng, 1.8, 0.07)
+	outer := geom.CirclePolygon(geom.Vec2{}, rOuter, 36, 0)
+	holes := []geom.Polygon{geom.CirclePolygon(geom.Vec2{}, rBore, 24, 0)}
+	for i := 0; i < nBolts; i++ {
+		a := 2 * math.Pi * float64(i) / float64(nBolts)
+		c := geom.Vec2{X: rBoltCircle * math.Cos(a), Y: rBoltCircle * math.Sin(a)}
+		holes = append(holes, geom.CirclePolygon(c, rBolt, 12, a))
+	}
+	return geom.Extrude(outer, holes, 0, t)
+}
+
+func genBushing(rng *rand.Rand) (*geom.Mesh, error) {
+	ri := jitter(rng, 4, 0.07)
+	ro := ri + jitter(rng, 2.5, 0.09)
+	h := jitter(rng, 14, 0.09)
+	return geom.Tube(ri, ro, h, segs)
+}
+
+func genPulley(rng *rand.Rand) (*geom.Mesh, error) {
+	r := jitter(rng, 14, 0.07)     // outer radius
+	groove := jitter(rng, 3, 0.07) // groove depth
+	w := jitter(rng, 8, 0.07)      // width
+	bore := jitter(rng, 3, 0.07)
+	profile := geom.Poly(bore, 0, r, 0, r, w*0.25, r-groove, w*0.5, r, w*0.75, r, w, bore, w)
+	return geom.Lathe(profile, segs)
+}
+
+func genBolt(rng *rand.Rand) (*geom.Mesh, error) {
+	rShank := jitter(rng, 3, 0.07)
+	lShank := jitter(rng, 20, 0.09)
+	afHead := rShank * jitter(rng, 3.2, 0.1)
+	hHead := jitter(rng, 4, 0.07)
+	head, err := geom.HexPrism(afHead, hHead, nil)
+	if err != nil {
+		return nil, err
+	}
+	shank := geom.Cylinder(rShank, lShank, 20)
+	shank.Translate(geom.V(0, 0, hHead))
+	return head.Merge(shank), nil
+}
+
+func genRing(rng *rand.Rand) (*geom.Mesh, error) {
+	major := jitter(rng, 14, 0.07)
+	minor := major * jitter(rng, 0.22, 0.07)
+	return geom.Torus(major, minor, 32, 16)
+}
+
+func genHandle(rng *rand.Rand) (*geom.Mesh, error) {
+	// A U-shaped grab handle: straight–arc–straight path.
+	leg := jitter(rng, 15, 0.07)
+	span := jitter(rng, 25, 0.07)
+	r := jitter(rng, 2.5, 0.07)
+	var path []geom.Vec3
+	path = append(path, geom.V(0, 0, 0), geom.V(0, 0, leg))
+	n := 12
+	for i := 1; i < n; i++ {
+		a := math.Pi * float64(i) / float64(n)
+		path = append(path, geom.V(span/2-span/2*math.Cos(a), 0, leg+span/2*math.Sin(a)*0.8))
+	}
+	path = append(path, geom.V(span, 0, leg), geom.V(span, 0, 0))
+	return geom.TubeAlongPath(path, r, 16, false)
+}
+
+func genSpring(rng *rand.Rand) (*geom.Mesh, error) {
+	coils := 3 + rng.Intn(3)
+	rCoil := jitter(rng, 10, 0.07)
+	rWire := jitter(rng, 1.6, 0.07)
+	pitch := jitter(rng, 6, 0.07)
+	n := coils * 16
+	path := make([]geom.Vec3, 0, n+1)
+	for i := 0; i <= n; i++ {
+		a := 2 * math.Pi * float64(coils) * float64(i) / float64(n)
+		path = append(path, geom.V(rCoil*math.Cos(a), rCoil*math.Sin(a), pitch*float64(coils)*float64(i)/float64(n)))
+	}
+	return geom.TubeAlongPath(path, rWire, 12, false)
+}
+
+func genPipeTee(rng *rand.Rand) (*geom.Mesh, error) {
+	// Two overlapping solid cylinders forming a T. Signed integrals count
+	// the small overlap twice; winding-based voxelization fills it once.
+	r := jitter(rng, 4, 0.07)
+	lMain := jitter(rng, 36, 0.07)
+	lBranch := jitter(rng, 18, 0.07)
+	main := geom.Cylinder(r, lMain, 20)
+	branch := geom.Cylinder(r, lBranch, 20)
+	branch.Rotate(geom.RotationY(math.Pi / 2))
+	branch.Translate(geom.V(0, 0, lMain/2))
+	return main.Merge(branch), nil
+}
+
+func genConeAdapter(rng *rand.Rand) (*geom.Mesh, error) {
+	r0 := jitter(rng, 12, 0.07)
+	r1 := jitter(rng, 6, 0.07)
+	h := jitter(rng, 16, 0.07)
+	wall := jitter(rng, 2, 0.07)
+	profile := geom.Poly(r0-wall, 0, r0, 0, r1, h, r1-wall, h)
+	return geom.Lathe(profile, segs)
+}
+
+func genKnob(rng *rand.Rand) (*geom.Mesh, error) {
+	rBase := jitter(rng, 10, 0.07)
+	hBase := jitter(rng, 4, 0.07)
+	rNeck := jitter(rng, 4, 0.07)
+	hNeck := jitter(rng, 6, 0.07)
+	rTop := jitter(rng, 7, 0.07)
+	profile := geom.Poly(0, 0, rBase, 0, rBase, hBase, rNeck, hBase, rNeck, hBase+hNeck, rTop, hBase+hNeck+rTop*0.6, rTop*0.7, hBase+hNeck+rTop*1.3, 0, hBase+hNeck+rTop*1.5)
+	return geom.Lathe(profile, segs)
+}
+
+func genSquareTube(rng *rand.Rand) (*geom.Mesh, error) {
+	w := jitter(rng, 18, 0.07)
+	t := jitter(rng, 2, 0.07)
+	length := jitter(rng, 50, 0.09)
+	outer := geom.RectPolygon(0, 0, w, w)
+	inner := geom.RectPolygon(t, t, w-t, w-t)
+	return geom.Extrude(outer, []geom.Polygon{inner}, 0, length)
+}
+
+func genAngleBracket(rng *rand.Rand) (*geom.Mesh, error) {
+	a := jitter(rng, 30, 0.07)
+	t := jitter(rng, 4, 0.07)
+	w := jitter(rng, 16, 0.07)
+	rHole := jitter(rng, 2.5, 0.07)
+	// Horizontal leg with two holes, then a vertical leg merged on.
+	leg1, err := geom.Extrude(geom.RectPolygon(0, 0, a, w), []geom.Polygon{
+		geom.CirclePolygon(geom.Vec2{X: a * 0.4, Y: w / 2}, rHole, 14, 0),
+		geom.CirclePolygon(geom.Vec2{X: a * 0.8, Y: w / 2}, rHole, 14, 0.5),
+	}, 0, t)
+	if err != nil {
+		return nil, err
+	}
+	b := jitter(rng, 22, 0.07)
+	leg2, err := geom.Extrude(geom.RectPolygon(0, 0, t, w), nil, 0, b)
+	if err != nil {
+		return nil, err
+	}
+	leg2.Translate(geom.V(0, 0, t))
+	return leg1.Merge(leg2), nil
+}
+
+func genSlottedPlate(rng *rand.Rand) (*geom.Mesh, error) {
+	w := jitter(rng, 40, 0.07)
+	h := jitter(rng, 24, 0.07)
+	t := jitter(rng, 3, 0.07)
+	slotW := jitter(rng, 20, 0.07)
+	slotH := jitter(rng, 5, 0.07)
+	outer := geom.RectPolygon(0, 0, w, h)
+	// A rounded slot approximated by a stadium polygon.
+	cx, cy := w/2, h/2
+	slot := stadiumPolygon(geom.Vec2{X: cx, Y: cy}, slotW, slotH, 8)
+	return geom.Extrude(outer, []geom.Polygon{slot}, 0, t)
+}
+
+// stadiumPolygon returns a slot outline (rectangle with semicircular ends).
+func stadiumPolygon(c geom.Vec2, width, height float64, arcSegs int) geom.Polygon {
+	r := height / 2
+	half := width/2 - r
+	if half < 0 {
+		half = 0
+	}
+	var p geom.Polygon
+	// Right cap (bottom to top).
+	for i := 0; i <= arcSegs; i++ {
+		a := -math.Pi/2 + math.Pi*float64(i)/float64(arcSegs)
+		p = append(p, geom.Vec2{X: c.X + half + r*math.Cos(a), Y: c.Y + r*math.Sin(a)})
+	}
+	// Left cap (top to bottom).
+	for i := 0; i <= arcSegs; i++ {
+		a := math.Pi/2 + math.Pi*float64(i)/float64(arcSegs)
+		p = append(p, geom.Vec2{X: c.X - half + r*math.Cos(a), Y: c.Y + r*math.Sin(a)})
+	}
+	return p
+}
+
+func genSpacerBlock(rng *rand.Rand) (*geom.Mesh, error) {
+	w := jitter(rng, 13, 0.07)
+	d := jitter(rng, 13, 0.07)
+	h := jitter(rng, 5, 0.09)
+	rHole := jitter(rng, 4, 0.07)
+	outer := geom.RectPolygon(0, 0, w, d)
+	hole := geom.CirclePolygon(geom.Vec2{X: w / 2, Y: d / 2}, rHole, 18, 0)
+	return geom.Extrude(outer, []geom.Polygon{hole}, 0, h)
+}
+
+func genDisc(rng *rand.Rand) (*geom.Mesh, error) {
+	r := jitter(rng, 16, 0.07)
+	t := jitter(rng, 4, 0.07)
+	return geom.Cylinder(r, t, 36), nil
+}
+
+func genCrossPipe(rng *rand.Rand) (*geom.Mesh, error) {
+	r := jitter(rng, 3.5, 0.07)
+	l := jitter(rng, 30, 0.07)
+	a := geom.Cylinder(r, l, 18)
+	a.Translate(geom.V(0, 0, -l/2))
+	b := geom.Cylinder(r, l, 18)
+	b.Rotate(geom.RotationY(math.Pi / 2))
+	b.Translate(geom.V(-l/2, 0, 0))
+	return a.Merge(b), nil
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// noiseShape generates the i-th one-off noisy shape.
+func noiseShape(i int, rng *rand.Rand) (*geom.Mesh, error) {
+	switch i % 9 {
+	case 0: // random slab
+		return geom.Box(geom.Vec3{}, geom.V(jitter(rng, 30, 0.5), jitter(rng, 18, 0.5), jitter(rng, 6, 0.5))), nil
+	case 1: // squashed ellipsoid (scaled sphere)
+		m := geom.Sphere(jitter(rng, 10, 0.3), 12, 18)
+		m.Transform(geom.Transform{R: geom.Mat3{
+			{jitter(rng, 1.6, 0.3), 0, 0},
+			{0, jitter(rng, 1.0, 0.3), 0},
+			{0, 0, jitter(rng, 0.5, 0.3)},
+		}})
+		return m, nil
+	case 2: // tall cone
+		return geom.Cone(jitter(rng, 8, 0.3), jitter(rng, 2, 0.5), jitter(rng, 26, 0.3), 20)
+	case 3: // fat torus
+		major := jitter(rng, 10, 0.2)
+		return geom.Torus(major, major*jitter(rng, 0.45, 0.1), 24, 14)
+	case 4: // two stacked boxes
+		a := geom.Box(geom.Vec3{}, geom.V(jitter(rng, 20, 0.3), jitter(rng, 20, 0.3), jitter(rng, 5, 0.3)))
+		b := geom.Box(geom.Vec3{}, geom.V(jitter(rng, 8, 0.3), jitter(rng, 8, 0.3), jitter(rng, 14, 0.3)))
+		b.Translate(geom.V(2, 2, 5))
+		return a.Merge(b), nil
+	case 5: // random wedge (extruded triangle)
+		return geom.Extrude(geom.Poly(0, 0, jitter(rng, 25, 0.3), 0, jitter(rng, 8, 0.5), jitter(rng, 16, 0.3)), nil, 0, jitter(rng, 8, 0.3))
+	case 6: // random bent pipe (135°)
+		bend := jitter(rng, 15, 0.3)
+		n := 20
+		path := make([]geom.Vec3, 0, n+1)
+		for j := 0; j <= n; j++ {
+			a := 0.75 * math.Pi * float64(j) / float64(n)
+			path = append(path, geom.V(bend*math.Cos(a), bend*math.Sin(a), jitter(rng, 4, 0.5)*float64(j)/float64(n)))
+		}
+		return geom.TubeAlongPath(path, jitter(rng, 2.5, 0.3), 14, false)
+	case 7: // pyramid-ish frustum prism
+		w := jitter(rng, 20, 0.3)
+		return geom.Extrude(geom.Poly(0, 0, w, 0, w*0.8, w*0.6, w*0.2, w*0.6), nil, 0, jitter(rng, 10, 0.4))
+	default: // hockey-puck with off-center hole
+		r := jitter(rng, 12, 0.3)
+		hole := geom.CirclePolygon(geom.Vec2{X: r * 0.4, Y: 0}, r*jitter(rng, 0.2, 0.3), 14, 0)
+		return geom.Extrude(geom.CirclePolygon(geom.Vec2{}, r, 28, 0), []geom.Polygon{hole}, 0, jitter(rng, 5, 0.4))
+	}
+}

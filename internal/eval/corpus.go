@@ -1,0 +1,128 @@
+// Package eval implements the paper's evaluation methodology (§4):
+// precision/recall over the manually-classified 113-shape corpus,
+// threshold-swept precision-recall curves for representative queries
+// (Figures 8–12), the one-shot vs multi-step comparison (Figures 13–16),
+// and the R-tree efficiency measurements of §2.3.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"threedess/internal/core"
+	"threedess/internal/dataset"
+	"threedess/internal/features"
+	"threedess/internal/shapedb"
+)
+
+// Corpus is the evaluation database: the generated 113-shape corpus with
+// all descriptors extracted and indexed, plus the ground-truth
+// classification map.
+type Corpus struct {
+	DB     *shapedb.DB
+	Engine *core.Engine
+	// IDByIndex maps corpus indices (dataset.Generate order) to DB ids.
+	IDByIndex []int64
+	// Shapes holds the generated metadata (meshes included).
+	Shapes []dataset.Shape
+}
+
+// BuildCorpus generates the corpus with the given seed, extracts the
+// requested feature kinds for every shape in parallel, and loads an
+// in-memory database. kinds nil means the four core descriptors.
+func BuildCorpus(seed int64, opts features.Options, kinds []features.Kind) (*Corpus, error) {
+	if kinds == nil {
+		kinds = features.CoreKinds
+	}
+	shapes, err := dataset.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	ext := features.NewExtractor(opts)
+
+	sets := make([]features.Set, len(shapes))
+	errs := make([]error, len(shapes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range shapes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sets[i], errs[i] = ext.Extract(shapes[i].Mesh, kinds)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("eval: extracting %s: %w", shapes[i].Name, err)
+		}
+	}
+
+	db, err := shapedb.Open("", opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{
+		DB:        db,
+		Engine:    core.NewEngine(db),
+		IDByIndex: make([]int64, len(shapes)),
+		Shapes:    shapes,
+	}
+	for i, s := range shapes {
+		id, err := db.Insert(s.Name, s.Group, s.Mesh, sets[i])
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("eval: inserting %s: %w", s.Name, err)
+		}
+		c.IDByIndex[i] = id
+	}
+	return c, nil
+}
+
+// Close releases the corpus database.
+func (c *Corpus) Close() error { return c.DB.Close() }
+
+// RelevantSet returns the ground-truth relevant shapes for a query id:
+// the other members of its group ("we do not count the query shape
+// itself"). Noise shapes have an empty relevant set.
+func (c *Corpus) RelevantSet(queryID int64) map[int64]bool {
+	group := c.DB.GroupOf(queryID)
+	out := map[int64]bool{}
+	if group == 0 {
+		return out
+	}
+	for _, id := range c.DB.GroupMembers(group) {
+		if id != queryID {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// GroupQueryIDs returns one query per group (the first member of each of
+// the 26 groups) — the paper's "from each of the twenty six groups,
+// choose one shape as query model".
+func (c *Corpus) GroupQueryIDs() []int64 {
+	out := make([]int64, 0, dataset.NumGroups)
+	for g := 1; g <= dataset.NumGroups; g++ {
+		members := c.DB.GroupMembers(g)
+		if len(members) > 0 {
+			out = append(out, members[0])
+		}
+	}
+	return out
+}
+
+// RepresentativeQueryIDs returns the DB ids of the five Figure-6
+// representative query shapes.
+func (c *Corpus) RepresentativeQueryIDs() []int64 {
+	idxs := dataset.RepresentativeQueries(c.Shapes)
+	out := make([]int64, len(idxs))
+	for i, idx := range idxs {
+		out[i] = c.IDByIndex[idx]
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package eval
+
+import (
+	"fmt"
+
+	"threedess/internal/core"
+	"threedess/internal/features"
+)
+
+// Strategy is one retrieval strategy of the Figure 15/16 comparison:
+// either a one-shot search with a single feature vector or the multi-step
+// refinement sequence.
+type Strategy struct {
+	Name  string
+	Kind  features.Kind // one-shot feature (when Steps is empty)
+	Steps []core.Step   // multi-step sequence (overrides Kind when set)
+}
+
+// IsMultiStep reports whether the strategy is a multi-step sequence.
+func (s Strategy) IsMultiStep() bool { return len(s.Steps) > 0 }
+
+// PaperStrategies returns the five strategies of Figures 15–16: the four
+// one-shot feature vectors in the paper's order, and the multi-step
+// strategy. The multi-step configuration narrows the candidate set with
+// principal moments and re-ranks the survivors by the skeletal-graph
+// eigenvalues — the two most complementary descriptors on this corpus
+// (mass distribution + topology), exercising exactly the synergy the
+// paper's conclusion calls for ("other information is required to improve
+// the selectiveness of the eigenvalues"). The paper's own Figure 13/14
+// example sequence (moment invariants → geometric parameters) is provided
+// by MultiStepMIGP.
+func PaperStrategies() []Strategy {
+	return []Strategy{
+		{Name: "moment-invariants (one-shot)", Kind: features.MomentInvariants},
+		{Name: "geometric-params (one-shot)", Kind: features.GeometricParams},
+		{Name: "principal-moments (one-shot)", Kind: features.PrincipalMoments},
+		{Name: "eigenvalues (one-shot)", Kind: features.Eigenvalues},
+		{Name: "multi-step (PM → eigenvalues)", Steps: MultiStepPMEig()},
+	}
+}
+
+// MultiStepPMEig is the Figure-15 multi-step configuration: retrieve by
+// principal moments, keep the best 15, re-rank by eigenvalues.
+func MultiStepPMEig() []core.Step {
+	return []core.Step{
+		{Feature: features.PrincipalMoments, Keep: 15},
+		{Feature: features.Eigenvalues},
+	}
+}
+
+// MultiStepMIGP is the paper's §4.2 example sequence (Figures 13–14):
+// retrieve by moment invariants, re-rank by geometric parameters.
+func MultiStepMIGP() []core.Step {
+	return []core.Step{
+		{Feature: features.MomentInvariants},
+		{Feature: features.GeometricParams},
+	}
+}
+
+// Retrieve runs the strategy for queryID, returning exactly k results with
+// the query shape excluded. Multi-step uses the paper's candidate size of
+// 30 (plus one to absorb the query shape itself).
+func (c *Corpus) Retrieve(queryID int64, s Strategy, k int) ([]core.Result, error) {
+	query, err := c.Engine.QueryFeatures(queryID)
+	if err != nil {
+		return nil, err
+	}
+	var res []core.Result
+	if s.IsMultiStep() {
+		res, err = c.Engine.SearchMultiStep(query, core.MultiStepOptions{
+			Steps:         s.Steps,
+			CandidateSize: 31,
+			K:             k + 1,
+		})
+	} else {
+		res, err = c.Engine.SearchTopK(query, core.Options{Feature: s.Kind, K: k + 1})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("eval: strategy %q: %w", s.Name, err)
+	}
+	res = core.ExcludeID(res, queryID)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res, nil
+}
+
+// EffectivenessRow aggregates one strategy's average precision and recall
+// over the 26 group queries, under both retrieval policies of §4.2:
+// retrieve as many shapes as the group size (where precision = recall),
+// and retrieve a fixed 10 shapes.
+type EffectivenessRow struct {
+	Strategy Strategy
+	// AvgRecallGroupSize is the |R| = |A| policy (Figure 15, first
+	// series; precision equals recall here).
+	AvgRecallGroupSize float64
+	// AvgRecallAt10 and AvgPrecisionAt10 are the |R| = 10 policy
+	// (Figure 15 second series and Figure 16).
+	AvgRecallAt10    float64
+	AvgPrecisionAt10 float64
+}
+
+// AverageEffectiveness runs every strategy over the 26 group queries —
+// the Figure 15/16 experiment.
+func (c *Corpus) AverageEffectiveness(strategies []Strategy) ([]EffectivenessRow, error) {
+	if strategies == nil {
+		strategies = PaperStrategies()
+	}
+	queries := c.GroupQueryIDs()
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("eval: corpus has no group queries")
+	}
+	rows := make([]EffectivenessRow, 0, len(strategies))
+	for _, s := range strategies {
+		var sumGS, sumR10, sumP10 float64
+		for _, qid := range queries {
+			relevant := c.RelevantSet(qid)
+			// Policy 1: |R| = |A|.
+			kGS := len(relevant)
+			if kGS > 0 {
+				res, err := c.Retrieve(qid, s, kGS)
+				if err != nil {
+					return nil, err
+				}
+				_, r := PrecisionRecall(resultIDs(res), relevant)
+				sumGS += r
+			}
+			// Policy 2: |R| = 10.
+			res, err := c.Retrieve(qid, s, 10)
+			if err != nil {
+				return nil, err
+			}
+			p, r := PrecisionRecall(resultIDs(res), relevant)
+			sumP10 += p
+			sumR10 += r
+		}
+		n := float64(len(queries))
+		rows = append(rows, EffectivenessRow{
+			Strategy:           s,
+			AvgRecallGroupSize: sumGS / n,
+			AvgRecallAt10:      sumR10 / n,
+			AvgPrecisionAt10:   sumP10 / n,
+		})
+	}
+	return rows, nil
+}
+
+// MultiStepExample reproduces the Figure 13/14 comparison for one query:
+// the one-shot baseline (principal moments in the paper) versus the
+// multi-step strategy, both retrieving 30 candidates and presenting 10.
+type MultiStepExample struct {
+	QueryID                         int64
+	OneShotPrecision, OneShotRecall float64
+	MultiPrecision, MultiRecall     float64
+	OneShot, Multi                  []core.Result
+}
+
+// RunMultiStepExample executes the comparison.
+func (c *Corpus) RunMultiStepExample(queryID int64, oneShot features.Kind, steps []core.Step) (*MultiStepExample, error) {
+	relevant := c.RelevantSet(queryID)
+	one, err := c.Retrieve(queryID, Strategy{Name: "one-shot", Kind: oneShot}, 10)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := c.Retrieve(queryID, Strategy{Name: "multi-step", Steps: steps}, 10)
+	if err != nil {
+		return nil, err
+	}
+	ex := &MultiStepExample{QueryID: queryID, OneShot: one, Multi: multi}
+	ex.OneShotPrecision, ex.OneShotRecall = PrecisionRecall(resultIDs(one), relevant)
+	ex.MultiPrecision, ex.MultiRecall = PrecisionRecall(resultIDs(multi), relevant)
+	return ex, nil
+}

@@ -1,0 +1,306 @@
+package eval
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"threedess/internal/dataset"
+	"threedess/internal/features"
+)
+
+// The corpus takes a few seconds to extract; share one across tests.
+var (
+	corpusOnce sync.Once
+	corpus     *Corpus
+	corpusErr  error
+)
+
+func sharedCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	corpusOnce.Do(func() {
+		corpus, corpusErr = BuildCorpus(42, features.Options{}, nil)
+	})
+	if corpusErr != nil {
+		t.Fatal(corpusErr)
+	}
+	return corpus
+}
+
+func TestBuildCorpus(t *testing.T) {
+	c := sharedCorpus(t)
+	if c.DB.Len() != dataset.TotalShapes {
+		t.Fatalf("DB has %d shapes, want %d", c.DB.Len(), dataset.TotalShapes)
+	}
+	if len(c.IDByIndex) != dataset.TotalShapes {
+		t.Fatalf("IDByIndex = %d", len(c.IDByIndex))
+	}
+	for i, id := range c.IDByIndex {
+		rec, ok := c.DB.Get(id)
+		if !ok {
+			t.Fatalf("index %d id %d missing", i, id)
+		}
+		if rec.Name != c.Shapes[i].Name {
+			t.Fatalf("index %d name %q vs %q", i, rec.Name, c.Shapes[i].Name)
+		}
+		for _, k := range features.CoreKinds {
+			if _, ok := rec.Features[k]; !ok {
+				t.Fatalf("shape %s missing feature %v", rec.Name, k)
+			}
+		}
+	}
+}
+
+func TestRelevantSet(t *testing.T) {
+	c := sharedCorpus(t)
+	queries := c.GroupQueryIDs()
+	if len(queries) != dataset.NumGroups {
+		t.Fatalf("group queries = %d", len(queries))
+	}
+	for _, qid := range queries {
+		g := c.DB.GroupOf(qid)
+		size, _ := dataset.GroupSize(g)
+		rel := c.RelevantSet(qid)
+		if len(rel) != size-1 {
+			t.Errorf("group %d relevant set = %d, want %d", g, len(rel), size-1)
+		}
+		if rel[qid] {
+			t.Errorf("query %d in its own relevant set", qid)
+		}
+	}
+	// A noise shape has no relevant set.
+	var noiseID int64 = -1
+	for i, s := range c.Shapes {
+		if s.Group == 0 {
+			noiseID = c.IDByIndex[i]
+			break
+		}
+	}
+	if noiseID == -1 {
+		t.Fatal("no noise shape found")
+	}
+	if got := c.RelevantSet(noiseID); len(got) != 0 {
+		t.Errorf("noise relevant set = %d", len(got))
+	}
+}
+
+func TestPrecisionRecallFunction(t *testing.T) {
+	rel := map[int64]bool{1: true, 2: true, 3: true, 4: true}
+	p, r := PrecisionRecall([]int64{1, 2, 9, 10}, rel)
+	if p != 0.5 || r != 0.5 {
+		t.Errorf("P=%v R=%v, want 0.5/0.5", p, r)
+	}
+	p, r = PrecisionRecall(nil, rel)
+	if p != 0 || r != 0 {
+		t.Errorf("empty retrieval P=%v R=%v", p, r)
+	}
+	p, r = PrecisionRecall([]int64{9}, map[int64]bool{})
+	if p != 0 || r != 0 {
+		t.Errorf("empty relevant P=%v R=%v", p, r)
+	}
+	p, r = PrecisionRecall([]int64{1, 2, 3, 4}, rel)
+	if p != 1 || r != 1 {
+		t.Errorf("perfect P=%v R=%v", p, r)
+	}
+}
+
+func TestPRCurveEndpoints(t *testing.T) {
+	c := sharedCorpus(t)
+	qid := c.RepresentativeQueryIDs()[0]
+	curve, err := c.PRCurve(qid, features.PrincipalMoments, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 21 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	// Threshold 0 retrieves everything: recall 1, precision = |A|/112.
+	first := curve[0]
+	if first.Recall != 1 {
+		t.Errorf("recall at threshold 0 = %v", first.Recall)
+	}
+	rel := len(c.RelevantSet(qid))
+	wantP := float64(rel) / float64(dataset.TotalShapes-1)
+	if math.Abs(first.Precision-wantP) > 1e-9 {
+		t.Errorf("precision at threshold 0 = %v, want %v", first.Precision, wantP)
+	}
+	// Retrieved counts weakly decrease as the threshold rises; P and R
+	// stay in range.
+	for i, pt := range curve {
+		if pt.Precision < 0 || pt.Precision > 1 || pt.Recall < 0 || pt.Recall > 1 {
+			t.Errorf("point %d out of range: %+v", i, pt)
+		}
+		if i > 0 && pt.Retrieved > curve[i-1].Retrieved {
+			t.Errorf("retrieved count increased with threshold at %d", i)
+		}
+	}
+}
+
+func TestPRCurvesAllRepresentatives(t *testing.T) {
+	c := sharedCorpus(t)
+	curves, err := c.PRCurves(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 5 {
+		t.Fatalf("queries = %d", len(curves))
+	}
+	for qid, byKind := range curves {
+		if len(byKind) != len(features.CoreKinds) {
+			t.Errorf("query %d has %d kinds", qid, len(byKind))
+		}
+	}
+}
+
+func TestThresholdQueryExample(t *testing.T) {
+	c := sharedCorpus(t)
+	qid := c.RepresentativeQueryIDs()[0]
+	p, r, res, err := c.ThresholdQueryExample(qid, features.MomentInvariants, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0 || p > 1 || r < 0 || r > 1 {
+		t.Errorf("P=%v R=%v", p, r)
+	}
+	for _, rr := range res {
+		if rr.ID == qid {
+			t.Error("query shape in results")
+		}
+		if rr.Similarity < 0.85-1e-9 {
+			t.Errorf("similarity %v below threshold", rr.Similarity)
+		}
+	}
+}
+
+func TestRetrieveExcludesQueryAndSizes(t *testing.T) {
+	c := sharedCorpus(t)
+	qid := c.GroupQueryIDs()[0]
+	for _, s := range PaperStrategies() {
+		res, err := c.Retrieve(qid, s, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(res) != 10 {
+			t.Errorf("%s: retrieved %d, want 10", s.Name, len(res))
+		}
+		for _, r := range res {
+			if r.ID == qid {
+				t.Errorf("%s: query shape retrieved", s.Name)
+			}
+		}
+	}
+}
+
+func TestAverageEffectiveness(t *testing.T) {
+	c := sharedCorpus(t)
+	rows, err := c.AverageEffectiveness(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]EffectivenessRow{}
+	for _, row := range rows {
+		byName[row.Strategy.Name] = row
+		for _, v := range []float64{row.AvgRecallGroupSize, row.AvgRecallAt10, row.AvgPrecisionAt10} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Errorf("%s: out-of-range metric %v", row.Strategy.Name, v)
+			}
+		}
+		// With |R|=10 > |A| for every group, recall ≥ precision·(10/|A|) —
+		// weaker sanity: recall ≥ precision (since |A| ≤ 7 < 10).
+		if row.AvgRecallAt10 < row.AvgPrecisionAt10-1e-9 {
+			t.Errorf("%s: recall@10 %v < precision@10 %v", row.Strategy.Name,
+				row.AvgRecallAt10, row.AvgPrecisionAt10)
+		}
+	}
+	// The paper's ordering of one-shot effectiveness: principal moments >
+	// moment invariants > geometric parameters > eigenvalues (§5).
+	eig := byName["eigenvalues (one-shot)"].AvgRecallGroupSize
+	pm := byName["principal-moments (one-shot)"].AvgRecallGroupSize
+	mi := byName["moment-invariants (one-shot)"].AvgRecallGroupSize
+	gp := byName["geometric-params (one-shot)"].AvgRecallGroupSize
+	if !(pm > mi && mi > gp && gp > eig) {
+		t.Errorf("one-shot ordering violated: PM=%.3f MI=%.3f GP=%.3f Eig=%.3f "+
+			"(want PM > MI > GP > Eig)", pm, mi, gp, eig)
+	}
+	// Multi-step beats every one-shot strategy on both policies (the
+	// headline §4.2 claim).
+	multi := byName["multi-step (PM → eigenvalues)"]
+	for name, row := range byName {
+		if row.Strategy.IsMultiStep() {
+			continue
+		}
+		if multi.AvgRecallAt10 < row.AvgRecallAt10-1e-9 {
+			t.Errorf("multi-step recall@10 %v below one-shot %s %v",
+				multi.AvgRecallAt10, name, row.AvgRecallAt10)
+		}
+		if multi.AvgRecallGroupSize < row.AvgRecallGroupSize-1e-9 {
+			t.Errorf("multi-step recall@|A| %v below one-shot %s %v",
+				multi.AvgRecallGroupSize, name, row.AvgRecallGroupSize)
+		}
+	}
+	// The paper reports the multi-step margin over the best one-shot
+	// (principal moments) as large (+51%); require a clear gain here.
+	if multi.AvgRecallGroupSize < pm*1.05 {
+		t.Errorf("multi-step %.3f not clearly above principal moments %.3f",
+			multi.AvgRecallGroupSize, pm)
+	}
+}
+
+func TestRunMultiStepExample(t *testing.T) {
+	c := sharedCorpus(t)
+	qid := c.GroupQueryIDs()[0] // the size-8 plate group
+	ex, err := c.RunMultiStepExample(qid, features.PrincipalMoments, MultiStepMIGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.OneShot) != 10 || len(ex.Multi) != 10 {
+		t.Errorf("result sizes = %d, %d", len(ex.OneShot), len(ex.Multi))
+	}
+	for _, v := range []float64{ex.OneShotPrecision, ex.OneShotRecall, ex.MultiPrecision, ex.MultiRecall} {
+		if v < 0 || v > 1 {
+			t.Errorf("metric out of range: %v", v)
+		}
+	}
+}
+
+func TestRTreeSyntheticEfficiency(t *testing.T) {
+	rows, err := RTreeSyntheticEfficiency([]int{1000, 10000}, 3, 10, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgAccess <= 0 {
+			t.Errorf("no accesses recorded: %+v", r)
+		}
+		if r.ScanFrac > 0.5 {
+			t.Errorf("k-NN touches %v of the tree — not efficient", r.ScanFrac)
+		}
+	}
+	// Larger database → smaller visited fraction.
+	if rows[1].ScanFrac > rows[0].ScanFrac {
+		t.Errorf("scan fraction grew with size: %v -> %v", rows[0].ScanFrac, rows[1].ScanFrac)
+	}
+}
+
+func TestRTreeRealEfficiency(t *testing.T) {
+	c := sharedCorpus(t)
+	row, err := c.RTreeRealEfficiency(features.PrincipalMoments, 10, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Points != dataset.TotalShapes {
+		t.Errorf("points = %d", row.Points)
+	}
+	if row.AvgAccess <= 0 {
+		t.Error("no accesses")
+	}
+	if _, err := c.RTreeRealEfficiency(features.ShapeDistribution, 10, 5, 1); err == nil {
+		t.Error("missing feature accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"threedess/internal/cluster"
+	"threedess/internal/core"
+	"threedess/internal/features"
+)
+
+// The experiments in this file go beyond the paper's figures: they
+// evaluate the pieces the paper implements but does not measure (the three
+// clustering algorithms of §2.2) and the extension descriptors
+// (higher-order invariants from the architecture diagram and the D2 shape
+// distribution from related work), plus ablations of the reproduction's
+// own design choices.
+
+// ClusteringRow reports one clustering algorithm's quality on the corpus.
+type ClusteringRow struct {
+	Algorithm  string
+	K          int
+	Purity     float64 // vs ground-truth groups (noise = its own label)
+	Silhouette float64
+	SSE        float64
+}
+
+// CompareClusterings runs k-means, SOM, and GA over the corpus's vectors
+// of the given kind with k clusters and scores each against the
+// ground-truth classification — quantifying the §2.2 claim that the
+// system organizes the database with these three algorithms.
+func (c *Corpus) CompareClusterings(kind features.Kind, k int, seed int64) ([]ClusteringRow, error) {
+	var points [][]float64
+	var labels []int
+	for i, id := range c.IDByIndex {
+		rec, ok := c.DB.Get(id)
+		if !ok {
+			continue
+		}
+		v, ok := rec.Features[kind]
+		if !ok {
+			return nil, fmt.Errorf("eval: shape %s lacks feature %v", rec.Name, kind)
+		}
+		points = append(points, v)
+		// Noise shapes get unique labels so merging them is penalized.
+		if rec.Group == 0 {
+			labels = append(labels, 1000+i)
+		} else {
+			labels = append(labels, rec.Group)
+		}
+	}
+	run := func(name string, fn func(*rand.Rand) (*cluster.Result, error)) (ClusteringRow, error) {
+		res, err := fn(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return ClusteringRow{}, fmt.Errorf("eval: %s clustering: %w", name, err)
+		}
+		return ClusteringRow{
+			Algorithm:  name,
+			K:          res.K(),
+			Purity:     cluster.Purity(res.Assignments, labels),
+			Silhouette: cluster.Silhouette(points, res.Assignments),
+			SSE:        res.SSE(points),
+		}, nil
+	}
+	var rows []ClusteringRow
+	km, err := run("kmeans", func(rng *rand.Rand) (*cluster.Result, error) {
+		return cluster.KMeans(points, k, rng, 100)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, km)
+	rows1, err := run("som", func(rng *rand.Rand) (*cluster.Result, error) {
+		rowsN := 1
+		for rowsN*rowsN < k {
+			rowsN++
+		}
+		return cluster.SOM(points, cluster.SOMOptions{Rows: rowsN, Cols: (k + rowsN - 1) / rowsN}, rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, rows1)
+	ga, err := run("ga", func(rng *rand.Rand) (*cluster.Result, error) {
+		return cluster.GA(points, cluster.GAOptions{K: k}, rng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ga)
+	return rows, nil
+}
+
+// ExtendedStrategies returns one-shot strategies for the two extension
+// descriptors, for comparing them against the paper's four.
+func ExtendedStrategies() []Strategy {
+	return []Strategy{
+		{Name: "higher-order invariants (ext)", Kind: features.HigherOrder},
+		{Name: "shape-distribution D2 (ext)", Kind: features.ShapeDistribution},
+	}
+}
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Label              string
+	AvgRecallGroupSize float64
+	AvgRecallAt10      float64
+}
+
+// MultiStepKeepAblation sweeps the Keep parameter of the recommended
+// multi-step chain, quantifying how sensitive the §4.2 gain is to the
+// candidate cut.
+func (c *Corpus) MultiStepKeepAblation(keeps []int) ([]AblationRow, error) {
+	out := make([]AblationRow, 0, len(keeps))
+	for _, keep := range keeps {
+		s := Strategy{
+			Name: fmt.Sprintf("PM keep-%d → eigenvalues", keep),
+			Steps: []core.Step{
+				{Feature: features.PrincipalMoments, Keep: keep},
+				{Feature: features.Eigenvalues},
+			},
+		}
+		rows, err := c.AverageEffectiveness([]Strategy{s})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{
+			Label:              s.Name,
+			AvgRecallGroupSize: rows[0].AvgRecallGroupSize,
+			AvgRecallAt10:      rows[0].AvgRecallAt10,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"threedess/internal/features"
+)
+
+// A second shared corpus carrying the extension descriptors too.
+var (
+	extOnce   sync.Once
+	extCorpus *Corpus
+	extErr    error
+)
+
+func sharedExtCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	extOnce.Do(func() {
+		extCorpus, extErr = BuildCorpus(42, features.Options{}, features.AllKinds)
+	})
+	if extErr != nil {
+		t.Fatal(extErr)
+	}
+	return extCorpus
+}
+
+func TestCompareClusterings(t *testing.T) {
+	c := sharedCorpus(t)
+	rows, err := c.CompareClusterings(features.PrincipalMoments, 26, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Algorithm] = true
+		if r.Purity <= 0 || r.Purity > 1 {
+			t.Errorf("%s purity = %v", r.Algorithm, r.Purity)
+		}
+		if r.SSE < 0 {
+			t.Errorf("%s SSE = %v", r.Algorithm, r.SSE)
+		}
+		if r.K < 2 {
+			t.Errorf("%s K = %d", r.Algorithm, r.K)
+		}
+		// Clustering on a descriptor that groups families must beat the
+		// trivial purity of one-cluster-per-everything.
+		if r.Purity < 0.3 {
+			t.Errorf("%s purity %v suspiciously low", r.Algorithm, r.Purity)
+		}
+	}
+	for _, want := range []string{"kmeans", "som", "ga"} {
+		if !names[want] {
+			t.Errorf("algorithm %s missing", want)
+		}
+	}
+	if _, err := c.CompareClusterings(features.ShapeDistribution, 5, 1); err == nil {
+		t.Error("missing feature accepted")
+	}
+}
+
+func TestExtendedStrategiesRun(t *testing.T) {
+	c := sharedExtCorpus(t)
+	rows, err := c.AverageEffectiveness(append(PaperStrategies(), ExtendedStrategies()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var d2, eig float64
+	for _, r := range rows {
+		if r.AvgRecallGroupSize < 0 || r.AvgRecallGroupSize > 1 {
+			t.Errorf("%s out of range", r.Strategy.Name)
+		}
+		switch r.Strategy.Name {
+		case "shape-distribution D2 (ext)":
+			d2 = r.AvgRecallGroupSize
+		case "eigenvalues (one-shot)":
+			eig = r.AvgRecallGroupSize
+		}
+	}
+	// The D2 histogram is a dense geometric descriptor; it should at
+	// least beat the degenerate skeletal-graph eigenvalues.
+	if d2 <= eig {
+		t.Errorf("D2 (%v) should beat eigenvalues (%v)", d2, eig)
+	}
+}
+
+func TestMultiStepKeepAblation(t *testing.T) {
+	c := sharedCorpus(t)
+	rows, err := c.MultiStepKeepAblation([]int{10, 15, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgRecallGroupSize <= 0 || r.AvgRecallAt10 <= 0 {
+			t.Errorf("%s: zero metrics", r.Label)
+		}
+	}
+	// The ablation's point: a moderate cut beats no cut at the
+	// group-size policy (keep=25 barely filters, so topology re-ranking
+	// has more impostors to mis-rank).
+	if rows[1].AvgRecallGroupSize < rows[2].AvgRecallGroupSize {
+		t.Logf("note: keep-15 (%v) vs keep-25 (%v)", rows[1].AvgRecallGroupSize, rows[2].AvgRecallGroupSize)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	rel := map[int64]bool{1: true, 2: true}
+	// Relevant at ranks 1 and 3: AP = (1/1 + 2/3)/2.
+	got := AveragePrecision([]int64{1, 9, 2, 8}, rel)
+	want := (1.0 + 2.0/3) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP = %v, want %v", got, want)
+	}
+	if AveragePrecision([]int64{1, 2}, nil) != 0 {
+		t.Error("empty relevant AP != 0")
+	}
+	if AveragePrecision(nil, rel) != 0 {
+		t.Error("empty ranking AP != 0")
+	}
+	if AveragePrecision([]int64{1, 2}, rel) != 1 {
+		t.Error("perfect ranking AP != 1")
+	}
+}
+
+func TestMeanAveragePrecisionOrdering(t *testing.T) {
+	c := sharedCorpus(t)
+	pm, err := c.MeanAveragePrecision(Strategy{Name: "pm", Kind: features.PrincipalMoments})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := c.MeanAveragePrecision(Strategy{Name: "eig", Kind: features.Eigenvalues})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm <= 0 || pm > 1 || eig < 0 || eig > 1 {
+		t.Fatalf("MAP out of range: pm %v, eig %v", pm, eig)
+	}
+	// MAP must agree with the paper's quality ordering at the extremes.
+	if pm <= eig {
+		t.Errorf("MAP(principal moments)=%v should beat MAP(eigenvalues)=%v", pm, eig)
+	}
+}

@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"fmt"
+
+	"threedess/internal/core"
+	"threedess/internal/features"
+)
+
+// PrecisionRecall evaluates Equations 4.1–4.2 for a retrieved list
+// against a relevant set. The query shape must already be excluded from
+// both (RelevantSet and the Exclude* helpers handle that). An empty
+// retrieval has precision 0 by convention; an empty relevant set has
+// recall 0.
+func PrecisionRecall(retrieved []int64, relevant map[int64]bool) (precision, recall float64) {
+	if len(retrieved) == 0 {
+		return 0, 0
+	}
+	hits := 0
+	for _, id := range retrieved {
+		if relevant[id] {
+			hits++
+		}
+	}
+	precision = float64(hits) / float64(len(retrieved))
+	if len(relevant) > 0 {
+		recall = float64(hits) / float64(len(relevant))
+	}
+	return precision, recall
+}
+
+// PRPoint is one point of a precision-recall curve: the threshold it was
+// measured at plus the resulting precision and recall.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+	Retrieved int
+}
+
+// DefaultThresholds returns the similarity sweep used for the Figure 8–12
+// curves: 0.00, 0.05, …, 1.00.
+func DefaultThresholds() []float64 {
+	out := make([]float64, 0, 21)
+	for i := 0; i <= 20; i++ {
+		out = append(out, float64(i)/20)
+	}
+	return out
+}
+
+// PRCurve sweeps the similarity threshold for one query shape and feature
+// vector, evaluating precision and recall at each threshold — the §4.1
+// methodology behind Figures 8–12. The query shape itself is excluded.
+func (c *Corpus) PRCurve(queryID int64, kind features.Kind, thresholds []float64) ([]PRPoint, error) {
+	query, err := c.Engine.QueryFeatures(queryID)
+	if err != nil {
+		return nil, err
+	}
+	relevant := c.RelevantSet(queryID)
+	if len(thresholds) == 0 {
+		thresholds = DefaultThresholds()
+	}
+	out := make([]PRPoint, 0, len(thresholds))
+	for _, t := range thresholds {
+		res, err := c.Engine.SearchThreshold(query, core.Options{Feature: kind, Threshold: t})
+		if err != nil {
+			return nil, err
+		}
+		res = core.ExcludeID(res, queryID)
+		ids := resultIDs(res)
+		p, r := PrecisionRecall(ids, relevant)
+		out = append(out, PRPoint{Threshold: t, Precision: p, Recall: r, Retrieved: len(ids)})
+	}
+	return out, nil
+}
+
+// PRCurves computes the Figure 8–12 family: for each of the five
+// representative queries, one curve per core feature vector.
+func (c *Corpus) PRCurves(thresholds []float64) (map[int64]map[features.Kind][]PRPoint, error) {
+	out := map[int64]map[features.Kind][]PRPoint{}
+	for _, qid := range c.RepresentativeQueryIDs() {
+		byKind := map[features.Kind][]PRPoint{}
+		for _, kind := range features.CoreKinds {
+			curve, err := c.PRCurve(qid, kind, thresholds)
+			if err != nil {
+				return nil, fmt.Errorf("eval: PR curve for query %d feature %v: %w", qid, kind, err)
+			}
+			byKind[kind] = curve
+		}
+		out[qid] = byKind
+	}
+	return out, nil
+}
+
+// ThresholdQueryExample reproduces the Figure 7 scenario: a single
+// threshold query (moment invariants at similarity 0.85 in the paper) with
+// the resulting precision and recall.
+func (c *Corpus) ThresholdQueryExample(queryID int64, kind features.Kind, threshold float64) (precision, recall float64, results []core.Result, err error) {
+	query, err := c.Engine.QueryFeatures(queryID)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	res, err := c.Engine.SearchThreshold(query, core.Options{Feature: kind, Threshold: threshold})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	res = core.ExcludeID(res, queryID)
+	p, r := PrecisionRecall(resultIDs(res), c.RelevantSet(queryID))
+	return p, r, res, nil
+}
+
+func resultIDs(res []core.Result) []int64 {
+	out := make([]int64, len(res))
+	for i, r := range res {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// AveragePrecision computes the standard IR average precision of a ranked
+// retrieval list against a relevant set: the mean of precision@rank over
+// the ranks where a relevant shape appears, divided by |relevant| (so
+// missing relevant shapes count as zero). It returns 0 for an empty
+// relevant set.
+func AveragePrecision(ranked []int64, relevant map[int64]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	sum := 0.0
+	for rank, id := range ranked {
+		if relevant[id] {
+			hits++
+			sum += float64(hits) / float64(rank+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// MeanAveragePrecision evaluates a strategy's MAP over the 26 group
+// queries, ranking the full database for each query (|R| = everything) —
+// a rank-quality summary complementing the paper's fixed-|R| metrics.
+func (c *Corpus) MeanAveragePrecision(s Strategy) (float64, error) {
+	queries := c.GroupQueryIDs()
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("eval: corpus has no group queries")
+	}
+	total := 0.0
+	n := c.DB.Len()
+	for _, qid := range queries {
+		res, err := c.Retrieve(qid, s, n)
+		if err != nil {
+			return 0, err
+		}
+		total += AveragePrecision(resultIDs(res), c.RelevantSet(qid))
+	}
+	return total / float64(len(queries)), nil
+}

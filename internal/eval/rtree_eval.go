@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"threedess/internal/features"
+	"threedess/internal/rtree"
+)
+
+// RTreeEfficiencyRow measures one index-efficiency data point of the §2.3
+// experiment: how many R-tree nodes a k-NN query visits versus the total
+// node count (an optimal search touches about one root-to-leaf path; a
+// scan touches everything).
+type RTreeEfficiencyRow struct {
+	Points     int     // indexed points
+	Dim        int     // dimensionality
+	K          int     // neighbors requested
+	Height     int     // tree height
+	TotalNodes int     // approximate node count (entries / fanout, summed per level)
+	AvgAccess  float64 // mean nodes visited per query
+	ScanFrac   float64 // AvgAccess / TotalNodes
+}
+
+// RTreeSyntheticEfficiency builds synthetic uniform databases of the given
+// sizes and measures k-NN node accesses — the "large synthetic databases"
+// half of the §2.3 claim.
+func RTreeSyntheticEfficiency(sizes []int, dim, k, queries int, seed int64) ([]RTreeEfficiencyRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]RTreeEfficiencyRow, 0, len(sizes))
+	for _, n := range sizes {
+		items := make([]rtree.BulkItem, n)
+		for i := range items {
+			p := make(rtree.Point, dim)
+			for d := range p {
+				p[d] = rng.Float64() * 100
+			}
+			items[i] = rtree.BulkItem{ID: int64(i), Point: p}
+		}
+		tr, err := rtree.BulkLoad(dim, rtree.DefaultMaxEntries, items)
+		if err != nil {
+			return nil, err
+		}
+		row := measureKNN(tr, dim, k, queries, rng)
+		row.Points = n
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RTreeRealEfficiency measures k-NN node accesses against the real corpus
+// index of the given feature — the "small real databases" half of §2.3.
+func (c *Corpus) RTreeRealEfficiency(kind features.Kind, k, queries int, seed int64) (RTreeEfficiencyRow, error) {
+	// Rebuild a standalone tree from the stored vectors so measurements
+	// are isolated from engine bookkeeping.
+	var items []rtree.BulkItem
+	dim := 0
+	for _, id := range c.DB.IDs() {
+		rec, ok := c.DB.Get(id)
+		if !ok {
+			continue
+		}
+		v, ok := rec.Features[kind]
+		if !ok {
+			continue
+		}
+		dim = len(v)
+		items = append(items, rtree.BulkItem{ID: id, Point: rtree.Point(v)})
+	}
+	if len(items) == 0 {
+		return RTreeEfficiencyRow{}, fmt.Errorf("eval: no vectors for %v", kind)
+	}
+	tr, err := rtree.BulkLoad(dim, rtree.DefaultMaxEntries, items)
+	if err != nil {
+		return RTreeEfficiencyRow{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	row := measureKNN(tr, dim, k, queries, rng)
+	row.Points = len(items)
+	return row, nil
+}
+
+func measureKNN(tr *rtree.Tree, dim, k, queries int, rng *rand.Rand) RTreeEfficiencyRow {
+	// Estimate total node count from size, fanout, and height.
+	total := 0
+	level := (tr.Len() + rtree.DefaultMaxEntries - 1) / rtree.DefaultMaxEntries
+	for level >= 1 {
+		total += level
+		if level == 1 {
+			break
+		}
+		level = (level + rtree.DefaultMaxEntries - 1) / rtree.DefaultMaxEntries
+	}
+	tr.ResetStats()
+	for q := 0; q < queries; q++ {
+		p := make(rtree.Point, dim)
+		for d := range p {
+			p[d] = rng.Float64() * 100
+		}
+		tr.NearestNeighbors(k, p)
+	}
+	avg := float64(tr.NodeAccesses()) / float64(queries)
+	frac := 1.0
+	if total > 0 {
+		frac = avg / float64(total)
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	return RTreeEfficiencyRow{
+		Dim:        dim,
+		K:          k,
+		Height:     tr.Height(),
+		TotalNodes: total,
+		AvgAccess:  avg,
+		ScanFrac:   frac,
+	}
+}

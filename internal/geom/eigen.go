@@ -1,0 +1,126 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym3 computes the eigen-decomposition of the symmetric 3×3 matrix m
+// using cyclic Jacobi rotations. It returns the eigenvalues in descending
+// order and the matching unit eigenvectors as the columns of the returned
+// matrix. The decomposition satisfies m ≈ V · diag(λ) · Vᵀ.
+//
+// EigenSym3 reads only the upper triangle of m; the strict lower triangle
+// is ignored, so slightly asymmetric inputs (from floating-point noise) are
+// handled gracefully.
+func EigenSym3(m Mat3) (vals [3]float64, vecs Mat3) {
+	a := [][]float64{
+		{m[0][0], m[0][1], m[0][2]},
+		{m[0][1], m[1][1], m[1][2]},
+		{m[0][2], m[1][2], m[2][2]},
+	}
+	w, v := jacobiEigen(a)
+	// Sort eigenpairs in descending eigenvalue order.
+	idx := []int{0, 1, 2}
+	sort.Slice(idx, func(i, j int) bool { return w[idx[i]] > w[idx[j]] })
+	for k, id := range idx {
+		vals[k] = w[id]
+		vecs[0][k] = v[0][id]
+		vecs[1][k] = v[1][id]
+		vecs[2][k] = v[2][id]
+	}
+	return vals, vecs
+}
+
+// EigenSymN computes the eigenvalues (descending) of the symmetric n×n
+// matrix a using cyclic Jacobi rotations. The input is not modified. It
+// returns an error when a is not square or is empty.
+//
+// Jacobi iteration is O(n³) per sweep, which is appropriate here: skeletal
+// graphs have at most a few dozen nodes.
+func EigenSymN(a [][]float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, fmt.Errorf("geom: EigenSymN on empty matrix")
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("geom: EigenSymN on non-square matrix (row %d has %d cols, want %d)", i, len(a[i]), n)
+		}
+	}
+	work := make([][]float64, n)
+	for i := range work {
+		work[i] = make([]float64, n)
+		copy(work[i], a[i])
+	}
+	w, _ := jacobiEigen(work)
+	sort.Sort(sort.Reverse(sort.Float64Slice(w)))
+	return w, nil
+}
+
+// jacobiEigen runs cyclic Jacobi sweeps on the symmetric matrix a (which is
+// destroyed) and returns the eigenvalues and the accumulated rotation
+// (eigenvectors as columns).
+func jacobiEigen(a [][]float64) (vals []float64, vecs [][]float64) {
+	n := len(a)
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-30 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p][q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				// Compute the Jacobi rotation that annihilates a[p][q].
+				theta := (a[q][q] - a[p][p]) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				tau := s / (1 + c)
+
+				app, aqq := a[p][p], a[q][q]
+				a[p][p] = app - t*apq
+				a[q][q] = aqq + t*apq
+				a[p][q] = 0
+				a[q][p] = 0
+				for i := 0; i < n; i++ {
+					if i != p && i != q {
+						aip, aiq := a[i][p], a[i][q]
+						a[i][p] = aip - s*(aiq+tau*aip)
+						a[p][i] = a[i][p]
+						a[i][q] = aiq + s*(aip-tau*aiq)
+						a[q][i] = a[i][q]
+					}
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = vip - s*(viq+tau*vip)
+					v[i][q] = viq + s*(vip-tau*viq)
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a[i][i]
+	}
+	return vals, v
+}

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomSymmetric3(rng *rand.Rand) Mat3 {
+	a, b, c := rng.NormFloat64()*5, rng.NormFloat64()*5, rng.NormFloat64()*5
+	d, e, f := rng.NormFloat64()*5, rng.NormFloat64()*5, rng.NormFloat64()*5
+	return Mat3{{a, d, e}, {d, b, f}, {e, f, c}}
+}
+
+func TestEigenSym3Diagonal(t *testing.T) {
+	m := Mat3{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}
+	vals, vecs := EigenSym3(m)
+	want := [3]float64{3, 2, 1}
+	for i := range vals {
+		if !almostEq(vals[i], want[i], 1e-12) {
+			t.Errorf("vals = %v, want %v", vals, want)
+		}
+	}
+	// First eigenvector should be ±e_x.
+	v0 := vecs.Col(0)
+	if !almostEq(math.Abs(v0.X), 1, 1e-9) {
+		t.Errorf("first eigenvector = %v, want ±x", v0)
+	}
+}
+
+func TestEigenSym3Reconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 300; i++ {
+		m := randomSymmetric3(rng)
+		vals, vecs := EigenSym3(m)
+		// Check M·v = λ·v per eigenpair.
+		for k := 0; k < 3; k++ {
+			v := vecs.Col(k)
+			mv := m.MulVec(v)
+			lv := v.Scale(vals[k])
+			if !mv.NearEqual(lv, 1e-7*(1+math.Abs(vals[k]))) {
+				t.Fatalf("M·v ≠ λ·v: M=%v λ=%v v=%v (Mv=%v λv=%v)", m, vals[k], v, mv, lv)
+			}
+		}
+		// Descending order.
+		if vals[0] < vals[1]-1e-12 || vals[1] < vals[2]-1e-12 {
+			t.Fatalf("eigenvalues not descending: %v", vals)
+		}
+		// Trace and determinant preserved.
+		if !almostEq(vals[0]+vals[1]+vals[2], m.Trace(), 1e-8*(1+math.Abs(m.Trace()))) {
+			t.Fatalf("trace mismatch: %v vs %v", vals[0]+vals[1]+vals[2], m.Trace())
+		}
+		if !almostEq(vals[0]*vals[1]*vals[2], m.Det(), 1e-6*(1+math.Abs(m.Det()))) {
+			t.Fatalf("det mismatch: %v vs %v", vals[0]*vals[1]*vals[2], m.Det())
+		}
+	}
+}
+
+func TestEigenSym3Orthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		_, vecs := EigenSym3(randomSymmetric3(rng))
+		vtv := vecs.Transpose().Mul(vecs)
+		if !matNearIdentity(vtv, 1e-9) {
+			t.Fatalf("eigenvectors not orthonormal: VᵀV = %v", vtv)
+		}
+	}
+}
+
+func TestEigenSymNMatches3x3(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		m := randomSymmetric3(rng)
+		vals3, _ := EigenSym3(m)
+		a := [][]float64{
+			{m[0][0], m[0][1], m[0][2]},
+			{m[1][0], m[1][1], m[1][2]},
+			{m[2][0], m[2][1], m[2][2]},
+		}
+		valsN, err := EigenSymN(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			if !almostEq(vals3[k], valsN[k], 1e-8*(1+math.Abs(vals3[k]))) {
+				t.Fatalf("EigenSymN mismatch: %v vs %v", vals3, valsN)
+			}
+		}
+	}
+}
+
+func TestEigenSymNLarger(t *testing.T) {
+	// Known spectrum: adjacency matrix of the path graph P4 has eigenvalues
+	// ±(1±√5)/2 = ±golden ratios.
+	a := [][]float64{
+		{0, 1, 0, 0},
+		{1, 0, 1, 0},
+		{0, 1, 0, 1},
+		{0, 0, 1, 0},
+	}
+	vals, err := EigenSymN(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := (1 + math.Sqrt(5)) / 2
+	psi := (math.Sqrt(5) - 1) / 2
+	want := []float64{phi, psi, -psi, -phi}
+	for i := range want {
+		if !almostEq(vals[i], want[i], 1e-9) {
+			t.Errorf("P4 spectrum: got %v, want %v", vals, want)
+			break
+		}
+	}
+}
+
+func TestEigenSymNErrors(t *testing.T) {
+	if _, err := EigenSymN(nil); err == nil {
+		t.Error("expected error for empty matrix")
+	}
+	if _, err := EigenSymN([][]float64{{1, 2}, {2}}); err == nil {
+		t.Error("expected error for ragged matrix")
+	}
+}
+
+func TestEigenSymNDoesNotModifyInput(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 2}}
+	if _, err := EigenSymN(a); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 2 || a[0][1] != 1 || a[1][0] != 1 || a[1][1] != 2 {
+		t.Errorf("input modified: %v", a)
+	}
+}
+
+// Property: the spectrum is invariant under similarity by a rotation.
+func TestEigenRotationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		m := randomSymmetric3(rng)
+		r := randomRotation(rng)
+		rotated := r.Mul(m).Mul(r.Transpose())
+		v1, _ := EigenSym3(m)
+		v2, _ := EigenSym3(rotated)
+		for k := 0; k < 3; k++ {
+			if !almostEq(v1[k], v2[k], 1e-7*(1+math.Abs(v1[k]))) {
+				t.Fatalf("spectrum changed under rotation: %v vs %v", v1, v2)
+			}
+		}
+	}
+}

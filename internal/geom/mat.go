@@ -1,0 +1,189 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat3 is a 3×3 matrix in row-major order.
+type Mat3 [3][3]float64
+
+// Identity3 returns the 3×3 identity matrix.
+func Identity3() Mat3 {
+	return Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+// MatFromRows builds a Mat3 whose rows are r0, r1, r2.
+func MatFromRows(r0, r1, r2 Vec3) Mat3 {
+	return Mat3{
+		{r0.X, r0.Y, r0.Z},
+		{r1.X, r1.Y, r1.Z},
+		{r2.X, r2.Y, r2.Z},
+	}
+}
+
+// MatFromCols builds a Mat3 whose columns are c0, c1, c2.
+func MatFromCols(c0, c1, c2 Vec3) Mat3 {
+	return Mat3{
+		{c0.X, c1.X, c2.X},
+		{c0.Y, c1.Y, c2.Y},
+		{c0.Z, c1.Z, c2.Z},
+	}
+}
+
+// Row returns the i-th row of m as a vector.
+func (m Mat3) Row(i int) Vec3 { return Vec3{m[i][0], m[i][1], m[i][2]} }
+
+// Col returns the j-th column of m as a vector.
+func (m Mat3) Col(j int) Vec3 { return Vec3{m[0][j], m[1][j], m[2][j]} }
+
+// MulVec returns m · v.
+func (m Mat3) MulVec(v Vec3) Vec3 {
+	return Vec3{
+		m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z,
+		m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z,
+		m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z,
+	}
+}
+
+// Mul returns the matrix product m · n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[i][0]*n[0][j] + m[i][1]*n[1][j] + m[i][2]*n[2][j]
+		}
+	}
+	return r
+}
+
+// Transpose returns the transpose of m.
+func (m Mat3) Transpose() Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[j][i]
+		}
+	}
+	return r
+}
+
+// Scale returns m with every entry multiplied by s.
+func (m Mat3) Scale(s float64) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[i][j] * s
+		}
+	}
+	return r
+}
+
+// Det returns the determinant of m.
+func (m Mat3) Det() float64 {
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+// Trace returns the trace of m.
+func (m Mat3) Trace() float64 { return m[0][0] + m[1][1] + m[2][2] }
+
+// Inverse returns the inverse of m. It returns an error when m is singular
+// (|det| below 1e-300).
+func (m Mat3) Inverse() (Mat3, error) {
+	d := m.Det()
+	if math.Abs(d) < 1e-300 {
+		return Mat3{}, fmt.Errorf("geom: matrix is singular (det=%g)", d)
+	}
+	inv := Mat3{
+		{m[1][1]*m[2][2] - m[1][2]*m[2][1], m[0][2]*m[2][1] - m[0][1]*m[2][2], m[0][1]*m[1][2] - m[0][2]*m[1][1]},
+		{m[1][2]*m[2][0] - m[1][0]*m[2][2], m[0][0]*m[2][2] - m[0][2]*m[2][0], m[0][2]*m[1][0] - m[0][0]*m[1][2]},
+		{m[1][0]*m[2][1] - m[1][1]*m[2][0], m[0][1]*m[2][0] - m[0][0]*m[2][1], m[0][0]*m[1][1] - m[0][1]*m[1][0]},
+	}
+	return inv.Scale(1 / d), nil
+}
+
+// IsSymmetric reports whether m is symmetric within eps.
+func (m Mat3) IsSymmetric(eps float64) bool {
+	return math.Abs(m[0][1]-m[1][0]) <= eps &&
+		math.Abs(m[0][2]-m[2][0]) <= eps &&
+		math.Abs(m[1][2]-m[2][1]) <= eps
+}
+
+// IsRotation reports whether m is a proper rotation (orthonormal with
+// determinant +1) within eps.
+func (m Mat3) IsRotation(eps float64) bool {
+	mt := m.Mul(m.Transpose())
+	id := Identity3()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(mt[i][j]-id[i][j]) > eps {
+				return false
+			}
+		}
+	}
+	return math.Abs(m.Det()-1) <= eps
+}
+
+// RotationX returns the rotation matrix about the X axis by angle radians.
+func RotationX(angle float64) Mat3 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	return Mat3{{1, 0, 0}, {0, c, -s}, {0, s, c}}
+}
+
+// RotationY returns the rotation matrix about the Y axis by angle radians.
+func RotationY(angle float64) Mat3 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	return Mat3{{c, 0, s}, {0, 1, 0}, {-s, 0, c}}
+}
+
+// RotationZ returns the rotation matrix about the Z axis by angle radians.
+func RotationZ(angle float64) Mat3 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	return Mat3{{c, -s, 0}, {s, c, 0}, {0, 0, 1}}
+}
+
+// RotationAxisAngle returns the rotation about the (not necessarily unit)
+// axis by angle radians, via Rodrigues' formula. A zero axis yields the
+// identity.
+func RotationAxisAngle(axis Vec3, angle float64) Mat3 {
+	u := axis.Normalize()
+	if u.Len() == 0 {
+		return Identity3()
+	}
+	c, s := math.Cos(angle), math.Sin(angle)
+	t := 1 - c
+	return Mat3{
+		{c + u.X*u.X*t, u.X*u.Y*t - u.Z*s, u.X*u.Z*t + u.Y*s},
+		{u.Y*u.X*t + u.Z*s, c + u.Y*u.Y*t, u.Y*u.Z*t - u.X*s},
+		{u.Z*u.X*t - u.Y*s, u.Z*u.Y*t + u.X*s, c + u.Z*u.Z*t},
+	}
+}
+
+// Transform is an affine map x ↦ R·x + T with a linear part R (typically a
+// rotation combined with scaling) and translation T.
+type Transform struct {
+	R Mat3
+	T Vec3
+}
+
+// IdentityTransform returns the identity transform.
+func IdentityTransform() Transform { return Transform{R: Identity3()} }
+
+// Apply maps the point p through the transform.
+func (t Transform) Apply(p Vec3) Vec3 { return t.R.MulVec(p).Add(t.T) }
+
+// Compose returns the transform equivalent to applying u first, then t.
+func (t Transform) Compose(u Transform) Transform {
+	return Transform{R: t.R.Mul(u.R), T: t.R.MulVec(u.T).Add(t.T)}
+}
+
+// Translation returns a pure translation by d.
+func Translation(d Vec3) Transform { return Transform{R: Identity3(), T: d} }
+
+// Scaling returns a uniform scaling by s about the origin.
+func Scaling(s float64) Transform { return Transform{R: Identity3().Scale(s)} }
+
+// Rotation returns a pure rotation transform.
+func Rotation(r Mat3) Transform { return Transform{R: r} }

@@ -1,0 +1,162 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomRotation(rng *rand.Rand) Mat3 {
+	axis := randomVec(rng)
+	for axis.Len() < 1e-6 {
+		axis = randomVec(rng)
+	}
+	return RotationAxisAngle(axis, rng.Float64()*2*math.Pi)
+}
+
+func TestMatIdentity(t *testing.T) {
+	id := Identity3()
+	v := V(1, 2, 3)
+	if got := id.MulVec(v); got != v {
+		t.Errorf("I·v = %v", got)
+	}
+	if got := id.Det(); got != 1 {
+		t.Errorf("det(I) = %v", got)
+	}
+	if got := id.Trace(); got != 3 {
+		t.Errorf("tr(I) = %v", got)
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		a := MatFromRows(randomVec(rng), randomVec(rng), randomVec(rng))
+		b := MatFromRows(randomVec(rng), randomVec(rng), randomVec(rng))
+		v := randomVec(rng)
+		lhs := a.Mul(b).MulVec(v)
+		rhs := a.MulVec(b.MulVec(v))
+		if !lhs.NearEqual(rhs, 1e-6*(1+lhs.Len())) {
+			t.Fatalf("(AB)v ≠ A(Bv): %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestMatInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		m := MatFromRows(randomVec(rng), randomVec(rng), randomVec(rng))
+		if math.Abs(m.Det()) < 1e-3 {
+			continue
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		prod := m.Mul(inv)
+		if !prod.IsRotation(1e-6) && !matNearIdentity(prod, 1e-6) {
+			t.Fatalf("M·M⁻¹ not identity: %v", prod)
+		}
+	}
+}
+
+func matNearIdentity(m Mat3, eps float64) bool {
+	id := Identity3()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(m[i][j]-id[i][j]) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMatSingularInverse(t *testing.T) {
+	m := MatFromRows(V(1, 2, 3), V(2, 4, 6), V(0, 0, 1))
+	if _, err := m.Inverse(); err == nil {
+		t.Error("expected error inverting singular matrix")
+	}
+}
+
+func TestRotationsAreProper(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		r := randomRotation(rng)
+		if !r.IsRotation(1e-9) {
+			t.Fatalf("RotationAxisAngle produced non-rotation: %v (det=%v)", r, r.Det())
+		}
+	}
+	for _, r := range []Mat3{RotationX(0.7), RotationY(-1.3), RotationZ(2.9)} {
+		if !r.IsRotation(1e-12) {
+			t.Errorf("axis rotation is not proper: %v", r)
+		}
+	}
+}
+
+func TestRotationPreservesLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		r := randomRotation(rng)
+		v := randomVec(rng)
+		if !almostEq(r.MulVec(v).Len(), v.Len(), 1e-9*(1+v.Len())) {
+			t.Fatalf("rotation changed length: %v", v)
+		}
+	}
+}
+
+func TestRotationZQuarterTurn(t *testing.T) {
+	r := RotationZ(math.Pi / 2)
+	if got := r.MulVec(V(1, 0, 0)); !got.NearEqual(V(0, 1, 0), 1e-12) {
+		t.Errorf("Rz(90°)·x = %v, want y", got)
+	}
+}
+
+func TestRotationAxisAngleZeroAxis(t *testing.T) {
+	if got := RotationAxisAngle(Vec3{}, 1.0); !matNearIdentity(got, 0) {
+		t.Errorf("zero axis should give identity, got %v", got)
+	}
+}
+
+func TestMatRowColAccessors(t *testing.T) {
+	m := MatFromRows(V(1, 2, 3), V(4, 5, 6), V(7, 8, 9))
+	if got := m.Row(1); got != V(4, 5, 6) {
+		t.Errorf("Row(1) = %v", got)
+	}
+	if got := m.Col(2); got != V(3, 6, 9) {
+		t.Errorf("Col(2) = %v", got)
+	}
+	if got := MatFromCols(V(1, 4, 7), V(2, 5, 8), V(3, 6, 9)); got != m {
+		t.Errorf("MatFromCols = %v", got)
+	}
+	if got := m.Transpose().Transpose(); got != m {
+		t.Errorf("double transpose = %v", got)
+	}
+}
+
+func TestTransformCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		a := Transform{R: randomRotation(rng), T: randomVec(rng)}
+		b := Transform{R: randomRotation(rng), T: randomVec(rng)}
+		p := randomVec(rng)
+		lhs := a.Compose(b).Apply(p)
+		rhs := a.Apply(b.Apply(p))
+		if !lhs.NearEqual(rhs, 1e-9*(1+lhs.Len())) {
+			t.Fatalf("compose mismatch: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestTransformBuilders(t *testing.T) {
+	p := V(1, 1, 1)
+	if got := Translation(V(1, 2, 3)).Apply(p); got != V(2, 3, 4) {
+		t.Errorf("Translation = %v", got)
+	}
+	if got := Scaling(2).Apply(p); got != V(2, 2, 2) {
+		t.Errorf("Scaling = %v", got)
+	}
+	if got := IdentityTransform().Apply(p); got != p {
+		t.Errorf("Identity = %v", got)
+	}
+}

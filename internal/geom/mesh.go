@@ -1,0 +1,296 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mesh is an indexed triangle mesh. Faces index into Vertices and are
+// oriented counter-clockwise when viewed from outside (outward normals),
+// which the exact integral properties (Volume, Centroid, moments) rely on.
+type Mesh struct {
+	Vertices []Vec3
+	Faces    [][3]int
+}
+
+// NewMesh returns an empty mesh with capacity hints.
+func NewMesh(nv, nf int) *Mesh {
+	return &Mesh{
+		Vertices: make([]Vec3, 0, nv),
+		Faces:    make([][3]int, 0, nf),
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Mesh) Clone() *Mesh {
+	c := &Mesh{
+		Vertices: make([]Vec3, len(m.Vertices)),
+		Faces:    make([][3]int, len(m.Faces)),
+	}
+	copy(c.Vertices, m.Vertices)
+	copy(c.Faces, m.Faces)
+	return c
+}
+
+// AddVertex appends v and returns its index.
+func (m *Mesh) AddVertex(v Vec3) int {
+	m.Vertices = append(m.Vertices, v)
+	return len(m.Vertices) - 1
+}
+
+// AddFace appends the triangle (a, b, c).
+func (m *Mesh) AddFace(a, b, c int) {
+	m.Faces = append(m.Faces, [3]int{a, b, c})
+}
+
+// Triangle returns the three vertices of face i.
+func (m *Mesh) Triangle(i int) (Vec3, Vec3, Vec3) {
+	f := m.Faces[i]
+	return m.Vertices[f[0]], m.Vertices[f[1]], m.Vertices[f[2]]
+}
+
+// FaceArea returns the area of face i.
+func (m *Mesh) FaceArea(i int) float64 {
+	a, b, c := m.Triangle(i)
+	return 0.5 * b.Sub(a).Cross(c.Sub(a)).Len()
+}
+
+// FaceNormal returns the (unnormalized) outward normal of face i, whose
+// length equals twice the face area.
+func (m *Mesh) FaceNormal(i int) Vec3 {
+	a, b, c := m.Triangle(i)
+	return b.Sub(a).Cross(c.Sub(a))
+}
+
+// SurfaceArea returns the total surface area of the mesh.
+func (m *Mesh) SurfaceArea() float64 {
+	total := 0.0
+	for i := range m.Faces {
+		total += m.FaceArea(i)
+	}
+	return total
+}
+
+// Volume returns the signed enclosed volume of the mesh, computed exactly
+// by the divergence theorem (sum of signed tetrahedra against the origin).
+// For a closed mesh with outward-oriented faces the result is positive.
+func (m *Mesh) Volume() float64 {
+	vol := 0.0
+	for _, f := range m.Faces {
+		a, b, c := m.Vertices[f[0]], m.Vertices[f[1]], m.Vertices[f[2]]
+		vol += a.Dot(b.Cross(c))
+	}
+	return vol / 6
+}
+
+// Centroid returns the volume centroid of the closed mesh (the centroid of
+// the enclosed solid, not of the surface). It is exact for closed meshes.
+// For meshes with near-zero volume the vertex average is returned instead.
+func (m *Mesh) Centroid() Vec3 {
+	var acc Vec3
+	vol := 0.0
+	for _, f := range m.Faces {
+		a, b, c := m.Vertices[f[0]], m.Vertices[f[1]], m.Vertices[f[2]]
+		v := a.Dot(b.Cross(c)) // 6 × signed tet volume
+		vol += v
+		// Tet centroid = (0+a+b+c)/4, weighted by signed volume.
+		acc = acc.Add(a.Add(b).Add(c).Scale(v / 4))
+	}
+	if math.Abs(vol) < 1e-300 {
+		return m.VertexCentroid()
+	}
+	return acc.Scale(1 / vol)
+}
+
+// VertexCentroid returns the arithmetic mean of the vertices.
+func (m *Mesh) VertexCentroid() Vec3 {
+	if len(m.Vertices) == 0 {
+		return Vec3{}
+	}
+	var acc Vec3
+	for _, v := range m.Vertices {
+		acc = acc.Add(v)
+	}
+	return acc.Scale(1 / float64(len(m.Vertices)))
+}
+
+// Bounds returns the axis-aligned bounding box (min, max) of the mesh
+// vertices. An empty mesh yields two zero vectors.
+func (m *Mesh) Bounds() (min, max Vec3) {
+	if len(m.Vertices) == 0 {
+		return Vec3{}, Vec3{}
+	}
+	min, max = m.Vertices[0], m.Vertices[0]
+	for _, v := range m.Vertices[1:] {
+		min = min.Min(v)
+		max = max.Max(v)
+	}
+	return min, max
+}
+
+// Extent returns the size of the bounding box along each axis.
+func (m *Mesh) Extent() Vec3 {
+	min, max := m.Bounds()
+	return max.Sub(min)
+}
+
+// Transform applies t to every vertex in place and returns m. When the
+// linear part of t has negative determinant (a reflection), face winding is
+// flipped so normals stay outward.
+func (m *Mesh) Transform(t Transform) *Mesh {
+	for i := range m.Vertices {
+		m.Vertices[i] = t.Apply(m.Vertices[i])
+	}
+	if t.R.Det() < 0 {
+		m.FlipFaces()
+	}
+	return m
+}
+
+// Translate shifts every vertex by d in place and returns m.
+func (m *Mesh) Translate(d Vec3) *Mesh { return m.Transform(Translation(d)) }
+
+// ScaleUniform scales every vertex by s about the origin in place and
+// returns m.
+func (m *Mesh) ScaleUniform(s float64) *Mesh { return m.Transform(Scaling(s)) }
+
+// Rotate applies the rotation r about the origin in place and returns m.
+func (m *Mesh) Rotate(r Mat3) *Mesh { return m.Transform(Rotation(r)) }
+
+// FlipFaces reverses the winding of every face in place (inverting all
+// normals) and returns m.
+func (m *Mesh) FlipFaces() *Mesh {
+	for i, f := range m.Faces {
+		m.Faces[i] = [3]int{f[0], f[2], f[1]}
+	}
+	return m
+}
+
+// Merge appends a copy of other's geometry into m and returns m. The two
+// meshes are assumed to be disjoint solids (or intentionally overlapping;
+// integral properties then add their signed contributions).
+func (m *Mesh) Merge(other *Mesh) *Mesh {
+	base := len(m.Vertices)
+	m.Vertices = append(m.Vertices, other.Vertices...)
+	for _, f := range other.Faces {
+		m.Faces = append(m.Faces, [3]int{f[0] + base, f[1] + base, f[2] + base})
+	}
+	return m
+}
+
+// Validate checks structural soundness: every face index in range, no
+// degenerate (repeated-index) faces, and all vertices finite. It returns
+// the first problem found.
+func (m *Mesh) Validate() error {
+	n := len(m.Vertices)
+	for i, v := range m.Vertices {
+		if !v.IsFinite() {
+			return fmt.Errorf("geom: vertex %d is not finite: %v", i, v)
+		}
+	}
+	for i, f := range m.Faces {
+		for _, idx := range f {
+			if idx < 0 || idx >= n {
+				return fmt.Errorf("geom: face %d references vertex %d (have %d vertices)", i, idx, n)
+			}
+		}
+		if f[0] == f[1] || f[1] == f[2] || f[0] == f[2] {
+			return fmt.Errorf("geom: face %d is degenerate: %v", i, f)
+		}
+	}
+	return nil
+}
+
+// IsClosed reports whether every edge is shared by exactly two faces with
+// opposite orientation — the watertightness condition under which Volume,
+// Centroid and the moment integrals are exact.
+func (m *Mesh) IsClosed() bool {
+	type edge struct{ a, b int }
+	count := make(map[edge]int, len(m.Faces)*3)
+	for _, f := range m.Faces {
+		for k := 0; k < 3; k++ {
+			a, b := f[k], f[(k+1)%3]
+			count[edge{a, b}]++
+		}
+	}
+	for e, c := range count {
+		if c != 1 {
+			return false // duplicated directed edge
+		}
+		if count[edge{e.b, e.a}] != 1 {
+			return false // no opposite twin
+		}
+	}
+	return len(count) > 0
+}
+
+// WeldVertices merges vertices closer than tol (snap-to-grid hashing) and
+// drops faces that become degenerate. It returns m. Welding is useful after
+// Merge or file import where coincident vertices are duplicated.
+func (m *Mesh) WeldVertices(tol float64) *Mesh {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	type key struct{ x, y, z int64 }
+	quant := func(v Vec3) key {
+		return key{
+			int64(math.Round(v.X / tol)),
+			int64(math.Round(v.Y / tol)),
+			int64(math.Round(v.Z / tol)),
+		}
+	}
+	remap := make([]int, len(m.Vertices))
+	index := make(map[key]int, len(m.Vertices))
+	verts := make([]Vec3, 0, len(m.Vertices))
+	for i, v := range m.Vertices {
+		k := quant(v)
+		if j, ok := index[k]; ok {
+			remap[i] = j
+			continue
+		}
+		index[k] = len(verts)
+		remap[i] = len(verts)
+		verts = append(verts, v)
+	}
+	faces := m.Faces[:0]
+	for _, f := range m.Faces {
+		g := [3]int{remap[f[0]], remap[f[1]], remap[f[2]]}
+		if g[0] == g[1] || g[1] == g[2] || g[0] == g[2] {
+			continue
+		}
+		faces = append(faces, g)
+	}
+	m.Vertices = verts
+	m.Faces = faces
+	return m
+}
+
+// EulerCharacteristic returns V − E + F counting each undirected edge once.
+// A closed orientable surface of genus g has characteristic 2−2g, so a
+// topological sphere yields 2 and a torus 0.
+func (m *Mesh) EulerCharacteristic() int {
+	type edge struct{ a, b int }
+	edges := make(map[edge]struct{}, len(m.Faces)*3)
+	for _, f := range m.Faces {
+		for k := 0; k < 3; k++ {
+			a, b := f[k], f[(k+1)%3]
+			if a > b {
+				a, b = b, a
+			}
+			edges[edge{a, b}] = struct{}{}
+		}
+	}
+	return len(m.Vertices) - len(edges) + len(m.Faces)
+}
+
+// AspectRatios returns the two bounding-box aspect ratios used by the
+// geometric-parameters descriptor: longest/shortest and middle/shortest
+// extent. Zero extents are clamped to avoid division by zero.
+func (m *Mesh) AspectRatios() (longOverShort, midOverShort float64) {
+	e := m.Extent()
+	d := []float64{e.X, e.Y, e.Z}
+	sort.Float64s(d)
+	shortest := math.Max(d[0], 1e-12)
+	return d[2] / shortest, d[1] / shortest
+}

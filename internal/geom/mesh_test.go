@@ -1,0 +1,219 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoxVolumeAreaCentroid(t *testing.T) {
+	m := Box(V(1, 2, 3), V(3, 5, 7)) // 2×3×4 box
+	if got := m.Volume(); !almostEq(got, 24, 1e-12) {
+		t.Errorf("Volume = %v, want 24", got)
+	}
+	want := 2 * (2*3 + 3*4 + 2*4)
+	if got := m.SurfaceArea(); !almostEq(got, float64(want), 1e-12) {
+		t.Errorf("SurfaceArea = %v, want %v", got, want)
+	}
+	if got := m.Centroid(); !got.NearEqual(V(2, 3.5, 5), 1e-12) {
+		t.Errorf("Centroid = %v, want (2, 3.5, 5)", got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if !m.IsClosed() {
+		t.Error("box should be closed")
+	}
+	if got := m.EulerCharacteristic(); got != 2 {
+		t.Errorf("Euler characteristic = %d, want 2", got)
+	}
+}
+
+func TestMeshBoundsExtent(t *testing.T) {
+	m := Box(V(-1, -2, -3), V(4, 5, 6))
+	min, max := m.Bounds()
+	if min != V(-1, -2, -3) || max != V(4, 5, 6) {
+		t.Errorf("Bounds = %v, %v", min, max)
+	}
+	if got := m.Extent(); got != V(5, 7, 9) {
+		t.Errorf("Extent = %v", got)
+	}
+	longAR, midAR := m.AspectRatios()
+	if !almostEq(longAR, 9.0/5, 1e-12) || !almostEq(midAR, 7.0/5, 1e-12) {
+		t.Errorf("AspectRatios = %v, %v", longAR, midAR)
+	}
+}
+
+func TestEmptyMeshProperties(t *testing.T) {
+	m := NewMesh(0, 0)
+	if got := m.Volume(); got != 0 {
+		t.Errorf("empty volume = %v", got)
+	}
+	min, max := m.Bounds()
+	if min != (Vec3{}) || max != (Vec3{}) {
+		t.Errorf("empty bounds = %v %v", min, max)
+	}
+	if m.IsClosed() {
+		t.Error("empty mesh must not report closed")
+	}
+	if got := m.VertexCentroid(); got != (Vec3{}) {
+		t.Errorf("empty VertexCentroid = %v", got)
+	}
+}
+
+func TestMeshTransformRigid(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for i := 0; i < 50; i++ {
+		m := Box(V(0, 0, 0), V(2, 3, 4))
+		vol, area := m.Volume(), m.SurfaceArea()
+		tr := Transform{R: randomRotation(rng), T: randomVec(rng)}
+		m.Transform(tr)
+		if !almostEq(m.Volume(), vol, 1e-9*vol) {
+			t.Fatalf("rigid transform changed volume: %v vs %v", m.Volume(), vol)
+		}
+		if !almostEq(m.SurfaceArea(), area, 1e-9*area) {
+			t.Fatalf("rigid transform changed area: %v vs %v", m.SurfaceArea(), area)
+		}
+	}
+}
+
+func TestMeshScaleVolume(t *testing.T) {
+	m := Box(V(0, 0, 0), V(1, 1, 1))
+	m.ScaleUniform(3)
+	if got := m.Volume(); !almostEq(got, 27, 1e-9) {
+		t.Errorf("scaled volume = %v, want 27", got)
+	}
+}
+
+func TestMeshReflectionKeepsPositiveVolume(t *testing.T) {
+	m := Box(V(0, 0, 0), V(1, 2, 3))
+	reflect := Mat3{{-1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	m.Transform(Rotation(reflect))
+	if got := m.Volume(); !almostEq(got, 6, 1e-9) {
+		t.Errorf("reflected volume = %v, want 6 (winding should flip)", got)
+	}
+	if !m.IsClosed() {
+		t.Error("reflected mesh should stay closed")
+	}
+}
+
+func TestFlipFacesNegatesVolume(t *testing.T) {
+	m := Box(V(0, 0, 0), V(1, 1, 1))
+	m.FlipFaces()
+	if got := m.Volume(); !almostEq(got, -1, 1e-12) {
+		t.Errorf("flipped volume = %v, want -1", got)
+	}
+}
+
+func TestMeshMerge(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	b := Box(V(5, 5, 5), V(6, 7, 8))
+	a.Merge(b)
+	if got := a.Volume(); !almostEq(got, 1+6, 1e-9) {
+		t.Errorf("merged volume = %v, want 7", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate after merge: %v", err)
+	}
+	if !a.IsClosed() {
+		t.Error("merged disjoint solids should be closed")
+	}
+}
+
+func TestMergeWithFlippedInnerSubtractsVolume(t *testing.T) {
+	// A cavity: inner flipped box inside outer box.
+	outer := Box(V(0, 0, 0), V(4, 4, 4))
+	inner := Box(V(1, 1, 1), V(2, 2, 2)).FlipFaces()
+	outer.Merge(inner)
+	if got := outer.Volume(); !almostEq(got, 64-1, 1e-9) {
+		t.Errorf("cavity volume = %v, want 63", got)
+	}
+}
+
+func TestMeshValidateCatchesErrors(t *testing.T) {
+	m := NewMesh(0, 0)
+	m.AddVertex(V(0, 0, 0))
+	m.AddVertex(V(1, 0, 0))
+	m.AddVertex(V(0, 1, 0))
+	m.AddFace(0, 1, 5)
+	if err := m.Validate(); err == nil {
+		t.Error("out-of-range face index not caught")
+	}
+	m.Faces[0] = [3]int{0, 1, 1}
+	if err := m.Validate(); err == nil {
+		t.Error("degenerate face not caught")
+	}
+	m.Faces[0] = [3]int{0, 1, 2}
+	m.Vertices[0] = V(math.NaN(), 0, 0)
+	if err := m.Validate(); err == nil {
+		t.Error("NaN vertex not caught")
+	}
+}
+
+func TestMeshIsClosedDetectsHole(t *testing.T) {
+	m := Box(V(0, 0, 0), V(1, 1, 1))
+	m.Faces = m.Faces[:len(m.Faces)-1] // remove one triangle
+	if m.IsClosed() {
+		t.Error("mesh with missing face reported closed")
+	}
+}
+
+func TestWeldVertices(t *testing.T) {
+	m := NewMesh(0, 0)
+	a := m.AddVertex(V(0, 0, 0))
+	b := m.AddVertex(V(1, 0, 0))
+	c := m.AddVertex(V(0, 1, 0))
+	d := m.AddVertex(V(1e-12, 0, 0)) // duplicate of a
+	m.AddFace(a, b, c)
+	m.AddFace(d, b, c) // becomes duplicate of first face but not degenerate
+	m.WeldVertices(1e-9)
+	if len(m.Vertices) != 3 {
+		t.Errorf("welded vertex count = %d, want 3", len(m.Vertices))
+	}
+	// Faces that collapse to repeated indices are dropped.
+	m2 := NewMesh(0, 0)
+	x := m2.AddVertex(V(0, 0, 0))
+	y := m2.AddVertex(V(1e-12, 0, 0))
+	z := m2.AddVertex(V(0, 1, 0))
+	m2.AddFace(x, y, z)
+	m2.WeldVertices(1e-9)
+	if len(m2.Faces) != 0 {
+		t.Errorf("degenerate face survived welding: %v", m2.Faces)
+	}
+}
+
+func TestCentroidDegenerateFallsBack(t *testing.T) {
+	m := NewMesh(0, 0)
+	m.AddVertex(V(0, 0, 0))
+	m.AddVertex(V(2, 0, 0))
+	m.AddVertex(V(0, 2, 0))
+	m.AddFace(0, 1, 2) // a flat patch: zero enclosed volume
+	want := V(2.0/3, 2.0/3, 0)
+	if got := m.Centroid(); !got.NearEqual(want, 1e-12) {
+		t.Errorf("degenerate centroid = %v, want vertex mean %v", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Box(V(0, 0, 0), V(1, 1, 1))
+	c := m.Clone()
+	c.Vertices[0] = V(99, 99, 99)
+	c.Faces[0] = [3]int{0, 1, 2}
+	if m.Vertices[0] == c.Vertices[0] {
+		t.Error("Clone shares vertex storage")
+	}
+}
+
+// Property: volume is invariant under random rigid motion for random boxes.
+func TestQuickVolumeRigidInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 100; i++ {
+		size := V(rng.Float64()*5+0.1, rng.Float64()*5+0.1, rng.Float64()*5+0.1)
+		m := BoxAt(Vec3{}, size)
+		want := size.X * size.Y * size.Z
+		m.Transform(Transform{R: randomRotation(rng), T: randomVec(rng)})
+		if !almostEq(m.Volume(), want, 1e-9*(1+want)) {
+			t.Fatalf("volume %v, want %v", m.Volume(), want)
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package geom
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// File I/O for the three interchange formats engineering tools commonly
+// emit: OFF (the format the corpus is stored in), Wavefront OBJ, and STL
+// (both ASCII and binary). Polygonal faces with more than three vertices
+// are fan-triangulated on read.
+
+// ReadMeshFile loads a mesh, dispatching on the file extension
+// (.off, .obj, .stl; case-insensitive).
+func ReadMeshFile(path string) (*Mesh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".off":
+		return ReadOFF(f)
+	case ".obj":
+		return ReadOBJ(f)
+	case ".stl":
+		return ReadSTL(f)
+	default:
+		return nil, fmt.Errorf("geom: unsupported mesh extension %q", filepath.Ext(path))
+	}
+}
+
+// WriteMeshFile saves a mesh, dispatching on the file extension
+// (.off, .obj, .stl — STL is written in binary form).
+func WriteMeshFile(path string, m *Mesh) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".off":
+		err = WriteOFF(w, m)
+	case ".obj":
+		err = WriteOBJ(w, m)
+	case ".stl":
+		err = WriteSTLBinary(w, m)
+	default:
+		return fmt.Errorf("geom: unsupported mesh extension %q", filepath.Ext(path))
+	}
+	if err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadOFF parses the Object File Format. Comments (#) and blank lines are
+// skipped; faces with n>3 vertices are fan-triangulated.
+func ReadOFF(r io.Reader) (*Mesh, error) {
+	sc := newTokenScanner(r)
+	head, err := sc.token()
+	if err != nil {
+		return nil, fmt.Errorf("geom: OFF: missing header: %w", err)
+	}
+	if head != "OFF" {
+		return nil, fmt.Errorf("geom: OFF: bad header %q", head)
+	}
+	nv, err := sc.intToken()
+	if err != nil {
+		return nil, fmt.Errorf("geom: OFF: vertex count: %w", err)
+	}
+	nf, err := sc.intToken()
+	if err != nil {
+		return nil, fmt.Errorf("geom: OFF: face count: %w", err)
+	}
+	if _, err := sc.intToken(); err != nil { // edge count, ignored
+		return nil, fmt.Errorf("geom: OFF: edge count: %w", err)
+	}
+	if nv < 0 || nf < 0 {
+		return nil, fmt.Errorf("geom: OFF: negative counts (%d vertices, %d faces)", nv, nf)
+	}
+	m := NewMesh(nv, nf)
+	for i := 0; i < nv; i++ {
+		x, err := sc.floatToken()
+		if err != nil {
+			return nil, fmt.Errorf("geom: OFF: vertex %d: %w", i, err)
+		}
+		y, err := sc.floatToken()
+		if err != nil {
+			return nil, fmt.Errorf("geom: OFF: vertex %d: %w", i, err)
+		}
+		z, err := sc.floatToken()
+		if err != nil {
+			return nil, fmt.Errorf("geom: OFF: vertex %d: %w", i, err)
+		}
+		m.AddVertex(V(x, y, z))
+	}
+	for i := 0; i < nf; i++ {
+		n, err := sc.intToken()
+		if err != nil {
+			return nil, fmt.Errorf("geom: OFF: face %d: %w", i, err)
+		}
+		if n < 3 {
+			return nil, fmt.Errorf("geom: OFF: face %d has %d vertices", i, n)
+		}
+		idx := make([]int, n)
+		for j := 0; j < n; j++ {
+			idx[j], err = sc.intToken()
+			if err != nil {
+				return nil, fmt.Errorf("geom: OFF: face %d index %d: %w", i, j, err)
+			}
+			if idx[j] < 0 || idx[j] >= nv {
+				return nil, fmt.Errorf("geom: OFF: face %d references vertex %d of %d", i, idx[j], nv)
+			}
+		}
+		for j := 1; j < n-1; j++ { // fan triangulation
+			m.AddFace(idx[0], idx[j], idx[j+1])
+		}
+	}
+	return m, nil
+}
+
+// WriteOFF emits m in Object File Format.
+func WriteOFF(w io.Writer, m *Mesh) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "OFF")
+	fmt.Fprintf(bw, "%d %d 0\n", len(m.Vertices), len(m.Faces))
+	for _, v := range m.Vertices {
+		fmt.Fprintf(bw, "%.9g %.9g %.9g\n", v.X, v.Y, v.Z)
+	}
+	for _, f := range m.Faces {
+		fmt.Fprintf(bw, "3 %d %d %d\n", f[0], f[1], f[2])
+	}
+	return bw.Flush()
+}
+
+// ReadOBJ parses Wavefront OBJ geometry (v and f records; texture/normal
+// indices after slashes and all other record types are ignored). Negative
+// (relative) indices are supported.
+func ReadOBJ(r io.Reader) (*Mesh, error) {
+	m := NewMesh(0, 0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "v":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("geom: OBJ line %d: short vertex", lineNo)
+			}
+			var c [3]float64
+			for i := 0; i < 3; i++ {
+				x, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("geom: OBJ line %d: %w", lineNo, err)
+				}
+				c[i] = x
+			}
+			m.AddVertex(V(c[0], c[1], c[2]))
+		case "f":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("geom: OBJ line %d: face with <3 vertices", lineNo)
+			}
+			idx := make([]int, 0, len(fields)-1)
+			for _, fd := range fields[1:] {
+				s := fd
+				if k := strings.IndexByte(s, '/'); k >= 0 {
+					s = s[:k]
+				}
+				n, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, fmt.Errorf("geom: OBJ line %d: bad index %q: %w", lineNo, fd, err)
+				}
+				if n < 0 {
+					n = len(m.Vertices) + 1 + n
+				}
+				if n < 1 || n > len(m.Vertices) {
+					return nil, fmt.Errorf("geom: OBJ line %d: index %d out of range", lineNo, n)
+				}
+				idx = append(idx, n-1)
+			}
+			for j := 1; j < len(idx)-1; j++ {
+				m.AddFace(idx[0], idx[j], idx[j+1])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteOBJ emits m as Wavefront OBJ.
+func WriteOBJ(w io.Writer, m *Mesh) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# exported by threedess/internal/geom")
+	for _, v := range m.Vertices {
+		fmt.Fprintf(bw, "v %.9g %.9g %.9g\n", v.X, v.Y, v.Z)
+	}
+	for _, f := range m.Faces {
+		fmt.Fprintf(bw, "f %d %d %d\n", f[0]+1, f[1]+1, f[2]+1)
+	}
+	return bw.Flush()
+}
+
+// ReadSTL parses an STL stream, auto-detecting ASCII vs binary form.
+// STL carries no connectivity, so coincident vertices are welded after
+// loading to recover a usable indexed mesh.
+func ReadSTL(r io.Reader) (*Mesh, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(5)
+	if err != nil {
+		return nil, fmt.Errorf("geom: STL: %w", err)
+	}
+	if string(head) == "solid" {
+		// ASCII unless the "solid" header is a lie (some binary exporters
+		// start with "solid" too); a real ASCII file contains "facet".
+		probe, _ := br.Peek(512)
+		if strings.Contains(string(probe), "facet") {
+			return readSTLASCII(br)
+		}
+	}
+	return readSTLBinary(br)
+}
+
+func readSTLASCII(r io.Reader) (*Mesh, error) {
+	m := NewMesh(0, 0)
+	sc := newTokenScanner(r)
+	for {
+		tok, err := sc.token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if tok != "vertex" {
+			continue
+		}
+		x, err := sc.floatToken()
+		if err != nil {
+			return nil, fmt.Errorf("geom: STL vertex: %w", err)
+		}
+		y, err := sc.floatToken()
+		if err != nil {
+			return nil, fmt.Errorf("geom: STL vertex: %w", err)
+		}
+		z, err := sc.floatToken()
+		if err != nil {
+			return nil, fmt.Errorf("geom: STL vertex: %w", err)
+		}
+		m.AddVertex(V(x, y, z))
+	}
+	if len(m.Vertices)%3 != 0 {
+		return nil, fmt.Errorf("geom: STL: %d vertices is not a multiple of 3", len(m.Vertices))
+	}
+	for i := 0; i+2 < len(m.Vertices); i += 3 {
+		m.AddFace(i, i+1, i+2)
+	}
+	return m.WeldVertices(0), nil
+}
+
+func readSTLBinary(r io.Reader) (*Mesh, error) {
+	header := make([]byte, 80)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("geom: binary STL header: %w", err)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("geom: binary STL count: %w", err)
+	}
+	if count > 50_000_000 {
+		return nil, fmt.Errorf("geom: binary STL claims %d triangles; refusing", count)
+	}
+	m := NewMesh(int(count)*3, int(count))
+	buf := make([]byte, 50) // 12 normal + 36 vertex + 2 attribute bytes
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("geom: binary STL triangle %d: %w", i, err)
+		}
+		base := len(m.Vertices)
+		for v := 0; v < 3; v++ {
+			off := 12 + v*12
+			x := math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+			y := math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:]))
+			z := math.Float32frombits(binary.LittleEndian.Uint32(buf[off+8:]))
+			m.AddVertex(V(float64(x), float64(y), float64(z)))
+		}
+		m.AddFace(base, base+1, base+2)
+	}
+	return m.WeldVertices(0), nil
+}
+
+// WriteSTLBinary emits m as binary STL.
+func WriteSTLBinary(w io.Writer, m *Mesh) error {
+	header := make([]byte, 80)
+	copy(header, "threedess binary STL export")
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(m.Faces))); err != nil {
+		return err
+	}
+	buf := make([]byte, 50)
+	for i := range m.Faces {
+		n := m.FaceNormal(i).Normalize()
+		a, b, c := m.Triangle(i)
+		put := func(off int, v Vec3) {
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(v.X)))
+			binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(float32(v.Y)))
+			binary.LittleEndian.PutUint32(buf[off+8:], math.Float32bits(float32(v.Z)))
+		}
+		put(0, n)
+		put(12, a)
+		put(24, b)
+		put(36, c)
+		buf[48], buf[49] = 0, 0
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tokenScanner yields whitespace-separated tokens, skipping '#' comments to
+// end of line (as used by OFF).
+type tokenScanner struct {
+	sc *bufio.Scanner
+}
+
+func newTokenScanner(r io.Reader) *tokenScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	sc.Split(splitTokensSkipComments)
+	return &tokenScanner{sc: sc}
+}
+
+func splitTokensSkipComments(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	i := 0
+	for {
+		// Skip whitespace.
+		for i < len(data) && (data[i] == ' ' || data[i] == '\t' || data[i] == '\n' || data[i] == '\r') {
+			i++
+		}
+		// Skip comment to end of line.
+		if i < len(data) && data[i] == '#' {
+			j := i
+			for j < len(data) && data[j] != '\n' {
+				j++
+			}
+			if j == len(data) && !atEOF {
+				return 0, nil, nil // need more data to find EOL
+			}
+			i = j
+			continue
+		}
+		break
+	}
+	if i == len(data) {
+		if atEOF {
+			return len(data), nil, nil
+		}
+		return i, nil, nil
+	}
+	start := i
+	for i < len(data) && data[i] != ' ' && data[i] != '\t' && data[i] != '\n' && data[i] != '\r' && data[i] != '#' {
+		i++
+	}
+	if i == len(data) && !atEOF {
+		return start, nil, nil // token may continue
+	}
+	return i, data[start:i], nil
+}
+
+func (t *tokenScanner) token() (string, error) {
+	if t.sc.Scan() {
+		return t.sc.Text(), nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+func (t *tokenScanner) intToken() (int, error) {
+	s, err := t.token()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(s)
+}
+
+func (t *tokenScanner) floatToken() (float64, error) {
+	s, err := t.token()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(s, 64)
+}

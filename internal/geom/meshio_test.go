@@ -1,0 +1,204 @@
+package geom
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func meshesEquivalent(t *testing.T, a, b *Mesh, tol float64) {
+	t.Helper()
+	if math.Abs(a.Volume()-b.Volume()) > tol*(1+math.Abs(a.Volume())) {
+		t.Errorf("volume mismatch: %v vs %v", a.Volume(), b.Volume())
+	}
+	if math.Abs(a.SurfaceArea()-b.SurfaceArea()) > tol*(1+a.SurfaceArea()) {
+		t.Errorf("area mismatch: %v vs %v", a.SurfaceArea(), b.SurfaceArea())
+	}
+	if !a.Centroid().NearEqual(b.Centroid(), tol) {
+		t.Errorf("centroid mismatch: %v vs %v", a.Centroid(), b.Centroid())
+	}
+}
+
+func TestOFFRoundTrip(t *testing.T) {
+	orig := Sphere(1.5, 8, 12)
+	var buf bytes.Buffer
+	if err := WriteOFF(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Vertices) != len(orig.Vertices) || len(back.Faces) != len(orig.Faces) {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d",
+			len(back.Vertices), len(back.Faces), len(orig.Vertices), len(orig.Faces))
+	}
+	meshesEquivalent(t, orig, back, 1e-6)
+}
+
+func TestOFFCommentsAndPolygons(t *testing.T) {
+	src := `OFF
+# a comment line
+4 1 0
+0 0 0
+1 0 0  # trailing comment
+1 1 0
+0 1 0
+4 0 1 2 3
+`
+	m, err := ReadOFF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Vertices) != 4 {
+		t.Errorf("vertices = %d, want 4", len(m.Vertices))
+	}
+	if len(m.Faces) != 2 { // quad fan-triangulated
+		t.Errorf("faces = %d, want 2", len(m.Faces))
+	}
+}
+
+func TestOFFErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":      "OOF\n1 0 0\n0 0 0\n",
+		"missing counts":  "OFF\n",
+		"short vertex":    "OFF\n1 0 0\n0 0\n",
+		"bad face index":  "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 9\n",
+		"tiny face":       "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n2 0 1\n",
+		"negative counts": "OFF\n-1 0 0\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadOFF(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestOBJRoundTrip(t *testing.T) {
+	orig := Cylinder(1, 2, 16)
+	var buf bytes.Buffer
+	if err := WriteOBJ(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOBJ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshesEquivalent(t, orig, back, 1e-6)
+}
+
+func TestOBJFeatures(t *testing.T) {
+	src := `# comment
+v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+vn 0 0 1
+vt 0 0
+f 1/1/1 2/2/1 3/3/1 4/4/1
+f -4 -3 -2
+g group-records-ignored
+`
+	m, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Vertices) != 4 {
+		t.Errorf("vertices = %d", len(m.Vertices))
+	}
+	if len(m.Faces) != 3 { // quad → 2 + 1 relative-index triangle
+		t.Errorf("faces = %d, want 3", len(m.Faces))
+	}
+}
+
+func TestOBJErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"bad coord":    "v a b c\n",
+		"short vertex": "v 1 2\n",
+		"bad index":    "v 0 0 0\nf 1 2 9\n",
+		"short face":   "v 0 0 0\nv 1 0 0\nf 1 2\n",
+	} {
+		if _, err := ReadOBJ(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestSTLBinaryRoundTrip(t *testing.T) {
+	orig := Box(V(0, 0, 0), V(1, 2, 3))
+	var buf bytes.Buffer
+	if err := WriteSTLBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSTL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// STL loses connectivity; welding restores it.
+	if !back.IsClosed() {
+		t.Error("STL round trip should produce closed mesh after welding")
+	}
+	meshesEquivalent(t, orig, back, 1e-5)
+}
+
+func TestSTLASCII(t *testing.T) {
+	src := `solid test
+facet normal 0 0 1
+  outer loop
+    vertex 0 0 0
+    vertex 1 0 0
+    vertex 0 1 0
+  endloop
+endfacet
+facet normal 0 0 -1
+  outer loop
+    vertex 0 0 0
+    vertex 0 1 0
+    vertex 1 0 0
+  endloop
+endfacet
+endsolid test
+`
+	m, err := ReadSTL(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Faces) != 2 {
+		t.Errorf("faces = %d, want 2", len(m.Faces))
+	}
+	if len(m.Vertices) != 3 { // welded
+		t.Errorf("vertices = %d, want 3 after welding", len(m.Vertices))
+	}
+}
+
+func TestMeshFileDispatch(t *testing.T) {
+	dir := t.TempDir()
+	orig := Sphere(1, 6, 8)
+	for _, ext := range []string{".off", ".obj", ".stl"} {
+		path := filepath.Join(dir, "shape"+ext)
+		if err := WriteMeshFile(path, orig); err != nil {
+			t.Fatalf("%s write: %v", ext, err)
+		}
+		back, err := ReadMeshFile(path)
+		if err != nil {
+			t.Fatalf("%s read: %v", ext, err)
+		}
+		meshesEquivalent(t, orig, back, 1e-5)
+	}
+	if err := WriteMeshFile(filepath.Join(dir, "shape.xyz"), orig); err == nil {
+		t.Error("unknown extension accepted for write")
+	}
+	if _, err := ReadMeshFile(filepath.Join(dir, "missing.off")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+	bad := filepath.Join(dir, "bad.xyz")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMeshFile(bad); err == nil {
+		t.Error("unknown extension accepted for read")
+	}
+}

@@ -1,0 +1,315 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Parametric solid primitives. Every constructor returns a closed,
+// outward-oriented triangle mesh, so the exact integral machinery (volume,
+// centroid, moments) applies directly. Engineering part families in
+// internal/dataset are composed from these.
+
+// Box returns the axis-aligned box [min, max].
+func Box(min, max Vec3) *Mesh {
+	m := NewMesh(8, 12)
+	for i := 0; i < 8; i++ {
+		m.AddVertex(V(
+			pick(i&1 != 0, max.X, min.X),
+			pick(i&2 != 0, max.Y, min.Y),
+			pick(i&4 != 0, max.Z, min.Z),
+		))
+	}
+	quads := [][4]int{
+		{0, 2, 3, 1}, // z = min (viewed from -z: CCW)
+		{4, 5, 7, 6}, // z = max
+		{0, 1, 5, 4}, // y = min
+		{2, 6, 7, 3}, // y = max
+		{0, 4, 6, 2}, // x = min
+		{1, 3, 7, 5}, // x = max
+	}
+	for _, q := range quads {
+		m.AddFace(q[0], q[1], q[2])
+		m.AddFace(q[0], q[2], q[3])
+	}
+	return m
+}
+
+// BoxAt returns a box of the given size centered at c.
+func BoxAt(c Vec3, size Vec3) *Mesh {
+	h := size.Scale(0.5)
+	return Box(c.Sub(h), c.Add(h))
+}
+
+func pick(cond bool, a, b float64) float64 {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// Extrude sweeps the counter-clockwise polygon outer (with optional holes)
+// from z=z0 to z=z1, producing a closed prism. Hole walls are oriented so
+// that all normals point out of the solid.
+func Extrude(outer Polygon, holes []Polygon, z0, z1 float64) (*Mesh, error) {
+	if z1 < z0 {
+		z0, z1 = z1, z0
+	}
+	if z1-z0 <= 0 {
+		return nil, fmt.Errorf("geom: Extrude with zero height")
+	}
+	verts, tris, err := TriangulatePolygon(outer, holes)
+	if err != nil {
+		return nil, err
+	}
+	m := NewMesh(2*len(verts), 2*len(tris)+6*len(verts))
+
+	addWalls := func(loop Polygon, ccw bool) {
+		l := make(Polygon, len(loop))
+		copy(l, loop)
+		if (l.SignedArea() > 0) != ccw {
+			l.Reverse()
+		}
+		base := len(m.Vertices)
+		for _, p := range l {
+			m.AddVertex(V(p.X, p.Y, z0))
+			m.AddVertex(V(p.X, p.Y, z1))
+		}
+		n := len(l)
+		for i := 0; i < n; i++ {
+			j := (i + 1) % n
+			a0 := base + 2*i
+			a1 := base + 2*i + 1
+			b0 := base + 2*j
+			b1 := base + 2*j + 1
+			m.AddFace(a0, b0, b1)
+			m.AddFace(a0, b1, a1)
+		}
+	}
+	addWalls(outer, true)
+	for _, h := range holes {
+		addWalls(h, false) // clockwise traversal flips wall normals outward of the solid
+	}
+
+	// Caps from the triangulation (verts includes bridge duplicates).
+	capBase0 := len(m.Vertices)
+	for _, p := range verts {
+		m.AddVertex(V(p.X, p.Y, z0))
+	}
+	capBase1 := len(m.Vertices)
+	for _, p := range verts {
+		m.AddVertex(V(p.X, p.Y, z1))
+	}
+	for _, t := range tris {
+		m.AddFace(capBase0+t[0], capBase0+t[2], capBase0+t[1]) // bottom: -z
+		m.AddFace(capBase1+t[0], capBase1+t[1], capBase1+t[2]) // top: +z
+	}
+	m.WeldVertices(1e-9)
+	return m, nil
+}
+
+// Lathe revolves the closed profile polygon (given in the (r, z) half-plane
+// with r ≥ 0, counter-clockwise) around the Z axis with the given number of
+// angular segments, producing a closed solid of revolution. Profile
+// vertices with r = 0 collapse to poles and are welded.
+func Lathe(profile Polygon, segments int) (*Mesh, error) {
+	if len(profile) < 3 {
+		return nil, fmt.Errorf("geom: Lathe profile needs ≥3 vertices, got %d", len(profile))
+	}
+	if segments < 3 {
+		segments = 3
+	}
+	p := make(Polygon, len(profile))
+	copy(p, profile)
+	if p.SignedArea() < 0 {
+		p.Reverse()
+	}
+	for i, v := range p {
+		if v.X < -1e-12 {
+			return nil, fmt.Errorf("geom: Lathe profile vertex %d has negative radius %g", i, v.X)
+		}
+	}
+	n := len(p)
+	m := NewMesh(n*segments, 2*n*segments)
+	at := func(i, s int) Vec3 {
+		a := 2 * math.Pi * float64(s%segments) / float64(segments)
+		r, z := p[i].X, p[i].Y
+		return V(r*math.Cos(a), r*math.Sin(a), z)
+	}
+	idx := make([][]int, n)
+	for i := 0; i < n; i++ {
+		idx[i] = make([]int, segments)
+		for s := 0; s < segments; s++ {
+			idx[i][s] = m.AddVertex(at(i, s))
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		for s := 0; s < segments; s++ {
+			t := (s + 1) % segments
+			a0, b0 := idx[i][s], idx[i][t]
+			a1, b1 := idx[j][s], idx[j][t]
+			m.AddFace(a0, b0, b1)
+			m.AddFace(a0, b1, a1)
+		}
+	}
+	m.WeldVertices(1e-9)
+	return m, nil
+}
+
+// Cylinder returns a solid capped cylinder of the given radius between
+// z = 0 and z = height, with the given number of angular segments.
+func Cylinder(radius, height float64, segments int) *Mesh {
+	m, err := Lathe(Polygon{{0, 0}, {radius, 0}, {radius, height}, {0, height}}, segments)
+	if err != nil {
+		panic("geom: Cylinder: " + err.Error()) // profile is always valid
+	}
+	return m
+}
+
+// Tube returns a hollow cylinder (annular cross-section) with the given
+// inner and outer radii between z = 0 and z = height.
+func Tube(inner, outer, height float64, segments int) (*Mesh, error) {
+	if inner <= 0 || inner >= outer {
+		return nil, fmt.Errorf("geom: Tube radii must satisfy 0 < inner < outer, got %g, %g", inner, outer)
+	}
+	return Lathe(Polygon{{inner, 0}, {outer, 0}, {outer, height}, {inner, height}}, segments)
+}
+
+// Cone returns a solid cone frustum from radius r0 at z = 0 to radius r1 at
+// z = height. Either radius (but not both) may be zero.
+func Cone(r0, r1, height float64, segments int) (*Mesh, error) {
+	if r0 <= 0 && r1 <= 0 {
+		return nil, fmt.Errorf("geom: Cone needs a positive radius")
+	}
+	return Lathe(Polygon{{0, 0}, {r0, 0}, {r1, height}, {0, height}}, segments)
+}
+
+// Sphere returns a UV sphere of the given radius centered at the origin,
+// with rings latitude bands and segments longitude bands.
+func Sphere(radius float64, rings, segments int) *Mesh {
+	if rings < 2 {
+		rings = 2
+	}
+	// Semicircular profile from the south to the north pole.
+	profile := make(Polygon, 0, rings+1)
+	for i := 0; i <= rings; i++ {
+		phi := math.Pi * float64(i) / float64(rings) // 0..π from -z to +z
+		profile = append(profile, Vec2{radius * math.Sin(phi), -radius * math.Cos(phi)})
+	}
+	m, err := Lathe(profile, segments)
+	if err != nil {
+		panic("geom: Sphere: " + err.Error())
+	}
+	return m
+}
+
+// Torus returns a torus with the given major (center-to-tube) and minor
+// (tube) radii, lying in the XY plane centered at the origin.
+func Torus(major, minor float64, majorSegments, minorSegments int) (*Mesh, error) {
+	if minor <= 0 || minor >= major {
+		return nil, fmt.Errorf("geom: Torus radii must satisfy 0 < minor < major, got %g, %g", minor, major)
+	}
+	profile := CirclePolygon(Vec2{major, 0}, minor, minorSegments, 0)
+	return Lathe(profile, majorSegments)
+}
+
+// TubeAlongPath sweeps a circular cross-section of the given radius along a
+// 3D polyline path using parallel-transport frames. When closed is true the
+// path is treated as a loop; otherwise the ends are capped with triangle
+// fans. The path must contain at least two (three when closed) points.
+func TubeAlongPath(path []Vec3, radius float64, segments int, closed bool) (*Mesh, error) {
+	minPts := 2
+	if closed {
+		minPts = 3
+	}
+	if len(path) < minPts {
+		return nil, fmt.Errorf("geom: TubeAlongPath needs ≥%d points, got %d", minPts, len(path))
+	}
+	if segments < 3 {
+		segments = 3
+	}
+	n := len(path)
+	tangent := func(i int) Vec3 {
+		var t Vec3
+		if closed {
+			t = path[(i+1)%n].Sub(path[(i+n-1)%n])
+		} else if i == 0 {
+			t = path[1].Sub(path[0])
+		} else if i == n-1 {
+			t = path[n-1].Sub(path[n-2])
+		} else {
+			t = path[i+1].Sub(path[i-1])
+		}
+		return t.Normalize()
+	}
+	// Initial frame.
+	t0 := tangent(0)
+	up := V(0, 0, 1)
+	if math.Abs(t0.Dot(up)) > 0.9 {
+		up = V(1, 0, 0)
+	}
+	u := t0.Cross(up).Normalize()
+	v := t0.Cross(u).Normalize()
+
+	m := NewMesh(n*segments+2, 2*n*segments)
+	rings := make([][]int, n)
+	prevT := t0
+	for i := 0; i < n; i++ {
+		ti := tangent(i)
+		// Parallel-transport the frame: rotate by the minimal rotation
+		// taking prevT to ti.
+		axis := prevT.Cross(ti)
+		if s := axis.Len(); s > 1e-12 {
+			angle := math.Atan2(s, prevT.Dot(ti))
+			r := RotationAxisAngle(axis, angle)
+			u = r.MulVec(u).Normalize()
+			v = r.MulVec(v).Normalize()
+		}
+		prevT = ti
+		rings[i] = make([]int, segments)
+		for s := 0; s < segments; s++ {
+			a := 2 * math.Pi * float64(s) / float64(segments)
+			off := u.Scale(radius * math.Cos(a)).Add(v.Scale(radius * math.Sin(a)))
+			rings[i][s] = m.AddVertex(path[i].Add(off))
+		}
+	}
+	last := n - 1
+	if closed {
+		last = n
+	}
+	for i := 0; i < last; i++ {
+		r0 := rings[i%n]
+		r1 := rings[(i+1)%n]
+		for s := 0; s < segments; s++ {
+			t := (s + 1) % segments
+			m.AddFace(r0[s], r1[s], r1[t])
+			m.AddFace(r0[s], r1[t], r0[t])
+		}
+	}
+	if !closed {
+		// Cap the ends with center fans.
+		c0 := m.AddVertex(path[0])
+		c1 := m.AddVertex(path[n-1])
+		for s := 0; s < segments; s++ {
+			t := (s + 1) % segments
+			m.AddFace(c0, rings[0][s], rings[0][t])
+			m.AddFace(c1, rings[n-1][t], rings[n-1][s])
+		}
+	}
+	// A sweep with inconsistent handedness (possible for exotic frames)
+	// would yield negative volume; normalize to outward orientation.
+	if m.Volume() < 0 {
+		m.FlipFaces()
+	}
+	return m, nil
+}
+
+// HexPrism returns a hexagonal prism with the given across-flats width
+// between z = 0 and z = height (the shape of a nut or bolt head).
+func HexPrism(acrossFlats, height float64, holes []Polygon) (*Mesh, error) {
+	// Circumradius from across-flats width.
+	r := acrossFlats / math.Sqrt(3)
+	hexagon := CirclePolygon(Vec2{}, r, 6, math.Pi/6)
+	return Extrude(hexagon, holes, 0, height)
+}

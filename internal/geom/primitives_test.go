@@ -1,0 +1,340 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// Analytic-volume checks: discretized solids must converge to the closed
+// form within the discretization tolerance.
+
+func TestCylinderVolumeArea(t *testing.T) {
+	const r, h = 2.0, 5.0
+	const segs = 256
+	m := Cylinder(r, h, segs)
+	if !m.IsClosed() {
+		t.Fatal("cylinder not closed")
+	}
+	wantVol := math.Pi * r * r * h
+	if got := m.Volume(); math.Abs(got-wantVol) > 0.01*wantVol {
+		t.Errorf("volume = %v, want ≈%v", got, wantVol)
+	}
+	wantArea := 2*math.Pi*r*h + 2*math.Pi*r*r
+	if got := m.SurfaceArea(); math.Abs(got-wantArea) > 0.01*wantArea {
+		t.Errorf("area = %v, want ≈%v", got, wantArea)
+	}
+	if got := m.Centroid(); !got.NearEqual(V(0, 0, h/2), 1e-6) {
+		t.Errorf("centroid = %v, want (0,0,%v)", got, h/2)
+	}
+}
+
+func TestTubeVolume(t *testing.T) {
+	const ri, ro, h = 1.0, 2.0, 3.0
+	m, err := Tube(ri, ro, h, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsClosed() {
+		t.Fatal("tube not closed")
+	}
+	want := math.Pi * (ro*ro - ri*ri) * h
+	if got := m.Volume(); math.Abs(got-want) > 0.01*want {
+		t.Errorf("volume = %v, want ≈%v", got, want)
+	}
+	// Genus 1: Euler characteristic 0.
+	if got := m.EulerCharacteristic(); got != 0 {
+		t.Errorf("tube Euler characteristic = %d, want 0", got)
+	}
+}
+
+func TestTubeBadRadii(t *testing.T) {
+	if _, err := Tube(2, 1, 1, 8); err == nil {
+		t.Error("inner ≥ outer accepted")
+	}
+	if _, err := Tube(0, 1, 1, 8); err == nil {
+		t.Error("zero inner radius accepted")
+	}
+}
+
+func TestConeVolume(t *testing.T) {
+	const r, h = 3.0, 4.0
+	m, err := Cone(r, 0, h, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pi * r * r * h / 3
+	if got := m.Volume(); math.Abs(got-want) > 0.01*want {
+		t.Errorf("cone volume = %v, want ≈%v", got, want)
+	}
+	// Frustum.
+	f, err := Cone(2, 1, 3, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := math.Pi * 3.0 / 3 * (4 + 2 + 1)
+	if got := f.Volume(); math.Abs(got-wantF) > 0.01*wantF {
+		t.Errorf("frustum volume = %v, want ≈%v", got, wantF)
+	}
+	if _, err := Cone(0, 0, 1, 8); err == nil {
+		t.Error("double-zero-radius cone accepted")
+	}
+}
+
+func TestSphereVolumeArea(t *testing.T) {
+	const r = 2.0
+	m := Sphere(r, 64, 128)
+	if !m.IsClosed() {
+		t.Fatal("sphere not closed")
+	}
+	wantVol := 4.0 / 3 * math.Pi * r * r * r
+	if got := m.Volume(); math.Abs(got-wantVol) > 0.01*wantVol {
+		t.Errorf("volume = %v, want ≈%v", got, wantVol)
+	}
+	wantArea := 4 * math.Pi * r * r
+	if got := m.SurfaceArea(); math.Abs(got-wantArea) > 0.01*wantArea {
+		t.Errorf("area = %v, want ≈%v", got, wantArea)
+	}
+	if got := m.EulerCharacteristic(); got != 2 {
+		t.Errorf("sphere Euler characteristic = %d, want 2", got)
+	}
+}
+
+func TestTorusVolume(t *testing.T) {
+	const R, r = 3.0, 1.0
+	m, err := Torus(R, r, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsClosed() {
+		t.Fatal("torus not closed")
+	}
+	want := 2 * math.Pi * math.Pi * R * r * r
+	if got := m.Volume(); math.Abs(got-want) > 0.01*want {
+		t.Errorf("volume = %v, want ≈%v", got, want)
+	}
+	if got := m.EulerCharacteristic(); got != 0 {
+		t.Errorf("torus Euler characteristic = %d, want 0", got)
+	}
+	if _, err := Torus(1, 2, 8, 8); err == nil {
+		t.Error("minor ≥ major accepted")
+	}
+}
+
+func TestExtrudeRect(t *testing.T) {
+	m, err := Extrude(RectPolygon(0, 0, 2, 3), nil, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsClosed() {
+		t.Fatal("extruded rect not closed")
+	}
+	if got := m.Volume(); !almostEq(got, 24, 1e-9) {
+		t.Errorf("volume = %v, want 24", got)
+	}
+}
+
+func TestExtrudePlateWithHole(t *testing.T) {
+	outer := RectPolygon(0, 0, 10, 10)
+	hole := CirclePolygon(Vec2{5, 5}, 2, 64, 0)
+	m, err := Extrude(outer, []Polygon{hole}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsClosed() {
+		t.Fatal("plate with hole not closed")
+	}
+	want := 100 - math.Pi*4
+	if got := m.Volume(); math.Abs(got-want) > 0.01*want {
+		t.Errorf("volume = %v, want ≈%v", got, want)
+	}
+	// Through-hole plate is a torus topologically.
+	if got := m.EulerCharacteristic(); got != 0 {
+		t.Errorf("Euler characteristic = %d, want 0", got)
+	}
+}
+
+func TestExtrudePlateWithMultipleHoles(t *testing.T) {
+	outer := RectPolygon(0, 0, 20, 10)
+	holes := []Polygon{
+		CirclePolygon(Vec2{4, 5}, 1.5, 32, 0),
+		CirclePolygon(Vec2{10, 5}, 1.5, 32, 0.3),
+		CirclePolygon(Vec2{16, 5}, 1.5, 32, 0.7),
+	}
+	m, err := Extrude(outer, holes, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsClosed() {
+		t.Fatal("3-hole plate not closed")
+	}
+	want := (200 - 3*math.Pi*1.5*1.5) * 2
+	if got := m.Volume(); math.Abs(got-want) > 0.02*want {
+		t.Errorf("volume = %v, want ≈%v", got, want)
+	}
+	// Genus 3 surface: χ = 2 − 2·3 = −4.
+	if got := m.EulerCharacteristic(); got != -4 {
+		t.Errorf("Euler characteristic = %d, want -4", got)
+	}
+}
+
+func TestExtrudeErrors(t *testing.T) {
+	if _, err := Extrude(RectPolygon(0, 0, 1, 1), nil, 2, 2); err == nil {
+		t.Error("zero-height extrusion accepted")
+	}
+	if _, err := Extrude(Polygon{{0, 0}, {1, 0}}, nil, 0, 1); err == nil {
+		t.Error("2-vertex outer polygon accepted")
+	}
+	if _, err := Extrude(RectPolygon(0, 0, 1, 1), []Polygon{CirclePolygon(Vec2{9, 9}, 0.1, 8, 0)}, 0, 1); err == nil {
+		t.Error("hole outside outer polygon accepted")
+	}
+}
+
+func TestLatheLShapeProfile(t *testing.T) {
+	// An L-profile of revolution (flanged bushing): analytic volume is the
+	// sum of two tubes.
+	profile := Polygon{{1, 0}, {4, 0}, {4, 1}, {2, 1}, {2, 3}, {1, 3}}
+	m, err := Lathe(profile, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsClosed() {
+		t.Fatal("lathed L-profile not closed")
+	}
+	want := math.Pi*(16-1)*1 + math.Pi*(4-1)*2
+	if got := m.Volume(); math.Abs(got-want) > 0.01*want {
+		t.Errorf("volume = %v, want ≈%v", got, want)
+	}
+}
+
+func TestLatheErrors(t *testing.T) {
+	if _, err := Lathe(Polygon{{0, 0}, {1, 1}}, 8); err == nil {
+		t.Error("2-vertex profile accepted")
+	}
+	if _, err := Lathe(Polygon{{-1, 0}, {1, 0}, {1, 1}}, 8); err == nil {
+		t.Error("negative-radius profile accepted")
+	}
+}
+
+func TestTubeAlongPathStraight(t *testing.T) {
+	// A straight swept tube is a cylinder.
+	path := []Vec3{{0, 0, 0}, {0, 0, 1}, {0, 0, 2}, {0, 0, 3}}
+	m, err := TubeAlongPath(path, 0.5, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsClosed() {
+		t.Fatal("swept tube not closed")
+	}
+	want := math.Pi * 0.25 * 3
+	if got := m.Volume(); math.Abs(got-want) > 0.02*want {
+		t.Errorf("volume = %v, want ≈%v", got, want)
+	}
+}
+
+func TestTubeAlongPathClosedRing(t *testing.T) {
+	// A circular closed sweep approximates a torus.
+	const R, r = 3.0, 0.5
+	n := 128
+	path := make([]Vec3, n)
+	for i := range path {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		path[i] = V(R*math.Cos(a), R*math.Sin(a), 0)
+	}
+	m, err := TubeAlongPath(path, r, 32, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsClosed() {
+		t.Fatal("closed sweep not closed")
+	}
+	want := 2 * math.Pi * math.Pi * R * r * r
+	if got := m.Volume(); math.Abs(got-want) > 0.02*want {
+		t.Errorf("volume = %v, want ≈%v", got, want)
+	}
+}
+
+func TestTubeAlongPathErrors(t *testing.T) {
+	if _, err := TubeAlongPath([]Vec3{{0, 0, 0}}, 1, 8, false); err == nil {
+		t.Error("1-point path accepted")
+	}
+	if _, err := TubeAlongPath([]Vec3{{0, 0, 0}, {1, 0, 0}}, 1, 8, true); err == nil {
+		t.Error("2-point closed path accepted")
+	}
+}
+
+func TestHexPrism(t *testing.T) {
+	const af, h = 2.0, 1.0
+	m, err := HexPrism(af, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsClosed() {
+		t.Fatal("hex prism not closed")
+	}
+	// Hexagon area = √3/2 · af².
+	want := math.Sqrt(3) / 2 * af * af * h
+	if got := m.Volume(); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("volume = %v, want %v", got, want)
+	}
+	// A nut: hex prism with a circular hole.
+	nut, err := HexPrism(af, h, []Polygon{CirclePolygon(Vec2{}, 0.5, 32, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nut.IsClosed() {
+		t.Fatal("nut not closed")
+	}
+	wantNut := want - math.Pi*0.25*h
+	if got := nut.Volume(); math.Abs(got-wantNut) > 0.01*wantNut {
+		t.Errorf("nut volume = %v, want ≈%v", got, wantNut)
+	}
+}
+
+func TestPolygonBasics(t *testing.T) {
+	sq := RectPolygon(0, 0, 2, 2)
+	if got := sq.SignedArea(); !almostEq(got, 4, 1e-12) {
+		t.Errorf("SignedArea = %v", got)
+	}
+	if got := sq.Reverse().SignedArea(); !almostEq(got, -4, 1e-12) {
+		t.Errorf("reversed SignedArea = %v", got)
+	}
+	sq.Reverse()
+	if !sq.Contains(Vec2{1, 1}) {
+		t.Error("square should contain its center")
+	}
+	if sq.Contains(Vec2{3, 1}) {
+		t.Error("square should not contain outside point")
+	}
+	circle := CirclePolygon(Vec2{0, 0}, 1, 360, 0)
+	if got := circle.SignedArea(); math.Abs(got-math.Pi) > 0.001*math.Pi {
+		t.Errorf("circle area = %v, want ≈π", got)
+	}
+}
+
+func TestTriangulationPreservesArea(t *testing.T) {
+	outer := RectPolygon(0, 0, 8, 6)
+	holes := []Polygon{
+		CirclePolygon(Vec2{2, 3}, 1, 24, 0),
+		CirclePolygon(Vec2{6, 3}, 1, 24, 0.5),
+	}
+	verts, tris, err := TriangulatePolygon(outer, holes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := 0.0
+	for _, tr := range tris {
+		a, b, c := verts[tr[0]], verts[tr[1]], verts[tr[2]]
+		area += b.Sub(a).Cross(c.Sub(a)) / 2
+	}
+	want := 48 - 2*CirclePolygon(Vec2{}, 1, 24, 0).SignedArea()
+	if math.Abs(area-want) > 1e-9*want {
+		t.Errorf("triangulated area = %v, want %v", area, want)
+	}
+	// All output triangles CCW.
+	for _, tr := range tris {
+		a, b, c := verts[tr[0]], verts[tr[1]], verts[tr[2]]
+		if b.Sub(a).Cross(c.Sub(a)) <= 0 {
+			t.Fatalf("clockwise triangle in output: %v", tr)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConvexPolygon builds a convex CCW polygon by sorting random angles.
+func randomConvexPolygon(rng *rand.Rand, n int) Polygon {
+	angles := make([]float64, n)
+	for i := range angles {
+		angles[i] = rng.Float64() * 2 * math.Pi
+	}
+	// Sort.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && angles[j] < angles[j-1]; j-- {
+			angles[j], angles[j-1] = angles[j-1], angles[j]
+		}
+	}
+	r := 1 + rng.Float64()*9
+	p := make(Polygon, n)
+	for i, a := range angles {
+		p[i] = Vec2{r * math.Cos(a), r * math.Sin(a)}
+	}
+	return p
+}
+
+// Property: extrusion volume = polygon area × height, for arbitrary
+// convex polygons.
+func TestQuickExtrudeVolumeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for trial := 0; trial < 60; trial++ {
+		poly := randomConvexPolygon(rng, 5+rng.Intn(10))
+		area := poly.SignedArea()
+		if area < 1e-6 {
+			continue // degenerate draw (coincident angles)
+		}
+		h := 0.5 + rng.Float64()*5
+		m, err := Extrude(poly, nil, 0, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := area * h
+		if math.Abs(m.Volume()-want) > 1e-6*want {
+			t.Fatalf("trial %d: volume %v, want %v", trial, m.Volume(), want)
+		}
+		if !m.IsClosed() {
+			t.Fatalf("trial %d: extrusion not closed", trial)
+		}
+	}
+}
+
+// polygonCentroid returns the area centroid (interior for convex input).
+func polygonCentroid(p Polygon) Vec2 {
+	var cx, cy, a float64
+	for i := range p {
+		j := (i + 1) % len(p)
+		cr := p[i].Cross(p[j])
+		cx += (p[i].X + p[j].X) * cr
+		cy += (p[i].Y + p[j].Y) * cr
+		a += cr
+	}
+	return Vec2{cx / (3 * a), cy / (3 * a)}
+}
+
+// Property: triangulation of a convex polygon with a contained hole
+// preserves area.
+func TestQuickTriangulationAreaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 40; trial++ {
+		outer := randomConvexPolygon(rng, 6+rng.Intn(8))
+		area := outer.SignedArea()
+		if area < 1 {
+			continue
+		}
+		// Place the hole at the centroid (guaranteed interior for a
+		// convex polygon), sized well below the centroid-to-boundary
+		// distance.
+		c := polygonCentroid(outer)
+		if !outer.Contains(c) {
+			continue
+		}
+		minDist := math.Inf(1)
+		for i := range outer {
+			j := (i + 1) % len(outer)
+			a, b := outer[i], outer[j]
+			ab := b.Sub(a)
+			tt := c.Sub(a).Dot(ab) / ab.Dot(ab)
+			if tt < 0 {
+				tt = 0
+			} else if tt > 1 {
+				tt = 1
+			}
+			p := a.Add(ab.Scale(tt))
+			if d := math.Hypot(p.X-c.X, p.Y-c.Y); d < minDist {
+				minDist = d
+			}
+		}
+		if minDist < 0.05 {
+			continue // sliver polygon: no room for a hole
+		}
+		hole := CirclePolygon(c, math.Min(0.3, minDist/4), 12, rng.Float64())
+		verts, tris, err := TriangulatePolygon(outer, []Polygon{hole})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := 0.0
+		for _, tr := range tris {
+			a, b, c := verts[tr[0]], verts[tr[1]], verts[tr[2]]
+			got += b.Sub(a).Cross(c.Sub(a)) / 2
+		}
+		want := area - math.Abs(hole.SignedArea())
+		if math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("trial %d: area %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// Property: point containment of convex polygons matches the half-plane
+// test.
+func TestQuickPolygonContainsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 50; trial++ {
+		poly := randomConvexPolygon(rng, 5+rng.Intn(6))
+		if poly.SignedArea() < 1 {
+			continue
+		}
+		for k := 0; k < 20; k++ {
+			q := Vec2{rng.Float64()*24 - 12, rng.Float64()*24 - 12}
+			// Half-plane test for convex CCW polygons.
+			inside := true
+			onEdge := false
+			for i := range poly {
+				j := (i + 1) % len(poly)
+				cr := poly[j].Sub(poly[i]).Cross(q.Sub(poly[i]))
+				if math.Abs(cr) < 1e-9 {
+					onEdge = true
+				}
+				if cr < 0 {
+					inside = false
+				}
+			}
+			if onEdge {
+				continue // boundary is unspecified
+			}
+			if got := poly.Contains(q); got != inside {
+				t.Fatalf("trial %d: Contains(%v) = %v, half-plane says %v", trial, q, got, inside)
+			}
+		}
+	}
+}
+
+// Property: surface area is invariant under rigid motion for lathed
+// solids.
+func TestQuickLatheRigidAreaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	profile := Polygon{{1, 0}, {3, 0}, {3, 2}, {2, 3}, {1, 2}}
+	m, err := Lathe(profile, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := m.SurfaceArea()
+	vol := m.Volume()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := m.Clone()
+		c.Transform(Transform{R: randomRotation(r), T: randomVec(r)})
+		return math.Abs(c.SurfaceArea()-area) < 1e-9*area &&
+			math.Abs(c.Volume()-vol) < 1e-9*vol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Euler characteristic of an extruded polygon with h holes is
+// 2 − 2h (genus = number of through-holes).
+func TestQuickExtrudeGenusProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	for holes := 0; holes <= 4; holes++ {
+		outer := RectPolygon(0, 0, 30, 8)
+		var hs []Polygon
+		for i := 0; i < holes; i++ {
+			cx := 4 + float64(i)*6 + rng.Float64()
+			hs = append(hs, CirclePolygon(Vec2{cx, 4}, 1.2, 12, rng.Float64()))
+		}
+		m, err := Extrude(outer, hs, 0, 2)
+		if err != nil {
+			t.Fatalf("%d holes: %v", holes, err)
+		}
+		if got, want := m.EulerCharacteristic(), 2-2*holes; got != want {
+			t.Errorf("%d holes: Euler characteristic %d, want %d", holes, got, want)
+		}
+	}
+}
+
+func TestLatheFullRevolutionMatchesTorus(t *testing.T) {
+	// Lathe of a circle profile equals the Torus constructor.
+	profile := CirclePolygon(Vec2{5, 0}, 1, 32, 0)
+	lathed, err := Lathe(profile, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := Torus(5, 1, 48, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lathed.Volume()-torus.Volume()) > 1e-6*torus.Volume() {
+		t.Errorf("lathed %v vs torus %v", lathed.Volume(), torus.Volume())
+	}
+}
+
+func TestPolyConstructor(t *testing.T) {
+	p := Poly(0, 0, 2, 0, 2, 2, 0, 2)
+	if len(p) != 4 || p[2] != (Vec2{2, 2}) {
+		t.Errorf("Poly = %v", p)
+	}
+	if XY(3, 4) != (Vec2{3, 4}) {
+		t.Error("XY broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd coordinate count did not panic")
+		}
+	}()
+	Poly(1, 2, 3)
+}
+
+func TestVec2Ops(t *testing.T) {
+	a, b := Vec2{3, 4}, Vec2{1, -2}
+	if a.Add(b) != (Vec2{4, 2}) || a.Sub(b) != (Vec2{2, 6}) {
+		t.Error("Add/Sub broken")
+	}
+	if a.Scale(2) != (Vec2{6, 8}) {
+		t.Error("Scale broken")
+	}
+	if a.Dot(b) != 3-8 {
+		t.Error("Dot broken")
+	}
+	if a.Cross(b) != -6-4 {
+		t.Error("Cross broken")
+	}
+	if a.Len() != 5 {
+		t.Error("Len broken")
+	}
+}

@@ -1,0 +1,102 @@
+package geom
+
+import "fmt"
+
+// Mesh repair for imported files. CAD exports (especially STL and OBJ
+// from mixed toolchains) frequently arrive with inconsistent triangle
+// winding; every integral property this system computes assumes coherent
+// outward orientation, so ingestion can call OrientConsistently first.
+
+// OrientConsistently rewinds faces so that adjacent triangles traverse
+// their shared edge in opposite directions (coherent orientation), then
+// flips the whole mesh if its signed volume is negative, leaving normals
+// outward. It returns the number of faces that were flipped.
+//
+// The mesh must be manifold along shared edges (each undirected edge on
+// at most two faces); non-manifold edges make a coherent orientation
+// ambiguous and produce an error. Disconnected components are oriented
+// independently and each component's sign is fixed by its own signed
+// volume.
+func (m *Mesh) OrientConsistently() (flipped int, err error) {
+	type edgeKey struct{ a, b int }
+	und := func(a, b int) edgeKey {
+		if a > b {
+			a, b = b, a
+		}
+		return edgeKey{a, b}
+	}
+	// Map undirected edge -> incident faces (at most 2 for manifold).
+	incident := make(map[edgeKey][]int, len(m.Faces)*3/2)
+	for fi, f := range m.Faces {
+		for k := 0; k < 3; k++ {
+			e := und(f[k], f[(k+1)%3])
+			incident[e] = append(incident[e], fi)
+			if len(incident[e]) > 2 {
+				return 0, fmt.Errorf("geom: non-manifold edge (%d,%d) shared by >2 faces", e.a, e.b)
+			}
+		}
+	}
+	// hasDirected reports whether face fi traverses a→b in that order.
+	hasDirected := func(fi, a, b int) bool {
+		f := m.Faces[fi]
+		for k := 0; k < 3; k++ {
+			if f[k] == a && f[(k+1)%3] == b {
+				return true
+			}
+		}
+		return false
+	}
+	flipFace := func(fi int) {
+		f := m.Faces[fi]
+		m.Faces[fi] = [3]int{f[0], f[2], f[1]}
+	}
+
+	visited := make([]bool, len(m.Faces))
+	var component []int
+	for seed := range m.Faces {
+		if visited[seed] {
+			continue
+		}
+		// BFS across shared edges, flipping neighbors into coherence with
+		// the face they were reached from.
+		component = component[:0]
+		queue := []int{seed}
+		visited[seed] = true
+		for len(queue) > 0 {
+			fi := queue[0]
+			queue = queue[1:]
+			component = append(component, fi)
+			f := m.Faces[fi]
+			for k := 0; k < 3; k++ {
+				a, b := f[k], f[(k+1)%3]
+				for _, nb := range incident[und(a, b)] {
+					if nb == fi || visited[nb] {
+						continue
+					}
+					// Coherent neighbors traverse the shared edge in the
+					// opposite direction (b→a). If the neighbor also goes
+					// a→b, flip it.
+					if hasDirected(nb, a, b) {
+						flipFace(nb)
+						flipped++
+					}
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		// Fix the component's global sign via its signed volume.
+		vol := 0.0
+		for _, fi := range component {
+			a, b, c := m.Triangle(fi)
+			vol += a.Dot(b.Cross(c))
+		}
+		if vol < 0 {
+			for _, fi := range component {
+				flipFace(fi)
+			}
+			flipped += len(component)
+		}
+	}
+	return flipped, nil
+}

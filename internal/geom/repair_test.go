@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scramble flips a random subset of faces.
+func scramble(m *Mesh, rng *rand.Rand, frac float64) int {
+	n := 0
+	for i, f := range m.Faces {
+		if rng.Float64() < frac {
+			m.Faces[i] = [3]int{f[0], f[2], f[1]}
+			n++
+		}
+	}
+	return n
+}
+
+func TestOrientConsistentlyRestoresSolid(t *testing.T) {
+	rng := rand.New(rand.NewSource(260))
+	builders := []func() *Mesh{
+		func() *Mesh { return Box(V(0, 0, 0), V(2, 3, 4)) },
+		func() *Mesh { return Sphere(1.5, 10, 14) },
+		func() *Mesh { return Cylinder(1, 3, 18) },
+		func() *Mesh {
+			m, err := Torus(3, 1, 24, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		},
+	}
+	for bi, build := range builders {
+		for trial := 0; trial < 10; trial++ {
+			m := build()
+			want := m.Volume()
+			scramble(m, rng, 0.3+0.4*rng.Float64())
+			if _, err := m.OrientConsistently(); err != nil {
+				t.Fatalf("builder %d trial %d: %v", bi, trial, err)
+			}
+			if !m.IsClosed() {
+				t.Fatalf("builder %d trial %d: not closed after repair", bi, trial)
+			}
+			if math.Abs(m.Volume()-want) > 1e-9*want {
+				t.Fatalf("builder %d trial %d: volume %v, want %v", bi, trial, m.Volume(), want)
+			}
+		}
+	}
+}
+
+func TestOrientConsistentlyFullyInverted(t *testing.T) {
+	m := Box(V(0, 0, 0), V(1, 1, 1)).FlipFaces()
+	flipped, err := m.OrientConsistently()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped != len(m.Faces) {
+		t.Errorf("flipped %d of %d faces", flipped, len(m.Faces))
+	}
+	if got := m.Volume(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("volume = %v", got)
+	}
+}
+
+func TestOrientConsistentlyAlreadyCoherent(t *testing.T) {
+	m := Sphere(1, 8, 10)
+	flipped, err := m.OrientConsistently()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped != 0 {
+		t.Errorf("flipped %d faces of a coherent mesh", flipped)
+	}
+}
+
+func TestOrientConsistentlyMultipleComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(261))
+	m := Box(V(0, 0, 0), V(1, 1, 1))
+	m.Merge(Box(V(5, 5, 5), V(7, 7, 7)))
+	m.Merge(Sphere(0.8, 6, 8).Translate(V(-5, 0, 0)))
+	want := m.Volume()
+	scramble(m, rng, 0.5)
+	if _, err := m.OrientConsistently(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Volume()-want) > 1e-9*want {
+		t.Errorf("multi-component volume %v, want %v", m.Volume(), want)
+	}
+}
+
+func TestOrientConsistentlyNonManifold(t *testing.T) {
+	// Three triangles sharing one edge.
+	m := NewMesh(0, 0)
+	a := m.AddVertex(V(0, 0, 0))
+	b := m.AddVertex(V(1, 0, 0))
+	c := m.AddVertex(V(0, 1, 0))
+	d := m.AddVertex(V(0, 0, 1))
+	e := m.AddVertex(V(0, -1, 0))
+	m.AddFace(a, b, c)
+	m.AddFace(a, b, d)
+	m.AddFace(a, b, e)
+	if _, err := m.OrientConsistently(); err == nil {
+		t.Error("non-manifold mesh accepted")
+	}
+}
+
+func TestOrientThenExtractPipeline(t *testing.T) {
+	// A scrambled import must, after repair, produce the same features as
+	// the pristine mesh.
+	rng := rand.New(rand.NewSource(262))
+	pristine := Box(V(0, 0, 0), V(4, 2, 1))
+	scrambled := pristine.Clone()
+	scramble(scrambled, rng, 0.6)
+	if _, err := scrambled.OrientConsistently(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pristine.Volume()-scrambled.Volume()) > 1e-12 {
+		t.Errorf("volumes diverge after repair")
+	}
+	if pristine.Centroid() != scrambled.Centroid() {
+		t.Errorf("centroids diverge after repair")
+	}
+}

@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampleSurfacePointsOnSurface(t *testing.T) {
+	m := Box(V(0, 0, 0), V(2, 2, 2))
+	rng := rand.New(rand.NewSource(30))
+	pts := SampleSurface(m, 1000, rng)
+	if len(pts) != 1000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	onFace := func(p Vec3) bool {
+		eps := 1e-9
+		onBoundary := func(x float64) bool { return math.Abs(x) < eps || math.Abs(x-2) < eps }
+		inRange := p.X >= -eps && p.X <= 2+eps && p.Y >= -eps && p.Y <= 2+eps && p.Z >= -eps && p.Z <= 2+eps
+		return inRange && (onBoundary(p.X) || onBoundary(p.Y) || onBoundary(p.Z))
+	}
+	for _, p := range pts {
+		if !onFace(p) {
+			t.Fatalf("sample %v not on box surface", p)
+		}
+	}
+}
+
+func TestSampleSurfaceAreaWeighting(t *testing.T) {
+	// A box that is 10× longer in x: the four long faces carry most of the
+	// area, so most samples should have extreme y or z, not extreme x.
+	m := Box(V(0, 0, 0), V(10, 1, 1))
+	rng := rand.New(rand.NewSource(31))
+	pts := SampleSurface(m, 4000, rng)
+	capCount := 0
+	for _, p := range pts {
+		if math.Abs(p.X) < 1e-9 || math.Abs(p.X-10) < 1e-9 {
+			capCount++
+		}
+	}
+	// Caps are 2/42 ≈ 4.8% of the area; allow generous slack.
+	if frac := float64(capCount) / float64(len(pts)); frac > 0.10 {
+		t.Errorf("cap fraction %v too high for area weighting", frac)
+	}
+}
+
+func TestSampleSurfaceEdgeCases(t *testing.T) {
+	if got := SampleSurface(NewMesh(0, 0), 10, rand.New(rand.NewSource(1))); got != nil {
+		t.Errorf("sampling empty mesh = %v", got)
+	}
+	if got := SampleSurface(Box(V(0, 0, 0), V(1, 1, 1)), 0, rand.New(rand.NewSource(1))); got != nil {
+		t.Errorf("sampling 0 points = %v", got)
+	}
+}
+
+func TestSampleSurfaceDeterministic(t *testing.T) {
+	m := Sphere(1, 8, 8)
+	a := SampleSurface(m, 50, rand.New(rand.NewSource(42)))
+	b := SampleSurface(m, 50, rand.New(rand.NewSource(42)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestPairwiseDistanceHistogram(t *testing.T) {
+	m := Sphere(1, 16, 16)
+	rng := rand.New(rand.NewSource(32))
+	h := PairwiseDistanceHistogram(m, 2000, 16, 2.0, rng)
+	if len(h) != 16 {
+		t.Fatalf("bins = %d", len(h))
+	}
+	sum := 0.0
+	for _, v := range h {
+		if v < 0 {
+			t.Fatalf("negative bin: %v", h)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 1", sum)
+	}
+	// No pair of points on a unit sphere is farther than the diameter.
+	// With maxDist=2 the last bin collects near-antipodal pairs only; the
+	// first bin should be small but the middle mass must dominate.
+	if h[0] > 0.2 {
+		t.Errorf("suspiciously many near-zero distances: %v", h[0])
+	}
+}
+
+func TestPairwiseDistanceHistogramAutoMax(t *testing.T) {
+	m := Box(V(0, 0, 0), V(1, 1, 1))
+	rng := rand.New(rand.NewSource(33))
+	h := PairwiseDistanceHistogram(m, 500, 8, 0, rng)
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("auto-max histogram sum = %v", sum)
+	}
+	if got := PairwiseDistanceHistogram(m, 0, 8, 0, rng); got != nil {
+		t.Errorf("0 pairs should give nil, got %v", got)
+	}
+	if got := PairwiseDistanceHistogram(m, 10, 0, 0, rng); got != nil {
+		t.Errorf("0 bins should give nil, got %v", got)
+	}
+}

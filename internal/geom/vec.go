@@ -1,0 +1,132 @@
+// Package geom provides the geometric kernel for 3DESS: vectors, matrices,
+// symmetric eigensolvers, triangle meshes with exact integral properties,
+// mesh file I/O (OFF, OBJ, STL), and parametric primitives used to build
+// engineering shapes.
+//
+// The package is self-contained (standard library only) and is the
+// substrate every feature extractor in the system builds on.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-component vector (or point) with float64 precision.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Mul returns the component-wise product of v and w.
+func (v Vec3) Mul(w Vec3) Vec3 { return Vec3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product v · w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns the Euclidean norm of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Len2 returns the squared Euclidean norm of v.
+func (v Vec3) Len2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Len() }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Min returns the component-wise minimum of v and w.
+func (v Vec3) Min(w Vec3) Vec3 {
+	return Vec3{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v Vec3) Max(w Vec3) Vec3 {
+	return Vec3{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}
+
+// Abs returns the component-wise absolute value of v.
+func (v Vec3) Abs() Vec3 {
+	return Vec3{math.Abs(v.X), math.Abs(v.Y), math.Abs(v.Z)}
+}
+
+// Component returns the i-th component (0=X, 1=Y, 2=Z).
+func (v Vec3) Component(i int) float64 {
+	switch i {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	case 2:
+		return v.Z
+	}
+	panic(fmt.Sprintf("geom: Vec3 component index %d out of range", i))
+}
+
+// WithComponent returns a copy of v with the i-th component set to x.
+func (v Vec3) WithComponent(i int, x float64) Vec3 {
+	switch i {
+	case 0:
+		v.X = x
+	case 1:
+		v.Y = x
+	case 2:
+		v.Z = x
+	default:
+		panic(fmt.Sprintf("geom: Vec3 component index %d out of range", i))
+	}
+	return v
+}
+
+// MaxComponent returns the largest component of v.
+func (v Vec3) MaxComponent() float64 { return math.Max(v.X, math.Max(v.Y, v.Z)) }
+
+// IsFinite reports whether every component of v is finite (not NaN/Inf).
+func (v Vec3) IsFinite() bool {
+	ok := func(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+	return ok(v.X) && ok(v.Y) && ok(v.Z)
+}
+
+// NearEqual reports whether v and w differ by at most eps in every
+// component.
+func (v Vec3) NearEqual(w Vec3, eps float64) bool {
+	return math.Abs(v.X-w.X) <= eps && math.Abs(v.Y-w.Y) <= eps && math.Abs(v.Z-w.Z) <= eps
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string { return fmt.Sprintf("(%g, %g, %g)", v.X, v.Y, v.Z) }
+
+// Lerp returns the linear interpolation between v and w at parameter t
+// (t=0 gives v, t=1 gives w).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 { return v.Add(w.Sub(v).Scale(t)) }

@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomVec(rng *rand.Rand) Vec3 {
+	return V(rng.Float64()*20-10, rng.Float64()*20-10, rng.Float64()*20-10)
+}
+
+func TestVecBasicOps(t *testing.T) {
+	v := V(1, 2, 3)
+	w := V(4, -5, 6)
+	if got := v.Add(w); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Mul(w); got != V(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := v.Neg(); got != V(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestVecCrossOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		v, w := randomVec(rng), randomVec(rng)
+		c := v.Cross(w)
+		if !almostEq(c.Dot(v), 0, 1e-9) || !almostEq(c.Dot(w), 0, 1e-9) {
+			t.Fatalf("cross product not orthogonal: v=%v w=%v c=%v", v, w, c)
+		}
+	}
+}
+
+func TestVecCrossRightHanded(t *testing.T) {
+	if got := V(1, 0, 0).Cross(V(0, 1, 0)); !got.NearEqual(V(0, 0, 1), 1e-15) {
+		t.Errorf("x × y = %v, want z", got)
+	}
+}
+
+func TestVecNormalize(t *testing.T) {
+	if got := V(3, 4, 0).Normalize(); !got.NearEqual(V(0.6, 0.8, 0), 1e-15) {
+		t.Errorf("Normalize = %v", got)
+	}
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize(0) = %v, want 0", got)
+	}
+}
+
+func TestVecMinMaxAbs(t *testing.T) {
+	v, w := V(1, -2, 3), V(-1, 5, 2)
+	if got := v.Min(w); got != V(-1, -2, 2) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := v.Max(w); got != V(1, 5, 3) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := v.Abs(); got != V(1, 2, 3) {
+		t.Errorf("Abs = %v", got)
+	}
+	if got := v.MaxComponent(); got != 3 {
+		t.Errorf("MaxComponent = %v", got)
+	}
+}
+
+func TestVecComponentAccessors(t *testing.T) {
+	v := V(7, 8, 9)
+	for i, want := range []float64{7, 8, 9} {
+		if got := v.Component(i); got != want {
+			t.Errorf("Component(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := v.WithComponent(1, 42); got != V(7, 42, 9) {
+		t.Errorf("WithComponent = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Component(3) did not panic")
+		}
+	}()
+	v.Component(3)
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() || V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("non-finite vector reported finite")
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(2, 4, 6)
+	if got := a.Lerp(b, 0.5); !got.NearEqual(V(1, 2, 3), 1e-15) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+// Property: the triangle inequality holds for Dist.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		a, b, c := V(ax, ay, az), V(bx, by, bz), V(cx, cy, cz)
+		if !a.IsFinite() || !b.IsFinite() || !c.IsFinite() {
+			return true
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9*(1+a.Dist(b)+b.Dist(c))
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |v×w|² + (v·w)² = |v|²|w|² (Lagrange identity).
+func TestQuickLagrangeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		v, w := randomVec(rng), randomVec(rng)
+		lhs := v.Cross(w).Len2() + v.Dot(w)*v.Dot(w)
+		rhs := v.Len2() * w.Len2()
+		if !almostEq(lhs, rhs, 1e-6*(1+rhs)) {
+			t.Fatalf("Lagrange identity violated: %v vs %v", lhs, rhs)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package moments
+
+import "math"
+
+// Moment invariants (§3.5.1 of the paper): quantities derived from the
+// second-order central moments that are invariant to translation, uniform
+// scaling, and rotation.
+//
+// Scaling invariance follows Equation 3.6's construction: each central
+// moment µ_lmn is divided by µ₀₀₀^((l+m+n+3)/3), so for second order the
+// divisor is µ₀₀₀^(5/3). Orientation invariance comes from taking the
+// coefficients of the characteristic polynomial of the I-matrix
+// (Equations 3.7–3.9): F1 = trace, F2 = sum of principal 2×2 minors,
+// F3 = determinant.
+
+// Invariants holds the three moment invariants F1, F2, F3.
+type Invariants struct {
+	F1, F2, F3 float64
+}
+
+// ScaleInvariant returns I_lmn = µ_lmn / µ000^((l+m+n+3)/3), the
+// scale-normalized central moment from §3.5.1.
+func ScaleInvariant(central *Set, l, m, n int) float64 {
+	v := central.Volume()
+	if v <= 0 {
+		return 0
+	}
+	order := float64(l + m + n)
+	return central.M(l, m, n) / math.Pow(v, (order+3)/3)
+}
+
+// InvariantsOf computes F1, F2, F3 from the central moments of a solid.
+// The input must be central moments (use Set.Central on raw moments);
+// volume must be positive.
+func InvariantsOf(central *Set) Invariants {
+	i200 := ScaleInvariant(central, 2, 0, 0)
+	i020 := ScaleInvariant(central, 0, 2, 0)
+	i002 := ScaleInvariant(central, 0, 0, 2)
+	i110 := ScaleInvariant(central, 1, 1, 0)
+	i101 := ScaleInvariant(central, 1, 0, 1)
+	i011 := ScaleInvariant(central, 0, 1, 1)
+
+	f1 := i200 + i020 + i002
+	f2 := i002*i200 + i002*i020 + i020*i200 -
+		i101*i101 - i110*i110 - i011*i011
+	f3 := i002*i200*i020 + 2*i110*i011*i101 -
+		i101*i101*i020 - i011*i011*i200 - i110*i110*i002
+	return Invariants{F1: f1, F2: f2, F3: f3}
+}
+
+// HigherOrderInvariants returns rotation- and scale-invariant combinations
+// of third- and fourth-order central moments. These implement the
+// "Higher order invariants" box of the paper's architecture diagram
+// (Figure 1) as an extension descriptor.
+//
+// The third-order invariants follow Sadjadi & Hall's construction for the
+// ternary cubic; the fourth-order entries are the simplest rotation
+// invariants of the quartic (full contractions).
+func HigherOrderInvariants(central *Set) []float64 {
+	i := func(l, m, n int) float64 { return ScaleInvariant(central, l, m, n) }
+
+	// Third order.
+	j300, j030, j003 := i(3, 0, 0), i(0, 3, 0), i(0, 0, 3)
+	j210, j201 := i(2, 1, 0), i(2, 0, 1)
+	j120, j021 := i(1, 2, 0), i(0, 2, 1)
+	j102, j012 := i(1, 0, 2), i(0, 1, 2)
+	j111 := i(1, 1, 1)
+
+	// Full contraction of the cubic with itself (norm invariant).
+	g1 := j300*j300 + j030*j030 + j003*j003 +
+		3*(j210*j210+j201*j201+j120*j120+j021*j021+j102*j102+j012*j012) +
+		6*j111*j111
+	// Contraction through one shared index ("vector" invariant: |∇·T|²).
+	vx := j300 + j120 + j102
+	vy := j030 + j210 + j012
+	vz := j003 + j201 + j021
+	g2 := vx*vx + vy*vy + vz*vz
+
+	// Fourth order.
+	k400, k040, k004 := i(4, 0, 0), i(0, 4, 0), i(0, 0, 4)
+	k220, k202, k022 := i(2, 2, 0), i(2, 0, 2), i(0, 2, 2)
+	// Trace of the quartic contracted over two index pairs.
+	g3 := k400 + k040 + k004 + 2*(k220+k202+k022)
+
+	return []float64{g1, g2, g3}
+}

@@ -1,0 +1,234 @@
+package moments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"threedess/internal/geom"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// boxMoment returns the analytic raw moment of the box [0,a]×[0,b]×[0,c]:
+// ∫ x^l y^m z^n = a^(l+1)/(l+1) · b^(m+1)/(m+1) · c^(n+1)/(n+1).
+func boxMoment(a, b, c float64, l, m, n int) float64 {
+	f := func(s float64, p int) float64 {
+		return math.Pow(s, float64(p+1)) / float64(p+1)
+	}
+	return f(a, l) * f(b, m) * f(c, n)
+}
+
+// lShape returns an asymmetric closed solid (two merged boxes).
+func lShape() *geom.Mesh {
+	m := geom.Box(geom.V(0, 0, 0), geom.V(4, 1, 1))
+	m.Merge(geom.Box(geom.V(0, 1, 0), geom.V(1, 3, 1)))
+	return m
+}
+
+func randomRotation(rng *rand.Rand) geom.Mat3 {
+	axis := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	for axis.Len() < 1e-6 {
+		axis = geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	}
+	return geom.RotationAxisAngle(axis, rng.Float64()*2*math.Pi)
+}
+
+func TestOfMeshBoxAllOrders(t *testing.T) {
+	const a, b, c = 2.0, 3.0, 1.5
+	s := OfMesh(geom.Box(geom.V(0, 0, 0), geom.V(a, b, c)))
+	for l := 0; l <= MaxOrder; l++ {
+		for m := 0; m <= MaxOrder-l; m++ {
+			for n := 0; n <= MaxOrder-l-m; n++ {
+				want := boxMoment(a, b, c, l, m, n)
+				got := s.M(l, m, n)
+				if !almostEq(got, want, 1e-9*(1+math.Abs(want))) {
+					t.Errorf("m_%d%d%d = %v, want %v", l, m, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOfMeshBoxOffsetFromOrigin(t *testing.T) {
+	// Exactness must not depend on the solid containing the origin.
+	const x0, y0, z0 = 5.0, -3.0, 7.0
+	s := OfMesh(geom.Box(geom.V(x0, y0, z0), geom.V(x0+1, y0+2, z0+1)))
+	if got := s.Volume(); !almostEq(got, 2, 1e-9) {
+		t.Errorf("volume = %v", got)
+	}
+	if got := s.Centroid(); !got.NearEqual(geom.V(x0+0.5, y0+1, z0+0.5), 1e-9) {
+		t.Errorf("centroid = %v", got)
+	}
+	// m200 about origin: ∫(x)² over [x0,x0+1] × area 2.
+	wantM200 := (math.Pow(x0+1, 3) - math.Pow(x0, 3)) / 3 * 2
+	if got := s.M(2, 0, 0); !almostEq(got, wantM200, 1e-9*math.Abs(wantM200)) {
+		t.Errorf("m200 = %v, want %v", got, wantM200)
+	}
+}
+
+func TestMomentOutOfRangePanics(t *testing.T) {
+	s := &Set{}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for order > MaxOrder")
+		}
+	}()
+	s.M(3, 1, 1)
+}
+
+func TestCentralMomentsBox(t *testing.T) {
+	const a, b, c = 2.0, 3.0, 1.5
+	// Box positioned away from the origin; central moments must match the
+	// origin-centered analytic values.
+	s := OfMesh(geom.Box(geom.V(10, 20, 30), geom.V(10+a, 20+b, 30+c))).Central()
+	if got := s.Centroid(); !got.NearEqual(geom.Vec3{}, 1e-9) {
+		t.Errorf("central centroid = %v, want 0", got)
+	}
+	// µ200 of a centered box = a³bc/12.
+	if got, want := s.M(2, 0, 0), a*a*a*b*c/12; !almostEq(got, want, 1e-9*want) {
+		t.Errorf("µ200 = %v, want %v", got, want)
+	}
+	if got, want := s.M(0, 2, 0), b*b*b*a*c/12; !almostEq(got, want, 1e-9*want) {
+		t.Errorf("µ020 = %v, want %v", got, want)
+	}
+	// Odd central moments of a symmetric solid vanish.
+	for _, lmn := range [][3]int{{1, 0, 0}, {3, 0, 0}, {1, 1, 0}, {1, 1, 1}, {2, 1, 0}} {
+		if got := s.M(lmn[0], lmn[1], lmn[2]); !almostEq(got, 0, 1e-9) {
+			t.Errorf("µ_%v = %v, want 0", lmn, got)
+		}
+	}
+}
+
+func TestOfPointsMatchesAnalytic(t *testing.T) {
+	// A dense grid of point masses inside a unit cube approximates the
+	// continuous moments.
+	const n = 20
+	pts := make([]geom.Vec3, 0, n*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				pts = append(pts, geom.V(
+					(float64(i)+0.5)/n,
+					(float64(j)+0.5)/n,
+					(float64(k)+0.5)/n,
+				))
+			}
+		}
+	}
+	s := OfPoints(pts, 1.0/float64(n*n*n))
+	if got := s.Volume(); !almostEq(got, 1, 1e-9) {
+		t.Errorf("volume = %v", got)
+	}
+	if got := s.M(2, 0, 0); !almostEq(got, 1.0/3, 1e-3) {
+		t.Errorf("m200 = %v, want ≈1/3", got)
+	}
+	if got := s.M(1, 1, 0); !almostEq(got, 0.25, 1e-3) {
+		t.Errorf("m110 = %v, want ≈1/4", got)
+	}
+}
+
+func TestMeshAndVoxelMomentsAgree(t *testing.T) {
+	mesh := lShape()
+	exact := OfMesh(mesh)
+	// Brute-force voxel point approximation of the same L-shape.
+	var pts []geom.Vec3
+	const h = 0.05
+	for x := h / 2; x < 4; x += h {
+		for y := h / 2; y < 3; y += h {
+			for z := h / 2; z < 1; z += h {
+				if (y <= 1) || (x <= 1 && y <= 3) {
+					pts = append(pts, geom.V(x, y, z))
+				}
+			}
+		}
+	}
+	approx := OfPoints(pts, h*h*h)
+	if !almostEq(exact.Volume(), approx.Volume(), 0.02*exact.Volume()) {
+		t.Errorf("volumes: exact %v, voxel %v", exact.Volume(), approx.Volume())
+	}
+	if !exact.Centroid().NearEqual(approx.Centroid(), 0.02) {
+		t.Errorf("centroids: exact %v, voxel %v", exact.Centroid(), approx.Centroid())
+	}
+	if !almostEq(exact.M(2, 0, 0), approx.M(2, 0, 0), 0.03*exact.M(2, 0, 0)) {
+		t.Errorf("m200: exact %v, voxel %v", exact.M(2, 0, 0), approx.M(2, 0, 0))
+	}
+}
+
+func TestInvariantsBoxAnalytic(t *testing.T) {
+	// For a centered box with extents a,b,c and volume V=abc:
+	// I200 = a²/12 · V^(... ) — directly: µ200 = a³bc/12 = V·a²/12, so
+	// I200 = (a²/12)·V^(-2/3). F1 = (a²+b²+c²)/12 · V^(-2/3).
+	const a, b, c = 2.0, 3.0, 1.5
+	v := a * b * c
+	inv := InvariantsOf(OfMesh(geom.Box(geom.V(0, 0, 0), geom.V(a, b, c))).Central())
+	wantF1 := (a*a + b*b + c*c) / 12 * math.Pow(v, -2.0/3)
+	if !almostEq(inv.F1, wantF1, 1e-9*wantF1) {
+		t.Errorf("F1 = %v, want %v", inv.F1, wantF1)
+	}
+	// Axis-aligned box: cross moments vanish, so F2 and F3 are the
+	// symmetric functions of the diagonal.
+	i200 := a * a / 12 * math.Pow(v, -2.0/3)
+	i020 := b * b / 12 * math.Pow(v, -2.0/3)
+	i002 := c * c / 12 * math.Pow(v, -2.0/3)
+	if want := i200*i020 + i020*i002 + i200*i002; !almostEq(inv.F2, want, 1e-9*want) {
+		t.Errorf("F2 = %v, want %v", inv.F2, want)
+	}
+	if want := i200 * i020 * i002; !almostEq(inv.F3, want, 1e-9*want) {
+		t.Errorf("F3 = %v, want %v", inv.F3, want)
+	}
+}
+
+// The headline property: F1, F2, F3 are invariant under arbitrary rigid
+// motion + uniform scaling of an asymmetric solid.
+func TestInvariantsRigidScaleInvariance(t *testing.T) {
+	base := lShape()
+	ref := InvariantsOf(OfMesh(base).Central())
+	rng := rand.New(rand.NewSource(40))
+	for i := 0; i < 60; i++ {
+		m := base.Clone()
+		scale := 0.2 + rng.Float64()*5
+		m.ScaleUniform(scale)
+		m.Rotate(randomRotation(rng))
+		m.Translate(geom.V(rng.NormFloat64()*10, rng.NormFloat64()*10, rng.NormFloat64()*10))
+		inv := InvariantsOf(OfMesh(m).Central())
+		if !almostEq(inv.F1, ref.F1, 1e-6*(1+math.Abs(ref.F1))) ||
+			!almostEq(inv.F2, ref.F2, 1e-6*(1+math.Abs(ref.F2))) ||
+			!almostEq(inv.F3, ref.F3, 1e-6*(1+math.Abs(ref.F3))) {
+			t.Fatalf("invariants changed: %+v vs %+v (scale=%v)", inv, ref, scale)
+		}
+	}
+}
+
+func TestInvariantsDiscriminate(t *testing.T) {
+	// Different shapes must give different invariants.
+	cube := InvariantsOf(OfMesh(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))).Central())
+	slab := InvariantsOf(OfMesh(geom.Box(geom.V(0, 0, 0), geom.V(4, 2, 0.25))).Central())
+	if almostEq(cube.F1, slab.F1, 1e-6) {
+		t.Error("cube and slab have identical F1")
+	}
+}
+
+func TestHigherOrderInvariantsInvariance(t *testing.T) {
+	base := lShape()
+	ref := HigherOrderInvariants(OfMesh(base).Central())
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 40; i++ {
+		m := base.Clone()
+		m.ScaleUniform(0.5 + rng.Float64()*3)
+		m.Rotate(randomRotation(rng))
+		m.Translate(geom.V(rng.NormFloat64()*5, rng.NormFloat64()*5, rng.NormFloat64()*5))
+		got := HigherOrderInvariants(OfMesh(m).Central())
+		for k := range ref {
+			if !almostEq(got[k], ref[k], 1e-5*(1+math.Abs(ref[k]))) {
+				t.Fatalf("higher-order invariant %d changed: %v vs %v", k, got[k], ref[k])
+			}
+		}
+	}
+}
+
+func TestScaleInvariantZeroVolume(t *testing.T) {
+	if got := ScaleInvariant(&Set{}, 2, 0, 0); got != 0 {
+		t.Errorf("zero-volume scale invariant = %v", got)
+	}
+}

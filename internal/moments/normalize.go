@@ -1,0 +1,139 @@
+package moments
+
+import (
+	"fmt"
+	"math"
+
+	"threedess/internal/geom"
+)
+
+// DefaultTargetVolume is the constant C that Equation 3.3 scales every
+// model's volume to.
+const DefaultTargetVolume = 1.0
+
+// Normalization records the canonicalizing transform produced by Normalize:
+// the original model maps to the canonical model by
+//
+//	x_canonical = Rotation · (Scale · (x + Translation))
+//
+// i.e. translate the centroid to the origin, scale to the target volume,
+// then rotate onto the principal axes.
+type Normalization struct {
+	Translation geom.Vec3 // −centroid of the original model
+	Scale       float64   // uniform scale factor (Equation 3.3)
+	Rotation    geom.Mat3 // proper rotation onto principal axes
+
+	OriginalVolume  float64
+	OriginalSurface float64
+}
+
+// Apply maps a point of the original model into the canonical frame.
+func (n *Normalization) Apply(p geom.Vec3) geom.Vec3 {
+	return n.Rotation.MulVec(p.Add(n.Translation).Scale(n.Scale))
+}
+
+// Normalize transforms mesh into the paper's canonical form (§3.1) in
+// place and returns the applied normalization:
+//
+//  1. translation criterion (3.2): centroid at the origin,
+//  2. scale criterion (3.3): volume equal to targetVolume,
+//  3. orientation criterion (3.4): principal axes of the second-order
+//     central moments aligned with the coordinate axes, ordered
+//     µxx ≥ µyy ≥ µzz, and
+//  4. ambiguity resolution: the maximum extent lies in the positive
+//     half-space along X and Y; the Z axis sign keeps the rotation proper.
+//
+// Normalize fails when the mesh volume is non-positive (open or inverted
+// meshes have no meaningful canonical solid form).
+func Normalize(mesh *geom.Mesh, targetVolume float64) (*Normalization, error) {
+	if targetVolume <= 0 {
+		return nil, fmt.Errorf("moments: target volume must be positive, got %g", targetVolume)
+	}
+	s := OfMesh(mesh)
+	vol := s.Volume()
+	if vol <= 1e-300 {
+		return nil, fmt.Errorf("moments: cannot normalize mesh with volume %g (mesh must be closed and outward-oriented)", vol)
+	}
+	norm := &Normalization{
+		OriginalVolume:  vol,
+		OriginalSurface: mesh.SurfaceArea(),
+	}
+
+	// (1) Translate the centroid to the origin.
+	norm.Translation = s.Centroid().Neg()
+	mesh.Translate(norm.Translation)
+
+	// (2) Scale the volume to the constant.
+	norm.Scale = math.Cbrt(targetVolume / vol)
+	mesh.ScaleUniform(norm.Scale)
+
+	// (3) Rotate onto principal axes. The central second moments of the
+	// translated/scaled mesh are the raw second moments now.
+	s = OfMesh(mesh)
+	_, vecs := EigenOrientation(s)
+	mesh.Rotate(vecs)
+
+	// (4) Half-space disambiguation on X and Y; Z sign fixed by det = +1.
+	min, max := mesh.Bounds()
+	flip := geom.Identity3()
+	if -min.X > max.X {
+		flip[0][0] = -1
+	}
+	if -min.Y > max.Y {
+		flip[1][1] = -1
+	}
+	// Choose the Z sign that keeps flip·vecs a proper rotation.
+	if flip.Mul(vecs).Det() < 0 {
+		flip[2][2] = -1
+	}
+	if flip != geom.Identity3() {
+		mesh.Rotate(flip)
+	}
+	norm.Rotation = flip.Mul(vecs)
+	return norm, nil
+}
+
+// EigenOrientation computes the principal-moment eigenvalues (descending)
+// of the second-moment matrix of s and the proper-or-improper rotation that
+// maps the model onto its principal axes (rows are the eigenvectors). The
+// caller resolves the sign ambiguity.
+func EigenOrientation(s *Set) (vals [3]float64, rot geom.Mat3) {
+	vals, vecs := geom.EigenSym3(s.SecondMomentMatrix())
+	// Columns of vecs are eigenvectors; the rotation x ↦ Vᵀx maps the
+	// eigenvector for the largest eigenvalue onto +X, and so on, giving
+	// µxx ≥ µyy ≥ µzz in the rotated frame.
+	return vals, vecs.Transpose()
+}
+
+// PrincipalMoments returns the eigenvalues of the second-order central
+// moment matrix of s in descending order — the paper's principal-moments
+// feature (§3.5.3). s should already be central (or the model already
+// centroid-aligned).
+func PrincipalMoments(s *Set) [3]float64 {
+	vals, _ := geom.EigenSym3(s.SecondMomentMatrix())
+	return vals
+}
+
+// InertiaTensor returns the (unit-density) inertia tensor of the solid
+// about its centroid,
+//
+//	[ µ020+µ002   −µ110      −µ101    ]
+//	[ −µ110      µ200+µ002   −µ011    ]
+//	[ −µ101      −µ011      µ200+µ020 ]
+//
+// computed from central moments — the mass property an engineer asks a
+// CAD kernel for, provided here because the search pipeline already has
+// every ingredient.
+func InertiaTensor(central *Set) geom.Mat3 {
+	m200 := central.M(2, 0, 0)
+	m020 := central.M(0, 2, 0)
+	m002 := central.M(0, 0, 2)
+	m110 := central.M(1, 1, 0)
+	m101 := central.M(1, 0, 1)
+	m011 := central.M(0, 1, 1)
+	return geom.Mat3{
+		{m020 + m002, -m110, -m101},
+		{-m110, m200 + m002, -m011},
+		{-m101, -m011, m200 + m020},
+	}
+}

@@ -1,0 +1,176 @@
+package moments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"threedess/internal/geom"
+)
+
+func TestNormalizeCriteria(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for i := 0; i < 40; i++ {
+		m := lShape()
+		m.ScaleUniform(0.3 + rng.Float64()*4)
+		m.Rotate(randomRotation(rng))
+		m.Translate(geom.V(rng.NormFloat64()*8, rng.NormFloat64()*8, rng.NormFloat64()*8))
+
+		norm, err := Normalize(m, DefaultTargetVolume)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := OfMesh(m)
+		// Criterion 3.2: centroid at origin.
+		if got := s.Centroid(); !got.NearEqual(geom.Vec3{}, 1e-8) {
+			t.Fatalf("centroid after normalize = %v", got)
+		}
+		// Criterion 3.3: volume equals the constant.
+		if got := s.Volume(); !almostEq(got, DefaultTargetVolume, 1e-8) {
+			t.Fatalf("volume after normalize = %v", got)
+		}
+		// Criterion 3.4: products of inertia vanish.
+		for _, lmn := range [][3]int{{1, 1, 0}, {1, 0, 1}, {0, 1, 1}} {
+			if got := s.M(lmn[0], lmn[1], lmn[2]); math.Abs(got) > 1e-7 {
+				t.Fatalf("µ_%v after normalize = %v, want 0", lmn, got)
+			}
+		}
+		// Ordering µxx ≥ µyy ≥ µzz.
+		if s.M(2, 0, 0) < s.M(0, 2, 0)-1e-9 || s.M(0, 2, 0) < s.M(0, 0, 2)-1e-9 {
+			t.Fatalf("principal moments not ordered: %v %v %v",
+				s.M(2, 0, 0), s.M(0, 2, 0), s.M(0, 0, 2))
+		}
+		// Half-space rule on X and Y.
+		min, max := m.Bounds()
+		if -min.X > max.X+1e-9 || -min.Y > max.Y+1e-9 {
+			t.Fatalf("half-space rule violated: bounds %v %v", min, max)
+		}
+		// The recorded rotation must be proper.
+		if !norm.Rotation.IsRotation(1e-6) {
+			t.Fatalf("recorded rotation not proper: det=%v", norm.Rotation.Det())
+		}
+	}
+}
+
+func TestNormalizeCanonicalFormIsPoseInvariant(t *testing.T) {
+	// Two arbitrarily posed copies of the same shape must normalize to
+	// (nearly) the same canonical geometry — the point of §3.1.
+	rng := rand.New(rand.NewSource(51))
+	base := lShape()
+	canonical := base.Clone()
+	if _, err := Normalize(canonical, 1); err != nil {
+		t.Fatal(err)
+	}
+	ref := OfMesh(canonical)
+
+	for i := 0; i < 25; i++ {
+		m := base.Clone()
+		m.ScaleUniform(0.5 + rng.Float64()*2)
+		m.Rotate(randomRotation(rng))
+		m.Translate(geom.V(rng.NormFloat64()*5, rng.NormFloat64()*5, rng.NormFloat64()*5))
+		if _, err := Normalize(m, 1); err != nil {
+			t.Fatal(err)
+		}
+		s := OfMesh(m)
+		for _, lmn := range [][3]int{{2, 0, 0}, {0, 2, 0}, {0, 0, 2}, {3, 0, 0}, {0, 3, 0}} {
+			a := ref.M(lmn[0], lmn[1], lmn[2])
+			b := s.M(lmn[0], lmn[1], lmn[2])
+			if !almostEq(a, b, 1e-6*(1+math.Abs(a))) {
+				t.Fatalf("canonical moment µ_%v differs: %v vs %v", lmn, a, b)
+			}
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	m := lShape()
+	if _, err := Normalize(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := OfMesh(m)
+	norm, err := Normalize(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(norm.Scale, 1, 1e-9) {
+		t.Errorf("second normalize scale = %v, want 1", norm.Scale)
+	}
+	if !norm.Translation.NearEqual(geom.Vec3{}, 1e-9) {
+		t.Errorf("second normalize translation = %v, want 0", norm.Translation)
+	}
+	after := OfMesh(m)
+	if !almostEq(before.M(2, 0, 0), after.M(2, 0, 0), 1e-9) {
+		t.Errorf("second normalize changed µ200: %v vs %v", before.M(2, 0, 0), after.M(2, 0, 0))
+	}
+}
+
+func TestNormalizeApplyMatchesMesh(t *testing.T) {
+	orig := lShape()
+	probe := orig.Vertices[7]
+	m := orig.Clone()
+	norm, err := Normalize(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := norm.Apply(probe); !got.NearEqual(m.Vertices[7], 1e-9) {
+		t.Errorf("Apply(%v) = %v, mesh has %v", probe, got, m.Vertices[7])
+	}
+}
+
+func TestNormalizeRecordsOriginals(t *testing.T) {
+	m := geom.Box(geom.V(0, 0, 0), geom.V(2, 2, 2))
+	area := m.SurfaceArea()
+	norm, err := Normalize(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(norm.OriginalVolume, 8, 1e-9) {
+		t.Errorf("OriginalVolume = %v", norm.OriginalVolume)
+	}
+	if !almostEq(norm.OriginalSurface, area, 1e-9) {
+		t.Errorf("OriginalSurface = %v", norm.OriginalSurface)
+	}
+	if !almostEq(norm.Scale, 0.5, 1e-9) {
+		t.Errorf("Scale = %v, want 0.5", norm.Scale)
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	if _, err := Normalize(geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)), -1); err == nil {
+		t.Error("negative target volume accepted")
+	}
+	open := geom.NewMesh(0, 0)
+	open.AddVertex(geom.V(0, 0, 0))
+	open.AddVertex(geom.V(1, 0, 0))
+	open.AddVertex(geom.V(0, 1, 0))
+	open.AddFace(0, 1, 2)
+	if _, err := Normalize(open, 1); err == nil {
+		t.Error("zero-volume mesh accepted")
+	}
+	inverted := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)).FlipFaces()
+	if _, err := Normalize(inverted, 1); err == nil {
+		t.Error("inverted mesh accepted")
+	}
+}
+
+func TestPrincipalMomentsOrderedAndRotationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	base := lShape()
+	if _, err := Normalize(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	ref := PrincipalMoments(OfMesh(base).Central())
+	if ref[0] < ref[1] || ref[1] < ref[2] {
+		t.Fatalf("principal moments not descending: %v", ref)
+	}
+	for i := 0; i < 30; i++ {
+		m := base.Clone()
+		m.Rotate(randomRotation(rng))
+		got := PrincipalMoments(OfMesh(m).Central())
+		for k := 0; k < 3; k++ {
+			if !almostEq(got[k], ref[k], 1e-7*(1+ref[k])) {
+				t.Fatalf("principal moments changed under rotation: %v vs %v", got, ref)
+			}
+		}
+	}
+}

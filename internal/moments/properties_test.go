@@ -1,0 +1,202 @@
+package moments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"threedess/internal/geom"
+)
+
+func TestSphereMomentsAnalytic(t *testing.T) {
+	// Solid sphere of radius R centered at origin:
+	// m000 = 4/3 π R³, m200 = 4π/15 R⁵, odd moments 0.
+	const R = 1.5
+	s := OfMesh(geom.Sphere(R, 48, 96))
+	wantVol := 4.0 / 3 * math.Pi * R * R * R
+	if math.Abs(s.Volume()-wantVol) > 0.005*wantVol {
+		t.Errorf("volume = %v, want %v", s.Volume(), wantVol)
+	}
+	want200 := 4 * math.Pi / 15 * math.Pow(R, 5)
+	for _, lmn := range [][3]int{{2, 0, 0}, {0, 2, 0}, {0, 0, 2}} {
+		got := s.M(lmn[0], lmn[1], lmn[2])
+		if math.Abs(got-want200) > 0.01*want200 {
+			t.Errorf("m_%v = %v, want %v", lmn, got, want200)
+		}
+	}
+	for _, lmn := range [][3]int{{1, 0, 0}, {1, 1, 0}, {3, 0, 0}, {1, 1, 1}} {
+		if got := s.M(lmn[0], lmn[1], lmn[2]); math.Abs(got) > 1e-3 {
+			t.Errorf("odd moment m_%v = %v, want ≈0", lmn, got)
+		}
+	}
+	// Sphere invariants: I200 = I020 = I002, cross terms 0 ⇒
+	// F1 = 3·I200, F2 = 3·I200², F3 = I200³.
+	inv := InvariantsOf(s.Central())
+	i200 := inv.F1 / 3
+	if math.Abs(inv.F2-3*i200*i200) > 0.01*inv.F2 {
+		t.Errorf("sphere F2 = %v, want %v", inv.F2, 3*i200*i200)
+	}
+	if math.Abs(inv.F3-i200*i200*i200) > 0.01*inv.F3 {
+		t.Errorf("sphere F3 = %v, want %v", inv.F3, i200*i200*i200)
+	}
+}
+
+// Property: moments are additive over disjoint solids.
+func TestQuickMomentAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(210))
+	for trial := 0; trial < 40; trial++ {
+		a := geom.Box(
+			geom.V(rng.Float64()*5, rng.Float64()*5, rng.Float64()*5),
+			geom.V(6+rng.Float64()*3, 6+rng.Float64()*3, 6+rng.Float64()*3),
+		)
+		b := geom.Box(
+			geom.V(20+rng.Float64()*5, rng.Float64()*5, rng.Float64()*5),
+			geom.V(26+rng.Float64()*3, 6+rng.Float64()*3, 6+rng.Float64()*3),
+		)
+		sa, sb := OfMesh(a), OfMesh(b)
+		merged := OfMesh(a.Clone().Merge(b))
+		for l := 0; l <= 2; l++ {
+			for m := 0; m <= 2-l; m++ {
+				for n := 0; n <= 2-l-m; n++ {
+					want := sa.M(l, m, n) + sb.M(l, m, n)
+					got := merged.M(l, m, n)
+					if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+						t.Fatalf("trial %d: m_%d%d%d = %v, want %v", trial, l, m, n, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: Central() is idempotent (central moments of central moments).
+func TestCentralIdempotent(t *testing.T) {
+	s := OfMesh(lShape())
+	c1 := s.Central()
+	c2 := c1.Central()
+	for l := 0; l <= MaxOrder; l++ {
+		for m := 0; m <= MaxOrder-l; m++ {
+			for n := 0; n <= MaxOrder-l-m; n++ {
+				a, b := c1.M(l, m, n), c2.M(l, m, n)
+				if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+					t.Fatalf("µ_%d%d%d changed on second centering: %v vs %v", l, m, n, a, b)
+				}
+			}
+		}
+	}
+}
+
+// Property: raw moments scale as s^(l+m+n+3) under uniform scaling about
+// the origin.
+func TestQuickMomentScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	base := geom.Box(geom.V(1, 2, 3), geom.V(3, 5, 7))
+	s0 := OfMesh(base)
+	for trial := 0; trial < 30; trial++ {
+		k := 0.3 + rng.Float64()*3
+		scaled := OfMesh(base.Clone().ScaleUniform(k))
+		for l := 0; l <= 2; l++ {
+			for m := 0; m <= 2-l; m++ {
+				for n := 0; n <= 2-l-m; n++ {
+					want := s0.M(l, m, n) * math.Pow(k, float64(l+m+n+3))
+					got := scaled.M(l, m, n)
+					if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+						t.Fatalf("scaling law broken for m_%d%d%d: %v vs %v", l, m, n, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: the second-moment matrix transforms as R·M·Rᵀ under rotation
+// of a centered solid.
+func TestQuickSecondMomentRotationLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	base := lShape()
+	if _, err := Normalize(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	m0 := OfMesh(base).SecondMomentMatrix()
+	for trial := 0; trial < 30; trial++ {
+		r := randomRotation(rng)
+		rotated := OfMesh(base.Clone().Rotate(r)).SecondMomentMatrix()
+		want := r.Mul(m0).Mul(r.Transpose())
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if math.Abs(rotated[i][j]-want[i][j]) > 1e-7*(1+math.Abs(want[i][j])) {
+					t.Fatalf("rotation law broken at (%d,%d): %v vs %v", i, j, rotated[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestOfPointsEmpty(t *testing.T) {
+	s := OfPoints(nil, 1)
+	if s.Volume() != 0 {
+		t.Errorf("empty point moments volume = %v", s.Volume())
+	}
+	if got := s.Centroid(); got != (geom.Vec3{}) {
+		t.Errorf("empty centroid = %v", got)
+	}
+}
+
+func TestTorusMomentsAnalytic(t *testing.T) {
+	// Torus (major R, minor r) centered at origin in the XY plane:
+	// V = 2π²Rr², µ002 (about the central plane) = V·r²/4.
+	const R, r = 3.0, 0.8
+	mesh, err := geom.Torus(R, r, 96, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := OfMesh(mesh)
+	v := 2 * math.Pi * math.Pi * R * r * r
+	if math.Abs(s.Volume()-v) > 0.01*v {
+		t.Errorf("torus volume = %v, want %v", s.Volume(), v)
+	}
+	want002 := v * r * r / 4
+	if got := s.M(0, 0, 2); math.Abs(got-want002) > 0.02*want002 {
+		t.Errorf("torus µ002 = %v, want %v", got, want002)
+	}
+}
+
+func TestInertiaTensorBoxAnalytic(t *testing.T) {
+	// Unit-density box a×b×c about its centroid:
+	// Ixx = V(b²+c²)/12, products of inertia zero.
+	const a, b, c = 2.0, 3.0, 4.0
+	v := a * b * c
+	it := InertiaTensor(OfMesh(geom.Box(geom.V(0, 0, 0), geom.V(a, b, c))).Central())
+	wantXX := v * (b*b + c*c) / 12
+	wantYY := v * (a*a + c*c) / 12
+	wantZZ := v * (a*a + b*b) / 12
+	if math.Abs(it[0][0]-wantXX) > 1e-9*wantXX {
+		t.Errorf("Ixx = %v, want %v", it[0][0], wantXX)
+	}
+	if math.Abs(it[1][1]-wantYY) > 1e-9*wantYY {
+		t.Errorf("Iyy = %v, want %v", it[1][1], wantYY)
+	}
+	if math.Abs(it[2][2]-wantZZ) > 1e-9*wantZZ {
+		t.Errorf("Izz = %v, want %v", it[2][2], wantZZ)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j && math.Abs(it[i][j]) > 1e-9 {
+				t.Errorf("product of inertia I[%d][%d] = %v", i, j, it[i][j])
+			}
+		}
+	}
+}
+
+func TestInertiaTensorSphereAnalytic(t *testing.T) {
+	// Solid sphere: I = 2/5 M R² on the diagonal (M = volume here).
+	const R = 1.3
+	it := InertiaTensor(OfMesh(geom.Sphere(R, 48, 96)).Central())
+	m := 4.0 / 3 * math.Pi * R * R * R
+	want := 2.0 / 5 * m * R * R
+	for i := 0; i < 3; i++ {
+		if math.Abs(it[i][i]-want) > 0.01*want {
+			t.Errorf("I[%d][%d] = %v, want %v", i, i, it[i][i], want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceStore is a brute-force oracle mirroring the tree's contents.
+type referenceStore struct {
+	points map[int64]Point
+}
+
+func (r *referenceStore) knn(q Point, k int) []Neighbor {
+	out := make([]Neighbor, 0, len(r.points))
+	for id, p := range r.points {
+		out = append(out, Neighbor{ID: id, Dist: Dist(p, q)})
+	}
+	// insertion sort is fine at these sizes
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].Dist < out[j-1].Dist ||
+			(out[j].Dist == out[j-1].Dist && out[j].ID < out[j-1].ID)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+// TestFuzzInsertDeleteQuery interleaves random inserts, deletes, and
+// queries, checking the tree against the oracle at every step.
+func TestFuzzInsertDeleteQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(220))
+	const dim = 3
+	tr, err := New(dim, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &referenceStore{points: map[int64]Point{}}
+	nextID := int64(1)
+	randPoint := func() Point {
+		p := make(Point, dim)
+		for d := range p {
+			p[d] = rng.Float64() * 50
+		}
+		return p
+	}
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(ref.points) == 0: // insert
+			p := randPoint()
+			if err := tr.InsertPoint(nextID, p); err != nil {
+				t.Fatal(err)
+			}
+			ref.points[nextID] = p
+			nextID++
+		case op < 8: // delete a random existing id
+			var victim int64
+			for id := range ref.points {
+				victim = id
+				break
+			}
+			if !tr.DeletePoint(victim, ref.points[victim]) {
+				t.Fatalf("step %d: delete of %d failed", step, victim)
+			}
+			delete(ref.points, victim)
+		default: // k-NN check
+			q := randPoint()
+			k := 1 + rng.Intn(8)
+			got := tr.NearestNeighbors(k, q)
+			want := ref.knn(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: got %d results, want %d", step, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+					t.Fatalf("step %d rank %d: dist %v vs %v", step, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+		if tr.Len() != len(ref.points) {
+			t.Fatalf("step %d: Len %d vs oracle %d", step, tr.Len(), len(ref.points))
+		}
+	}
+	// Structural sanity at the end.
+	if err := tr.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// validate checks R-tree invariants: every child MBR is contained in (and
+// tight within) its parent entry's rectangle, and all leaves sit at the
+// same depth.
+func (t *Tree) validate() error {
+	leafDepth := -1
+	var walk func(n *node, depth int, bound *Rect) error
+	walk = func(n *node, depth int, bound *Rect) error {
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return errDepth(depth, leafDepth)
+			}
+		}
+		for _, e := range n.entries {
+			if bound != nil && !bound.Contains(e.rect) {
+				return errBounds(e.rect, *bound)
+			}
+			if !n.leaf {
+				r := e.rect
+				if err := walk(e.child, depth+1, &r); err != nil {
+					return err
+				}
+				if tight := nodeRect(e.child); !rectEqual(tight, e.rect) {
+					return errTight(e.rect, tight)
+				}
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0, nil)
+}
+
+type treeInvariantError string
+
+func (e treeInvariantError) Error() string { return string(e) }
+
+func errDepth(got, want int) error {
+	return treeInvariantError("rtree: leaves at different depths")
+}
+
+func errBounds(child, parent Rect) error {
+	return treeInvariantError("rtree: child rect escapes parent entry")
+}
+
+func errTight(stored, tight Rect) error {
+	return treeInvariantError("rtree: parent entry rect not tight")
+}

@@ -1,0 +1,644 @@
+// Package rtree implements a dynamic R-tree (Guttman) over points and
+// rectangles in arbitrary dimension, with window search, ball (threshold)
+// search, and best-first k-nearest-neighbor search with MBR pruning — the
+// multidimensional access method the DATABASE tier of the paper builds on
+// top of its record store (§2.3).
+//
+// The tree also counts node accesses per query so the paper's index
+// efficiency claim ("almost optimal for small real databases and efficient
+// for large synthetic databases") can be measured.
+package rtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in feature space.
+type Point []float64
+
+// Rect is an axis-aligned (hyper-)rectangle: the tight bounding box
+// representation used by the paper, stored as its two diagonal corners.
+type Rect struct {
+	Min, Max Point
+}
+
+// PointRect returns the degenerate rectangle covering exactly p.
+func PointRect(p Point) Rect {
+	min := make(Point, len(p))
+	max := make(Point, len(p))
+	copy(min, p)
+	copy(max, p)
+	return Rect{Min: min, Max: max}
+}
+
+// NewRect validates and returns a rectangle.
+func NewRect(min, max Point) (Rect, error) {
+	if len(min) != len(max) {
+		return Rect{}, fmt.Errorf("rtree: corner dimensions differ: %d vs %d", len(min), len(max))
+	}
+	for i := range min {
+		if min[i] > max[i] {
+			return Rect{}, fmt.Errorf("rtree: min[%d]=%g > max[%d]=%g", i, min[i], i, max[i])
+		}
+	}
+	return Rect{Min: min, Max: max}, nil
+}
+
+func (r Rect) clone() Rect {
+	min := make(Point, len(r.Min))
+	max := make(Point, len(r.Max))
+	copy(min, r.Min)
+	copy(max, r.Max)
+	return Rect{Min: min, Max: max}
+}
+
+// Area returns the hyper-volume of r.
+func (r Rect) Area() float64 {
+	a := 1.0
+	for i := range r.Min {
+		a *= r.Max[i] - r.Min[i]
+	}
+	return a
+}
+
+// Intersects reports whether r and s overlap (touching counts).
+func (r Rect) Intersects(s Rect) bool {
+	for i := range r.Min {
+		if r.Min[i] > s.Max[i] || r.Max[i] < s.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether r fully contains s.
+func (r Rect) Contains(s Rect) bool {
+	for i := range r.Min {
+		if s.Min[i] < r.Min[i] || s.Max[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// enlarge grows r in place to cover s.
+func (r *Rect) enlarge(s Rect) {
+	for i := range r.Min {
+		if s.Min[i] < r.Min[i] {
+			r.Min[i] = s.Min[i]
+		}
+		if s.Max[i] > r.Max[i] {
+			r.Max[i] = s.Max[i]
+		}
+	}
+}
+
+// union returns the bounding rectangle of r and s.
+func (r Rect) union(s Rect) Rect {
+	u := r.clone()
+	u.enlarge(s)
+	return u
+}
+
+// enlargement returns how much r's area grows to cover s.
+func (r Rect) enlargement(s Rect) float64 {
+	return r.union(s).Area() - r.Area()
+}
+
+// MinDist returns the minimum Euclidean distance from p to any point of r
+// (zero when p is inside) — the k-NN pruning bound of Roussopoulos et al.
+func (r Rect) MinDist(p Point) float64 {
+	sum := 0.0
+	for i := range p {
+		var d float64
+		switch {
+		case p[i] < r.Min[i]:
+			d = r.Min[i] - p[i]
+		case p[i] > r.Max[i]:
+			d = p[i] - r.Max[i]
+		}
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b Point) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+type entry struct {
+	rect  Rect
+	child *node // non-nil for internal entries
+	id    int64 // leaf payload
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Tree is a dynamic R-tree. It is not safe for concurrent mutation; wrap
+// with a lock for shared use (internal/shapedb does).
+type Tree struct {
+	dim        int
+	maxEntries int
+	minEntries int
+	root       *node
+	size       int
+
+	// accesses counts nodes visited by queries since the last ResetStats.
+	accesses int
+}
+
+// DefaultMaxEntries is the default node fan-out.
+const DefaultMaxEntries = 16
+
+// New creates an R-tree for the given dimensionality and node capacity.
+// maxEntries < 4 is raised to 4; minEntries is maxEntries/2 (Guttman's
+// quadratic-split recommendation).
+func New(dim, maxEntries int) (*Tree, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("rtree: dimension must be positive, got %d", dim)
+	}
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &Tree{
+		dim:        dim,
+		maxEntries: maxEntries,
+		minEntries: maxEntries / 2,
+		root:       &node{leaf: true},
+	}, nil
+}
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// NodeAccesses returns the number of nodes visited by queries since the
+// last ResetStats.
+func (t *Tree) NodeAccesses() int { return t.accesses }
+
+// ResetStats zeroes the node-access counter.
+func (t *Tree) ResetStats() { t.accesses = 0 }
+
+// Height returns the height of the tree (1 for a single leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.entries[0].child {
+		h++
+	}
+	return h
+}
+
+func (t *Tree) checkPoint(p Point) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("rtree: point dimension %d, tree dimension %d", len(p), t.dim)
+	}
+	for i, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("rtree: non-finite coordinate %g at dimension %d", v, i)
+		}
+	}
+	return nil
+}
+
+// InsertPoint stores id at position p.
+func (t *Tree) InsertPoint(id int64, p Point) error {
+	if err := t.checkPoint(p); err != nil {
+		return err
+	}
+	return t.insert(entry{rect: PointRect(p), id: id})
+}
+
+// InsertRect stores id with bounding rectangle r.
+func (t *Tree) InsertRect(id int64, r Rect) error {
+	if err := t.checkPoint(r.Min); err != nil {
+		return err
+	}
+	if err := t.checkPoint(r.Max); err != nil {
+		return err
+	}
+	return t.insert(entry{rect: r.clone(), id: id})
+}
+
+func (t *Tree) insert(e entry) error {
+	leaf := t.chooseLeaf(t.root, e, nil)
+	leaf.node.entries = append(leaf.node.entries, e)
+	t.adjustPath(leaf)
+	t.size++
+	return nil
+}
+
+// path element for insert/delete traversals.
+type pathElem struct {
+	node   *node
+	parent *pathElem
+	// index of this node's entry within the parent.
+	parentIdx int
+}
+
+// chooseLeaf descends to the leaf needing least enlargement (Guttman CL).
+func (t *Tree) chooseLeaf(n *node, e entry, parent *pathElem) *pathElem {
+	return t.chooseLeafFrom(&pathElem{node: n, parent: parent}, e)
+}
+
+func (t *Tree) chooseLeafFrom(p *pathElem, e entry) *pathElem {
+	n := p.node
+	if n.leaf {
+		return p
+	}
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range n.entries {
+		enl := n.entries[i].rect.enlargement(e.rect)
+		area := n.entries[i].rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	child := &pathElem{node: n.entries[best].child, parent: p, parentIdx: best}
+	return t.chooseLeafFrom(child, e)
+}
+
+// adjustPath fixes bounding rectangles upward from a modified node and
+// splits overflowing nodes.
+func (t *Tree) adjustPath(p *pathElem) {
+	for p != nil {
+		n := p.node
+		if len(n.entries) > t.maxEntries {
+			a, b := t.splitNode(n)
+			if p.parent == nil {
+				// Root split: grow the tree.
+				t.root = &node{
+					leaf: false,
+					entries: []entry{
+						{rect: nodeRect(a), child: a},
+						{rect: nodeRect(b), child: b},
+					},
+				}
+			} else {
+				parent := p.parent.node
+				parent.entries[p.parentIdx] = entry{rect: nodeRect(a), child: a}
+				parent.entries = append(parent.entries, entry{rect: nodeRect(b), child: b})
+			}
+		} else if p.parent != nil {
+			p.parent.node.entries[p.parentIdx].rect = nodeRect(n)
+		}
+		p = p.parent
+	}
+}
+
+func nodeRect(n *node) Rect {
+	r := n.entries[0].rect.clone()
+	for _, e := range n.entries[1:] {
+		r.enlarge(e.rect)
+	}
+	return r
+}
+
+// splitNode performs Guttman's quadratic split, returning two nodes.
+func (t *Tree) splitNode(n *node) (*node, *node) {
+	entries := n.entries
+	// Pick seeds: the pair wasting the most area.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].rect.union(entries[j].rect).Area() -
+				entries[i].rect.Area() - entries[j].rect.Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	a := &node{leaf: n.leaf, entries: []entry{entries[s1]}}
+	b := &node{leaf: n.leaf, entries: []entry{entries[s2]}}
+	ra := entries[s1].rect.clone()
+	rb := entries[s2].rect.clone()
+
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// If one group needs all remaining entries to reach minEntries,
+		// assign them all.
+		if len(a.entries)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				a.entries = append(a.entries, e)
+				ra.enlarge(e.rect)
+			}
+			break
+		}
+		if len(b.entries)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				b.entries = append(b.entries, e)
+				rb.enlarge(e.rect)
+			}
+			break
+		}
+		// PickNext: entry with maximum preference difference.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			d1 := ra.enlargement(e.rect)
+			d2 := rb.enlargement(e.rect)
+			diff := math.Abs(d1 - d2)
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		d1 := ra.enlargement(e.rect)
+		d2 := rb.enlargement(e.rect)
+		toA := d1 < d2 ||
+			(d1 == d2 && ra.Area() < rb.Area()) ||
+			(d1 == d2 && ra.Area() == rb.Area() && len(a.entries) <= len(b.entries))
+		if toA {
+			a.entries = append(a.entries, e)
+			ra.enlarge(e.rect)
+		} else {
+			b.entries = append(b.entries, e)
+			rb.enlarge(e.rect)
+		}
+	}
+	return a, b
+}
+
+// Delete removes the entry with the given id whose rectangle matches r
+// exactly (use PointRect for point entries). It reports whether an entry
+// was removed.
+func (t *Tree) Delete(id int64, r Rect) bool {
+	leafPath := t.findLeaf(&pathElem{node: t.root}, id, r)
+	if leafPath == nil {
+		return false
+	}
+	n := leafPath.node
+	for i := range n.entries {
+		if n.entries[i].id == id && rectEqual(n.entries[i].rect, r) {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			break
+		}
+	}
+	t.size--
+	t.condense(leafPath)
+	// Shrink the root when it has a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	return true
+}
+
+// DeletePoint removes the point entry (id, p).
+func (t *Tree) DeletePoint(id int64, p Point) bool {
+	return t.Delete(id, PointRect(p))
+}
+
+func rectEqual(a, b Rect) bool {
+	for i := range a.Min {
+		if a.Min[i] != b.Min[i] || a.Max[i] != b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tree) findLeaf(p *pathElem, id int64, r Rect) *pathElem {
+	n := p.node
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].id == id && rectEqual(n.entries[i].rect, r) {
+				return p
+			}
+		}
+		return nil
+	}
+	for i := range n.entries {
+		if n.entries[i].rect.Contains(r) {
+			child := &pathElem{node: n.entries[i].child, parent: p, parentIdx: i}
+			if found := t.findLeaf(child, id, r); found != nil {
+				return found
+			}
+		}
+	}
+	return nil
+}
+
+// condense removes underfull nodes along the path and reinserts their
+// orphaned entries (Guttman CT).
+func (t *Tree) condense(p *pathElem) {
+	var orphans []entry
+	for p.parent != nil {
+		n := p.node
+		parent := p.parent.node
+		if len(n.entries) < t.minEntries {
+			// Remove this node from its parent and stash its entries.
+			orphans = append(orphans, collectLeafEntries(n)...)
+			parent.entries = append(parent.entries[:p.parentIdx], parent.entries[p.parentIdx+1:]...)
+			// Parent indices of siblings after parentIdx shifted; the path
+			// above only references p.parent and upward, so this is safe.
+		} else if len(n.entries) > 0 {
+			parent.entries[p.parentIdx].rect = nodeRect(n)
+		}
+		p = p.parent
+	}
+	for _, e := range orphans {
+		leaf := t.chooseLeaf(t.root, e, nil)
+		leaf.node.entries = append(leaf.node.entries, e)
+		t.adjustPath(leaf)
+	}
+}
+
+func collectLeafEntries(n *node) []entry {
+	if n.leaf {
+		out := make([]entry, len(n.entries))
+		copy(out, n.entries)
+		return out
+	}
+	var out []entry
+	for _, e := range n.entries {
+		out = append(out, collectLeafEntries(e.child)...)
+	}
+	return out
+}
+
+// Search calls fn for every entry whose rectangle intersects query. fn
+// returning false stops the search early.
+func (t *Tree) Search(query Rect, fn func(id int64, r Rect) bool) {
+	t.search(t.root, query, fn)
+}
+
+func (t *Tree) search(n *node, query Rect, fn func(id int64, r Rect) bool) bool {
+	t.accesses++
+	for _, e := range n.entries {
+		if !e.rect.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.id, e.rect) {
+				return false
+			}
+		} else if !t.search(e.child, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighbor is one k-NN result.
+type Neighbor struct {
+	ID   int64
+	Dist float64
+}
+
+// NearestNeighbors returns the k entries nearest to p in increasing
+// distance order, using best-first traversal with MinDist pruning.
+func (t *Tree) NearestNeighbors(k int, p Point) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	if err := t.checkPoint(p); err != nil {
+		return nil
+	}
+	pq := &minHeap{}
+	pq.push(heapItem{dist: 0, node: t.root})
+	var out []Neighbor
+	for pq.len() > 0 {
+		it := pq.pop()
+		if it.node != nil {
+			t.accesses++
+			for _, e := range it.node.entries {
+				d := e.rect.MinDist(p)
+				if it.node.leaf {
+					pq.push(heapItem{dist: d, id: e.id, isEntry: true})
+				} else {
+					pq.push(heapItem{dist: d, node: e.child})
+				}
+			}
+			continue
+		}
+		// An entry popped before any remaining node/entry is final.
+		out = append(out, Neighbor{ID: it.id, Dist: it.dist})
+		if len(out) == k {
+			return out
+		}
+	}
+	return out
+}
+
+// WithinRadius returns every entry within Euclidean distance radius of p,
+// in increasing distance order. This implements the paper's threshold
+// query: similarity ≥ s corresponds to distance ≤ (1−s)·dmax.
+func (t *Tree) WithinRadius(p Point, radius float64) []Neighbor {
+	if t.size == 0 || radius < 0 {
+		return nil
+	}
+	if err := t.checkPoint(p); err != nil {
+		return nil
+	}
+	pq := &minHeap{}
+	pq.push(heapItem{dist: 0, node: t.root})
+	var out []Neighbor
+	for pq.len() > 0 {
+		it := pq.pop()
+		if it.dist > radius {
+			break
+		}
+		if it.node != nil {
+			t.accesses++
+			for _, e := range it.node.entries {
+				d := e.rect.MinDist(p)
+				if d > radius {
+					continue
+				}
+				if it.node.leaf {
+					pq.push(heapItem{dist: d, id: e.id, isEntry: true})
+				} else {
+					pq.push(heapItem{dist: d, node: e.child})
+				}
+			}
+			continue
+		}
+		out = append(out, Neighbor{ID: it.id, Dist: it.dist})
+	}
+	return out
+}
+
+// heapItem is either a node (child pointer set) or a result entry.
+type heapItem struct {
+	dist    float64
+	node    *node
+	id      int64
+	isEntry bool
+}
+
+// minHeap is a binary min-heap over heapItem.dist. Entries tie-break
+// before nodes so results pop deterministically.
+type minHeap struct {
+	items []heapItem
+}
+
+func (h *minHeap) len() int { return len(h.items) }
+
+func (h *minHeap) less(i, j int) bool {
+	if h.items[i].dist != h.items[j].dist {
+		return h.items[i].dist < h.items[j].dist
+	}
+	if h.items[i].isEntry != h.items[j].isEntry {
+		return h.items[i].isEntry
+	}
+	return h.items[i].id < h.items[j].id
+}
+
+func (h *minHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,420 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomPoints(n, dim int, rng *rand.Rand) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, dim)
+		for d := range p {
+			p[d] = rng.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// linearKNN is the brute-force reference for k-NN.
+func linearKNN(pts []Point, q Point, k int) []Neighbor {
+	out := make([]Neighbor, 0, len(pts))
+	for i, p := range pts {
+		out = append(out, Neighbor{ID: int64(i), Dist: Dist(p, q)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+func buildTree(t *testing.T, pts []Point, dim, capacity int) *Tree {
+	t.Helper()
+	tr, err := New(dim, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := tr.InsertPoint(int64(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 8); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	tr, err := New(3, 2) // below minimum fan-out: raised to 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.maxEntries != 4 {
+		t.Errorf("maxEntries = %d, want 4", tr.maxEntries)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr, _ := New(3, 8)
+	if err := tr.InsertPoint(1, Point{1, 2}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+	if err := tr.InsertPoint(1, Point{1, 2, math.NaN()}); err == nil {
+		t.Error("NaN coordinate accepted")
+	}
+	if err := tr.InsertPoint(1, Point{1, 2, math.Inf(1)}); err == nil {
+		t.Error("Inf coordinate accepted")
+	}
+}
+
+func TestRectValidation(t *testing.T) {
+	if _, err := NewRect(Point{0, 0}, Point{1}); err == nil {
+		t.Error("mismatched corners accepted")
+	}
+	if _, err := NewRect(Point{2, 0}, Point{1, 1}); err == nil {
+		t.Error("inverted rect accepted")
+	}
+	r, err := NewRect(Point{0, 0}, Point{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Area() != 6 {
+		t.Errorf("Area = %v", r.Area())
+	}
+}
+
+func TestRectOps(t *testing.T) {
+	a, _ := NewRect(Point{0, 0}, Point{2, 2})
+	b, _ := NewRect(Point{1, 1}, Point{3, 3})
+	c, _ := NewRect(Point{5, 5}, Point{6, 6})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping rects not intersecting")
+	}
+	if a.Intersects(c) {
+		t.Error("distant rects intersecting")
+	}
+	if !a.Contains(Rect{Point{0.5, 0.5}, Point{1, 1}}) {
+		t.Error("containment failed")
+	}
+	if a.Contains(b) {
+		t.Error("partial overlap reported contained")
+	}
+	u := a.union(b)
+	if u.Min[0] != 0 || u.Max[1] != 3 {
+		t.Errorf("union = %v", u)
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	r, _ := NewRect(Point{0, 0}, Point{2, 2})
+	if d := r.MinDist(Point{1, 1}); d != 0 {
+		t.Errorf("inside MinDist = %v", d)
+	}
+	if d := r.MinDist(Point{5, 2}); d != 3 {
+		t.Errorf("side MinDist = %v", d)
+	}
+	if d := r.MinDist(Point{5, 6}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("corner MinDist = %v, want 5", d)
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	pts := randomPoints(500, 3, rng)
+	tr := buildTree(t, pts, 3, 8)
+	for trial := 0; trial < 50; trial++ {
+		lo := Point{rng.Float64() * 80, rng.Float64() * 80, rng.Float64() * 80}
+		hi := Point{lo[0] + rng.Float64()*30, lo[1] + rng.Float64()*30, lo[2] + rng.Float64()*30}
+		q, _ := NewRect(lo, hi)
+		want := map[int64]bool{}
+		for i, p := range pts {
+			if p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] && p[1] <= hi[1] && p[2] >= lo[2] && p[2] <= hi[2] {
+				want[int64(i)] = true
+			}
+		}
+		got := map[int64]bool{}
+		tr.Search(q, func(id int64, _ Rect) bool {
+			got[id] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	pts := randomPoints(200, 2, rng)
+	tr := buildTree(t, pts, 2, 8)
+	count := 0
+	all, _ := NewRect(Point{0, 0}, Point{100, 100})
+	tr.Search(all, func(int64, Rect) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestKNNMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, dim := range []int{2, 3, 5} {
+		pts := randomPoints(400, dim, rng)
+		tr := buildTree(t, pts, dim, 8)
+		for trial := 0; trial < 30; trial++ {
+			q := randomPoints(1, dim, rng)[0]
+			for _, k := range []int{1, 5, 17} {
+				want := linearKNN(pts, q, k)
+				got := tr.NearestNeighbors(k, q)
+				if len(got) != len(want) {
+					t.Fatalf("dim %d k %d: got %d results", dim, k, len(got))
+				}
+				for i := range got {
+					if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+						t.Fatalf("dim %d k %d rank %d: got %+v, want %+v", dim, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKNNOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	pts := randomPoints(300, 4, rng)
+	tr := buildTree(t, pts, 4, 8)
+	res := tr.NearestNeighbors(50, randomPoints(1, 4, rng)[0])
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("k-NN results not in increasing distance order")
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	tr, _ := New(2, 8)
+	if got := tr.NearestNeighbors(3, Point{0, 0}); got != nil {
+		t.Errorf("empty tree k-NN = %v", got)
+	}
+	tr.InsertPoint(7, Point{1, 1})
+	if got := tr.NearestNeighbors(0, Point{0, 0}); got != nil {
+		t.Errorf("k=0 = %v", got)
+	}
+	got := tr.NearestNeighbors(10, Point{0, 0})
+	if len(got) != 1 || got[0].ID != 7 {
+		t.Errorf("k>size = %v", got)
+	}
+	if got := tr.NearestNeighbors(1, Point{0}); got != nil {
+		t.Errorf("wrong-dimension query = %v", got)
+	}
+}
+
+func TestWithinRadiusMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	pts := randomPoints(400, 3, rng)
+	tr := buildTree(t, pts, 3, 8)
+	for trial := 0; trial < 30; trial++ {
+		q := randomPoints(1, 3, rng)[0]
+		radius := rng.Float64() * 40
+		want := map[int64]float64{}
+		for i, p := range pts {
+			if d := Dist(p, q); d <= radius {
+				want[int64(i)] = d
+			}
+		}
+		got := tr.WithinRadius(q, radius)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatal("radius results not sorted")
+			}
+		}
+		for _, n := range got {
+			if _, ok := want[n.ID]; !ok {
+				t.Fatalf("unexpected id %d", n.ID)
+			}
+		}
+	}
+}
+
+func TestWithinRadiusEdgeCases(t *testing.T) {
+	tr, _ := New(2, 8)
+	if got := tr.WithinRadius(Point{0, 0}, 5); got != nil {
+		t.Errorf("empty tree = %v", got)
+	}
+	tr.InsertPoint(1, Point{1, 0})
+	if got := tr.WithinRadius(Point{0, 0}, -1); got != nil {
+		t.Errorf("negative radius = %v", got)
+	}
+	if got := tr.WithinRadius(Point{0, 0}, 1); len(got) != 1 {
+		t.Errorf("boundary point missing: %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	pts := randomPoints(300, 3, rng)
+	tr := buildTree(t, pts, 3, 8)
+	// Delete half the points in random order.
+	perm := rng.Perm(len(pts))
+	deleted := map[int64]bool{}
+	for _, i := range perm[:150] {
+		if !tr.DeletePoint(int64(i), pts[i]) {
+			t.Fatalf("delete of existing point %d failed", i)
+		}
+		deleted[int64(i)] = true
+	}
+	if tr.Len() != 150 {
+		t.Errorf("Len = %d, want 150", tr.Len())
+	}
+	// Deleted points are gone, surviving ones still found.
+	all, _ := NewRect(Point{0, 0, 0}, Point{100, 100, 100})
+	found := map[int64]bool{}
+	tr.Search(all, func(id int64, _ Rect) bool {
+		found[id] = true
+		return true
+	})
+	for id := range deleted {
+		if found[id] {
+			t.Fatalf("deleted id %d still present", id)
+		}
+	}
+	if len(found) != 150 {
+		t.Errorf("found %d entries after deletes", len(found))
+	}
+	// k-NN still correct after heavy deletion.
+	var survivors []Point
+	var survivorIDs []int64
+	for i, p := range pts {
+		if !deleted[int64(i)] {
+			survivors = append(survivors, p)
+			survivorIDs = append(survivorIDs, int64(i))
+		}
+	}
+	q := randomPoints(1, 3, rng)[0]
+	got := tr.NearestNeighbors(5, q)
+	bestDist := math.Inf(1)
+	var bestID int64
+	for j, p := range survivors {
+		if d := Dist(p, q); d < bestDist {
+			bestDist, bestID = d, survivorIDs[j]
+		}
+	}
+	if got[0].ID != bestID {
+		t.Errorf("post-delete NN = %d, want %d", got[0].ID, bestID)
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr, _ := New(2, 8)
+	tr.InsertPoint(1, Point{1, 1})
+	if tr.DeletePoint(2, Point{1, 1}) {
+		t.Error("deleted wrong id")
+	}
+	if tr.DeletePoint(1, Point{2, 2}) {
+		t.Error("deleted wrong location")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr, _ := New(2, 4)
+	pts := randomPoints(100, 2, rand.New(rand.NewSource(66)))
+	for i, p := range pts {
+		tr.InsertPoint(int64(i), p)
+	}
+	for i, p := range pts {
+		if !tr.DeletePoint(int64(i), p) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Errorf("Height = %d after deleting all", tr.Height())
+	}
+	// Tree remains usable.
+	tr.InsertPoint(999, Point{5, 5})
+	got := tr.NearestNeighbors(1, Point{5, 5})
+	if len(got) != 1 || got[0].ID != 999 {
+		t.Errorf("reuse after empty failed: %v", got)
+	}
+}
+
+func TestInsertRectAndSearch(t *testing.T) {
+	tr, _ := New(2, 8)
+	r1, _ := NewRect(Point{0, 0}, Point{2, 2})
+	r2, _ := NewRect(Point{10, 10}, Point{12, 12})
+	tr.InsertRect(1, r1)
+	tr.InsertRect(2, r2)
+	q, _ := NewRect(Point{1, 1}, Point{3, 3})
+	var ids []int64
+	tr.Search(q, func(id int64, _ Rect) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("rect search = %v", ids)
+	}
+	if !tr.Delete(1, r1) {
+		t.Error("rect delete failed")
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr, _ := New(2, 4)
+	if tr.Height() != 1 {
+		t.Errorf("empty height = %d", tr.Height())
+	}
+	rng := rand.New(rand.NewSource(67))
+	for i, p := range randomPoints(500, 2, rng) {
+		tr.InsertPoint(int64(i), p)
+	}
+	if h := tr.Height(); h < 3 {
+		t.Errorf("height after 500 inserts at fan-out 4 = %d, want ≥3", h)
+	}
+	if tr.Len() != 500 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestNodeAccessesPruning(t *testing.T) {
+	// k-NN on an indexed set must touch far fewer nodes than exist.
+	rng := rand.New(rand.NewSource(68))
+	pts := randomPoints(5000, 3, rng)
+	tr := buildTree(t, pts, 3, 16)
+	tr.ResetStats()
+	tr.NearestNeighbors(10, Point{50, 50, 50})
+	accesses := tr.NodeAccesses()
+	if accesses == 0 {
+		t.Fatal("no node accesses recorded")
+	}
+	// A full scan would touch every node; pruned search should visit a
+	// small fraction. With 5000 points and fan-out 16 there are ≥313 leaf
+	// nodes.
+	if accesses > 150 {
+		t.Errorf("k-NN visited %d nodes — pruning ineffective", accesses)
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"threedess/internal/geom"
+)
+
+// Client is a Go client for the 3DESS HTTP API, used by the CLI tools and
+// examples.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for the given base URL (e.g.
+// "http://localhost:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		data, _ := io.ReadAll(resp.Body)
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (%d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ListShapes returns every stored shape's metadata.
+func (c *Client) ListShapes() ([]ShapeInfo, error) {
+	var out []ShapeInfo
+	err := c.do(http.MethodGet, "/api/shapes", nil, &out)
+	return out, err
+}
+
+// InsertShape uploads a mesh, extracts its features server-side, and
+// returns the assigned id.
+func (c *Client) InsertShape(name string, group int, mesh *geom.Mesh) (int64, error) {
+	off, err := MeshToOFF(mesh)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		ID int64 `json:"id"`
+	}
+	err = c.do(http.MethodPost, "/api/shapes", map[string]any{
+		"name": name, "group": group, "mesh_off": off,
+	}, &out)
+	return out.ID, err
+}
+
+// GetShape fetches one shape's metadata.
+func (c *Client) GetShape(id int64) (ShapeInfo, error) {
+	var out ShapeInfo
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/shapes/%d", id), nil, &out)
+	return out, err
+}
+
+// DeleteShape removes a shape.
+func (c *Client) DeleteShape(id int64) error {
+	return c.do(http.MethodDelete, fmt.Sprintf("/api/shapes/%d", id), nil, nil)
+}
+
+// GetView fetches the triangulated 3D view of a shape.
+func (c *Client) GetView(id int64) (ViewModel, error) {
+	var out ViewModel
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/shapes/%d/view", id), nil, &out)
+	return out, err
+}
+
+// Search runs a single-feature search.
+func (c *Client) Search(req SearchRequest) ([]SearchResult, error) {
+	var out []SearchResult
+	err := c.do(http.MethodPost, "/api/search", req, &out)
+	return out, err
+}
+
+// MultiStep runs the §4.2 multi-step strategy.
+func (c *Client) MultiStep(req MultiStepRequest) ([]SearchResult, error) {
+	var out []SearchResult
+	err := c.do(http.MethodPost, "/api/search/multistep", req, &out)
+	return out, err
+}
+
+// Feedback submits relevance judgments and reruns the search.
+func (c *Client) Feedback(req FeedbackRequest) ([]SearchResult, error) {
+	var out []SearchResult
+	err := c.do(http.MethodPost, "/api/feedback", req, &out)
+	return out, err
+}
+
+// Browse fetches the drill-down hierarchy for a feature.
+func (c *Client) Browse(feature string) (BrowseNodeJSON, error) {
+	var out BrowseNodeJSON
+	path := "/api/browse"
+	if feature != "" {
+		path += "?feature=" + feature
+	}
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Stats fetches database statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(http.MethodGet, "/api/stats", nil, &out)
+	return out, err
+}

@@ -1,0 +1,493 @@
+// Package server implements the SERVER/INTERFACE tiers of the paper's
+// three-tier architecture as an HTTP/JSON API: query-by-example (upload a
+// mesh), query-by-id (pick a database shape as the initial query),
+// multi-step search, relevance feedback, cluster-based browsing, and the
+// 3D view generation endpoint that returns a triangulated model — the
+// payload the paper's server passed to its Java 3D interface.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"threedess/internal/core"
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+)
+
+// Server exposes a 3DESS engine over HTTP.
+type Server struct {
+	engine *core.Engine
+	mux    *http.ServeMux
+}
+
+// New builds a server over the engine.
+func New(engine *core.Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/shapes", s.handleShapes)
+	s.mux.HandleFunc("/api/shapes/", s.handleShapeByID)
+	s.mux.HandleFunc("/api/search", s.handleSearch)
+	s.mux.HandleFunc("/api/search/multistep", s.handleMultiStep)
+	s.mux.HandleFunc("/api/feedback", s.handleFeedback)
+	s.mux.HandleFunc("/api/browse", s.handleBrowse)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/", s.handleUI)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- wire types ---
+
+// ShapeInfo describes one stored shape.
+type ShapeInfo struct {
+	ID    int64  `json:"id"`
+	Name  string `json:"name"`
+	Group int    `json:"group"`
+	Faces int    `json:"faces"`
+}
+
+// ViewModel is the triangulated 3D view of a shape (the "3D view
+// generation" output of §2.2): positions as a flat xyz array and triangle
+// indices.
+type ViewModel struct {
+	ID        int64     `json:"id"`
+	Name      string    `json:"name"`
+	Positions []float64 `json:"positions"`
+	Triangles []int     `json:"triangles"`
+}
+
+// SearchRequest is the query-by-example / query-by-id request body.
+type SearchRequest struct {
+	// Either QueryID (query by browsing/picking) or MeshOFF (query by
+	// example: an OFF file as a string) must be set.
+	QueryID int64  `json:"query_id,omitempty"`
+	MeshOFF string `json:"mesh_off,omitempty"`
+
+	Feature   string    `json:"feature"`
+	Threshold *float64  `json:"threshold,omitempty"` // threshold search when set
+	K         int       `json:"k,omitempty"`         // top-k search otherwise (default 10)
+	Weights   []float64 `json:"weights,omitempty"`
+}
+
+// SearchResult is one result row.
+type SearchResult struct {
+	ID         int64   `json:"id"`
+	Name       string  `json:"name"`
+	Group      int     `json:"group"`
+	Distance   float64 `json:"distance"`
+	Similarity float64 `json:"similarity"`
+}
+
+// MultiStepRequest runs the §4.2 strategy.
+type MultiStepRequest struct {
+	QueryID       int64      `json:"query_id,omitempty"`
+	MeshOFF       string     `json:"mesh_off,omitempty"`
+	Steps         []StepSpec `json:"steps"`
+	CandidateSize int        `json:"candidate_size,omitempty"`
+	K             int        `json:"k,omitempty"`
+}
+
+// StepSpec is one multi-step stage.
+type StepSpec struct {
+	Feature string    `json:"feature"`
+	Weights []float64 `json:"weights,omitempty"`
+	Keep    int       `json:"keep,omitempty"`
+}
+
+// FeedbackRequest reconstructs a query vector from relevance judgments.
+type FeedbackRequest struct {
+	QueryID    int64   `json:"query_id"`
+	Feature    string  `json:"feature"`
+	Relevant   []int64 `json:"relevant"`
+	Irrelevant []int64 `json:"irrelevant"`
+	K          int     `json:"k,omitempty"`
+}
+
+// BrowseNodeJSON mirrors core.BrowseNode.
+type BrowseNodeJSON struct {
+	IDs      []int64          `json:"ids"`
+	Children []BrowseNodeJSON `json:"children,omitempty"`
+}
+
+// StatsResponse reports database statistics.
+type StatsResponse struct {
+	Shapes   int            `json:"shapes"`
+	Groups   map[string]int `json:"group_sizes"`
+	Features []string       `json:"features"`
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		var out []ShapeInfo
+		s.engine.DB().ForEach(func(rec *shapedb.Record) {
+			out = append(out, ShapeInfo{
+				ID: rec.ID, Name: rec.Name, Group: rec.Group, Faces: len(rec.Mesh.Faces),
+			})
+		})
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		// Insert a new shape: {"name": ..., "group": ..., "mesh_off": ...}
+		var req struct {
+			Name    string `json:"name"`
+			Group   int    `json:"group"`
+			MeshOFF string `json:"mesh_off"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		mesh, err := geom.ReadOFF(strings.NewReader(req.MeshOFF))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		set, err := s.extractRepairing(mesh)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		id, err := s.engine.DB().Insert(req.Name, req.Group, mesh, set)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// handleShapeByID serves /api/shapes/{id} and /api/shapes/{id}/view.
+func (s *Server) handleShapeByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/shapes/")
+	wantView := false
+	if strings.HasSuffix(rest, "/view") {
+		wantView = true
+		rest = strings.TrimSuffix(rest, "/view")
+	}
+	id, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad shape id %q", rest))
+		return
+	}
+	rec, ok := s.engine.DB().Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no shape with id %d", id))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		if wantView {
+			writeJSON(w, http.StatusOK, viewOf(rec))
+			return
+		}
+		writeJSON(w, http.StatusOK, ShapeInfo{
+			ID: rec.ID, Name: rec.Name, Group: rec.Group, Faces: len(rec.Mesh.Faces),
+		})
+	case http.MethodDelete:
+		if wantView {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("cannot delete a view"))
+			return
+		}
+		if _, err := s.engine.DB().Delete(id); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+func viewOf(rec *shapedb.Record) ViewModel {
+	v := ViewModel{
+		ID:        rec.ID,
+		Name:      rec.Name,
+		Positions: make([]float64, 0, 3*len(rec.Mesh.Vertices)),
+		Triangles: make([]int, 0, 3*len(rec.Mesh.Faces)),
+	}
+	for _, p := range rec.Mesh.Vertices {
+		v.Positions = append(v.Positions, p.X, p.Y, p.Z)
+	}
+	for _, f := range rec.Mesh.Faces {
+		v.Triangles = append(v.Triangles, f[0], f[1], f[2])
+	}
+	return v
+}
+
+// resolveQuery extracts the feature set for a request's query (by id or by
+// uploaded OFF mesh).
+func (s *Server) resolveQuery(queryID int64, meshOFF string) (features.Set, error) {
+	switch {
+	case queryID != 0:
+		return s.engine.QueryFeatures(queryID)
+	case meshOFF != "":
+		mesh, err := geom.ReadOFF(strings.NewReader(meshOFF))
+		if err != nil {
+			return nil, fmt.Errorf("parsing query mesh: %w", err)
+		}
+		return s.extractRepairing(mesh)
+	default:
+		return nil, fmt.Errorf("either query_id or mesh_off must be provided")
+	}
+}
+
+// extractRepairing runs feature extraction, retrying once after
+// orientation repair when the mesh arrives with incoherent or inverted
+// winding — common for STL/OBJ uploads from mixed toolchains.
+func (s *Server) extractRepairing(mesh *geom.Mesh) (features.Set, error) {
+	set, err := s.engine.Extractor().Extract(mesh, features.CoreKinds)
+	if err == nil {
+		return set, nil
+	}
+	if _, rerr := mesh.OrientConsistently(); rerr != nil {
+		return nil, err // report the original extraction failure
+	}
+	set, rerr := s.engine.Extractor().Extract(mesh, features.CoreKinds)
+	if rerr != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	kind, err := features.ParseKind(req.Feature)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	query, err := s.resolveQuery(req.QueryID, req.MeshOFF)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 10
+	}
+	var results []core.Result
+	if req.Threshold != nil {
+		results, err = s.engine.SearchThreshold(query, core.Options{
+			Feature: kind, Threshold: *req.Threshold, Weights: req.Weights,
+		})
+	} else {
+		fetch := k
+		if req.QueryID != 0 {
+			fetch++ // absorb the query shape, which is always retrieved
+		}
+		results, err = s.engine.SearchTopK(query, core.Options{
+			Feature: kind, K: fetch, Weights: req.Weights,
+		})
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if req.QueryID != 0 {
+		results = core.ExcludeID(results, req.QueryID)
+	}
+	if req.Threshold == nil && len(results) > k {
+		results = results[:k]
+	}
+	writeJSON(w, http.StatusOK, toWireResults(results))
+}
+
+func (s *Server) handleMultiStep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req MultiStepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	steps := make([]core.Step, 0, len(req.Steps))
+	for _, sp := range req.Steps {
+		kind, err := features.ParseKind(sp.Feature)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		steps = append(steps, core.Step{Feature: kind, Weights: sp.Weights, Keep: sp.Keep})
+	}
+	query, err := s.resolveQuery(req.QueryID, req.MeshOFF)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 10
+	}
+	fetch := k
+	if req.QueryID != 0 {
+		fetch++ // absorb the query shape, which is always retrieved
+	}
+	results, err := s.engine.SearchMultiStep(query, core.MultiStepOptions{
+		Steps:         steps,
+		CandidateSize: req.CandidateSize,
+		K:             fetch,
+	})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if req.QueryID != 0 {
+		results = core.ExcludeID(results, req.QueryID)
+	}
+	if len(results) > k {
+		results = results[:k]
+	}
+	writeJSON(w, http.StatusOK, toWireResults(results))
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	kind, err := features.ParseKind(req.Feature)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	query, err := s.engine.QueryFeatures(req.QueryID)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fb := core.Feedback{Relevant: req.Relevant, Irrelevant: req.Irrelevant}
+	newQuery, err := s.engine.ReconstructQuery(query, kind, fb, core.DefaultRocchio)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	// Weight reconfiguration when enough relevant examples exist.
+	var weights []float64
+	if len(req.Relevant) >= 2 {
+		weights, err = s.engine.ReconfigureWeights(kind, fb)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+	k := req.K
+	if k <= 0 {
+		k = 10
+	}
+	results, err := s.engine.SearchTopK(newQuery, core.Options{Feature: kind, K: k + 1, Weights: weights})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	results = core.ExcludeID(results, req.QueryID)
+	if len(results) > k {
+		results = results[:k]
+	}
+	writeJSON(w, http.StatusOK, toWireResults(results))
+}
+
+func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	kindName := r.URL.Query().Get("feature")
+	if kindName == "" {
+		kindName = features.PrincipalMoments.String()
+	}
+	kind, err := features.ParseKind(kindName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	root, err := s.engine.BuildBrowseHierarchy(kind, 1)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWireBrowse(root))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	db := s.engine.DB()
+	resp := StatsResponse{Shapes: db.Len(), Groups: map[string]int{}}
+	db.ForEach(func(rec *shapedb.Record) {
+		resp.Groups[strconv.Itoa(rec.Group)]++
+	})
+	for _, k := range features.AllKinds {
+		if db.HasIndex(k) {
+			resp.Features = append(resp.Features, k.String())
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func toWireResults(results []core.Result) []SearchResult {
+	out := make([]SearchResult, len(results))
+	for i, r := range results {
+		out[i] = SearchResult{
+			ID: r.ID, Name: r.Name, Group: r.Group,
+			Distance: r.Distance, Similarity: r.Similarity,
+		}
+	}
+	return out
+}
+
+func toWireBrowse(n *core.BrowseNode) BrowseNodeJSON {
+	out := BrowseNodeJSON{IDs: n.IDs}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, toWireBrowse(c))
+	}
+	return out
+}
+
+// MeshToOFF serializes a mesh to OFF text for the upload APIs.
+func MeshToOFF(m *geom.Mesh) (string, error) {
+	var buf bytes.Buffer
+	if err := geom.WriteOFF(&buf, m); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}

@@ -1,0 +1,438 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"threedess/internal/core"
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+)
+
+// testServer spins up an httptest server over a small real database.
+func testServer(t *testing.T) (*Client, *core.Engine) {
+	t.Helper()
+	db, err := shapedb.Open("", features.Options{VoxelResolution: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	engine := core.NewEngine(db)
+	ts := httptest.NewServer(New(engine))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), engine
+}
+
+func seedShapes(t *testing.T, c *Client) []int64 {
+	t.Helper()
+	meshes := []struct {
+		name  string
+		group int
+		mesh  *geom.Mesh
+	}{
+		{"slab-a", 1, geom.Box(geom.V(0, 0, 0), geom.V(10, 6, 1))},
+		{"slab-b", 1, geom.Box(geom.V(0, 0, 0), geom.V(11, 6.5, 1.1))},
+		{"slab-c", 1, geom.Box(geom.V(0, 0, 0), geom.V(9.5, 5.8, 0.95))},
+		{"cube", 2, geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 4))},
+		{"cube-b", 2, geom.Box(geom.V(0, 0, 0), geom.V(4.2, 4.1, 3.9))},
+		{"bar", 3, geom.Box(geom.V(0, 0, 0), geom.V(20, 1, 1))},
+	}
+	ids := make([]int64, len(meshes))
+	for i, m := range meshes {
+		id, err := c.InsertShape(m.name, m.group, m.mesh)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+func TestInsertListGetDelete(t *testing.T) {
+	c, _ := testServer(t)
+	ids := seedShapes(t, c)
+	shapes, err := c.ListShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != 6 {
+		t.Fatalf("listed %d shapes", len(shapes))
+	}
+	info, err := c.GetShape(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "slab-a" || info.Group != 1 || info.Faces != 12 {
+		t.Errorf("info = %+v", info)
+	}
+	if err := c.DeleteShape(ids[5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetShape(ids[5]); err == nil {
+		t.Error("deleted shape still readable")
+	}
+	shapes, _ = c.ListShapes()
+	if len(shapes) != 5 {
+		t.Errorf("after delete: %d shapes", len(shapes))
+	}
+}
+
+func TestSearchByID(t *testing.T) {
+	c, _ := testServer(t)
+	ids := seedShapes(t, c)
+	res, err := c.Search(SearchRequest{
+		QueryID: ids[0],
+		Feature: features.PrincipalMoments.String(),
+		K:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	// The query itself is excluded; the nearest shapes are the other slabs.
+	for _, r := range res {
+		if r.ID == ids[0] {
+			t.Error("query shape in results")
+		}
+	}
+	if res[0].Group != 1 {
+		t.Errorf("top result group = %d, want slab group", res[0].Group)
+	}
+	if res[0].Similarity < 0 || res[0].Similarity > 1 {
+		t.Errorf("similarity = %v", res[0].Similarity)
+	}
+}
+
+func TestSearchByExample(t *testing.T) {
+	c, _ := testServer(t)
+	seedShapes(t, c)
+	query := geom.Box(geom.V(0, 0, 0), geom.V(10.2, 6.1, 1.02))
+	query.Rotate(geom.RotationZ(0.7)).Translate(geom.V(3, 3, 3))
+	off, err := MeshToOFF(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Search(SearchRequest{
+		MeshOFF: off,
+		Feature: features.PrincipalMoments.String(),
+		K:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].Group != 1 || res[1].Group != 1 {
+		t.Errorf("query-by-example top groups = %d,%d, want slabs", res[0].Group, res[1].Group)
+	}
+}
+
+func TestThresholdSearch(t *testing.T) {
+	c, _ := testServer(t)
+	ids := seedShapes(t, c)
+	th := 0.9
+	res, err := c.Search(SearchRequest{
+		QueryID:   ids[0],
+		Feature:   features.PrincipalMoments.String(),
+		Threshold: &th,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Similarity < th-1e-9 {
+			t.Errorf("similarity %v below threshold", r.Similarity)
+		}
+	}
+}
+
+func TestMultiStepEndpoint(t *testing.T) {
+	c, _ := testServer(t)
+	ids := seedShapes(t, c)
+	res, err := c.MultiStep(MultiStepRequest{
+		QueryID: ids[0],
+		Steps: []StepSpec{
+			{Feature: features.PrincipalMoments.String(), Keep: 4},
+			{Feature: features.GeometricParams.String()},
+		},
+		K: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no multi-step results")
+	}
+	for _, r := range res {
+		if r.ID == ids[0] {
+			t.Error("query shape in results")
+		}
+	}
+}
+
+func TestFeedbackEndpoint(t *testing.T) {
+	c, _ := testServer(t)
+	ids := seedShapes(t, c)
+	res, err := c.Feedback(FeedbackRequest{
+		QueryID:  ids[0],
+		Feature:  features.PrincipalMoments.String(),
+		Relevant: []int64{ids[1], ids[2]},
+		K:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no feedback results")
+	}
+	// After positive feedback on the slabs, top results stay in group 1.
+	if res[0].Group != 1 {
+		t.Errorf("post-feedback top group = %d", res[0].Group)
+	}
+}
+
+func TestBrowseEndpoint(t *testing.T) {
+	c, _ := testServer(t)
+	seedShapes(t, c)
+	root, err := c.Browse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.IDs) != 6 {
+		t.Errorf("browse root covers %d shapes", len(root.IDs))
+	}
+	if _, err := c.Browse("nonsense"); err == nil {
+		t.Error("bad feature name accepted")
+	}
+}
+
+func TestViewEndpoint(t *testing.T) {
+	c, _ := testServer(t)
+	ids := seedShapes(t, c)
+	view, err := c.GetView(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ID != ids[0] || view.Name != "slab-a" {
+		t.Errorf("view meta = %+v", view)
+	}
+	if len(view.Positions) != 8*3 {
+		t.Errorf("positions = %d floats, want 24", len(view.Positions))
+	}
+	if len(view.Triangles) != 12*3 {
+		t.Errorf("triangles = %d indices, want 36", len(view.Triangles))
+	}
+	for _, idx := range view.Triangles {
+		if idx < 0 || idx >= 8 {
+			t.Fatalf("triangle index %d out of range", idx)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	c, _ := testServer(t)
+	seedShapes(t, c)
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shapes != 6 {
+		t.Errorf("stats shapes = %d", stats.Shapes)
+	}
+	if stats.Groups["1"] != 3 || stats.Groups["2"] != 2 {
+		t.Errorf("group sizes = %v", stats.Groups)
+	}
+	if len(stats.Features) != len(features.CoreKinds) {
+		t.Errorf("features = %v", stats.Features)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	c, _ := testServer(t)
+	seedShapes(t, c)
+
+	// Unknown feature.
+	if _, err := c.Search(SearchRequest{QueryID: 1, Feature: "bogus", K: 3}); err == nil {
+		t.Error("bogus feature accepted")
+	}
+	// No query.
+	if _, err := c.Search(SearchRequest{Feature: features.PrincipalMoments.String(), K: 3}); err == nil {
+		t.Error("query-less request accepted")
+	}
+	// Unknown query id.
+	if _, err := c.Search(SearchRequest{QueryID: 999, Feature: features.PrincipalMoments.String(), K: 3}); err == nil {
+		t.Error("unknown query id accepted")
+	}
+	// Bad mesh.
+	if _, err := c.Search(SearchRequest{MeshOFF: "garbage", Feature: features.PrincipalMoments.String(), K: 3}); err == nil {
+		t.Error("garbage mesh accepted")
+	}
+	// Open mesh (zero volume) rejected at insert.
+	if _, err := c.InsertShape("open", 0, func() *geom.Mesh {
+		m := geom.NewMesh(0, 0)
+		m.AddVertex(geom.V(0, 0, 0))
+		m.AddVertex(geom.V(1, 0, 0))
+		m.AddVertex(geom.V(0, 1, 0))
+		m.AddFace(0, 1, 2)
+		return m
+	}()); err == nil {
+		t.Error("open mesh accepted")
+	}
+	// Feedback without enough judgments still works (query reconstruction
+	// only), but unknown ids fail.
+	if _, err := c.Feedback(FeedbackRequest{
+		QueryID: 1, Feature: features.PrincipalMoments.String(), Relevant: []int64{888},
+	}); err == nil {
+		t.Error("unknown relevant id accepted")
+	}
+}
+
+func TestRawHTTPErrors(t *testing.T) {
+	db, err := shapedb.Open("", features.Options{VoxelResolution: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ts := httptest.NewServer(New(core.NewEngine(db)))
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		method, path string
+		body         string
+		wantStatus   int
+	}{
+		{http.MethodPut, "/api/shapes", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/api/search", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/api/search", "{not json", http.StatusBadRequest},
+		{http.MethodGet, "/api/shapes/abc", "", http.StatusBadRequest},
+		{http.MethodGet, "/api/shapes/42", "", http.StatusNotFound},
+		{http.MethodPost, "/api/browse", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/api/stats", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/api/search/multistep", "{not json", http.StatusBadRequest},
+		{http.MethodPost, "/api/feedback", "{not json", http.StatusBadRequest},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+func TestUIServed(t *testing.T) {
+	db, err := shapedb.Open("", features.Options{VoxelResolution: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ts := httptest.NewServer(New(core.NewEngine(db)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("UI status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := make([]byte, 64)
+	resp.Body.Read(body)
+	if !strings.Contains(string(body), "<!DOCTYPE html>") {
+		t.Errorf("UI body does not look like HTML: %q", body)
+	}
+	// Unknown non-API paths 404.
+	resp2, err := http.Get(ts.URL + "/nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+func TestSearchByIDReturnsExactlyK(t *testing.T) {
+	c, _ := testServer(t)
+	ids := seedShapes(t, c)
+	for _, k := range []int{1, 3, 5} {
+		res, err := c.Search(SearchRequest{
+			QueryID: ids[0],
+			Feature: features.PrincipalMoments.String(),
+			K:       k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != k {
+			t.Errorf("k=%d: got %d results (query must not consume a slot)", k, len(res))
+		}
+	}
+	// Multi-step too.
+	res, err := c.MultiStep(MultiStepRequest{
+		QueryID: ids[0],
+		Steps:   []StepSpec{{Feature: features.PrincipalMoments.String()}},
+		K:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Errorf("multi-step k=4: got %d results", len(res))
+	}
+	// Feedback too.
+	fres, err := c.Feedback(FeedbackRequest{
+		QueryID: ids[0], Feature: features.PrincipalMoments.String(),
+		Relevant: []int64{ids[1]}, K: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fres) != 3 {
+		t.Errorf("feedback k=3: got %d results", len(fres))
+	}
+}
+
+func TestInsertRepairsInvertedMesh(t *testing.T) {
+	c, _ := testServer(t)
+	seedShapes(t, c)
+	// A fully inverted box: naive extraction fails (negative volume), but
+	// the server repairs the orientation and ingests it.
+	inverted := geom.Box(geom.V(0, 0, 0), geom.V(2, 3, 4)).FlipFaces()
+	id, err := c.InsertShape("inverted-import", 0, inverted)
+	if err != nil {
+		t.Fatalf("inverted mesh rejected: %v", err)
+	}
+	info, err := c.GetShape(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "inverted-import" {
+		t.Errorf("info = %+v", info)
+	}
+	// And it is searchable.
+	res, err := c.Search(SearchRequest{
+		QueryID: id, Feature: features.PrincipalMoments.String(), K: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("repaired shape not searchable")
+	}
+}

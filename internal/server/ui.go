@@ -1,0 +1,222 @@
+package server
+
+import "net/http"
+
+// The paper's INTERFACE tier presents search results in a 3D view "that
+// allows users to manipulate shapes" (its prototype used Java 3D). This
+// file serves the equivalent: a dependency-free HTML page with a small
+// software 3D renderer that lists the database, runs query-by-id and
+// multi-step searches against the JSON API, and draws any shape as a
+// rotatable, zoomable wireframe.
+
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(uiHTML))
+}
+
+const uiHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>3DESS — 3D Engineering Shape Search</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 0; display: flex; height: 100vh; }
+  #side { width: 360px; overflow-y: auto; border-right: 1px solid #ccc; padding: 12px; }
+  #main { flex: 1; display: flex; flex-direction: column; }
+  #viewer { flex: 1; }
+  canvas { width: 100%; height: 100%; display: block; background: #10141a; }
+  h1 { font-size: 16px; margin: 4px 0 12px; }
+  h2 { font-size: 13px; margin: 14px 0 6px; color: #444; }
+  table { border-collapse: collapse; width: 100%; font-size: 12px; }
+  td, th { padding: 2px 6px; text-align: left; border-bottom: 1px solid #eee; }
+  tr.row:hover { background: #eef; cursor: pointer; }
+  tr.sel { background: #dde6ff; }
+  button { margin: 2px 2px 2px 0; font-size: 12px; }
+  #status { font-size: 11px; color: #666; padding: 4px 8px; border-top: 1px solid #ccc; }
+  select { font-size: 12px; }
+</style>
+</head>
+<body>
+<div id="side">
+  <h1>3DESS shape search</h1>
+  <div>
+    <select id="feature">
+      <option value="principal-moments">principal moments</option>
+      <option value="moment-invariants">moment invariants</option>
+      <option value="geometric-params">geometric parameters</option>
+      <option value="eigenvalues">eigenvalues</option>
+    </select>
+    <button id="searchBtn">search similar</button>
+    <button id="multiBtn">multi-step</button>
+  </div>
+  <h2>results</h2>
+  <table id="results"><tbody></tbody></table>
+  <h2>database</h2>
+  <table id="shapes"><tbody></tbody></table>
+</div>
+<div id="main">
+  <div id="viewer"><canvas id="cv"></canvas></div>
+  <div id="status">drag to rotate · wheel to zoom · pick a shape on the left</div>
+</div>
+<script>
+"use strict";
+const cv = document.getElementById("cv");
+const ctx = cv.getContext("2d");
+let model = null;        // {positions:[], triangles:[], name}
+let edges = [];          // deduplicated wireframe edges
+let rotX = -0.5, rotY = 0.6, zoom = 1;
+let selected = 0;
+
+function resize() {
+  cv.width = cv.clientWidth * devicePixelRatio;
+  cv.height = cv.clientHeight * devicePixelRatio;
+  draw();
+}
+window.addEventListener("resize", resize);
+
+function setModel(m) {
+  model = m;
+  // Dedupe undirected edges from the triangle list.
+  const set = new Set();
+  for (let i = 0; i < m.triangles.length; i += 3) {
+    const t = [m.triangles[i], m.triangles[i+1], m.triangles[i+2]];
+    for (let k = 0; k < 3; k++) {
+      const a = Math.min(t[k], t[(k+1)%3]), b = Math.max(t[k], t[(k+1)%3]);
+      set.add(a * 1000000 + b);
+    }
+  }
+  edges = [...set].map(x => [Math.floor(x / 1000000), x % 1000000]);
+  // Center + scale to unit box.
+  let cx=0, cy=0, cz=0, n=m.positions.length/3;
+  for (let i = 0; i < m.positions.length; i += 3) { cx+=m.positions[i]; cy+=m.positions[i+1]; cz+=m.positions[i+2]; }
+  cx/=n; cy/=n; cz/=n;
+  let r = 0;
+  for (let i = 0; i < m.positions.length; i += 3) {
+    const dx=m.positions[i]-cx, dy=m.positions[i+1]-cy, dz=m.positions[i+2]-cz;
+    r = Math.max(r, Math.hypot(dx,dy,dz));
+  }
+  model.center=[cx,cy,cz]; model.radius=r||1;
+  draw();
+}
+
+function draw() {
+  ctx.fillStyle = "#10141a";
+  ctx.fillRect(0, 0, cv.width, cv.height);
+  if (!model) return;
+  const s = 0.42 * Math.min(cv.width, cv.height) / model.radius * zoom;
+  const cosX=Math.cos(rotX), sinX=Math.sin(rotX), cosY=Math.cos(rotY), sinY=Math.sin(rotY);
+  const px = new Float64Array(model.positions.length/3);
+  const py = new Float64Array(model.positions.length/3);
+  const pz = new Float64Array(model.positions.length/3);
+  for (let i = 0, j = 0; i < model.positions.length; i += 3, j++) {
+    let x = model.positions[i]-model.center[0];
+    let y = model.positions[i+1]-model.center[1];
+    let z = model.positions[i+2]-model.center[2];
+    // rotate around Y then X
+    let x1 = x*cosY + z*sinY, z1 = -x*sinY + z*cosY;
+    let y2 = y*cosX - z1*sinX, z2 = y*sinX + z1*cosX;
+    px[j] = cv.width/2 + x1*s;
+    py[j] = cv.height/2 - y2*s;
+    pz[j] = z2;
+  }
+  ctx.lineWidth = devicePixelRatio;
+  for (const [a, b] of edges) {
+    const depth = (pz[a]+pz[b]) / (2*model.radius);      // −1 .. 1
+    const shade = Math.round(140 + 90 * Math.max(-1, Math.min(1, depth)));
+    ctx.strokeStyle = "rgb(" + (shade*0.55|0) + "," + (shade*0.8|0) + "," + shade + ")";
+    ctx.beginPath();
+    ctx.moveTo(px[a], py[a]);
+    ctx.lineTo(px[b], py[b]);
+    ctx.stroke();
+  }
+  ctx.fillStyle = "#9ab";
+  ctx.font = (13*devicePixelRatio) + "px system-ui";
+  ctx.fillText(model.name || "", 10*devicePixelRatio, 20*devicePixelRatio);
+}
+
+let dragging = false, lastX = 0, lastY = 0;
+cv.addEventListener("mousedown", e => { dragging = true; lastX = e.clientX; lastY = e.clientY; });
+window.addEventListener("mouseup", () => dragging = false);
+window.addEventListener("mousemove", e => {
+  if (!dragging) return;
+  rotY += (e.clientX - lastX) * 0.01;
+  rotX += (e.clientY - lastY) * 0.01;
+  lastX = e.clientX; lastY = e.clientY;
+  draw();
+});
+cv.addEventListener("wheel", e => {
+  e.preventDefault();
+  zoom *= e.deltaY < 0 ? 1.1 : 0.9;
+  draw();
+}, { passive: false });
+
+async function api(path, opts) {
+  const resp = await fetch(path, opts);
+  if (!resp.ok) throw new Error(await resp.text());
+  return resp.json();
+}
+
+async function view(id) {
+  selected = id;
+  const m = await api("/api/shapes/" + id + "/view");
+  setModel(m);
+  for (const tr of document.querySelectorAll("tr.row"))
+    tr.classList.toggle("sel", +tr.dataset.id === id);
+}
+
+function fillTable(tbodyId, rows, mk) {
+  const tb = document.querySelector(tbodyId + " tbody");
+  tb.innerHTML = "";
+  for (const r of rows) {
+    const tr = document.createElement("tr");
+    tr.className = "row";
+    tr.dataset.id = r.id;
+    tr.innerHTML = mk(r);
+    tr.onclick = () => view(r.id);
+    tb.appendChild(tr);
+  }
+}
+
+async function loadShapes() {
+  const shapes = await api("/api/shapes");
+  fillTable("#shapes", shapes, s =>
+    "<td>" + s.id + "</td><td>" + s.name + "</td><td>g" + s.group + "</td>");
+  if (shapes.length) view(shapes[0].id);
+}
+
+async function search(multi) {
+  if (!selected) return;
+  const feature = document.getElementById("feature").value;
+  let results;
+  if (multi) {
+    results = await api("/api/search/multistep", {
+      method: "POST", headers: {"Content-Type": "application/json"},
+      body: JSON.stringify({query_id: selected, k: 10, steps: [
+        {feature: "principal-moments", keep: 15},
+        {feature: "eigenvalues"},
+      ]}),
+    });
+  } else {
+    results = await api("/api/search", {
+      method: "POST", headers: {"Content-Type": "application/json"},
+      body: JSON.stringify({query_id: selected, feature: feature, k: 10}),
+    });
+  }
+  fillTable("#results", results, r =>
+    "<td>" + r.name + "</td><td>g" + r.group + "</td><td>" + r.similarity.toFixed(3) + "</td>");
+  document.getElementById("status").textContent =
+    results.length + " results for shape " + selected + (multi ? " (multi-step)" : " (" + feature + ")");
+}
+
+document.getElementById("searchBtn").onclick = () => search(false).catch(alert);
+document.getElementById("multiBtn").onclick = () => search(true).catch(alert);
+resize();
+loadShapes().catch(e => document.getElementById("status").textContent = e);
+</script>
+</body>
+</html>
+`

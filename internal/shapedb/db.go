@@ -1,0 +1,456 @@
+// Package shapedb is the DATABASE tier of 3DESS (§2.3): a concurrency-safe
+// shape record store with per-feature R-tree indexes kept in sync on every
+// insert and delete, durable via an append-only CRC-checked journal with
+// crash recovery and compaction. It substitutes for the paper's Oracle 8i
+// installation while preserving the architecture: "the multi-dimensional
+// index is built on top of [the] database".
+package shapedb
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/rtree"
+)
+
+// Record is one stored shape: identity, ground-truth group (0 = none),
+// geometry, and its extracted feature vectors.
+type Record struct {
+	ID       int64
+	Name     string
+	Group    int
+	Mesh     *geom.Mesh
+	Features features.Set
+}
+
+// DB is the shape database.
+type DB struct {
+	mu      sync.RWMutex
+	opts    features.Options
+	records map[int64]*Record
+	nextID  int64
+	indexes map[features.Kind]*rtree.Tree
+	// Feature-space bounds per kind, maintained on insert, used for the
+	// dmax of Equation 4.4. Deletes do not shrink the bounds (a stable
+	// upper bound keeps similarity values comparable over time).
+	lo, hi map[features.Kind][]float64
+
+	journal *journal
+	dir     string
+}
+
+const journalName = "shapes.journal"
+
+// Open creates or reopens a shape database. dir == "" gives a purely
+// in-memory store; otherwise the journal in dir is replayed and new
+// operations are appended to it.
+func Open(dir string, opts features.Options) (*DB, error) {
+	db := &DB{
+		opts:    features.NewExtractor(opts).Options(),
+		records: make(map[int64]*Record),
+		indexes: make(map[features.Kind]*rtree.Tree),
+		lo:      make(map[features.Kind][]float64),
+		hi:      make(map[features.Kind][]float64),
+		nextID:  1,
+		dir:     dir,
+	}
+	if dir == "" {
+		return db, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shapedb: creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, journalName)
+	err := replayJournal(path, func(e *journalEntry) error {
+		switch e.Op {
+		case opInsert:
+			set, err := decodeFeatures(e.Features)
+			if err != nil {
+				return fmt.Errorf("shapedb: journal entry %d: %w", e.ID, err)
+			}
+			mesh := &geom.Mesh{Vertices: e.Vertices, Faces: e.Faces}
+			rec := &Record{ID: e.ID, Name: e.Name, Group: e.Group, Mesh: mesh, Features: set}
+			db.applyInsert(rec)
+		case opDelete:
+			db.applyDelete(e.ID)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	j, err := openJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	db.journal = j
+	return db, nil
+}
+
+// Close releases the journal. The DB must not be used afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.journal == nil {
+		return nil
+	}
+	err := db.journal.close()
+	db.journal = nil
+	return err
+}
+
+// Options returns the feature configuration the database was opened with.
+func (db *DB) Options() features.Options { return db.opts }
+
+// Len returns the number of stored shapes.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.records)
+}
+
+// Insert stores a shape and indexes every feature vector in its set. It
+// returns the assigned database ID.
+func (db *DB) Insert(name string, group int, mesh *geom.Mesh, set features.Set) (int64, error) {
+	if mesh == nil {
+		return 0, fmt.Errorf("shapedb: nil mesh")
+	}
+	if len(set) == 0 {
+		return 0, fmt.Errorf("shapedb: empty feature set for %q", name)
+	}
+	for k, v := range set {
+		if want := db.opts.Dim(k); len(v) != want {
+			return 0, fmt.Errorf("shapedb: feature %v has dimension %d, want %d", k, len(v), want)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec := &Record{
+		ID:       db.nextID,
+		Name:     name,
+		Group:    group,
+		Mesh:     mesh.Clone(),
+		Features: set.Clone(),
+	}
+	if err := db.logInsert(rec); err != nil {
+		return 0, err
+	}
+	db.applyInsert(rec)
+	return rec.ID, nil
+}
+
+func (db *DB) logInsert(rec *Record) error {
+	if db.journal == nil {
+		return nil
+	}
+	e := &journalEntry{
+		Op:       opInsert,
+		ID:       rec.ID,
+		Name:     rec.Name,
+		Group:    rec.Group,
+		Vertices: rec.Mesh.Vertices,
+		Faces:    rec.Mesh.Faces,
+		Features: encodeFeatures(rec.Features),
+	}
+	if err := db.journal.append(e); err != nil {
+		return err
+	}
+	return db.journal.sync()
+}
+
+// applyInsert mutates in-memory state; callers hold the write lock (or are
+// single-threaded replay).
+func (db *DB) applyInsert(rec *Record) {
+	db.records[rec.ID] = rec
+	if rec.ID >= db.nextID {
+		db.nextID = rec.ID + 1
+	}
+	for k, v := range rec.Features {
+		idx, ok := db.indexes[k]
+		if !ok {
+			var err error
+			idx, err = rtree.New(len(v), rtree.DefaultMaxEntries)
+			if err != nil {
+				panic("shapedb: index creation: " + err.Error())
+			}
+			db.indexes[k] = idx
+		}
+		if err := idx.InsertPoint(rec.ID, rtree.Point(v)); err != nil {
+			// Dimensions were validated up front; a failure here means
+			// non-finite features slipped in.
+			panic("shapedb: index insert: " + err.Error())
+		}
+		db.growBounds(k, v)
+	}
+}
+
+func (db *DB) growBounds(k features.Kind, v features.Vector) {
+	lo, ok := db.lo[k]
+	if !ok {
+		db.lo[k] = append([]float64(nil), v...)
+		db.hi[k] = append([]float64(nil), v...)
+		return
+	}
+	hi := db.hi[k]
+	for i := range v {
+		if v[i] < lo[i] {
+			lo[i] = v[i]
+		}
+		if v[i] > hi[i] {
+			hi[i] = v[i]
+		}
+	}
+}
+
+// Delete removes a shape. It reports whether the id existed.
+func (db *DB) Delete(id int64) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.records[id]; !ok {
+		return false, nil
+	}
+	if db.journal != nil {
+		if err := db.journal.append(&journalEntry{Op: opDelete, ID: id}); err != nil {
+			return false, err
+		}
+		if err := db.journal.sync(); err != nil {
+			return false, err
+		}
+	}
+	db.applyDelete(id)
+	return true, nil
+}
+
+func (db *DB) applyDelete(id int64) {
+	rec, ok := db.records[id]
+	if !ok {
+		return
+	}
+	for k, v := range rec.Features {
+		if idx, ok := db.indexes[k]; ok {
+			idx.DeletePoint(id, rtree.Point(v))
+		}
+	}
+	delete(db.records, id)
+}
+
+// Get returns a copy-safe reference to the record with the given id.
+// Callers must not mutate the returned record.
+func (db *DB) Get(id int64) (*Record, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rec, ok := db.records[id]
+	return rec, ok
+}
+
+// ForEach calls fn for every record in ascending ID order. fn must not
+// mutate records or call back into the DB.
+func (db *DB) ForEach(fn func(*Record)) {
+	db.mu.RLock()
+	ids := make([]int64, 0, len(db.records))
+	for id := range db.records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	recs := make([]*Record, len(ids))
+	for i, id := range ids {
+		recs[i] = db.records[id]
+	}
+	db.mu.RUnlock()
+	for _, r := range recs {
+		fn(r)
+	}
+}
+
+// IDs returns every stored ID in ascending order.
+func (db *DB) IDs() []int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ids := make([]int64, 0, len(db.records))
+	for id := range db.records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// GroupOf returns the ground-truth group of a shape (0 when unknown).
+func (db *DB) GroupOf(id int64) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if rec, ok := db.records[id]; ok {
+		return rec.Group
+	}
+	return 0
+}
+
+// GroupMembers returns the IDs in the given ground-truth group.
+func (db *DB) GroupMembers(group int) []int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []int64
+	for id, rec := range db.records {
+		if rec.Group == group {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasIndex reports whether any stored shape carries the feature kind.
+func (db *DB) HasIndex(k features.Kind) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	idx, ok := db.indexes[k]
+	return ok && idx.Len() > 0
+}
+
+// KNN returns the k nearest stored shapes to the query vector under the
+// unweighted Euclidean metric of the kind's index.
+func (db *DB) KNN(k features.Kind, query features.Vector, n int) ([]rtree.Neighbor, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	idx, ok := db.indexes[k]
+	if !ok {
+		return nil, fmt.Errorf("shapedb: no index for feature %v", k)
+	}
+	if len(query) != idx.Dim() {
+		return nil, fmt.Errorf("shapedb: query dimension %d, index dimension %d", len(query), idx.Dim())
+	}
+	return idx.NearestNeighbors(n, rtree.Point(query)), nil
+}
+
+// WithinRadius returns every stored shape within the given feature-space
+// distance of the query vector, nearest first.
+func (db *DB) WithinRadius(k features.Kind, query features.Vector, radius float64) ([]rtree.Neighbor, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	idx, ok := db.indexes[k]
+	if !ok {
+		return nil, fmt.Errorf("shapedb: no index for feature %v", k)
+	}
+	if len(query) != idx.Dim() {
+		return nil, fmt.Errorf("shapedb: query dimension %d, index dimension %d", len(query), idx.Dim())
+	}
+	return idx.WithinRadius(rtree.Point(query), radius), nil
+}
+
+// DMax returns the diagonal of the feature-space bounding box of the
+// stored vectors of kind k — the normalizer of Equation 4.4. It is at
+// least 1e-12 so similarity computation never divides by zero.
+func (db *DB) DMax(k features.Kind) float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	lo, ok := db.lo[k]
+	if !ok {
+		return 1e-12
+	}
+	hi := db.hi[k]
+	sum := 0.0
+	for i := range lo {
+		d := hi[i] - lo[i]
+		sum += d * d
+	}
+	if d := math.Sqrt(sum); d > 1e-12 {
+		return d
+	}
+	return 1e-12
+}
+
+// DimRanges returns the per-dimension extent (hi − lo) of the stored
+// vectors of kind k, or nil when no vector of that kind is stored. Used to
+// put heterogeneous dimensions on a common scale (e.g. by the relevance-
+// feedback weight reconfiguration).
+func (db *DB) DimRanges(k features.Kind) []float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	lo, ok := db.lo[k]
+	if !ok {
+		return nil
+	}
+	hi := db.hi[k]
+	out := make([]float64, len(lo))
+	for i := range lo {
+		out[i] = hi[i] - lo[i]
+	}
+	return out
+}
+
+// IndexStats returns (node accesses, tree height, entry count) for the
+// kind's index, for the §2.3 efficiency experiments.
+func (db *DB) IndexStats(k features.Kind) (accesses, height, count int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	idx, ok := db.indexes[k]
+	if !ok {
+		return 0, 0, 0
+	}
+	return idx.NodeAccesses(), idx.Height(), idx.Len()
+}
+
+// Compact rewrites the journal to contain exactly the live records,
+// dropping deleted history. No-op for in-memory databases.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.journal == nil {
+		return nil
+	}
+	path := filepath.Join(db.dir, journalName)
+	tmp := path + ".compact"
+	nj, err := openJournal(tmp)
+	if err != nil {
+		return err
+	}
+	ids := make([]int64, 0, len(db.records))
+	for id := range db.records {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := db.records[id]
+		e := &journalEntry{
+			Op:       opInsert,
+			ID:       rec.ID,
+			Name:     rec.Name,
+			Group:    rec.Group,
+			Vertices: rec.Mesh.Vertices,
+			Faces:    rec.Mesh.Faces,
+			Features: encodeFeatures(rec.Features),
+		}
+		if err := nj.append(e); err != nil {
+			nj.close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := nj.sync(); err != nil {
+		nj.close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := nj.close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := db.journal.close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	j, err := openJournal(path)
+	if err != nil {
+		return err
+	}
+	db.journal = j
+	return nil
+}

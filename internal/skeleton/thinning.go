@@ -1,0 +1,214 @@
+// Package skeleton extracts curve skeletons from binary voxel models by
+// topology-preserving thinning (§3.3 of the paper). Border voxels are
+// peeled in six directional subiterations; a voxel is only removed when it
+// is *simple* — its deletion provably preserves the topology of the object
+// (Bertrand/Malandain characterization) — and not a curve endpoint, so the
+// skeleton retains both the connectivity and the elongation structure that
+// the skeletal graph stage (internal/skelgraph) consumes.
+package skeleton
+
+import (
+	"threedess/internal/voxel"
+)
+
+// Options control thinning behaviour.
+type Options struct {
+	// PreserveEndpoints keeps curve endpoints (voxels with at most one
+	// object neighbor), producing a curve skeleton. Without it, every
+	// object without cavities or tunnels shrinks to a single voxel.
+	PreserveEndpoints bool
+	// MaxPasses bounds the number of full 6-direction cycles (0 = no
+	// bound). Thinning always terminates — every pass deletes at least
+	// one voxel or stops — so the bound exists only as a safety valve.
+	MaxPasses int
+}
+
+// DefaultOptions returns the configuration used by the feature pipeline.
+func DefaultOptions() Options {
+	return Options{PreserveEndpoints: true}
+}
+
+// Thin returns the curve skeleton of g. The input grid is not modified.
+func Thin(g *voxel.Grid, opts Options) *voxel.Grid {
+	s := g.Clone()
+	// The six peeling directions: a voxel is a border point of direction d
+	// when its d-neighbor is background.
+	directions := [6][3]int{
+		{0, 0, 1}, {0, 0, -1}, // up, down
+		{0, 1, 0}, {0, -1, 0}, // north, south
+		{1, 0, 0}, {-1, 0, 0}, // east, west
+	}
+	pass := 0
+	for {
+		deletedInCycle := 0
+		for _, d := range directions {
+			// Collect directional border candidates first, then delete
+			// sequentially with the simple-point test re-evaluated, so the
+			// result is guaranteed topology-preserving.
+			var candidates [][3]int
+			s.ForEachSet(func(i, j, k int) {
+				if s.Get(i+d[0], j+d[1], k+d[2]) {
+					return // not a border point of this direction
+				}
+				if opts.PreserveEndpoints && countObjectNeighbors(s, i, j, k) <= 1 {
+					return
+				}
+				if IsSimple(s, i, j, k) {
+					candidates = append(candidates, [3]int{i, j, k})
+				}
+			})
+			for _, c := range candidates {
+				i, j, k := c[0], c[1], c[2]
+				// Conditions may have changed after earlier deletions in
+				// this subiteration; re-verify.
+				if opts.PreserveEndpoints && countObjectNeighbors(s, i, j, k) <= 1 {
+					continue
+				}
+				if !IsSimple(s, i, j, k) {
+					continue
+				}
+				s.Set(i, j, k, false)
+				deletedInCycle++
+			}
+		}
+		pass++
+		if deletedInCycle == 0 {
+			break
+		}
+		if opts.MaxPasses > 0 && pass >= opts.MaxPasses {
+			break
+		}
+	}
+	return s
+}
+
+// countObjectNeighbors returns the number of set voxels in the
+// 26-neighborhood of (i, j, k).
+func countObjectNeighbors(g *voxel.Grid, i, j, k int) int {
+	n := 0
+	for _, d := range voxel.Neighbors26 {
+		if g.Get(i+d[0], j+d[1], k+d[2]) {
+			n++
+		}
+	}
+	return n
+}
+
+// IsSimple reports whether the set voxel at (i, j, k) is a simple point:
+// deleting it preserves the object topology. The standard (26, 6)
+// characterization is used:
+//
+//  1. the object voxels of the 26-neighborhood form exactly one
+//     26-connected component, and
+//  2. the background voxels of the 18-neighborhood that are 6-adjacent to
+//     the center form exactly one 6-connected component within N18.
+func IsSimple(g *voxel.Grid, i, j, k int) bool {
+	// Load the 3×3×3 neighborhood (center excluded from tests below).
+	var nb [3][3][3]bool
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nb[dz+1][dy+1][dx+1] = g.Get(i+dx, j+dy, k+dz)
+			}
+		}
+	}
+	return objectComponents26(&nb) == 1 && backgroundComponents6InN18(&nb) == 1
+}
+
+// objectComponents26 counts 26-connected components of object voxels in
+// the 26-neighborhood (center excluded).
+func objectComponents26(nb *[3][3][3]bool) int {
+	var visited [3][3][3]bool
+	count := 0
+	var stack [][3]int
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				if (x == 1 && y == 1 && z == 1) || !nb[z][y][x] || visited[z][y][x] {
+					continue
+				}
+				count++
+				stack = append(stack[:0], [3]int{x, y, z})
+				visited[z][y][x] = true
+				for len(stack) > 0 {
+					p := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for dz := -1; dz <= 1; dz++ {
+						for dy := -1; dy <= 1; dy++ {
+							for dx := -1; dx <= 1; dx++ {
+								nx, ny, nz := p[0]+dx, p[1]+dy, p[2]+dz
+								if nx < 0 || nx > 2 || ny < 0 || ny > 2 || nz < 0 || nz > 2 {
+									continue
+								}
+								if nx == 1 && ny == 1 && nz == 1 {
+									continue
+								}
+								if nb[nz][ny][nx] && !visited[nz][ny][nx] {
+									visited[nz][ny][nx] = true
+									stack = append(stack, [3]int{nx, ny, nz})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+// backgroundComponents6InN18 counts the 6-connected components of
+// background voxels within the 18-neighborhood that contain at least one
+// face neighbor of the center.
+func backgroundComponents6InN18(nb *[3][3][3]bool) int {
+	inN18 := func(x, y, z int) bool {
+		dx, dy, dz := abs(x-1), abs(y-1), abs(z-1)
+		s := dx + dy + dz
+		return s >= 1 && s <= 2 // face or edge neighbor
+	}
+	isFaceNeighbor := func(x, y, z int) bool {
+		dx, dy, dz := abs(x-1), abs(y-1), abs(z-1)
+		return dx+dy+dz == 1
+	}
+	var visited [3][3][3]bool
+	count := 0
+	var stack [][3]int
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				if !inN18(x, y, z) || nb[z][y][x] || visited[z][y][x] {
+					continue
+				}
+				if !isFaceNeighbor(x, y, z) {
+					continue // seed components only from face neighbors
+				}
+				count++
+				stack = append(stack[:0], [3]int{x, y, z})
+				visited[z][y][x] = true
+				for len(stack) > 0 {
+					p := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, d := range voxel.Neighbors6 {
+						nx, ny, nz := p[0]+d[0], p[1]+d[1], p[2]+d[2]
+						if nx < 0 || nx > 2 || ny < 0 || ny > 2 || nz < 0 || nz > 2 {
+							continue
+						}
+						if !inN18(nx, ny, nz) || nb[nz][ny][nx] || visited[nz][ny][nx] {
+							continue
+						}
+						visited[nz][ny][nx] = true
+						stack = append(stack, [3]int{nx, ny, nz})
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,211 @@
+package skeleton
+
+import (
+	"testing"
+
+	"threedess/internal/geom"
+	"threedess/internal/voxel"
+)
+
+func solidBlock(nx, ny, nz int) *voxel.Grid {
+	g := voxel.MustNewGrid(nx+4, ny+4, nz+4, geom.Vec3{}, 1)
+	for k := 2; k < nz+2; k++ {
+		for j := 2; j < ny+2; j++ {
+			for i := 2; i < nx+2; i++ {
+				g.Set(i, j, k, true)
+			}
+		}
+	}
+	return g
+}
+
+func TestIsSimpleInteriorIsNot(t *testing.T) {
+	g := solidBlock(5, 5, 5)
+	// A fully interior voxel has no background face-neighbor component, so
+	// it is not simple.
+	if IsSimple(g, 4, 4, 4) {
+		t.Error("interior voxel reported simple")
+	}
+}
+
+func TestIsSimpleCornerIs(t *testing.T) {
+	g := solidBlock(3, 3, 3)
+	if !IsSimple(g, 2, 2, 2) {
+		t.Error("block corner voxel should be simple")
+	}
+}
+
+func TestIsSimpleIsolatedIsNot(t *testing.T) {
+	g := voxel.MustNewGrid(5, 5, 5, geom.Vec3{}, 1)
+	g.Set(2, 2, 2, true)
+	// An isolated voxel has zero object components in its neighborhood —
+	// deleting it destroys a component.
+	if IsSimple(g, 2, 2, 2) {
+		t.Error("isolated voxel reported simple")
+	}
+}
+
+func TestIsSimpleBridgeIsNot(t *testing.T) {
+	// Two blobs joined by a single voxel: the bridge voxel is not simple
+	// (its neighborhood has two object components).
+	g := voxel.MustNewGrid(9, 5, 5, geom.Vec3{}, 1)
+	g.Set(1, 2, 2, true)
+	g.Set(2, 2, 2, true)
+	g.Set(3, 2, 2, true) // bridge
+	g.Set(4, 2, 2, true)
+	g.Set(5, 2, 2, true)
+	if IsSimple(g, 3, 2, 2) {
+		t.Error("bridge voxel reported simple")
+	}
+}
+
+func thinned(t *testing.T, g *voxel.Grid) *voxel.Grid {
+	t.Helper()
+	return Thin(g, DefaultOptions())
+}
+
+func TestThinPreservesComponentCount(t *testing.T) {
+	g := voxel.MustNewGrid(20, 10, 10, geom.Vec3{}, 1)
+	// Two separate blocks.
+	for i := 2; i < 6; i++ {
+		for j := 2; j < 6; j++ {
+			for k := 2; k < 6; k++ {
+				g.Set(i, j, k, true)
+				g.Set(i+10, j, k, true)
+			}
+		}
+	}
+	before, _ := g.Components(26)
+	s := thinned(t, g)
+	after, _ := s.Components(26)
+	if before != after {
+		t.Errorf("components changed: %d -> %d", before, after)
+	}
+	if s.Count() == 0 {
+		t.Error("skeleton empty")
+	}
+	if s.Count() >= g.Count() {
+		t.Errorf("no thinning happened: %d -> %d", g.Count(), s.Count())
+	}
+}
+
+func TestThinSkeletonIsSubset(t *testing.T) {
+	g := solidBlock(6, 4, 4)
+	s := thinned(t, g)
+	ok := true
+	s.ForEachSet(func(i, j, k int) {
+		if !g.Get(i, j, k) {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Error("skeleton contains voxels outside the object")
+	}
+}
+
+func TestThinElongatedBoxGivesCurve(t *testing.T) {
+	// A long thin bar should thin to (roughly) a 1-voxel-wide curve.
+	g := voxel.MustNewGrid(44, 8, 8, geom.Vec3{}, 1)
+	for i := 2; i < 42; i++ {
+		for j := 2; j < 6; j++ {
+			for k := 2; k < 6; k++ {
+				g.Set(i, j, k, true)
+			}
+		}
+	}
+	s := thinned(t, g)
+	if n, _ := s.Components(26); n != 1 {
+		t.Fatalf("skeleton components = %d", n)
+	}
+	// The curve should span most of the bar length but be thin: voxel
+	// count close to the length, far below the volume.
+	if s.Count() < 30 || s.Count() > 80 {
+		t.Errorf("skeleton size = %d, want ≈40 for a 40-long bar", s.Count())
+	}
+	// Almost all skeleton voxels should have ≤2 neighbors (a curve).
+	thick := 0
+	s.ForEachSet(func(i, j, k int) {
+		if countObjectNeighbors(s, i, j, k) > 2 {
+			thick++
+		}
+	})
+	if thick > s.Count()/4 {
+		t.Errorf("%d of %d skeleton voxels are thick", thick, s.Count())
+	}
+}
+
+func TestThinTorusKeepsLoop(t *testing.T) {
+	// A voxelized torus must thin to a closed loop: one component, no
+	// endpoints, and every voxel with exactly two neighbors.
+	mesh, err := geom.Torus(3, 1, 48, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := voxel.Voxelize(mesh, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := thinned(t, g)
+	if n, _ := s.Components(26); n != 1 {
+		t.Fatalf("torus skeleton components = %d", n)
+	}
+	endpoints := 0
+	s.ForEachSet(func(i, j, k int) {
+		if countObjectNeighbors(s, i, j, k) <= 1 {
+			endpoints++
+		}
+	})
+	if endpoints != 0 {
+		t.Errorf("torus skeleton has %d endpoints, want 0 (closed loop)", endpoints)
+	}
+	if s.Count() < 10 {
+		t.Errorf("torus skeleton suspiciously small: %d voxels", s.Count())
+	}
+}
+
+func TestThinSphereWithoutEndpointPreservation(t *testing.T) {
+	// Without endpoint preservation a solid ball collapses to a point (or
+	// a tiny cluster).
+	mesh := geom.Sphere(1, 12, 16)
+	g, err := voxel.Voxelize(mesh, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Thin(g, Options{PreserveEndpoints: false})
+	if s.Count() == 0 {
+		t.Fatal("ball vanished entirely")
+	}
+	if s.Count() > 8 {
+		t.Errorf("ball skeleton = %d voxels, want a near-point", s.Count())
+	}
+	if n, _ := s.Components(26); n != 1 {
+		t.Errorf("ball skeleton components = %d", n)
+	}
+}
+
+func TestThinNeverEmptiesObject(t *testing.T) {
+	g := voxel.MustNewGrid(5, 5, 5, geom.Vec3{}, 1)
+	g.Set(2, 2, 2, true)
+	s := thinned(t, g)
+	if s.Count() != 1 {
+		t.Errorf("single voxel object: skeleton count = %d, want 1", s.Count())
+	}
+}
+
+func TestThinMaxPassesBound(t *testing.T) {
+	g := solidBlock(10, 10, 10)
+	s := Thin(g, Options{PreserveEndpoints: true, MaxPasses: 1})
+	// One cycle must have deleted something but not everything.
+	if s.Count() >= g.Count() || s.Count() == 0 {
+		t.Errorf("bounded thinning: %d -> %d", g.Count(), s.Count())
+	}
+}
+
+func TestThinDoesNotModifyInput(t *testing.T) {
+	g := solidBlock(4, 4, 4)
+	before := g.Count()
+	_ = thinned(t, g)
+	if g.Count() != before {
+		t.Error("Thin modified its input grid")
+	}
+}

@@ -1,0 +1,476 @@
+// Package skelgraph constructs skeletal graphs from voxel curve skeletons
+// (§3.4 of the paper) and derives the eigenvalue feature vector from the
+// typed adjacency matrix (§3.5.4).
+//
+// Skeleton voxels are classified as endpoints, regular (curve) points, or
+// junctions; junction clusters become the glue between traced curve
+// segments. Each segment is a graph node typed as a line (straight open
+// curve), a curve (bent open curve), or a loop (closed curve); an edge
+// connects two segments that meet at a junction.
+package skelgraph
+
+import (
+	"threedess/internal/geom"
+	"threedess/internal/voxel"
+)
+
+// NodeType is the paper's node classification: line, loop, and curve.
+type NodeType int
+
+const (
+	// Line is a straight open skeleton segment.
+	Line NodeType = iota
+	// Curve is a bent open skeleton segment.
+	Curve
+	// Loop is a closed skeleton segment (cycle).
+	Loop
+)
+
+// String implements fmt.Stringer.
+func (t NodeType) String() string {
+	switch t {
+	case Line:
+		return "line"
+	case Curve:
+		return "curve"
+	case Loop:
+		return "loop"
+	}
+	return "unknown"
+}
+
+// TypeValue returns the diagonal weight of a node type in the adjacency
+// matrix. Distinct values make the spectrum sensitive to the node mix.
+func (t NodeType) TypeValue() float64 {
+	switch t {
+	case Line:
+		return 1
+	case Curve:
+		return 2
+	case Loop:
+		return 3
+	}
+	return 0
+}
+
+// Node is one skeletal-graph node: a traced skeleton segment.
+type Node struct {
+	Type   NodeType
+	Voxels [][3]int // ordered voxel path of the segment
+	Length float64  // path length in voxel units
+}
+
+// Graph is the skeletal graph: nodes (segments) and the symmetric
+// edge relation (segments sharing a junction).
+type Graph struct {
+	Nodes []Node
+	edges map[[2]int]struct{}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the number of (undirected) edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// HasEdge reports whether nodes a and b are connected.
+func (g *Graph) HasEdge(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	_, ok := g.edges[[2]int{a, b}]
+	return ok
+}
+
+func (g *Graph) addEdge(a, b int) {
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if g.edges == nil {
+		g.edges = make(map[[2]int]struct{})
+	}
+	g.edges[[2]int{a, b}] = struct{}{}
+}
+
+// CountType returns how many nodes have the given type.
+func (g *Graph) CountType(t NodeType) int {
+	n := 0
+	for _, node := range g.Nodes {
+		if node.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// AdjacencyMatrix returns the typed adjacency matrix of the graph: the
+// diagonal carries each node's type value and off-diagonal entries carry a
+// connection weight depending on the pair of node types (the mean of the
+// two type values), so — as §3.5.4 requires — a loop-to-loop connection
+// and a loop-to-line connection contribute different values.
+func (g *Graph) AdjacencyMatrix() [][]float64 {
+	n := len(g.Nodes)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		a[i][i] = g.Nodes[i].Type.TypeValue()
+	}
+	for e := range g.edges {
+		i, j := e[0], e[1]
+		w := (g.Nodes[i].Type.TypeValue() + g.Nodes[j].Type.TypeValue()) / 2
+		a[i][j] = w
+		a[j][i] = w
+	}
+	return a
+}
+
+// EigenvalueSignature returns the spectrum of the typed adjacency matrix
+// sorted in descending order, truncated or zero-padded to dim entries —
+// the indexable eigenvalue feature vector of §3.5.4.
+func (g *Graph) EigenvalueSignature(dim int) []float64 {
+	sig := make([]float64, dim)
+	if len(g.Nodes) == 0 || dim == 0 {
+		return sig
+	}
+	vals, err := geom.EigenSymN(g.AdjacencyMatrix())
+	if err != nil {
+		return sig
+	}
+	for i := 0; i < dim && i < len(vals); i++ {
+		sig[i] = vals[i]
+	}
+	return sig
+}
+
+// straightnessTolerance: a segment counts as a line when no voxel deviates
+// from the endpoint chord by more than this many voxels (plus a small
+// fraction of the chord length, so long segments tolerate lattice jitter).
+const straightnessTolerance = 1.2
+
+// classifySegment types an open (closed=false) or closed traced path.
+func classifySegment(path [][3]int, closed bool) NodeType {
+	if closed {
+		return Loop
+	}
+	if len(path) <= 2 {
+		return Line
+	}
+	a := voxelPoint(path[0])
+	b := voxelPoint(path[len(path)-1])
+	chord := b.Sub(a)
+	chordLen := chord.Len()
+	if chordLen < 1e-9 {
+		// Open path returning to its start without being traced as a
+		// cycle — treat as a loop-like curve.
+		return Curve
+	}
+	dir := chord.Scale(1 / chordLen)
+	maxDev := 0.0
+	for _, v := range path[1 : len(path)-1] {
+		p := voxelPoint(v).Sub(a)
+		dev := p.Sub(dir.Scale(p.Dot(dir))).Len()
+		if dev > maxDev {
+			maxDev = dev
+		}
+	}
+	if maxDev <= straightnessTolerance+0.05*chordLen {
+		return Line
+	}
+	return Curve
+}
+
+func voxelPoint(v [3]int) geom.Vec3 {
+	return geom.V(float64(v[0]), float64(v[1]), float64(v[2]))
+}
+
+func pathLength(path [][3]int, closed bool) float64 {
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		total += voxelPoint(path[i]).Dist(voxelPoint(path[i-1]))
+	}
+	if closed && len(path) > 2 {
+		total += voxelPoint(path[0]).Dist(voxelPoint(path[len(path)-1]))
+	}
+	return total
+}
+
+// Build constructs the skeletal graph of the skeleton grid s (typically
+// the output of skeleton.Thin).
+func Build(s *voxel.Grid) *Graph {
+	b := newBuilder(s)
+	return b.build()
+}
+
+type builder struct {
+	g *voxel.Grid
+	// degree per skeleton voxel (26-neighbor count).
+	degree map[[3]int]int
+	// junction cluster id per junction voxel; -1 for non-junction.
+	cluster  map[[3]int]int
+	clusters [][][3]int
+	visited  map[[3]int]bool // regular/end voxels consumed by traces
+	graph    *Graph
+	// clusterNodes collects the node indices incident to each cluster.
+	clusterNodes [][]int
+}
+
+func newBuilder(g *voxel.Grid) *builder {
+	return &builder{
+		g:       g,
+		degree:  make(map[[3]int]int),
+		cluster: make(map[[3]int]int),
+		visited: make(map[[3]int]bool),
+		graph:   &Graph{},
+	}
+}
+
+func (b *builder) build() *Graph {
+	// Pass 1: effective degrees. The raw 26-neighbor count over-detects
+	// junctions on the lattice: at a right-angle corner the two incident
+	// curve voxels are diagonal neighbors of each other, inflating the
+	// count. The effective degree prunes any neighbor that is 26-adjacent
+	// to a *closer* (face < edge < vertex) kept neighbor, so it counts
+	// distinct incident branches.
+	b.g.ForEachSet(func(i, j, k int) {
+		b.degree[[3]int{i, j, k}] = b.effectiveDegree(i, j, k)
+	})
+	// Pass 2: junction clusters (effective degree ≥ 3, 26-connected).
+	// Junction voxels are gathered in deterministic scan order (not map
+	// order) so cluster ids, arc tracing, and therefore the graph
+	// decomposition are reproducible run to run.
+	var junctionVoxels [][3]int
+	b.g.ForEachSet(func(i, j, k int) {
+		v := [3]int{i, j, k}
+		if b.degree[v] >= 3 {
+			b.cluster[v] = -2 // pending
+			junctionVoxels = append(junctionVoxels, v)
+		}
+	})
+	for _, v := range junctionVoxels {
+		if b.cluster[v] != -2 {
+			continue
+		}
+		id := len(b.clusters)
+		var members [][3]int
+		stack := [][3]int{v}
+		b.cluster[v] = id
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, p)
+			for _, d := range voxel.Neighbors26 {
+				q := [3]int{p[0] + d[0], p[1] + d[1], p[2] + d[2]}
+				if c, ok := b.cluster[q]; ok && c == -2 {
+					b.cluster[q] = id
+					stack = append(stack, q)
+				}
+			}
+		}
+		b.clusters = append(b.clusters, members)
+	}
+	b.clusterNodes = make([][]int, len(b.clusters))
+
+	// Pass 3: trace arcs out of every junction cluster.
+	for id, members := range b.clusters {
+		for _, jv := range members {
+			for _, d := range voxel.Neighbors26 {
+				start := [3]int{jv[0] + d[0], jv[1] + d[1], jv[2] + d[2]}
+				if !b.isRegularOrEnd(start) || b.visited[start] {
+					continue
+				}
+				b.traceArc(start, id)
+			}
+		}
+	}
+	// Pass 4: arcs starting at endpoints not attached to any junction
+	// (free curves: endpoint → endpoint).
+	b.g.ForEachSet(func(i, j, k int) {
+		v := [3]int{i, j, k}
+		if b.degree[v] == 1 && !b.visited[v] {
+			b.traceArc(v, -1)
+		}
+	})
+	// Pass 5: isolated voxels and pure cycles among the unvisited rest.
+	b.g.ForEachSet(func(i, j, k int) {
+		v := [3]int{i, j, k}
+		if b.visited[v] || b.isJunction(v) {
+			return
+		}
+		if b.degree[v] == 0 {
+			b.visited[v] = true
+			b.addNode(Node{Type: Line, Voxels: [][3]int{v}, Length: 0}, -1, -1)
+			return
+		}
+		b.traceCycle(v)
+	})
+	return b.graph
+}
+
+// effectiveDegree counts the distinct skeleton branches incident to
+// (i, j, k): neighbors are classed by lattice distance (face=1, edge=2,
+// vertex=3) and a farther neighbor that is 26-adjacent to an already-kept
+// closer neighbor is pruned as part of the same branch.
+func (b *builder) effectiveDegree(i, j, k int) int {
+	var byClass [4][][3]int
+	for _, d := range voxel.Neighbors26 {
+		if !b.g.Get(i+d[0], j+d[1], k+d[2]) {
+			continue
+		}
+		cls := abs(d[0]) + abs(d[1]) + abs(d[2])
+		byClass[cls] = append(byClass[cls], [3]int{i + d[0], j + d[1], k + d[2]})
+	}
+	adjacent := func(a, q [3]int) bool {
+		dx, dy, dz := abs(a[0]-q[0]), abs(a[1]-q[1]), abs(a[2]-q[2])
+		return dx <= 1 && dy <= 1 && dz <= 1 && dx+dy+dz > 0
+	}
+	kept := append([][3]int(nil), byClass[1]...)
+	for cls := 2; cls <= 3; cls++ {
+	candidates:
+		for _, q := range byClass[cls] {
+			for _, a := range kept {
+				if adjacent(a, q) {
+					continue candidates
+				}
+			}
+			kept = append(kept, q)
+		}
+	}
+	return len(kept)
+}
+
+func (b *builder) isJunction(v [3]int) bool {
+	_, ok := b.cluster[v]
+	return ok
+}
+
+func (b *builder) isRegularOrEnd(v [3]int) bool {
+	d, ok := b.degree[v]
+	return ok && d >= 1 && d <= 2
+}
+
+// traceArc walks from start (a regular/end voxel adjacent to junction
+// cluster fromCluster, or a free endpoint when fromCluster is −1) until it
+// reaches a junction cluster or runs out of unvisited voxels, then records
+// the node and its cluster incidences.
+func (b *builder) traceArc(start [3]int, fromCluster int) {
+	path := [][3]int{start}
+	b.visited[start] = true
+	cur := start
+	toCluster := -1
+	for {
+		next, nextCluster := b.step(cur, fromCluster)
+		if nextCluster >= 0 {
+			toCluster = nextCluster
+			break
+		}
+		if next == nil {
+			break
+		}
+		cur = *next
+		path = append(path, cur)
+		b.visited[cur] = true
+	}
+	closed := fromCluster >= 0 && fromCluster == toCluster && len(path) > 2
+	node := Node{
+		Type:   classifySegment(path, closed),
+		Voxels: path,
+		Length: pathLength(path, closed),
+	}
+	b.addNode(node, fromCluster, toCluster)
+}
+
+// step finds the continuation of a trace from cur: an unvisited
+// regular/end neighbor (returned as next) or an adjacent junction cluster
+// (returned as a cluster id). Face neighbors are preferred over diagonal
+// ones so staircase paths stay single-threaded; junction attachment is
+// only taken when no curve continuation exists.
+func (b *builder) step(cur [3]int, fromCluster int) (next *[3]int, clusterID int) {
+	var diag *[3]int
+	junction := -1
+	junctionBack := -1 // the cluster the trace came from (least preferred)
+	for _, d := range voxel.Neighbors26 {
+		q := [3]int{cur[0] + d[0], cur[1] + d[1], cur[2] + d[2]}
+		if !b.g.Get(q[0], q[1], q[2]) {
+			continue
+		}
+		if c, ok := b.cluster[q]; ok {
+			// Prefer terminating at a *different* cluster than the one the
+			// trace started from, so one-voxel arcs between two junctions
+			// attach to both; falling back to the origin cluster handles
+			// genuine petal loops.
+			if c == fromCluster {
+				junctionBack = c
+			} else if junction == -1 {
+				junction = c
+			}
+			continue
+		}
+		if b.visited[q] || b.degree[q] > 2 {
+			continue
+		}
+		if abs(d[0])+abs(d[1])+abs(d[2]) == 1 {
+			return &q, -1
+		}
+		if diag == nil {
+			diag = &q
+		}
+	}
+	if diag != nil {
+		return diag, -1
+	}
+	if junction >= 0 {
+		return nil, junction
+	}
+	return nil, junctionBack
+}
+
+// traceCycle walks a pure cycle (all voxels degree 2, no junctions).
+func (b *builder) traceCycle(start [3]int) {
+	path := [][3]int{start}
+	b.visited[start] = true
+	cur := start
+	for {
+		next, _ := b.step(cur, -1)
+		if next == nil {
+			break
+		}
+		cur = *next
+		path = append(path, cur)
+		b.visited[cur] = true
+	}
+	b.addNode(Node{
+		Type:   Loop,
+		Voxels: path,
+		Length: pathLength(path, true),
+	}, -1, -1)
+}
+
+// addNode appends a node and records its incidence to junction clusters,
+// adding graph edges to every other node already incident to the same
+// cluster.
+func (b *builder) addNode(n Node, clusterA, clusterB int) {
+	if clusterB == clusterA {
+		clusterB = -1 // a closed petal touches its cluster once
+	}
+	idx := len(b.graph.Nodes)
+	b.graph.Nodes = append(b.graph.Nodes, n)
+	for _, c := range []int{clusterA, clusterB} {
+		if c < 0 {
+			continue
+		}
+		for _, other := range b.clusterNodes[c] {
+			b.graph.addEdge(idx, other)
+		}
+		b.clusterNodes[c] = append(b.clusterNodes[c], idx)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

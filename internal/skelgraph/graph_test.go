@@ -1,0 +1,293 @@
+package skelgraph
+
+import (
+	"math"
+	"testing"
+
+	"threedess/internal/geom"
+	"threedess/internal/skeleton"
+	"threedess/internal/voxel"
+)
+
+// lineGrid builds a straight voxel line along x.
+func lineGrid(n int) *voxel.Grid {
+	g := voxel.MustNewGrid(n+4, 5, 5, geom.Vec3{}, 1)
+	for i := 2; i < n+2; i++ {
+		g.Set(i, 2, 2, true)
+	}
+	return g
+}
+
+func TestBuildSingleLine(t *testing.T) {
+	g := Build(lineGrid(10))
+	if g.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1", g.NumNodes())
+	}
+	if g.Nodes[0].Type != Line {
+		t.Errorf("type = %v, want line", g.Nodes[0].Type)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("edges = %d, want 0", g.NumEdges())
+	}
+	if got := g.Nodes[0].Length; math.Abs(got-9) > 1e-9 {
+		t.Errorf("length = %v, want 9", got)
+	}
+}
+
+func TestBuildCurveClassification(t *testing.T) {
+	// An L-shaped voxel path: open, strongly bent → curve.
+	g := voxel.MustNewGrid(20, 20, 5, geom.Vec3{}, 1)
+	for i := 2; i <= 12; i++ {
+		g.Set(i, 2, 2, true)
+	}
+	for j := 3; j <= 12; j++ {
+		g.Set(12, j, 2, true)
+	}
+	sg := Build(g)
+	if sg.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1 (no junction in an L-path)", sg.NumNodes())
+	}
+	if sg.Nodes[0].Type != Curve {
+		t.Errorf("L-path type = %v, want curve", sg.Nodes[0].Type)
+	}
+}
+
+func TestBuildPureCycleIsLoop(t *testing.T) {
+	// A square ring of voxels: one loop node, no edges.
+	g := voxel.MustNewGrid(12, 12, 5, geom.Vec3{}, 1)
+	for i := 2; i <= 8; i++ {
+		g.Set(i, 2, 2, true)
+		g.Set(i, 8, 2, true)
+	}
+	for j := 3; j <= 7; j++ {
+		g.Set(2, j, 2, true)
+		g.Set(8, j, 2, true)
+	}
+	sg := Build(g)
+	if sg.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1", sg.NumNodes())
+	}
+	if sg.Nodes[0].Type != Loop {
+		t.Errorf("ring type = %v, want loop", sg.Nodes[0].Type)
+	}
+}
+
+func TestBuildTJunction(t *testing.T) {
+	// A T shape: three line segments meeting at one junction.
+	g := voxel.MustNewGrid(21, 21, 5, geom.Vec3{}, 1)
+	for i := 2; i <= 18; i++ {
+		g.Set(i, 10, 2, true) // horizontal bar
+	}
+	for j := 2; j <= 9; j++ {
+		g.Set(10, j, 2, true) // vertical stem
+	}
+	sg := Build(g)
+	if sg.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", sg.NumNodes())
+	}
+	for i, n := range sg.Nodes {
+		if n.Type != Line {
+			t.Errorf("node %d type = %v, want line", i, n.Type)
+		}
+	}
+	// All three segments meet at the same junction: 3 pairwise edges.
+	if sg.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", sg.NumEdges())
+	}
+}
+
+func TestBuildIsolatedVoxel(t *testing.T) {
+	g := voxel.MustNewGrid(5, 5, 5, geom.Vec3{}, 1)
+	g.Set(2, 2, 2, true)
+	sg := Build(g)
+	if sg.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1", sg.NumNodes())
+	}
+	if sg.Nodes[0].Length != 0 {
+		t.Errorf("isolated voxel length = %v", sg.Nodes[0].Length)
+	}
+}
+
+func TestBuildEmptyGrid(t *testing.T) {
+	sg := Build(voxel.MustNewGrid(4, 4, 4, geom.Vec3{}, 1))
+	if sg.NumNodes() != 0 || sg.NumEdges() != 0 {
+		t.Errorf("empty grid graph: %d nodes, %d edges", sg.NumNodes(), sg.NumEdges())
+	}
+	sig := sg.EigenvalueSignature(4)
+	for _, v := range sig {
+		if v != 0 {
+			t.Errorf("empty graph signature = %v", sig)
+		}
+	}
+}
+
+func TestAdjacencyMatrixTypedWeights(t *testing.T) {
+	g := &Graph{Nodes: []Node{{Type: Loop}, {Type: Line}, {Type: Loop}}}
+	g.addEdge(0, 1) // loop–line
+	g.addEdge(0, 2) // loop–loop
+	a := g.AdjacencyMatrix()
+	if a[0][0] != 3 || a[1][1] != 1 || a[2][2] != 3 {
+		t.Errorf("diagonal = %v %v %v", a[0][0], a[1][1], a[2][2])
+	}
+	if a[0][1] != 2 || a[1][0] != 2 {
+		t.Errorf("loop–line weight = %v, want 2", a[0][1])
+	}
+	if a[0][2] != 3 || a[2][0] != 3 {
+		t.Errorf("loop–loop weight = %v, want 3", a[0][2])
+	}
+	if a[1][2] != 0 {
+		t.Errorf("absent edge weight = %v, want 0", a[1][2])
+	}
+}
+
+func TestEigenvalueSignaturePadsAndTruncates(t *testing.T) {
+	g := &Graph{Nodes: []Node{{Type: Line}, {Type: Line}}}
+	g.addEdge(0, 1)
+	// Matrix [[1,1],[1,1]] has spectrum {2, 0}.
+	sig := g.EigenvalueSignature(4)
+	if len(sig) != 4 {
+		t.Fatalf("len = %d", len(sig))
+	}
+	if math.Abs(sig[0]-2) > 1e-9 || math.Abs(sig[1]) > 1e-9 || sig[2] != 0 || sig[3] != 0 {
+		t.Errorf("signature = %v, want [2 0 0 0]", sig)
+	}
+	short := g.EigenvalueSignature(1)
+	if len(short) != 1 || math.Abs(short[0]-2) > 1e-9 {
+		t.Errorf("truncated signature = %v", short)
+	}
+}
+
+func TestEigenvalueSignatureSortedDescending(t *testing.T) {
+	g := &Graph{Nodes: []Node{{Type: Loop}, {Type: Curve}, {Type: Line}, {Type: Line}}}
+	g.addEdge(0, 1)
+	g.addEdge(1, 2)
+	g.addEdge(2, 3)
+	sig := g.EigenvalueSignature(4)
+	for i := 1; i < len(sig); i++ {
+		if sig[i] > sig[i-1]+1e-12 {
+			t.Fatalf("signature not descending: %v", sig)
+		}
+	}
+}
+
+func TestHasEdgeSymmetric(t *testing.T) {
+	g := &Graph{Nodes: []Node{{}, {}}}
+	g.addEdge(1, 0)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	g.addEdge(1, 1) // self edge ignored
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestCountType(t *testing.T) {
+	g := &Graph{Nodes: []Node{{Type: Line}, {Type: Loop}, {Type: Line}, {Type: Curve}}}
+	if g.CountType(Line) != 2 || g.CountType(Loop) != 1 || g.CountType(Curve) != 1 {
+		t.Error("CountType miscounts")
+	}
+}
+
+func TestNodeTypeStrings(t *testing.T) {
+	if Line.String() != "line" || Curve.String() != "curve" || Loop.String() != "loop" {
+		t.Error("NodeType strings wrong")
+	}
+	if NodeType(9).String() != "unknown" {
+		t.Error("unknown NodeType string wrong")
+	}
+	if NodeType(9).TypeValue() != 0 {
+		t.Error("unknown NodeType value wrong")
+	}
+}
+
+// End-to-end: torus mesh → voxels → thinning → skeletal graph must contain
+// a loop; a bar must produce a line.
+func TestPipelineTorusHasLoop(t *testing.T) {
+	mesh, err := geom.Torus(3, 1, 48, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := voxel.Voxelize(mesh, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := skeleton.Thin(vg, skeleton.DefaultOptions())
+	sg := Build(sk)
+	if sg.CountType(Loop) < 1 {
+		t.Errorf("torus skeletal graph has no loop: %d nodes (%d line, %d curve, %d loop)",
+			sg.NumNodes(), sg.CountType(Line), sg.CountType(Curve), sg.CountType(Loop))
+	}
+}
+
+func TestPipelineBarIsLine(t *testing.T) {
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(10, 1, 1))
+	vg, err := voxel.Voxelize(mesh, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := skeleton.Thin(vg, skeleton.DefaultOptions())
+	sg := Build(sk)
+	if sg.NumNodes() == 0 {
+		t.Fatal("bar produced empty graph")
+	}
+	if sg.CountType(Line) < 1 {
+		t.Errorf("bar skeletal graph has no line node: %+v", sg.Nodes)
+	}
+}
+
+func TestPipelineSignatureDiffersAcrossShapes(t *testing.T) {
+	sig := func(m *geom.Mesh) []float64 {
+		t.Helper()
+		vg, err := voxel.Voxelize(m, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Build(skeleton.Thin(vg, skeleton.DefaultOptions())).EigenvalueSignature(8)
+	}
+	torus, err := geom.Torus(3, 1, 48, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar := geom.Box(geom.V(0, 0, 0), geom.V(10, 1, 1))
+	st, sb := sig(torus), sig(bar)
+	same := true
+	for i := range st {
+		if math.Abs(st[i]-sb[i]) > 1e-9 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("torus and bar share the signature %v", st)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	// The graph decomposition must not depend on map iteration order:
+	// building twice from the same skeleton must give identical structure.
+	mesh, err := geom.Torus(3, 1, 48, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := voxel.Voxelize(mesh, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := skeleton.Thin(vg, skeleton.DefaultOptions())
+	a := Build(sk)
+	for trial := 0; trial < 5; trial++ {
+		b := Build(sk)
+		if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("nondeterministic graph: %d/%d vs %d/%d nodes/edges",
+				a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+		}
+		sa := a.EigenvalueSignature(8)
+		sb := b.EigenvalueSignature(8)
+		for i := range sa {
+			if math.Abs(sa[i]-sb[i]) > 1e-12 {
+				t.Fatalf("nondeterministic signature: %v vs %v", sa, sb)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package voxel converts triangle meshes into binary voxel models (§3.2 of
+// the paper): the shape's bounding box is divided into N³ equal cells and a
+// cell is set when it intersects the solid. The package also provides the
+// morphological and connectivity operations the skeletonization stage
+// builds on.
+package voxel
+
+import (
+	"fmt"
+
+	"threedess/internal/geom"
+)
+
+// Grid is a dense binary voxel grid of Nx×Ny×Nz cells over an axis-aligned
+// box in model space. Occupancy is bit-packed.
+type Grid struct {
+	Nx, Ny, Nz int
+	Origin     geom.Vec3 // model-space position of the (0,0,0) cell corner
+	Cell       float64   // edge length of each (cubic) cell
+
+	bits []uint64
+}
+
+// NewGrid allocates an empty grid. Dimensions must be positive and the
+// cell size must be positive.
+func NewGrid(nx, ny, nz int, origin geom.Vec3, cell float64) (*Grid, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("voxel: grid dimensions must be positive, got %d×%d×%d", nx, ny, nz)
+	}
+	if cell <= 0 {
+		return nil, fmt.Errorf("voxel: cell size must be positive, got %g", cell)
+	}
+	n := nx * ny * nz
+	return &Grid{
+		Nx: nx, Ny: ny, Nz: nz,
+		Origin: origin,
+		Cell:   cell,
+		bits:   make([]uint64, (n+63)/64),
+	}, nil
+}
+
+// MustNewGrid is NewGrid for statically valid parameters; it panics on
+// error.
+func MustNewGrid(nx, ny, nz int, origin geom.Vec3, cell float64) *Grid {
+	g, err := NewGrid(nx, ny, nz, origin, cell)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Clone returns a deep copy of g.
+func (g *Grid) Clone() *Grid {
+	c := *g
+	c.bits = make([]uint64, len(g.bits))
+	copy(c.bits, g.bits)
+	return &c
+}
+
+// In reports whether (i, j, k) is a valid cell index.
+func (g *Grid) In(i, j, k int) bool {
+	return i >= 0 && i < g.Nx && j >= 0 && j < g.Ny && k >= 0 && k < g.Nz
+}
+
+func (g *Grid) index(i, j, k int) int { return (k*g.Ny+j)*g.Nx + i }
+
+// Get reports whether cell (i, j, k) is set. Out-of-range indices read as
+// empty, which lets neighborhood scans run without bounds checks.
+func (g *Grid) Get(i, j, k int) bool {
+	if !g.In(i, j, k) {
+		return false
+	}
+	idx := g.index(i, j, k)
+	return g.bits[idx>>6]&(1<<(idx&63)) != 0
+}
+
+// Set sets or clears cell (i, j, k). Out-of-range indices are ignored.
+func (g *Grid) Set(i, j, k int, v bool) {
+	if !g.In(i, j, k) {
+		return
+	}
+	idx := g.index(i, j, k)
+	if v {
+		g.bits[idx>>6] |= 1 << (idx & 63)
+	} else {
+		g.bits[idx>>6] &^= 1 << (idx & 63)
+	}
+}
+
+// Count returns the number of set cells.
+func (g *Grid) Count() int {
+	n := 0
+	for _, w := range g.bits {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Center returns the model-space center of cell (i, j, k).
+func (g *Grid) Center(i, j, k int) geom.Vec3 {
+	return g.Origin.Add(geom.V(
+		(float64(i)+0.5)*g.Cell,
+		(float64(j)+0.5)*g.Cell,
+		(float64(k)+0.5)*g.Cell,
+	))
+}
+
+// CellOf returns the cell indices containing the model-space point p. The
+// result may be out of range; check with In.
+func (g *Grid) CellOf(p geom.Vec3) (i, j, k int) {
+	d := p.Sub(g.Origin)
+	return int(d.X / g.Cell), int(d.Y / g.Cell), int(d.Z / g.Cell)
+}
+
+// ForEachSet calls fn for every set cell.
+func (g *Grid) ForEachSet(fn func(i, j, k int)) {
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				if g.Get(i, j, k) {
+					fn(i, j, k)
+				}
+			}
+		}
+	}
+}
+
+// SetCenters returns the model-space centers of all set cells.
+func (g *Grid) SetCenters() []geom.Vec3 {
+	pts := make([]geom.Vec3, 0, g.Count())
+	g.ForEachSet(func(i, j, k int) {
+		pts = append(pts, g.Center(i, j, k))
+	})
+	return pts
+}
+
+// Volume returns the total volume of the set cells (count × cell³).
+func (g *Grid) Volume() float64 {
+	return float64(g.Count()) * g.Cell * g.Cell * g.Cell
+}
+
+// Equal reports whether g and h have identical dimensions and occupancy.
+// Origin/cell metadata is not compared.
+func (g *Grid) Equal(h *Grid) bool {
+	if g.Nx != h.Nx || g.Ny != h.Ny || g.Nz != h.Nz {
+		return false
+	}
+	for i := range g.bits {
+		if g.bits[i] != h.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union sets every cell of g that is set in h (dimensions must match).
+func (g *Grid) Union(h *Grid) error {
+	if g.Nx != h.Nx || g.Ny != h.Ny || g.Nz != h.Nz {
+		return fmt.Errorf("voxel: union of mismatched grids %d×%d×%d vs %d×%d×%d",
+			g.Nx, g.Ny, g.Nz, h.Nx, h.Ny, h.Nz)
+	}
+	for i := range g.bits {
+		g.bits[i] |= h.bits[i]
+	}
+	return nil
+}
+
+// Neighbors6 holds the 6-connected (face) neighbor offsets.
+var Neighbors6 = [6][3]int{
+	{1, 0, 0}, {-1, 0, 0},
+	{0, 1, 0}, {0, -1, 0},
+	{0, 0, 1}, {0, 0, -1},
+}
+
+// Neighbors26 holds the 26-connected (face+edge+vertex) neighbor offsets.
+var Neighbors26 = func() [][3]int {
+	var out [][3]int
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				out = append(out, [3]int{dx, dy, dz})
+			}
+		}
+	}
+	return out
+}()

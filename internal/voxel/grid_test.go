@@ -1,0 +1,135 @@
+package voxel
+
+import (
+	"testing"
+
+	"threedess/internal/geom"
+)
+
+func TestGridBasics(t *testing.T) {
+	g := MustNewGrid(4, 5, 6, geom.V(1, 2, 3), 0.5)
+	if g.Count() != 0 {
+		t.Errorf("new grid count = %d", g.Count())
+	}
+	g.Set(1, 2, 3, true)
+	if !g.Get(1, 2, 3) {
+		t.Error("set cell reads unset")
+	}
+	if g.Count() != 1 {
+		t.Errorf("count = %d", g.Count())
+	}
+	g.Set(1, 2, 3, false)
+	if g.Get(1, 2, 3) || g.Count() != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestGridOutOfRange(t *testing.T) {
+	g := MustNewGrid(2, 2, 2, geom.Vec3{}, 1)
+	if g.Get(-1, 0, 0) || g.Get(0, 5, 0) || g.Get(0, 0, 2) {
+		t.Error("out-of-range Get should be false")
+	}
+	g.Set(-1, 0, 0, true)
+	g.Set(9, 9, 9, true)
+	if g.Count() != 0 {
+		t.Error("out-of-range Set should be ignored")
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := NewGrid(0, 1, 1, geom.Vec3{}, 1); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if _, err := NewGrid(1, 1, 1, geom.Vec3{}, 0); err == nil {
+		t.Error("zero cell size accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewGrid did not panic")
+		}
+	}()
+	MustNewGrid(-1, 1, 1, geom.Vec3{}, 1)
+}
+
+func TestGridCenterAndCellOf(t *testing.T) {
+	g := MustNewGrid(10, 10, 10, geom.V(1, 1, 1), 0.5)
+	c := g.Center(2, 3, 4)
+	want := geom.V(1+2.5*0.5, 1+3.5*0.5, 1+4.5*0.5)
+	if !c.NearEqual(want, 1e-12) {
+		t.Errorf("Center = %v, want %v", c, want)
+	}
+	i, j, k := g.CellOf(c)
+	if i != 2 || j != 3 || k != 4 {
+		t.Errorf("CellOf(Center) = %d,%d,%d", i, j, k)
+	}
+}
+
+func TestGridCloneEqualUnion(t *testing.T) {
+	g := MustNewGrid(3, 3, 3, geom.Vec3{}, 1)
+	g.Set(0, 0, 0, true)
+	g.Set(1, 1, 1, true)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Set(2, 2, 2, true)
+	if g.Equal(c) {
+		t.Error("modified clone still equal")
+	}
+	if err := g.Union(c); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Get(2, 2, 2) {
+		t.Error("union missed a cell")
+	}
+	other := MustNewGrid(2, 2, 2, geom.Vec3{}, 1)
+	if err := g.Union(other); err == nil {
+		t.Error("mismatched union accepted")
+	}
+	if g.Equal(other) {
+		t.Error("grids of different shape reported equal")
+	}
+}
+
+func TestGridForEachSetAndCenters(t *testing.T) {
+	g := MustNewGrid(3, 3, 3, geom.Vec3{}, 1)
+	g.Set(0, 1, 2, true)
+	g.Set(2, 0, 1, true)
+	seen := 0
+	g.ForEachSet(func(i, j, k int) {
+		if !g.Get(i, j, k) {
+			t.Errorf("ForEachSet visited unset cell %d,%d,%d", i, j, k)
+		}
+		seen++
+	})
+	if seen != 2 {
+		t.Errorf("visited %d cells, want 2", seen)
+	}
+	if got := len(g.SetCenters()); got != 2 {
+		t.Errorf("SetCenters len = %d", got)
+	}
+	if got := g.Volume(); got != 2 {
+		t.Errorf("Volume = %v, want 2 (cell=1)", got)
+	}
+}
+
+func TestNeighborTables(t *testing.T) {
+	if len(Neighbors26) != 26 {
+		t.Errorf("Neighbors26 has %d entries", len(Neighbors26))
+	}
+	seen := map[[3]int]bool{}
+	for _, d := range Neighbors26 {
+		if d == [3]int{0, 0, 0} {
+			t.Error("Neighbors26 contains origin")
+		}
+		if seen[d] {
+			t.Errorf("duplicate offset %v", d)
+		}
+		seen[d] = true
+	}
+	for _, d := range Neighbors6 {
+		if !seen[d] {
+			t.Errorf("6-neighbor %v missing from 26-neighborhood", d)
+		}
+	}
+}

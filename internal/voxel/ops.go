@@ -1,0 +1,120 @@
+package voxel
+
+// Morphological and connectivity operations on binary grids.
+
+// Dilate returns a new grid where every cell within the given connectivity
+// (6 or 26) of a set cell is set.
+func (g *Grid) Dilate(connectivity int) *Grid {
+	out := g.Clone()
+	neighbors := neighborOffsets(connectivity)
+	g.ForEachSet(func(i, j, k int) {
+		for _, d := range neighbors {
+			out.Set(i+d[0], j+d[1], k+d[2], true)
+		}
+	})
+	return out
+}
+
+// Erode returns a new grid keeping only cells whose full neighborhood
+// (given connectivity) is set; boundary cells (with out-of-range
+// neighbors) are always eroded.
+func (g *Grid) Erode(connectivity int) *Grid {
+	out, _ := NewGrid(g.Nx, g.Ny, g.Nz, g.Origin, g.Cell)
+	neighbors := neighborOffsets(connectivity)
+	g.ForEachSet(func(i, j, k int) {
+		for _, d := range neighbors {
+			if !g.Get(i+d[0], j+d[1], k+d[2]) {
+				return
+			}
+		}
+		out.Set(i, j, k, true)
+	})
+	return out
+}
+
+// Boundary returns the set cells that have at least one unset 6-neighbor
+// (the border voxels).
+func (g *Grid) Boundary() *Grid {
+	out, _ := NewGrid(g.Nx, g.Ny, g.Nz, g.Origin, g.Cell)
+	g.ForEachSet(func(i, j, k int) {
+		for _, d := range Neighbors6 {
+			if !g.Get(i+d[0], j+d[1], k+d[2]) {
+				out.Set(i, j, k, true)
+				return
+			}
+		}
+	})
+	return out
+}
+
+// Components labels the connected components of the set cells under the
+// given connectivity (6 or 26). It returns the number of components and a
+// label grid (flattened, -1 for unset cells).
+func (g *Grid) Components(connectivity int) (count int, labels []int) {
+	neighbors := neighborOffsets(connectivity)
+	labels = make([]int, g.Nx*g.Ny*g.Nz)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack [][3]int
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				if !g.Get(i, j, k) || labels[g.index(i, j, k)] != -1 {
+					continue
+				}
+				// Flood-fill a new component.
+				stack = append(stack[:0], [3]int{i, j, k})
+				labels[g.index(i, j, k)] = count
+				for len(stack) > 0 {
+					p := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, d := range neighbors {
+						x, y, z := p[0]+d[0], p[1]+d[1], p[2]+d[2]
+						if g.Get(x, y, z) && labels[g.index(x, y, z)] == -1 {
+							labels[g.index(x, y, z)] = count
+							stack = append(stack, [3]int{x, y, z})
+						}
+					}
+				}
+				count++
+			}
+		}
+	}
+	return count, labels
+}
+
+// LargestComponent returns a grid containing only the largest connected
+// component (given connectivity). An empty grid is returned unchanged.
+func (g *Grid) LargestComponent(connectivity int) *Grid {
+	count, labels := g.Components(connectivity)
+	if count <= 1 {
+		return g.Clone()
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		if l >= 0 {
+			sizes[l]++
+		}
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	out, _ := NewGrid(g.Nx, g.Ny, g.Nz, g.Origin, g.Cell)
+	g.ForEachSet(func(i, j, k int) {
+		if labels[g.index(i, j, k)] == best {
+			out.Set(i, j, k, true)
+		}
+	})
+	return out
+}
+
+func neighborOffsets(connectivity int) [][3]int {
+	if connectivity == 6 {
+		return Neighbors6[:]
+	}
+	return Neighbors26
+}

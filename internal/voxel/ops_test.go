@@ -1,0 +1,132 @@
+package voxel
+
+import (
+	"testing"
+
+	"threedess/internal/geom"
+)
+
+func blockGrid(t *testing.T) *Grid {
+	t.Helper()
+	g := MustNewGrid(10, 10, 10, geom.Vec3{}, 1)
+	for k := 3; k <= 6; k++ {
+		for j := 3; j <= 6; j++ {
+			for i := 3; i <= 6; i++ {
+				g.Set(i, j, k, true)
+			}
+		}
+	}
+	return g
+}
+
+func TestDilateGrowsErodeShrinks(t *testing.T) {
+	g := blockGrid(t)
+	n0 := g.Count()
+	d := g.Dilate(6)
+	if d.Count() <= n0 {
+		t.Errorf("dilate did not grow: %d -> %d", n0, d.Count())
+	}
+	e := g.Erode(6)
+	if e.Count() >= n0 {
+		t.Errorf("erode did not shrink: %d -> %d", n0, e.Count())
+	}
+	// Original ⊆ dilated; eroded ⊆ original.
+	ok := true
+	g.ForEachSet(func(i, j, k int) {
+		if !d.Get(i, j, k) {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Error("dilation lost a cell")
+	}
+	ok = true
+	e.ForEachSet(func(i, j, k int) {
+		if !g.Get(i, j, k) {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Error("erosion added a cell")
+	}
+}
+
+func TestErodeDilateClosing(t *testing.T) {
+	// Erosion then dilation of a solid block recovers the block under 6-
+	// connectivity (a 4³ block erodes to 2³ and dilates back within it).
+	g := blockGrid(t)
+	round := g.Erode(6).Dilate(6)
+	ok := true
+	round.ForEachSet(func(i, j, k int) {
+		if !g.Get(i, j, k) {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Error("erode∘dilate escaped the original set")
+	}
+}
+
+func TestBoundary(t *testing.T) {
+	g := blockGrid(t)
+	b := g.Boundary()
+	// A 4³ block has 4³−2³ = 56 boundary cells.
+	if got := b.Count(); got != 56 {
+		t.Errorf("boundary count = %d, want 56", got)
+	}
+	// The innermost cells are not boundary.
+	if b.Get(4, 4, 4) || b.Get(5, 5, 5) {
+		t.Error("interior cell in boundary")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := MustNewGrid(10, 10, 10, geom.Vec3{}, 1)
+	g.Set(1, 1, 1, true)
+	g.Set(1, 1, 2, true) // same 6-component
+	g.Set(5, 5, 5, true) // separate
+	g.Set(6, 6, 6, true) // diagonal: 26-connected to (5,5,5), 6-separate
+	if n, _ := g.Components(6); n != 3 {
+		t.Errorf("6-components = %d, want 3", n)
+	}
+	if n, _ := g.Components(26); n != 2 {
+		t.Errorf("26-components = %d, want 2", n)
+	}
+	labels6 := func() []int { _, l := g.Components(6); return l }()
+	if labels6[g.index(1, 1, 1)] != labels6[g.index(1, 1, 2)] {
+		t.Error("adjacent cells in different components")
+	}
+	if labels6[g.index(0, 0, 0)] != -1 {
+		t.Error("unset cell labeled")
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	g := MustNewGrid(3, 3, 3, geom.Vec3{}, 1)
+	if n, _ := g.Components(26); n != 0 {
+		t.Errorf("empty grid components = %d", n)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := MustNewGrid(12, 12, 12, geom.Vec3{}, 1)
+	// Small blob.
+	g.Set(1, 1, 1, true)
+	// Large blob.
+	for i := 5; i < 9; i++ {
+		g.Set(i, 5, 5, true)
+	}
+	lc := g.LargestComponent(26)
+	if lc.Count() != 4 {
+		t.Errorf("largest component count = %d, want 4", lc.Count())
+	}
+	if lc.Get(1, 1, 1) {
+		t.Error("small blob survived")
+	}
+	// Single component: unchanged.
+	single := MustNewGrid(4, 4, 4, geom.Vec3{}, 1)
+	single.Set(2, 2, 2, true)
+	if got := single.LargestComponent(6); !got.Equal(single) {
+		t.Error("single component changed")
+	}
+}

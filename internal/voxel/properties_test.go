@@ -1,0 +1,198 @@
+package voxel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"threedess/internal/geom"
+)
+
+// Property: voxelized volume of random boxes converges to the analytic
+// volume within a one-voxel surface shell.
+func TestQuickVoxelVolumeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(240))
+	for trial := 0; trial < 25; trial++ {
+		size := geom.V(2+rng.Float64()*8, 2+rng.Float64()*8, 2+rng.Float64()*8)
+		m := geom.BoxAt(geom.Vec3{}, size)
+		// Random rigid pose.
+		axis := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		m.Rotate(geom.RotationAxisAngle(axis, rng.Float64()*6.28))
+		m.Translate(geom.V(rng.NormFloat64()*5, rng.NormFloat64()*5, rng.NormFloat64()*5))
+
+		g, err := Voxelize(m, 40)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := size.X * size.Y * size.Z
+		got := g.Volume()
+		// The surface shell adds roughly area × cell to the volume.
+		cell := g.Cell
+		slack := m.SurfaceArea()*cell + 0.05*want
+		if math.Abs(got-want) > slack {
+			t.Fatalf("trial %d: voxel volume %v, analytic %v (slack %v)", trial, got, want, slack)
+		}
+	}
+}
+
+// Property: every voxelized closed solid has exactly one 26-connected
+// component (the primitives are connected solids).
+func TestQuickVoxelConnectivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	gens := []func() (*geom.Mesh, error){
+		func() (*geom.Mesh, error) {
+			return geom.Cone(1+rng.Float64()*3, rng.Float64()*2, 2+rng.Float64()*4, 20)
+		},
+		func() (*geom.Mesh, error) {
+			major := 3 + rng.Float64()*2
+			return geom.Torus(major, 0.5+rng.Float64()*0.8, 28, 14)
+		},
+		func() (*geom.Mesh, error) {
+			return geom.Tube(0.5+rng.Float64(), 2+rng.Float64(), 1+rng.Float64()*4, 24)
+		},
+		func() (*geom.Mesh, error) {
+			return geom.Sphere(1+rng.Float64()*2, 12, 16), nil
+		},
+	}
+	for trial := 0; trial < 20; trial++ {
+		m, err := gens[trial%len(gens)]()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		g, err := Voxelize(m, 28)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if n, _ := g.Components(26); n != 1 {
+			t.Fatalf("trial %d: %d components", trial, n)
+		}
+	}
+}
+
+// Property: CellOf(Center(i,j,k)) round-trips for in-range cells.
+func TestQuickCellCenterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(242))
+	for trial := 0; trial < 50; trial++ {
+		g := MustNewGrid(3+rng.Intn(20), 3+rng.Intn(20), 3+rng.Intn(20),
+			geom.V(rng.NormFloat64()*10, rng.NormFloat64()*10, rng.NormFloat64()*10),
+			0.1+rng.Float64()*2)
+		i, j, k := rng.Intn(g.Nx), rng.Intn(g.Ny), rng.Intn(g.Nz)
+		gi, gj, gk := g.CellOf(g.Center(i, j, k))
+		if gi != i || gj != j || gk != k {
+			t.Fatalf("round trip (%d,%d,%d) -> (%d,%d,%d)", i, j, k, gi, gj, gk)
+		}
+	}
+}
+
+// Property: dilation then erosion (closing) is extensive; erosion then
+// dilation (opening) is anti-extensive.
+func TestQuickMorphologyOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(243))
+	for trial := 0; trial < 10; trial++ {
+		g := MustNewGrid(20, 20, 20, geom.Vec3{}, 1)
+		for n := 0; n < 200; n++ {
+			g.Set(2+rng.Intn(16), 2+rng.Intn(16), 2+rng.Intn(16), true)
+		}
+		closing := g.Dilate(6).Erode(6)
+		opening := g.Erode(6).Dilate(6)
+		bad := false
+		g.ForEachSet(func(i, j, k int) {
+			if !closing.Get(i, j, k) {
+				bad = true // closing must contain the original
+			}
+		})
+		if bad {
+			t.Fatalf("trial %d: closing not extensive", trial)
+		}
+		opening.ForEachSet(func(i, j, k int) {
+			if !g.Get(i, j, k) {
+				bad = true // opening must be contained in the original
+			}
+		})
+		if bad {
+			t.Fatalf("trial %d: opening not anti-extensive", trial)
+		}
+	}
+}
+
+// The winding fill must agree between a solid and the same solid
+// represented as outer + inner(flipped) + material in between.
+func TestVoxelizeNestedCavities(t *testing.T) {
+	// Box with a cavity that itself contains a smaller solid box:
+	// outer [0,10]³ minus [2,8]³ plus [4,6]³.
+	m := geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10))
+	m.Merge(geom.Box(geom.V(2, 2, 2), geom.V(8, 8, 8)).FlipFaces())
+	m.Merge(geom.Box(geom.V(4, 4, 4), geom.V(6, 6, 6)))
+	g, err := Voxelize(m, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(p geom.Vec3, want bool, what string) {
+		i, j, k := g.CellOf(p)
+		if g.Get(i, j, k) != want {
+			t.Errorf("%s at %v: got %v, want %v", what, p, !want, want)
+		}
+	}
+	check(geom.V(1, 5, 5), true, "outer shell")
+	check(geom.V(3, 5, 5), false, "cavity")
+	check(geom.V(5, 5, 5), true, "inner core")
+	want := 1000 - 216 + 8
+	if got := g.Volume(); math.Abs(got-float64(want)) > 0.15*float64(want) {
+		t.Errorf("nested volume = %v, want ≈%d", got, want)
+	}
+}
+
+func TestToMeshClosedAndExactVolume(t *testing.T) {
+	rng := rand.New(rand.NewSource(244))
+	for trial := 0; trial < 8; trial++ {
+		g := MustNewGrid(12, 12, 12, geom.V(-1, 2, 0.5), 0.5)
+		for n := 0; n < 80; n++ {
+			g.Set(1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10), true)
+		}
+		m := g.ToMesh()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Random scatter may contain edge-only contacts (non-manifold),
+		// but the enclosed volume is exact regardless.
+		want := g.Volume()
+		if math.Abs(m.Volume()-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: mesh volume %v, voxel volume %v", trial, m.Volume(), want)
+		}
+	}
+}
+
+func TestToMeshVoxelizedSolidIsClosed(t *testing.T) {
+	mesh := geom.Sphere(1, 16, 20)
+	g, err := Voxelize(mesh, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.ToMesh()
+	if !m.IsClosed() {
+		t.Error("voxelized sphere boundary mesh not closed")
+	}
+	if math.Abs(m.Volume()-g.Volume()) > 1e-9*(1+g.Volume()) {
+		t.Errorf("mesh volume %v vs voxel volume %v", m.Volume(), g.Volume())
+	}
+}
+
+func TestToMeshEmptyGrid(t *testing.T) {
+	g := MustNewGrid(4, 4, 4, geom.Vec3{}, 1)
+	m := g.ToMesh()
+	if len(m.Faces) != 0 {
+		t.Errorf("empty grid produced %d faces", len(m.Faces))
+	}
+}
+
+func TestToMeshSingleVoxelIsCube(t *testing.T) {
+	g := MustNewGrid(3, 3, 3, geom.Vec3{}, 2)
+	g.Set(1, 1, 1, true)
+	m := g.ToMesh()
+	if len(m.Vertices) != 8 || len(m.Faces) != 12 {
+		t.Errorf("single voxel: %d vertices, %d faces", len(m.Vertices), len(m.Faces))
+	}
+	if math.Abs(m.Volume()-8) > 1e-12 {
+		t.Errorf("volume = %v, want 8 (cell=2)", m.Volume())
+	}
+}

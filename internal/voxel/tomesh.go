@@ -1,0 +1,51 @@
+package voxel
+
+import "threedess/internal/geom"
+
+// ToMesh converts the set voxels into a triangle mesh of their boundary:
+// one quad (two triangles) for every voxel face adjacent to an empty
+// cell, with outward orientation. The enclosed volume equals Volume()
+// exactly, and for voxel sets without edge-only or corner-only contacts
+// the mesh is watertight — handy for exporting voxel models and skeletons
+// to standard viewers. (A pair of voxels touching only along a lattice
+// edge makes that edge non-manifold: four boundary faces meet there.)
+func (g *Grid) ToMesh() *geom.Mesh {
+	m := geom.NewMesh(0, 0)
+	// corner returns the model-space position of the (i, j, k) lattice
+	// corner (not cell center).
+	corner := func(i, j, k int) geom.Vec3 {
+		return g.Origin.Add(geom.V(
+			float64(i)*g.Cell,
+			float64(j)*g.Cell,
+			float64(k)*g.Cell,
+		))
+	}
+	// For each face direction, the four corner offsets in CCW order when
+	// viewed from outside (normal pointing along the direction).
+	type face struct {
+		di, dj, dk int
+		c          [4][3]int
+	}
+	faces := []face{
+		{+1, 0, 0, [4][3]int{{1, 0, 0}, {1, 1, 0}, {1, 1, 1}, {1, 0, 1}}}, // +x
+		{-1, 0, 0, [4][3]int{{0, 0, 0}, {0, 0, 1}, {0, 1, 1}, {0, 1, 0}}}, // -x
+		{0, +1, 0, [4][3]int{{0, 1, 0}, {0, 1, 1}, {1, 1, 1}, {1, 1, 0}}}, // +y
+		{0, -1, 0, [4][3]int{{0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {0, 0, 1}}}, // -y
+		{0, 0, +1, [4][3]int{{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}}}, // +z
+		{0, 0, -1, [4][3]int{{0, 0, 0}, {0, 1, 0}, {1, 1, 0}, {1, 0, 0}}}, // -z
+	}
+	g.ForEachSet(func(i, j, k int) {
+		for _, f := range faces {
+			if g.Get(i+f.di, j+f.dj, k+f.dk) {
+				continue // interior face
+			}
+			var idx [4]int
+			for c := 0; c < 4; c++ {
+				idx[c] = m.AddVertex(corner(i+f.c[c][0], j+f.c[c][1], k+f.c[c][2]))
+			}
+			m.AddFace(idx[0], idx[1], idx[2])
+			m.AddFace(idx[0], idx[2], idx[3])
+		}
+	})
+	return m.WeldVertices(g.Cell * 1e-6)
+}

@@ -1,0 +1,230 @@
+package voxel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"threedess/internal/geom"
+)
+
+// Voxelize converts a closed mesh into a solid binary voxel model. The
+// mesh bounding box (padded by one cell) is discretized into cubic cells
+// whose size makes the longest side span resolution cells. A cell is set
+// when it intersects the surface (triangle–box overlap) or lies inside the
+// solid (column winding test), matching the paper's "assign one to a voxel
+// if it contains a part of the CAD model" rule.
+func Voxelize(mesh *geom.Mesh, resolution int) (*Grid, error) {
+	g, err := newGridForMesh(mesh, resolution)
+	if err != nil {
+		return nil, err
+	}
+	markSurface(g, mesh)
+	fillInterior(g, mesh)
+	return g, nil
+}
+
+// VoxelizeSurface voxelizes only the surface shell of the mesh.
+func VoxelizeSurface(mesh *geom.Mesh, resolution int) (*Grid, error) {
+	g, err := newGridForMesh(mesh, resolution)
+	if err != nil {
+		return nil, err
+	}
+	markSurface(g, mesh)
+	return g, nil
+}
+
+func newGridForMesh(mesh *geom.Mesh, resolution int) (*Grid, error) {
+	if resolution < 2 {
+		return nil, fmt.Errorf("voxel: resolution must be ≥ 2, got %d", resolution)
+	}
+	if len(mesh.Faces) == 0 {
+		return nil, fmt.Errorf("voxel: cannot voxelize empty mesh")
+	}
+	min, max := mesh.Bounds()
+	ext := max.Sub(min)
+	longest := ext.MaxComponent()
+	if longest <= 0 {
+		return nil, fmt.Errorf("voxel: mesh has zero extent")
+	}
+	cell := longest / float64(resolution)
+	// Pad by one cell on each side so surface voxels never land on the
+	// boundary and the exterior stays connected.
+	origin := min.Sub(geom.V(cell, cell, cell))
+	nx := int(math.Ceil(ext.X/cell)) + 2
+	ny := int(math.Ceil(ext.Y/cell)) + 2
+	nz := int(math.Ceil(ext.Z/cell)) + 2
+	return NewGrid(nx, ny, nz, origin, cell)
+}
+
+// markSurface sets every cell whose box overlaps a triangle.
+func markSurface(g *Grid, mesh *geom.Mesh) {
+	h := g.Cell / 2
+	for fi := range mesh.Faces {
+		a, b, c := mesh.Triangle(fi)
+		lo := a.Min(b).Min(c)
+		hi := a.Max(b).Max(c)
+		i0, j0, k0 := g.CellOf(lo)
+		i1, j1, k1 := g.CellOf(hi)
+		for k := maxInt(k0, 0); k <= minInt(k1, g.Nz-1); k++ {
+			for j := maxInt(j0, 0); j <= minInt(j1, g.Ny-1); j++ {
+				for i := maxInt(i0, 0); i <= minInt(i1, g.Nx-1); i++ {
+					if g.Get(i, j, k) {
+						continue
+					}
+					center := g.Center(i, j, k)
+					if triBoxOverlap(center, h, a, b, c) {
+						g.Set(i, j, k, true)
+					}
+				}
+			}
+		}
+	}
+}
+
+// fillInterior sets the cells whose centers lie inside the solid using a
+// column winding test: for each (j, k) column a ray is cast along +x and
+// the crossing directions of the (outward-oriented) surface accumulate a
+// winding count; centers with positive winding are interior. Because the
+// count is signed, inward-oriented void surfaces (cavities built with
+// flipped meshes) subtract correctly.
+func fillInterior(g *Grid, mesh *geom.Mesh) {
+	type crossing struct {
+		x    float64
+		sign int // +1 entering solid, −1 leaving (for a +x ray)
+	}
+	cols := make([][]crossing, g.Ny*g.Nz)
+	// Deterministic sub-cell jitter avoids rays passing exactly through
+	// triangle edges/vertices of axis-aligned models.
+	jy := g.Cell * 0.51e-3
+	jz := g.Cell * 0.49e-3
+
+	for fi := range mesh.Faces {
+		a, b, c := mesh.Triangle(fi)
+		n := b.Sub(a).Cross(c.Sub(a))
+		if math.Abs(n.X) < 1e-300 {
+			continue // parallel to the ray; no crossing
+		}
+		lo := a.Min(b).Min(c)
+		hi := a.Max(b).Max(c)
+		_, j0, k0 := g.CellOf(lo)
+		_, j1, k1 := g.CellOf(hi)
+		for k := maxInt(k0, 0); k <= minInt(k1, g.Nz-1); k++ {
+			for j := maxInt(j0, 0); j <= minInt(j1, g.Ny-1); j++ {
+				p := g.Center(0, j, k)
+				y := p.Y + jy
+				z := p.Z + jz
+				// 2D barycentric test in the YZ plane.
+				d00y, d00z := b.Y-a.Y, b.Z-a.Z
+				d01y, d01z := c.Y-a.Y, c.Z-a.Z
+				den := d00y*d01z - d00z*d01y
+				if math.Abs(den) < 1e-300 {
+					continue
+				}
+				py, pz := y-a.Y, z-a.Z
+				u := (py*d01z - pz*d01y) / den
+				v := (d00y*pz - d00z*py) / den
+				if u < 0 || v < 0 || u+v > 1 {
+					continue
+				}
+				x := a.X + u*(b.X-a.X) + v*(c.X-a.X)
+				sign := 1
+				if n.X > 0 {
+					sign = -1
+				}
+				ci := k*g.Ny + j
+				cols[ci] = append(cols[ci], crossing{x, sign})
+			}
+		}
+	}
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			events := cols[k*g.Ny+j]
+			if len(events) == 0 {
+				continue
+			}
+			sort.Slice(events, func(a, b int) bool { return events[a].x < events[b].x })
+			winding := 0
+			ei := 0
+			for i := 0; i < g.Nx; i++ {
+				x := g.Center(i, j, k).X
+				for ei < len(events) && events[ei].x <= x {
+					winding += events[ei].sign
+					ei++
+				}
+				if winding > 0 {
+					g.Set(i, j, k, true)
+				}
+			}
+		}
+	}
+}
+
+// triBoxOverlap reports whether the triangle (a, b, c) intersects the cube
+// centered at boxCenter with half-size h, using the separating axis
+// theorem (Akenine-Möller's 13-axis test).
+func triBoxOverlap(boxCenter geom.Vec3, h float64, a, b, c geom.Vec3) bool {
+	v0 := a.Sub(boxCenter)
+	v1 := b.Sub(boxCenter)
+	v2 := c.Sub(boxCenter)
+
+	// Axis test helpers: project the triangle onto axis, compare with box
+	// projection radius.
+	axisTest := func(ax geom.Vec3, rad float64) bool {
+		p0 := ax.Dot(v0)
+		p1 := ax.Dot(v1)
+		p2 := ax.Dot(v2)
+		mn := math.Min(p0, math.Min(p1, p2))
+		mx := math.Max(p0, math.Max(p1, p2))
+		return mn > rad || mx < -rad
+	}
+
+	// 1) Box axes (AABB of the triangle vs the box).
+	if math.Min(v0.X, math.Min(v1.X, v2.X)) > h || math.Max(v0.X, math.Max(v1.X, v2.X)) < -h {
+		return false
+	}
+	if math.Min(v0.Y, math.Min(v1.Y, v2.Y)) > h || math.Max(v0.Y, math.Max(v1.Y, v2.Y)) < -h {
+		return false
+	}
+	if math.Min(v0.Z, math.Min(v1.Z, v2.Z)) > h || math.Max(v0.Z, math.Max(v1.Z, v2.Z)) < -h {
+		return false
+	}
+
+	// 2) Nine cross-product axes e_i × f_j.
+	f0 := v1.Sub(v0)
+	f1 := v2.Sub(v1)
+	f2 := v0.Sub(v2)
+	for _, f := range []geom.Vec3{f0, f1, f2} {
+		axes := []geom.Vec3{
+			{X: 0, Y: -f.Z, Z: f.Y}, // e0 × f
+			{X: f.Z, Y: 0, Z: -f.X}, // e1 × f
+			{X: -f.Y, Y: f.X, Z: 0}, // e2 × f
+		}
+		for _, ax := range axes {
+			rad := h * (math.Abs(ax.X) + math.Abs(ax.Y) + math.Abs(ax.Z))
+			if axisTest(ax, rad) {
+				return false
+			}
+		}
+	}
+
+	// 3) Triangle normal axis (plane vs box).
+	n := f0.Cross(f1)
+	d := n.Dot(v0)
+	rad := h * (math.Abs(n.X) + math.Abs(n.Y) + math.Abs(n.Z))
+	return math.Abs(d) <= rad
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

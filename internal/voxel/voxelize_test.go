@@ -1,0 +1,174 @@
+package voxel
+
+import (
+	"math"
+	"testing"
+
+	"threedess/internal/geom"
+)
+
+func TestVoxelizeBoxVolume(t *testing.T) {
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(2, 2, 2))
+	g, err := Voxelize(mesh, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Voxel volume ≈ mesh volume within one surface shell.
+	vol := g.Volume()
+	if math.Abs(vol-8) > 0.2*8 {
+		t.Errorf("voxel volume = %v, want ≈8", vol)
+	}
+	// The interior center must be set; far corners of the padded grid not.
+	i, j, k := g.CellOf(geom.V(1, 1, 1))
+	if !g.Get(i, j, k) {
+		t.Error("box center voxel unset")
+	}
+	if g.Get(0, 0, 0) {
+		t.Error("padding corner voxel set")
+	}
+}
+
+func TestVoxelizeSphereVolume(t *testing.T) {
+	mesh := geom.Sphere(1, 24, 32)
+	g, err := Voxelize(mesh, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4.0 / 3 * math.Pi
+	if got := g.Volume(); math.Abs(got-want) > 0.15*want {
+		t.Errorf("sphere voxel volume = %v, want ≈%v", got, want)
+	}
+	// Single 26-connected component.
+	if n, _ := g.Components(26); n != 1 {
+		t.Errorf("sphere components = %d", n)
+	}
+}
+
+func TestVoxelizeTubeKeepsHoleOpen(t *testing.T) {
+	mesh, err := geom.Tube(0.6, 1.0, 2.0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Voxelize(mesh, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The axis of the tube must be empty (hole), the wall solid.
+	i, j, k := g.CellOf(geom.V(0, 0, 1))
+	if g.Get(i, j, k) {
+		t.Error("tube axis voxel set — hole was filled")
+	}
+	i, j, k = g.CellOf(geom.V(0.8, 0, 1))
+	if !g.Get(i, j, k) {
+		t.Error("tube wall voxel unset")
+	}
+	want := math.Pi * (1 - 0.36) * 2
+	if got := g.Volume(); math.Abs(got-want) > 0.25*want {
+		t.Errorf("tube voxel volume = %v, want ≈%v", got, want)
+	}
+}
+
+func TestVoxelizeCavitySubtracts(t *testing.T) {
+	// Outer box with a flipped inner box = hollow shell. The signed
+	// winding fill must leave the cavity empty.
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 4))
+	mesh.Merge(geom.Box(geom.V(1, 1, 1), geom.V(3, 3, 3)).FlipFaces())
+	g, err := Voxelize(mesh, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, j, k := g.CellOf(geom.V(2, 2, 2))
+	if g.Get(i, j, k) {
+		t.Error("cavity center voxel set")
+	}
+	i, j, k = g.CellOf(geom.V(0.5, 2, 2))
+	if !g.Get(i, j, k) {
+		t.Error("shell wall voxel unset")
+	}
+}
+
+func TestVoxelizeSurfaceIsShell(t *testing.T) {
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(2, 2, 2))
+	surf, err := VoxelizeSurface(mesh, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solid, err := Voxelize(mesh, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surf.Count() == 0 {
+		t.Fatal("surface voxelization empty")
+	}
+	if surf.Count() >= solid.Count() {
+		t.Errorf("surface (%d) should have fewer voxels than solid (%d)", surf.Count(), solid.Count())
+	}
+	// Box center not in the shell.
+	i, j, k := surf.CellOf(geom.V(1, 1, 1))
+	if surf.Get(i, j, k) {
+		t.Error("surface voxelization contains interior cell")
+	}
+	// Every surface voxel is also in the solid.
+	ok := true
+	surf.ForEachSet(func(i, j, k int) {
+		if !solid.Get(i, j, k) {
+			ok = false
+		}
+	})
+	if !ok {
+		t.Error("surface voxel missing from solid voxelization")
+	}
+}
+
+func TestVoxelizeThinPlateIsConnected(t *testing.T) {
+	// A plate thinner than one voxel must still produce a connected shell
+	// (caught by the surface pass even when no center is interior).
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 0.05))
+	g, err := Voxelize(mesh, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() == 0 {
+		t.Fatal("thin plate voxelization empty")
+	}
+	if n, _ := g.Components(26); n != 1 {
+		t.Errorf("thin plate components = %d", n)
+	}
+}
+
+func TestVoxelizeErrors(t *testing.T) {
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	if _, err := Voxelize(mesh, 1); err == nil {
+		t.Error("resolution 1 accepted")
+	}
+	if _, err := Voxelize(geom.NewMesh(0, 0), 16); err == nil {
+		t.Error("empty mesh accepted")
+	}
+	degenerate := geom.NewMesh(0, 0)
+	degenerate.AddVertex(geom.V(0, 0, 0))
+	degenerate.AddVertex(geom.V(0, 0, 0))
+	degenerate.AddVertex(geom.V(0, 0, 0))
+	degenerate.AddFace(0, 1, 2)
+	if _, err := Voxelize(degenerate, 16); err == nil {
+		t.Error("zero-extent mesh accepted")
+	}
+}
+
+func TestTriBoxOverlap(t *testing.T) {
+	// Triangle crossing the box.
+	if !triBoxOverlap(geom.V(0, 0, 0), 1, geom.V(-2, 0, 0), geom.V(2, 0.1, 0), geom.V(0, 0, 2)) {
+		t.Error("crossing triangle reported separate")
+	}
+	// Triangle fully outside.
+	if triBoxOverlap(geom.V(0, 0, 0), 1, geom.V(5, 5, 5), geom.V(6, 5, 5), geom.V(5, 6, 5)) {
+		t.Error("distant triangle reported overlapping")
+	}
+	// Triangle fully inside.
+	if !triBoxOverlap(geom.V(0, 0, 0), 1, geom.V(-0.2, 0, 0), geom.V(0.2, 0.1, 0), geom.V(0, 0.2, 0.1)) {
+		t.Error("contained triangle reported separate")
+	}
+	// Plane near but not touching the box (separating normal axis).
+	if triBoxOverlap(geom.V(0, 0, 0), 1, geom.V(-5, -5, 1.5), geom.V(5, -5, 1.5), geom.V(0, 5, 1.5)) {
+		t.Error("plane above box reported overlapping")
+	}
+}

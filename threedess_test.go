@@ -1,0 +1,258 @@
+package threedess
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"threedess/internal/geom"
+)
+
+func smallSystem(t *testing.T) (*System, []int64) {
+	t.Helper()
+	sys, err := Open("", Options{VoxelResolution: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	meshes := []struct {
+		name  string
+		group int
+		mesh  *Mesh
+	}{
+		{"slab-a", 1, geom.Box(geom.V(0, 0, 0), geom.V(10, 6, 1))},
+		{"slab-b", 1, geom.Box(geom.V(0, 0, 0), geom.V(10.5, 6.2, 1.05))},
+		{"slab-c", 1, geom.Box(geom.V(0, 0, 0), geom.V(9.7, 5.9, 0.98))},
+		{"cube", 2, geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 4))},
+		{"bar", 3, geom.Box(geom.V(0, 0, 0), geom.V(20, 1, 1))},
+	}
+	ids := make([]int64, len(meshes))
+	for i, m := range meshes {
+		id, err := sys.Insert(m.name, m.group, m.mesh)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		ids[i] = id
+	}
+	return sys, ids
+}
+
+func TestSystemInsertQueryDelete(t *testing.T) {
+	sys, ids := smallSystem(t)
+	if sys.Len() != 5 {
+		t.Fatalf("Len = %d", sys.Len())
+	}
+	name, group, mesh, ok := sys.Get(ids[0])
+	if !ok || name != "slab-a" || group != 1 || mesh == nil {
+		t.Fatalf("Get = %q %d %v %v", name, group, mesh != nil, ok)
+	}
+	res, err := sys.QueryByID(ids[0], Search{Feature: PrincipalMoments, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Group != 1 || res[1].Group != 1 {
+		t.Errorf("QueryByID results = %+v", res)
+	}
+	for _, r := range res {
+		if r.ID == ids[0] {
+			t.Error("query shape in its own results")
+		}
+	}
+	ok2, err := sys.Delete(ids[4])
+	if err != nil || !ok2 {
+		t.Fatalf("Delete = %v %v", ok2, err)
+	}
+	if sys.Len() != 4 {
+		t.Errorf("Len after delete = %d", sys.Len())
+	}
+}
+
+func TestSystemQueryByExample(t *testing.T) {
+	sys, _ := smallSystem(t)
+	query := geom.Box(geom.V(0, 0, 0), geom.V(10.2, 6.1, 1.02))
+	query.Rotate(geom.RotationAxisAngle(geom.V(1, 1, 0), 0.9)).Translate(geom.V(5, 5, 5))
+	res, err := sys.QueryByExample(query, Search{Feature: PrincipalMoments, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Group != 1 || res[1].Group != 1 {
+		t.Errorf("posed query did not find the slabs: %+v", res)
+	}
+	// Threshold mode.
+	th := 0.95
+	tres, err := sys.QueryByExample(query, Search{Feature: PrincipalMoments, Threshold: &th})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tres {
+		if r.Similarity < th {
+			t.Errorf("similarity %v below threshold", r.Similarity)
+		}
+	}
+}
+
+func TestSystemMultiStep(t *testing.T) {
+	sys, ids := smallSystem(t)
+	spec := RecommendedMultiStep()
+	spec.K = 3
+	res, err := sys.MultiStepByID(ids[0], spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no multi-step results")
+	}
+	res2, err := sys.MultiStepByExample(geom.Box(geom.V(0, 0, 0), geom.V(10, 6, 1)), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2) == 0 {
+		t.Fatal("no by-example multi-step results")
+	}
+}
+
+func TestSystemFeedback(t *testing.T) {
+	sys, ids := smallSystem(t)
+	res, err := sys.RefineWithFeedback(ids[0], PrincipalMoments, Feedback{
+		Relevant: []int64{ids[1], ids[2]},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Group != 1 {
+		t.Errorf("feedback results = %+v", res)
+	}
+}
+
+func TestSystemBrowseAndExtract(t *testing.T) {
+	sys, _ := smallSystem(t)
+	root, err := sys.Browse(PrincipalMoments, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.IDs) != 5 {
+		t.Errorf("browse root covers %d", len(root.IDs))
+	}
+	set, err := sys.Extract(geom.Box(geom.V(0, 0, 0), geom.V(2, 2, 2)), CoreKinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != len(CoreKinds) {
+		t.Errorf("Extract returned %d kinds", len(set))
+	}
+}
+
+func TestSystemDurable(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := Open(dir, Options{VoxelResolution: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sys.Insert("w", 1, geom.Box(geom.V(0, 0, 0), geom.V(3, 2, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	re, err := Open(dir, Options{VoxelResolution: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1 {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+	if _, _, _, ok := re.Get(id); !ok {
+		t.Error("record lost across reopen")
+	}
+}
+
+func TestSystemHandler(t *testing.T) {
+	sys, ids := smallSystem(t)
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("stats status = %d", resp.StatusCode)
+	}
+	_ = ids
+}
+
+func TestGenerateCorpusFacade(t *testing.T) {
+	shapes, err := GenerateCorpus(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != 113 {
+		t.Errorf("corpus = %d shapes", len(shapes))
+	}
+}
+
+func TestMeshFileFacade(t *testing.T) {
+	dir := t.TempDir()
+	m := geom.Box(geom.V(0, 0, 0), geom.V(1, 2, 3))
+	path := dir + "/box.off"
+	if err := WriteMeshFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMeshFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Volume() != m.Volume() {
+		t.Errorf("round trip volume %v vs %v", back.Volume(), m.Volume())
+	}
+}
+
+func TestSystemQueryCombinedAndWeightedBrowse(t *testing.T) {
+	sys, ids := smallSystem(t)
+	res, err := sys.QueryCombined(ids[0], map[Kind]float64{
+		PrincipalMoments: 0.7,
+		GeometricParams:  0.3,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("combined results = %d", len(res))
+	}
+	for _, r := range res {
+		if r.ID == ids[0] {
+			t.Error("query in combined results")
+		}
+	}
+	if res[0].Group != 1 {
+		t.Errorf("combined top group = %d", res[0].Group)
+	}
+	w := []float64{1, 1, 1}
+	root, err := sys.BrowseWeighted(PrincipalMoments, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.IDs) != 5 {
+		t.Errorf("weighted browse covers %d", len(root.IDs))
+	}
+}
+
+func TestSystemQueryByProfile(t *testing.T) {
+	sys, _ := smallSystem(t)
+	// A rectangular outline roughly matching the slabs' footprint.
+	outline := geom.RectPolygon(0, 0, 10, 6)
+	res, err := sys.QueryByProfile(outline, nil, 1, Search{Feature: PrincipalMoments, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Group != 1 {
+		t.Errorf("profile query results = %+v", res)
+	}
+	// Default thickness path.
+	if _, err := sys.QueryByProfile(outline, nil, 0, Search{Feature: PrincipalMoments, K: 1}); err != nil {
+		t.Errorf("default thickness: %v", err)
+	}
+	// Degenerate profile rejected.
+	if _, err := sys.QueryByProfile(geom.Polygon{{X: 1, Y: 1}}, nil, 0, Search{K: 1}); err == nil {
+		t.Error("degenerate profile accepted")
+	}
+}
