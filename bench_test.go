@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"threedess"
 	"threedess/internal/core"
 	"threedess/internal/dataset"
 	"threedess/internal/eval"
@@ -314,6 +315,102 @@ func BenchmarkExtensionDescriptors(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- parallel execution benchmarks ---
+
+// BenchmarkParallelIngest compares bulk ingest throughput with a single
+// worker against the full worker pool (one worker per logical CPU). The
+// extraction fan-out is embarrassingly parallel, so on a machine with
+// GOMAXPROCS ≥ 4 the parallel case should ingest at least 2× faster
+// while producing bit-identical IDs and features (see
+// TestInsertBatchDeterministicAcrossWorkers).
+func BenchmarkParallelIngest(b *testing.B) {
+	shapes := ingestShapes(b, 24)
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sys, err := threedess.Open("", threedess.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := sys.InsertBatch(shapes); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				sys.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(shapes)*b.N)/b.Elapsed().Seconds(), "shapes/sec")
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(0)) // 0 = one worker per logical CPU
+}
+
+func ingestShapes(b *testing.B, n int) []threedess.Shape {
+	b.Helper()
+	out := make([]threedess.Shape, n)
+	for i := range out {
+		m := geom.Box(geom.V(0, 0, 0), geom.V(2+float64(i%5), 1, 1))
+		m.Merge(geom.Box(geom.V(0, 1, 0), geom.V(1, 2+float64(i%3), 1)))
+		out[i] = threedess.Shape{Name: "bench", Group: i % 4, Mesh: m}
+	}
+	return out
+}
+
+// BenchmarkWeightedScanParallel compares the weighted full-scan search
+// (the non-indexed path, which cannot use the R-trees) with one worker
+// against the sharded scan across the full pool, over a synthetic
+// database large enough to cross the parallelism threshold.
+func BenchmarkWeightedScanParallel(b *testing.B) {
+	db, err := shapedb.Open("", features.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	opts := db.Options()
+	dim := opts.Dim(features.PrincipalMoments)
+	m := benchMesh()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		set := features.Set{}
+		for _, k := range features.CoreKinds {
+			v := make(features.Vector, opts.Dim(k))
+			for d := range v {
+				v[d] = rng.NormFloat64() * 10
+			}
+			set[k] = v
+		}
+		if _, err := db.Insert("s", i%26, m, set); err != nil {
+			b.Fatal(err)
+		}
+	}
+	query := features.Set{features.PrincipalMoments: make(features.Vector, dim)}
+	weights := make([]float64, dim)
+	for i := range weights {
+		weights[i] = 1 + float64(i)
+	}
+	searchOpts := core.Options{Feature: features.PrincipalMoments, Weights: weights, K: 10}
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			e := core.NewEngine(db).SetWorkers(workers)
+			for i := 0; i < b.N; i++ {
+				res, err := e.SearchTopK(query, searchOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != 10 {
+					b.Fatalf("results = %d", len(res))
+				}
+			}
+			b.ReportMetric(float64(db.Len()*b.N)/b.Elapsed().Seconds(), "shapes/sec")
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(0))
 }
 
 // BenchmarkJournalInsert measures a durable insert (journal append +

@@ -292,7 +292,9 @@ func cmdIngest(c *server.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	loaded := 0
+	// One batch request: the server extracts features for the whole
+	// directory on its worker pool instead of shape-by-shape round trips.
+	var batch []server.BatchShape
 	for _, e := range entries {
 		ext := strings.ToLower(filepath.Ext(e.Name()))
 		if e.IsDir() || (ext != ".off" && ext != ".obj" && ext != ".stl") {
@@ -302,16 +304,21 @@ func cmdIngest(c *server.Client, args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.Name(), err)
 		}
-		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
-		id, err := c.InsertShape(name, groups[name], mesh)
+		off, err := server.MeshToOFF(mesh)
 		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", e.Name(), err)
 		}
-		loaded++
-		if loaded%20 == 0 {
-			fmt.Printf("... %d shapes loaded (latest id %d)\n", loaded, id)
-		}
+		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		batch = append(batch, server.BatchShape{Name: name, Group: groups[name], MeshOFF: off})
 	}
-	fmt.Printf("ingested %d shapes from %s\n", loaded, *dir)
+	if len(batch) == 0 {
+		fmt.Printf("no meshes found in %s\n", *dir)
+		return nil
+	}
+	ids, err := c.InsertShapes(batch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d shapes from %s (ids %d..%d)\n", len(ids), *dir, ids[0], ids[len(ids)-1])
 	return nil
 }

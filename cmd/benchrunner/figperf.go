@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"threedess"
+	"threedess/internal/core"
+	"threedess/internal/features"
+	"threedess/internal/shapedb"
+	"threedess/internal/workpool"
+)
+
+// figPerf measures the parallel execution layer: bulk-ingest throughput
+// (worker-pool feature extraction) and weighted-scan throughput (sharded
+// snapshot scan) at one worker vs one worker per logical CPU. The rows
+// land in results/ alongside the figure data so speedups are tracked
+// over time. Single-worker and full-pool runs produce identical IDs and
+// results by construction; only the wall clock differs.
+func figPerf(seed int64) error {
+	header(fmt.Sprintf("perf: parallel ingest & sharded scan (GOMAXPROCS = %d)", runtime.GOMAXPROCS(0)))
+
+	shapes, err := threedess.GenerateCorpus(seed)
+	if err != nil {
+		return err
+	}
+	ingest := func(workers int) (float64, error) {
+		sys, err := threedess.Open("", threedess.Options{Workers: workers})
+		if err != nil {
+			return 0, err
+		}
+		defer sys.Close()
+		start := time.Now()
+		if _, err := sys.InsertBatch(shapes); err != nil {
+			return 0, err
+		}
+		return float64(len(shapes)) / time.Since(start).Seconds(), nil
+	}
+	serialIngest, err := ingest(1)
+	if err != nil {
+		return err
+	}
+	poolIngest, err := ingest(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bulk ingest (%d shapes): %.1f shapes/sec serial, %.1f shapes/sec pooled (%.2fx)\n",
+		len(shapes), serialIngest, poolIngest, poolIngest/serialIngest)
+	fmt.Printf("csv,perf,ingest,serial,%.2f\n", serialIngest)
+	fmt.Printf("csv,perf,ingest,pooled,%.2f\n", poolIngest)
+
+	// Sharded weighted scan over a synthetic database large enough that
+	// fan-out matters; vectors are arbitrary but deterministic.
+	db, err := shapedb.Open("", features.Options{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	opts := db.Options()
+	mesh := shapes[0].Mesh
+	const scanN = 5000
+	for i := 0; i < scanN; i++ {
+		set := features.Set{}
+		for _, k := range features.CoreKinds {
+			v := make(features.Vector, opts.Dim(k))
+			for d := range v {
+				v[d] = float64((i*31+d*7+int(k)*13)%997) / 50
+			}
+			set[k] = v
+		}
+		if _, err := db.Insert("synth", i%26, mesh, set); err != nil {
+			return err
+		}
+	}
+	dim := opts.Dim(features.PrincipalMoments)
+	query := features.Set{features.PrincipalMoments: make(features.Vector, dim)}
+	weights := make([]float64, dim)
+	for i := range weights {
+		weights[i] = 1 + float64(i)
+	}
+	searchOpts := core.Options{Feature: features.PrincipalMoments, Weights: weights, K: 10}
+	scan := func(workers int) (float64, error) {
+		e := core.NewEngine(db).SetWorkers(workers)
+		const iters = 50
+		// Warm up caches so the first-measured configuration isn't
+		// penalized for paging the snapshot in.
+		if _, err := e.SearchTopK(query, searchOpts); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := e.SearchTopK(query, searchOpts); err != nil {
+				return 0, err
+			}
+		}
+		return float64(scanN*iters) / time.Since(start).Seconds(), nil
+	}
+	serialScan, err := scan(1)
+	if err != nil {
+		return err
+	}
+	poolScan, err := scan(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("weighted scan (%d records, top-10): %.0f shapes/sec serial, %.0f shapes/sec sharded over %d workers (%.2fx)\n",
+		scanN, serialScan, poolScan, workpool.Resolve(0), poolScan/serialScan)
+	fmt.Printf("csv,perf,scan,serial,%.2f\n", serialScan)
+	fmt.Printf("csv,perf,scan,sharded,%.2f\n", poolScan)
+	return nil
+}

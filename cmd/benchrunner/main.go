@@ -13,6 +13,7 @@
 //	-fig ext    extension-descriptor effectiveness (higher-order, D2)
 //	-fig ablation multi-step Keep-parameter sweep
 //	-fig map    mean average precision per strategy (rank-quality summary)
+//	-fig perf   parallel ingest & sharded-scan throughput (serial vs pooled)
 //	-fig all    everything (default)
 //
 // Output is a human-readable table per figure, with CSV rows (prefixed by
@@ -32,11 +33,11 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	fig := flag.String("fig", "all", "figure to regenerate (4, 7, 8..12, 13, 15, 16, rtree, cluster, ext, ablation, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (4, 7, 8..12, 13, 15, 16, rtree, cluster, ext, ablation, perf, all)")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	flag.Parse()
 
-	needCorpus := *fig != "4" && *fig != "rtree-synthetic"
+	needCorpus := *fig != "4" && *fig != "rtree-synthetic" && *fig != "perf"
 	var c *eval.Corpus
 	if needCorpus {
 		fmt.Fprintln(os.Stderr, "building corpus (feature extraction over 113 shapes)...")
@@ -70,6 +71,7 @@ func main() {
 	run("ext", func() error { return figExtensions(*seed) })
 	run("ablation", func() error { return figAblation(c) })
 	run("map", func() error { return figMAP(c) })
+	run("perf", func() error { return figPerf(*seed) })
 }
 
 func header(title string) {

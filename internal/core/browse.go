@@ -7,7 +7,6 @@ import (
 
 	"threedess/internal/cluster"
 	"threedess/internal/features"
-	"threedess/internal/shapedb"
 )
 
 // BrowseNode is one node of the search-by-browsing hierarchy: the shape
@@ -47,16 +46,16 @@ func (a ClusterAlgorithm) String() string {
 }
 
 // featureMatrix gathers the stored vectors of one kind plus the matching
-// IDs, skipping shapes without that kind.
+// IDs from a lock-free snapshot, skipping shapes without that kind.
 func (e *Engine) featureMatrix(kind features.Kind) (points [][]float64, ids []int64) {
-	e.db.ForEach(func(rec *shapedb.Record) {
+	for _, rec := range e.db.Snapshot() {
 		v, ok := rec.Features[kind]
 		if !ok {
-			return
+			continue
 		}
 		points = append(points, []float64(v))
 		ids = append(ids, rec.ID)
-	})
+	}
 	return points, ids
 }
 

@@ -12,26 +12,42 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"threedess/internal/features"
 	"threedess/internal/geom"
 	"threedess/internal/rtree"
 	"threedess/internal/shapedb"
+	"threedess/internal/workpool"
 )
 
 // Engine executes shape queries against a database.
 type Engine struct {
 	db        *shapedb.DB
 	extractor *features.Extractor
+	// workers bounds the pool used by bulk ingest and sharded scans
+	// (≤ 0 = one per logical CPU). It never changes results, only
+	// throughput.
+	workers int
 }
 
 // NewEngine builds an engine over db, extracting query features with the
-// database's feature options.
+// database's feature options. The worker-pool size is taken from the
+// database's feature options (Options.Workers).
 func NewEngine(db *shapedb.DB) *Engine {
 	return &Engine{
 		db:        db,
 		extractor: features.NewExtractor(db.Options()),
+		workers:   db.Options().Workers,
 	}
+}
+
+// SetWorkers overrides the engine's worker-pool size (≤ 0 = one worker
+// per logical CPU) and returns the engine. Results are identical at every
+// setting; only throughput changes.
+func (e *Engine) SetWorkers(n int) *Engine {
+	e.workers = n
+	return e
 }
 
 // DB returns the underlying database.
@@ -179,56 +195,103 @@ func (e *Engine) SearchTopK(query features.Set, opt Options) ([]Result, error) {
 	return e.scan(qv, opt, nil, opt.K, dmax)
 }
 
+// minParallelScan is the snapshot size below which the sharded scan is
+// not worth its goroutine fan-out and the scan stays on one worker.
+const minParallelScan = 64
+
 // scan is the weighted-distance fallback: a full scan ranked by Equation
 // 4.3. keep filters results (nil keeps everything); k > 0 truncates.
+//
+// The scan iterates a lock-free snapshot (shapedb.Snapshot) partitioned
+// into contiguous shards across the engine's worker pool; each worker
+// ranks its shard into a local partial result (truncated to its own top-k
+// when k > 0), and the partials are merged and re-ranked at the end. The
+// final (distance, ID) ordering makes the output independent of the shard
+// layout, so serial and parallel scans return identical results.
 func (e *Engine) scan(qv features.Vector, opt Options, keep func(Result) bool, k int, dmax float64) ([]Result, error) {
-	var out []Result
-	var scanErr error
-	e.db.ForEach(func(rec *shapedb.Record) {
-		if scanErr != nil {
-			return
-		}
-		xv, ok := rec.Features[opt.Feature]
-		if !ok {
-			return
-		}
-		if len(xv) != len(qv) {
-			scanErr = fmt.Errorf("core: stored feature %v of shape %d has dimension %d, query %d",
-				opt.Feature, rec.ID, len(xv), len(qv))
-			return
-		}
-		d := WeightedDistance(qv, xv, opt.Weights)
-		r := Result{
-			ID:         rec.ID,
-			Name:       rec.Name,
-			Group:      rec.Group,
-			Distance:   d,
-			Similarity: Similarity(d, dmax),
-		}
-		if keep == nil || keep(r) {
-			out = append(out, r)
-		}
-	})
-	if scanErr != nil {
-		return nil, scanErr
+	recs := e.db.Snapshot()
+	workers := workpool.Resolve(e.workers)
+	if len(recs) < minParallelScan {
+		workers = 1
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
+	shards := workpool.Shards(workers, len(recs))
+	partials := make([][]Result, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for si, s := range shards {
+		wg.Add(1)
+		go func(si int, s workpool.Shard) {
+			defer wg.Done()
+			partials[si], errs[si] = e.scanShard(recs[s.Lo:s.Hi], qv, opt, keep, k, dmax)
+		}(si, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		return out[i].ID < out[j].ID
-	})
+	}
+	var out []Result
+	for _, p := range partials {
+		out = append(out, p...)
+	}
+	sortResults(out)
 	if k > 0 && len(out) > k {
 		out = out[:k]
 	}
 	return out, nil
 }
 
-func (e *Engine) toResults(nn []rtree.Neighbor, dmax float64) []Result {
-	out := make([]Result, 0, len(nn))
-	for _, n := range nn {
-		rec, ok := e.db.Get(n.ID)
+// scanShard ranks one contiguous slice of a snapshot. With k > 0 the
+// shard's result is pre-truncated to its local top-k, bounding the merge
+// cost at workers·k rows.
+func (e *Engine) scanShard(recs []*shapedb.Record, qv features.Vector, opt Options, keep func(Result) bool, k int, dmax float64) ([]Result, error) {
+	var out []Result
+	for _, rec := range recs {
+		xv, ok := rec.Features[opt.Feature]
 		if !ok {
+			continue
+		}
+		if len(xv) != len(qv) {
+			return nil, fmt.Errorf("core: stored feature %v of shape %d has dimension %d, query %d",
+				opt.Feature, rec.ID, len(xv), len(qv))
+		}
+		d := WeightedDistance(qv, xv, opt.Weights)
+		r := batchResult(rec, d, dmax)
+		if keep == nil || keep(r) {
+			out = append(out, r)
+		}
+	}
+	if k > 0 && len(out) > k {
+		sortResults(out)
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// sortResults orders by ascending distance, breaking ties by ID — the
+// canonical result order every search path produces.
+func sortResults(out []Result) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].ID < out[j].ID
+	})
+}
+
+// toResults resolves neighbor IDs to result rows with one GetMany lock
+// round-trip instead of a Get per neighbor.
+func (e *Engine) toResults(nn []rtree.Neighbor, dmax float64) []Result {
+	ids := make([]int64, len(nn))
+	for i, n := range nn {
+		ids[i] = n.ID
+	}
+	recs := e.db.GetMany(ids)
+	out := make([]Result, 0, len(nn))
+	for i, n := range nn {
+		rec := recs[i]
+		if rec == nil {
 			continue
 		}
 		out = append(out, Result{

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+	"threedess/internal/workpool"
+)
+
+// IngestShape is one item of a bulk insert: the same (name, group, mesh)
+// triple Insert takes, carried in a slice so extraction can fan out.
+type IngestShape struct {
+	Name  string
+	Group int
+	Mesh  *geom.Mesh
+}
+
+// InsertBatch extracts the given feature kinds (nil = the four core
+// descriptors) for every shape on the engine's worker pool, then inserts
+// the shapes in input order, so assigned IDs and stored feature sets are
+// identical regardless of the worker count. The returned ids align with
+// shapes. On the first extraction failure the whole batch is abandoned
+// before anything is stored; an insert failure partway through leaves the
+// earlier shapes stored and reports how many via the error.
+func (e *Engine) InsertBatch(shapes []IngestShape, kinds []features.Kind) ([]int64, error) {
+	if len(shapes) == 0 {
+		return nil, nil
+	}
+	if kinds == nil {
+		kinds = features.CoreKinds
+	}
+	sets := make([]features.Set, len(shapes))
+	errs := make([]error, len(shapes))
+	workpool.ForEachN(e.workers, len(shapes), func(i int) {
+		if shapes[i].Mesh == nil {
+			errs[i] = fmt.Errorf("nil mesh")
+			return
+		}
+		sets[i], errs[i] = e.extractor.Extract(shapes[i].Mesh, kinds)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: extracting %q (batch index %d): %w", shapes[i].Name, i, err)
+		}
+	}
+	ids := make([]int64, len(shapes))
+	for i, sh := range shapes {
+		id, err := e.db.Insert(sh.Name, sh.Group, sh.Mesh, sets[i])
+		if err != nil {
+			return ids[:i], fmt.Errorf("core: inserting %q after %d of %d shapes: %w", sh.Name, i, len(shapes), err)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// ExtractBatch runs feature extraction for many meshes on the engine's
+// worker pool without storing anything; out[i] is the set for meshes[i].
+func (e *Engine) ExtractBatch(meshes []*geom.Mesh, kinds []features.Kind) ([]features.Set, error) {
+	if kinds == nil {
+		kinds = features.CoreKinds
+	}
+	sets := make([]features.Set, len(meshes))
+	errs := make([]error, len(meshes))
+	workpool.ForEachN(e.workers, len(meshes), func(i int) {
+		sets[i], errs[i] = e.extractor.Extract(meshes[i], kinds)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: extracting batch index %d: %w", i, err)
+		}
+	}
+	return sets, nil
+}
+
+// batchResults converts records already resolved from a snapshot into
+// Result rows (shared by the sharded scan workers).
+func batchResult(rec *shapedb.Record, dist, dmax float64) Result {
+	return Result{
+		ID:         rec.ID,
+		Name:       rec.Name,
+		Group:      rec.Group,
+		Distance:   dist,
+		Similarity: Similarity(dist, dmax),
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"threedess/internal/features"
-	"threedess/internal/shapedb"
 )
 
 // Step is one stage of a multi-step search: a feature vector, optional
@@ -75,10 +74,15 @@ func (e *Engine) SearchMultiStep(query features.Set, opt MultiStepOptions) ([]Re
 				si+2, len(step.Weights), len(qv))
 		}
 		dmax := e.db.DMax(step.Feature)
+		ids := make([]int64, len(candidates))
+		for i, c := range candidates {
+			ids[i] = c.ID
+		}
+		recs := e.db.GetMany(ids)
 		rescored := candidates[:0]
-		for _, c := range candidates {
-			rec, ok := e.db.Get(c.ID)
-			if !ok {
+		for ci, c := range candidates {
+			rec := recs[ci]
+			if rec == nil {
 				continue
 			}
 			xv, ok := rec.Features[step.Feature]
@@ -139,14 +143,19 @@ func (e *Engine) SearchCombined(query features.Set, featureWeights map[features.
 	sort.Slice(kinds, func(i, j int) bool { return kinds[i].kind < kinds[j].kind })
 
 	var out []Result
-	e.db.ForEach(func(rec *shapedb.Record) {
+	for _, rec := range e.db.Snapshot() {
 		score := 0.0
+		scorable := true
 		for _, f := range kinds {
 			xv, ok := rec.Features[f.kind]
 			if !ok || len(xv) != len(f.qv) {
-				return
+				scorable = false
+				break
 			}
 			score += f.weight * WeightedDistance(f.qv, xv, nil) / f.dmax
+		}
+		if !scorable {
+			continue
 		}
 		out = append(out, Result{
 			ID:         rec.ID,
@@ -155,13 +164,8 @@ func (e *Engine) SearchCombined(query features.Set, featureWeights map[features.
 			Distance:   score,
 			Similarity: Similarity(score, 1), // score is already normalized
 		})
-	})
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
-		}
-		return out[i].ID < out[j].ID
-	})
+	}
+	sortResults(out)
 	if len(out) > k {
 		out = out[:k]
 	}

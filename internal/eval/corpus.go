@@ -7,13 +7,12 @@ package eval
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"threedess/internal/core"
 	"threedess/internal/dataset"
 	"threedess/internal/features"
 	"threedess/internal/shapedb"
+	"threedess/internal/workpool"
 )
 
 // Corpus is the evaluation database: the generated 113-shape corpus with
@@ -41,20 +40,13 @@ func BuildCorpus(seed int64, opts features.Options, kinds []features.Kind) (*Cor
 	}
 	ext := features.NewExtractor(opts)
 
+	// Extraction fans out on the shared worker pool (Options.Workers, ≤ 0
+	// = one worker per logical CPU) — the same pool bulk ingest uses.
 	sets := make([]features.Set, len(shapes))
 	errs := make([]error, len(shapes))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range shapes {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sets[i], errs[i] = ext.Extract(shapes[i].Mesh, kinds)
-		}(i)
-	}
-	wg.Wait()
+	workpool.ForEachN(ext.Options().Workers, len(shapes), func(i int) {
+		sets[i], errs[i] = ext.Extract(shapes[i].Mesh, kinds)
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("eval: extracting %s: %w", shapes[i].Name, err)

@@ -123,6 +123,11 @@ type Options struct {
 	D2Samples, D2Bins int
 	// Seed makes the sampled D2 descriptor deterministic (default 1).
 	Seed int64
+	// Workers bounds the worker pool used by batch operations that share
+	// this configuration (bulk ingest, corpus building, sharded weighted
+	// scans). ≤ 0 means one worker per logical CPU. The worker count
+	// never affects extracted values or assigned IDs — only throughput.
+	Workers int
 }
 
 // DefaultOptions returns the pipeline configuration used across the
@@ -221,8 +226,32 @@ func (e *Extractor) Extract(mesh *geom.Mesh, kinds []Kind) (Set, error) {
 	}
 	normMoments := moments.OfMesh(normMesh)
 
+	// The skeletal-graph branch (voxelize → thin → graph → eigenvalues)
+	// dominates extraction cost and shares only the normalized mesh —
+	// read-only from here on — with the moment/geometric/D2 descriptors,
+	// so when both are requested the branch runs concurrently with them.
+	wantSkel, wantOther := false, false
+	for _, k := range kinds {
+		if k == Eigenvalues {
+			wantSkel = true
+		} else {
+			wantOther = true
+		}
+	}
+	var (
+		skelGraph *skelgraph.Graph
+		skelErr   error
+		skelDone  chan struct{}
+	)
+	if wantSkel && wantOther {
+		skelDone = make(chan struct{})
+		go func() {
+			defer close(skelDone)
+			skelGraph, skelErr = e.buildSkeletalGraph(normMesh)
+		}()
+	}
+
 	out := make(Set, len(kinds))
-	var skelGraph *skelgraph.Graph // lazily built, shared by Eigenvalues
 	for _, k := range kinds {
 		if _, done := out[k]; done {
 			continue
@@ -237,11 +266,13 @@ func (e *Extractor) Extract(mesh *geom.Mesh, kinds []Kind) (Set, error) {
 			pm := moments.PrincipalMoments(normMoments)
 			out[k] = Vector{pm[0], pm[1], pm[2]}
 		case Eigenvalues:
-			if skelGraph == nil {
-				skelGraph, err = e.buildSkeletalGraph(normMesh)
-				if err != nil {
-					return nil, err
-				}
+			if skelDone != nil {
+				<-skelDone
+			} else if skelGraph == nil {
+				skelGraph, skelErr = e.buildSkeletalGraph(normMesh)
+			}
+			if skelErr != nil {
+				return nil, skelErr
 			}
 			out[k] = Vector(skelGraph.EigenvalueSignature(e.opts.EigenDim))
 		case HigherOrder:

@@ -287,3 +287,40 @@ func TestShapeDistributionProperties(t *testing.T) {
 		t.Errorf("histogram sum = %v", sum)
 	}
 }
+
+// TestExtractOverlapMatchesSerial asserts that the concurrent
+// skeletal-graph branch produces bit-identical vectors to one-kind-at-a-
+// time extraction (which never overlaps), for every descriptor.
+func TestExtractOverlapMatchesSerial(t *testing.T) {
+	ext := NewExtractor(Options{})
+	m := geom.Box(geom.V(0, 0, 0), geom.V(4, 1, 1))
+	m.Merge(geom.Box(geom.V(0, 1, 0), geom.V(1, 3, 1)))
+	all, err := ext.Extract(m, AllKinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range AllKinds {
+		solo, err := ext.Extract(m, []Kind{k})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if len(all[k]) != len(solo[k]) {
+			t.Fatalf("%v: overlap dim %d, serial dim %d", k, len(all[k]), len(solo[k]))
+		}
+		for i := range solo[k] {
+			if all[k][i] != solo[k][i] {
+				t.Errorf("%v[%d]: overlap %v != serial %v", k, i, all[k][i], solo[k][i])
+			}
+		}
+	}
+}
+
+func TestOptionsWorkersDefault(t *testing.T) {
+	ext := NewExtractor(Options{Workers: 7})
+	if got := ext.Options().Workers; got != 7 {
+		t.Errorf("Workers = %d, want 7", got)
+	}
+	if got := NewExtractor(Options{}).Options().Workers; got != 0 {
+		t.Errorf("zero Workers resolved to %d, want 0 (runtime default)", got)
+	}
+}

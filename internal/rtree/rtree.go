@@ -12,6 +12,7 @@ package rtree
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Point is a position in feature space.
@@ -154,7 +155,9 @@ type Tree struct {
 	size       int
 
 	// accesses counts nodes visited by queries since the last ResetStats.
-	accesses int
+	// It is atomic so concurrent read-only queries (which the shape
+	// database issues under a shared read lock) stay race-free.
+	accesses atomic.Int64
 }
 
 // DefaultMaxEntries is the default node fan-out.
@@ -186,10 +189,10 @@ func (t *Tree) Len() int { return t.size }
 
 // NodeAccesses returns the number of nodes visited by queries since the
 // last ResetStats.
-func (t *Tree) NodeAccesses() int { return t.accesses }
+func (t *Tree) NodeAccesses() int { return int(t.accesses.Load()) }
 
 // ResetStats zeroes the node-access counter.
-func (t *Tree) ResetStats() { t.accesses = 0 }
+func (t *Tree) ResetStats() { t.accesses.Store(0) }
 
 // Height returns the height of the tree (1 for a single leaf).
 func (t *Tree) Height() int {
@@ -485,7 +488,7 @@ func (t *Tree) Search(query Rect, fn func(id int64, r Rect) bool) {
 }
 
 func (t *Tree) search(n *node, query Rect, fn func(id int64, r Rect) bool) bool {
-	t.accesses++
+	t.accesses.Add(1)
 	for _, e := range n.entries {
 		if !e.rect.Intersects(query) {
 			continue
@@ -522,7 +525,7 @@ func (t *Tree) NearestNeighbors(k int, p Point) []Neighbor {
 	for pq.len() > 0 {
 		it := pq.pop()
 		if it.node != nil {
-			t.accesses++
+			t.accesses.Add(1)
 			for _, e := range it.node.entries {
 				d := e.rect.MinDist(p)
 				if it.node.leaf {
@@ -561,7 +564,7 @@ func (t *Tree) WithinRadius(p Point, radius float64) []Neighbor {
 			break
 		}
 		if it.node != nil {
-			t.accesses++
+			t.accesses.Add(1)
 			for _, e := range it.node.entries {
 				d := e.rect.MinDist(p)
 				if d > radius {

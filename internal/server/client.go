@@ -83,6 +83,14 @@ func (c *Client) InsertShape(name string, group int, mesh *geom.Mesh) (int64, er
 	return out.ID, err
 }
 
+// InsertShapes bulk-uploads meshes in one request; the server extracts
+// features on its worker pool and returns the ids in input order.
+func (c *Client) InsertShapes(shapes []BatchShape) ([]int64, error) {
+	var out BatchInsertResponse
+	err := c.do(http.MethodPost, "/api/shapes/batch", BatchInsertRequest{Shapes: shapes}, &out)
+	return out.IDs, err
+}
+
 // GetShape fetches one shape's metadata.
 func (c *Client) GetShape(id int64) (ShapeInfo, error) {
 	var out ShapeInfo

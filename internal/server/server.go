@@ -30,6 +30,7 @@ type Server struct {
 func New(engine *core.Engine) *Server {
 	s := &Server{engine: engine, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/api/shapes", s.handleShapes)
+	s.mux.HandleFunc("/api/shapes/batch", s.handleShapesBatch)
 	s.mux.HandleFunc("/api/shapes/", s.handleShapeByID)
 	s.mux.HandleFunc("/api/search", s.handleSearch)
 	s.mux.HandleFunc("/api/search/multistep", s.handleMultiStep)
@@ -87,6 +88,24 @@ type SearchResult struct {
 	Similarity float64 `json:"similarity"`
 }
 
+// BatchShape is one item of a bulk upload.
+type BatchShape struct {
+	Name    string `json:"name"`
+	Group   int    `json:"group"`
+	MeshOFF string `json:"mesh_off"`
+}
+
+// BatchInsertRequest bulk-uploads shapes; feature extraction fans out on
+// the server's worker pool and IDs are assigned in input order.
+type BatchInsertRequest struct {
+	Shapes []BatchShape `json:"shapes"`
+}
+
+// BatchInsertResponse returns the assigned ids, aligned with the request.
+type BatchInsertResponse struct {
+	IDs []int64 `json:"ids"`
+}
+
 // MultiStepRequest runs the §4.2 strategy.
 type MultiStepRequest struct {
 	QueryID       int64      `json:"query_id,omitempty"`
@@ -140,12 +159,13 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		var out []ShapeInfo
-		s.engine.DB().ForEach(func(rec *shapedb.Record) {
+		recs := s.engine.DB().Snapshot()
+		out := make([]ShapeInfo, 0, len(recs))
+		for _, rec := range recs {
 			out = append(out, ShapeInfo{
 				ID: rec.ID, Name: rec.Name, Group: rec.Group, Faces: len(rec.Mesh.Faces),
 			})
-		})
+		}
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
 		// Insert a new shape: {"name": ..., "group": ..., "mesh_off": ...}
@@ -177,6 +197,47 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
+}
+
+// handleShapesBatch bulk-inserts shapes through the engine's parallel
+// ingest path (core.Engine.InsertBatch): extraction runs concurrently on
+// the worker pool, inserts happen in input order, and the batch is
+// atomic up to the first extraction failure (nothing stored).
+func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req BatchInsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Shapes) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	items := make([]core.IngestShape, len(req.Shapes))
+	for i, sh := range req.Shapes {
+		mesh, err := geom.ReadOFF(strings.NewReader(sh.MeshOFF))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("shape %d (%q): %w", i, sh.Name, err))
+			return
+		}
+		// Extraction happens inside InsertBatch, so repair winding up
+		// front rather than retrying after failure like the
+		// single-shape path does; a well-formed mesh is untouched.
+		if mesh.Volume() < 0 {
+			mesh.OrientConsistently()
+		}
+		items[i] = core.IngestShape{Name: sh.Name, Group: sh.Group, Mesh: mesh}
+	}
+	ids, err := s.engine.InsertBatch(items, nil)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, BatchInsertResponse{IDs: ids})
 }
 
 // handleShapeByID serves /api/shapes/{id} and /api/shapes/{id}/view.
@@ -452,10 +513,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	db := s.engine.DB()
-	resp := StatsResponse{Shapes: db.Len(), Groups: map[string]int{}}
-	db.ForEach(func(rec *shapedb.Record) {
+	snap := db.Snapshot()
+	resp := StatsResponse{Shapes: len(snap), Groups: map[string]int{}}
+	for _, rec := range snap {
 		resp.Groups[strconv.Itoa(rec.Group)]++
-	})
+	}
 	for _, k := range features.AllKinds {
 		if db.HasIndex(k) {
 			resp.Features = append(resp.Features, k.String())

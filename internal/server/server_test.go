@@ -436,3 +436,53 @@ func TestInsertRepairsInvertedMesh(t *testing.T) {
 		t.Error("repaired shape not searchable")
 	}
 }
+
+func TestBatchInsertEndpoint(t *testing.T) {
+	c, engine := testServer(t)
+	var batch []BatchShape
+	for i, m := range []*geom.Mesh{
+		geom.Box(geom.V(0, 0, 0), geom.V(10, 6, 1)),
+		geom.Box(geom.V(0, 0, 0), geom.V(4, 4, 4)),
+		geom.Box(geom.V(0, 0, 0), geom.V(20, 1, 1)),
+	} {
+		off, err := MeshToOFF(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, BatchShape{Name: "b", Group: i + 1, MeshOFF: off})
+	}
+	ids, err := c.InsertShapes(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(batch) {
+		t.Fatalf("got %d ids, want %d", len(ids), len(batch))
+	}
+	for i, id := range ids {
+		info, err := c.GetShape(id)
+		if err != nil {
+			t.Fatalf("id %d: %v", id, err)
+		}
+		if info.Group != i+1 {
+			t.Errorf("id %d: group %d, want %d", id, info.Group, i+1)
+		}
+	}
+	if got := engine.DB().Len(); got != len(batch) {
+		t.Errorf("DB.Len = %d, want %d", got, len(batch))
+	}
+
+	// A malformed OFF rejects the whole batch before anything is stored.
+	bad := append([]BatchShape{}, batch...)
+	bad[1].MeshOFF = "not an OFF file"
+	if _, err := c.InsertShapes(bad); err == nil {
+		t.Fatal("malformed OFF accepted")
+	}
+	if got := engine.DB().Len(); got != len(batch) {
+		t.Errorf("failed batch changed Len to %d", got)
+	}
+
+	// Empty batches are rejected.
+	if _, err := c.InsertShapes(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

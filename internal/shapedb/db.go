@@ -249,23 +249,48 @@ func (db *DB) Get(id int64) (*Record, bool) {
 	return rec, ok
 }
 
-// ForEach calls fn for every record in ascending ID order. fn must not
-// mutate records or call back into the DB.
-func (db *DB) ForEach(fn func(*Record)) {
+// Snapshot returns every live record in ascending ID order, copied out
+// under one brief read lock. The returned slice is owned by the caller and
+// never mutated by the DB; the *Record values are shared and must be
+// treated as immutable. Records deleted after the call remain visible in
+// the snapshot — iteration sees a consistent point-in-time view and never
+// holds the database lock, so snapshot consumers are free to call back
+// into the DB (and to be scanned in parallel).
+func (db *DB) Snapshot() []*Record {
 	db.mu.RLock()
-	ids := make([]int64, 0, len(db.records))
-	for id := range db.records {
-		ids = append(ids, id)
+	defer db.mu.RUnlock()
+	recs := make([]*Record, 0, len(db.records))
+	for _, rec := range db.records {
+		recs = append(recs, rec)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	recs := make([]*Record, len(ids))
-	for i, id := range ids {
-		recs[i] = db.records[id]
-	}
-	db.mu.RUnlock()
-	for _, r := range recs {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+// ForEach calls fn for every record in ascending ID order. fn must not
+// mutate records. fn must not assume it can call back into the DB: the
+// historical contract is that callbacks run as if the read lock were held
+// (earlier implementations did hold it across the iteration, where a
+// callback touching the DB with a writer queued would deadlock). New code
+// should iterate a Snapshot() instead, whose lock-free contract is
+// explicit.
+func (db *DB) ForEach(fn func(*Record)) {
+	for _, r := range db.Snapshot() {
 		fn(r)
 	}
+}
+
+// GetMany returns the records for the given ids under a single read lock,
+// aligned with ids (out[i] is nil when ids[i] is not stored). It replaces
+// per-id Get loops on read paths that resolve many neighbors at once.
+func (db *DB) GetMany(ids []int64) []*Record {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Record, len(ids))
+	for i, id := range ids {
+		out[i] = db.records[id]
+	}
+	return out
 }
 
 // IDs returns every stored ID in ascending order.

@@ -3,6 +3,7 @@ package shapedb
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"threedess/internal/features"
@@ -402,5 +403,109 @@ func TestHasIndexAndStats(t *testing.T) {
 	}
 	if _, _, c := db.IndexStats(features.ShapeDistribution); c != 0 {
 		t.Errorf("missing index stats count = %d", c)
+	}
+}
+
+func TestSnapshotPointInTime(t *testing.T) {
+	db, _ := Open("", features.Options{})
+	defer db.Close()
+	a := testRecord(t, db, "a", 1, 0)
+	b := testRecord(t, db, "b", 2, 5)
+	snap := db.Snapshot()
+	if len(snap) != 2 || snap[0].ID != a || snap[1].ID != b {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	// Mutations after the snapshot are not visible in it.
+	if _, err := db.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	testRecord(t, db, "c", 0, 9)
+	if len(snap) != 2 || snap[0].ID != a || snap[0].Name != "a" {
+		t.Error("snapshot changed under mutation")
+	}
+	// Snapshot consumers may call back into the DB without deadlocking.
+	for _, rec := range db.Snapshot() {
+		if _, ok := db.Get(rec.ID); !ok {
+			t.Errorf("callback Get(%d) failed", rec.ID)
+		}
+	}
+	if got := db.Snapshot(); len(got) != 2 {
+		t.Errorf("fresh snapshot has %d records", len(got))
+	}
+}
+
+func TestGetMany(t *testing.T) {
+	db, _ := Open("", features.Options{})
+	defer db.Close()
+	a := testRecord(t, db, "a", 1, 0)
+	b := testRecord(t, db, "b", 2, 5)
+	got := db.GetMany([]int64{b, 999, a})
+	if len(got) != 3 {
+		t.Fatalf("GetMany returned %d records", len(got))
+	}
+	if got[0] == nil || got[0].ID != b || got[1] != nil || got[2] == nil || got[2].ID != a {
+		t.Errorf("GetMany = %+v", got)
+	}
+	if out := db.GetMany(nil); len(out) != 0 {
+		t.Errorf("GetMany(nil) = %v", out)
+	}
+}
+
+// TestConcurrentSnapshotMixedOps exercises Insert, Delete, Get, GetMany,
+// Snapshot, and KNN from concurrent goroutines; run under -race it is the
+// store's concurrency smoke test for the parallel execution layer.
+func TestConcurrentSnapshotMixedOps(t *testing.T) {
+	db, _ := Open("", features.Options{})
+	defer db.Close()
+	var seed []int64
+	for i := 0; i < 30; i++ {
+		seed = append(seed, testRecord(t, db, "seed", i%3, float64(i)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				testRecord(t, db, "w", 0, float64(1000+w*100+i))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, id := range seed[:10] {
+			if _, err := db.Delete(id); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	dim := db.Options().Dim(features.PrincipalMoments)
+	q := make(features.Vector, dim)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				if _, err := db.KNN(features.PrincipalMoments, q, 5); err != nil {
+					t.Error(err)
+					return
+				}
+				snap := db.Snapshot()
+				prev := int64(0)
+				for _, rec := range snap {
+					if rec.ID <= prev {
+						t.Error("snapshot not in ascending ID order")
+						return
+					}
+					prev = rec.ID
+				}
+				db.GetMany(seed)
+			}
+		}()
+	}
+	wg.Wait()
+	if want := 30 + 4*40 - 10; db.Len() != want {
+		t.Errorf("Len = %d, want %d", db.Len(), want)
 	}
 }

@@ -1,0 +1,114 @@
+// Package workpool is the shared bounded worker pool of the parallel
+// execution layer. Bulk ingest (feature extraction over many meshes),
+// sharded weighted scans, and the evaluation corpus builder all fan work
+// out through the same two primitives, so the degree of parallelism is
+// controlled in one place (features.Options.Workers) and behaves
+// identically everywhere: workers ≤ 0 means one worker per logical CPU,
+// and results are always written to caller-owned, index-addressed slots so
+// output is deterministic regardless of scheduling.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a configured worker count to an effective one: n itself
+// when positive, otherwise runtime.GOMAXPROCS(0).
+func Resolve(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEachN calls fn(i) for every i in [0, n), spread across at most
+// `workers` goroutines (resolved via Resolve), and returns when all calls
+// have finished. fn runs concurrently with other indices and must only
+// write to per-index state. With one worker (or n ≤ 1) fn runs on the
+// calling goroutine in index order.
+func ForEachN(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Shard is one contiguous index range [Lo, Hi) of a partitioned slice.
+type Shard struct{ Lo, Hi int }
+
+// Shards partitions [0, n) into at most `workers` (resolved via Resolve)
+// near-equal contiguous ranges. The partition depends only on workers and
+// n, so sharded computations that merge per-shard results in shard order
+// are deterministic.
+func Shards(workers, n int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]Shard, 0, workers)
+	size, rem := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		out = append(out, Shard{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// ForEachShard partitions [0, n) with Shards and runs fn(shard) on every
+// shard concurrently (one goroutine per shard beyond the first, which runs
+// on the calling goroutine when only one shard exists). fn must only write
+// to per-shard state.
+func ForEachShard(workers, n int, fn func(s Shard)) {
+	shards := Shards(workers, n)
+	if len(shards) == 0 {
+		return
+	}
+	if len(shards) == 1 {
+		fn(shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(shards))
+	for _, s := range shards {
+		go func(s Shard) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,101 @@
+package workpool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Errorf("Resolve(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Resolve(0); got != want {
+		t.Errorf("Resolve(0) = %d, want %d", got, want)
+	}
+	if got := Resolve(-5); got != want {
+		t.Errorf("Resolve(-5) = %d, want %d", got, want)
+	}
+}
+
+func TestForEachNVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 64} {
+			counts := make([]atomic.Int32, max(n, 1))
+			ForEachN(workers, n, func(i int) {
+				if i < 0 || i >= n {
+					t.Errorf("workers=%d n=%d: index %d out of range", workers, n, i)
+					return
+				}
+				counts[i].Add(1)
+			})
+			for i := 0; i < n; i++ {
+				if c := counts[i].Load(); c != 1 {
+					t.Errorf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestShardsCoverRangeExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 50} {
+		for _, n := range []int{0, 1, 2, 7, 64, 113} {
+			shards := Shards(workers, n)
+			if n == 0 {
+				if shards != nil {
+					t.Errorf("Shards(%d, 0) = %v, want nil", workers, shards)
+				}
+				continue
+			}
+			if len(shards) > workers || len(shards) > n {
+				t.Errorf("Shards(%d, %d): %d shards", workers, n, len(shards))
+			}
+			pos := 0
+			for _, s := range shards {
+				if s.Lo != pos || s.Hi <= s.Lo {
+					t.Fatalf("Shards(%d, %d): bad shard %+v at pos %d", workers, n, s, pos)
+				}
+				pos = s.Hi
+			}
+			if pos != n {
+				t.Errorf("Shards(%d, %d): covered [0, %d)", workers, n, pos)
+			}
+		}
+	}
+}
+
+func TestShardsDeterministic(t *testing.T) {
+	a, b := Shards(4, 113), Shards(4, 113)
+	if len(a) != len(b) {
+		t.Fatal("shard count differs between calls")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("shard %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForEachShardCoversAll(t *testing.T) {
+	const n = 100
+	counts := make([]atomic.Int32, n)
+	ForEachShard(3, n, func(s Shard) {
+		for i := s.Lo; i < s.Hi; i++ {
+			counts[i].Add(1)
+		}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

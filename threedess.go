@@ -176,6 +176,24 @@ func (s *System) Insert(name string, group int, mesh *Mesh) (int64, error) {
 	return s.db.Insert(name, group, mesh, set)
 }
 
+// InsertBatch stores many shapes at once: the §3 feature pipeline runs
+// concurrently on a bounded worker pool (Options.Workers; default one
+// worker per logical CPU), then the shapes are inserted in input order, so
+// the assigned IDs and stored feature sets are identical at every worker
+// count. The returned ids align with shapes. An extraction failure
+// abandons the batch before anything is stored.
+func (s *System) InsertBatch(shapes []Shape) ([]int64, error) {
+	items := make([]core.IngestShape, len(shapes))
+	for i, sh := range shapes {
+		items[i] = core.IngestShape{Name: sh.Name, Group: sh.Group, Mesh: sh.Mesh}
+	}
+	ids, err := s.engine.InsertBatch(items, nil)
+	if err != nil {
+		return ids, fmt.Errorf("threedess: batch insert: %w", err)
+	}
+	return ids, nil
+}
+
 // Delete removes a shape; it reports whether the id existed.
 func (s *System) Delete(id int64) (bool, error) { return s.db.Delete(id) }
 
@@ -384,20 +402,16 @@ func (s *System) Handler() http.Handler { return server.New(s.engine) }
 // classified database.
 func GenerateCorpus(seed int64) ([]Shape, error) { return dataset.Generate(seed) }
 
-// LoadCorpus generates the corpus and inserts every shape, returning the
-// ids in corpus order.
+// LoadCorpus generates the corpus and bulk-inserts every shape on the
+// worker pool (see InsertBatch), returning the ids in corpus order.
 func (s *System) LoadCorpus(seed int64) ([]int64, error) {
 	shapes, err := dataset.Generate(seed)
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]int64, len(shapes))
-	for i, sh := range shapes {
-		id, err := s.Insert(sh.Name, sh.Group, sh.Mesh)
-		if err != nil {
-			return nil, fmt.Errorf("threedess: loading corpus shape %s: %w", sh.Name, err)
-		}
-		ids[i] = id
+	ids, err := s.InsertBatch(shapes)
+	if err != nil {
+		return nil, fmt.Errorf("threedess: loading corpus: %w", err)
 	}
 	return ids, nil
 }
