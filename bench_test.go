@@ -6,6 +6,7 @@ package threedess_test
 // figure data; these benchmarks measure the cost of regenerating it.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -258,7 +259,7 @@ func BenchmarkSearchTopK(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Engine.SearchTopK(query, searchTop10); err != nil {
+		if _, err := c.Engine.SearchTopK(context.Background(), query, searchTop10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -274,7 +275,7 @@ func BenchmarkMultiStepSearch(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Engine.SearchMultiStep(query, multiStepOpts); err != nil {
+		if _, err := c.Engine.SearchMultiStep(context.Background(), query, multiStepOpts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -398,7 +399,7 @@ func BenchmarkWeightedScanParallel(b *testing.B) {
 		return func(b *testing.B) {
 			e := core.NewEngine(db).SetWorkers(workers)
 			for i := 0; i < b.N; i++ {
-				res, err := e.SearchTopK(query, searchOpts)
+				res, err := e.SearchTopK(context.Background(), query, searchOpts)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -9,15 +9,22 @@
 // With -data the shape database is durable (journal + crash recovery);
 // without it the server is in-memory. -load-corpus generates and ingests
 // the 113-shape evaluation corpus on startup when the database is empty.
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain-timeout; requests still running
+// after that are force-closed, which cancels their contexts and aborts
+// their scans — a handler never hangs past shutdown.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"runtime"
-	"sync"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"threedess/internal/core"
 	"threedess/internal/dataset"
@@ -32,7 +39,13 @@ func main() {
 	loadCorpus := flag.Bool("load-corpus", false, "ingest the generated 113-shape corpus when the DB is empty")
 	seed := flag.Int64("seed", 42, "corpus generation seed for -load-corpus")
 	voxelRes := flag.Int("voxel-res", 0, "voxel resolution for feature extraction (0 = default)")
+	reqTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline (0 = default, negative = unlimited)")
+	maxUpload := flag.Int64("max-upload-bytes", server.DefaultMaxUploadBytes, "request body cap in bytes (0 = default, negative = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long to drain in-flight requests on shutdown")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	db, err := shapedb.Open(*dataDir, features.Options{VoxelResolution: *voxelRes})
 	if err != nil {
@@ -40,45 +53,70 @@ func main() {
 	}
 	defer db.Close()
 
+	// Surface what crash recovery found before serving traffic: a degraded
+	// open (quarantined + truncated journal tail) is worth an operator's
+	// attention even though the store is consistent and writable.
+	if rep := db.Recovery(); rep != nil {
+		log.Printf("3dess: journal recovery: %s", rep)
+		if rep.Degraded() {
+			log.Printf("3dess: WARNING: journal tail discarded; inspect %s", rep.Quarantined)
+		}
+	}
+
+	engine := core.NewEngine(db)
 	if *loadCorpus && db.Len() == 0 {
-		if err := ingestCorpus(db, *seed); err != nil {
+		if err := ingestCorpus(ctx, engine, *seed); err != nil {
 			log.Fatalf("loading corpus: %v", err)
 		}
 	}
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: server.NewWithConfig(engine, server.Config{
+			RequestTimeout: *reqTimeout,
+			MaxUploadBytes: *maxUpload,
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("3dess: serving %d shapes on %s", db.Len(), *addr)
-	engine := core.NewEngine(db)
-	if err := http.ListenAndServe(*addr, server.New(engine)); err != nil {
-		log.Fatal(err)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second ^C kills immediately
+		log.Printf("3dess: shutdown signal, draining for up to %s", *drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			// Drain window expired: force-close the remaining connections,
+			// which cancels their request contexts and unblocks any scan
+			// still checking ctx.Err().
+			log.Printf("3dess: drain incomplete (%v), closing connections", err)
+			srv.Close()
+		}
 	}
 }
 
-func ingestCorpus(db *shapedb.DB, seed int64) error {
+// ingestCorpus loads the generated corpus through the engine's batch
+// ingest path, so startup loading shares the worker pool, ordering, and
+// cancellation behavior of the HTTP batch endpoint.
+func ingestCorpus(ctx context.Context, engine *core.Engine, seed int64) error {
 	shapes, err := dataset.Generate(seed)
 	if err != nil {
 		return err
 	}
-	ext := features.NewExtractor(db.Options())
-	sets := make([]features.Set, len(shapes))
-	errs := make([]error, len(shapes))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range shapes {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sets[i], errs[i] = ext.Extract(shapes[i].Mesh, features.CoreKinds)
-		}(i)
-	}
-	wg.Wait()
+	items := make([]core.IngestShape, len(shapes))
 	for i, s := range shapes {
-		if errs[i] != nil {
-			return fmt.Errorf("extracting %s: %w", s.Name, errs[i])
-		}
-		if _, err := db.Insert(s.Name, s.Group, s.Mesh, sets[i]); err != nil {
-			return fmt.Errorf("inserting %s: %w", s.Name, err)
-		}
+		items[i] = core.IngestShape{Name: s.Name, Group: s.Group, Mesh: s.Mesh}
+	}
+	if _, err := engine.InsertBatch(ctx, items, nil); err != nil {
+		return err
 	}
 	log.Printf("3dess: ingested %d corpus shapes", len(shapes))
 	return nil

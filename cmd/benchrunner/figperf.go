@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -85,12 +86,12 @@ func figPerf(seed int64) error {
 		const iters = 50
 		// Warm up caches so the first-measured configuration isn't
 		// penalized for paging the snapshot in.
-		if _, err := e.SearchTopK(query, searchOpts); err != nil {
+		if _, err := e.SearchTopK(context.Background(), query, searchOpts); err != nil {
 			return 0, err
 		}
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			if _, err := e.SearchTopK(query, searchOpts); err != nil {
+			if _, err := e.SearchTopK(context.Background(), query, searchOpts); err != nil {
 				return 0, err
 			}
 		}

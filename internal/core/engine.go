@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -152,8 +153,13 @@ func (e *Engine) QueryFeatures(id int64) (features.Set, error) {
 }
 
 // SearchThreshold returns every shape whose similarity to the query meets
-// opt.Threshold, most similar first (the paper's §4.1 query mode).
-func (e *Engine) SearchThreshold(query features.Set, opt Options) ([]Result, error) {
+// opt.Threshold, most similar first (the paper's §4.1 query mode). ctx
+// cancellation (request timeout, client gone, server drain) aborts the
+// sharded scan between records and returns the context error.
+func (e *Engine) SearchThreshold(ctx context.Context, query features.Set, opt Options) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	qv, err := e.checkOptions(&opt, query)
 	if err != nil {
 		return nil, err
@@ -172,11 +178,16 @@ func (e *Engine) SearchThreshold(query features.Set, opt Options) ([]Result, err
 		}
 		return e.toResults(nn, dmax), nil
 	}
-	return e.scan(qv, opt, func(r Result) bool { return r.Similarity >= opt.Threshold }, 0, dmax)
+	return e.scan(ctx, qv, opt, func(r Result) bool { return r.Similarity >= opt.Threshold }, 0, dmax)
 }
 
 // SearchTopK returns the opt.K most similar shapes, most similar first.
-func (e *Engine) SearchTopK(query features.Set, opt Options) ([]Result, error) {
+// ctx cancellation aborts the weighted scan path between records; the
+// indexed path checks it once up front.
+func (e *Engine) SearchTopK(ctx context.Context, query features.Set, opt Options) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	qv, err := e.checkOptions(&opt, query)
 	if err != nil {
 		return nil, err
@@ -192,7 +203,7 @@ func (e *Engine) SearchTopK(query features.Set, opt Options) ([]Result, error) {
 		}
 		return e.toResults(nn, dmax), nil
 	}
-	return e.scan(qv, opt, nil, opt.K, dmax)
+	return e.scan(ctx, qv, opt, nil, opt.K, dmax)
 }
 
 // minParallelScan is the snapshot size below which the sharded scan is
@@ -208,7 +219,7 @@ const minParallelScan = 64
 // when k > 0), and the partials are merged and re-ranked at the end. The
 // final (distance, ID) ordering makes the output independent of the shard
 // layout, so serial and parallel scans return identical results.
-func (e *Engine) scan(qv features.Vector, opt Options, keep func(Result) bool, k int, dmax float64) ([]Result, error) {
+func (e *Engine) scan(ctx context.Context, qv features.Vector, opt Options, keep func(Result) bool, k int, dmax float64) ([]Result, error) {
 	recs := e.db.Snapshot()
 	workers := workpool.Resolve(e.workers)
 	if len(recs) < minParallelScan {
@@ -222,7 +233,7 @@ func (e *Engine) scan(qv features.Vector, opt Options, keep func(Result) bool, k
 		wg.Add(1)
 		go func(si int, s workpool.Shard) {
 			defer wg.Done()
-			partials[si], errs[si] = e.scanShard(recs[s.Lo:s.Hi], qv, opt, keep, k, dmax)
+			partials[si], errs[si] = e.scanShard(ctx, recs[s.Lo:s.Hi], qv, opt, keep, k, dmax)
 		}(si, s)
 	}
 	wg.Wait()
@@ -245,9 +256,17 @@ func (e *Engine) scan(qv features.Vector, opt Options, keep func(Result) bool, k
 // scanShard ranks one contiguous slice of a snapshot. With k > 0 the
 // shard's result is pre-truncated to its local top-k, bounding the merge
 // cost at workers·k rows.
-func (e *Engine) scanShard(recs []*shapedb.Record, qv features.Vector, opt Options, keep func(Result) bool, k int, dmax float64) ([]Result, error) {
+func (e *Engine) scanShard(ctx context.Context, recs []*shapedb.Record, qv features.Vector, opt Options, keep func(Result) bool, k int, dmax float64) ([]Result, error) {
 	var out []Result
-	for _, rec := range recs {
+	for i, rec := range recs {
+		// Cancellation check amortized over a small block of records so
+		// an aborted request stops scanning promptly without paying a
+		// per-record synchronization cost.
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		xv, ok := rec.Features[opt.Feature]
 		if !ok {
 			continue

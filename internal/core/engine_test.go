@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -116,7 +117,7 @@ func TestSearchTopK(t *testing.T) {
 	db, ids := synthDB(t)
 	e := NewEngine(db)
 	q := queryAt(t, db, 0.4, 0)
-	res, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 3})
+	res, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestSearchThreshold(t *testing.T) {
 	// dmax for principal moments = span 80 in 3 dims = 80√3 ≈ 138.6.
 	// Group-1 shapes lie within distance 2√3 ≈ 3.46; threshold 0.9 ⇒
 	// radius ≈ 13.9 ⇒ exactly the three group-1 shapes.
-	res, err := e.SearchThreshold(q, Options{Feature: features.PrincipalMoments, Threshold: 0.9})
+	res, err := e.SearchThreshold(context.Background(), q, Options{Feature: features.PrincipalMoments, Threshold: 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestSearchThreshold(t *testing.T) {
 		}
 	}
 	// Threshold 0 returns everything.
-	all, err := e.SearchThreshold(q, Options{Feature: features.PrincipalMoments, Threshold: 0})
+	all, err := e.SearchThreshold(context.Background(), q, Options{Feature: features.PrincipalMoments, Threshold: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestSearchWithWeights(t *testing.T) {
 	q := features.Set{features.PrincipalMoments: make(features.Vector, opts.Dim(features.PrincipalMoments))}
 
 	// Unweighted: A (dist 1) before B (dist 2).
-	res, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 2})
+	res, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestSearchWithWeights(t *testing.T) {
 		w[i] = 1
 	}
 	w[0] = 100
-	res, err = e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 2, Weights: w})
+	res, err = e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: 2, Weights: w})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,22 +220,22 @@ func TestSearchValidation(t *testing.T) {
 	db, _ := synthDB(t)
 	e := NewEngine(db)
 	q := queryAt(t, db, 0, 0)
-	if _, err := e.SearchTopK(q, Options{Feature: features.Kind(99), K: 3}); err == nil {
+	if _, err := e.SearchTopK(context.Background(), q, Options{Feature: features.Kind(99), K: 3}); err == nil {
 		t.Error("invalid kind accepted")
 	}
-	if _, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 0}); err == nil {
+	if _, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: 0}); err == nil {
 		t.Error("K=0 accepted")
 	}
-	if _, err := e.SearchTopK(q, Options{Feature: features.HigherOrder, K: 1}); err == nil {
+	if _, err := e.SearchTopK(context.Background(), q, Options{Feature: features.HigherOrder, K: 1}); err == nil {
 		t.Error("missing feature vector accepted")
 	}
-	if _, err := e.SearchThreshold(q, Options{Feature: features.PrincipalMoments, Threshold: 1.5}); err == nil {
+	if _, err := e.SearchThreshold(context.Background(), q, Options{Feature: features.PrincipalMoments, Threshold: 1.5}); err == nil {
 		t.Error("threshold > 1 accepted")
 	}
-	if _, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 1, Weights: []float64{1}}); err == nil {
+	if _, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: 1, Weights: []float64{1}}); err == nil {
 		t.Error("wrong weight count accepted")
 	}
-	if _, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 1, Weights: []float64{-1, 1, 1}}); err == nil {
+	if _, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: 1, Weights: []float64{-1, 1, 1}}); err == nil {
 		t.Error("negative weight accepted")
 	}
 }
@@ -273,7 +274,7 @@ func TestMultiStepReranks(t *testing.T) {
 	// (gp=0). Step 1 (pm) retrieves group 1 in order a0,a1,a2; step 2
 	// (gp) re-orders to a2,a1,a0.
 	q := queryAt(t, db, 0, 0)
-	res, err := e.SearchMultiStep(q, MultiStepOptions{
+	res, err := e.SearchMultiStep(context.Background(), q, MultiStepOptions{
 		Steps: []Step{
 			{Feature: features.PrincipalMoments},
 			{Feature: features.GeometricParams},
@@ -297,11 +298,11 @@ func TestMultiStepDefaultsAndValidation(t *testing.T) {
 	db, _ := synthDB(t)
 	e := NewEngine(db)
 	q := queryAt(t, db, 0, 0)
-	if _, err := e.SearchMultiStep(q, MultiStepOptions{}); err == nil {
+	if _, err := e.SearchMultiStep(context.Background(), q, MultiStepOptions{}); err == nil {
 		t.Error("no steps accepted")
 	}
 	// Defaults: candidate 30 (> DB size fine), K 10.
-	res, err := e.SearchMultiStep(q, MultiStepOptions{
+	res, err := e.SearchMultiStep(context.Background(), q, MultiStepOptions{
 		Steps: []Step{{Feature: features.PrincipalMoments}},
 	})
 	if err != nil {
@@ -310,7 +311,7 @@ func TestMultiStepDefaultsAndValidation(t *testing.T) {
 	if len(res) != db.Len() { // 6 shapes < K=10
 		t.Errorf("results = %d, want %d", len(res), db.Len())
 	}
-	_, err = e.SearchMultiStep(q, MultiStepOptions{
+	_, err = e.SearchMultiStep(context.Background(), q, MultiStepOptions{
 		Steps: []Step{
 			{Feature: features.PrincipalMoments},
 			{Feature: features.HigherOrder}, // not in query
@@ -325,7 +326,7 @@ func TestSearchCombined(t *testing.T) {
 	db, ids := synthDB(t)
 	e := NewEngine(db)
 	q := queryAt(t, db, 0, 0)
-	res, err := e.SearchCombined(q, map[features.Kind]float64{
+	res, err := e.SearchCombined(context.Background(), q, map[features.Kind]float64{
 		features.PrincipalMoments: 0.5,
 		features.GeometricParams:  0.5,
 	}, 3)
@@ -342,16 +343,16 @@ func TestSearchCombined(t *testing.T) {
 	if res[0].ID != ids[2] || res[1].ID != ids[1] || res[2].ID != ids[0] {
 		t.Errorf("combined order = %v,%v,%v", res[0].ID, res[1].ID, res[2].ID)
 	}
-	if _, err := e.SearchCombined(q, nil, 3); err == nil {
+	if _, err := e.SearchCombined(context.Background(), q, nil, 3); err == nil {
 		t.Error("empty weights accepted")
 	}
-	if _, err := e.SearchCombined(q, map[features.Kind]float64{features.PrincipalMoments: 1}, 0); err == nil {
+	if _, err := e.SearchCombined(context.Background(), q, map[features.Kind]float64{features.PrincipalMoments: 1}, 0); err == nil {
 		t.Error("K=0 accepted")
 	}
-	if _, err := e.SearchCombined(q, map[features.Kind]float64{features.PrincipalMoments: -1}, 1); err == nil {
+	if _, err := e.SearchCombined(context.Background(), q, map[features.Kind]float64{features.PrincipalMoments: -1}, 1); err == nil {
 		t.Error("negative weight accepted")
 	}
-	if _, err := e.SearchCombined(q, map[features.Kind]float64{features.HigherOrder: 1}, 1); err == nil {
+	if _, err := e.SearchCombined(context.Background(), q, map[features.Kind]float64{features.HigherOrder: 1}, 1); err == nil {
 		t.Error("missing feature accepted")
 	}
 }
@@ -393,7 +394,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, kind := range []features.Kind{features.PrincipalMoments, features.MomentInvariants} {
-		res, err := e.SearchTopK(qset, Options{Feature: kind, K: 2})
+		res, err := e.SearchTopK(context.Background(), qset, Options{Feature: kind, K: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -410,7 +411,7 @@ func TestSimilarityMonotoneInDistance(t *testing.T) {
 	db, _ := synthDB(t)
 	e := NewEngine(db)
 	q := queryAt(t, db, 0, 0)
-	res, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 6})
+	res, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: 6})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -96,7 +97,7 @@ func TestReconstructionImprovesRetrieval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.SearchTopK(q2, Options{Feature: features.PrincipalMoments, K: 2})
+	res, err := e.SearchTopK(context.Background(), q2, Options{Feature: features.PrincipalMoments, K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

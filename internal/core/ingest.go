@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"threedess/internal/features"
@@ -23,8 +24,10 @@ type IngestShape struct {
 // identical regardless of the worker count. The returned ids align with
 // shapes. On the first extraction failure the whole batch is abandoned
 // before anything is stored; an insert failure partway through leaves the
-// earlier shapes stored and reports how many via the error.
-func (e *Engine) InsertBatch(shapes []IngestShape, kinds []features.Kind) ([]int64, error) {
+// earlier shapes stored and reports how many via the error. A cancelled
+// ctx aborts extraction between meshes (nothing stored) and the insert
+// loop between shapes (earlier inserts remain, like any partial failure).
+func (e *Engine) InsertBatch(ctx context.Context, shapes []IngestShape, kinds []features.Kind) ([]int64, error) {
 	if len(shapes) == 0 {
 		return nil, nil
 	}
@@ -33,13 +36,15 @@ func (e *Engine) InsertBatch(shapes []IngestShape, kinds []features.Kind) ([]int
 	}
 	sets := make([]features.Set, len(shapes))
 	errs := make([]error, len(shapes))
-	workpool.ForEachN(e.workers, len(shapes), func(i int) {
+	if err := workpool.ForEachNCtx(ctx, e.workers, len(shapes), func(i int) {
 		if shapes[i].Mesh == nil {
 			errs[i] = fmt.Errorf("nil mesh")
 			return
 		}
 		sets[i], errs[i] = e.extractor.Extract(shapes[i].Mesh, kinds)
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("core: batch extraction aborted: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: extracting %q (batch index %d): %w", shapes[i].Name, i, err)
@@ -47,6 +52,9 @@ func (e *Engine) InsertBatch(shapes []IngestShape, kinds []features.Kind) ([]int
 	}
 	ids := make([]int64, len(shapes))
 	for i, sh := range shapes {
+		if err := ctx.Err(); err != nil {
+			return ids[:i], fmt.Errorf("core: insert aborted after %d of %d shapes: %w", i, len(shapes), err)
+		}
 		id, err := e.db.Insert(sh.Name, sh.Group, sh.Mesh, sets[i])
 		if err != nil {
 			return ids[:i], fmt.Errorf("core: inserting %q after %d of %d shapes: %w", sh.Name, i, len(shapes), err)
@@ -58,15 +66,18 @@ func (e *Engine) InsertBatch(shapes []IngestShape, kinds []features.Kind) ([]int
 
 // ExtractBatch runs feature extraction for many meshes on the engine's
 // worker pool without storing anything; out[i] is the set for meshes[i].
-func (e *Engine) ExtractBatch(meshes []*geom.Mesh, kinds []features.Kind) ([]features.Set, error) {
+// A cancelled ctx stops handing meshes to workers and returns its error.
+func (e *Engine) ExtractBatch(ctx context.Context, meshes []*geom.Mesh, kinds []features.Kind) ([]features.Set, error) {
 	if kinds == nil {
 		kinds = features.CoreKinds
 	}
 	sets := make([]features.Set, len(meshes))
 	errs := make([]error, len(meshes))
-	workpool.ForEachN(e.workers, len(meshes), func(i int) {
+	if err := workpool.ForEachNCtx(ctx, e.workers, len(meshes), func(i int) {
 		sets[i], errs[i] = e.extractor.Extract(meshes[i], kinds)
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("core: batch extraction aborted: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: extracting batch index %d: %w", i, err)

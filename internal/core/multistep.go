@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,8 +40,10 @@ func DefaultMultiStepOptions(steps ...Step) MultiStepOptions {
 }
 
 // SearchMultiStep runs the multi-step strategy and returns the final K
-// results ordered by the last step's distance.
-func (e *Engine) SearchMultiStep(query features.Set, opt MultiStepOptions) ([]Result, error) {
+// results ordered by the last step's distance. ctx covers the whole
+// pipeline: the candidate retrieval honors it, and every re-ranking step
+// checks it before touching the store.
+func (e *Engine) SearchMultiStep(ctx context.Context, query features.Set, opt MultiStepOptions) ([]Result, error) {
 	if len(opt.Steps) == 0 {
 		return nil, fmt.Errorf("core: multi-step search needs at least one step")
 	}
@@ -52,7 +55,7 @@ func (e *Engine) SearchMultiStep(query features.Set, opt MultiStepOptions) ([]Re
 	}
 	// Step 1: retrieve the candidate set.
 	first := opt.Steps[0]
-	candidates, err := e.SearchTopK(query, Options{
+	candidates, err := e.SearchTopK(ctx, query, Options{
 		Feature: first.Feature,
 		Weights: first.Weights,
 		K:       opt.CandidateSize,
@@ -65,6 +68,9 @@ func (e *Engine) SearchMultiStep(query features.Set, opt MultiStepOptions) ([]Re
 	}
 	// Later steps: re-rank the surviving candidates by their own feature.
 	for si, step := range opt.Steps[1:] {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		qv, ok := query[step.Feature]
 		if !ok {
 			return nil, fmt.Errorf("core: multi-step step %d: query has no %v vector", si+2, step.Feature)
@@ -116,7 +122,10 @@ func (e *Engine) SearchMultiStep(query features.Set, opt MultiStepOptions) ([]Re
 // with multi-step search. featureWeights maps each kind to its weight in
 // the linear combination of dmax-normalized distances (the linear
 // combination §3.5.3 mentions for overall similarity).
-func (e *Engine) SearchCombined(query features.Set, featureWeights map[features.Kind]float64, k int) ([]Result, error) {
+func (e *Engine) SearchCombined(ctx context.Context, query features.Set, featureWeights map[features.Kind]float64, k int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(featureWeights) == 0 {
 		return nil, fmt.Errorf("core: combined search needs feature weights")
 	}
@@ -143,7 +152,12 @@ func (e *Engine) SearchCombined(query features.Set, featureWeights map[features.
 	sort.Slice(kinds, func(i, j int) bool { return kinds[i].kind < kinds[j].kind })
 
 	var out []Result
-	for _, rec := range e.db.Snapshot() {
+	for i, rec := range e.db.Snapshot() {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		score := 0.0
 		scorable := true
 		for _, f := range kinds {

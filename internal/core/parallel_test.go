@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -53,20 +54,20 @@ func TestScanParallelMatchesSerial(t *testing.T) {
 	thOpt := Options{Feature: features.PrincipalMoments, Weights: weights, Threshold: 0.4}
 
 	serial := NewEngine(db).SetWorkers(1)
-	wantTop, err := serial.SearchTopK(query, topOpt)
+	wantTop, err := serial.SearchTopK(context.Background(), query, topOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(wantTop) != 17 {
 		t.Fatalf("serial top-k returned %d", len(wantTop))
 	}
-	wantTh, err := serial.SearchThreshold(query, thOpt)
+	wantTh, err := serial.SearchThreshold(context.Background(), query, thOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 3, 8} {
 		par := NewEngine(db).SetWorkers(workers)
-		gotTop, err := par.SearchTopK(query, topOpt)
+		gotTop, err := par.SearchTopK(context.Background(), query, topOpt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func TestScanParallelMatchesSerial(t *testing.T) {
 				t.Errorf("workers=%d: top-k[%d] = %+v, want %+v", workers, i, gotTop[i], wantTop[i])
 			}
 		}
-		gotTh, err := par.SearchThreshold(query, thOpt)
+		gotTh, err := par.SearchThreshold(context.Background(), query, thOpt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func TestScanShardErrorPropagates(t *testing.T) {
 	// against the query, the scan validates stored vectors against it).
 	shortQ := features.Set{features.PrincipalMoments: make(features.Vector, dim-1)}
 	shortW := weights[:dim-1]
-	if _, err := e.SearchTopK(shortQ, Options{Feature: features.PrincipalMoments, Weights: shortW, K: 5}); err == nil {
+	if _, err := e.SearchTopK(context.Background(), shortQ, Options{Feature: features.PrincipalMoments, Weights: shortW, K: 5}); err == nil {
 		t.Error("dimension mismatch not reported by parallel scan")
 	}
 }
@@ -170,11 +171,11 @@ func TestConcurrentInsertSearchDelete(t *testing.T) {
 					return
 				default:
 				}
-				if _, err := e.SearchTopK(query, Options{Feature: features.PrincipalMoments, K: 5}); err != nil {
+				if _, err := e.SearchTopK(context.Background(), query, Options{Feature: features.PrincipalMoments, K: 5}); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := e.SearchTopK(query, Options{Feature: features.PrincipalMoments, Weights: weights, K: 5}); err != nil {
+				if _, err := e.SearchTopK(context.Background(), query, Options{Feature: features.PrincipalMoments, Weights: weights, K: 5}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -204,7 +205,7 @@ func TestInsertBatchDeterministicAcrossWorkers(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { db.Close() })
-		ids, err := NewEngine(db).InsertBatch(shapes, nil)
+		ids, err := NewEngine(db).InsertBatch(context.Background(), shapes, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,7 +255,7 @@ func TestInsertBatchExtractionError(t *testing.T) {
 		{Name: "ok", Mesh: good},
 		{Name: "bad", Mesh: nil},
 	}
-	if _, err := NewEngine(db).InsertBatch(shapes, nil); err == nil {
+	if _, err := NewEngine(db).InsertBatch(context.Background(), shapes, nil); err == nil {
 		t.Fatal("nil mesh accepted")
 	}
 	if db.Len() != 0 {

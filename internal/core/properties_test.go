@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -50,12 +51,12 @@ func TestQuickThresholdEqualsFilter(t *testing.T) {
 	e := NewEngine(db)
 	for trial := 0; trial < 25; trial++ {
 		q := randomQuery(db, rng)
-		all, err := e.SearchThreshold(q, Options{Feature: features.PrincipalMoments, Threshold: 0})
+		all, err := e.SearchThreshold(context.Background(), q, Options{Feature: features.PrincipalMoments, Threshold: 0})
 		if err != nil {
 			t.Fatal(err)
 		}
 		th := rng.Float64()
-		got, err := e.SearchThreshold(q, Options{Feature: features.PrincipalMoments, Threshold: th})
+		got, err := e.SearchThreshold(context.Background(), q, Options{Feature: features.PrincipalMoments, Threshold: th})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,11 +86,11 @@ func TestQuickTopKPrefixProperty(t *testing.T) {
 		q := randomQuery(db, rng)
 		k := 1 + rng.Intn(20)
 		m := 1 + rng.Intn(20)
-		small, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: k})
+		small, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: k})
 		if err != nil {
 			t.Fatal(err)
 		}
-		large, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: k + m})
+		large, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: k + m})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,11 +116,11 @@ func TestQuickUniformWeightEquivalence(t *testing.T) {
 		for d := range weights {
 			weights[d] = w
 		}
-		plain, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 20})
+		plain, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: 20})
 		if err != nil {
 			t.Fatal(err)
 		}
-		weighted, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 20, Weights: weights})
+		weighted, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: 20, Weights: weights})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,11 +144,11 @@ func TestQuickMultiStepIdempotentFeature(t *testing.T) {
 	e := NewEngine(db)
 	for trial := 0; trial < 15; trial++ {
 		q := randomQuery(db, rng)
-		oneShot, err := e.SearchTopK(q, Options{Feature: features.PrincipalMoments, K: 10})
+		oneShot, err := e.SearchTopK(context.Background(), q, Options{Feature: features.PrincipalMoments, K: 10})
 		if err != nil {
 			t.Fatal(err)
 		}
-		multi, err := e.SearchMultiStep(q, MultiStepOptions{
+		multi, err := e.SearchMultiStep(context.Background(), q, MultiStepOptions{
 			Steps: []Step{
 				{Feature: features.PrincipalMoments},
 				{Feature: features.PrincipalMoments},
@@ -176,7 +177,7 @@ func TestMultiStepKeepOne(t *testing.T) {
 	db := randomFeatureDB(t, 40, rng)
 	e := NewEngine(db)
 	q := randomQuery(db, rng)
-	res, err := e.SearchMultiStep(q, MultiStepOptions{
+	res, err := e.SearchMultiStep(context.Background(), q, MultiStepOptions{
 		Steps: []Step{
 			{Feature: features.PrincipalMoments, Keep: 1},
 			{Feature: features.PrincipalMoments},

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"threedess/internal/core"
@@ -67,13 +68,13 @@ func (c *Corpus) Retrieve(queryID int64, s Strategy, k int) ([]core.Result, erro
 	}
 	var res []core.Result
 	if s.IsMultiStep() {
-		res, err = c.Engine.SearchMultiStep(query, core.MultiStepOptions{
+		res, err = c.Engine.SearchMultiStep(context.Background(), query, core.MultiStepOptions{
 			Steps:         s.Steps,
 			CandidateSize: 31,
 			K:             k + 1,
 		})
 	} else {
-		res, err = c.Engine.SearchTopK(query, core.Options{Feature: s.Kind, K: k + 1})
+		res, err = c.Engine.SearchTopK(context.Background(), query, core.Options{Feature: s.Kind, K: k + 1})
 	}
 	if err != nil {
 		return nil, fmt.Errorf("eval: strategy %q: %w", s.Name, err)

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"threedess/internal/core"
@@ -62,7 +63,7 @@ func (c *Corpus) PRCurve(queryID int64, kind features.Kind, thresholds []float64
 	}
 	out := make([]PRPoint, 0, len(thresholds))
 	for _, t := range thresholds {
-		res, err := c.Engine.SearchThreshold(query, core.Options{Feature: kind, Threshold: t})
+		res, err := c.Engine.SearchThreshold(context.Background(), query, core.Options{Feature: kind, Threshold: t})
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +101,7 @@ func (c *Corpus) ThresholdQueryExample(queryID int64, kind features.Kind, thresh
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	res, err := c.Engine.SearchThreshold(query, core.Options{Feature: kind, Threshold: threshold})
+	res, err := c.Engine.SearchThreshold(context.Background(), query, core.Options{Feature: kind, Threshold: threshold})
 	if err != nil {
 		return 0, 0, nil, err
 	}

@@ -1,0 +1,286 @@
+// Package faultfs abstracts the filesystem operations of the durability
+// path so crash-recovery code can be exercised under injected failures.
+// Two implementations exist: OS, a passthrough to the os package, and
+// Injector, which wraps another FS and deterministically fails (or
+// "crashes": tears the in-flight write and refuses everything afterwards)
+// at the N-th injectable operation. Production code always runs on OS;
+// the injector exists so tests can enumerate every fault point of a
+// workload and prove recovery from each one.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the durability path uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+// FS is the filesystem surface of the durability path. Every mutation the
+// journal and its compaction perform goes through one of these methods, so
+// an injecting implementation sees (and can fail) each step.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// SyncDir fsyncs the directory itself, making preceding creates and
+	// renames inside it durable. POSIX does not promise a rename survives
+	// a crash until the parent directory is synced.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS used outside tests.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Op classifies one injectable operation.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpSyncDir
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Mode selects how an injected fault manifests.
+type Mode uint8
+
+const (
+	// ModeError makes the N-th operation fail with ErrInjected and leaves
+	// the injector running: later operations succeed. A failing write
+	// still persists a torn prefix of its buffer, like ENOSPC mid-write.
+	ModeError Mode = iota
+	// ModeCrash makes the N-th operation tear (writes persist only a
+	// prefix; renames, syncs, and removes do nothing) and then marks the
+	// injector crashed: every later operation fails with ErrCrashed, as
+	// if the process died at that instant. Tests then reopen the
+	// directory with a clean FS to simulate the post-crash restart.
+	ModeCrash
+)
+
+// ErrInjected is returned by the operation an Injector was armed to fail.
+var ErrInjected = errors.New("faultfs: injected failure")
+
+// ErrCrashed is returned by every operation after a ModeCrash fault fired.
+var ErrCrashed = errors.New("faultfs: filesystem crashed")
+
+// Injector wraps an FS and deterministically fails the N-th injectable
+// operation (1-based, counting only write-side ops: write, sync, rename,
+// remove, syncdir — opens and reads always pass through). A zero FailAt
+// never fires, which makes an unarmed injector a pure op counter: run the
+// workload once, read Ops(), then re-run it FailAt=1..Ops() to enumerate
+// every fault point.
+type Injector struct {
+	Inner  FS
+	FailAt int64
+	Mode   Mode
+
+	mu      sync.Mutex
+	ops     int64
+	crashed bool
+	fired   bool
+}
+
+// NewInjector wraps inner with an unarmed injector (a pure op counter).
+func NewInjector(inner FS) *Injector {
+	return &Injector{Inner: inner}
+}
+
+// Ops returns how many injectable operations have been observed.
+func (in *Injector) Ops() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Fired reports whether the armed fault has fired.
+func (in *Injector) Fired() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// step counts one injectable operation and reports whether it must fail.
+// The returned error is nil (proceed), ErrInjected, or ErrCrashed.
+func (in *Injector) step() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	in.ops++
+	if in.FailAt > 0 && in.ops == in.FailAt {
+		in.fired = true
+		if in.Mode == ModeCrash {
+			in.crashed = true
+			return ErrCrashed
+		}
+		return ErrInjected
+	}
+	return nil
+}
+
+// dead reports whether the injector has crashed (used by non-counted ops
+// like open and read, which fail after a crash but never trigger one).
+func (in *Injector) dead() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if in.dead() {
+		return nil, ErrCrashed
+	}
+	f, err := in.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{File: f, in: in}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if in.dead() {
+		return nil, ErrCrashed
+	}
+	f, err := in.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{File: f, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	return in.Inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	return in.Inner.Remove(name)
+}
+
+func (in *Injector) MkdirAll(dir string, perm os.FileMode) error {
+	if in.dead() {
+		return ErrCrashed
+	}
+	return in.Inner.MkdirAll(dir, perm)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if err := in.step(); err != nil {
+		return err
+	}
+	return in.Inner.SyncDir(dir)
+}
+
+// injectedFile routes the write-side file ops through the injector.
+type injectedFile struct {
+	File
+	in *Injector
+}
+
+// Write persists only the first half of the buffer when its fault fires —
+// the torn write a crash or ENOSPC mid-append leaves behind.
+func (f *injectedFile) Write(p []byte) (int, error) {
+	if err := f.in.step(); err != nil {
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *injectedFile) Sync() error {
+	if err := f.in.step(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+func (f *injectedFile) Truncate(size int64) error {
+	if err := f.in.step(); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}
+
+func (f *injectedFile) Read(p []byte) (int, error) {
+	if f.in.dead() {
+		return 0, ErrCrashed
+	}
+	return f.File.Read(p)
+}
+
+func (f *injectedFile) Close() error {
+	// Close is not a fault point (it cannot lose acknowledged data on its
+	// own), but a crashed filesystem refuses it like everything else.
+	if f.in.dead() {
+		f.File.Close()
+		return ErrCrashed
+	}
+	return f.File.Close()
+}

@@ -1,0 +1,153 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fsys OS
+	path := filepath.Join(dir, "f")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(path, path+"2"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path + "2")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if err := fsys.Remove(path + "2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorCountsAndFails runs the same op sequence twice: once unarmed
+// to count, then armed at every fault point, asserting exactly the N-th op
+// fails with ErrInjected and the rest succeed.
+func TestInjectorCountsAndFails(t *testing.T) {
+	workload := func(fsys FS, dir string) []error {
+		var errs []error
+		f, err := fsys.OpenFile(filepath.Join(dir, "j"), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, werr := f.Write([]byte("0123456789")) // op 1
+		errs = append(errs, werr)
+		errs = append(errs, f.Sync()) // op 2
+		f.Close()
+		rerr := fsys.Rename(filepath.Join(dir, "j"), filepath.Join(dir, "k")) // op 3
+		errs = append(errs, rerr)
+		errs = append(errs, fsys.SyncDir(dir)) // op 4
+		target := "k"
+		if rerr != nil {
+			target = "j" // rename failed: the original file is still there
+		}
+		errs = append(errs, fsys.Remove(filepath.Join(dir, target))) // op 5
+		return errs
+	}
+	counter := NewInjector(OS{})
+	workload(counter, t.TempDir())
+	total := counter.Ops()
+	if total != 5 {
+		t.Fatalf("counted %d ops, want 5", total)
+	}
+	for n := int64(1); n <= total; n++ {
+		inj := NewInjector(OS{})
+		inj.FailAt, inj.Mode = n, ModeError
+		errs := workload(inj, t.TempDir())
+		for i, err := range errs {
+			if int64(i+1) == n {
+				if !errors.Is(err, ErrInjected) {
+					t.Errorf("fail-at %d: op %d err = %v, want ErrInjected", n, i+1, err)
+				}
+			} else if err != nil {
+				t.Errorf("fail-at %d: op %d err = %v, want nil", n, i+1, err)
+			}
+		}
+		if !inj.Fired() {
+			t.Errorf("fail-at %d: fault never fired", n)
+		}
+	}
+}
+
+// TestInjectorCrashTearsWriteAndStops checks ModeCrash persists half the
+// failing write and refuses every later operation.
+func TestInjectorCrashTearsWriteAndStops(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	inj.FailAt, inj.Mode = 2, ModeCrash
+	path := filepath.Join(dir, "j")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aaaa")); err != nil { // op 1: fine
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("bbbbbb")); !errors.Is(err, ErrCrashed) { // op 2: crash
+		t.Fatalf("crash write err = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v", err)
+	}
+	if _, err := inj.OpenFile(path, os.O_RDWR, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open err = %v", err)
+	}
+	if err := inj.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename err = %v", err)
+	}
+	// The torn write persisted exactly half its buffer.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(data), "aaaabbb"; got != want {
+		t.Fatalf("file after crash = %q, want %q", got, want)
+	}
+}
+
+// TestInjectorErrorModeTearsWriteAndContinues checks ModeError leaves the
+// injector alive: the armed op fails (with a torn write) and later ops
+// succeed.
+func TestInjectorErrorModeTearsWriteAndContinues(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	inj.FailAt, inj.Mode = 1, ModeError
+	path := filepath.Join(dir, "j")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("xxxx")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write err = %v", err)
+	}
+	if _, err := f.Write([]byte("yy")); err != nil {
+		t.Fatalf("write after ModeError fault: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after ModeError fault: %v", err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if got, want := string(data), "xxyy"; got != want {
+		t.Fatalf("file = %q, want %q (torn half + later write)", got, want)
+	}
+}

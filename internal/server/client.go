@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
+	"net"
 	"net/http"
+	"time"
 
 	"threedess/internal/geom"
 )
@@ -15,34 +18,123 @@ import (
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// MaxRetries is how many times an idempotent GET is retried after a
+	// connection-level failure or a 5xx response, with capped exponential
+	// backoff and jitter. Mutating requests (POST/DELETE) are never
+	// retried — a timed-out insert may have landed, and resending it
+	// would duplicate the shape. Zero means no retries; NewClient sets 3.
+	MaxRetries int
+	// sleep is the backoff clock, replaceable in tests.
+	sleep func(time.Duration)
 }
 
+// Timeouts and retry tuning for NewClient. The overall attempt timeout is
+// generous because batch mesh uploads legitimately take a while; the
+// connection-establishment timeouts are tight so a dead server fails fast.
+const (
+	clientTimeout       = 60 * time.Second
+	clientDialTimeout   = 5 * time.Second
+	clientHeaderTimeout = 30 * time.Second
+	retryBase           = 100 * time.Millisecond
+	retryCap            = 2 * time.Second
+)
+
 // NewClient builds a client for the given base URL (e.g.
-// "http://localhost:8080").
+// "http://localhost:8080"). Unlike http.DefaultClient, every stage of a
+// request is bounded: dialing, waiting for response headers, and the
+// request as a whole, so a wedged server can never hang a caller forever.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+	return &Client{
+		BaseURL: baseURL,
+		HTTP: &http.Client{
+			Timeout: clientTimeout,
+			Transport: &http.Transport{
+				DialContext: (&net.Dialer{
+					Timeout:   clientDialTimeout,
+					KeepAlive: 30 * time.Second,
+				}).DialContext,
+				TLSHandshakeTimeout:   clientDialTimeout,
+				ResponseHeaderTimeout: clientHeaderTimeout,
+				IdleConnTimeout:       90 * time.Second,
+				MaxIdleConnsPerHost:   4,
+			},
+		},
+		MaxRetries: 3,
+	}
 }
 
 func (c *Client) do(method, path string, body, out any) error {
-	var rdr io.Reader
+	var payload []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
+		var err error
+		payload, err = json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rdr = bytes.NewReader(buf)
+	}
+	attempts := 1
+	if method == http.MethodGet {
+		attempts += c.MaxRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt)
+		}
+		resp, err := c.attempt(method, path, payload)
+		if err != nil {
+			// Connection-level failure: nothing reached the server's
+			// handler, safe to retry.
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 && attempt < attempts-1 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("server: HTTP %d", resp.StatusCode)
+			continue
+		}
+		return decodeResponse(resp, out)
+	}
+	return lastErr
+}
+
+func (c *Client) attempt(method, path string, payload []byte) (*http.Response, error) {
+	var rdr io.Reader
+	if payload != nil {
+		rdr = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return err
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
 	}
+	return httpc.Do(req)
+}
+
+// backoff sleeps before retry number `attempt` (1-based): exponential from
+// retryBase, capped at retryCap, plus up to 50% jitter so a burst of
+// clients hitting a recovering server doesn't retry in lockstep.
+func (c *Client) backoff(attempt int) {
+	d := retryBase << (attempt - 1)
+	if d > retryCap {
+		d = retryCap
+	}
+	d += time.Duration(rand.Int64N(int64(d)/2 + 1))
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		var e struct {

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"threedess/internal/core"
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+)
+
+func memEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	db, err := shapedb.Open("", features.Options{VoxelResolution: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return core.NewEngine(db)
+}
+
+func TestOversizedUploadRejectedWith413(t *testing.T) {
+	srv := NewWithConfig(memEngine(t), Config{MaxUploadBytes: 256})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	big := strings.Repeat("x", 10_000)
+	resp, err := http.Post(ts.URL+"/api/shapes", "application/json",
+		strings.NewReader(`{"name":"big","mesh_off":"`+big+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestSmallUploadPassesUnderLimit(t *testing.T) {
+	srv := NewWithConfig(memEngine(t), Config{MaxUploadBytes: 1 << 20})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	if _, err := c.InsertShape("box", 1, geom.Box(geom.V(0, 0, 0), geom.V(2, 1, 1))); err != nil {
+		t.Fatalf("insert under generous limit: %v", err)
+	}
+}
+
+// TestExpiredRequestDeadlineReturns504 drives a search whose per-request
+// deadline has already passed by the time the engine runs; the handler
+// must map the context error to 504 rather than 422 or a hang.
+func TestExpiredRequestDeadlineReturns504(t *testing.T) {
+	engine := memEngine(t)
+	ts := httptest.NewServer(NewWithConfig(engine, Config{RequestTimeout: time.Nanosecond}))
+	t.Cleanup(ts.Close)
+	// Seed through a second, unlimited server over the same engine.
+	seedTS := httptest.NewServer(New(engine))
+	t.Cleanup(seedTS.Close)
+	ids := seedShapes(t, NewClient(seedTS.URL))
+
+	resp, err := http.Post(ts.URL+"/api/search", "application/json",
+		strings.NewReader(`{"query_id":`+int64String(ids[0])+`,"feature":"principal-moments","k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestCancelledRequestReturns503 models a client that has gone away (or a
+// server force-closing connections during drain): the request context is
+// already cancelled when the handler runs the search.
+func TestCancelledRequestReturns503(t *testing.T) {
+	engine := memEngine(t)
+	seedTS := httptest.NewServer(New(engine))
+	t.Cleanup(seedTS.Close)
+	ids := seedShapes(t, NewClient(seedTS.URL))
+
+	// RequestTimeout < 0 disables the server's own deadline so only the
+	// caller's cancellation is in play.
+	srv := NewWithConfig(engine, Config{RequestTimeout: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/api/search",
+		strings.NewReader(`{"query_id":`+int64String(ids[0])+`,"feature":"principal-moments","k":3}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+}
+
+func int64String(v int64) string { return strconv.FormatInt(v, 10) }
+
+// --- client retry behavior ---
+
+// TestClientRetriesIdempotentGet fails the first two GETs with 503 and a
+// connection-level reset, then succeeds; the client must retry through
+// both and report the successful result.
+func TestClientRetriesIdempotentGet(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= 2 {
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"shapes":1,"group_sizes":{},"features":[]}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats after transient 503s: %v", err)
+	}
+	if stats.Shapes != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+	if len(slept) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(slept))
+	}
+	// Backoff grows and stays within base..cap+jitter bounds.
+	if slept[0] < retryBase || slept[0] > retryBase+retryBase/2 {
+		t.Errorf("first backoff %v outside [%v, %v]", slept[0], retryBase, retryBase+retryBase/2)
+	}
+	if slept[1] < 2*retryBase {
+		t.Errorf("second backoff %v did not grow past %v", slept[1], 2*retryBase)
+	}
+}
+
+// TestClientGivesUpAfterMaxRetries counts attempts against a permanently
+// failing server.
+func TestClientGivesUpAfterMaxRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	c.sleep = func(time.Duration) {}
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("expected error from permanently failing server")
+	}
+	if calls.Load() != int32(1+c.MaxRetries) {
+		t.Errorf("server saw %d calls, want %d", calls.Load(), 1+c.MaxRetries)
+	}
+}
+
+// TestClientDoesNotRetryMutations asserts a POST is attempted exactly once
+// even when the server answers 5xx — replaying a possibly-landed insert
+// would duplicate it.
+func TestClientDoesNotRetryMutations(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	c.sleep = func(time.Duration) {}
+	if _, err := c.Search(SearchRequest{Feature: "principal-moments"}); err == nil {
+		t.Fatal("expected error")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("mutating request attempted %d times, want 1", calls.Load())
+	}
+}
+
+// TestClientRetriesConnectionRefused points the client at a closed port:
+// every attempt fails at dial time, and the attempt count proves the
+// connection-error retry path (not just the 5xx path) is wired.
+func TestClientRetriesConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // now nothing listens there
+
+	c := NewClient(url)
+	var sleeps int
+	c.sleep = func(time.Duration) { sleeps++ }
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("expected connection error")
+	}
+	if sleeps != c.MaxRetries {
+		t.Errorf("slept %d times, want %d", sleeps, c.MaxRetries)
+	}
+}

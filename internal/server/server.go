@@ -8,11 +8,14 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"threedess/internal/core"
 	"threedess/internal/features"
@@ -24,11 +27,45 @@ import (
 type Server struct {
 	engine *core.Engine
 	mux    *http.ServeMux
+	cfg    Config
 }
 
-// New builds a server over the engine.
-func New(engine *core.Engine) *Server {
-	s := &Server{engine: engine, mux: http.NewServeMux()}
+// Defaults for Config fields left zero.
+const (
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxUploadBytes = 64 << 20 // engineering meshes are big; 64 MiB is generous
+)
+
+// Config bounds each request the server accepts. Zero values take the
+// defaults above; negative values disable the corresponding limit.
+type Config struct {
+	// RequestTimeout caps how long one request may hold engine resources.
+	// It is enforced through the request context, so a sharded scan or
+	// batch extraction stops at its next cancellation check and the
+	// handler returns 504 rather than running unbounded.
+	RequestTimeout time.Duration
+	// MaxUploadBytes caps the request body (mesh uploads are the only
+	// large ones). Exceeding it yields 413 instead of an OOM-sized
+	// decode.
+	MaxUploadBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	return c
+}
+
+// New builds a server over the engine with default limits.
+func New(engine *core.Engine) *Server { return NewWithConfig(engine, Config{}) }
+
+// NewWithConfig builds a server with explicit request limits.
+func NewWithConfig(engine *core.Engine, cfg Config) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux(), cfg: cfg.withDefaults()}
 	s.mux.HandleFunc("/api/shapes", s.handleShapes)
 	s.mux.HandleFunc("/api/shapes/batch", s.handleShapesBatch)
 	s.mux.HandleFunc("/api/shapes/", s.handleShapeByID)
@@ -41,8 +78,17 @@ func New(engine *core.Engine) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request runs under a deadline
+// and a bounded body before reaching a handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	if s.cfg.MaxUploadBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -156,6 +202,32 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// writeDecodeErr reports a request-body decode failure: a body over the
+// configured limit is 413, anything else is the client's malformed JSON.
+func writeDecodeErr(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeErr(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err)
+}
+
+// writeEngineErr reports an engine failure. Context errors get their own
+// statuses — deadline means the request ran past RequestTimeout (504),
+// cancellation means the client went away or the server is draining (503)
+// — everything else uses the handler's status.
+func writeEngineErr(w http.ResponseWriter, err error, status int) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, status, err)
+	}
+}
+
 func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
@@ -175,7 +247,7 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 			MeshOFF string `json:"mesh_off"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeDecodeErr(w, err)
 			return
 		}
 		mesh, err := geom.ReadOFF(strings.NewReader(req.MeshOFF))
@@ -210,7 +282,7 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var req BatchInsertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeDecodeErr(w, err)
 		return
 	}
 	if len(req.Shapes) == 0 {
@@ -232,9 +304,9 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		items[i] = core.IngestShape{Name: sh.Name, Group: sh.Group, Mesh: mesh}
 	}
-	ids, err := s.engine.InsertBatch(items, nil)
+	ids, err := s.engine.InsertBatch(r.Context(), items, nil)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeEngineErr(w, err, http.StatusUnprocessableEntity)
 		return
 	}
 	writeJSON(w, http.StatusCreated, BatchInsertResponse{IDs: ids})
@@ -340,7 +412,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeDecodeErr(w, err)
 		return
 	}
 	kind, err := features.ParseKind(req.Feature)
@@ -359,7 +431,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	var results []core.Result
 	if req.Threshold != nil {
-		results, err = s.engine.SearchThreshold(query, core.Options{
+		results, err = s.engine.SearchThreshold(r.Context(), query, core.Options{
 			Feature: kind, Threshold: *req.Threshold, Weights: req.Weights,
 		})
 	} else {
@@ -367,12 +439,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if req.QueryID != 0 {
 			fetch++ // absorb the query shape, which is always retrieved
 		}
-		results, err = s.engine.SearchTopK(query, core.Options{
+		results, err = s.engine.SearchTopK(r.Context(), query, core.Options{
 			Feature: kind, K: fetch, Weights: req.Weights,
 		})
 	}
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeEngineErr(w, err, http.StatusUnprocessableEntity)
 		return
 	}
 	if req.QueryID != 0 {
@@ -391,7 +463,7 @@ func (s *Server) handleMultiStep(w http.ResponseWriter, r *http.Request) {
 	}
 	var req MultiStepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeDecodeErr(w, err)
 		return
 	}
 	steps := make([]core.Step, 0, len(req.Steps))
@@ -416,13 +488,13 @@ func (s *Server) handleMultiStep(w http.ResponseWriter, r *http.Request) {
 	if req.QueryID != 0 {
 		fetch++ // absorb the query shape, which is always retrieved
 	}
-	results, err := s.engine.SearchMultiStep(query, core.MultiStepOptions{
+	results, err := s.engine.SearchMultiStep(r.Context(), query, core.MultiStepOptions{
 		Steps:         steps,
 		CandidateSize: req.CandidateSize,
 		K:             fetch,
 	})
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeEngineErr(w, err, http.StatusUnprocessableEntity)
 		return
 	}
 	if req.QueryID != 0 {
@@ -441,7 +513,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	var req FeedbackRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeDecodeErr(w, err)
 		return
 	}
 	kind, err := features.ParseKind(req.Feature)
@@ -473,9 +545,9 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = 10
 	}
-	results, err := s.engine.SearchTopK(newQuery, core.Options{Feature: kind, K: k + 1, Weights: weights})
+	results, err := s.engine.SearchTopK(r.Context(), newQuery, core.Options{Feature: kind, K: k + 1, Weights: weights})
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeEngineErr(w, err, http.StatusUnprocessableEntity)
 		return
 	}
 	results = core.ExcludeID(results, req.QueryID)

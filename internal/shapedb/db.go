@@ -8,12 +8,14 @@ package shapedb
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
+	"threedess/internal/faultfs"
 	"threedess/internal/features"
 	"threedess/internal/geom"
 	"threedess/internal/rtree"
@@ -41,16 +43,30 @@ type DB struct {
 	// upper bound keeps similarity values comparable over time).
 	lo, hi map[features.Kind][]float64
 
-	journal *journal
-	dir     string
+	journal  *journal
+	dir      string
+	fsys     faultfs.FS
+	recovery *RecoveryReport
 }
 
-const journalName = "shapes.journal"
+const (
+	journalName = "shapes.journal"
+	compactName = journalName + ".compact"
+	corruptName = journalName + ".corrupt"
+)
 
-// Open creates or reopens a shape database. dir == "" gives a purely
-// in-memory store; otherwise the journal in dir is replayed and new
-// operations are appended to it.
+// Open creates or reopens a shape database on the real filesystem. dir ==
+// "" gives a purely in-memory store; otherwise the journal in dir is
+// replayed and new operations are appended to it.
 func Open(dir string, opts features.Options) (*DB, error) {
+	return OpenFS(dir, opts, faultfs.OS{})
+}
+
+// OpenFS is Open with an explicit filesystem, the entry point of the
+// fault-injection harness. Recovery is degraded, not refused: a torn or
+// corrupt journal tail is quarantined to shapes.journal.corrupt, truncated
+// off, and reported via Recovery() — the intact prefix always opens.
+func OpenFS(dir string, opts features.Options, fsys faultfs.FS) (*DB, error) {
 	db := &DB{
 		opts:    features.NewExtractor(opts).Options(),
 		records: make(map[int64]*Record),
@@ -59,15 +75,21 @@ func Open(dir string, opts features.Options) (*DB, error) {
 		hi:      make(map[features.Kind][]float64),
 		nextID:  1,
 		dir:     dir,
+		fsys:    fsys,
 	}
 	if dir == "" {
 		return db, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("shapedb: creating %s: %w", dir, err)
 	}
+	// A leftover compaction temp file means a crash mid-compact; the real
+	// journal is still authoritative, so discard the partial rewrite.
+	if err := fsys.Remove(filepath.Join(dir, compactName)); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("shapedb: removing stale compaction file: %w", err)
+	}
 	path := filepath.Join(dir, journalName)
-	err := replayJournal(path, func(e *journalEntry) error {
+	rep, err := replayJournal(fsys, path, func(e *journalEntry) error {
 		switch e.Op {
 		case opInsert:
 			set, err := decodeFeatures(e.Features)
@@ -85,12 +107,73 @@ func Open(dir string, opts features.Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	j, err := openJournal(path)
+	if rep.Degraded() {
+		if err := quarantineTail(fsys, dir, rep); err != nil {
+			return nil, fmt.Errorf("shapedb: quarantining corrupt journal tail: %w", err)
+		}
+	}
+	db.recovery = rep
+	j, err := openJournal(fsys, path)
 	if err != nil {
 		return nil, err
 	}
 	db.journal = j
 	return db, nil
+}
+
+// Recovery returns the report of the journal replay that opened this
+// database (nil for in-memory stores). A Degraded() report means bytes
+// were discarded; the quarantined tail is kept next to the journal for
+// inspection.
+func (db *DB) Recovery() *RecoveryReport { return db.recovery }
+
+// quarantineTail copies the discarded garbage after the intact journal
+// prefix to shapes.journal.corrupt, then truncates the journal back to the
+// prefix, so the next append extends intact data instead of burying the
+// garbage mid-file. The quarantine file is synced before the journal is
+// cut, and the directory afterwards, so a crash between the two steps
+// loses nothing.
+func quarantineTail(fsys faultfs.FS, dir string, rep *RecoveryReport) error {
+	path := filepath.Join(dir, journalName)
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Seek(rep.GoodBytes, io.SeekStart); err != nil {
+		return err
+	}
+	tail := make([]byte, rep.DiscardedBytes)
+	if _, err := io.ReadFull(f, tail); err != nil {
+		return err
+	}
+	qpath := filepath.Join(dir, corruptName)
+	q, err := fsys.OpenFile(qpath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := q.Write(tail); err != nil {
+		q.Close()
+		return err
+	}
+	if err := q.Sync(); err != nil {
+		q.Close()
+		return err
+	}
+	if err := q.Close(); err != nil {
+		return err
+	}
+	if err := f.Truncate(rep.GoodBytes); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return err
+	}
+	rep.Quarantined = qpath
+	return nil
 }
 
 // Close releases the journal. The DB must not be used afterwards.
@@ -421,16 +504,25 @@ func (db *DB) IndexStats(k features.Kind) (accesses, height, count int) {
 }
 
 // Compact rewrites the journal to contain exactly the live records,
-// dropping deleted history. No-op for in-memory databases.
+// dropping deleted history: the live set is written to a temp file, synced,
+// renamed over the journal, and the parent directory is synced so the
+// rename itself survives a crash. No-op for in-memory databases. On
+// failure the original journal stays authoritative (a stale temp file is
+// discarded by the next Open); if the journal handle cannot be restored
+// the database degrades to fail-stop — reads keep working, writes return
+// the poisoning error.
 func (db *DB) Compact() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.journal == nil {
 		return nil
 	}
+	if db.journal.failed != nil {
+		return db.journal.failed
+	}
 	path := filepath.Join(db.dir, journalName)
-	tmp := path + ".compact"
-	nj, err := openJournal(tmp)
+	tmp := filepath.Join(db.dir, compactName)
+	nj, err := newJournal(db.fsys, tmp)
 	if err != nil {
 		return err
 	}
@@ -452,30 +544,52 @@ func (db *DB) Compact() error {
 		}
 		if err := nj.append(e); err != nil {
 			nj.close()
-			os.Remove(tmp)
+			db.fsys.Remove(tmp)
 			return err
 		}
 	}
 	if err := nj.sync(); err != nil {
 		nj.close()
-		os.Remove(tmp)
+		db.fsys.Remove(tmp)
 		return err
 	}
 	if err := nj.close(); err != nil {
-		os.Remove(tmp)
+		db.fsys.Remove(tmp)
 		return err
 	}
 	if err := db.journal.close(); err != nil {
-		os.Remove(tmp)
+		db.fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
+	// From here the old handle is gone: any failure must leave db.journal
+	// non-nil (reopened or poisoned), never nil — nil means "in-memory"
+	// and would silently stop journaling a durable store.
+	if err := db.fsys.Rename(tmp, path); err != nil {
+		db.fsys.Remove(tmp)
+		db.reopenJournal(path)
+		return fmt.Errorf("shapedb: compaction rename: %w", err)
 	}
-	j, err := openJournal(path)
+	if err := db.fsys.SyncDir(db.dir); err != nil {
+		// The rename happened but may not be durable; the content at
+		// path is the compacted live set either way, so keep serving
+		// from it and surface the error.
+		db.reopenJournal(path)
+		return fmt.Errorf("shapedb: syncing directory after compaction: %w", err)
+	}
+	db.reopenJournal(path)
+	if db.journal.failed != nil {
+		return db.journal.failed
+	}
+	return nil
+}
+
+// reopenJournal re-establishes the append handle at path, poisoning the
+// journal (fail-stop for writes) when the open fails.
+func (db *DB) reopenJournal(path string) {
+	j, err := openJournal(db.fsys, path)
 	if err != nil {
-		return err
+		db.journal = poisonedJournal(err)
+		return
 	}
 	db.journal = j
-	return nil
 }

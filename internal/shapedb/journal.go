@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 
+	"threedess/internal/faultfs"
 	"threedess/internal/features"
 	"threedess/internal/geom"
 )
@@ -17,7 +18,10 @@ import (
 // Oracle 8i record store: an append-only log of insert/delete operations,
 // each framed as [4-byte length][4-byte CRC32][gob payload]. Replay
 // rebuilds the store; a torn or corrupt tail (from a crash mid-append) is
-// detected by the checksum and discarded, so recovery never reads garbage.
+// detected by the checksum, quarantined, and truncated away, so recovery
+// never reads garbage and new appends never land after it. All file
+// operations go through a faultfs.FS so the crash-matrix tests can fail or
+// tear any of them deterministically.
 
 type journalOp byte
 
@@ -25,6 +29,11 @@ const (
 	opInsert journalOp = 1
 	opDelete journalOp = 2
 )
+
+// maxFrame caps a frame header's claimed payload length. A length beyond
+// it cannot come from a real append and marks the frame as garbage rather
+// than a torn tail.
+const maxFrame = 1 << 30
 
 // journalEntry is the gob-encoded payload of one journal record.
 type journalEntry struct {
@@ -60,25 +69,58 @@ func decodeFeatures(raw map[string][]float64) (features.Set, error) {
 }
 
 type journal struct {
-	f *os.File
+	fsys faultfs.FS
+	f    faultfs.File
+	// off is the end of the last fully-written frame. A failed append
+	// rolls the file back to it so the next frame never lands after a
+	// torn one.
+	off int64
+	// failed poisons the journal after an unrecoverable write/sync error
+	// (fail-stop: after a failed fsync the page cache can no longer be
+	// trusted, so further appends would risk acknowledging lost data).
+	failed error
 }
 
-func openJournal(path string) (*journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+// openJournal opens (or creates) a journal for appending.
+func openJournal(fsys faultfs.FS, path string) (*journal, error) {
+	return openJournalFlags(fsys, path, os.O_CREATE|os.O_RDWR)
+}
+
+// newJournal creates an empty journal, truncating any previous file —
+// used for the compaction temp file, whose leftovers must not survive.
+func newJournal(fsys faultfs.FS, path string) (*journal, error) {
+	return openJournalFlags(fsys, path, os.O_CREATE|os.O_RDWR|os.O_TRUNC)
+}
+
+func openJournalFlags(fsys faultfs.FS, path string, flags int) (*journal, error) {
+	f, err := fsys.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	// Position at the end for appends; replay reads from the start via a
-	// separate descriptor-less pass in replayJournal.
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	// separate descriptor in replayJournal.
+	off, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &journal{f: f}, nil
+	return &journal{fsys: fsys, f: f, off: off}, nil
 }
 
-// append frames and persists one entry.
+// poisonedJournal returns a journal that refuses every operation with err.
+// It keeps a durable DB from silently degrading to in-memory mode when the
+// real journal could not be (re)opened.
+func poisonedJournal(err error) *journal {
+	return &journal{failed: fmt.Errorf("shapedb: journal unavailable: %w", err)}
+}
+
+// append frames and persists one entry. On a write error it rolls the file
+// back to the last good frame boundary; if even that fails, the journal is
+// poisoned and every later operation returns the poisoning error.
 func (j *journal) append(e *journalEntry) error {
+	if j.failed != nil {
+		return j.failed
+	}
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(e); err != nil {
 		return fmt.Errorf("shapedb: encoding journal entry: %w", err)
@@ -89,52 +131,132 @@ func (j *journal) append(e *journalEntry) error {
 	binary.LittleEndian.PutUint32(header[4:], crc32.ChecksumIEEE(payload.Bytes()))
 	frame.Write(header[:])
 	frame.Write(payload.Bytes())
-	if _, err := j.f.Write(frame.Bytes()); err != nil {
+	n, err := j.f.Write(frame.Bytes())
+	if err == nil && n < frame.Len() {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		if rerr := j.rollback(); rerr != nil {
+			j.failed = fmt.Errorf("shapedb: journal append failed (%v) and rollback failed: %w", err, rerr)
+		}
 		return fmt.Errorf("shapedb: appending journal entry: %w", err)
+	}
+	j.off += int64(frame.Len())
+	return nil
+}
+
+// rollback truncates the file back to the last good frame boundary and
+// repositions the write offset there.
+func (j *journal) rollback() error {
+	if err := j.f.Truncate(j.off); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(j.off, io.SeekStart)
+	return err
+}
+
+// sync flushes the journal to stable storage. A sync failure poisons the
+// journal: the kernel may have dropped the dirty pages, so nothing after
+// this point can be promised durable.
+func (j *journal) sync() error {
+	if j.failed != nil {
+		return j.failed
+	}
+	if err := j.f.Sync(); err != nil {
+		j.failed = fmt.Errorf("shapedb: journal sync failed, journal disabled: %w", err)
+		return j.failed
 	}
 	return nil
 }
 
-// sync flushes the journal to stable storage.
-func (j *journal) sync() error { return j.f.Sync() }
-
-func (j *journal) close() error { return j.f.Close() }
-
-// replayJournal reads every intact entry from the journal file, stopping
-// silently at the first truncated or corrupt frame (crash recovery
-// semantics). A missing file yields no entries.
-func replayJournal(path string, fn func(*journalEntry) error) error {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+func (j *journal) close() error {
+	if j.f == nil {
 		return nil
 	}
+	return j.f.Close()
+}
+
+// replayJournal reads every intact entry from the journal file, calling fn
+// for each, and returns a report of what it found: how many entries were
+// replayed, how many bytes of trailing garbage follow the intact prefix,
+// and how the garbage was classified (torn tail from a crash mid-append
+// vs. corruption with further data behind it). A missing file yields an
+// empty report. The error is non-nil only for I/O failures or an fn error
+// — corruption itself never fails recovery, it is reported.
+func replayJournal(fsys faultfs.FS, path string, fn func(*journalEntry) error) (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	f, err := fsys.Open(path)
+	if os.IsNotExist(err) {
+		return rep, nil
+	}
 	if err != nil {
-		return err
+		return rep, err
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return rep, err
+	}
+	rep.TotalBytes = fi.Size()
 	for {
 		var header [8]byte
-		if _, err := io.ReadFull(f, header[:]); err != nil {
-			return nil // clean EOF or torn header: stop
+		_, err := io.ReadFull(f, header[:])
+		if err == io.EOF {
+			rep.finish(TailClean, 0)
+			return rep, nil
+		}
+		if err != nil {
+			if err == io.ErrUnexpectedEOF {
+				rep.finish(TailTornHeader, 0)
+				return rep, nil
+			}
+			return rep, err
 		}
 		size := binary.LittleEndian.Uint32(header[0:])
 		want := binary.LittleEndian.Uint32(header[4:])
-		if size > 1<<30 {
-			return nil // implausible length: treat as corrupt tail
+		remaining := rep.TotalBytes - rep.GoodBytes - 8
+		if size > maxFrame {
+			// An append never writes a frame this large; the header
+			// itself is garbage (not just a torn payload).
+			rep.finish(TailImplausibleLength, 0)
+			return rep, nil
 		}
+		if int64(size) > remaining {
+			// The header claims more payload than the file holds: the
+			// append was cut off before the payload landed. Checking
+			// against the real file size also keeps a hostile length
+			// from forcing a huge allocation.
+			rep.finish(TailTornPayload, 0)
+			return rep, nil
+		}
+		frameEnd := rep.GoodBytes + 8 + int64(size)
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return nil // torn payload
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				rep.finish(TailTornPayload, 0)
+				return rep, nil
+			}
+			return rep, err
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			return nil // corrupt frame
+			rep.finish(TailBadChecksum, frameEnd)
+			return rep, nil
 		}
 		var e journalEntry
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
-			return nil // undecodable frame
+			rep.finish(TailUndecodable, frameEnd)
+			return rep, nil
 		}
 		if err := fn(&e); err != nil {
-			return err
+			return rep, err
 		}
+		rep.Entries++
+		switch e.Op {
+		case opInsert:
+			rep.Inserts++
+		case opDelete:
+			rep.Deletes++
+		}
+		rep.GoodBytes += 8 + int64(size)
 	}
 }

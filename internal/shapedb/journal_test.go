@@ -64,6 +64,24 @@ func TestReplayImplausibleLengthFrame(t *testing.T) {
 	if db.Len() != 0 {
 		t.Errorf("Len = %d", db.Len())
 	}
+	// The guard is no longer a silent clean-EOF: the report counts the
+	// discarded bytes and classifies the tail.
+	rep := db.Recovery()
+	if rep == nil || !rep.Degraded() {
+		t.Fatalf("implausible length not reported: %v", rep)
+	}
+	if rep.Tail != TailImplausibleLength {
+		t.Errorf("Tail = %v, want implausible length", rep.Tail)
+	}
+	if rep.DiscardedBytes != int64(len(frame)) {
+		t.Errorf("DiscardedBytes = %d, want %d", rep.DiscardedBytes, len(frame))
+	}
+	if rep.TornTail {
+		t.Error("garbage header classified as torn tail")
+	}
+	if rep.Quarantined == "" {
+		t.Error("discarded tail not quarantined")
+	}
 }
 
 func TestJournalSurvivesManyOperations(t *testing.T) {

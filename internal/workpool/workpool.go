@@ -9,6 +9,7 @@
 package workpool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,8 +30,17 @@ func Resolve(n int) int {
 // write to per-index state. With one worker (or n ≤ 1) fn runs on the
 // calling goroutine in index order.
 func ForEachN(workers, n int, fn func(i int)) {
+	ForEachNCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachNCtx is ForEachN under a context: once ctx is done, no new index
+// is handed out (in-flight fn calls finish — fn is not interrupted) and
+// the context error is returned. A nil return means fn ran for every
+// index. This is the cancellation point of every worker-pool loop on the
+// serving path: request timeouts and server drain stop batch work here.
+func ForEachNCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	workers = Resolve(workers)
 	if workers > n {
@@ -38,9 +48,12 @@ func ForEachN(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -49,6 +62,9 @@ func ForEachN(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -58,6 +74,7 @@ func ForEachN(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Shard is one contiguous index range [Lo, Hi) of a partitioned slice.

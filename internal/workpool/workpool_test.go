@@ -1,6 +1,7 @@
 package workpool
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -98,4 +99,47 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func TestForEachNCtxCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := atomic.Int32{}
+		err := ForEachNCtx(ctx, workers, 100, func(i int) { ran.Add(1) })
+		if err != context.Canceled {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d calls ran under a dead context", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachNCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEachNCtx(ctx, 4, 10_000, func(i int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Each in-flight worker may finish its current item, but no new items
+	// are handed out after cancellation.
+	if n := ran.Load(); n >= 10_000 {
+		t.Errorf("all %d items ran despite mid-flight cancellation", n)
+	}
+}
+
+func TestForEachNCtxNilErrorMeansComplete(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForEachNCtx(context.Background(), 3, 500, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 500 {
+		t.Errorf("ran %d of 500", ran.Load())
+	}
 }

@@ -24,6 +24,7 @@
 package threedess
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net/http"
@@ -187,7 +188,7 @@ func (s *System) InsertBatch(shapes []Shape) ([]int64, error) {
 	for i, sh := range shapes {
 		items[i] = core.IngestShape{Name: sh.Name, Group: sh.Group, Mesh: sh.Mesh}
 	}
-	ids, err := s.engine.InsertBatch(items, nil)
+	ids, err := s.engine.InsertBatch(context.Background(), items, nil)
 	if err != nil {
 		return ids, fmt.Errorf("threedess: batch insert: %w", err)
 	}
@@ -276,9 +277,9 @@ func (s *System) QueryByID(id int64, spec Search) ([]Result, error) {
 
 func (s *System) search(query FeatureSet, spec Search) ([]Result, error) {
 	if spec.Threshold != nil {
-		return s.engine.SearchThreshold(query, spec.toOptions())
+		return s.engine.SearchThreshold(context.Background(), query, spec.toOptions())
 	}
-	return s.engine.SearchTopK(query, spec.toOptions())
+	return s.engine.SearchTopK(context.Background(), query, spec.toOptions())
 }
 
 // MultiStepByExample runs the multi-step strategy with a query mesh.
@@ -287,7 +288,7 @@ func (s *System) MultiStepByExample(mesh *Mesh, spec MultiStepSearch) ([]Result,
 	if err != nil {
 		return nil, err
 	}
-	return s.engine.SearchMultiStep(query, core.MultiStepOptions{
+	return s.engine.SearchMultiStep(context.Background(), query, core.MultiStepOptions{
 		Steps: spec.Steps, CandidateSize: spec.CandidateSize, K: spec.K,
 	})
 }
@@ -303,7 +304,7 @@ func (s *System) MultiStepByID(id int64, spec MultiStepSearch) ([]Result, error)
 	if k <= 0 {
 		k = 10
 	}
-	res, err := s.engine.SearchMultiStep(query, core.MultiStepOptions{
+	res, err := s.engine.SearchMultiStep(context.Background(), query, core.MultiStepOptions{
 		Steps: spec.Steps, CandidateSize: spec.CandidateSize, K: k + 1,
 	})
 	if err != nil {
@@ -339,7 +340,7 @@ func (s *System) RefineWithFeedback(id int64, kind Kind, fb Feedback, k int) ([]
 	if k <= 0 {
 		k = 10
 	}
-	res, err := s.engine.SearchTopK(newQuery, core.Options{Feature: kind, K: k, Weights: weights})
+	res, err := s.engine.SearchTopK(context.Background(), newQuery, core.Options{Feature: kind, K: k, Weights: weights})
 	if err != nil {
 		return nil, err
 	}
@@ -373,7 +374,7 @@ func (s *System) QueryCombined(id int64, featureWeights map[Kind]float64, k int)
 	if k <= 0 {
 		k = 10
 	}
-	res, err := s.engine.SearchCombined(query, featureWeights, k+1)
+	res, err := s.engine.SearchCombined(context.Background(), query, featureWeights, k+1)
 	if err != nil {
 		return nil, err
 	}
