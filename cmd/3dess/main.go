@@ -5,10 +5,16 @@
 // Usage:
 //
 //	3dess [-addr :8080] [-data ./data] [-load-corpus] [-seed 42]
+//	      [-max-inflight 256] [-max-mesh-vertices N] [-max-mesh-triangles N]
 //
 // With -data the shape database is durable (journal + crash recovery);
 // without it the server is in-memory. -load-corpus generates and ingests
-// the 113-shape evaluation corpus on startup when the database is empty.
+// the 113-shape evaluation corpus on startup when the database is empty;
+// the listener comes up first, with GET /readyz answering 503 until the
+// corpus is searchable (GET /healthz is 200 the whole time). -max-inflight
+// bounds concurrently admitted requests — excess load is shed with 429 +
+// Retry-After rather than queued. The -max-mesh-* flags cap what an
+// uploaded mesh may declare before the parser refuses it.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain-timeout; requests still running
@@ -29,6 +35,7 @@ import (
 	"threedess/internal/core"
 	"threedess/internal/dataset"
 	"threedess/internal/features"
+	"threedess/internal/geom"
 	"threedess/internal/server"
 	"threedess/internal/shapedb"
 )
@@ -41,6 +48,9 @@ func main() {
 	voxelRes := flag.Int("voxel-res", 0, "voxel resolution for feature extraction (0 = default)")
 	reqTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline (0 = default, negative = unlimited)")
 	maxUpload := flag.Int64("max-upload-bytes", server.DefaultMaxUploadBytes, "request body cap in bytes (0 = default, negative = unlimited)")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "in-flight request cap; excess requests get 429 (0 = default, negative = unlimited)")
+	maxVertices := flag.Int("max-mesh-vertices", 0, "per-upload vertex cap for mesh parsing (0 = default, negative = unlimited)")
+	maxTriangles := flag.Int("max-mesh-triangles", 0, "per-upload triangle cap for mesh parsing (0 = default, negative = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long to drain in-flight requests on shutdown")
 	flag.Parse()
 
@@ -64,24 +74,41 @@ func main() {
 	}
 
 	engine := core.NewEngine(db)
-	if *loadCorpus && db.Len() == 0 {
-		if err := ingestCorpus(ctx, engine, *seed); err != nil {
-			log.Fatalf("loading corpus: %v", err)
-		}
-	}
+	api := server.NewWithConfig(engine, server.Config{
+		RequestTimeout: *reqTimeout,
+		MaxUploadBytes: *maxUpload,
+		MaxInFlight:    *maxInFlight,
+		MeshLimits: geom.ReadLimits{
+			MaxVertices:  *maxVertices,
+			MaxTriangles: *maxTriangles,
+		},
+	})
 
+	// Listen before loading the corpus so /healthz and /readyz answer
+	// immediately; /readyz stays 503 until ingest finishes, holding load
+	// balancer traffic without failing liveness.
+	needCorpus := *loadCorpus && db.Len() == 0
+	if needCorpus {
+		api.SetReady(false)
+	}
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.NewWithConfig(engine, server.Config{
-			RequestTimeout: *reqTimeout,
-			MaxUploadBytes: *maxUpload,
-		}),
+		Addr:              *addr,
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("3dess: serving %d shapes on %s", db.Len(), *addr)
+	if needCorpus {
+		go func() {
+			if err := ingestCorpus(ctx, engine, *seed); err != nil {
+				log.Fatalf("loading corpus: %v", err)
+			}
+			api.SetReady(true)
+			log.Printf("3dess: ready, serving %d shapes", db.Len())
+		}()
+	}
 
 	select {
 	case err := <-errCh:

@@ -119,6 +119,11 @@ func (e *Engine) checkOptions(opt *Options, query features.Set) (features.Vector
 	if !ok {
 		return nil, fmt.Errorf("core: query has no %v vector", opt.Feature)
 	}
+	for i, x := range qv {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("core: query %v vector has non-finite coordinate %g at dimension %d", opt.Feature, x, i)
+		}
+	}
 	if opt.Weights != nil && len(opt.Weights) != len(qv) {
 		return nil, fmt.Errorf("core: %d weights for %d-dimensional feature %v",
 			len(opt.Weights), len(qv), opt.Feature)

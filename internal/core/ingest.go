@@ -18,16 +18,30 @@ type IngestShape struct {
 	Mesh  *geom.Mesh
 }
 
-// InsertBatch extracts the given feature kinds (nil = the four core
-// descriptors) for every shape on the engine's worker pool, then inserts
-// the shapes in input order, so assigned IDs and stored feature sets are
-// identical regardless of the worker count. The returned ids align with
-// shapes. On the first extraction failure the whole batch is abandoned
-// before anything is stored; an insert failure partway through leaves the
-// earlier shapes stored and reports how many via the error. A cancelled
-// ctx aborts extraction between meshes (nothing stored) and the insert
-// loop between shapes (earlier inserts remain, like any partial failure).
+// InsertBatch runs the quarantine pipeline (sanitize, extract with
+// per-kind degradation, finiteness check) for every shape on the engine's
+// worker pool, then inserts the shapes in input order, so assigned IDs and
+// stored feature sets are identical regardless of the worker count. The
+// returned ids align with shapes. On the first quarantine failure the
+// whole batch is abandoned before anything is stored; an insert failure
+// partway through leaves the earlier shapes stored and reports how many
+// via the error. A cancelled ctx aborts extraction between meshes
+// (nothing stored) and the insert loop between shapes (earlier inserts
+// remain, like any partial failure).
 func (e *Engine) InsertBatch(ctx context.Context, shapes []IngestShape, kinds []features.Kind) ([]int64, error) {
+	res, err := e.IngestBatch(ctx, shapes, kinds)
+	ids := make([]int64, len(res))
+	for i, r := range res {
+		ids[i] = r.ID
+	}
+	return ids, err
+}
+
+// IngestBatch is InsertBatch with per-shape degradation reports: every
+// shape passes the same quarantine as IngestMesh, and the result rows
+// carry the assigned id plus the names of any feature kinds the extractor
+// had to skip. Error semantics match InsertBatch.
+func (e *Engine) IngestBatch(ctx context.Context, shapes []IngestShape, kinds []features.Kind) ([]IngestResult, error) {
 	if len(shapes) == 0 {
 		return nil, nil
 	}
@@ -35,13 +49,11 @@ func (e *Engine) InsertBatch(ctx context.Context, shapes []IngestShape, kinds []
 		kinds = features.CoreKinds
 	}
 	sets := make([]features.Set, len(shapes))
+	degs := make([]features.Degradation, len(shapes))
+	meshes := make([]*geom.Mesh, len(shapes))
 	errs := make([]error, len(shapes))
 	if err := workpool.ForEachNCtx(ctx, e.workers, len(shapes), func(i int) {
-		if shapes[i].Mesh == nil {
-			errs[i] = fmt.Errorf("nil mesh")
-			return
-		}
-		sets[i], errs[i] = e.extractor.Extract(shapes[i].Mesh, kinds)
+		sets[i], degs[i], meshes[i], errs[i] = e.ExtractUntrusted(shapes[i].Mesh, kinds)
 	}); err != nil {
 		return nil, fmt.Errorf("core: batch extraction aborted: %w", err)
 	}
@@ -50,18 +62,18 @@ func (e *Engine) InsertBatch(ctx context.Context, shapes []IngestShape, kinds []
 			return nil, fmt.Errorf("core: extracting %q (batch index %d): %w", shapes[i].Name, i, err)
 		}
 	}
-	ids := make([]int64, len(shapes))
+	out := make([]IngestResult, len(shapes))
 	for i, sh := range shapes {
 		if err := ctx.Err(); err != nil {
-			return ids[:i], fmt.Errorf("core: insert aborted after %d of %d shapes: %w", i, len(shapes), err)
+			return out[:i], fmt.Errorf("core: insert aborted after %d of %d shapes: %w", i, len(shapes), err)
 		}
-		id, err := e.db.Insert(sh.Name, sh.Group, sh.Mesh, sets[i])
+		id, err := e.db.InsertFull(sh.Name, sh.Group, meshes[i], sets[i], degs[i].Names())
 		if err != nil {
-			return ids[:i], fmt.Errorf("core: inserting %q after %d of %d shapes: %w", sh.Name, i, len(shapes), err)
+			return out[:i], fmt.Errorf("core: inserting %q after %d of %d shapes: %w", sh.Name, i, len(shapes), err)
 		}
-		ids[i] = id
+		out[i] = IngestResult{ID: id, Degraded: degs[i].Names()}
 	}
-	return ids, nil
+	return out, nil
 }
 
 // ExtractBatch runs feature extraction for many meshes on the engine's

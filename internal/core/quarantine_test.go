@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+)
+
+// degradedEngine returns an engine whose skeletal-graph branch always
+// fails (VoxelResolution 1 survives option defaulting but is rejected by
+// the voxelizer), so per-kind degradation is deterministic.
+func degradedEngine(t *testing.T) *Engine {
+	t.Helper()
+	db, err := shapedb.Open("", features.Options{VoxelResolution: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return NewEngine(db)
+}
+
+func healthyEngine(t *testing.T) *Engine {
+	t.Helper()
+	db, err := shapedb.Open("", features.Options{VoxelResolution: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return NewEngine(db)
+}
+
+func TestSanitizeMeshRejectsUnrepairable(t *testing.T) {
+	box := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+
+	if _, err := SanitizeMesh(nil); err == nil {
+		t.Error("nil mesh accepted")
+	}
+	if _, err := SanitizeMesh(geom.NewMesh(0, 0)); err == nil {
+		t.Error("empty mesh accepted")
+	}
+
+	nan := box.Clone()
+	nan.Vertices[0].X = math.NaN()
+	if _, err := SanitizeMesh(nan); err == nil {
+		t.Error("NaN vertex accepted")
+	}
+
+	oob := box.Clone()
+	oob.Faces[0][2] = len(oob.Vertices) + 5
+	if _, err := SanitizeMesh(oob); err == nil {
+		t.Error("out-of-range face index accepted")
+	}
+}
+
+func TestSanitizeMeshWeldRepairsDegenerateFaces(t *testing.T) {
+	box := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	dirty := box.Clone()
+	dirty.AddFace(0, 0, 1) // the degenerate face sloppy exporters emit
+	facesBefore := len(dirty.Faces)
+
+	clean, err := SanitizeMesh(dirty)
+	if err != nil {
+		t.Fatalf("SanitizeMesh: %v", err)
+	}
+	if clean == dirty {
+		t.Fatal("repair returned the input mesh instead of a copy")
+	}
+	if len(clean.Faces) != len(box.Faces) {
+		t.Errorf("repaired mesh has %d faces, want %d", len(clean.Faces), len(box.Faces))
+	}
+	if err := clean.Validate(); err != nil {
+		t.Errorf("repaired mesh invalid: %v", err)
+	}
+	if len(dirty.Faces) != facesBefore {
+		t.Error("SanitizeMesh mutated its input")
+	}
+
+	// A sound mesh passes through unchanged, no copy.
+	same, err := SanitizeMesh(box)
+	if err != nil {
+		t.Fatalf("SanitizeMesh(valid): %v", err)
+	}
+	if same != box {
+		t.Error("valid mesh was copied")
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	set := features.Set{features.MomentInvariants: {1, 2, 3}}
+	if err := CheckFinite(set); err != nil {
+		t.Errorf("finite set rejected: %v", err)
+	}
+	set[features.MomentInvariants][1] = math.Inf(-1)
+	if err := CheckFinite(set); err == nil {
+		t.Error("Inf accepted")
+	}
+	set[features.MomentInvariants][1] = math.NaN()
+	if err := CheckFinite(set); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestIngestMeshStoresDegradationFlags(t *testing.T) {
+	e := degradedEngine(t)
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(2, 1, 1))
+	res, err := e.IngestMesh("nasty", 1, mesh, nil)
+	if err != nil {
+		t.Fatalf("IngestMesh: %v", err)
+	}
+	if len(res.Degraded) != 1 || res.Degraded[0] != "eigenvalues" {
+		t.Fatalf("Degraded = %v, want [eigenvalues]", res.Degraded)
+	}
+	rec, ok := e.DB().Get(res.ID)
+	if !ok {
+		t.Fatal("ingested record missing")
+	}
+	if len(rec.Degraded) != 1 || rec.Degraded[0] != "eigenvalues" {
+		t.Errorf("stored Degraded = %v", rec.Degraded)
+	}
+	if _, ok := rec.Features[features.Eigenvalues]; ok {
+		t.Error("degraded kind stored anyway")
+	}
+
+	// The shape is searchable through every descriptor it does carry.
+	q, err := e.QueryFeatures(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.SearchTopK(context.Background(), q, Options{Feature: features.MomentInvariants, K: 1})
+	if err != nil {
+		t.Fatalf("search on surviving descriptor: %v", err)
+	}
+	if len(out) != 1 || out[0].ID != res.ID {
+		t.Fatalf("search = %v", out)
+	}
+}
+
+func TestIngestMeshRejectsHostileMesh(t *testing.T) {
+	e := healthyEngine(t)
+	bad := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	bad.Vertices[3] = geom.V(math.NaN(), 0, 0)
+	if _, err := e.IngestMesh("hostile", 0, bad, nil); err == nil {
+		t.Fatal("NaN-vertex mesh ingested")
+	}
+	if e.DB().Len() != 0 {
+		t.Fatalf("db has %d records after rejected ingest", e.DB().Len())
+	}
+}
+
+func TestIngestBatchQuarantinesEveryShape(t *testing.T) {
+	e := healthyEngine(t)
+	dirty := geom.Box(geom.V(0, 0, 0), geom.V(1, 2, 3))
+	dirty.AddFace(0, 0, 1)
+	shapes := []IngestShape{
+		{Name: "clean", Group: 1, Mesh: geom.Box(geom.V(0, 0, 0), geom.V(2, 1, 1))},
+		{Name: "dirty", Group: 1, Mesh: dirty},
+	}
+	res, err := e.IngestBatch(context.Background(), shapes, nil)
+	if err != nil {
+		t.Fatalf("IngestBatch: %v", err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	rec, ok := e.DB().Get(res[1].ID)
+	if !ok {
+		t.Fatal("repaired shape missing")
+	}
+	if err := rec.Mesh.Validate(); err != nil {
+		t.Errorf("stored mesh invalid: %v", err)
+	}
+
+	// One hostile shape aborts the batch before anything is stored.
+	before := e.DB().Len()
+	bad := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	bad.Vertices[0] = geom.V(0, math.Inf(1), 0)
+	_, err = e.IngestBatch(context.Background(), []IngestShape{
+		{Name: "ok", Mesh: geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 2))},
+		{Name: "bad", Mesh: bad},
+	}, nil)
+	if err == nil {
+		t.Fatal("hostile batch accepted")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error %q does not name the hostile shape", err)
+	}
+	if e.DB().Len() != before {
+		t.Errorf("db grew from %d to %d on a failed batch", before, e.DB().Len())
+	}
+}
+
+func TestExtractUntrustedRepairsInvertedWinding(t *testing.T) {
+	e := healthyEngine(t)
+	inverted := geom.Box(geom.V(0, 0, 0), geom.V(2, 1, 1))
+	for i, f := range inverted.Faces {
+		inverted.Faces[i] = [3]int{f[0], f[2], f[1]}
+	}
+	set, _, m, err := e.ExtractUntrusted(inverted, []features.Kind{features.MomentInvariants})
+	if err != nil {
+		t.Fatalf("ExtractUntrusted on inverted mesh: %v", err)
+	}
+	if len(set[features.MomentInvariants]) == 0 {
+		t.Fatal("no descriptor extracted")
+	}
+	if m.Volume() <= 0 {
+		t.Errorf("returned mesh volume %g, want positive after repair", m.Volume())
+	}
+}
+
+func TestSearchRejectsNonFiniteQuery(t *testing.T) {
+	db, ids := synthDB(t)
+	e := NewEngine(db)
+	q, err := e.QueryFeatures(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := q.Clone()
+	bad[features.PrincipalMoments][0] = math.NaN()
+	if _, err := e.SearchTopK(context.Background(), bad, Options{Feature: features.PrincipalMoments, K: 3}); err == nil {
+		t.Error("NaN query vector accepted by SearchTopK")
+	}
+	if _, err := e.SearchThreshold(context.Background(), bad, Options{Feature: features.PrincipalMoments, Threshold: 0.5}); err == nil {
+		t.Error("NaN query vector accepted by SearchThreshold")
+	}
+}

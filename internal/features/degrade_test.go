@@ -1,0 +1,100 @@
+package features
+
+import (
+	"strings"
+	"testing"
+
+	"threedess/internal/geom"
+)
+
+// degradedExtractor returns an extractor whose skeletal-graph branch
+// always fails: VoxelResolution 1 passes the option defaulting (only ≤ 0
+// is replaced) but is rejected by the voxelizer, while every
+// moment-derived descriptor is unaffected.
+func degradedExtractor() *Extractor {
+	return NewExtractor(Options{VoxelResolution: 1})
+}
+
+func TestExtractAvailableDegradesSkeletalBranch(t *testing.T) {
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(2, 1, 1))
+	set, deg, err := degradedExtractor().ExtractAvailable(mesh, CoreKinds)
+	if err != nil {
+		t.Fatalf("ExtractAvailable: %v", err)
+	}
+	if len(deg) != 1 || deg[Eigenvalues] == "" {
+		t.Fatalf("degradation = %v, want eigenvalues only", deg)
+	}
+	if _, ok := set[Eigenvalues]; ok {
+		t.Error("degraded kind still present in set")
+	}
+	for _, k := range []Kind{MomentInvariants, GeometricParams, PrincipalMoments} {
+		if len(set[k]) == 0 {
+			t.Errorf("%v missing from degraded set", k)
+		}
+	}
+	if got := deg.Names(); len(got) != 1 || got[0] != "eigenvalues" {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestExtractAvailableCleanOnHealthyPipeline(t *testing.T) {
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(2, 1, 1))
+	e := NewExtractor(Options{VoxelResolution: 16})
+	set, deg, err := e.ExtractAvailable(mesh, CoreKinds)
+	if err != nil {
+		t.Fatalf("ExtractAvailable: %v", err)
+	}
+	if len(deg) != 0 {
+		t.Fatalf("unexpected degradation: %v", deg)
+	}
+	if len(set) != len(CoreKinds) {
+		t.Fatalf("got %d kinds, want %d", len(set), len(CoreKinds))
+	}
+}
+
+func TestExtractStrictFailsOnDegradation(t *testing.T) {
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(2, 1, 1))
+	_, err := degradedExtractor().Extract(mesh, CoreKinds)
+	if err == nil {
+		t.Fatal("strict Extract succeeded despite skeletal failure")
+	}
+	if !strings.Contains(err.Error(), "degraded") {
+		t.Errorf("error %q does not mention degradation", err)
+	}
+	// Kinds that never touch the skeletal branch still extract strictly.
+	set, err := degradedExtractor().Extract(mesh, []Kind{MomentInvariants, PrincipalMoments})
+	if err != nil {
+		t.Fatalf("skeleton-free strict extract: %v", err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("got %d kinds", len(set))
+	}
+}
+
+func TestExtractAvailableWholeShapeFailuresStayErrors(t *testing.T) {
+	// An open (single-triangle) mesh has zero volume: no descriptor is
+	// meaningful, so this must remain a hard error, not a degradation.
+	open := geom.NewMesh(3, 1)
+	open.AddVertex(geom.V(0, 0, 0))
+	open.AddVertex(geom.V(1, 0, 0))
+	open.AddVertex(geom.V(0, 1, 0))
+	open.AddFace(0, 1, 2)
+	if _, _, err := NewExtractor(Options{}).ExtractAvailable(open, CoreKinds); err == nil {
+		t.Fatal("open mesh extracted without error")
+	}
+}
+
+func TestDegradationHelpers(t *testing.T) {
+	var empty Degradation
+	if empty.Err() != nil || len(empty.Names()) != 0 {
+		t.Error("empty degradation misbehaves")
+	}
+	d := Degradation{Eigenvalues: "boom", MomentInvariants: "zap"}
+	kinds := d.Kinds()
+	if len(kinds) != 2 || kinds[0] != MomentInvariants || kinds[1] != Eigenvalues {
+		t.Errorf("Kinds() = %v", kinds)
+	}
+	if err := d.Err(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Err() = %v", err)
+	}
+}

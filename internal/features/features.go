@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"threedess/internal/geom"
 	"threedess/internal/moments"
@@ -200,29 +202,90 @@ func NewExtractor(opts Options) *Extractor {
 // Options returns the resolved options.
 func (e *Extractor) Options() Options { return e.opts }
 
+// Degradation maps each feature kind whose extraction was skipped to the
+// reason. A nil/empty map means every requested descriptor was produced.
+// Only branch-local failures degrade (today: the skeletal-graph branch
+// behind Eigenvalues); defects that invalidate every descriptor — an open
+// mesh, a non-positive volume — remain hard errors.
+type Degradation map[Kind]string
+
+// Kinds returns the degraded kinds in ascending order.
+func (d Degradation) Kinds() []Kind {
+	out := make([]Kind, 0, len(d))
+	for k := range d {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Names returns the degraded kinds' stable string names in ascending kind
+// order — the representation stored with a record and sent on the wire.
+func (d Degradation) Names() []string {
+	kinds := d.Kinds()
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// Err folds the degradation into a single error (nil when empty), for
+// callers that need the historical all-or-nothing Extract contract.
+func (d Degradation) Err() error {
+	if len(d) == 0 {
+		return nil
+	}
+	parts := make([]string, 0, len(d))
+	for _, k := range d.Kinds() {
+		parts = append(parts, fmt.Sprintf("%v: %s", k, d[k]))
+	}
+	return fmt.Errorf("features: degraded extraction: %s", strings.Join(parts, "; "))
+}
+
 // Extract computes the requested feature vectors of the mesh. The input
 // mesh is not modified (the pipeline normalizes a private copy). The mesh
-// must be closed and outward-oriented.
+// must be closed and outward-oriented. Any branch failure fails the whole
+// extraction; ingestion paths that prefer partial results use
+// ExtractAvailable.
 func (e *Extractor) Extract(mesh *geom.Mesh, kinds []Kind) (Set, error) {
+	set, deg, err := e.ExtractAvailable(mesh, kinds)
+	if err != nil {
+		return nil, err
+	}
+	if err := deg.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// ExtractAvailable computes the requested feature vectors, degrading
+// per-kind instead of failing whole-shape: when the skeletal-graph branch
+// fails (or panics) on a valid-but-nasty mesh, the moment/geometric/
+// principal-moment descriptors are still returned and the skipped kinds
+// are reported in the Degradation map. The error is non-nil only for
+// defects that invalidate every descriptor (invalid kind, non-positive
+// volume, normalization failure).
+func (e *Extractor) ExtractAvailable(mesh *geom.Mesh, kinds []Kind) (Set, Degradation, error) {
 	if len(kinds) == 0 {
-		return Set{}, nil
+		return Set{}, nil, nil
 	}
 	for _, k := range kinds {
 		if !k.Valid() {
-			return nil, fmt.Errorf("features: invalid kind %v", k)
+			return nil, nil, fmt.Errorf("features: invalid kind %v", k)
 		}
 	}
 	// Moments of the original pose: moment invariants deliberately avoid
 	// the scale/rotation normalization steps (§3.5.3's discussion).
 	rawCentral := moments.OfMesh(mesh).Central()
 	if rawCentral.Volume() <= 0 {
-		return nil, fmt.Errorf("features: mesh volume %g is not positive (mesh must be closed and outward-oriented)", rawCentral.Volume())
+		return nil, nil, fmt.Errorf("features: mesh volume %g is not positive (mesh must be closed and outward-oriented)", rawCentral.Volume())
 	}
 
 	normMesh := mesh.Clone()
 	norm, err := moments.Normalize(normMesh, e.opts.TargetVolume)
 	if err != nil {
-		return nil, fmt.Errorf("features: normalization: %w", err)
+		return nil, nil, fmt.Errorf("features: normalization: %w", err)
 	}
 	normMoments := moments.OfMesh(normMesh)
 
@@ -252,6 +315,7 @@ func (e *Extractor) Extract(mesh *geom.Mesh, kinds []Kind) (Set, error) {
 	}
 
 	out := make(Set, len(kinds))
+	var deg Degradation
 	for _, k := range kinds {
 		if _, done := out[k]; done {
 			continue
@@ -272,7 +336,14 @@ func (e *Extractor) Extract(mesh *geom.Mesh, kinds []Kind) (Set, error) {
 				skelGraph, skelErr = e.buildSkeletalGraph(normMesh)
 			}
 			if skelErr != nil {
-				return nil, skelErr
+				// The skeletal branch is the only fallible one; its failure
+				// leaves the moment descriptors intact, so degrade this
+				// kind instead of discarding the whole extraction.
+				if deg == nil {
+					deg = Degradation{}
+				}
+				deg[k] = skelErr.Error()
+				continue
 			}
 			out[k] = Vector(skelGraph.EigenvalueSignature(e.opts.EigenDim))
 		case HigherOrder:
@@ -289,7 +360,7 @@ func (e *Extractor) Extract(mesh *geom.Mesh, kinds []Kind) (Set, error) {
 			out[k] = Vector(h)
 		}
 	}
-	return out, nil
+	return out, deg, nil
 }
 
 // ExtractAll computes every supported descriptor.
@@ -298,8 +369,17 @@ func (e *Extractor) ExtractAll(mesh *geom.Mesh) (Set, error) {
 }
 
 // buildSkeletalGraph runs voxelization → thinning → graph construction on
-// the normalized mesh.
-func (e *Extractor) buildSkeletalGraph(normMesh *geom.Mesh) (*skelgraph.Graph, error) {
+// the normalized mesh. A panic anywhere in the branch is converted into an
+// error: the branch runs on its own goroutine when overlapped with the
+// moment descriptors, where an escaped panic would kill the process rather
+// than the request, and hostile geometry is exactly what reaches the edge
+// cases of the voxel/thinning code.
+func (e *Extractor) buildSkeletalGraph(normMesh *geom.Mesh) (g *skelgraph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("features: skeletal-graph branch panicked: %v", r)
+		}
+	}()
 	grid, err := voxel.Voxelize(normMesh, e.opts.VoxelResolution)
 	if err != nil {
 		return nil, fmt.Errorf("features: voxelization: %w", err)

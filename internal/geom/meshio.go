@@ -16,10 +16,75 @@ import (
 // emit: OFF (the format the corpus is stored in), Wavefront OBJ, and STL
 // (both ASCII and binary). Polygonal faces with more than three vertices
 // are fan-triangulated on read.
+//
+// The readers treat their input as untrusted: declared counts, face
+// degrees, and token lengths are bounded by ReadLimits, preallocation is
+// clamped to what the stream can plausibly back, and non-finite
+// coordinates are rejected, so no input can cause unbounded allocation, a
+// panic, or a NaN-poisoned mesh.
 
-// ReadMeshFile loads a mesh, dispatching on the file extension
-// (.off, .obj, .stl; case-insensitive).
+// Default ReadLimits values. The vertex/triangle caps comfortably cover
+// real engineering models (the densest CAD exports run to a few million
+// triangles) while keeping a hostile header from requesting gigabytes.
+const (
+	DefaultMaxVertices   = 4 << 20  // ~4.2M vertices
+	DefaultMaxTriangles  = 16 << 20 // ~16.8M triangles after fan-triangulation
+	DefaultMaxFaceDegree = 255      // vertices per polygonal face record
+	DefaultMaxTokenBytes = 1 << 20  // one token, line, or comment
+
+	// maxPrealloc bounds how many vertex/face slots a reader reserves from
+	// a declared count before any geometry has actually been read — the
+	// same distrust the binary-STL triangle guard expresses. Growth past it
+	// is amortized append, paid only for data that really arrives.
+	maxPrealloc = 1 << 16
+)
+
+// ReadLimits bound what an untrusted mesh stream may declare or contain.
+// Zero fields take the Default* constants; negative fields disable the
+// corresponding cap.
+type ReadLimits struct {
+	// MaxVertices caps the vertex count (declared or accumulated).
+	MaxVertices int
+	// MaxTriangles caps the triangle count after fan-triangulation.
+	MaxTriangles int
+	// MaxFaceDegree caps the vertex count of one polygonal face record.
+	MaxFaceDegree int
+	// MaxTokenBytes caps one scanner token — a number, a line, or a
+	// comment. Exceeding it fails the parse (bufio.ErrTooLong) instead of
+	// growing the scan buffer without bound.
+	MaxTokenBytes int
+}
+
+func limitOf(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return math.MaxInt
+	}
+	return v
+}
+
+func (l ReadLimits) withDefaults() ReadLimits {
+	l.MaxVertices = limitOf(l.MaxVertices, DefaultMaxVertices)
+	l.MaxTriangles = limitOf(l.MaxTriangles, DefaultMaxTriangles)
+	l.MaxFaceDegree = limitOf(l.MaxFaceDegree, DefaultMaxFaceDegree)
+	l.MaxTokenBytes = limitOf(l.MaxTokenBytes, DefaultMaxTokenBytes)
+	return l
+}
+
+// prealloc clamps a declared element count to what a reader may reserve
+// up front.
+func prealloc(declared int) int { return min(declared, maxPrealloc) }
+
+// ReadMeshFile loads a mesh with default ReadLimits, dispatching on the
+// file extension (.off, .obj, .stl; case-insensitive).
 func ReadMeshFile(path string) (*Mesh, error) {
+	return ReadMeshFileLimits(path, ReadLimits{})
+}
+
+// ReadMeshFileLimits is ReadMeshFile with explicit input bounds.
+func ReadMeshFileLimits(path string, lim ReadLimits) (*Mesh, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -27,11 +92,11 @@ func ReadMeshFile(path string) (*Mesh, error) {
 	defer f.Close()
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".off":
-		return ReadOFF(f)
+		return ReadOFFLimits(f, lim)
 	case ".obj":
-		return ReadOBJ(f)
+		return ReadOBJLimits(f, lim)
 	case ".stl":
-		return ReadSTL(f)
+		return ReadSTLLimits(f, lim)
 	default:
 		return nil, fmt.Errorf("geom: unsupported mesh extension %q", filepath.Ext(path))
 	}
@@ -62,10 +127,18 @@ func WriteMeshFile(path string, m *Mesh) error {
 	return w.Flush()
 }
 
-// ReadOFF parses the Object File Format. Comments (#) and blank lines are
-// skipped; faces with n>3 vertices are fan-triangulated.
-func ReadOFF(r io.Reader) (*Mesh, error) {
-	sc := newTokenScanner(r)
+// ReadOFF parses the Object File Format with default ReadLimits. Comments
+// (#) and blank lines are skipped; faces with n>3 vertices are
+// fan-triangulated.
+func ReadOFF(r io.Reader) (*Mesh, error) { return ReadOFFLimits(r, ReadLimits{}) }
+
+// ReadOFFLimits is ReadOFF with explicit input bounds. The declared
+// header counts are checked against the limits before anything is
+// allocated, and preallocation is clamped independently of what the
+// header claims.
+func ReadOFFLimits(r io.Reader, lim ReadLimits) (*Mesh, error) {
+	lim = lim.withDefaults()
+	sc := newTokenScanner(r, lim.MaxTokenBytes)
 	head, err := sc.token()
 	if err != nil {
 		return nil, fmt.Errorf("geom: OFF: missing header: %w", err)
@@ -87,22 +160,29 @@ func ReadOFF(r io.Reader) (*Mesh, error) {
 	if nv < 0 || nf < 0 {
 		return nil, fmt.Errorf("geom: OFF: negative counts (%d vertices, %d faces)", nv, nf)
 	}
-	m := NewMesh(nv, nf)
+	if nv > lim.MaxVertices {
+		return nil, fmt.Errorf("geom: OFF: declares %d vertices, limit %d", nv, lim.MaxVertices)
+	}
+	if nf > lim.MaxTriangles {
+		return nil, fmt.Errorf("geom: OFF: declares %d faces, limit %d", nf, lim.MaxTriangles)
+	}
+	m := NewMesh(prealloc(nv), prealloc(nf))
 	for i := 0; i < nv; i++ {
-		x, err := sc.floatToken()
+		x, err := sc.finiteToken()
 		if err != nil {
 			return nil, fmt.Errorf("geom: OFF: vertex %d: %w", i, err)
 		}
-		y, err := sc.floatToken()
+		y, err := sc.finiteToken()
 		if err != nil {
 			return nil, fmt.Errorf("geom: OFF: vertex %d: %w", i, err)
 		}
-		z, err := sc.floatToken()
+		z, err := sc.finiteToken()
 		if err != nil {
 			return nil, fmt.Errorf("geom: OFF: vertex %d: %w", i, err)
 		}
 		m.AddVertex(V(x, y, z))
 	}
+	tris := 0
 	for i := 0; i < nf; i++ {
 		n, err := sc.intToken()
 		if err != nil {
@@ -110,6 +190,12 @@ func ReadOFF(r io.Reader) (*Mesh, error) {
 		}
 		if n < 3 {
 			return nil, fmt.Errorf("geom: OFF: face %d has %d vertices", i, n)
+		}
+		if n > lim.MaxFaceDegree {
+			return nil, fmt.Errorf("geom: OFF: face %d has %d vertices, limit %d", i, n, lim.MaxFaceDegree)
+		}
+		if tris += n - 2; tris > lim.MaxTriangles {
+			return nil, fmt.Errorf("geom: OFF: more than %d triangles after triangulation", lim.MaxTriangles)
 		}
 		idx := make([]int, n)
 		for j := 0; j < n; j++ {
@@ -142,13 +228,18 @@ func WriteOFF(w io.Writer, m *Mesh) error {
 	return bw.Flush()
 }
 
-// ReadOBJ parses Wavefront OBJ geometry (v and f records; texture/normal
-// indices after slashes and all other record types are ignored). Negative
-// (relative) indices are supported.
-func ReadOBJ(r io.Reader) (*Mesh, error) {
+// ReadOBJ parses Wavefront OBJ geometry with default ReadLimits (v and f
+// records; texture/normal indices after slashes and all other record types
+// are ignored). Negative (relative) indices are supported.
+func ReadOBJ(r io.Reader) (*Mesh, error) { return ReadOBJLimits(r, ReadLimits{}) }
+
+// ReadOBJLimits is ReadOBJ with explicit input bounds, applied as running
+// caps while records accumulate (OBJ declares no counts up front).
+func ReadOBJLimits(r io.Reader, lim ReadLimits) (*Mesh, error) {
+	lim = lim.withDefaults()
 	m := NewMesh(0, 0)
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	sc.Buffer(make([]byte, 4096), lim.MaxTokenBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -161,11 +252,17 @@ func ReadOBJ(r io.Reader) (*Mesh, error) {
 			if len(fields) < 4 {
 				return nil, fmt.Errorf("geom: OBJ line %d: short vertex", lineNo)
 			}
+			if len(m.Vertices) >= lim.MaxVertices {
+				return nil, fmt.Errorf("geom: OBJ line %d: more than %d vertices", lineNo, lim.MaxVertices)
+			}
 			var c [3]float64
 			for i := 0; i < 3; i++ {
 				x, err := strconv.ParseFloat(fields[i+1], 64)
 				if err != nil {
 					return nil, fmt.Errorf("geom: OBJ line %d: %w", lineNo, err)
+				}
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return nil, fmt.Errorf("geom: OBJ line %d: non-finite coordinate %q", lineNo, fields[i+1])
 				}
 				c[i] = x
 			}
@@ -173,6 +270,12 @@ func ReadOBJ(r io.Reader) (*Mesh, error) {
 		case "f":
 			if len(fields) < 4 {
 				return nil, fmt.Errorf("geom: OBJ line %d: face with <3 vertices", lineNo)
+			}
+			if len(fields)-1 > lim.MaxFaceDegree {
+				return nil, fmt.Errorf("geom: OBJ line %d: face with %d vertices, limit %d", lineNo, len(fields)-1, lim.MaxFaceDegree)
+			}
+			if len(m.Faces)+len(fields)-3 > lim.MaxTriangles {
+				return nil, fmt.Errorf("geom: OBJ line %d: more than %d triangles", lineNo, lim.MaxTriangles)
 			}
 			idx := make([]int, 0, len(fields)-1)
 			for _, fd := range fields[1:] {
@@ -216,10 +319,14 @@ func WriteOBJ(w io.Writer, m *Mesh) error {
 	return bw.Flush()
 }
 
-// ReadSTL parses an STL stream, auto-detecting ASCII vs binary form.
-// STL carries no connectivity, so coincident vertices are welded after
-// loading to recover a usable indexed mesh.
-func ReadSTL(r io.Reader) (*Mesh, error) {
+// ReadSTL parses an STL stream with default ReadLimits, auto-detecting
+// ASCII vs binary form. STL carries no connectivity, so coincident
+// vertices are welded after loading to recover a usable indexed mesh.
+func ReadSTL(r io.Reader) (*Mesh, error) { return ReadSTLLimits(r, ReadLimits{}) }
+
+// ReadSTLLimits is ReadSTL with explicit input bounds.
+func ReadSTLLimits(r io.Reader, lim ReadLimits) (*Mesh, error) {
+	lim = lim.withDefaults()
 	br := bufio.NewReader(r)
 	head, err := br.Peek(5)
 	if err != nil {
@@ -230,15 +337,15 @@ func ReadSTL(r io.Reader) (*Mesh, error) {
 		// start with "solid" too); a real ASCII file contains "facet".
 		probe, _ := br.Peek(512)
 		if strings.Contains(string(probe), "facet") {
-			return readSTLASCII(br)
+			return readSTLASCII(br, lim)
 		}
 	}
-	return readSTLBinary(br)
+	return readSTLBinary(br, lim)
 }
 
-func readSTLASCII(r io.Reader) (*Mesh, error) {
+func readSTLASCII(r io.Reader, lim ReadLimits) (*Mesh, error) {
 	m := NewMesh(0, 0)
-	sc := newTokenScanner(r)
+	sc := newTokenScanner(r, lim.MaxTokenBytes)
 	for {
 		tok, err := sc.token()
 		if err == io.EOF {
@@ -250,15 +357,18 @@ func readSTLASCII(r io.Reader) (*Mesh, error) {
 		if tok != "vertex" {
 			continue
 		}
-		x, err := sc.floatToken()
+		if len(m.Vertices) >= 3*lim.MaxTriangles || len(m.Vertices) >= lim.MaxVertices {
+			return nil, fmt.Errorf("geom: STL: more than %d vertices", min(3*lim.MaxTriangles, lim.MaxVertices))
+		}
+		x, err := sc.finiteToken()
 		if err != nil {
 			return nil, fmt.Errorf("geom: STL vertex: %w", err)
 		}
-		y, err := sc.floatToken()
+		y, err := sc.finiteToken()
 		if err != nil {
 			return nil, fmt.Errorf("geom: STL vertex: %w", err)
 		}
-		z, err := sc.floatToken()
+		z, err := sc.finiteToken()
 		if err != nil {
 			return nil, fmt.Errorf("geom: STL vertex: %w", err)
 		}
@@ -273,7 +383,7 @@ func readSTLASCII(r io.Reader) (*Mesh, error) {
 	return m.WeldVertices(0), nil
 }
 
-func readSTLBinary(r io.Reader) (*Mesh, error) {
+func readSTLBinary(r io.Reader, lim ReadLimits) (*Mesh, error) {
 	header := make([]byte, 80)
 	if _, err := io.ReadFull(r, header); err != nil {
 		return nil, fmt.Errorf("geom: binary STL header: %w", err)
@@ -282,10 +392,13 @@ func readSTLBinary(r io.Reader) (*Mesh, error) {
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
 		return nil, fmt.Errorf("geom: binary STL count: %w", err)
 	}
-	if count > 50_000_000 {
+	// The historical 50M guard still applies even when the configured
+	// limit is larger; either way the count is attacker-controlled, so
+	// preallocation below is clamped rather than trusted.
+	if int64(count) > 50_000_000 || int64(count) > int64(lim.MaxTriangles) {
 		return nil, fmt.Errorf("geom: binary STL claims %d triangles; refusing", count)
 	}
-	m := NewMesh(int(count)*3, int(count))
+	m := NewMesh(prealloc(int(count)*3), prealloc(int(count)))
 	buf := make([]byte, 50) // 12 normal + 36 vertex + 2 attribute bytes
 	for i := uint32(0); i < count; i++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
@@ -297,6 +410,9 @@ func readSTLBinary(r io.Reader) (*Mesh, error) {
 			x := math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
 			y := math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:]))
 			z := math.Float32frombits(binary.LittleEndian.Uint32(buf[off+8:]))
+			if !V(float64(x), float64(y), float64(z)).IsFinite() {
+				return nil, fmt.Errorf("geom: binary STL triangle %d: non-finite vertex", i)
+			}
 			m.AddVertex(V(float64(x), float64(y), float64(z)))
 		}
 		m.AddFace(base, base+1, base+2)
@@ -341,9 +457,15 @@ type tokenScanner struct {
 	sc *bufio.Scanner
 }
 
-func newTokenScanner(r io.Reader) *tokenScanner {
+// newTokenScanner bounds the scan buffer at maxToken bytes: a single
+// token or an unterminated comment longer than that fails the scan
+// (bufio.ErrTooLong) instead of buffering attacker-sized data.
+func newTokenScanner(r io.Reader, maxToken int) *tokenScanner {
+	if maxToken <= 0 || maxToken > math.MaxInt32 {
+		maxToken = math.MaxInt32
+	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	sc.Buffer(make([]byte, min(4096, maxToken)), maxToken)
 	sc.Split(splitTokensSkipComments)
 	return &tokenScanner{sc: sc}
 }
@@ -409,4 +531,18 @@ func (t *tokenScanner) floatToken() (float64, error) {
 		return 0, err
 	}
 	return strconv.ParseFloat(s, 64)
+}
+
+// finiteToken parses a coordinate, rejecting NaN and ±Inf: the interchange
+// formats have no legitimate use for them, and a non-finite vertex poisons
+// every downstream integral and index structure.
+func (t *tokenScanner) finiteToken() (float64, error) {
+	v, err := t.floatToken()
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("geom: non-finite coordinate %g", v)
+	}
+	return v, nil
 }

@@ -1,0 +1,68 @@
+package rtree
+
+import (
+	"math"
+	"testing"
+)
+
+// A non-finite coordinate admitted into the tree would poison every MBR on
+// its insertion path (NaN comparisons are always false, so enlargement and
+// MinDist computations silently misorder), corrupting results for keys that
+// were perfectly valid. These tests pin the reject-at-the-door behaviour.
+
+func TestInsertRejectsNonFinite(t *testing.T) {
+	tr, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		f := float64(i)
+		if err := tr.InsertPoint(i, Point{f, f * 2, f * 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tr.Len()
+
+	bads := []Point{
+		{math.NaN(), 0, 0},
+		{0, math.NaN(), 0},
+		{0, 0, math.NaN()},
+		{math.Inf(1), 0, 0},
+		{0, math.Inf(-1), 0},
+		{1, 2}, // wrong dimension
+	}
+	for _, p := range bads {
+		if err := tr.InsertPoint(100, p); err == nil {
+			t.Errorf("InsertPoint(%v) accepted a bad point", p)
+		}
+		if err := tr.InsertRect(100, Rect{Min: Point{0, 0, 0}, Max: p}); err == nil {
+			t.Errorf("InsertRect with max %v accepted a bad rect", p)
+		}
+	}
+	if tr.Len() != before {
+		t.Fatalf("Len changed from %d to %d after rejected inserts", before, tr.Len())
+	}
+
+	// The tree must still answer queries correctly after the rejections.
+	nn := tr.NearestNeighbors(1, Point{0, 0, 0})
+	if len(nn) != 1 || nn[0].ID != 0 {
+		t.Fatalf("NearestNeighbors after rejects = %v, want id 0", nn)
+	}
+}
+
+func TestQueriesRejectNonFinitePoints(t *testing.T) {
+	tr, err := New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InsertPoint(1, Point{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	bad := Point{math.NaN(), 0}
+	if nn := tr.NearestNeighbors(1, bad); nn != nil {
+		t.Errorf("NearestNeighbors on a NaN query returned %v, want nil", nn)
+	}
+	if nn := tr.WithinRadius(bad, 1); nn != nil {
+		t.Errorf("WithinRadius on a NaN query returned %v, want nil", nn)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"threedess/internal/geom"
@@ -21,8 +22,11 @@ type Client struct {
 	// MaxRetries is how many times an idempotent GET is retried after a
 	// connection-level failure or a 5xx response, with capped exponential
 	// backoff and jitter. Mutating requests (POST/DELETE) are never
-	// retried — a timed-out insert may have landed, and resending it
-	// would duplicate the shape. Zero means no retries; NewClient sets 3.
+	// retried after those failures — a timed-out insert may have landed,
+	// and resending it would duplicate the shape. A 429 shed by the
+	// server's admission gate is different: the request never reached a
+	// handler, so EVERY method retries it, waiting out the server's
+	// Retry-After hint. Zero means no retries; NewClient sets 3.
 	MaxRetries int
 	// sleep is the backoff clock, replaceable in tests.
 	sleep func(time.Duration)
@@ -72,31 +76,68 @@ func (c *Client) do(method, path string, body, out any) error {
 			return err
 		}
 	}
-	attempts := 1
-	if method == http.MethodGet {
-		attempts += c.MaxRetries
-	}
+	attempts := 1 + c.MaxRetries
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			c.backoff(attempt)
-		}
 		resp, err := c.attempt(method, path, payload)
 		if err != nil {
-			// Connection-level failure: nothing reached the server's
-			// handler, safe to retry.
+			// Connection-level failure. Only a GET is safe to resend: a
+			// mutating request may have reached the server before the
+			// connection died.
+			if method != http.MethodGet || attempt == attempts-1 {
+				return err
+			}
 			lastErr = err
+			c.backoff(attempt + 1)
 			continue
 		}
-		if resp.StatusCode >= 500 && attempt < attempts-1 {
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests && attempt < attempts-1:
+			// Admission-gate shed: the handler never ran, so resending is
+			// side-effect free for every method. Honor the server's
+			// Retry-After hint when present.
+			wait, ok := retryAfter(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("server: HTTP %d", http.StatusTooManyRequests)
+			if ok {
+				c.sleepFor(wait)
+			} else {
+				c.backoff(attempt + 1)
+			}
+			continue
+		case resp.StatusCode >= 500 && method == http.MethodGet && attempt < attempts-1:
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			lastErr = fmt.Errorf("server: HTTP %d", resp.StatusCode)
+			c.backoff(attempt + 1)
 			continue
 		}
 		return decodeResponse(resp, out)
 	}
 	return lastErr
+}
+
+// retryAfter parses a Retry-After header given in seconds (the only form
+// the 3DESS server emits).
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+func (c *Client) sleepFor(d time.Duration) {
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
 }
 
 func (c *Client) attempt(method, path string, payload []byte) (*http.Response, error) {

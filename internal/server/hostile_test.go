@@ -1,0 +1,418 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"threedess/internal/core"
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+)
+
+// testServerCfg is testServer with explicit feature options and server
+// config, returning the raw Server for the overload tests.
+func testServerCfg(t *testing.T, opts features.Options, cfg Config) (*Server, *httptest.Server, *core.Engine) {
+	t.Helper()
+	if opts.VoxelResolution == 0 {
+		opts.VoxelResolution = 20
+	}
+	db, err := shapedb.Open("", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	engine := core.NewEngine(db)
+	s := NewWithConfig(engine, cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, engine
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestHostileUploads drives deliberately malformed meshes through the real
+// HTTP stack: each must produce a structured 4xx — never a hang, panic, or
+// huge allocation — and must leave the database and indexes untouched.
+func TestHostileUploads(t *testing.T) {
+	_, ts, engine := testServerCfg(t, features.Options{}, Config{})
+	c := NewClient(ts.URL)
+	good, err := c.InsertShape("good", 1, geom.Box(geom.V(0, 0, 0), geom.V(10, 6, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := engine.DB().Len()
+
+	hostiles := []struct {
+		name string
+		off  string
+	}{
+		{"malformed header", "NOTANOFF\n1 2 3\n"},
+		{"truncated body", "OFF\n8 12 0\n0 0 0\n"},
+		{"vertex-count bomb", "OFF\n99999999999 1 0\n0 0 0\n3 0 1 2\n"},
+		{"nan vertex", "OFF\n3 1 0\nnan 0 0\n1 0 0\n0 1 0\n3 0 1 2\n"},
+		{"inf vertex", "OFF\n3 1 0\n+Inf 0 0\n1 0 0\n0 1 0\n3 0 1 2\n"},
+		{"out-of-range face index", "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 99\n"},
+		{"zero-volume open mesh", "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 2\n"},
+		{"empty mesh", "OFF\n0 0 0\n"},
+	}
+	for _, h := range hostiles {
+		t.Run(h.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/api/shapes", map[string]any{
+				"name": "hostile", "mesh_off": h.off,
+			})
+			if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+				t.Fatalf("status = %d, want 4xx", resp.StatusCode)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Errorf("no structured error body (decode err %v)", err)
+			}
+			// The same payload through the query path must also fail
+			// cleanly, not poison a search.
+			resp = postJSON(t, ts.URL+"/api/search", map[string]any{
+				"mesh_off": h.off, "feature": "principal_moments", "k": 3,
+			})
+			if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+				t.Errorf("search status = %d, want 4xx", resp.StatusCode)
+			}
+		})
+	}
+
+	if engine.DB().Len() != before {
+		t.Fatalf("db grew from %d to %d on hostile uploads", before, engine.DB().Len())
+	}
+	// The store still answers honest requests.
+	res, err := c.Search(SearchRequest{QueryID: good, Feature: features.PrincipalMoments.String(), K: 3})
+	if err != nil {
+		t.Fatalf("search after hostile uploads: %v", err)
+	}
+	_ = res
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	_, ts, engine := testServerCfg(t, features.Options{}, Config{MaxUploadBytes: 1024})
+	big := strings.Repeat("x", 4096)
+	resp := postJSON(t, ts.URL+"/api/shapes", map[string]any{"name": big, "mesh_off": big})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	if engine.DB().Len() != 0 {
+		t.Errorf("db has %d records", engine.DB().Len())
+	}
+}
+
+// TestDegradedInsertOverHTTP exercises graceful degradation end to end: a
+// server whose skeletal-graph branch always fails (VoxelResolution 1 —
+// rejected by the voxelizer) still ingests shapes, reports which
+// descriptors are missing, and serves searches on the survivors.
+func TestDegradedInsertOverHTTP(t *testing.T) {
+	_, ts, engine := testServerCfg(t, features.Options{VoxelResolution: 1}, Config{})
+	resp := postJSON(t, ts.URL+"/api/shapes", map[string]any{
+		"name": "nasty", "group": 1,
+		"mesh_off": mustOFF(t, geom.Box(geom.V(0, 0, 0), geom.V(2, 1, 1))),
+	})
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var created struct {
+		ID       int64    `json:"id"`
+		Degraded []string `json:"degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	if len(created.Degraded) != 1 || created.Degraded[0] != "eigenvalues" {
+		t.Fatalf("degraded = %v, want [eigenvalues]", created.Degraded)
+	}
+
+	c := NewClient(ts.URL)
+	info, err := c.GetShape(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Degraded) != 1 || info.Degraded[0] != "eigenvalues" {
+		t.Errorf("ShapeInfo.Degraded = %v", info.Degraded)
+	}
+
+	// Search falls back to a surviving descriptor...
+	res, err := c.Search(SearchRequest{QueryID: created.ID, Feature: features.MomentInvariants.String(), K: 3})
+	if err != nil {
+		t.Fatalf("search on surviving descriptor: %v", err)
+	}
+	_ = res
+	// ...while the degraded one reports a clean 4xx, not a crash.
+	if _, err := c.Search(SearchRequest{QueryID: created.ID, Feature: features.Eigenvalues.String(), K: 3}); err == nil {
+		t.Error("search on degraded descriptor succeeded")
+	}
+	if engine.DB().Len() != 1 {
+		t.Errorf("db has %d records", engine.DB().Len())
+	}
+
+	// The batch path reports per-shape degradation too.
+	var batch BatchInsertResponse
+	resp = postJSON(t, ts.URL+"/api/shapes/batch", BatchInsertRequest{Shapes: []BatchShape{
+		{Name: "b1", MeshOFF: mustOFF(t, geom.Box(geom.V(0, 0, 0), geom.V(3, 1, 1)))},
+	}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.IDs) != 1 || len(batch.Degraded) != 1 || len(batch.Degraded[0]) != 1 {
+		t.Errorf("batch response = %+v", batch)
+	}
+}
+
+func mustOFF(t *testing.T, m *geom.Mesh) string {
+	t.Helper()
+	off, err := MeshToOFF(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return off
+}
+
+// TestAdmissionGateSheds fills the in-flight slots with a stalled upload
+// and checks that the next request is shed with 429 + Retry-After while
+// health probes keep answering, and that capacity frees once the stalled
+// request finishes.
+func TestAdmissionGateSheds(t *testing.T) {
+	_, ts, _ := testServerCfg(t, features.Options{}, Config{MaxInFlight: 1})
+
+	// Hold the single slot: a POST whose body never finishes keeps its
+	// handler blocked in the JSON decoder.
+	pr, pw := io.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/search", pr)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	if _, err := pw.Write([]byte(`{"feature":`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The slot is taken as soon as the stalled request enters ServeHTTP;
+	// poll until the gate is observably full.
+	deadline := time.Now().Add(5 * time.Second)
+	var shed *http.Response
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/api/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shed = resp
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if shed == nil {
+		t.Fatal("gate never shed a request")
+	}
+	if ra := shed.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(shed.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "capacity") {
+		t.Errorf("shed body error = %q (%v)", e.Error, err)
+	}
+	shed.Body.Close()
+
+	// Health endpoints bypass the gate even at capacity.
+	for _, path := range []string{HealthzPath, ReadyzPath} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d under overload, want 200", path, resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// Release the slot; the server must accept work again.
+	pw.CloseWithError(fmt.Errorf("test done"))
+	wg.Wait()
+	deadline = time.Now().Add(5 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/api/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := resp.StatusCode == http.StatusOK
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if ok {
+			recovered = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("server did not recover after the stalled request finished")
+	}
+}
+
+// TestPanicRecovery registers a panicking route on the server's own mux
+// and checks a panic becomes a 500 while the server keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	s, ts, _ := testServerCfg(t, features.Options{}, Config{})
+	s.mux.HandleFunc("/panic", func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	resp, err := http.Get(ts.URL + "/panic")
+	if err != nil {
+		t.Fatalf("panicking handler killed the connection: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("no structured 500 body (%v)", err)
+	}
+	// Later requests are unaffected.
+	resp2, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("stats after panic = %d", resp2.StatusCode)
+	}
+}
+
+func TestReadinessProbe(t *testing.T) {
+	s, ts, _ := testServerCfg(t, features.Options{}, Config{})
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get(ReadyzPath); got != http.StatusOK {
+		t.Errorf("fresh server readyz = %d", got)
+	}
+	s.SetReady(false)
+	if got := get(ReadyzPath); got != http.StatusServiceUnavailable {
+		t.Errorf("not-ready readyz = %d, want 503", got)
+	}
+	if got := get(HealthzPath); got != http.StatusOK {
+		t.Errorf("healthz while not ready = %d, want 200", got)
+	}
+	// API requests still work while not ready — readiness is a probe for
+	// load balancers, not a request gate.
+	if got := get("/api/stats"); got != http.StatusOK {
+		t.Errorf("stats while not ready = %d", got)
+	}
+	s.SetReady(true)
+	if got := get(ReadyzPath); got != http.StatusOK {
+		t.Errorf("re-ready readyz = %d", got)
+	}
+}
+
+// TestClientHonors429 pins the client contract: a shed request is retried
+// for every method, waiting the server's Retry-After hint.
+func TestClientHonors429(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"server at capacity"}`)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"id":7}`)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	id, err := c.InsertShape("retry-me", 0, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1)))
+	if err != nil {
+		t.Fatalf("InsertShape through a 429: %v", err)
+	}
+	if id != 7 {
+		t.Errorf("id = %d", id)
+	}
+	if calls != 2 {
+		t.Errorf("server saw %d calls, want 2", calls)
+	}
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Errorf("slept %v, want exactly the 2s Retry-After hint", slept)
+	}
+}
+
+// TestClientPostNotRetriedOn5xx pins the other half of the retry contract:
+// a mutating request that reached a handler (500) is NOT resent.
+func TestClientPostNotRetriedOn5xx(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"boom"}`)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.sleep = func(time.Duration) {}
+	if _, err := c.InsertShape("x", 0, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))); err == nil {
+		t.Fatal("500 insert reported success")
+	}
+	if calls != 1 {
+		t.Errorf("server saw %d calls, want 1 (no POST retry on 5xx)", calls)
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+)
+
+// Overload protection: the server survives both hostile requests and too
+// many requests. Three layers run in ServeHTTP order:
+//
+//  1. Health endpoints (/healthz, /readyz) answer before everything else —
+//     an overloaded or still-loading server must keep answering probes, or
+//     an orchestrator will kill exactly the instance that is busy doing
+//     useful work.
+//  2. Panic recovery turns a handler panic into a 500 with a logged stack
+//     instead of a killed connection (and, for panics escaping into
+//     goroutines, a dead process).
+//  3. An admission gate bounds in-flight requests. Excess load is shed
+//     immediately with 429 + Retry-After, so admitted requests keep their
+//     latency instead of everyone timing out together.
+const (
+	HealthzPath = "/healthz"
+	ReadyzPath  = "/readyz"
+
+	// DefaultMaxInFlight bounds concurrently admitted API requests. Shape
+	// search holds a worker pool per request at worst; hundreds of admitted
+	// requests already oversubscribe any machine this runs on.
+	DefaultMaxInFlight = 256
+)
+
+// ServeHTTP implements http.Handler: health endpoints, then panic
+// recovery, then the admission gate, then per-request deadline and body
+// cap, then the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case HealthzPath:
+		s.handleHealthz(w, r)
+		return
+	case ReadyzPath:
+		s.handleReadyz(w, r)
+		return
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			// The net/http sentinel for "abort this connection quietly";
+			// suppressing it would turn a deliberate abort into a 500.
+			panic(rec)
+		}
+		log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+		if !sw.wrote {
+			writeErr(sw, http.StatusInternalServerError, fmt.Errorf("internal error"))
+		}
+	}()
+	if s.gate != nil {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+		default:
+			// Shed before any work happens: the request never reached a
+			// handler, so the client may safely resend it after the hint.
+			sw.Header().Set("Retry-After", "1")
+			writeErr(sw, http.StatusTooManyRequests,
+				fmt.Errorf("server at capacity (%d requests in flight)", cap(s.gate)))
+			return
+		}
+	}
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	if s.cfg.MaxUploadBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxUploadBytes)
+	}
+	s.mux.ServeHTTP(sw, r)
+}
+
+// SetReady flips the readiness reported by /readyz. A server is born ready;
+// cmd/3dess clears readiness while it ingests the startup corpus so load
+// balancers hold traffic until the database is populated.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports the current readiness.
+func (s *Server) Ready() bool { return !s.notReady.Load() }
+
+// handleHealthz is the liveness probe: 200 whenever the process can still
+// run a handler. It bypasses the admission gate — shedding a liveness probe
+// under load would get a healthy instance restarted.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"shapes": s.engine.DB().Len(),
+	})
+}
+
+// handleReadyz is the readiness probe: 200 once the server should receive
+// traffic, 503 while it is still loading.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+// statusWriter records whether a response has started, so the panic
+// recovery path knows if it can still write a clean 500.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer when it supports it, preserving
+// streaming behaviour through the middleware.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"threedess/internal/core"
@@ -28,6 +29,12 @@ type Server struct {
 	engine *core.Engine
 	mux    *http.ServeMux
 	cfg    Config
+	// gate is the admission semaphore bounding in-flight requests (nil =
+	// unbounded); see overload.go.
+	gate chan struct{}
+	// notReady inverts /readyz (zero value = ready, so embedded servers
+	// and tests need no setup call).
+	notReady atomic.Bool
 }
 
 // Defaults for Config fields left zero.
@@ -48,6 +55,15 @@ type Config struct {
 	// large ones). Exceeding it yields 413 instead of an OOM-sized
 	// decode.
 	MaxUploadBytes int64
+	// MaxInFlight caps concurrently admitted API requests; excess
+	// requests are shed with 429 + Retry-After before doing any work
+	// (health endpoints are exempt). Zero takes DefaultMaxInFlight,
+	// negative disables the gate.
+	MaxInFlight int
+	// MeshLimits bound every uploaded mesh the server parses: declared
+	// vertex/triangle counts, face degree, and token length. The zero
+	// value takes the geom defaults; see geom.ReadLimits.
+	MeshLimits geom.ReadLimits
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxUploadBytes == 0 {
 		c.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = DefaultMaxInFlight
 	}
 	return c
 }
@@ -66,6 +85,9 @@ func New(engine *core.Engine) *Server { return NewWithConfig(engine, Config{}) }
 // NewWithConfig builds a server with explicit request limits.
 func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	s := &Server{engine: engine, mux: http.NewServeMux(), cfg: cfg.withDefaults()}
+	if s.cfg.MaxInFlight > 0 {
+		s.gate = make(chan struct{}, s.cfg.MaxInFlight)
+	}
 	s.mux.HandleFunc("/api/shapes", s.handleShapes)
 	s.mux.HandleFunc("/api/shapes/batch", s.handleShapesBatch)
 	s.mux.HandleFunc("/api/shapes/", s.handleShapeByID)
@@ -78,28 +100,30 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler. Every request runs under a deadline
-// and a bounded body before reaching a handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.RequestTimeout > 0 {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		defer cancel()
-		r = r.WithContext(ctx)
-	}
-	if s.cfg.MaxUploadBytes > 0 && r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	}
-	s.mux.ServeHTTP(w, r)
+// parseMesh parses an uploaded OFF mesh under the server's parser limits,
+// so a hostile header can't commit the server to an unbounded allocation.
+func (s *Server) parseMesh(off string) (*geom.Mesh, error) {
+	return geom.ReadOFFLimits(strings.NewReader(off), s.cfg.MeshLimits)
 }
 
 // --- wire types ---
 
-// ShapeInfo describes one stored shape.
+// ShapeInfo describes one stored shape. Degraded lists feature kinds that
+// were unavailable when the shape was ingested (see features.Degradation);
+// the shape is searchable through every other descriptor.
 type ShapeInfo struct {
-	ID    int64  `json:"id"`
-	Name  string `json:"name"`
-	Group int    `json:"group"`
-	Faces int    `json:"faces"`
+	ID       int64    `json:"id"`
+	Name     string   `json:"name"`
+	Group    int      `json:"group"`
+	Faces    int      `json:"faces"`
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+func infoOf(rec *shapedb.Record) ShapeInfo {
+	return ShapeInfo{
+		ID: rec.ID, Name: rec.Name, Group: rec.Group,
+		Faces: len(rec.Mesh.Faces), Degraded: rec.Degraded,
+	}
 }
 
 // ViewModel is the triangulated 3D view of a shape (the "3D view
@@ -148,8 +172,11 @@ type BatchInsertRequest struct {
 }
 
 // BatchInsertResponse returns the assigned ids, aligned with the request.
+// Degraded (also aligned, present only when any shape degraded) lists the
+// feature kinds skipped per shape.
 type BatchInsertResponse struct {
-	IDs []int64 `json:"ids"`
+	IDs      []int64    `json:"ids"`
+	Degraded [][]string `json:"degraded,omitempty"`
 }
 
 // MultiStepRequest runs the §4.2 strategy.
@@ -234,9 +261,7 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 		recs := s.engine.DB().Snapshot()
 		out := make([]ShapeInfo, 0, len(recs))
 		for _, rec := range recs {
-			out = append(out, ShapeInfo{
-				ID: rec.ID, Name: rec.Name, Group: rec.Group, Faces: len(rec.Mesh.Faces),
-			})
+			out = append(out, infoOf(rec))
 		}
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
@@ -250,22 +275,17 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 			writeDecodeErr(w, err)
 			return
 		}
-		mesh, err := geom.ReadOFF(strings.NewReader(req.MeshOFF))
+		mesh, err := s.parseMesh(req.MeshOFF)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		set, err := s.extractRepairing(mesh)
+		res, err := s.engine.IngestMesh(req.Name, req.Group, mesh, nil)
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		id, err := s.engine.DB().Insert(req.Name, req.Group, mesh, set)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+		writeJSON(w, http.StatusCreated, map[string]any{"id": res.ID, "degraded": res.Degraded})
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
@@ -291,25 +311,33 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	items := make([]core.IngestShape, len(req.Shapes))
 	for i, sh := range req.Shapes {
-		mesh, err := geom.ReadOFF(strings.NewReader(sh.MeshOFF))
+		mesh, err := s.parseMesh(sh.MeshOFF)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("shape %d (%q): %w", i, sh.Name, err))
 			return
 		}
-		// Extraction happens inside InsertBatch, so repair winding up
-		// front rather than retrying after failure like the
-		// single-shape path does; a well-formed mesh is untouched.
-		if mesh.Volume() < 0 {
-			mesh.OrientConsistently()
-		}
 		items[i] = core.IngestShape{Name: sh.Name, Group: sh.Group, Mesh: mesh}
 	}
-	ids, err := s.engine.InsertBatch(r.Context(), items, nil)
+	res, err := s.engine.IngestBatch(r.Context(), items, nil)
 	if err != nil {
 		writeEngineErr(w, err, http.StatusUnprocessableEntity)
 		return
 	}
-	writeJSON(w, http.StatusCreated, BatchInsertResponse{IDs: ids})
+	resp := BatchInsertResponse{IDs: make([]int64, len(res))}
+	anyDegraded := false
+	for i, ir := range res {
+		resp.IDs[i] = ir.ID
+		if len(ir.Degraded) > 0 {
+			anyDegraded = true
+		}
+	}
+	if anyDegraded {
+		resp.Degraded = make([][]string, len(res))
+		for i, ir := range res {
+			resp.Degraded[i] = ir.Degraded
+		}
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 // handleShapeByID serves /api/shapes/{id} and /api/shapes/{id}/view.
@@ -336,9 +364,7 @@ func (s *Server) handleShapeByID(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, viewOf(rec))
 			return
 		}
-		writeJSON(w, http.StatusOK, ShapeInfo{
-			ID: rec.ID, Name: rec.Name, Group: rec.Group, Faces: len(rec.Mesh.Faces),
-		})
+		writeJSON(w, http.StatusOK, infoOf(rec))
 	case http.MethodDelete:
 		if wantView {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("cannot delete a view"))
@@ -371,38 +397,25 @@ func viewOf(rec *shapedb.Record) ViewModel {
 }
 
 // resolveQuery extracts the feature set for a request's query (by id or by
-// uploaded OFF mesh).
+// uploaded OFF mesh). An uploaded mesh passes the full ingest quarantine
+// (sanitize, weld/orientation repair, finiteness check); a degraded
+// descriptor simply stays absent from the query set, so the search falls
+// back to whatever descriptors are available — asking for a degraded one
+// reports "query has no X vector" rather than failing the whole upload.
 func (s *Server) resolveQuery(queryID int64, meshOFF string) (features.Set, error) {
 	switch {
 	case queryID != 0:
 		return s.engine.QueryFeatures(queryID)
 	case meshOFF != "":
-		mesh, err := geom.ReadOFF(strings.NewReader(meshOFF))
+		mesh, err := s.parseMesh(meshOFF)
 		if err != nil {
 			return nil, fmt.Errorf("parsing query mesh: %w", err)
 		}
-		return s.extractRepairing(mesh)
+		set, _, _, err := s.engine.ExtractUntrusted(mesh, features.CoreKinds)
+		return set, err
 	default:
 		return nil, fmt.Errorf("either query_id or mesh_off must be provided")
 	}
-}
-
-// extractRepairing runs feature extraction, retrying once after
-// orientation repair when the mesh arrives with incoherent or inverted
-// winding — common for STL/OBJ uploads from mixed toolchains.
-func (s *Server) extractRepairing(mesh *geom.Mesh) (features.Set, error) {
-	set, err := s.engine.Extractor().Extract(mesh, features.CoreKinds)
-	if err == nil {
-		return set, nil
-	}
-	if _, rerr := mesh.OrientConsistently(); rerr != nil {
-		return nil, err // report the original extraction failure
-	}
-	set, rerr := s.engine.Extractor().Extract(mesh, features.CoreKinds)
-	if rerr != nil {
-		return nil, err
-	}
-	return set, nil
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {

@@ -22,13 +22,17 @@ import (
 )
 
 // Record is one stored shape: identity, ground-truth group (0 = none),
-// geometry, and its extracted feature vectors.
+// geometry, and its extracted feature vectors. Degraded lists the stable
+// names of feature kinds whose extraction was skipped on a
+// valid-but-nasty mesh (see features.Degradation); such a record is
+// searchable through every descriptor it does carry.
 type Record struct {
 	ID       int64
 	Name     string
 	Group    int
 	Mesh     *geom.Mesh
 	Features features.Set
+	Degraded []string
 }
 
 // DB is the shape database.
@@ -89,6 +93,7 @@ func OpenFS(dir string, opts features.Options, fsys faultfs.FS) (*DB, error) {
 		return nil, fmt.Errorf("shapedb: removing stale compaction file: %w", err)
 	}
 	path := filepath.Join(dir, journalName)
+	var skipped int
 	rep, err := replayJournal(fsys, path, func(e *journalEntry) error {
 		switch e.Op {
 		case opInsert:
@@ -96,8 +101,16 @@ func OpenFS(dir string, opts features.Options, fsys faultfs.FS) (*DB, error) {
 			if err != nil {
 				return fmt.Errorf("shapedb: journal entry %d: %w", e.ID, err)
 			}
+			// A decodable entry can still carry vectors the index must not
+			// see — non-finite coordinates, or dimensions from a different
+			// option set than this open. Applying it would panic deep in
+			// applyInsert (and poison MBRs); skip it and report instead.
+			if checkFeatures(db.opts, set) != nil {
+				skipped++
+				return nil
+			}
 			mesh := &geom.Mesh{Vertices: e.Vertices, Faces: e.Faces}
-			rec := &Record{ID: e.ID, Name: e.Name, Group: e.Group, Mesh: mesh, Features: set}
+			rec := &Record{ID: e.ID, Name: e.Name, Group: e.Group, Mesh: mesh, Features: set, Degraded: e.Degraded}
 			db.applyInsert(rec)
 		case opDelete:
 			db.applyDelete(e.ID)
@@ -107,6 +120,7 @@ func OpenFS(dir string, opts features.Options, fsys faultfs.FS) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	rep.SkippedRecords = skipped
 	if rep.Degraded() {
 		if err := quarantineTail(fsys, dir, rep); err != nil {
 			return nil, fmt.Errorf("shapedb: quarantining corrupt journal tail: %w", err)
@@ -201,16 +215,30 @@ func (db *DB) Len() int {
 // Insert stores a shape and indexes every feature vector in its set. It
 // returns the assigned database ID.
 func (db *DB) Insert(name string, group int, mesh *geom.Mesh, set features.Set) (int64, error) {
+	return db.InsertFull(name, group, mesh, set, nil)
+}
+
+// InsertFull is Insert carrying per-kind degradation flags (stable feature
+// kind names whose extraction was skipped; see features.Degradation). The
+// flags are journaled with the record and survive recovery.
+//
+// The shape is validated before anything is journaled: the mesh must be
+// structurally sound and every feature vector must have the configured
+// dimension and finite coordinates. A single NaN coordinate would
+// otherwise corrupt R-tree MBR invariants and the feature-space bounds
+// behind every future similarity value.
+func (db *DB) InsertFull(name string, group int, mesh *geom.Mesh, set features.Set, degraded []string) (int64, error) {
 	if mesh == nil {
 		return 0, fmt.Errorf("shapedb: nil mesh")
+	}
+	if err := mesh.Validate(); err != nil {
+		return 0, fmt.Errorf("shapedb: invalid mesh for %q: %w", name, err)
 	}
 	if len(set) == 0 {
 		return 0, fmt.Errorf("shapedb: empty feature set for %q", name)
 	}
-	for k, v := range set {
-		if want := db.opts.Dim(k); len(v) != want {
-			return 0, fmt.Errorf("shapedb: feature %v has dimension %d, want %d", k, len(v), want)
-		}
+	if err := checkFeatures(db.opts, set); err != nil {
+		return 0, fmt.Errorf("shapedb: %q: %w", name, err)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -220,12 +248,29 @@ func (db *DB) Insert(name string, group int, mesh *geom.Mesh, set features.Set) 
 		Group:    group,
 		Mesh:     mesh.Clone(),
 		Features: set.Clone(),
+		Degraded: append([]string(nil), degraded...),
 	}
 	if err := db.logInsert(rec); err != nil {
 		return 0, err
 	}
 	db.applyInsert(rec)
 	return rec.ID, nil
+}
+
+// checkFeatures rejects vectors that would violate index invariants:
+// wrong dimension for the database's options, or non-finite coordinates.
+func checkFeatures(opts features.Options, set features.Set) error {
+	for k, v := range set {
+		if want := opts.Dim(k); len(v) != want {
+			return fmt.Errorf("feature %v has dimension %d, want %d", k, len(v), want)
+		}
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("feature %v has non-finite coordinate %g at dimension %d", k, x, i)
+			}
+		}
+	}
+	return nil
 }
 
 func (db *DB) logInsert(rec *Record) error {
@@ -240,6 +285,7 @@ func (db *DB) logInsert(rec *Record) error {
 		Vertices: rec.Mesh.Vertices,
 		Faces:    rec.Mesh.Faces,
 		Features: encodeFeatures(rec.Features),
+		Degraded: rec.Degraded,
 	}
 	if err := db.journal.append(e); err != nil {
 		return err
@@ -541,6 +587,7 @@ func (db *DB) Compact() error {
 			Vertices: rec.Mesh.Vertices,
 			Faces:    rec.Mesh.Faces,
 			Features: encodeFeatures(rec.Features),
+			Degraded: rec.Degraded,
 		}
 		if err := nj.append(e); err != nil {
 			nj.close()

@@ -46,6 +46,10 @@ type journalEntry struct {
 	Faces    [][3]int
 	// Features keyed by the stable string names.
 	Features map[string][]float64
+	// Degraded lists feature kinds skipped by per-kind extraction
+	// degradation (stable names). Absent in pre-degradation journals,
+	// which gob decodes as nil.
+	Degraded []string
 }
 
 func encodeFeatures(set features.Set) map[string][]float64 {

@@ -1,0 +1,177 @@
+package shapedb
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"threedess/internal/faultfs"
+	"threedess/internal/features"
+	"threedess/internal/geom"
+)
+
+// Inserting a non-finite vector must fail before anything reaches the
+// journal: a poisoned journal entry would otherwise come back at every
+// future Open.
+func TestInsertRejectsNonFiniteFeatures(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodID := testRecord(t, db, "good", 0, 1)
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+
+	bad := fixedFeatures(db.Options(), 2)
+	bad[features.MomentInvariants][0] = math.NaN()
+	if _, err := db.Insert("nan", 0, mesh, bad); err == nil {
+		t.Fatal("NaN feature vector accepted")
+	}
+	bad[features.MomentInvariants][0] = math.Inf(1)
+	if _, err := db.Insert("inf", 0, mesh, bad); err == nil {
+		t.Fatal("Inf feature vector accepted")
+	}
+	short := fixedFeatures(db.Options(), 2)
+	short[features.MomentInvariants] = short[features.MomentInvariants][:1]
+	if _, err := db.Insert("short", 0, mesh, short); err == nil {
+		t.Fatal("wrong-dimension feature vector accepted")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rejected inserts must have left no trace in the journal.
+	db, err = Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", db.Len())
+	}
+	if _, ok := db.Get(goodID); !ok {
+		t.Error("good record lost")
+	}
+	if rep := db.Recovery(); rep.SkippedRecords != 0 {
+		t.Errorf("SkippedRecords = %d, want 0", rep.SkippedRecords)
+	}
+}
+
+// A journal that somehow carries a poison record (older binary without the
+// insert-time check, bit-identical corruption that still passes CRC, a
+// different option set) must not panic Open or poison the index — the
+// record is skipped and counted.
+func TestReplaySkipsPoisonRecords(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := db.Options()
+	goodID := testRecord(t, db, "good", 0, 1)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a poison insert behind the database's back, with a valid
+	// frame and CRC so only the feature check can refuse it.
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	poison := fixedFeatures(opts, 9)
+	poison[features.GeometricParams][0] = math.NaN()
+	j, err := openJournal(faultfs.OS{}, filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(&journalEntry{
+		Op:       opInsert,
+		ID:       99,
+		Name:     "poison",
+		Vertices: mesh.Vertices,
+		Faces:    mesh.Faces,
+		Features: encodeFeatures(poison),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (poison record skipped)", db.Len())
+	}
+	if _, ok := db.Get(99); ok {
+		t.Error("poison record is live")
+	}
+	if _, ok := db.Get(goodID); !ok {
+		t.Error("good record lost")
+	}
+	rep := db.Recovery()
+	if rep.SkippedRecords != 1 {
+		t.Fatalf("SkippedRecords = %d, want 1", rep.SkippedRecords)
+	}
+	if !strings.Contains(rep.String(), "1 invalid records skipped") {
+		t.Errorf("report %q does not mention the skip", rep.String())
+	}
+	// The database must stay fully usable after a skip.
+	if id := testRecord(t, db, "after", 0, 2); id <= goodID {
+		t.Errorf("post-skip insert got id %d", id)
+	}
+}
+
+// Degradation flags ride the journal through recovery and compaction.
+func TestDegradedFlagsSurviveRecoveryAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	set := fixedFeatures(db.Options(), 1)
+	delete(set, features.Eigenvalues)
+	id, err := db.InsertFull("degraded", 2, mesh, set, []string{"eigenvalues"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		rec, ok := db.Get(id)
+		if !ok {
+			t.Fatalf("%s: record missing", stage)
+		}
+		if len(rec.Degraded) != 1 || rec.Degraded[0] != "eigenvalues" {
+			t.Errorf("%s: Degraded = %v", stage, rec.Degraded)
+		}
+		if _, ok := rec.Features[features.Eigenvalues]; ok {
+			t.Errorf("%s: degraded kind present in features", stage)
+		}
+	}
+	check("insert")
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("recovery")
+
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	check("compaction")
+}

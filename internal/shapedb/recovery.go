@@ -67,6 +67,12 @@ type RecoveryReport struct {
 	// Quarantined is the path the discarded tail was copied to before the
 	// journal was truncated ("" when nothing was discarded).
 	Quarantined string
+	// SkippedRecords counts intact, decodable insert entries that were
+	// nevertheless refused at replay because their feature vectors would
+	// violate index invariants (wrong dimension for the database's options,
+	// or non-finite coordinates). Applying such a record would poison the
+	// R-tree for every future query, so replay drops it instead.
+	SkippedRecords int
 }
 
 // finish seals the report once replay stops, deriving the discard span and
@@ -100,14 +106,18 @@ func (r *RecoveryReport) String() string {
 	if r == nil {
 		return "in-memory (no journal)"
 	}
+	skipped := ""
+	if r.SkippedRecords > 0 {
+		skipped = fmt.Sprintf(", %d invalid records skipped", r.SkippedRecords)
+	}
 	if !r.Degraded() {
-		return fmt.Sprintf("clean: %d entries (%d inserts, %d deletes), %d bytes",
-			r.Entries, r.Inserts, r.Deletes, r.GoodBytes)
+		return fmt.Sprintf("clean: %d entries (%d inserts, %d deletes), %d bytes%s",
+			r.Entries, r.Inserts, r.Deletes, r.GoodBytes, skipped)
 	}
 	kind := "mid-file corruption"
 	if r.TornTail {
 		kind = "torn tail"
 	}
-	return fmt.Sprintf("degraded: %d entries (%d inserts, %d deletes) recovered, %d/%d bytes discarded (%s: %s), quarantined to %s",
-		r.Entries, r.Inserts, r.Deletes, r.DiscardedBytes, r.TotalBytes, kind, r.Tail, r.Quarantined)
+	return fmt.Sprintf("degraded: %d entries (%d inserts, %d deletes) recovered%s, %d/%d bytes discarded (%s: %s), quarantined to %s",
+		r.Entries, r.Inserts, r.Deletes, skipped, r.DiscardedBytes, r.TotalBytes, kind, r.Tail, r.Quarantined)
 }

@@ -14,3 +14,10 @@ go test -race -count=1 ./internal/shapedb/... ./internal/core/... ./internal/fea
 # Durability gate: the fault-injection crash matrix and faultfs harness
 # under the race detector, never cached.
 go test -race -count=1 -run 'Crash|Fault|Torn|Recovery' ./internal/shapedb/... ./internal/faultfs/...
+# Hostile-input gate: a short live-fuzz pass over each mesh parser (the
+# checked-in seeds alone run in the normal suite; this explores beyond
+# them). 5s per target keeps the gate fast while still catching
+# shallow parser regressions.
+go test -run '^$' -fuzz '^FuzzReadOFF$' -fuzztime 5s ./internal/geom
+go test -run '^$' -fuzz '^FuzzReadOBJ$' -fuzztime 5s ./internal/geom
+go test -run '^$' -fuzz '^FuzzReadSTL$' -fuzztime 5s ./internal/geom

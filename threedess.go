@@ -168,13 +168,18 @@ func (s *System) Len() int { return s.db.Len() }
 
 // Insert extracts the core descriptors of mesh and stores it. group is the
 // optional ground-truth similarity group (0 = none). It returns the
-// database id.
+// database id. The mesh passes the ingest quarantine: it is validated
+// (with a weld/orientation repair fallback for sloppy exports) and every
+// extracted vector is checked finite before anything is stored; a shape
+// whose skeletal-graph branch fails is still stored and searchable through
+// its remaining descriptors (the record's Degraded flags name the missing
+// kinds).
 func (s *System) Insert(name string, group int, mesh *Mesh) (int64, error) {
-	set, err := s.engine.Extractor().Extract(mesh, features.CoreKinds)
+	res, err := s.engine.IngestMesh(name, group, mesh, nil)
 	if err != nil {
 		return 0, err
 	}
-	return s.db.Insert(name, group, mesh, set)
+	return res.ID, nil
 }
 
 // InsertBatch stores many shapes at once: the §3 feature pipeline runs
