@@ -6,6 +6,7 @@
 //
 //	3dess [-addr :8080] [-data ./data] [-load-corpus] [-seed 42]
 //	      [-max-inflight 256] [-max-mesh-vertices N] [-max-mesh-triangles N]
+//	      [-scrub-interval 5m] [-reconcile-interval 10m] [-compact-ratio 2.0]
 //
 // With -data the shape database is durable (journal + crash recovery);
 // without it the server is in-memory. -load-corpus generates and ingests
@@ -15,6 +16,13 @@
 // bounds concurrently admitted requests — excess load is shed with 429 +
 // Retry-After rather than queued. The -max-mesh-* flags cap what an
 // uploaded mesh may declare before the parser refuses it.
+//
+// The self-healing maintenance loops run in the background:
+// -scrub-interval paces full integrity scrubs (every record re-verified
+// against its journal frame, damage quarantined), -reconcile-interval
+// paces index↔store reconciliation, and -compact-ratio sets the write
+// amplification at which the journal is compacted automatically. Status
+// and manual triggers live at /api/admin/maintenance.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain-timeout; requests still running
@@ -36,6 +44,7 @@ import (
 	"threedess/internal/dataset"
 	"threedess/internal/features"
 	"threedess/internal/geom"
+	"threedess/internal/scrub"
 	"threedess/internal/server"
 	"threedess/internal/shapedb"
 )
@@ -52,6 +61,10 @@ func main() {
 	maxVertices := flag.Int("max-mesh-vertices", 0, "per-upload vertex cap for mesh parsing (0 = default, negative = unlimited)")
 	maxTriangles := flag.Int("max-mesh-triangles", 0, "per-upload triangle cap for mesh parsing (0 = default, negative = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long to drain in-flight requests on shutdown")
+	scrubInterval := flag.Duration("scrub-interval", 5*time.Minute, "pause between background integrity scrub passes (0 = disabled)")
+	scrubRate := flag.Int("scrub-rate", 2000, "background scrub throughput cap in records/sec (0 = unthrottled)")
+	reconcileInterval := flag.Duration("reconcile-interval", 10*time.Minute, "pause between index-store reconciliation passes (0 = disabled)")
+	compactRatio := flag.Float64("compact-ratio", 2.0, "journal/live byte amplification that triggers automatic compaction (0 = disabled)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -83,6 +96,21 @@ func main() {
 			MaxTriangles: *maxTriangles,
 		},
 	})
+
+	// Self-healing maintenance: background integrity scrubbing,
+	// index<->store reconciliation, and automatic compaction, surfaced at
+	// /api/admin/maintenance. Stop() runs before db.Close (LIFO defers)
+	// so no pass is mid-flight when the journal handle goes away.
+	maintCfg := scrub.DefaultConfig()
+	maintCfg.ScrubInterval = *scrubInterval
+	maintCfg.ScrubRate = *scrubRate
+	maintCfg.ReconcileInterval = *reconcileInterval
+	maintCfg.CompactRatio = *compactRatio
+	maintCfg.Logf = log.Printf
+	maint := scrub.New(db, maintCfg)
+	maint.Start(ctx)
+	defer maint.Stop()
+	api.SetMaintenance(maint)
 
 	// Listen before loading the corpus so /healthz and /readyz answer
 	// immediately; /readyz stays 503 until ingest finishes, holding load

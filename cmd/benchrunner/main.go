@@ -14,6 +14,7 @@
 //	-fig ablation multi-step Keep-parameter sweep
 //	-fig map    mean average precision per strategy (rank-quality summary)
 //	-fig perf   parallel ingest & sharded-scan throughput (serial vs pooled)
+//	-fig scrub  integrity-scrub throughput (records/sec, serial vs pooled)
 //	-fig all    everything (default)
 //
 // Output is a human-readable table per figure, with CSV rows (prefixed by
@@ -33,11 +34,11 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	fig := flag.String("fig", "all", "figure to regenerate (4, 7, 8..12, 13, 15, 16, rtree, cluster, ext, ablation, perf, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (4, 7, 8..12, 13, 15, 16, rtree, cluster, ext, ablation, perf, scrub, all)")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	flag.Parse()
 
-	needCorpus := *fig != "4" && *fig != "rtree-synthetic" && *fig != "perf"
+	needCorpus := *fig != "4" && *fig != "rtree-synthetic" && *fig != "perf" && *fig != "scrub"
 	var c *eval.Corpus
 	if needCorpus {
 		fmt.Fprintln(os.Stderr, "building corpus (feature extraction over 113 shapes)...")
@@ -72,6 +73,14 @@ func main() {
 	run("ablation", func() error { return figAblation(c) })
 	run("map", func() error { return figMAP(c) })
 	run("perf", func() error { return figPerf(*seed) })
+	run("scrub", func() error {
+		dir, err := os.MkdirTemp("", "benchscrub")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		return figScrub(*seed, dir)
+	})
 }
 
 func header(title string) {

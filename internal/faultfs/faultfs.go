@@ -284,3 +284,28 @@ func (f *injectedFile) Close() error {
 	}
 	return f.File.Close()
 }
+
+// FlipByte XORs mask into the byte of the file at off — the bit-rot
+// injection used by integrity-scrub tests. It deliberately bypasses the
+// FS abstraction and writes through the os package directly: bit rot
+// happens underneath the filesystem API (media decay, firmware bugs),
+// not through it, so no injectable operation should observe it.
+func FlipByte(path string, off int64, mask byte) error {
+	if mask == 0 {
+		return fmt.Errorf("faultfs: FlipByte with zero mask flips nothing")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= mask
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return f.Close()
+}

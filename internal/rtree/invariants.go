@@ -1,0 +1,104 @@
+package rtree
+
+import "fmt"
+
+// ForEachEntry calls fn for every stored (leaf) entry. fn returning false
+// stops the walk early. Unlike Search it visits everything and does not
+// touch the node-access counter — it is an administrative walk, used by
+// the shapedb index↔store reconciler to diff index contents against the
+// record set, not a query.
+func (t *Tree) ForEachEntry(fn func(id int64, r Rect) bool) {
+	t.forEachEntry(t.root, fn)
+}
+
+func (t *Tree) forEachEntry(n *node, fn func(id int64, r Rect) bool) bool {
+	for _, e := range n.entries {
+		if n.leaf {
+			if !fn(e.id, e.rect) {
+				return false
+			}
+		} else if !t.forEachEntry(e.child, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckInvariants walks the whole tree and verifies the structural
+// invariants every query's correctness rests on:
+//
+//   - every leaf sits at the same depth (the tree is height-balanced);
+//   - every internal entry's rectangle is exactly the tight bounding box
+//     of its child's entries (MinDist pruning and Contains-guided deletes
+//     both assume tightness — a too-small box loses entries, a too-large
+//     one only wastes work, and neither should exist);
+//   - node entry counts respect Guttman's bounds: at most maxEntries
+//     everywhere; at least minEntries in non-root nodes; an internal root
+//     has at least 2 entries;
+//   - internal entries carry children and no payload, leaf entries carry
+//     no children; Len() equals the number of leaf entries.
+//
+// It returns the first violation found (nil when the tree is sound). The
+// reconciler runs it before trusting an index's contents, and escalates
+// to a full rebuild when it fails.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return fmt.Errorf("rtree: nil root")
+	}
+	leafDepth := -1
+	count := 0
+	var walk func(n *node, depth int) error
+	walk = func(n *node, depth int) error {
+		if len(n.entries) > t.maxEntries {
+			return fmt.Errorf("rtree: node at depth %d has %d entries, max %d", depth, len(n.entries), t.maxEntries)
+		}
+		isRoot := n == t.root
+		if !isRoot && len(n.entries) < t.minEntries {
+			return fmt.Errorf("rtree: non-root node at depth %d has %d entries, min %d", depth, len(n.entries), t.minEntries)
+		}
+		if isRoot && !n.leaf && len(n.entries) < 2 {
+			return fmt.Errorf("rtree: internal root has %d entries, want >= 2", len(n.entries))
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("rtree: leaf at depth %d, others at %d", depth, leafDepth)
+			}
+			for _, e := range n.entries {
+				if e.child != nil {
+					return fmt.Errorf("rtree: leaf entry %d carries a child node", e.id)
+				}
+				if len(e.rect.Min) != t.dim || len(e.rect.Max) != t.dim {
+					return fmt.Errorf("rtree: leaf entry %d has dimension %d, tree dimension %d", e.id, len(e.rect.Min), t.dim)
+				}
+			}
+			count += len(n.entries)
+			return nil
+		}
+		for i, e := range n.entries {
+			if e.child == nil {
+				return fmt.Errorf("rtree: internal entry %d at depth %d has nil child", i, depth)
+			}
+			if len(e.child.entries) == 0 {
+				return fmt.Errorf("rtree: internal entry %d at depth %d points at an empty node", i, depth)
+			}
+			tight := nodeRect(e.child)
+			if !rectEqual(e.rect, tight) {
+				return fmt.Errorf("rtree: internal entry %d at depth %d has box %v/%v, tight box %v/%v",
+					i, depth, e.rect.Min, e.rect.Max, tight.Min, tight.Max)
+			}
+			if err := walk(e.child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: Len() = %d but tree holds %d leaf entries", t.size, count)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkSound fails the test if the tree violates any structural invariant
+// or if ForEachEntry disagrees with Len about the stored entry set.
+func checkSound(t *testing.T, tr *Tree, wantIDs map[int64]Point) {
+	t.Helper()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+	got := make(map[int64]Point, tr.Len())
+	tr.ForEachEntry(func(id int64, r Rect) bool {
+		if _, dup := got[id]; dup {
+			t.Fatalf("ForEachEntry visited id %d twice", id)
+		}
+		got[id] = append(Point(nil), r.Min...)
+		return true
+	})
+	if len(got) != tr.Len() {
+		t.Fatalf("ForEachEntry saw %d entries, Len() = %d", len(got), tr.Len())
+	}
+	if wantIDs == nil {
+		return
+	}
+	if len(got) != len(wantIDs) {
+		t.Fatalf("tree holds %d entries, want %d", len(got), len(wantIDs))
+	}
+	for id, p := range wantIDs {
+		gp, ok := got[id]
+		if !ok {
+			t.Fatalf("id %d missing from tree", id)
+		}
+		for d := range p {
+			if gp[d] != p[d] {
+				t.Fatalf("id %d stored at %v, want %v", id, gp, p)
+			}
+		}
+	}
+}
+
+func TestCheckInvariantsEmptyAndSmall(t *testing.T) {
+	tr, err := New(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSound(t, tr, map[int64]Point{})
+	want := map[int64]Point{}
+	for i := int64(0); i < 3; i++ {
+		p := Point{float64(i), float64(i * 2), float64(i * 3)}
+		if err := tr.InsertPoint(i, p); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+		checkSound(t, tr, want)
+	}
+}
+
+// TestCheckInvariantsRandomWorkload drives a random mix of inserts and
+// deletes (with enough pressure to force splits, condense-tree orphan
+// reinsertion, and root collapses) and checks every structural invariant
+// after each batch.
+func TestCheckInvariantsRandomWorkload(t *testing.T) {
+	for _, capacity := range []int{4, 8, 16} {
+		rng := rand.New(rand.NewSource(int64(42 + capacity)))
+		tr, err := New(2, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[int64]Point{}
+		var ids []int64
+		nextID := int64(0)
+		for round := 0; round < 60; round++ {
+			// Insert a batch.
+			for i := 0; i < 25; i++ {
+				p := Point{rng.Float64() * 100, rng.Float64() * 100}
+				if err := tr.InsertPoint(nextID, p); err != nil {
+					t.Fatal(err)
+				}
+				live[nextID] = p
+				ids = append(ids, nextID)
+				nextID++
+			}
+			// Delete a random ~40% of what is live.
+			rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+			cut := len(ids) * 2 / 5
+			for _, id := range ids[:cut] {
+				if !tr.DeletePoint(id, live[id]) {
+					t.Fatalf("capacity %d: delete of live id %d failed", capacity, id)
+				}
+				delete(live, id)
+			}
+			ids = ids[cut:]
+			checkSound(t, tr, live)
+		}
+		// Drain to empty: condense-tree must keep the invariants through
+		// every intermediate shrink and the final root collapse.
+		for _, id := range ids {
+			if !tr.DeletePoint(id, live[id]) {
+				t.Fatalf("capacity %d: drain delete of id %d failed", capacity, id)
+			}
+			delete(live, id)
+			if len(live)%37 == 0 {
+				checkSound(t, tr, live)
+			}
+		}
+		checkSound(t, tr, map[int64]Point{})
+	}
+}
+
+// TestForEachEntryEarlyStop checks the walk honors fn returning false.
+func TestForEachEntryEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := buildTree(t, randomPoints(200, 3, rng), 3, 8)
+	seen := 0
+	tr.ForEachEntry(func(id int64, r Rect) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("walk visited %d entries after stop at 10", seen)
+	}
+}
+
+// TestCheckInvariantsDetectsDamage corrupts a tree on purpose and checks
+// the walk reports it — a checker that cannot fail is worthless.
+func TestCheckInvariantsDetectsDamage(t *testing.T) {
+	build := func() *Tree {
+		rng := rand.New(rand.NewSource(11))
+		return buildTree(t, randomPoints(300, 2, rng), 2, 4)
+	}
+
+	t.Run("size-mismatch", func(t *testing.T) {
+		tr := build()
+		tr.size++
+		if err := tr.CheckInvariants(); err == nil {
+			t.Fatal("inflated size not detected")
+		}
+	})
+
+	t.Run("loose-box", func(t *testing.T) {
+		tr := build()
+		if tr.root.leaf {
+			t.Skip("tree did not split")
+		}
+		tr.root.entries[0].rect.Max[0] += 5 // no longer tight
+		if err := tr.CheckInvariants(); err == nil {
+			t.Fatal("loose bounding box not detected")
+		}
+	})
+
+	t.Run("lost-entry", func(t *testing.T) {
+		tr := build()
+		if tr.root.leaf {
+			t.Skip("tree did not split")
+		}
+		// Drop a leaf entry without updating ancestors: breaks either the
+		// tight-box invariant or (if the box happens to stay tight) the
+		// size accounting.
+		n := tr.root
+		for !n.leaf {
+			n = n.entries[0].child
+		}
+		n.entries = n.entries[:len(n.entries)-1]
+		if err := tr.CheckInvariants(); err == nil {
+			t.Fatal("dropped leaf entry not detected")
+		}
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"threedess/internal/core"
 	"threedess/internal/features"
 	"threedess/internal/geom"
+	"threedess/internal/scrub"
 	"threedess/internal/shapedb"
 )
 
@@ -35,6 +36,9 @@ type Server struct {
 	// notReady inverts /readyz (zero value = ready, so embedded servers
 	// and tests need no setup call).
 	notReady atomic.Bool
+	// maint is the optional self-healing maintainer behind
+	// /api/admin/maintenance (nil until SetMaintenance; see admin.go).
+	maint atomic.Pointer[scrub.Maintainer]
 }
 
 // Defaults for Config fields left zero.
@@ -96,6 +100,7 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/api/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/api/browse", s.handleBrowse)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/admin/maintenance", s.handleMaintenance)
 	s.mux.HandleFunc("/", s.handleUI)
 	return s
 }

@@ -7,6 +7,7 @@
 package shapedb
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -14,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"threedess/internal/faultfs"
 	"threedess/internal/features"
@@ -51,6 +53,30 @@ type DB struct {
 	dir      string
 	fsys     faultfs.FS
 	recovery *RecoveryReport
+
+	// frames maps each live record to its insert frame in the current
+	// journal file, so the scrubber can re-verify the on-disk bytes a
+	// record was acknowledged with. liveBytes is the running sum of those
+	// frame sizes and entryCount the total frames in the journal file
+	// (live + superseded); both feed the compaction trigger policy.
+	frames     map[int64]frameRef
+	liveBytes  int64
+	entryCount int
+	// quarantined holds records the scrubber pulled out of service:
+	// removed from records and every index, kept here for inspection.
+	// dirtyQuarantine counts quarantines whose (possibly rotten) frames
+	// are still in the journal file — reset when compaction rewrites it.
+	quarantined     map[int64]QuarantineInfo
+	dirtyQuarantine int
+	// compacting rejects a second concurrent Compact with
+	// ErrCompactionInProgress instead of queueing a redundant rewrite
+	// behind the first (admin trigger racing the policy timer).
+	compacting atomic.Bool
+}
+
+// frameRef locates one record's insert frame in the journal file.
+type frameRef struct {
+	off, size int64
 }
 
 const (
@@ -72,14 +98,16 @@ func Open(dir string, opts features.Options) (*DB, error) {
 // off, and reported via Recovery() — the intact prefix always opens.
 func OpenFS(dir string, opts features.Options, fsys faultfs.FS) (*DB, error) {
 	db := &DB{
-		opts:    features.NewExtractor(opts).Options(),
-		records: make(map[int64]*Record),
-		indexes: make(map[features.Kind]*rtree.Tree),
-		lo:      make(map[features.Kind][]float64),
-		hi:      make(map[features.Kind][]float64),
-		nextID:  1,
-		dir:     dir,
-		fsys:    fsys,
+		opts:        features.NewExtractor(opts).Options(),
+		records:     make(map[int64]*Record),
+		indexes:     make(map[features.Kind]*rtree.Tree),
+		lo:          make(map[features.Kind][]float64),
+		hi:          make(map[features.Kind][]float64),
+		nextID:      1,
+		dir:         dir,
+		fsys:        fsys,
+		frames:      make(map[int64]frameRef),
+		quarantined: make(map[int64]QuarantineInfo),
 	}
 	if dir == "" {
 		return db, nil
@@ -94,7 +122,8 @@ func OpenFS(dir string, opts features.Options, fsys faultfs.FS) (*DB, error) {
 	}
 	path := filepath.Join(dir, journalName)
 	var skipped int
-	rep, err := replayJournal(fsys, path, func(e *journalEntry) error {
+	rep, err := replayJournal(fsys, path, func(e *journalEntry, off, size int64) error {
+		db.entryCount++
 		switch e.Op {
 		case opInsert:
 			set, err := decodeFeatures(e.Features)
@@ -112,6 +141,7 @@ func OpenFS(dir string, opts features.Options, fsys faultfs.FS) (*DB, error) {
 			mesh := &geom.Mesh{Vertices: e.Vertices, Faces: e.Faces}
 			rec := &Record{ID: e.ID, Name: e.Name, Group: e.Group, Mesh: mesh, Features: set, Degraded: e.Degraded}
 			db.applyInsert(rec)
+			db.setFrame(rec.ID, frameRef{off: off, size: size})
 		case opDelete:
 			db.applyDelete(e.ID)
 		}
@@ -250,11 +280,35 @@ func (db *DB) InsertFull(name string, group int, mesh *geom.Mesh, set features.S
 		Features: set.Clone(),
 		Degraded: append([]string(nil), degraded...),
 	}
-	if err := db.logInsert(rec); err != nil {
+	ref, err := db.logInsert(rec)
+	if err != nil {
 		return 0, err
 	}
 	db.applyInsert(rec)
+	if db.journal != nil {
+		db.entryCount++
+		db.setFrame(rec.ID, ref)
+	}
 	return rec.ID, nil
+}
+
+// setFrame records (or replaces) a live record's journal frame location,
+// keeping the liveBytes running sum in step. Callers hold the write lock.
+func (db *DB) setFrame(id int64, ref frameRef) {
+	if old, ok := db.frames[id]; ok {
+		db.liveBytes -= old.size
+	}
+	db.frames[id] = ref
+	db.liveBytes += ref.size
+}
+
+// dropFrame forgets a record's frame (the record was deleted or
+// quarantined; its bytes in the journal are now dead weight).
+func (db *DB) dropFrame(id int64) {
+	if ref, ok := db.frames[id]; ok {
+		db.liveBytes -= ref.size
+		delete(db.frames, id)
+	}
 }
 
 // checkFeatures rejects vectors that would violate index invariants:
@@ -273,9 +327,11 @@ func checkFeatures(opts features.Options, set features.Set) error {
 	return nil
 }
 
-func (db *DB) logInsert(rec *Record) error {
+// logInsert journals the record and returns the frame it was written to
+// (zero ref for in-memory stores).
+func (db *DB) logInsert(rec *Record) (frameRef, error) {
 	if db.journal == nil {
-		return nil
+		return frameRef{}, nil
 	}
 	e := &journalEntry{
 		Op:       opInsert,
@@ -287,10 +343,14 @@ func (db *DB) logInsert(rec *Record) error {
 		Features: encodeFeatures(rec.Features),
 		Degraded: rec.Degraded,
 	}
+	off := db.journal.off
 	if err := db.journal.append(e); err != nil {
-		return err
+		return frameRef{}, err
 	}
-	return db.journal.sync()
+	if err := db.journal.sync(); err != nil {
+		return frameRef{}, err
+	}
+	return frameRef{off: off, size: db.journal.off - off}, nil
 }
 
 // applyInsert mutates in-memory state; callers hold the write lock (or are
@@ -351,6 +411,7 @@ func (db *DB) Delete(id int64) (bool, error) {
 		if err := db.journal.sync(); err != nil {
 			return false, err
 		}
+		db.entryCount++
 	}
 	db.applyDelete(id)
 	return true, nil
@@ -367,6 +428,7 @@ func (db *DB) applyDelete(id int64) {
 		}
 	}
 	delete(db.records, id)
+	db.dropFrame(id)
 }
 
 // Get returns a copy-safe reference to the record with the given id.
@@ -549,15 +611,26 @@ func (db *DB) IndexStats(k features.Kind) (accesses, height, count int) {
 	return idx.NodeAccesses(), idx.Height(), idx.Len()
 }
 
+// ErrCompactionInProgress is returned by Compact when another compaction
+// is already running (the admin trigger racing the policy timer); the
+// caller's work is being done by the in-flight call.
+var ErrCompactionInProgress = errors.New("shapedb: compaction already in progress")
+
 // Compact rewrites the journal to contain exactly the live records,
 // dropping deleted history: the live set is written to a temp file, synced,
 // renamed over the journal, and the parent directory is synced so the
-// rename itself survives a crash. No-op for in-memory databases. On
-// failure the original journal stays authoritative (a stale temp file is
-// discarded by the next Open); if the journal handle cannot be restored
-// the database degrades to fail-stop — reads keep working, writes return
-// the poisoning error.
+// rename itself survives a crash. No-op for in-memory databases. At most
+// one compaction runs at a time; a concurrent call returns
+// ErrCompactionInProgress immediately rather than queueing a redundant
+// rewrite. On failure the original journal stays authoritative (a stale
+// temp file is discarded by the next Open); if the journal handle cannot
+// be restored the database degrades to fail-stop — reads keep working,
+// writes return the poisoning error.
 func (db *DB) Compact() error {
+	if !db.compacting.CompareAndSwap(false, true) {
+		return ErrCompactionInProgress
+	}
+	defer db.compacting.Store(false)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.journal == nil {
@@ -577,6 +650,7 @@ func (db *DB) Compact() error {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	newFrames := make(map[int64]frameRef, len(ids))
 	for _, id := range ids {
 		rec := db.records[id]
 		e := &journalEntry{
@@ -589,11 +663,13 @@ func (db *DB) Compact() error {
 			Features: encodeFeatures(rec.Features),
 			Degraded: rec.Degraded,
 		}
+		off := nj.off
 		if err := nj.append(e); err != nil {
 			nj.close()
 			db.fsys.Remove(tmp)
 			return err
 		}
+		newFrames[id] = frameRef{off: off, size: nj.off - off}
 	}
 	if err := nj.sync(); err != nil {
 		nj.close()
@@ -616,6 +692,9 @@ func (db *DB) Compact() error {
 		db.reopenJournal(path)
 		return fmt.Errorf("shapedb: compaction rename: %w", err)
 	}
+	// The rename landed: the file at path is the compacted live set, so
+	// the frame map switches over even if the directory sync below fails.
+	db.adoptFrames(newFrames)
 	if err := db.fsys.SyncDir(db.dir); err != nil {
 		// The rename happened but may not be durable; the content at
 		// path is the compacted live set either way, so keep serving
@@ -628,6 +707,18 @@ func (db *DB) Compact() error {
 		return db.journal.failed
 	}
 	return nil
+}
+
+// adoptFrames switches the frame map to a freshly compacted journal's
+// layout and resets the dead-weight counters the compaction policy reads.
+func (db *DB) adoptFrames(newFrames map[int64]frameRef) {
+	db.frames = newFrames
+	db.liveBytes = 0
+	for _, ref := range newFrames {
+		db.liveBytes += ref.size
+	}
+	db.entryCount = len(newFrames)
+	db.dirtyQuarantine = 0
 }
 
 // reopenJournal re-establishes the append handle at path, poisoning the

@@ -60,10 +60,13 @@ func FuzzReplayJournal(f *testing.F) {
 			t.Fatal(err)
 		}
 		entries := 0
-		rep, err := replayJournal(faultfs.OS{}, path, func(e *journalEntry) error {
+		rep, err := replayJournal(faultfs.OS{}, path, func(e *journalEntry, off, size int64) error {
 			entries++
 			if e == nil {
 				t.Fatal("replay yielded nil entry")
+			}
+			if off < 0 || size <= 8 || off+size > int64(len(data)) {
+				t.Fatalf("replay yielded out-of-range frame [%d, %d+%d)", off, off, size)
 			}
 			return nil
 		})

@@ -1,0 +1,255 @@
+package shapedb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"threedess/internal/faultfs"
+	"threedess/internal/features"
+)
+
+func openTestDB(t *testing.T) (*DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, dir
+}
+
+func TestVerifyRecordClean(t *testing.T) {
+	db, _ := openTestDB(t)
+	ids := make([]int64, 0, 5)
+	for i := 0; i < 5; i++ {
+		ids = append(ids, testRecord(t, db, "r", i, float64(i)))
+	}
+	for _, id := range ids {
+		if f := db.VerifyRecord(id); f.State != ScrubClean {
+			t.Fatalf("record %d: %s (%s), want clean", id, f.State, f.Detail)
+		}
+	}
+	if f := db.VerifyRecord(99999); f.State != ScrubGone {
+		t.Fatalf("unknown id: %s, want gone", f.State)
+	}
+}
+
+func TestVerifyRecordInMemory(t *testing.T) {
+	db, err := Open("", features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	id := testRecord(t, db, "mem", 0, 1)
+	if f := db.VerifyRecord(id); f.State != ScrubClean {
+		t.Fatalf("in-memory record: %s (%s), want clean", f.State, f.Detail)
+	}
+	st := db.Stats()
+	if st.Durable {
+		t.Fatal("in-memory store reports durable")
+	}
+}
+
+func TestVerifyRecordDetectsBitRot(t *testing.T) {
+	db, dir := openTestDB(t)
+	var ids []int64
+	for i := 0; i < 4; i++ {
+		ids = append(ids, testRecord(t, db, "rot", i, float64(i)))
+	}
+	victim := ids[1]
+	off, size, ok := db.FrameSpan(victim)
+	if !ok || size <= 8 {
+		t.Fatalf("FrameSpan(%d) = %d,%d,%v", victim, off, size, ok)
+	}
+	// Flip a payload byte: CRC must catch it.
+	path := filepath.Join(dir, journalName)
+	if err := faultfs.FlipByte(path, off+8+size/3, 0x40); err != nil {
+		t.Fatal(err)
+	}
+	f := db.VerifyRecord(victim)
+	if f.State != ScrubBitRot {
+		t.Fatalf("flipped payload: %s (%s), want bit-rot", f.State, f.Detail)
+	}
+	// The other records' frames are untouched.
+	for _, id := range ids {
+		if id == victim {
+			continue
+		}
+		if f := db.VerifyRecord(id); f.State != ScrubClean {
+			t.Fatalf("record %d: %s (%s), want clean", id, f.State, f.Detail)
+		}
+	}
+	// Flip a header byte on another record: caught as header/CRC damage.
+	off2, _, _ := db.FrameSpan(ids[2])
+	if err := faultfs.FlipByte(path, off2+5, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	if f := db.VerifyRecord(ids[2]); f.State != ScrubBitRot {
+		t.Fatalf("flipped header: %s (%s), want bit-rot", f.State, f.Detail)
+	}
+}
+
+func TestVerifyRecordDetectsTruncatedFrame(t *testing.T) {
+	db, dir := openTestDB(t)
+	id := testRecord(t, db, "trunc", 0, 1)
+	off, _, _ := db.FrameSpan(id)
+	path := filepath.Join(dir, journalName)
+	if err := os.Truncate(path, off+4); err != nil {
+		t.Fatal(err)
+	}
+	if f := db.VerifyRecord(id); f.State != ScrubMissingFrame {
+		t.Fatalf("truncated frame: %s (%s), want missing-frame", f.State, f.Detail)
+	}
+}
+
+func TestQuarantineRemovesFromService(t *testing.T) {
+	db, _ := openTestDB(t)
+	var ids []int64
+	for i := 0; i < 6; i++ {
+		ids = append(ids, testRecord(t, db, "q", 1, float64(i)))
+	}
+	victim := ids[2]
+	if !db.Quarantine(victim, ScrubBitRot, "test") {
+		t.Fatal("quarantine of live record returned false")
+	}
+	if db.Quarantine(victim, ScrubBitRot, "again") {
+		t.Fatal("second quarantine of same id returned true")
+	}
+	if _, ok := db.Get(victim); ok {
+		t.Fatal("quarantined record still served by Get")
+	}
+	if !db.IsQuarantined(victim) {
+		t.Fatal("IsQuarantined false after quarantine")
+	}
+	// No index may return it.
+	opts := db.Options()
+	for _, k := range features.CoreKinds {
+		q := fixedFeatures(opts, 2)[k]
+		nn, err := db.KNN(k, q, len(ids))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range nn {
+			if n.ID == victim {
+				t.Fatalf("%v KNN returned quarantined record", k)
+			}
+		}
+	}
+	infos := db.Quarantined()
+	if len(infos) != 1 || infos[0].ID != victim || infos[0].State != ScrubBitRot {
+		t.Fatalf("Quarantined() = %+v", infos)
+	}
+	st := db.Stats()
+	if st.Quarantined != 1 || st.UnhealedQuarantine != 1 {
+		t.Fatalf("stats after quarantine: %+v", st)
+	}
+	// Compaction heals: the journal is rewritten without the record.
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st = db.Stats()
+	if st.UnhealedQuarantine != 0 {
+		t.Fatalf("UnhealedQuarantine = %d after compaction", st.UnhealedQuarantine)
+	}
+	if st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d after compaction, info should persist", st.Quarantined)
+	}
+	// Everything still live verifies clean post-compaction (frames moved).
+	for _, id := range ids {
+		if id == victim {
+			continue
+		}
+		if f := db.VerifyRecord(id); f.State != ScrubClean {
+			t.Fatalf("record %d after compaction: %s (%s)", id, f.State, f.Detail)
+		}
+	}
+}
+
+func TestJournalStatsAccounting(t *testing.T) {
+	db, _ := openTestDB(t)
+	var ids []int64
+	for i := 0; i < 8; i++ {
+		ids = append(ids, testRecord(t, db, "s", 0, float64(i)))
+	}
+	st := db.Stats()
+	if !st.Durable || st.LiveRecords != 8 || st.JournalEntries != 8 || st.DeadEntries != 0 {
+		t.Fatalf("fresh stats: %+v", st)
+	}
+	if st.LiveBytes != st.JournalBytes {
+		t.Fatalf("all-live journal: LiveBytes %d != JournalBytes %d", st.LiveBytes, st.JournalBytes)
+	}
+	for _, id := range ids[:4] {
+		if _, err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = db.Stats()
+	// 4 deletes add 4 entries and kill 4 inserts: 8 dead of 12.
+	if st.LiveRecords != 4 || st.JournalEntries != 12 || st.DeadEntries != 8 {
+		t.Fatalf("post-delete stats: %+v", st)
+	}
+	if st.Amplification() <= 1 {
+		t.Fatalf("amplification %v after deleting half", st.Amplification())
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st = db.Stats()
+	if st.LiveRecords != 4 || st.JournalEntries != 4 || st.DeadEntries != 0 {
+		t.Fatalf("post-compaction stats: %+v", st)
+	}
+	if st.LiveBytes != st.JournalBytes {
+		t.Fatalf("compacted journal not fully live: %+v", st)
+	}
+}
+
+func TestFrameTrackingSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for i := 0; i < 5; i++ {
+		ids = append(ids, testRecord(t, db, "ro", 0, float64(i)))
+	}
+	if _, err := db.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	spans := map[int64][2]int64{}
+	for _, id := range ids[1:] {
+		off, size, ok := db.FrameSpan(id)
+		if !ok {
+			t.Fatalf("no frame for %d before reopen", id)
+		}
+		spans[id] = [2]int64{off, size}
+	}
+	db.Close()
+
+	db2, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for _, id := range ids[1:] {
+		off, size, ok := db2.FrameSpan(id)
+		if !ok {
+			t.Fatalf("no frame for %d after reopen", id)
+		}
+		if want := spans[id]; off != want[0] || size != want[1] {
+			t.Fatalf("frame for %d moved across reopen: got %d,%d want %d,%d", id, off, size, want[0], want[1])
+		}
+		if f := db2.VerifyRecord(id); f.State != ScrubClean {
+			t.Fatalf("record %d after reopen: %s (%s)", id, f.State, f.Detail)
+		}
+	}
+	if _, _, ok := db2.FrameSpan(ids[0]); ok {
+		t.Fatal("deleted record has a frame after reopen")
+	}
+	st := db2.Stats()
+	if st.JournalEntries != 6 || st.DeadEntries != 2 {
+		t.Fatalf("reopened stats: %+v", st)
+	}
+}

@@ -181,13 +181,14 @@ func (j *journal) close() error {
 }
 
 // replayJournal reads every intact entry from the journal file, calling fn
-// for each, and returns a report of what it found: how many entries were
+// for each with the frame's file offset and full framed size (header +
+// payload), and returns a report of what it found: how many entries were
 // replayed, how many bytes of trailing garbage follow the intact prefix,
 // and how the garbage was classified (torn tail from a crash mid-append
 // vs. corruption with further data behind it). A missing file yields an
 // empty report. The error is non-nil only for I/O failures or an fn error
 // — corruption itself never fails recovery, it is reported.
-func replayJournal(fsys faultfs.FS, path string, fn func(*journalEntry) error) (*RecoveryReport, error) {
+func replayJournal(fsys faultfs.FS, path string, fn func(e *journalEntry, off, size int64) error) (*RecoveryReport, error) {
 	rep := &RecoveryReport{}
 	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
@@ -251,7 +252,7 @@ func replayJournal(fsys faultfs.FS, path string, fn func(*journalEntry) error) (
 			rep.finish(TailUndecodable, frameEnd)
 			return rep, nil
 		}
-		if err := fn(&e); err != nil {
+		if err := fn(&e, rep.GoodBytes, 8+int64(size)); err != nil {
 			return rep, err
 		}
 		rep.Entries++

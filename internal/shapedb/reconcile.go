@@ -1,0 +1,336 @@
+package shapedb
+
+import (
+	"sort"
+
+	"threedess/internal/features"
+	"threedess/internal/rtree"
+)
+
+// The index↔store reconciler. The R-tree indexes are derived state: every
+// entry must correspond to exactly one live record's feature vector. The
+// insert/delete paths maintain that by construction, but a long-running
+// process should not *trust* it forever — a bug, a partial degraded
+// re-ingest, or in-process corruption can leave orphaned entries (index
+// points at nothing), missing entries (record invisible to index-backed
+// search), or stale entries (wrong position). The reconciler diffs each
+// index against the record set and repairs incrementally under the
+// existing locks; past a divergence threshold (or when the tree's own
+// structural invariants fail) it rebuilds the index offline and swaps it
+// in atomically, searches continuing against the old tree meanwhile.
+
+// KindDivergence is the reconciliation outcome for one feature kind.
+type KindDivergence struct {
+	Kind string `json:"kind"`
+	// Entries / Records are the index size and the number of records
+	// carrying this kind at diff time.
+	Entries int `json:"entries"`
+	Records int `json:"records"`
+	// Orphans: index entries with no matching record. Missing: record
+	// vectors absent from the index. Stale: entries present under the
+	// right id but at the wrong position.
+	Orphans int `json:"orphans"`
+	Missing int `json:"missing"`
+	Stale   int `json:"stale"`
+	// InvariantError is the tree's CheckInvariants failure, if any —
+	// it forces a rebuild regardless of the divergence count.
+	InvariantError string `json:"invariant_error,omitempty"`
+	// Repaired counts incremental fixes applied; Rebuilt reports the
+	// index was rebuilt from the record set and swapped.
+	Repaired int  `json:"repaired"`
+	Rebuilt  bool `json:"rebuilt"`
+}
+
+func (d KindDivergence) divergent() int { return d.Orphans + d.Missing + d.Stale }
+
+// ReconcileReport aggregates a reconciliation (or dry-run verification)
+// pass across every indexed feature kind.
+type ReconcileReport struct {
+	// Kinds lists only the kinds where something was found; KindsChecked
+	// counts all of them.
+	Kinds        []KindDivergence `json:"kinds,omitempty"`
+	KindsChecked int              `json:"kinds_checked"`
+	Divergent    int              `json:"divergent"`
+	Repaired     int              `json:"repaired"`
+	Rebuilds     int              `json:"rebuilds"`
+}
+
+// Clean reports whether the diff found full index↔store agreement.
+func (r *ReconcileReport) Clean() bool { return r.Divergent == 0 }
+
+// entryRef pins one index entry precisely enough to delete it.
+type entryRef struct {
+	id int64
+	pt rtree.Point
+}
+
+// kindDiff is the working state of one kind's reconciliation.
+type kindDiff struct {
+	kind     features.Kind
+	orphans  []entryRef
+	missing  []int64
+	stale    []entryRef // id + the entry's current (wrong) position
+	invErr   error
+	entries  int
+	records  int
+	repaired int
+	rebuilt  bool
+}
+
+func (d *kindDiff) divergent() int { return len(d.orphans) + len(d.missing) + len(d.stale) }
+
+// diffIndexes computes the index↔store divergence for every kind under
+// one read lock. Kinds are the union of indexed kinds and kinds present
+// on records, so even a wholly missing index is surfaced.
+func (db *DB) diffIndexes() []*kindDiff {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	kindSet := make(map[features.Kind]bool)
+	for k := range db.indexes {
+		kindSet[k] = true
+	}
+	for _, rec := range db.records {
+		for k := range rec.Features {
+			kindSet[k] = true
+		}
+	}
+	kinds := make([]features.Kind, 0, len(kindSet))
+	for k := range kindSet {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+
+	var diffs []*kindDiff
+	for _, k := range kinds {
+		d := &kindDiff{kind: k}
+		seen := make(map[int64]rtree.Point)
+		if idx, ok := db.indexes[k]; ok {
+			d.entries = idx.Len()
+			d.invErr = idx.CheckInvariants()
+			idx.ForEachEntry(func(id int64, r rtree.Rect) bool {
+				pt := append(rtree.Point(nil), r.Min...)
+				if _, dup := seen[id]; dup {
+					// A second entry under the same id is always excess.
+					d.orphans = append(d.orphans, entryRef{id: id, pt: pt})
+					return true
+				}
+				seen[id] = pt
+				return true
+			})
+		}
+		for id, rec := range db.records {
+			v, ok := rec.Features[k]
+			if !ok {
+				continue
+			}
+			d.records++
+			pt, ok := seen[id]
+			if !ok {
+				d.missing = append(d.missing, id)
+				continue
+			}
+			if !pointMatchesVector(pt, v) {
+				d.stale = append(d.stale, entryRef{id: id, pt: pt})
+			}
+			delete(seen, id)
+		}
+		for id, pt := range seen {
+			d.orphans = append(d.orphans, entryRef{id: id, pt: pt})
+		}
+		diffs = append(diffs, d)
+	}
+	return diffs
+}
+
+func pointMatchesVector(pt rtree.Point, v features.Vector) bool {
+	if len(pt) != len(v) {
+		return false
+	}
+	for i := range pt {
+		if pt[i] != v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyIndexes diffs every index against the record set without
+// repairing anything — the post-recovery (and post-soak) consistency
+// check.
+func (db *DB) VerifyIndexes() *ReconcileReport {
+	return reportOf(db.diffIndexes())
+}
+
+// DefaultRebuildThreshold is the divergence fraction past which
+// ReconcileIndexes rebuilds an index instead of patching it in place.
+const DefaultRebuildThreshold = 0.25
+
+// ReconcileIndexes diffs every index against the record set and repairs
+// the divergence: incremental delete/re-insert under the write lock when
+// the damage is bounded, a full offline rebuild-and-swap when it exceeds
+// rebuildThreshold (a fraction of the larger of entry/record count; <= 0
+// takes DefaultRebuildThreshold) or when the tree's structural
+// invariants fail. Searches keep running against the old tree during a
+// rebuild; only the final swap (plus a catch-up delta for records that
+// changed mid-build) takes the write lock.
+func (db *DB) ReconcileIndexes(rebuildThreshold float64) *ReconcileReport {
+	if rebuildThreshold <= 0 {
+		rebuildThreshold = DefaultRebuildThreshold
+	}
+	diffs := db.diffIndexes()
+	for _, d := range diffs {
+		n := d.divergent()
+		if n == 0 && d.invErr == nil {
+			continue
+		}
+		base := d.records
+		if d.entries > base {
+			base = d.entries
+		}
+		if base < 1 {
+			base = 1
+		}
+		if d.invErr != nil || float64(n) > rebuildThreshold*float64(base) {
+			db.rebuildIndex(d)
+		} else {
+			db.repairIndex(d)
+		}
+	}
+	return reportOf(diffs)
+}
+
+// repairIndex applies the diff's fixes entry by entry under the write
+// lock, re-validating each against the current record set (records may
+// have been inserted or deleted since the diff; record ids are never
+// reused, so a record that exists now with the diffed vector was there
+// all along).
+func (db *DB) repairIndex(d *kindDiff) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	idx, ok := db.indexes[d.kind]
+	if !ok {
+		nt, err := rtree.New(db.opts.Dim(d.kind), rtree.DefaultMaxEntries)
+		if err != nil {
+			return
+		}
+		idx, db.indexes[d.kind] = nt, nt
+	}
+	for _, o := range d.orphans {
+		if rec, ok := db.records[o.id]; ok {
+			if v, has := rec.Features[d.kind]; has && pointMatchesVector(o.pt, v) {
+				continue // a live record owns this entry after all
+			}
+		}
+		if idx.Delete(o.id, rtree.PointRect(o.pt)) {
+			d.repaired++
+		}
+	}
+	reinsert := func(id int64) {
+		rec, ok := db.records[id]
+		if !ok {
+			return
+		}
+		v, has := rec.Features[d.kind]
+		if !has {
+			return
+		}
+		// Delete-then-insert guarantees exactly one entry at the right
+		// position whatever the tree currently holds.
+		idx.DeletePoint(id, rtree.Point(v))
+		if idx.InsertPoint(id, rtree.Point(v)) == nil {
+			d.repaired++
+		}
+	}
+	for _, id := range d.missing {
+		reinsert(id)
+	}
+	for _, s := range d.stale {
+		idx.Delete(s.id, rtree.PointRect(s.pt))
+		reinsert(s.id)
+	}
+}
+
+// rebuildIndex rebuilds one kind's index from a snapshot of the record
+// set without holding any lock, then takes the write lock only to apply
+// the delta of records inserted/deleted during the build and swap the
+// new tree in. Queries keep using the old tree until the swap.
+func (db *DB) rebuildIndex(d *kindDiff) {
+	db.mu.RLock()
+	dim := db.opts.Dim(d.kind)
+	vecs := make(map[int64]features.Vector, len(db.records))
+	for id, rec := range db.records {
+		if v, ok := rec.Features[d.kind]; ok {
+			vecs[id] = v
+		}
+	}
+	db.mu.RUnlock()
+
+	nt, err := rtree.New(dim, rtree.DefaultMaxEntries)
+	if err != nil {
+		return
+	}
+	ids := make([]int64, 0, len(vecs))
+	for id := range vecs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		// Vectors were validated at insert; an error here means the
+		// record itself is corrupt, which the scrubber (not the
+		// reconciler) quarantines — leave it unindexed.
+		nt.InsertPoint(id, rtree.Point(vecs[id]))
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Catch-up delta: records are immutable and ids never reused, so the
+	// only divergence a concurrent writer can have introduced is whole
+	// insertions and deletions.
+	for id, rec := range db.records {
+		v, ok := rec.Features[d.kind]
+		if !ok {
+			continue
+		}
+		if _, had := vecs[id]; !had {
+			nt.InsertPoint(id, rtree.Point(v))
+		}
+	}
+	for id, v := range vecs {
+		if _, ok := db.records[id]; !ok {
+			nt.DeletePoint(id, rtree.Point(v))
+		}
+	}
+	db.indexes[d.kind] = nt
+	d.rebuilt = true
+}
+
+// reportOf folds per-kind diffs into the aggregate report.
+func reportOf(diffs []*kindDiff) *ReconcileReport {
+	rep := &ReconcileReport{KindsChecked: len(diffs)}
+	for _, d := range diffs {
+		n := d.divergent()
+		rep.Divergent += n
+		rep.Repaired += d.repaired
+		if d.rebuilt {
+			rep.Rebuilds++
+		}
+		if n == 0 && d.invErr == nil && !d.rebuilt {
+			continue
+		}
+		kd := KindDivergence{
+			Kind:     d.kind.String(),
+			Entries:  d.entries,
+			Records:  d.records,
+			Orphans:  len(d.orphans),
+			Missing:  len(d.missing),
+			Stale:    len(d.stale),
+			Repaired: d.repaired,
+			Rebuilt:  d.rebuilt,
+		}
+		if d.invErr != nil {
+			kd.InvariantError = d.invErr.Error()
+		}
+		rep.Kinds = append(rep.Kinds, kd)
+	}
+	return rep
+}

@@ -1,0 +1,196 @@
+package shapedb
+
+import (
+	"testing"
+
+	"threedess/internal/faultfs"
+	"threedess/internal/features"
+)
+
+func TestVerifyIndexesCleanOnFreshDB(t *testing.T) {
+	db, _ := openTestDB(t)
+	for i := 0; i < 10; i++ {
+		testRecord(t, db, "v", i%3, float64(i))
+	}
+	rep := db.VerifyIndexes()
+	if !rep.Clean() {
+		t.Fatalf("fresh DB diverges: %+v", rep)
+	}
+	if rep.KindsChecked != len(features.CoreKinds) {
+		t.Fatalf("checked %d kinds, want %d", rep.KindsChecked, len(features.CoreKinds))
+	}
+}
+
+func TestReconcileRepairsMissingEntry(t *testing.T) {
+	db, _ := openTestDB(t)
+	var ids []int64
+	for i := 0; i < 10; i++ {
+		ids = append(ids, testRecord(t, db, "m", 0, float64(i)))
+	}
+	k := features.CoreKinds[0]
+	victim := ids[3]
+	if !db.FaultDropIndexEntry(k, victim) {
+		t.Fatal("fault hook failed to drop entry")
+	}
+	// The record is now invisible to this kind's index-backed search.
+	q := fixedFeatures(db.Options(), 3)[k]
+	nn, err := db.KNN(k, q, len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nn {
+		if n.ID == victim {
+			t.Fatal("dropped entry still returned by KNN")
+		}
+	}
+	rep := db.VerifyIndexes()
+	if rep.Divergent != 1 || len(rep.Kinds) != 1 || rep.Kinds[0].Missing != 1 {
+		t.Fatalf("diff after drop: %+v", rep)
+	}
+	rep = db.ReconcileIndexes(0)
+	if rep.Repaired != 1 || rep.Rebuilds != 0 {
+		t.Fatalf("reconcile: %+v", rep)
+	}
+	if rep2 := db.VerifyIndexes(); !rep2.Clean() {
+		t.Fatalf("still divergent after reconcile: %+v", rep2)
+	}
+	// The record is searchable again.
+	nn, err = db.KNN(k, q, len(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range nn {
+		found = found || n.ID == victim
+	}
+	if !found {
+		t.Fatal("repaired entry not returned by KNN")
+	}
+}
+
+func TestReconcileRemovesOrphan(t *testing.T) {
+	db, _ := openTestDB(t)
+	for i := 0; i < 8; i++ {
+		testRecord(t, db, "o", 0, float64(i))
+	}
+	k := features.CoreKinds[0]
+	ghost := int64(424242)
+	v := fixedFeatures(db.Options(), 99)[k]
+	if err := db.FaultInjectOrphan(k, ghost, v); err != nil {
+		t.Fatal(err)
+	}
+	rep := db.VerifyIndexes()
+	if rep.Divergent != 1 || len(rep.Kinds) != 1 || rep.Kinds[0].Orphans != 1 {
+		t.Fatalf("diff after orphan injection: %+v", rep)
+	}
+	if rep = db.ReconcileIndexes(0); rep.Repaired != 1 {
+		t.Fatalf("reconcile: %+v", rep)
+	}
+	if rep2 := db.VerifyIndexes(); !rep2.Clean() {
+		t.Fatalf("still divergent: %+v", rep2)
+	}
+	nn, err := db.KNN(k, v, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nn {
+		if n.ID == ghost {
+			t.Fatal("orphan still returned by KNN after reconcile")
+		}
+	}
+}
+
+func TestReconcileEscalatesToRebuild(t *testing.T) {
+	db, _ := openTestDB(t)
+	var ids []int64
+	for i := 0; i < 20; i++ {
+		ids = append(ids, testRecord(t, db, "rb", 0, float64(i)))
+	}
+	k := features.CoreKinds[1]
+	// Drop over half the entries: way past any sane rebuild threshold.
+	for _, id := range ids[:12] {
+		if !db.FaultDropIndexEntry(k, id) {
+			t.Fatalf("failed to drop %d", id)
+		}
+	}
+	rep := db.ReconcileIndexes(0.25)
+	if rep.Rebuilds != 1 {
+		t.Fatalf("expected a rebuild, got %+v", rep)
+	}
+	if rep2 := db.VerifyIndexes(); !rep2.Clean() {
+		t.Fatalf("divergent after rebuild: %+v", rep2)
+	}
+	// Rebuild must not disturb the other kinds.
+	for _, kind := range features.CoreKinds {
+		if got := db.Len(); got != 20 {
+			t.Fatalf("Len = %d", got)
+		}
+		nn, err := db.KNN(kind, fixedFeatures(db.Options(), 5)[kind], 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nn) != 20 {
+			t.Fatalf("%v KNN returned %d of 20", kind, len(nn))
+		}
+	}
+}
+
+// blockingRenameFS stalls Rename until released, keeping a compaction
+// in-flight long enough for a second call to race it.
+type blockingRenameFS struct {
+	faultfs.FS
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingRenameFS) Rename(oldpath, newpath string) error {
+	b.entered <- struct{}{}
+	<-b.release
+	return b.FS.Rename(oldpath, newpath)
+}
+
+func TestCompactConcurrentInvocationGuard(t *testing.T) {
+	// entered is buffered so renames after the choreographed one (the
+	// final sanity compaction below) pass straight through; release is
+	// closed once, and a closed channel never blocks receivers.
+	bfs := &blockingRenameFS{
+		FS:      faultfs.OS{},
+		entered: make(chan struct{}, 4),
+		release: make(chan struct{}),
+	}
+	db, err := OpenFS(t.TempDir(), features.Options{}, bfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var ids []int64
+	for i := 0; i < 6; i++ {
+		ids = append(ids, testRecord(t, db, "g", 0, float64(i)))
+	}
+	for _, id := range ids[:3] {
+		if _, err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := make(chan error, 1)
+	go func() { first <- db.Compact() }()
+	<-bfs.entered // first compaction is mid-rename, still holding the guard
+	// The racing call must return the sentinel immediately — it cannot
+	// block on db.mu (the first holds it) because the guard is checked
+	// before the lock.
+	if err := db.Compact(); err != ErrCompactionInProgress {
+		t.Fatalf("racing Compact returned %v, want ErrCompactionInProgress", err)
+	}
+	close(bfs.release)
+	if err := <-first; err != nil {
+		t.Fatalf("first Compact failed: %v", err)
+	}
+	// Guard released: a later compaction succeeds.
+	if err := db.Compact(); err != nil {
+		t.Fatalf("post-race Compact failed: %v", err)
+	}
+	st := db.Stats()
+	if st.LiveRecords != 3 || st.DeadEntries != 0 {
+		t.Fatalf("post-compaction stats: %+v", st)
+	}
+}

@@ -44,6 +44,21 @@ func (s TailState) String() string {
 	return fmt.Sprintf("tail(%d)", uint8(s))
 }
 
+// MarshalText renders the state by name so JSON reports stay readable.
+func (s TailState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses the textual form back (admin API clients decode
+// the reports they fetch).
+func (s *TailState) UnmarshalText(text []byte) error {
+	for c := TailClean; c <= TailUndecodable; c++ {
+		if c.String() == string(text) {
+			*s = c
+			return nil
+		}
+	}
+	return fmt.Errorf("shapedb: unknown tail state %q", text)
+}
+
 // RecoveryReport describes what journal replay recovered and what it had
 // to discard. Open returns the database even when bytes were discarded
 // (degraded recovery); callers decide whether a non-clean report is worth

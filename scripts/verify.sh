@@ -14,6 +14,10 @@ go test -race -count=1 ./internal/shapedb/... ./internal/core/... ./internal/fea
 # Durability gate: the fault-injection crash matrix and faultfs harness
 # under the race detector, never cached.
 go test -race -count=1 -run 'Crash|Fault|Torn|Recovery' ./internal/shapedb/... ./internal/faultfs/...
+# Self-healing gate: the chaos soak (bit-flips under live traffic must
+# all be found and quarantined), the triggered-compaction crash matrix,
+# and the maintenance-vs-traffic mixed-ops test, under the race detector.
+go test -race -count=1 ./internal/scrub/...
 # Hostile-input gate: a short live-fuzz pass over each mesh parser (the
 # checked-in seeds alone run in the normal suite; this explores beyond
 # them). 5s per target keeps the gate fast while still catching
