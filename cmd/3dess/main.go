@@ -24,10 +24,25 @@
 // amplification at which the journal is compacted automatically. Status
 // and manual triggers live at /api/admin/maintenance.
 //
+// Replication: a warm-standby pair is two 3dess processes, both with
+// durable -data directories. The primary runs with -advertise (its own
+// reachable URL); the standby adds -replicate-from pointing at the
+// primary. The standby streams the primary's journal, serves read-only
+// queries (mutations are refused with a pointer to the primary), and
+// promotes itself automatically when the primary misses heartbeats for
+// -failover-after. With -repl-sync (the default) the primary only
+// acknowledges a write after the standby has durably applied it, so a
+// failover loses no acknowledged write. Status lives at
+// /api/admin/replication; /readyz reports role and lag, and a standby
+// stays not-ready until its first full catch-up.
+//
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain-timeout; requests still running
 // after that are force-closed, which cancels their contexts and aborts
-// their scans — a handler never hangs past shutdown.
+// their scans — a handler never hangs past shutdown. A standby
+// additionally flushes the replication stream (pulling frames the primary
+// committed but it has not yet applied) and writes a final applied-offset
+// marker, so a restart resumes streaming instead of re-bootstrapping.
 package main
 
 import (
@@ -44,6 +59,7 @@ import (
 	"threedess/internal/dataset"
 	"threedess/internal/features"
 	"threedess/internal/geom"
+	"threedess/internal/replica"
 	"threedess/internal/scrub"
 	"threedess/internal/server"
 	"threedess/internal/shapedb"
@@ -65,7 +81,21 @@ func main() {
 	scrubRate := flag.Int("scrub-rate", 2000, "background scrub throughput cap in records/sec (0 = unthrottled)")
 	reconcileInterval := flag.Duration("reconcile-interval", 10*time.Minute, "pause between index-store reconciliation passes (0 = disabled)")
 	compactRatio := flag.Float64("compact-ratio", 2.0, "journal/live byte amplification that triggers automatic compaction (0 = disabled)")
+	replicateFrom := flag.String("replicate-from", "", "run as warm standby of the primary at this URL (e.g. http://primary:8080)")
+	advertise := flag.String("advertise", "", "this node's reachable URL, required for replication (fencing and client redirects)")
+	heartbeat := flag.Duration("heartbeat-interval", 500*time.Millisecond, "standby stream/heartbeat cadence")
+	failoverAfter := flag.Duration("failover-after", 0, "primary silence budget before the standby promotes itself (0 = 6 heartbeats)")
+	replSync := flag.Bool("repl-sync", true, "primary acknowledges writes only after the standby has durably applied them")
+	ackTimeout := flag.Duration("repl-ack-timeout", server.DefaultAckTimeout, "how long a synchronous write waits for the standby before failing with 503")
 	flag.Parse()
+
+	replicated := *replicateFrom != "" || *advertise != ""
+	if replicated && *advertise == "" {
+		log.Fatalf("-replicate-from requires -advertise (this node's own reachable URL)")
+	}
+	if replicated && *dataDir == "" {
+		log.Fatalf("replication requires -data: only a durable journal can be streamed")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -106,16 +136,56 @@ func main() {
 	maintCfg.ScrubRate = *scrubRate
 	maintCfg.ReconcileInterval = *reconcileInterval
 	maintCfg.CompactRatio = *compactRatio
+	if *replicateFrom != "" && maintCfg.CompactRatio > 0 {
+		// A standby's journal must stay a byte-for-byte prefix of the
+		// primary's; local compaction would diverge it and force a full
+		// re-bootstrap. (The primary compacts normally — its epoch change
+		// makes the standby re-sync.)
+		log.Printf("3dess: standby mode: automatic compaction disabled")
+		maintCfg.CompactRatio = 0
+	}
 	maintCfg.Logf = log.Printf
 	maint := scrub.New(db, maintCfg)
 	maint.Start(ctx)
 	defer maint.Stop()
 	api.SetMaintenance(maint)
 
+	// Replication wiring: the node's role state activates the server's
+	// role gate, protocol endpoints, and sync-ack write path; a standby
+	// additionally runs the streaming loop.
+	var standby *replica.Standby
+	if replicated {
+		var node *replica.Node
+		if *replicateFrom != "" {
+			node = replica.NewStandbyNode(*advertise, *replicateFrom)
+			standby = replica.NewStandby(db, node, replica.StandbyConfig{
+				Heartbeat:     *heartbeat,
+				FailoverAfter: *failoverAfter,
+				MarkerDir:     *dataDir,
+				Logf:          log.Printf,
+				OnPromote: func(term int64) {
+					log.Printf("3dess: PROMOTED to primary at term %d; now accepting writes", term)
+				},
+			})
+		} else {
+			node = replica.NewPrimaryNode(*advertise)
+		}
+		api.SetReplication(node, server.ReplicationConfig{
+			SyncWrites: *replSync,
+			AckTimeout: *ackTimeout,
+		})
+		if standby != nil {
+			standby.Start(ctx)
+			log.Printf("3dess: standby of %s (heartbeat %s)", *replicateFrom, *heartbeat)
+		} else {
+			log.Printf("3dess: primary, advertising %s (sync writes: %v)", *advertise, *replSync)
+		}
+	}
+
 	// Listen before loading the corpus so /healthz and /readyz answer
 	// immediately; /readyz stays 503 until ingest finishes, holding load
 	// balancer traffic without failing liveness.
-	needCorpus := *loadCorpus && db.Len() == 0
+	needCorpus := *loadCorpus && db.Len() == 0 && standby == nil
 	if needCorpus {
 		api.SetReady(false)
 	}
@@ -154,6 +224,16 @@ func main() {
 			// still checking ctx.Err().
 			log.Printf("3dess: drain incomplete (%v), closing connections", err)
 			srv.Close()
+		}
+		if standby != nil {
+			// Flush the replication stream (frames the primary committed
+			// while we were shutting down) and durably record the applied
+			// offset, so the next start resumes instead of re-bootstrapping.
+			if err := standby.Stop(sctx); err != nil {
+				log.Printf("3dess: replication drain: %v", err)
+			} else {
+				log.Printf("3dess: replication stream flushed, marker written")
+			}
 		}
 	}
 }

@@ -42,6 +42,16 @@ func (e *Engine) InsertBatch(ctx context.Context, shapes []IngestShape, kinds []
 // carry the assigned id plus the names of any feature kinds the extractor
 // had to skip. Error semantics match InsertBatch.
 func (e *Engine) IngestBatch(ctx context.Context, shapes []IngestShape, kinds []features.Kind) ([]IngestResult, error) {
+	return e.IngestBatchKeyed(ctx, shapes, kinds, "")
+}
+
+// IngestBatchKeyed is IngestBatch attributed to a client idempotency key
+// ("" = none): every record of the batch is journaled with the key and its
+// position/size within the batch, so a retried batch is answerable with
+// the original IDs only when all of them are still present (a partial
+// insert is never replayed as if complete). Error semantics match
+// IngestBatch.
+func (e *Engine) IngestBatchKeyed(ctx context.Context, shapes []IngestShape, kinds []features.Kind, key string) ([]IngestResult, error) {
 	if len(shapes) == 0 {
 		return nil, nil
 	}
@@ -67,7 +77,9 @@ func (e *Engine) IngestBatch(ctx context.Context, shapes []IngestShape, kinds []
 		if err := ctx.Err(); err != nil {
 			return out[:i], fmt.Errorf("core: insert aborted after %d of %d shapes: %w", i, len(shapes), err)
 		}
-		id, err := e.db.InsertFull(sh.Name, sh.Group, meshes[i], sets[i], degs[i].Names())
+		id, err := e.db.InsertWith(sh.Name, sh.Group, meshes[i], sets[i], shapedb.InsertOpts{
+			Degraded: degs[i].Names(), IdemKey: key, IdemIndex: i, IdemCount: len(shapes),
+		})
 		if err != nil {
 			return out[:i], fmt.Errorf("core: inserting %q after %d of %d shapes: %w", sh.Name, i, len(shapes), err)
 		}

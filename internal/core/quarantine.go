@@ -6,6 +6,7 @@ import (
 
 	"threedess/internal/features"
 	"threedess/internal/geom"
+	"threedess/internal/shapedb"
 )
 
 // Ingest quarantine: every mesh entering the engine from an untrusted
@@ -119,11 +120,22 @@ type IngestResult struct {
 // descriptors; a mesh that fails sanitation or whole-shape extraction is
 // rejected with nothing stored.
 func (e *Engine) IngestMesh(name string, group int, mesh *geom.Mesh, kinds []features.Kind) (IngestResult, error) {
+	return e.IngestMeshKeyed(name, group, mesh, kinds, "")
+}
+
+// IngestMeshKeyed is IngestMesh attributed to a client idempotency key
+// ("" = none): the key is journaled with the record, so a retried insert —
+// even one replayed against a freshly promoted standby — can be answered
+// with the original ID via shapedb.IdempotentIDs instead of storing a
+// duplicate.
+func (e *Engine) IngestMeshKeyed(name string, group int, mesh *geom.Mesh, kinds []features.Kind, key string) (IngestResult, error) {
 	set, deg, m, err := e.ExtractUntrusted(mesh, kinds)
 	if err != nil {
 		return IngestResult{}, err
 	}
-	id, err := e.db.InsertFull(name, group, m, set, deg.Names())
+	id, err := e.db.InsertWith(name, group, m, set, shapedb.InsertOpts{
+		Degraded: deg.Names(), IdemKey: key, IdemIndex: 0, IdemCount: 1,
+	})
 	if err != nil {
 		return IngestResult{}, err
 	}

@@ -1,0 +1,113 @@
+package replica
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func faultClient(t *testing.T) (*FaultRT, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(srv.Close)
+	return NewFaultRT(nil), srv, &hits
+}
+
+func TestFaultRTPassThrough(t *testing.T) {
+	rt, srv, hits := faultClient(t)
+	c := &http.Client{Transport: rt}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if hits.Load() != 1 || rt.Requests() != 1 {
+		t.Errorf("hits=%d requests=%d, want 1/1", hits.Load(), rt.Requests())
+	}
+}
+
+func TestFaultRTDropAndPartition(t *testing.T) {
+	rt, srv, hits := faultClient(t)
+	c := &http.Client{Transport: rt}
+
+	rt.DropNext(2)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(srv.URL); !errors.Is(err, ErrNetFault) {
+			t.Fatalf("dropped request %d err = %v, want ErrNetFault", i, err)
+		}
+	}
+	if resp, err := c.Get(srv.URL); err != nil {
+		t.Fatalf("post-drop request failed: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server hits = %d, want 1 (drops must fail before the wire)", hits.Load())
+	}
+
+	rt.SetPartition(true)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(srv.URL); !errors.Is(err, ErrNetFault) {
+			t.Fatalf("partitioned request err = %v, want ErrNetFault", err)
+		}
+	}
+	rt.SetPartition(false)
+	if resp, err := c.Get(srv.URL); err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+func TestFaultRTDelay(t *testing.T) {
+	rt, srv, _ := faultClient(t)
+	c := &http.Client{Transport: rt}
+	rt.SetDelay(60 * time.Millisecond)
+	start := time.Now()
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Errorf("delayed request returned in %s", el)
+	}
+}
+
+func TestFaultRTDuplicate(t *testing.T) {
+	rt, srv, hits := faultClient(t)
+	c := &http.Client{Transport: rt}
+	rt.DuplicateNext(1)
+	resp, err := c.Post(srv.URL, "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Errorf("duplicate delivery body = %q", body)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("server hits = %d, want 2 (one request delivered twice)", hits.Load())
+	}
+	// Disarmed after one request.
+	resp, err = c.Post(srv.URL, "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 3 {
+		t.Errorf("server hits = %d, want 3", hits.Load())
+	}
+}

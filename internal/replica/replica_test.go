@@ -1,0 +1,178 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"threedess/internal/shapedb"
+)
+
+func TestFenceAndPromoteTerms(t *testing.T) {
+	p := NewPrimaryNode("http://a")
+	if p.Role() != RolePrimary || p.Term() != 1 {
+		t.Fatalf("primary starts role=%v term=%d", p.Role(), p.Term())
+	}
+
+	// Equal or lower terms never fence.
+	if resp := p.Fence(1, "http://b"); resp.Accepted {
+		t.Error("fence at equal term accepted")
+	}
+	if resp := p.Fence(0, "http://b"); resp.Accepted {
+		t.Error("fence at lower term accepted")
+	}
+	if p.Role() != RolePrimary {
+		t.Fatal("refused fences demoted the primary")
+	}
+
+	// A higher term steps the primary down and re-points it.
+	resp := p.Fence(2, "http://b")
+	if !resp.Accepted || p.Role() != RoleStandby || p.Term() != 2 || p.PrimaryURL() != "http://b" {
+		t.Fatalf("fence(2) = %+v; node role=%v term=%d primary=%s", resp, p.Role(), p.Term(), p.PrimaryURL())
+	}
+	if p.Status().StepDowns != 1 {
+		t.Errorf("StepDowns = %d, want 1", p.Status().StepDowns)
+	}
+
+	s := NewStandbyNode("http://b", "http://a")
+	if !s.Promote(1) {
+		t.Fatal("standby promotion at term 1 refused")
+	}
+	if s.Role() != RolePrimary || s.PrimaryURL() != "http://b" {
+		t.Fatalf("after promote: role=%v primary=%s", s.Role(), s.PrimaryURL())
+	}
+	// A promoted node cannot promote again, and a stale term never wins.
+	if s.Promote(2) {
+		t.Error("promoted a node that is already primary")
+	}
+
+	// Promotion loses to a fence that installed a newer term first.
+	s2 := NewStandbyNode("http://c", "http://a")
+	s2.Fence(5, "http://d")
+	if s2.Promote(3) {
+		t.Error("promotion at term 3 won against installed term 5 — two writable primaries possible")
+	}
+}
+
+func TestWaitAckedGating(t *testing.T) {
+	n := NewPrimaryNode("http://a")
+	st := shapedb.ReplState{Epoch: 7, Committed: 100}
+	cur := func() shapedb.ReplState { return st }
+
+	// No standby ever attached: writes ack immediately.
+	if err := n.WaitAcked(context.Background(), st, cur, 10*time.Millisecond); err != nil {
+		t.Fatalf("unattached WaitAcked = %v", err)
+	}
+
+	// Attached but behind: the wait times out.
+	n.ObserveAck(7, 50)
+	if err := n.WaitAcked(context.Background(), st, cur, 20*time.Millisecond); !errors.Is(err, ErrAckTimeout) {
+		t.Fatalf("behind WaitAcked = %v, want ErrAckTimeout", err)
+	}
+
+	// A concurrent ack covering the offset releases the wait.
+	done := make(chan error, 1)
+	go func() {
+		done <- n.WaitAcked(context.Background(), st, cur, 2*time.Second)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	n.ObserveAck(7, 100)
+	if err := <-done; err != nil {
+		t.Fatalf("acked WaitAcked = %v", err)
+	}
+
+	// Already covered: returns without blocking.
+	if err := n.WaitAcked(context.Background(), st, cur, time.Millisecond); err != nil {
+		t.Fatalf("covered WaitAcked = %v", err)
+	}
+
+	// Context cancellation beats the timeout.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.WaitAcked(ctx, shapedb.ReplState{Epoch: 7, Committed: 999}, cur, time.Second); !errors.Is(err, ErrAckCanceled) {
+		t.Fatalf("canceled WaitAcked = %v, want ErrAckCanceled", err)
+	}
+}
+
+func TestWaitAckedAcrossEpochChange(t *testing.T) {
+	n := NewPrimaryNode("http://a")
+	target := shapedb.ReplState{Epoch: 7, Committed: 100}
+	// A compaction replaced the journal (epoch 9) after the write landed;
+	// the standby re-bootstrapped and attests full coverage of the new
+	// file, which contains every live record including the write.
+	cur := func() shapedb.ReplState { return shapedb.ReplState{Epoch: 9, Committed: 40} }
+	n.ObserveAck(9, 40)
+	if err := n.WaitAcked(context.Background(), target, cur, 20*time.Millisecond); err != nil {
+		t.Fatalf("cross-epoch WaitAcked = %v", err)
+	}
+	// Not yet caught up with the new file: keep waiting.
+	n2 := NewPrimaryNode("http://a")
+	n2.ObserveAck(9, 10)
+	if err := n2.WaitAcked(context.Background(), target, cur, 20*time.Millisecond); !errors.Is(err, ErrAckTimeout) {
+		t.Fatalf("cross-epoch behind WaitAcked = %v, want ErrAckTimeout", err)
+	}
+}
+
+func TestPromoteClearsAckLatch(t *testing.T) {
+	n := NewStandbyNode("http://b", "http://a")
+	n.ObserveAck(1, 10) // some peer streamed from us while we were standby
+	if !n.Promote(2) {
+		t.Fatal("promotion refused")
+	}
+	if n.StandbyAttached() {
+		t.Error("promotion kept the ack latch: the new primary would wait on a standby it does not have")
+	}
+	st := shapedb.ReplState{Epoch: 3, Committed: 10}
+	if err := n.WaitAcked(context.Background(), st, func() shapedb.ReplState { return st }, 10*time.Millisecond); err != nil {
+		t.Fatalf("freshly promoted WaitAcked = %v", err)
+	}
+}
+
+func TestCaughtUpLatch(t *testing.T) {
+	n := NewStandbyNode("http://b", "http://a")
+	if n.CaughtUp() {
+		t.Fatal("fresh standby reports caught up")
+	}
+	n.setProgress(1, 50, 100, true)
+	if n.CaughtUp() {
+		t.Fatal("behind standby reports caught up")
+	}
+	n.setProgress(1, 100, 100, true)
+	if !n.CaughtUp() {
+		t.Fatal("standby at committed offset not caught up")
+	}
+	// The latch survives falling behind again (new writes arriving), but
+	// resets on re-bootstrap.
+	n.setProgress(1, 100, 200, true)
+	if !n.CaughtUp() {
+		t.Fatal("latch dropped by new primary writes")
+	}
+	n.resetCaughtUp()
+	if n.CaughtUp() {
+		t.Fatal("latch survived reset")
+	}
+}
+
+func TestMarkerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := &Standby{
+		node:    NewStandbyNode("http://b", "http://a"),
+		cfg:     StandbyConfig{MarkerDir: dir}.withDefaults(),
+		epoch:   42,
+		applied: 1234,
+	}
+	if err := s.writeMarker(true); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := LoadMarker(dir)
+	if !ok || m.Epoch != 42 || m.Applied != 1234 || m.Primary != "http://a" {
+		t.Fatalf("LoadMarker = %+v, %v", m, ok)
+	}
+	if _, ok := LoadMarker(t.TempDir()); ok {
+		t.Error("marker loaded from empty dir")
+	}
+	if _, ok := LoadMarker(""); ok {
+		t.Error("marker loaded from blank dir")
+	}
+}

@@ -2,16 +2,20 @@ package server
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand/v2"
+	mathrand "math/rand/v2"
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"threedess/internal/geom"
+	"threedess/internal/replica"
 )
 
 // Client is a Go client for the 3DESS HTTP API, used by the CLI tools and
@@ -23,11 +27,29 @@ type Client struct {
 	// connection-level failure or a 5xx response, with capped exponential
 	// backoff and jitter. Mutating requests (POST/DELETE) are never
 	// retried after those failures — a timed-out insert may have landed,
-	// and resending it would duplicate the shape. A 429 shed by the
-	// server's admission gate is different: the request never reached a
-	// handler, so EVERY method retries it, waiting out the server's
-	// Retry-After hint. Zero means no retries; NewClient sets 3.
+	// and resending it would duplicate the shape — UNLESS the request
+	// carries an Idempotency-Key (InsertShape and InsertShapes generate
+	// one automatically), which makes the resend collapse into the
+	// original server-side. A 429 shed by the server's admission gate is
+	// different: the request never reached a handler, so EVERY method
+	// retries it, waiting out the server's Retry-After hint. Likewise a
+	// 503 role refusal from a standby happens before any work, so every
+	// method follows its X-Replica-Primary pointer and retries. Zero
+	// means no retries; NewClient sets 3.
 	MaxRetries int
+	// Endpoints lists every node of a replicated deployment (primary and
+	// standbys, any order). When set, connection failures rotate to the
+	// next endpoint and X-Replica-Primary redirects retarget directly, so
+	// the client rides out a failover without caller involvement. Empty
+	// means single-endpoint mode against BaseURL.
+	Endpoints []string
+	// epMu guards the failover cursor state below.
+	epMu sync.Mutex
+	// epIdx is the current index into Endpoints.
+	epIdx int
+	// override is a primary URL learned from an X-Replica-Primary header,
+	// tried before the Endpoints rotation until it fails.
+	override string
 	// sleep is the backoff clock, replaceable in tests.
 	sleep func(time.Duration)
 }
@@ -42,6 +64,18 @@ const (
 	retryBase           = 100 * time.Millisecond
 	retryCap            = 2 * time.Second
 )
+
+// NewFailoverClient builds a client over every node of a replicated
+// deployment (primary and standbys, any order). The client learns which
+// node is primary from X-Replica-Primary refusals, rotates endpoints on
+// connection failure, and stamps mutating requests with idempotency keys,
+// so a primary crash mid-request surfaces as latency, not an error or a
+// duplicate.
+func NewFailoverClient(endpoints ...string) *Client {
+	c := NewClient(endpoints[0])
+	c.Endpoints = endpoints
+	return c
+}
 
 // NewClient builds a client for the given base URL (e.g.
 // "http://localhost:8080"). Unlike http.DefaultClient, every stage of a
@@ -68,6 +102,13 @@ func NewClient(baseURL string) *Client {
 }
 
 func (c *Client) do(method, path string, body, out any) error {
+	return c.doIdem(method, path, "", body, out)
+}
+
+// doIdem is do with an optional Idempotency-Key. A keyed request is safe
+// to resend after ambiguous failures (the server deduplicates it), so it
+// gets the full GET retry/failover treatment.
+func (c *Client) doIdem(method, path, idemKey string, body, out any) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -76,18 +117,25 @@ func (c *Client) do(method, path string, body, out any) error {
 			return err
 		}
 	}
+	// A GET never mutates; a keyed mutation deduplicates server-side.
+	// Everything else must not be blindly resent after a failure that may
+	// have already landed it.
+	resendable := method == http.MethodGet || idemKey != ""
 	attempts := 1 + c.MaxRetries
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		resp, err := c.attempt(method, path, payload)
+		base := c.endpoint()
+		resp, err := c.attempt(method, base+path, idemKey, payload)
 		if err != nil {
-			// Connection-level failure. Only a GET is safe to resend: a
-			// mutating request may have reached the server before the
-			// connection died.
-			if method != http.MethodGet || attempt == attempts-1 {
+			// Connection-level failure: this endpoint may be dead; rotate
+			// to the next one. Resending is only safe for GETs and keyed
+			// requests — an unkeyed mutation may have reached the server
+			// before the connection died.
+			if !resendable || attempt == attempts-1 {
 				return err
 			}
 			lastErr = err
+			c.failEndpoint(base)
 			c.backoff(attempt + 1)
 			continue
 		}
@@ -106,16 +154,67 @@ func (c *Client) do(method, path string, body, out any) error {
 				c.backoff(attempt + 1)
 			}
 			continue
-		case resp.StatusCode >= 500 && method == http.MethodGet && attempt < attempts-1:
+		case resp.StatusCode == http.StatusServiceUnavailable &&
+			resp.Header.Get(replica.PrimaryHeader) != "" && attempt < attempts-1:
+			// Role refusal from a standby (or fenced ex-primary): the
+			// handler did no work, so every method may follow the pointer
+			// to the current primary and resend immediately.
+			c.retarget(resp.Header.Get(replica.PrimaryHeader))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("server: HTTP %d (not primary)", resp.StatusCode)
+			continue
+		case resp.StatusCode >= 500 && resendable && attempt < attempts-1:
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			lastErr = fmt.Errorf("server: HTTP %d", resp.StatusCode)
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				// Could be a draining or freshly-demoted node with no
+				// pointer to offer; try the next endpoint.
+				c.failEndpoint(base)
+			}
 			c.backoff(attempt + 1)
 			continue
 		}
 		return decodeResponse(resp, out)
 	}
 	return lastErr
+}
+
+// endpoint picks the base URL for the next attempt: a learned primary
+// override first, then the Endpoints rotation, then BaseURL.
+func (c *Client) endpoint() string {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	if c.override != "" {
+		return c.override
+	}
+	if len(c.Endpoints) > 0 {
+		return c.Endpoints[c.epIdx%len(c.Endpoints)]
+	}
+	return c.BaseURL
+}
+
+// failEndpoint reacts to a failure of the given base URL: a failed
+// override is dropped (back to the rotation), a failed rotation entry
+// advances the cursor to the next endpoint.
+func (c *Client) failEndpoint(base string) {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	if c.override == base {
+		c.override = ""
+		return
+	}
+	if len(c.Endpoints) > 1 && c.Endpoints[c.epIdx%len(c.Endpoints)] == base {
+		c.epIdx = (c.epIdx + 1) % len(c.Endpoints)
+	}
+}
+
+// retarget records a primary URL learned from an X-Replica-Primary header.
+func (c *Client) retarget(primary string) {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	c.override = primary
 }
 
 // retryAfter parses a Retry-After header given in seconds (the only form
@@ -140,23 +239,38 @@ func (c *Client) sleepFor(d time.Duration) {
 	sleep(d)
 }
 
-func (c *Client) attempt(method, path string, payload []byte) (*http.Response, error) {
+func (c *Client) attempt(method, url, idemKey string, payload []byte) (*http.Response, error) {
 	var rdr io.Reader
 	if payload != nil {
 		rdr = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
+	req, err := http.NewRequest(method, url, rdr)
 	if err != nil {
 		return nil, err
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if idemKey != "" {
+		req.Header.Set(IdempotencyKeyHeader, idemKey)
+	}
 	httpc := c.HTTP
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
 	return httpc.Do(req)
+}
+
+// newIdemKey generates a fresh idempotency key for one logical mutation
+// (all retries of that mutation share it).
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; fall back to math/rand
+		// rather than refusing to build a request.
+		return fmt.Sprintf("idem-%x-%x", mathrand.Uint64(), mathrand.Uint64())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // backoff sleeps before retry number `attempt` (1-based): exponential from
@@ -167,7 +281,7 @@ func (c *Client) backoff(attempt int) {
 	if d > retryCap {
 		d = retryCap
 	}
-	d += time.Duration(rand.Int64N(int64(d)/2 + 1))
+	d += time.Duration(mathrand.Int64N(int64(d)/2 + 1))
 	sleep := c.sleep
 	if sleep == nil {
 		sleep = time.Sleep
@@ -201,7 +315,9 @@ func (c *Client) ListShapes() ([]ShapeInfo, error) {
 }
 
 // InsertShape uploads a mesh, extracts its features server-side, and
-// returns the assigned id.
+// returns the assigned id. Each call carries a fresh idempotency key, so
+// internal retries (connection loss, failover, ack timeout) can never
+// store the shape twice.
 func (c *Client) InsertShape(name string, group int, mesh *geom.Mesh) (int64, error) {
 	off, err := MeshToOFF(mesh)
 	if err != nil {
@@ -210,17 +326,20 @@ func (c *Client) InsertShape(name string, group int, mesh *geom.Mesh) (int64, er
 	var out struct {
 		ID int64 `json:"id"`
 	}
-	err = c.do(http.MethodPost, "/api/shapes", map[string]any{
+	err = c.doIdem(http.MethodPost, "/api/shapes", newIdemKey(), map[string]any{
 		"name": name, "group": group, "mesh_off": off,
 	}, &out)
 	return out.ID, err
 }
 
 // InsertShapes bulk-uploads meshes in one request; the server extracts
-// features on its worker pool and returns the ids in input order.
+// features on its worker pool and returns the ids in input order. Like
+// InsertShape, each call carries a fresh idempotency key covering the
+// whole batch.
 func (c *Client) InsertShapes(shapes []BatchShape) ([]int64, error) {
 	var out BatchInsertResponse
-	err := c.do(http.MethodPost, "/api/shapes/batch", BatchInsertRequest{Shapes: shapes}, &out)
+	err := c.doIdem(http.MethodPost, "/api/shapes/batch", newIdemKey(),
+		BatchInsertRequest{Shapes: shapes}, &out)
 	return out.IDs, err
 }
 

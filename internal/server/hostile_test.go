@@ -394,14 +394,21 @@ func TestClientHonors429(t *testing.T) {
 	}
 }
 
-// TestClientPostNotRetriedOn5xx pins the other half of the retry contract:
-// a mutating request that reached a handler (500) is NOT resent.
-func TestClientPostNotRetriedOn5xx(t *testing.T) {
+// TestClientMutationRetryContractOn5xx pins the other half of the retry
+// contract: a mutating request that reached a handler (500) is resent
+// only when it carries an idempotency key. InsertShape stamps one
+// automatically, so it retries (the server deduplicates the resend); an
+// unkeyed mutation like DELETE is never resent — it may have landed.
+func TestClientMutationRetryContractOn5xx(t *testing.T) {
 	var mu sync.Mutex
 	calls := 0
+	keys := map[string]bool{}
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
 		calls++
+		if k := r.Header.Get(IdempotencyKeyHeader); k != "" {
+			keys[k] = true
+		}
 		mu.Unlock()
 		w.WriteHeader(http.StatusInternalServerError)
 		fmt.Fprint(w, `{"error":"boom"}`)
@@ -412,7 +419,18 @@ func TestClientPostNotRetriedOn5xx(t *testing.T) {
 	if _, err := c.InsertShape("x", 0, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))); err == nil {
 		t.Fatal("500 insert reported success")
 	}
+	if want := 1 + c.MaxRetries; calls != want {
+		t.Errorf("server saw %d insert calls, want %d (keyed POSTs retry on 5xx)", calls, want)
+	}
+	if len(keys) != 1 {
+		t.Errorf("saw %d distinct idempotency keys, want 1 (resends must reuse the key)", len(keys))
+	}
+
+	calls = 0
+	if err := c.DeleteShape(9); err == nil {
+		t.Fatal("500 delete reported success")
+	}
 	if calls != 1 {
-		t.Errorf("server saw %d calls, want 1 (no POST retry on 5xx)", calls)
+		t.Errorf("server saw %d delete calls, want 1 (unkeyed mutations never retry on 5xx)", calls)
 	}
 }

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"threedess/internal/geom"
+	"threedess/internal/replica"
+)
+
+// offBody builds a single-shape insert body for raw POSTs.
+func offBody(t *testing.T, name string, group int) []byte {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{
+		"name":     name,
+		"group":    group,
+		"mesh_off": mustOFF(t, geom.Box(geom.V(0, 0, 0), geom.V(1, 2, 3))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postKeyed(t *testing.T, url, key string, body []byte) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set(IdempotencyKeyHeader, key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestIdempotencyKeySingleInsert(t *testing.T) {
+	c, engine := testServer(t)
+	body := offBody(t, "once", 1)
+
+	st1, out1 := postKeyed(t, c.BaseURL+"/api/shapes", "key-1", body)
+	if st1 != http.StatusCreated {
+		t.Fatalf("first keyed insert status = %d, want 201", st1)
+	}
+	st2, out2 := postKeyed(t, c.BaseURL+"/api/shapes", "key-1", body)
+	if st2 != http.StatusOK {
+		t.Fatalf("replayed insert status = %d, want 200", st2)
+	}
+	if out1["id"] != out2["id"] {
+		t.Errorf("replay returned id %v, original %v", out2["id"], out1["id"])
+	}
+	if out2["idempotent_replay"] != true {
+		t.Errorf("replay response not marked: %v", out2)
+	}
+	if n := engine.DB().Len(); n != 1 {
+		t.Errorf("store has %d records after retry, want 1", n)
+	}
+
+	// A different key inserts again; no key inserts again.
+	if st, _ := postKeyed(t, c.BaseURL+"/api/shapes", "key-2", body); st != http.StatusCreated {
+		t.Fatalf("fresh key status = %d", st)
+	}
+	if st, _ := postKeyed(t, c.BaseURL+"/api/shapes", "", body); st != http.StatusCreated {
+		t.Fatalf("unkeyed status = %d", st)
+	}
+	if n := engine.DB().Len(); n != 3 {
+		t.Errorf("store has %d records, want 3", n)
+	}
+}
+
+func TestIdempotencyKeyBatchInsert(t *testing.T) {
+	c, engine := testServer(t)
+	off := mustOFF(t, geom.Box(geom.V(0, 0, 0), geom.V(2, 1, 1)))
+	var shapes []map[string]any
+	for i := 0; i < 4; i++ {
+		shapes = append(shapes, map[string]any{
+			"name": fmt.Sprintf("b%d", i), "group": i, "mesh_off": off,
+		})
+	}
+	body, err := json.Marshal(map[string]any{"shapes": shapes})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st1, out1 := postKeyed(t, c.BaseURL+"/api/shapes/batch", "batch-1", body)
+	if st1 != http.StatusCreated {
+		t.Fatalf("batch status = %d: %v", st1, out1)
+	}
+	st2, out2 := postKeyed(t, c.BaseURL+"/api/shapes/batch", "batch-1", body)
+	if st2 != http.StatusOK || out2["idempotent_replay"] != true {
+		t.Fatalf("batch replay = %d %v", st2, out2)
+	}
+	ids1, ids2 := fmt.Sprint(out1["ids"]), fmt.Sprint(out2["ids"])
+	if ids1 != ids2 {
+		t.Errorf("batch replay ids %s, original %s", ids2, ids1)
+	}
+	if n := engine.DB().Len(); n != 4 {
+		t.Errorf("store has %d records after batch retry, want 4", n)
+	}
+}
+
+func TestIdempotencyKeyConcurrentRetries(t *testing.T) {
+	c, engine := testServer(t)
+	body := offBody(t, "racer", 1)
+
+	const n = 8
+	ids := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, out := postKeyed(t, c.BaseURL+"/api/shapes", "racing-key", body)
+			if st != http.StatusCreated && st != http.StatusOK {
+				t.Errorf("concurrent keyed insert %d status = %d", i, st)
+				return
+			}
+			ids[i] = out["id"]
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("concurrent retries got ids %v and %v for one key", ids[0], ids[i])
+		}
+	}
+	if got := engine.DB().Len(); got != 1 {
+		t.Errorf("store has %d records after %d concurrent same-key inserts, want 1", got, n)
+	}
+}
+
+func TestClientInsertSurvivesDuplicateDelivery(t *testing.T) {
+	c, engine := testServer(t)
+	// The network delivers the client's POST twice (retransmission after a
+	// lost response, a duplicating proxy...). The auto-generated
+	// idempotency key makes the second delivery a no-op.
+	c.HTTP.Transport = replica.NewFaultRT(c.HTTP.Transport)
+	c.HTTP.Transport.(*replica.FaultRT).DuplicateNext(1)
+
+	id, err := c.InsertShape("dup", 3, geom.Box(geom.V(0, 0, 0), geom.V(3, 2, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := engine.DB().Len(); n != 1 {
+		t.Fatalf("store has %d records after duplicate delivery, want 1", n)
+	}
+	if _, ok := engine.DB().Get(id); !ok {
+		t.Fatalf("returned id %d not in store", id)
+	}
+
+	// Same for the batch endpoint.
+	c.HTTP.Transport.(*replica.FaultRT).DuplicateNext(1)
+	off := mustOFF(t, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 4)))
+	ids, err := c.InsertShapes([]BatchShape{
+		{Name: "dup-b0", Group: 1, MeshOFF: off},
+		{Name: "dup-b1", Group: 2, MeshOFF: off},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || engine.DB().Len() != 3 {
+		t.Fatalf("batch duplicate delivery: ids=%v len=%d, want 2 ids / 3 records", ids, engine.DB().Len())
+	}
+}

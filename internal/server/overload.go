@@ -6,6 +6,8 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+
+	"threedess/internal/replica"
 )
 
 // Overload protection: the server survives both hostile requests and too
@@ -102,13 +104,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is the readiness probe: 200 once the server should receive
-// traffic, 503 while it is still loading.
+// traffic, 503 while it is still loading. A replicated node also reports
+// its role and stream lag, and a standby stays not-ready until its first
+// full catch-up — routing reads to a standby that is still bootstrapping
+// would serve an arbitrarily stale prefix of the database.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"ready": true}
+	status := http.StatusOK
 	if !s.Ready() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
-		return
+		body["ready"] = false
+		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	if n := s.repl.Load(); n != nil {
+		st := n.Status()
+		body["role"] = st.Role
+		body["replication_lag"] = st.Lag
+		if n.Role() != replica.RolePrimary && !n.CaughtUp() {
+			body["ready"] = false
+			body["catching_up"] = true
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, body)
 }
 
 // statusWriter records whether a response has started, so the panic

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"threedess/internal/replica"
+	"threedess/internal/shapedb"
+)
+
+// The replication surface of the server: the protocol endpoints a standby
+// pulls from (/api/replication/state, /stream, /fence), the operator
+// status endpoint (/api/admin/replication), the role gate that makes a
+// standby read-only, and the sync-ack wait that holds a write's 2xx until
+// the standby has durably applied it. Servers that never call
+// SetReplication behave exactly as before: the endpoints answer 503 and
+// every gate is inert.
+
+// ReplicationConfig tunes the primary-side write path.
+type ReplicationConfig struct {
+	// SyncWrites holds each mutating request's acknowledgment until the
+	// standby's stream offset covers it (on once a standby has attached).
+	// Disabling it trades the zero-acknowledged-write-loss guarantee for
+	// write availability while the standby is down.
+	SyncWrites bool
+	// AckTimeout bounds how long a write waits for the standby before
+	// failing with 503 (the write stays journaled locally and the client's
+	// idempotency key makes the retry safe). Zero takes DefaultAckTimeout.
+	AckTimeout time.Duration
+}
+
+// DefaultAckTimeout is how long a synchronous write waits for the standby
+// attestation before refusing to acknowledge.
+const DefaultAckTimeout = 5 * time.Second
+
+// SetReplication attaches the node's replication state to the server,
+// activating the role gate, the protocol endpoints, and (per cfg) the
+// sync-ack write path. Call before serving traffic.
+func (s *Server) SetReplication(n *replica.Node, cfg ReplicationConfig) {
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = DefaultAckTimeout
+	}
+	s.replCfg = cfg
+	s.repl.Store(n)
+}
+
+// ReplicationNode returns the attached node (nil when replication is not
+// configured).
+func (s *Server) ReplicationNode() *replica.Node { return s.repl.Load() }
+
+// requireWritable enforces the role gate on mutating endpoints: a standby
+// (or a fenced ex-primary) refuses with 503 and points the client at the
+// current primary via the X-Replica-Primary header. Returns false when the
+// request was refused.
+func (s *Server) requireWritable(w http.ResponseWriter) bool {
+	n := s.repl.Load()
+	if n == nil || n.Role() == replica.RolePrimary {
+		return true
+	}
+	if p := n.PrimaryURL(); p != "" {
+		w.Header().Set(replica.PrimaryHeader, p)
+	}
+	writeErr(w, http.StatusServiceUnavailable,
+		fmt.Errorf("node is %s, not primary; writes go to %s", n.Role(), n.PrimaryURL()))
+	return false
+}
+
+// waitReplicated holds a mutating request until the standby has durably
+// applied it (sync-ack). target must be captured via db.ReplState()
+// immediately after the local journal append. A nil node, async config,
+// in-memory store, or never-attached standby all make this a no-op.
+func (s *Server) waitReplicated(r *http.Request, target shapedb.ReplState) error {
+	n := s.repl.Load()
+	if n == nil || !s.replCfg.SyncWrites || target.Epoch == 0 {
+		return nil
+	}
+	db := s.engine.DB()
+	return n.WaitAcked(r.Context(), target, db.ReplState, s.replCfg.AckTimeout)
+}
+
+// writeAckErr maps a failed sync-ack wait to a response. The write is
+// journaled locally either way; 503 tells the client to retry (its
+// idempotency key collapses the retry into the original write once the
+// standby attests it).
+func writeAckErr(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusServiceUnavailable, err)
+}
+
+func (s *Server) handleReplState(w http.ResponseWriter, r *http.Request) {
+	n := s.repl.Load()
+	if n == nil {
+		writeErr(w, http.StatusServiceUnavailable, errReplNotConfigured)
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	st := s.engine.DB().ReplState()
+	writeJSON(w, http.StatusOK, replica.StateResponse{
+		Role:      n.Role().String(),
+		Term:      n.Term(),
+		Epoch:     st.Epoch,
+		Committed: st.Committed,
+		Advertise: n.SelfURL(),
+		Primary:   n.PrimaryURL(),
+	})
+}
+
+var errReplNotConfigured = errors.New("replication not configured")
+
+// handleReplStream serves raw journal frames to a standby. Query
+// parameters: epoch (the journal incarnation the standby is copying), off
+// (its durably-applied offset — also its ack attestation), max (chunk size
+// cap), wait (long-poll milliseconds when nothing is committed past off).
+// A stale epoch answers 409 with the current state so the standby can
+// re-handshake.
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	n := s.repl.Load()
+	if n == nil {
+		writeErr(w, http.StatusServiceUnavailable, errReplNotConfigured)
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	if n.Role() != replica.RolePrimary {
+		if p := n.PrimaryURL(); p != "" {
+			w.Header().Set(replica.PrimaryHeader, p)
+		}
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("node is %s, not primary", n.Role()))
+		return
+	}
+	q := r.URL.Query()
+	epoch, _ := strconv.ParseInt(q.Get("epoch"), 10, 64)
+	off, _ := strconv.ParseInt(q.Get("off"), 10, 64)
+	maxBytes, _ := strconv.Atoi(q.Get("max"))
+	waitMS, _ := strconv.ParseInt(q.Get("wait"), 10, 64)
+	db := s.engine.DB()
+
+	// The request itself attests the standby has durably applied
+	// [0, off) of this epoch: record the ack before anything else so
+	// writes waiting on it wake even if this poll returns empty.
+	if epoch != 0 && epoch == db.ReplState().Epoch {
+		n.ObserveAck(epoch, off)
+	}
+
+	deadline := time.Now().Add(time.Duration(waitMS) * time.Millisecond)
+	for {
+		chunk, st, err := db.ReadJournal(epoch, off, maxBytes)
+		switch {
+		case errors.Is(err, shapedb.ErrReplEpoch):
+			w.Header().Set(replica.EpochHeader, strconv.FormatInt(st.Epoch, 10))
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error": "epoch changed", "epoch": st.Epoch, "committed": st.Committed,
+			})
+			return
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		case len(chunk) > 0 || time.Now().After(deadline) || r.Context().Err() != nil:
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set(replica.EpochHeader, strconv.FormatInt(st.Epoch, 10))
+			w.Header().Set(replica.CommittedHeader, strconv.FormatInt(st.Committed, 10))
+			w.Header().Set(replica.TermHeader, strconv.FormatInt(n.Term(), 10))
+			w.WriteHeader(http.StatusOK)
+			w.Write(chunk)
+			return
+		}
+		// Long-poll: nothing committed past off yet.
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// handleReplFence applies a peer's fencing claim: a higher term demotes
+// this node (primary steps down before the claimant takes writes), an
+// equal-or-lower term is refused with 409 and the current state.
+func (s *Server) handleReplFence(w http.ResponseWriter, r *http.Request) {
+	n := s.repl.Load()
+	if n == nil {
+		writeErr(w, http.StatusServiceUnavailable, errReplNotConfigured)
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req replica.FenceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeDecodeErr(w, err)
+		return
+	}
+	resp := n.Fence(req.Term, req.Primary)
+	status := http.StatusOK
+	if !resp.Accepted {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleAdminReplication is the operator status view: role, term, lag,
+// ack watermark, and the local journal position.
+func (s *Server) handleAdminReplication(w http.ResponseWriter, r *http.Request) {
+	n := s.repl.Load()
+	if n == nil {
+		writeErr(w, http.StatusServiceUnavailable, errReplNotConfigured)
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	st := s.engine.DB().ReplState()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node":    n.Status(),
+		"journal": st,
+		"sync":    s.replCfg.SyncWrites,
+	})
+}

@@ -15,12 +15,14 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"threedess/internal/core"
 	"threedess/internal/features"
 	"threedess/internal/geom"
+	"threedess/internal/replica"
 	"threedess/internal/scrub"
 	"threedess/internal/shapedb"
 )
@@ -39,6 +41,15 @@ type Server struct {
 	// maint is the optional self-healing maintainer behind
 	// /api/admin/maintenance (nil until SetMaintenance; see admin.go).
 	maint atomic.Pointer[scrub.Maintainer]
+	// repl is the optional replication node (nil = standalone server);
+	// see replication.go.
+	repl    atomic.Pointer[replica.Node]
+	replCfg ReplicationConfig
+	// idemMu/idemInFlight serialize concurrent mutating requests that share
+	// an Idempotency-Key, so exactly one performs the insert and the rest
+	// replay its stored result instead of double-inserting.
+	idemMu       sync.Mutex
+	idemInFlight map[string]chan struct{}
 }
 
 // Defaults for Config fields left zero.
@@ -88,7 +99,8 @@ func New(engine *core.Engine) *Server { return NewWithConfig(engine, Config{}) }
 
 // NewWithConfig builds a server with explicit request limits.
 func NewWithConfig(engine *core.Engine, cfg Config) *Server {
-	s := &Server{engine: engine, mux: http.NewServeMux(), cfg: cfg.withDefaults()}
+	s := &Server{engine: engine, mux: http.NewServeMux(), cfg: cfg.withDefaults(),
+		idemInFlight: make(map[string]chan struct{})}
 	if s.cfg.MaxInFlight > 0 {
 		s.gate = make(chan struct{}, s.cfg.MaxInFlight)
 	}
@@ -101,6 +113,10 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/api/browse", s.handleBrowse)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/admin/maintenance", s.handleMaintenance)
+	s.mux.HandleFunc("/api/admin/replication", s.handleAdminReplication)
+	s.mux.HandleFunc(replica.StatePath, s.handleReplState)
+	s.mux.HandleFunc(replica.StreamPath, s.handleReplStream)
+	s.mux.HandleFunc(replica.FencePath, s.handleReplFence)
 	s.mux.HandleFunc("/", s.handleUI)
 	return s
 }
@@ -271,6 +287,9 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
 		// Insert a new shape: {"name": ..., "group": ..., "mesh_off": ...}
+		if !s.requireWritable(w) {
+			return
+		}
 		var req struct {
 			Name    string `json:"name"`
 			Group   int    `json:"group"`
@@ -285,9 +304,26 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := s.engine.IngestMesh(req.Name, req.Group, mesh, nil)
+		key := r.Header.Get(IdempotencyKeyHeader)
+		if key != "" {
+			release, err := s.lockIdemKey(r.Context(), key)
+			if err != nil {
+				writeEngineErr(w, err, http.StatusServiceUnavailable)
+				return
+			}
+			defer release()
+			if ids, ok := s.engine.DB().IdempotentIDs(key); ok {
+				writeJSON(w, http.StatusOK, s.idemReplay(ids[0]))
+				return
+			}
+		}
+		res, err := s.engine.IngestMeshKeyed(req.Name, req.Group, mesh, nil, key)
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
+			writeAckErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]any{"id": res.ID, "degraded": res.Degraded})
@@ -305,6 +341,9 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	if !s.requireWritable(w) {
+		return
+	}
 	var req BatchInsertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeDecodeErr(w, err)
@@ -313,6 +352,19 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 	if len(req.Shapes) == 0 {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
+	}
+	key := r.Header.Get(IdempotencyKeyHeader)
+	if key != "" {
+		release, err := s.lockIdemKey(r.Context(), key)
+		if err != nil {
+			writeEngineErr(w, err, http.StatusServiceUnavailable)
+			return
+		}
+		defer release()
+		if ids, ok := s.engine.DB().IdempotentIDs(key); ok && len(ids) == len(req.Shapes) {
+			writeJSON(w, http.StatusOK, s.idemReplayBatch(ids))
+			return
+		}
 	}
 	items := make([]core.IngestShape, len(req.Shapes))
 	for i, sh := range req.Shapes {
@@ -323,9 +375,13 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		items[i] = core.IngestShape{Name: sh.Name, Group: sh.Group, Mesh: mesh}
 	}
-	res, err := s.engine.IngestBatch(r.Context(), items, nil)
+	res, err := s.engine.IngestBatchKeyed(r.Context(), items, nil, key)
 	if err != nil {
 		writeEngineErr(w, err, http.StatusUnprocessableEntity)
+		return
+	}
+	if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
+		writeAckErr(w, err)
 		return
 	}
 	resp := BatchInsertResponse{IDs: make([]int64, len(res))}
@@ -375,8 +431,15 @@ func (s *Server) handleShapeByID(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("cannot delete a view"))
 			return
 		}
+		if !s.requireWritable(w) {
+			return
+		}
 		if _, err := s.engine.DB().Delete(id); err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
+			writeAckErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})

@@ -35,6 +35,16 @@ type Record struct {
 	Mesh     *geom.Mesh
 	Features features.Set
 	Degraded []string
+	// IdemKey ties the record to the client idempotency key it was
+	// inserted under ("" = none). IdemIndex/IdemCount place it inside that
+	// key's batch (0 of 1 for a single insert), so a retried request can be
+	// answered with the original IDs only when every record of the batch is
+	// still present. The fields are journaled, survive replay, compaction,
+	// and replication, which is what makes insert retries safe across
+	// failover.
+	IdemKey   string
+	IdemIndex int
+	IdemCount int
 }
 
 // DB is the shape database.
@@ -72,6 +82,15 @@ type DB struct {
 	// ErrCompactionInProgress instead of queueing a redundant rewrite
 	// behind the first (admin trigger racing the policy timer).
 	compacting atomic.Bool
+	// replEpoch names the current journal file incarnation for the
+	// replication protocol (see replication.go): regenerated on every Open,
+	// compaction, and ResetReplica, because each of those invalidates byte
+	// offsets into the previous file.
+	replEpoch int64
+	// idem maps an idempotency key to its batch positions (index → id) so
+	// a retried insert can be answered with the original IDs. Maintained by
+	// applyInsert/applyDelete, so replay and replication rebuild it.
+	idem map[string]map[int]int64
 }
 
 // frameRef locates one record's insert frame in the journal file.
@@ -108,6 +127,8 @@ func OpenFS(dir string, opts features.Options, fsys faultfs.FS) (*DB, error) {
 		fsys:        fsys,
 		frames:      make(map[int64]frameRef),
 		quarantined: make(map[int64]QuarantineInfo),
+		idem:        make(map[string]map[int]int64),
+		replEpoch:   newReplEpoch(),
 	}
 	if dir == "" {
 		return db, nil
@@ -139,7 +160,10 @@ func OpenFS(dir string, opts features.Options, fsys faultfs.FS) (*DB, error) {
 				return nil
 			}
 			mesh := &geom.Mesh{Vertices: e.Vertices, Faces: e.Faces}
-			rec := &Record{ID: e.ID, Name: e.Name, Group: e.Group, Mesh: mesh, Features: set, Degraded: e.Degraded}
+			rec := &Record{
+				ID: e.ID, Name: e.Name, Group: e.Group, Mesh: mesh, Features: set, Degraded: e.Degraded,
+				IdemKey: e.IdemKey, IdemIndex: e.IdemIdx, IdemCount: e.IdemCnt,
+			}
 			db.applyInsert(rec)
 			db.setFrame(rec.ID, frameRef{off: off, size: size})
 		case opDelete:
@@ -248,16 +272,34 @@ func (db *DB) Insert(name string, group int, mesh *geom.Mesh, set features.Set) 
 	return db.InsertFull(name, group, mesh, set, nil)
 }
 
+// InsertOpts carries the optional fields of InsertWith.
+type InsertOpts struct {
+	// Degraded lists feature kinds skipped during extraction.
+	Degraded []string
+	// IdemKey attributes the insert to a client idempotency key ("" =
+	// none); IdemIndex/IdemCount place it inside that key's batch. A single
+	// keyed insert uses index 0, count 1.
+	IdemKey   string
+	IdemIndex int
+	IdemCount int
+}
+
 // InsertFull is Insert carrying per-kind degradation flags (stable feature
 // kind names whose extraction was skipped; see features.Degradation). The
 // flags are journaled with the record and survive recovery.
+func (db *DB) InsertFull(name string, group int, mesh *geom.Mesh, set features.Set, degraded []string) (int64, error) {
+	return db.InsertWith(name, group, mesh, set, InsertOpts{Degraded: degraded})
+}
+
+// InsertWith is the full insert entry point: degradation flags plus
+// idempotency attribution (see InsertOpts), all journaled with the record.
 //
 // The shape is validated before anything is journaled: the mesh must be
 // structurally sound and every feature vector must have the configured
 // dimension and finite coordinates. A single NaN coordinate would
 // otherwise corrupt R-tree MBR invariants and the feature-space bounds
 // behind every future similarity value.
-func (db *DB) InsertFull(name string, group int, mesh *geom.Mesh, set features.Set, degraded []string) (int64, error) {
+func (db *DB) InsertWith(name string, group int, mesh *geom.Mesh, set features.Set, o InsertOpts) (int64, error) {
 	if mesh == nil {
 		return 0, fmt.Errorf("shapedb: nil mesh")
 	}
@@ -273,12 +315,18 @@ func (db *DB) InsertFull(name string, group int, mesh *geom.Mesh, set features.S
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	rec := &Record{
-		ID:       db.nextID,
-		Name:     name,
-		Group:    group,
-		Mesh:     mesh.Clone(),
-		Features: set.Clone(),
-		Degraded: append([]string(nil), degraded...),
+		ID:        db.nextID,
+		Name:      name,
+		Group:     group,
+		Mesh:      mesh.Clone(),
+		Features:  set.Clone(),
+		Degraded:  append([]string(nil), o.Degraded...),
+		IdemKey:   o.IdemKey,
+		IdemIndex: o.IdemIndex,
+		IdemCount: o.IdemCount,
+	}
+	if rec.IdemKey != "" && rec.IdemCount <= 0 {
+		rec.IdemCount = 1
 	}
 	ref, err := db.logInsert(rec)
 	if err != nil {
@@ -333,16 +381,7 @@ func (db *DB) logInsert(rec *Record) (frameRef, error) {
 	if db.journal == nil {
 		return frameRef{}, nil
 	}
-	e := &journalEntry{
-		Op:       opInsert,
-		ID:       rec.ID,
-		Name:     rec.Name,
-		Group:    rec.Group,
-		Vertices: rec.Mesh.Vertices,
-		Faces:    rec.Mesh.Faces,
-		Features: encodeFeatures(rec.Features),
-		Degraded: rec.Degraded,
-	}
+	e := entryOf(rec)
 	off := db.journal.off
 	if err := db.journal.append(e); err != nil {
 		return frameRef{}, err
@@ -353,12 +392,37 @@ func (db *DB) logInsert(rec *Record) (frameRef, error) {
 	return frameRef{off: off, size: db.journal.off - off}, nil
 }
 
+// entryOf frames a record as its journal insert entry.
+func entryOf(rec *Record) *journalEntry {
+	return &journalEntry{
+		Op:       opInsert,
+		ID:       rec.ID,
+		Name:     rec.Name,
+		Group:    rec.Group,
+		Vertices: rec.Mesh.Vertices,
+		Faces:    rec.Mesh.Faces,
+		Features: encodeFeatures(rec.Features),
+		Degraded: rec.Degraded,
+		IdemKey:  rec.IdemKey,
+		IdemIdx:  rec.IdemIndex,
+		IdemCnt:  rec.IdemCount,
+	}
+}
+
 // applyInsert mutates in-memory state; callers hold the write lock (or are
 // single-threaded replay).
 func (db *DB) applyInsert(rec *Record) {
 	db.records[rec.ID] = rec
 	if rec.ID >= db.nextID {
 		db.nextID = rec.ID + 1
+	}
+	if rec.IdemKey != "" {
+		m := db.idem[rec.IdemKey]
+		if m == nil {
+			m = make(map[int]int64)
+			db.idem[rec.IdemKey] = m
+		}
+		m[rec.IdemIndex] = rec.ID
 	}
 	for k, v := range rec.Features {
 		idx, ok := db.indexes[k]
@@ -429,6 +493,48 @@ func (db *DB) applyDelete(id int64) {
 	}
 	delete(db.records, id)
 	db.dropFrame(id)
+	if rec.IdemKey != "" {
+		if m := db.idem[rec.IdemKey]; m != nil {
+			delete(m, rec.IdemIndex)
+			if len(m) == 0 {
+				delete(db.idem, rec.IdemKey)
+			}
+		}
+	}
+}
+
+// IdempotentIDs answers a retried keyed insert: the IDs originally assigned
+// under the idempotency key, in batch order. It reports false when the key
+// is unknown or its batch is incomplete (a partial insert, or members since
+// deleted) — an incomplete answer would hide records from the retrier, so
+// the caller re-runs the insert instead.
+func (db *DB) IdempotentIDs(key string) ([]int64, bool) {
+	if key == "" {
+		return nil, false
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := db.idem[key]
+	if m == nil {
+		return nil, false
+	}
+	var count int
+	for _, id := range m {
+		count = db.records[id].IdemCount
+		break
+	}
+	if count <= 0 || len(m) != count {
+		return nil, false
+	}
+	ids := make([]int64, count)
+	for i := 0; i < count; i++ {
+		id, ok := m[i]
+		if !ok {
+			return nil, false
+		}
+		ids[i] = id
+	}
+	return ids, true
 }
 
 // Get returns a copy-safe reference to the record with the given id.
@@ -653,16 +759,7 @@ func (db *DB) Compact() error {
 	newFrames := make(map[int64]frameRef, len(ids))
 	for _, id := range ids {
 		rec := db.records[id]
-		e := &journalEntry{
-			Op:       opInsert,
-			ID:       rec.ID,
-			Name:     rec.Name,
-			Group:    rec.Group,
-			Vertices: rec.Mesh.Vertices,
-			Faces:    rec.Mesh.Faces,
-			Features: encodeFeatures(rec.Features),
-			Degraded: rec.Degraded,
-		}
+		e := entryOf(rec)
 		off := nj.off
 		if err := nj.append(e); err != nil {
 			nj.close()
@@ -711,6 +808,10 @@ func (db *DB) Compact() error {
 
 // adoptFrames switches the frame map to a freshly compacted journal's
 // layout and resets the dead-weight counters the compaction policy reads.
+// The replication epoch is regenerated here: byte offsets into the old
+// journal file mean nothing against the rewrite, so standbys streaming at
+// the old epoch are told to re-bootstrap rather than silently fed bytes
+// from a different file.
 func (db *DB) adoptFrames(newFrames map[int64]frameRef) {
 	db.frames = newFrames
 	db.liveBytes = 0
@@ -719,6 +820,7 @@ func (db *DB) adoptFrames(newFrames map[int64]frameRef) {
 	}
 	db.entryCount = len(newFrames)
 	db.dirtyQuarantine = 0
+	db.replEpoch = newReplEpoch()
 }
 
 // reopenJournal re-establishes the append handle at path, poisoning the

@@ -43,10 +43,10 @@ func FuzzReplayJournal(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2])  // torn tail
+	f.Add(valid[:len(valid)/2])    // torn tail
 	f.Add(valid[3 : len(valid)-5]) // misaligned
 	f.Add([]byte{})
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4}) // implausible length
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4})             // implausible length
 	f.Add([]byte{8, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8}) // bad CRC
 	garbage := make([]byte, 300)
 	for i := range garbage {

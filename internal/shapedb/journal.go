@@ -50,6 +50,12 @@ type journalEntry struct {
 	// degradation (stable names). Absent in pre-degradation journals,
 	// which gob decodes as nil.
 	Degraded []string
+	// Idempotency attribution (see Record): the client key this insert was
+	// made under and its position/size within that key's batch. Absent in
+	// older journals, which gob decodes as zero values.
+	IdemKey string
+	IdemIdx int
+	IdemCnt int
 }
 
 func encodeFeatures(set features.Set) map[string][]float64 {
@@ -146,6 +152,31 @@ func (j *journal) append(e *journalEntry) error {
 		return fmt.Errorf("shapedb: appending journal entry: %w", err)
 	}
 	j.off += int64(frame.Len())
+	return nil
+}
+
+// appendRaw persists pre-framed bytes exactly as given — the replication
+// path, where a standby must end up with a byte-identical journal. The
+// caller has already CRC-verified and decoded the frames; re-encoding them
+// through append would reorder gob map fields and break the byte-for-byte
+// equivalence the replication protocol's offsets are defined over. Failure
+// semantics match append: rollback to the last good boundary, poisoning on
+// a failed rollback.
+func (j *journal) appendRaw(frames []byte) error {
+	if j.failed != nil {
+		return j.failed
+	}
+	n, err := j.f.Write(frames)
+	if err == nil && n < len(frames) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		if rerr := j.rollback(); rerr != nil {
+			j.failed = fmt.Errorf("shapedb: raw journal append failed (%v) and rollback failed: %w", err, rerr)
+		}
+		return fmt.Errorf("shapedb: appending raw journal frames: %w", err)
+	}
+	j.off += int64(len(frames))
 	return nil
 }
 

@@ -1,0 +1,318 @@
+package shapedb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand/v2"
+	"path/filepath"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/rtree"
+)
+
+// Replication primitives: a warm standby keeps a byte-identical copy of the
+// primary's journal by pulling committed frames and appending them verbatim
+// (appendRaw), so "how far has the standby got" is a plain byte offset into
+// a file both sides agree on. The agreement is scoped by an epoch — a
+// random token regenerated whenever the journal file's identity changes
+// (every Open, every compaction, every ResetReplica) — because after any of
+// those events old offsets describe bytes that no longer exist. A standby
+// seeing an unfamiliar epoch discards its copy and re-bootstraps from
+// offset zero; there is deliberately no delta protocol across epoch
+// changes, which keeps the invariant trivial: within one epoch, bytes
+// [0, committed) never change.
+
+// ErrReplEpoch is returned by ReadJournal when the caller's epoch no longer
+// matches the journal file (the primary restarted or compacted). The
+// standby must re-bootstrap from offset zero at the current epoch.
+var ErrReplEpoch = errors.New("shapedb: replication epoch changed")
+
+// ErrReplOffset is returned when a replication offset does not line up with
+// the journal: a ReadJournal past the committed end, or an ApplyReplicated
+// whose expected offset differs from the local journal length.
+var ErrReplOffset = errors.New("shapedb: replication offset mismatch")
+
+// ErrNotDurable is returned by replication operations on an in-memory
+// database, which has no journal to stream or replay.
+var ErrNotDurable = errors.New("shapedb: in-memory database cannot replicate")
+
+// ReplState identifies a point in the journal stream: the epoch naming the
+// current journal file's identity and the committed byte offset (the end of
+// the last fully-written, synced frame).
+type ReplState struct {
+	Epoch     int64 `json:"epoch"`
+	Committed int64 `json:"committed"`
+}
+
+// newReplEpoch draws a fresh epoch token. Epochs are compared only for
+// equality, so a random 63-bit value is enough: a collision between two
+// distinct journal incarnations is vanishingly unlikely and would only
+// delay a standby until its next offset mismatch.
+func newReplEpoch() int64 {
+	for {
+		if e := rand.Int64(); e != 0 {
+			return e // 0 is reserved for "unknown"
+		}
+	}
+}
+
+// ReplState returns the current epoch and committed offset. In-memory
+// databases report a zero state.
+func (db *DB) ReplState() ReplState {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.replStateLocked()
+}
+
+func (db *DB) replStateLocked() ReplState {
+	if db.journal == nil || db.journal.f == nil {
+		return ReplState{}
+	}
+	return ReplState{Epoch: db.replEpoch, Committed: db.journal.off}
+}
+
+// ReadJournal returns raw journal bytes starting at off, cut at a frame
+// boundary, at most maxBytes long (except that a single frame larger than
+// maxBytes is returned whole, so the stream always makes progress). It
+// never returns bytes past the committed offset, and it refuses a stale
+// epoch with ErrReplEpoch so a standby can never splice bytes from two
+// different journal incarnations. The returned state is the journal
+// position the bytes were read against.
+func (db *DB) ReadJournal(epoch, off int64, maxBytes int) ([]byte, ReplState, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	st := db.replStateLocked()
+	if db.journal == nil {
+		return nil, st, ErrNotDurable
+	}
+	if db.journal.failed != nil {
+		return nil, st, db.journal.failed
+	}
+	if epoch != db.replEpoch {
+		return nil, st, ErrReplEpoch
+	}
+	if off < 0 || off > st.Committed {
+		return nil, st, fmt.Errorf("%w: requested offset %d, committed %d", ErrReplOffset, off, st.Committed)
+	}
+	if off == st.Committed {
+		return nil, st, nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	want := st.Committed - off
+	if want > int64(maxBytes) {
+		want = int64(maxBytes)
+	}
+	buf, err := db.readJournalSpan(off, want)
+	if err != nil {
+		return nil, st, err
+	}
+	// Trim to the last complete frame inside the buffer. Offsets are always
+	// frame boundaries, so walking headers from the start is sound.
+	end := 0
+	for end+8 <= len(buf) {
+		size := int64(binary.LittleEndian.Uint32(buf[end:]))
+		if size > maxFrame {
+			return nil, st, fmt.Errorf("shapedb: implausible frame length %d at journal offset %d", size, off+int64(end))
+		}
+		fe := end + 8 + int(size)
+		if int64(fe) > int64(len(buf)) {
+			break
+		}
+		end = fe
+	}
+	if end == 0 {
+		// The first frame alone exceeds maxBytes: read it whole. The buffer
+		// may be shorter than a frame header (tiny maxBytes), so fetch the
+		// header explicitly before trusting its length field.
+		if len(buf) < 8 {
+			if buf, err = db.readJournalSpan(off, 8); err != nil {
+				return nil, st, err
+			}
+		}
+		size := int64(binary.LittleEndian.Uint32(buf))
+		if size > maxFrame {
+			return nil, st, fmt.Errorf("shapedb: implausible frame length %d at journal offset %d", size, off)
+		}
+		buf, err = db.readJournalSpan(off, 8+size)
+		if err != nil {
+			return nil, st, err
+		}
+		return buf, st, nil
+	}
+	return buf[:end], st, nil
+}
+
+// readJournalSpan reads [off, off+n) from the journal file through a
+// separate read-only handle, leaving the append handle untouched. Callers
+// hold at least the read lock, which excludes compaction's file swap.
+func (db *DB) readJournalSpan(off, n int64) ([]byte, error) {
+	f, err := db.fsys.Open(filepath.Join(db.dir, journalName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("shapedb: reading journal span [%d,%d): %w", off, off+n, err)
+	}
+	return buf, nil
+}
+
+// parsedFrame is one decoded frame of a replication chunk, with its byte
+// span relative to the chunk start.
+type parsedFrame struct {
+	entry     *journalEntry
+	off, size int64
+}
+
+// parseFrames validates and decodes every frame in chunk. The chunk must
+// consist of whole frames — a torn trailer means the transport (or a
+// hostile peer) violated the protocol, and nothing is applied.
+func parseFrames(chunk []byte) ([]parsedFrame, error) {
+	var out []parsedFrame
+	pos := int64(0)
+	for pos < int64(len(chunk)) {
+		if pos+8 > int64(len(chunk)) {
+			return nil, fmt.Errorf("shapedb: replication chunk torn mid-header at %d", pos)
+		}
+		size := int64(binary.LittleEndian.Uint32(chunk[pos:]))
+		want := binary.LittleEndian.Uint32(chunk[pos+4:])
+		if size > maxFrame {
+			return nil, fmt.Errorf("shapedb: replication frame at %d claims implausible length %d", pos, size)
+		}
+		end := pos + 8 + size
+		if end > int64(len(chunk)) {
+			return nil, fmt.Errorf("shapedb: replication chunk torn mid-payload at %d", pos)
+		}
+		payload := chunk[pos+8 : end]
+		if crc32.ChecksumIEEE(payload) != want {
+			return nil, fmt.Errorf("shapedb: replication frame at %d fails checksum", pos)
+		}
+		var e journalEntry
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+			return nil, fmt.Errorf("shapedb: decoding replication frame at %d: %w", pos, err)
+		}
+		out = append(out, parsedFrame{entry: &e, off: pos, size: end - pos})
+		pos = end
+	}
+	return out, nil
+}
+
+// ApplyReplicated appends a chunk of raw journal frames shipped from a
+// primary and applies their entries to the in-memory store. expectOff must
+// equal the local journal length — the local file is a byte-for-byte prefix
+// of the primary's, so any other offset means the streams have diverged and
+// the caller must re-bootstrap. The chunk is validated in full before any
+// byte lands; it is then written verbatim (preserving byte identity),
+// synced (durable before the pull is acknowledged upstream), and finally
+// applied in memory. It returns the new committed offset.
+func (db *DB) ApplyReplicated(expectOff int64, chunk []byte) (int64, error) {
+	frames, err := parseFrames(chunk)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.journal == nil {
+		return 0, ErrNotDurable
+	}
+	if db.journal.failed != nil {
+		return 0, db.journal.failed
+	}
+	base := db.journal.off
+	if expectOff != base {
+		return base, fmt.Errorf("%w: expected %d, local journal at %d", ErrReplOffset, expectOff, base)
+	}
+	for _, fr := range frames {
+		if fr.entry.Op == opInsert {
+			set, err := decodeFeatures(fr.entry.Features)
+			if err != nil {
+				return base, fmt.Errorf("shapedb: replicated entry %d: %w", fr.entry.ID, err)
+			}
+			// Unlike local replay, a feature mismatch here is a hard error:
+			// the primary acknowledged this record under the same options a
+			// correctly-configured standby runs with, so a mismatch means
+			// the standby is misconfigured and silently skipping would
+			// diverge the stores.
+			if err := checkFeatures(db.opts, set); err != nil {
+				return base, fmt.Errorf("shapedb: replicated entry %d incompatible with local options (standby misconfigured?): %w", fr.entry.ID, err)
+			}
+		}
+	}
+	if err := db.journal.appendRaw(chunk); err != nil {
+		return base, err
+	}
+	if err := db.journal.sync(); err != nil {
+		return base, err
+	}
+	for _, fr := range frames {
+		e := fr.entry
+		db.entryCount++
+		switch e.Op {
+		case opInsert:
+			set, _ := decodeFeatures(e.Features) // validated above
+			mesh := &geom.Mesh{Vertices: e.Vertices, Faces: e.Faces}
+			rec := &Record{
+				ID: e.ID, Name: e.Name, Group: e.Group, Mesh: mesh,
+				Features: set, Degraded: e.Degraded,
+				IdemKey: e.IdemKey, IdemIndex: e.IdemIdx, IdemCount: e.IdemCnt,
+			}
+			db.applyInsert(rec)
+			db.setFrame(rec.ID, frameRef{off: base + fr.off, size: fr.size})
+		case opDelete:
+			db.applyDelete(e.ID)
+		}
+	}
+	return db.journal.off, nil
+}
+
+// ResetReplica empties the database and truncates its journal to zero, the
+// first step of a snapshot bootstrap: the standby then streams the
+// primary's whole journal from offset zero through ApplyReplicated. Every
+// in-memory structure (records, indexes, bounds, frame map, quarantine) is
+// dropped; the epoch is regenerated because the old file's offsets are
+// gone.
+func (db *DB) ResetReplica() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.journal == nil {
+		return ErrNotDurable
+	}
+	if db.journal.failed != nil {
+		return db.journal.failed
+	}
+	if err := db.journal.f.Truncate(0); err != nil {
+		return fmt.Errorf("shapedb: truncating journal for bootstrap: %w", err)
+	}
+	if _, err := db.journal.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	db.journal.off = 0
+	if err := db.journal.sync(); err != nil {
+		return err
+	}
+	db.records = make(map[int64]*Record)
+	db.indexes = make(map[features.Kind]*rtree.Tree)
+	db.lo = make(map[features.Kind][]float64)
+	db.hi = make(map[features.Kind][]float64)
+	db.frames = make(map[int64]frameRef)
+	db.idem = make(map[string]map[int]int64)
+	db.quarantined = make(map[int64]QuarantineInfo)
+	db.liveBytes = 0
+	db.entryCount = 0
+	db.dirtyQuarantine = 0
+	db.nextID = 1
+	db.replEpoch = newReplEpoch()
+	return nil
+}

@@ -1,0 +1,373 @@
+package shapedb
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+)
+
+// readJournalFile reads the raw journal bytes of a database directory.
+func readJournalFile(t *testing.T, dir string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// replicateAll streams src's whole journal into dst in maxBytes-sized
+// pulls, the way a standby would, and returns the number of pulls.
+func replicateAll(t *testing.T, src, dst *DB, maxBytes int) int {
+	t.Helper()
+	pulls := 0
+	for {
+		st := src.ReplState()
+		off := dst.ReplState().Committed
+		if off >= st.Committed {
+			return pulls
+		}
+		chunk, _, err := src.ReadJournal(st.Epoch, off, maxBytes)
+		if err != nil {
+			t.Fatalf("ReadJournal(off=%d): %v", off, err)
+		}
+		if len(chunk) == 0 {
+			t.Fatalf("no progress at offset %d (committed %d)", off, st.Committed)
+		}
+		if _, err := dst.ApplyReplicated(off, chunk); err != nil {
+			t.Fatalf("ApplyReplicated(off=%d): %v", off, err)
+		}
+		pulls++
+	}
+}
+
+func TestReplStateDurableAndInMemory(t *testing.T) {
+	mem, err := Open("", features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if st := mem.ReplState(); st.Epoch != 0 || st.Committed != 0 {
+		t.Errorf("in-memory ReplState = %+v, want zero", st)
+	}
+	if _, _, err := mem.ReadJournal(1, 0, 0); !errors.Is(err, ErrNotDurable) {
+		t.Errorf("in-memory ReadJournal err = %v, want ErrNotDurable", err)
+	}
+	if _, err := mem.ApplyReplicated(0, nil); !errors.Is(err, ErrNotDurable) {
+		t.Errorf("in-memory ApplyReplicated err = %v, want ErrNotDurable", err)
+	}
+	if err := mem.ResetReplica(); !errors.Is(err, ErrNotDurable) {
+		t.Errorf("in-memory ResetReplica err = %v, want ErrNotDurable", err)
+	}
+
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if st := db.ReplState(); st.Epoch == 0 {
+		t.Error("durable database has zero epoch")
+	}
+	testRecord(t, db, "a", 1, 1)
+	st := db.ReplState()
+	if got := int64(len(readJournalFile(t, dir))); got != st.Committed {
+		t.Errorf("committed = %d, journal file is %d bytes", st.Committed, got)
+	}
+}
+
+func TestReadJournalFrameAlignment(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 5; i++ {
+		testRecord(t, db, "shape", i, float64(i))
+	}
+	st := db.ReplState()
+
+	// A tiny maxBytes must still return whole frames (the first frame is
+	// read whole even though it exceeds the cap).
+	off := int64(0)
+	for off < st.Committed {
+		chunk, _, err := db.ReadJournal(st.Epoch, off, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunk) == 0 {
+			t.Fatalf("no progress at %d", off)
+		}
+		frames, err := parseFrames(chunk)
+		if err != nil {
+			t.Fatalf("chunk at %d is not whole frames: %v", off, err)
+		}
+		if len(frames) == 0 {
+			t.Fatalf("chunk at %d decodes to no frames", off)
+		}
+		off += int64(len(chunk))
+	}
+	if off != st.Committed {
+		t.Errorf("walked to %d, committed %d", off, st.Committed)
+	}
+
+	// Epoch and offset validation.
+	if _, _, err := db.ReadJournal(st.Epoch+1, 0, 0); !errors.Is(err, ErrReplEpoch) {
+		t.Errorf("stale epoch err = %v, want ErrReplEpoch", err)
+	}
+	if _, _, err := db.ReadJournal(st.Epoch, st.Committed+1, 0); !errors.Is(err, ErrReplOffset) {
+		t.Errorf("past-end offset err = %v, want ErrReplOffset", err)
+	}
+	if chunk, _, err := db.ReadJournal(st.Epoch, st.Committed, 0); err != nil || len(chunk) != 0 {
+		t.Errorf("read at committed = (%d bytes, %v), want empty", len(chunk), err)
+	}
+}
+
+func TestApplyReplicatedByteIdentical(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src, err := Open(srcDir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := Open(dstDir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.ResetReplica(); err != nil { // adopt a clean bootstrap state
+		t.Fatal(err)
+	}
+
+	ids := make([]int64, 0, 6)
+	for i := 0; i < 6; i++ {
+		ids = append(ids, testRecord(t, src, "part", i%2, float64(i)))
+	}
+	if _, err := src.Delete(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	pulls := replicateAll(t, src, dst, 200)
+	if pulls < 2 {
+		t.Errorf("expected a multi-pull catch-up, got %d pulls", pulls)
+	}
+	if got, want := readJournalFile(t, dstDir), readJournalFile(t, srcDir); !bytes.Equal(got, want) {
+		t.Fatalf("journals differ: %d vs %d bytes", len(got), len(want))
+	}
+	if dst.Len() != src.Len() {
+		t.Errorf("replica Len = %d, primary %d", dst.Len(), src.Len())
+	}
+	for _, id := range ids {
+		srec, sok := src.Get(id)
+		drec, dok := dst.Get(id)
+		if sok != dok {
+			t.Fatalf("id %d: presence differs (src %v, dst %v)", id, sok, dok)
+		}
+		if !sok {
+			continue
+		}
+		if srec.Name != drec.Name || srec.Group != drec.Group {
+			t.Errorf("id %d: record differs: %+v vs %+v", id, srec, drec)
+		}
+	}
+
+	// Incremental: more writes stream on top without re-bootstrap.
+	testRecord(t, src, "late", 9, 42)
+	replicateAll(t, src, dst, 1<<20)
+	if !bytes.Equal(readJournalFile(t, dstDir), readJournalFile(t, srcDir)) {
+		t.Fatal("journals diverged after incremental catch-up")
+	}
+
+	// Searches on the replica see the replicated records.
+	set := fixedFeatures(dst.Options(), 42)
+	kind := features.CoreKinds[0]
+	got, err := dst.KNN(kind, set[kind], 1)
+	if err != nil || len(got) == 0 {
+		t.Fatalf("replica KNN = %v, %v", got, err)
+	}
+}
+
+func TestApplyReplicatedOffsetMismatch(t *testing.T) {
+	srcDir := t.TempDir()
+	src, err := Open(srcDir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	testRecord(t, src, "a", 1, 1)
+	st := src.ReplState()
+	chunk, _, err := src.ReadJournal(st.Epoch, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := Open(t.TempDir(), features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if _, err := dst.ApplyReplicated(999, chunk); !errors.Is(err, ErrReplOffset) {
+		t.Errorf("offset-mismatch err = %v, want ErrReplOffset", err)
+	}
+	// A torn chunk applies nothing.
+	before := dst.ReplState().Committed
+	if _, err := dst.ApplyReplicated(before, chunk[:len(chunk)-3]); err == nil {
+		t.Error("torn chunk applied without error")
+	}
+	if dst.ReplState().Committed != before {
+		t.Error("torn chunk advanced the journal")
+	}
+}
+
+func TestResetReplica(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	testRecord(t, db, "a", 1, 1)
+	before := db.ReplState()
+	if err := db.ResetReplica(); err != nil {
+		t.Fatal(err)
+	}
+	after := db.ReplState()
+	if db.Len() != 0 || after.Committed != 0 {
+		t.Errorf("after reset: Len=%d committed=%d", db.Len(), after.Committed)
+	}
+	if after.Epoch == before.Epoch {
+		t.Error("ResetReplica kept the old epoch")
+	}
+	if len(readJournalFile(t, dir)) != 0 {
+		t.Error("journal file not truncated")
+	}
+	// The store is writable again and IDs restart.
+	id := testRecord(t, db, "fresh", 1, 2)
+	if id != 1 {
+		t.Errorf("first id after reset = %d, want 1", id)
+	}
+}
+
+func TestCompactionChangesEpoch(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ids := []int64{}
+	for i := 0; i < 4; i++ {
+		ids = append(ids, testRecord(t, db, "x", i, float64(i)))
+	}
+	for _, id := range ids[:2] {
+		if _, err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.ReplState()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := db.ReplState()
+	if after.Epoch == before.Epoch {
+		t.Error("compaction kept the old epoch — stale standby offsets would alias new bytes")
+	}
+	if _, _, err := db.ReadJournal(before.Epoch, 0, 0); !errors.Is(err, ErrReplEpoch) {
+		t.Errorf("post-compaction read at old epoch err = %v, want ErrReplEpoch", err)
+	}
+}
+
+func TestIdempotencyKeysJournaled(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	set := fixedFeatures(db.Options(), 1)
+
+	// A batch is answerable only once complete.
+	id0, err := db.InsertWith("b0", 1, mesh, set, InsertOpts{IdemKey: "batch", IdemIndex: 0, IdemCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.IdempotentIDs("batch"); ok {
+		t.Error("incomplete batch reported as applied")
+	}
+	id1, err := db.InsertWith("b1", 1, mesh, set, InsertOpts{IdemKey: "batch", IdemIndex: 1, IdemCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, ok := db.IdempotentIDs("batch")
+	if !ok || len(ids) != 2 || ids[0] != id0 || ids[1] != id1 {
+		t.Fatalf("IdempotentIDs = %v, %v; want [%d %d]", ids, ok, id0, id1)
+	}
+	if _, ok := db.IdempotentIDs("unknown"); ok {
+		t.Error("unknown key reported as applied")
+	}
+
+	// Keys survive restart (journal replay).
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if ids, ok := db.IdempotentIDs("batch"); !ok || len(ids) != 2 {
+		t.Fatalf("after reopen: IdempotentIDs = %v, %v", ids, ok)
+	}
+
+	// Keys survive compaction.
+	testRecord(t, db, "filler", 1, 5)
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if ids, ok := db.IdempotentIDs("batch"); !ok || len(ids) != 2 {
+		t.Fatalf("after compaction: IdempotentIDs = %v, %v", ids, ok)
+	}
+
+	// Deleting a member makes the batch incomplete again: a retry must
+	// re-run rather than answer with a half-deleted result.
+	if _, err := db.Delete(id1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.IdempotentIDs("batch"); ok {
+		t.Error("batch with deleted member still reported as applied")
+	}
+}
+
+func TestIdempotencyKeysReplicate(t *testing.T) {
+	src, err := Open(t.TempDir(), features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := Open(t.TempDir(), features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if err := dst.ResetReplica(); err != nil {
+		t.Fatal(err)
+	}
+
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	set := fixedFeatures(src.Options(), 1)
+	id, err := src.InsertWith("keyed", 1, mesh, set, InsertOpts{IdemKey: "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicateAll(t, src, dst, 1<<20)
+	ids, ok := dst.IdempotentIDs("k1")
+	if !ok || len(ids) != 1 || ids[0] != id {
+		t.Fatalf("replica IdempotentIDs = %v, %v; want [%d] — a promoted standby could not dedup retries", ids, ok, id)
+	}
+}
