@@ -34,7 +34,11 @@
 // acknowledges a write after the standby has durably applied it, so a
 // failover loses no acknowledged write. Status lives at
 // /api/admin/replication; /readyz reports role and lag, and a standby
-// stays not-ready until its first full catch-up.
+// stays not-ready until its first full catch-up. The replication
+// endpoints (journal stream, fencing) are open by default for trusted
+// networks; on anything else set -repl-secret to the same value on both
+// nodes so arbitrary API clients can neither read the journal nor demote
+// the primary.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain-timeout; requests still running
@@ -87,6 +91,7 @@ func main() {
 	failoverAfter := flag.Duration("failover-after", 0, "primary silence budget before the standby promotes itself (0 = 6 heartbeats)")
 	replSync := flag.Bool("repl-sync", true, "primary acknowledges writes only after the standby has durably applied them")
 	ackTimeout := flag.Duration("repl-ack-timeout", server.DefaultAckTimeout, "how long a synchronous write waits for the standby before failing with 503")
+	replSecret := flag.String("repl-secret", "", "shared secret gating the replication endpoints; both nodes must set the same value (empty = open trusted-network mode)")
 	flag.Parse()
 
 	replicated := *replicateFrom != "" || *advertise != ""
@@ -162,6 +167,7 @@ func main() {
 				Heartbeat:     *heartbeat,
 				FailoverAfter: *failoverAfter,
 				MarkerDir:     *dataDir,
+				Secret:        *replSecret,
 				Logf:          log.Printf,
 				OnPromote: func(term int64) {
 					log.Printf("3dess: PROMOTED to primary at term %d; now accepting writes", term)
@@ -173,6 +179,7 @@ func main() {
 		api.SetReplication(node, server.ReplicationConfig{
 			SyncWrites: *replSync,
 			AckTimeout: *ackTimeout,
+			PeerSecret: *replSecret,
 		})
 		if standby != nil {
 			standby.Start(ctx)

@@ -29,6 +29,13 @@ const (
 // re-resolve without a discovery service.
 const PrimaryHeader = "X-Replica-Primary"
 
+// SecretHeader carries the shared replication secret on every protocol
+// request (state/stream/fence). A primary configured with a peer secret
+// refuses requests without the matching value, keeping the journal stream
+// and the fencing endpoint away from arbitrary clients that can reach the
+// API port.
+const SecretHeader = "X-Replica-Secret"
+
 // Stream response headers: the epoch and committed offset the returned
 // bytes were read against, and the primary's fencing term.
 const (
@@ -51,6 +58,10 @@ type StandbyConfig struct {
 	// Transport overrides the HTTP transport (the chaos suite injects
 	// network faults here).
 	Transport http.RoundTripper
+	// Secret is sent in the X-Replica-Secret header of every protocol
+	// request. Must match the primary's configured peer secret (empty on
+	// both sides = open trusted-network mode).
+	Secret string
 	// MarkerDir, when set, is where the applied-offset marker file is
 	// written (on epoch changes, promotion, and drain), letting a
 	// restarted standby resume streaming instead of re-bootstrapping.
@@ -313,6 +324,7 @@ func (s *Standby) fetchState(ctx context.Context) (StateResponse, error) {
 	if err != nil {
 		return out, err
 	}
+	s.authorize(req)
 	resp, err := s.http.Do(req)
 	if err != nil {
 		return out, err
@@ -338,6 +350,7 @@ func (s *Standby) fetchChunk(ctx context.Context, wait time.Duration) ([]byte, i
 	if err != nil {
 		return nil, 0, err
 	}
+	s.authorize(req)
 	resp, err := s.http.Do(req)
 	if err != nil {
 		return nil, 0, err
@@ -380,6 +393,7 @@ func (s *Standby) fence(ctx context.Context, term int64) (FenceResponse, error) 
 		return out, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	s.authorize(req)
 	resp, err := s.http.Do(req)
 	if err != nil {
 		return out, err
@@ -389,6 +403,13 @@ func (s *Standby) fence(ctx context.Context, term int64) (FenceResponse, error) 
 		return out, err
 	}
 	return out, nil
+}
+
+// authorize stamps the shared replication secret on a protocol request.
+func (s *Standby) authorize(req *http.Request) {
+	if s.cfg.Secret != "" {
+		req.Header.Set(SecretHeader, s.cfg.Secret)
+	}
 }
 
 func (s *Standby) sleep(ctx context.Context, d time.Duration) {

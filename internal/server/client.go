@@ -70,8 +70,12 @@ const (
 // node is primary from X-Replica-Primary refusals, rotates endpoints on
 // connection failure, and stamps mutating requests with idempotency keys,
 // so a primary crash mid-request surfaces as latency, not an error or a
-// duplicate.
+// duplicate. Calling it with no endpoints yields a client whose requests
+// fail with a clear error rather than panicking.
 func NewFailoverClient(endpoints ...string) *Client {
+	if len(endpoints) == 0 {
+		return NewClient("")
+	}
 	c := NewClient(endpoints[0])
 	c.Endpoints = endpoints
 	return c

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,14 @@ type ReplicationConfig struct {
 	// failing with 503 (the write stays journaled locally and the client's
 	// idempotency key makes the retry safe). Zero takes DefaultAckTimeout.
 	AckTimeout time.Duration
+	// PeerSecret, when set, gates the replication protocol endpoints
+	// (state/stream/fence): requests must carry the same value in the
+	// X-Replica-Secret header or they are refused with 403. The stream
+	// exposes the full journal and a fence can demote the primary, so on
+	// anything but a trusted network this should always be set (both nodes
+	// with the same value). Empty preserves the open, trusted-network
+	// behavior.
+	PeerSecret string
 }
 
 // DefaultAckTimeout is how long a synchronous write waits for the standby
@@ -91,10 +100,30 @@ func writeAckErr(w http.ResponseWriter, err error) {
 	writeErr(w, http.StatusServiceUnavailable, err)
 }
 
+// checkReplPeer enforces the shared-secret gate on the replication
+// protocol endpoints. Comparison is constant-time so the secret cannot be
+// recovered byte-by-byte through response timing. Returns false (response
+// already written) when the request was refused.
+func (s *Server) checkReplPeer(w http.ResponseWriter, r *http.Request) bool {
+	secret := s.replCfg.PeerSecret
+	if secret == "" {
+		return true
+	}
+	got := r.Header.Get(replica.SecretHeader)
+	if subtle.ConstantTimeCompare([]byte(got), []byte(secret)) == 1 {
+		return true
+	}
+	writeErr(w, http.StatusForbidden, errors.New("replication peer secret missing or wrong"))
+	return false
+}
+
 func (s *Server) handleReplState(w http.ResponseWriter, r *http.Request) {
 	n := s.repl.Load()
 	if n == nil {
 		writeErr(w, http.StatusServiceUnavailable, errReplNotConfigured)
+		return
+	}
+	if !s.checkReplPeer(w, r) {
 		return
 	}
 	if r.Method != http.MethodGet {
@@ -126,6 +155,9 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, errReplNotConfigured)
 		return
 	}
+	if !s.checkReplPeer(w, r) {
+		return
+	}
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
@@ -144,15 +176,26 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 	waitMS, _ := strconv.ParseInt(q.Get("wait"), 10, 64)
 	db := s.engine.DB()
 
-	// The request itself attests the standby has durably applied
-	// [0, off) of this epoch: record the ack before anything else so
-	// writes waiting on it wake even if this poll returns empty.
+	// The request itself attests the standby has durably applied [0, off)
+	// of this epoch: record the ack up front so writes waiting on it wake
+	// even if this poll returns empty. The attestation is clamped to the
+	// journal first — an offset past the committed end attests bytes that
+	// do not exist, and latching it would satisfy acked() for every write
+	// in the epoch, silently disabling the sync-ack durability guard.
 	if epoch != 0 && epoch == db.ReplState().Epoch {
+		if off < 0 || off > db.ReplState().Committed {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("ack offset %d outside journal [0, %d]", off, db.ReplState().Committed))
+			return
+		}
 		n.ObserveAck(epoch, off)
 	}
 
 	deadline := time.Now().Add(time.Duration(waitMS) * time.Millisecond)
 	for {
+		// Grab the wake channel before reading, so a commit landing between
+		// the read and the wait still wakes us.
+		wake := db.CommitNotify()
 		chunk, st, err := db.ReadJournal(epoch, off, maxBytes)
 		switch {
 		case errors.Is(err, shapedb.ErrReplEpoch):
@@ -164,7 +207,7 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 		case err != nil:
 			writeErr(w, http.StatusInternalServerError, err)
 			return
-		case len(chunk) > 0 || time.Now().After(deadline) || r.Context().Err() != nil:
+		case len(chunk) > 0 || !time.Now().Before(deadline) || r.Context().Err() != nil:
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Header().Set(replica.EpochHeader, strconv.FormatInt(st.Epoch, 10))
 			w.Header().Set(replica.CommittedHeader, strconv.FormatInt(st.Committed, 10))
@@ -173,11 +216,16 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 			w.Write(chunk)
 			return
 		}
-		// Long-poll: nothing committed past off yet.
+		// Long-poll: nothing committed past off yet. Sleep until a journal
+		// commit (or epoch change) wakes us, bounded by the wait window.
+		timer := time.NewTimer(time.Until(deadline))
 		select {
 		case <-r.Context().Done():
+			timer.Stop()
 			return
-		case <-time.After(5 * time.Millisecond):
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
 		}
 	}
 }
@@ -189,6 +237,9 @@ func (s *Server) handleReplFence(w http.ResponseWriter, r *http.Request) {
 	n := s.repl.Load()
 	if n == nil {
 		writeErr(w, http.StatusServiceUnavailable, errReplNotConfigured)
+		return
+	}
+	if !s.checkReplPeer(w, r) {
 		return
 	}
 	if r.Method != http.MethodPost {

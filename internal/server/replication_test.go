@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -94,6 +95,7 @@ type standbyOpts struct {
 	failoverAfter time.Duration
 	chunkBytes    int
 	withFault     bool
+	secret        string
 }
 
 func startReplStandby(t *testing.T, primary *replNode, o standbyOpts) *replNode {
@@ -119,6 +121,7 @@ func startReplStandby(t *testing.T, primary *replNode, o standbyOpts) *replNode 
 		ChunkBytes:    o.chunkBytes,
 		Transport:     transport,
 		MarkerDir:     n.dir,
+		Secret:        o.secret,
 		Logf:          n.logs.logf,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -588,8 +591,11 @@ func TestDrainWritesMarkerAndResumesWithoutRebootstrap(t *testing.T) {
 
 	// Restart the standby over the same directory: it must resume the
 	// stream (no "bootstrapping" log line, no journal truncation) and pick
-	// up writes made while it was down.
-	id, err := pc.InsertShape("while-down", 4, geom.Box(geom.V(0, 0, 0), geom.V(7, 2, 2)))
+	// up writes made while it was down. With sync acks and the standby
+	// gone, an HTTP write cannot be *acknowledged* (that is the point of
+	// the gate), so commit one directly into the primary's store to model
+	// a journaled-but-unacknowledged write the standby missed.
+	id, err := p.db.Insert("while-down", 4, geom.Box(geom.V(0, 0, 0), geom.V(7, 2, 2)), fakeSet(p.db.Options(), 9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -658,5 +664,198 @@ func TestReadyzStandbyNotReadyUntilCaughtUp(t *testing.T) {
 	}
 	if !ready.Ready || ready.Role != "standby" {
 		t.Errorf("caught-up standby readyz = %+v", ready)
+	}
+}
+
+// TestIdempotentReplayWaitsForAck closes the replay hole in the sync-ack
+// gate: a write journaled while the standby is unreachable fails with 503
+// and tells the client to retry under its key — but the keyed retry must
+// carry the same durability attestation as the original, not a free 200
+// for a write that exists only on the primary's disk.
+func TestIdempotentReplayWaitsForAck(t *testing.T) {
+	p := startReplPrimary(t, 250*time.Millisecond)
+	pc := NewClient(p.srv.URL)
+	if _, err := pc.InsertShape("seed", 0, geom.Box(geom.V(0, 0, 0), geom.V(1, 2, 3))); err != nil {
+		t.Fatal(err)
+	}
+	// A huge failover budget keeps the partitioned standby a standby: this
+	// test is about the replay gate, not promotion.
+	s := startReplStandby(t, p, standbyOpts{withFault: true, failoverAfter: time.Hour})
+	waitUntil(t, 10*time.Second, "catch-up", s.node.CaughtUp)
+
+	s.fault.SetPartition(true)
+	body := offBody(t, "replay-gated", 1)
+	st1, _ := postKeyed(t, p.srv.URL+"/api/shapes", "replay-key", body)
+	if st1 != http.StatusServiceUnavailable {
+		t.Fatalf("insert with partitioned standby = %d, want 503", st1)
+	}
+	// The write is journaled and the key is in the dedup index; the retry
+	// must still be held behind the ack gate while the standby is gone.
+	st2, _ := postKeyed(t, p.srv.URL+"/api/shapes", "replay-key", body)
+	if st2 != http.StatusServiceUnavailable {
+		t.Fatalf("idempotent replay acked an unreplicated write: status %d, want 503", st2)
+	}
+
+	// Same gate on the batch replay path.
+	batch, err := MeshToOFF(geom.Box(geom.V(0, 0, 0), geom.V(2, 1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchBody, err := json.Marshal(BatchInsertRequest{Shapes: []BatchShape{{Name: "replay-b", Group: 2, MeshOFF: batch}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := postKeyed(t, p.srv.URL+"/api/shapes/batch", "replay-batch", batchBody); st != http.StatusServiceUnavailable {
+		t.Fatalf("batch insert with partitioned standby = %d, want 503", st)
+	}
+	if st, _ := postKeyed(t, p.srv.URL+"/api/shapes/batch", "replay-batch", batchBody); st != http.StatusServiceUnavailable {
+		t.Fatalf("batch idempotent replay acked an unreplicated write: status %d, want 503", st)
+	}
+
+	// Heal the link: the same retries now converge to acknowledged replays
+	// of the original writes, exactly once each.
+	s.fault.SetPartition(false)
+	waitUntil(t, 10*time.Second, "replay acknowledged after heal", func() bool {
+		st, out := postKeyed(t, p.srv.URL+"/api/shapes", "replay-key", body)
+		return st == http.StatusOK && out["idempotent_replay"] == true
+	})
+	waitUntil(t, 10*time.Second, "batch replay acknowledged after heal", func() bool {
+		st, out := postKeyed(t, p.srv.URL+"/api/shapes/batch", "replay-batch", batchBody)
+		return st == http.StatusOK && out["idempotent_replay"] == true
+	})
+	count := 0
+	shapes, err := pc.ListShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range shapes {
+		if sh.Name == "replay-gated" || sh.Name == "replay-b" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("found %d gated shapes, want exactly 2 (no duplicates, no losses)", count)
+	}
+	// And the acknowledged writes really are on the standby.
+	waitUntil(t, 10*time.Second, "standby holds the writes", func() bool {
+		return s.db.Len() == p.db.Len()
+	})
+}
+
+// TestStreamRejectsInflatedAckOffset: an ack attestation must be clamped
+// to the journal. A request claiming an offset past the committed end (a
+// buggy standby or any client that read the epoch off the state endpoint)
+// must be refused without latching a watermark that would satisfy every
+// future sync-ack wait.
+func TestStreamRejectsInflatedAckOffset(t *testing.T) {
+	p := startReplPrimary(t, 250*time.Millisecond)
+	pc := NewClient(p.srv.URL)
+	seedShapes(t, pc) // no standby attached: writes ack locally
+	st := p.db.ReplState()
+
+	for _, off := range []int64{st.Committed + 1, st.Committed + 1<<40, -1} {
+		resp, err := http.Get(fmt.Sprintf("%s%s?epoch=%d&off=%d", p.srv.URL, replica.StreamPath, st.Epoch, off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("stream with off=%d = %d, want 400", off, resp.StatusCode)
+		}
+	}
+	status := p.node.Status()
+	if status.StandbyAttached || status.AckedOffset != 0 {
+		t.Fatalf("out-of-range offset latched an ack watermark: %+v", status)
+	}
+	// Writes still acknowledge locally (the bogus request did not attach a
+	// phantom standby whose acks would now be awaited).
+	if _, err := pc.InsertShape("after-bogus", 1, geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 2))); err != nil {
+		t.Fatalf("write after rejected bogus ack: %v", err)
+	}
+	// A genuine in-range request still streams.
+	resp, err := http.Get(fmt.Sprintf("%s%s?epoch=%d&off=0", p.srv.URL, replica.StreamPath, st.Epoch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-range stream = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReplicationPeerSecretGate: with a peer secret configured, the
+// replication protocol endpoints refuse requests without the matching
+// header — in particular a fence carrying a huge term cannot demote the
+// primary — while a standby configured with the secret replicates
+// normally.
+func TestReplicationPeerSecretGate(t *testing.T) {
+	const secret = "test-peer-secret"
+	p := newReplServer(t)
+	p.node = replica.NewPrimaryNode(p.srv.URL)
+	p.api.SetReplication(p.node, ReplicationConfig{SyncWrites: true, AckTimeout: 3 * time.Second, PeerSecret: secret})
+	pc := NewClient(p.srv.URL)
+	seedShapes(t, pc)
+
+	get := func(path, hdr string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, p.srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr != "" {
+			req.Header.Set(replica.SecretHeader, hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	streamPath := fmt.Sprintf("%s?epoch=%d&off=0", replica.StreamPath, p.db.ReplState().Epoch)
+	for _, path := range []string{replica.StatePath, streamPath} {
+		if st := get(path, ""); st != http.StatusForbidden {
+			t.Errorf("GET %s without secret = %d, want 403", path, st)
+		}
+		if st := get(path, "wrong"); st != http.StatusForbidden {
+			t.Errorf("GET %s with wrong secret = %d, want 403", path, st)
+		}
+		if st := get(path, secret); st != http.StatusOK {
+			t.Errorf("GET %s with secret = %d, want 200", path, st)
+		}
+	}
+
+	// An unauthenticated fence with an absurd term must not demote the
+	// primary or poison its term.
+	termBefore := p.node.Term()
+	resp, err := http.Post(p.srv.URL+replica.FencePath, "application/json",
+		strings.NewReader(`{"term":1152921504606846976,"primary":"http://attacker"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("unauthenticated fence = %d, want 403", resp.StatusCode)
+	}
+	if p.node.Role() != replica.RolePrimary || p.node.Term() != termBefore {
+		t.Fatalf("unauthenticated fence changed node state: role=%s term=%d", p.node.Role(), p.node.Term())
+	}
+
+	// A standby carrying the secret attaches, replicates, and satisfies
+	// the sync-ack gate.
+	s := startReplStandby(t, p, standbyOpts{secret: secret})
+	waitUntil(t, 10*time.Second, "secured standby catch-up", s.node.CaughtUp)
+	if _, err := pc.InsertShape("secured", 3, geom.Box(geom.V(0, 0, 0), geom.V(2, 2, 2))); err != nil {
+		t.Fatalf("write with secured standby: %v", err)
+	}
+}
+
+// TestNewFailoverClientNoEndpoints: the zero-argument call must not panic;
+// requests fail with an ordinary error.
+func TestNewFailoverClientNoEndpoints(t *testing.T) {
+	c := NewFailoverClient()
+	c.MaxRetries = 0
+	if _, err := c.ListShapes(); err == nil {
+		t.Fatal("endpoint-less failover client succeeded?")
 	}
 }

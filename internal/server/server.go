@@ -313,6 +313,15 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 			}
 			defer release()
 			if ids, ok := s.engine.DB().IdempotentIDs(key); ok {
+				// A replayed ack needs the same durability attestation as
+				// the original: the record may have been journaled by an
+				// attempt whose sync-ack wait failed (standby down → 503 →
+				// this retry), so answering 2xx here without the gate would
+				// acknowledge a write that exists only on this node's disk.
+				if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
+					writeAckErr(w, err)
+					return
+				}
 				writeJSON(w, http.StatusOK, s.idemReplay(ids[0]))
 				return
 			}
@@ -362,6 +371,13 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		defer release()
 		if ids, ok := s.engine.DB().IdempotentIDs(key); ok && len(ids) == len(req.Shapes) {
+			// Same gate as the single-insert replay: a batch journaled by a
+			// failed-ack attempt must not be acknowledged until the standby
+			// attests it.
+			if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
+				writeAckErr(w, err)
+				return
+			}
 			writeJSON(w, http.StatusOK, s.idemReplayBatch(ids))
 			return
 		}

@@ -87,6 +87,11 @@ type DB struct {
 	// compaction, and ResetReplica, because each of those invalidates byte
 	// offsets into the previous file.
 	replEpoch int64
+	// commitWake, when non-nil, is closed whenever the journal's
+	// replication state moves (bytes committed, epoch regenerated), waking
+	// CommitNotify waiters such as the stream long-poll. Lazily created;
+	// guarded by mu.
+	commitWake chan struct{}
 	// idem maps an idempotency key to its batch positions (index → id) so
 	// a retried insert can be answered with the original IDs. Maintained by
 	// applyInsert/applyDelete, so replay and replication rebuild it.
@@ -336,6 +341,7 @@ func (db *DB) InsertWith(name string, group int, mesh *geom.Mesh, set features.S
 	if db.journal != nil {
 		db.entryCount++
 		db.setFrame(rec.ID, ref)
+		db.wakeCommitWaiters()
 	}
 	return rec.ID, nil
 }
@@ -476,6 +482,7 @@ func (db *DB) Delete(id int64) (bool, error) {
 			return false, err
 		}
 		db.entryCount++
+		db.wakeCommitWaiters()
 	}
 	db.applyDelete(id)
 	return true, nil
@@ -821,6 +828,7 @@ func (db *DB) adoptFrames(newFrames map[int64]frameRef) {
 	db.entryCount = len(newFrames)
 	db.dirtyQuarantine = 0
 	db.replEpoch = newReplEpoch()
+	db.wakeCommitWaiters()
 }
 
 // reopenJournal re-establishes the append handle at path, poisoning the

@@ -267,6 +267,7 @@ func (db *DB) Quarantine(id int64, state ScrubState, detail string) bool {
 		if err := db.journal.append(&journalEntry{Op: opDelete, ID: id}); err == nil {
 			if db.journal.sync() == nil {
 				db.entryCount++
+				db.wakeCommitWaiters()
 			}
 		}
 	}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"time"
+
 	"threedess/internal/features"
 	"threedess/internal/geom"
 )
@@ -370,4 +372,53 @@ func TestIdempotencyKeysReplicate(t *testing.T) {
 	if !ok || len(ids) != 1 || ids[0] != id {
 		t.Fatalf("replica IdempotentIDs = %v, %v; want [%d] — a promoted standby could not dedup retries", ids, ok, id)
 	}
+}
+
+func TestCommitNotifyWakesOnCommitAndEpochChange(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	wake := db.CommitNotify()
+	select {
+	case <-wake:
+		t.Fatal("CommitNotify fired before any commit")
+	default:
+	}
+
+	awaited := func(ch <-chan struct{}, what string) {
+		t.Helper()
+		select {
+		case <-ch:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s did not wake CommitNotify", what)
+		}
+	}
+
+	id := testRecord(t, db, "wake", 1, 1)
+	awaited(wake, "insert")
+
+	wake = db.CommitNotify()
+	if _, err := db.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	awaited(wake, "delete")
+
+	// Compaction regenerates the epoch; waiters polling the old epoch must
+	// wake to observe it (and answer the standby's 409 re-handshake).
+	testRecord(t, db, "live", 1, 2)
+	wake = db.CommitNotify()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	awaited(wake, "compaction epoch change")
+
+	wake = db.CommitNotify()
+	if err := db.ResetReplica(); err != nil {
+		t.Fatal(err)
+	}
+	awaited(wake, "replica reset")
 }

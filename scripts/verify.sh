@@ -21,10 +21,11 @@ go test -race -count=1 ./internal/scrub/...
 # Replication gate: protocol + node state machine + network fault
 # injector under the race detector, then the end-to-end suite in the
 # server package — twin live servers, chaos failover mid-ingest (zero
-# acknowledged-write loss), promotion crash matrix, idempotent retries,
-# drain/resume — never cached.
+# acknowledged-write loss), promotion crash matrix, idempotent retries
+# (incl. the replay sync-ack gate), ack-offset clamping, the peer-secret
+# gate, commit-wake long-polling, drain/resume — never cached.
 go test -race -count=1 ./internal/replica/...
-go test -race -count=1 -run 'Replication|Chaos|Standby|Fencing|Drain|Readyz|Idempotency' ./internal/server/... ./internal/shapedb/...
+go test -race -count=1 -run 'Replication|Chaos|Standby|Fencing|Drain|Readyz|Idempoten|InflatedAck|Failover|CommitNotify' ./internal/server/... ./internal/shapedb/...
 # Hostile-input gate: a short live-fuzz pass over each mesh parser (the
 # checked-in seeds alone run in the normal suite; this explores beyond
 # them). 5s per target keeps the gate fast while still catching
