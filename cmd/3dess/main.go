@@ -92,6 +92,7 @@ func main() {
 	replSync := flag.Bool("repl-sync", true, "primary acknowledges writes only after the standby has durably applied them")
 	ackTimeout := flag.Duration("repl-ack-timeout", server.DefaultAckTimeout, "how long a synchronous write waits for the standby before failing with 503")
 	replSecret := flag.String("repl-secret", "", "shared secret gating the replication endpoints; both nodes must set the same value (empty = open trusted-network mode)")
+	searchMode := flag.String("search-mode", "auto", "default execution mode for weighted searches: auto, exact (exhaustive scan escape hatch), or two-stage (columnar filter-and-refine); results are identical in every mode")
 	flag.Parse()
 
 	replicated := *replicateFrom != "" || *advertise != ""
@@ -122,6 +123,17 @@ func main() {
 	}
 
 	engine := core.NewEngine(db)
+	mode, err := core.ParseScanMode(*searchMode)
+	if err != nil {
+		log.Fatalf("-search-mode: %v", err)
+	}
+	engine.SetSearchMode(mode)
+	if mode != core.ScanExact {
+		// Keep the columnar descriptor store fresh in the background so
+		// two-stage queries never pay the rebuild on the request path.
+		// Query-time staleness checks remain the correctness guarantee.
+		go engine.ColStore().Watch(ctx)
+	}
 	api := server.NewWithConfig(engine, server.Config{
 		RequestTimeout: *reqTimeout,
 		MaxUploadBytes: *maxUpload,

@@ -2,25 +2,75 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"threedess"
 	"threedess/internal/core"
 	"threedess/internal/features"
+	"threedess/internal/geom"
 	"threedess/internal/shapedb"
 	"threedess/internal/workpool"
 )
 
-// figPerf measures the parallel execution layer: bulk-ingest throughput
-// (worker-pool feature extraction) and weighted-scan throughput (sharded
-// snapshot scan) at one worker vs one worker per logical CPU. The rows
-// land in results/ alongside the figure data so speedups are tracked
-// over time. Single-worker and full-pool runs produce identical IDs and
-// results by construction; only the wall clock differs.
-func figPerf(seed int64) error {
-	header(fmt.Sprintf("perf: parallel ingest & sharded scan (GOMAXPROCS = %d)", runtime.GOMAXPROCS(0)))
+// PerfHost records the machine a perf run executed on, so archived
+// BENCH_perf.json files from different hosts are never compared blindly.
+type PerfHost struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// PerfSeries is one measured configuration: a scan mode at a corpus size,
+// or an ingest configuration (Records = corpus size).
+type PerfSeries struct {
+	Name         string  `json:"name"` // e.g. "scan_two_stage"
+	Records      int     `json:"records"`
+	ShapesPerSec float64 `json:"shapes_per_sec"`
+}
+
+// PerfReport is the machine-readable result of `benchrunner -fig perf`,
+// written alongside the human-readable table and csv rows.
+type PerfReport struct {
+	GeneratedUnix int64        `json:"generated_unix"`
+	Seed          int64        `json:"seed"`
+	Host          PerfHost     `json:"host"`
+	Sizes         []int        `json:"sizes"`
+	Series        []PerfSeries `json:"series"`
+}
+
+// scanSeriesNames are the per-size configurations figPerf measures and
+// checkPerfReport requires.
+var scanSeriesNames = []string{"scan_serial", "scan_sharded", "scan_two_stage"}
+
+// figPerf measures the query execution layer: bulk-ingest throughput
+// (worker-pool feature extraction), and weighted top-k search throughput
+// at each corpus size in sizes for three configurations — serial exact
+// scan, sharded exact scan, and two-stage columnar search. Every
+// configuration returns identical results by construction; only the wall
+// clock differs. The series land on stdout as csv rows and in outPath as
+// BENCH_perf.json.
+func figPerf(seed int64, sizes []int, outPath string) error {
+	header(fmt.Sprintf("perf: ingest, sharded scan & two-stage search (GOMAXPROCS = %d)", runtime.GOMAXPROCS(0)))
+	report := &PerfReport{
+		GeneratedUnix: time.Now().Unix(),
+		Seed:          seed,
+		Sizes:         sizes,
+		Host: PerfHost{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
 
 	shapes, err := threedess.GenerateCorpus(seed)
 	if err != nil {
@@ -50,42 +100,85 @@ func figPerf(seed int64) error {
 		len(shapes), serialIngest, poolIngest, poolIngest/serialIngest)
 	fmt.Printf("csv,perf,ingest,serial,%.2f\n", serialIngest)
 	fmt.Printf("csv,perf,ingest,pooled,%.2f\n", poolIngest)
+	report.Series = append(report.Series,
+		PerfSeries{Name: "ingest_serial", Records: len(shapes), ShapesPerSec: serialIngest},
+		PerfSeries{Name: "ingest_pooled", Records: len(shapes), ShapesPerSec: poolIngest},
+	)
 
-	// Sharded weighted scan over a synthetic database large enough that
-	// fan-out matters; vectors are arbitrary but deterministic.
+	for _, n := range sizes {
+		rates, err := perfScanSize(seed, n, shapes[0].Mesh)
+		if err != nil {
+			return err
+		}
+		for i, name := range scanSeriesNames {
+			report.Series = append(report.Series, PerfSeries{Name: name, Records: n, ShapesPerSec: rates[i]})
+			fmt.Printf("csv,perf,scan,%s,%d,%.2f\n", name[len("scan_"):], n, rates[i])
+		}
+		fmt.Printf("weighted top-10 at %d records: serial %.0f, sharded %.0f (%d workers), two-stage %.0f shapes/sec (%.1fx vs serial)\n",
+			n, rates[0], rates[1], workpool.Resolve(0), rates[2], rates[2]/rates[0])
+	}
+
+	if outPath != "" {
+		if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// perfScanSize builds an in-memory database of n synthetic records and
+// measures weighted top-10 throughput (records visited per second) for the
+// serial exact scan, the sharded exact scan, and the two-stage columnar
+// path, in that order.
+func perfScanSize(seed int64, n int, mesh *geom.Mesh) ([3]float64, error) {
+	var rates [3]float64
 	db, err := shapedb.Open("", features.Options{})
 	if err != nil {
-		return err
+		return rates, err
 	}
 	defer db.Close()
 	opts := db.Options()
-	mesh := shapes[0].Mesh
-	const scanN = 5000
-	for i := 0; i < scanN; i++ {
-		set := features.Set{}
-		for _, k := range features.CoreKinds {
-			v := make(features.Vector, opts.Dim(k))
-			for d := range v {
-				v[d] = float64((i*31+d*7+int(k)*13)%997) / 50
-			}
-			set[k] = v
+	// Vectors are arbitrary but deterministic; only one feature kind is
+	// stored (and one mesh shared) so memory stays proportional to what
+	// the query touches.
+	kind := features.PrincipalMoments
+	dim := opts.Dim(kind)
+	for i := 0; i < n; i++ {
+		v := make(features.Vector, dim)
+		for d := range v {
+			v[d] = float64((i*31+d*7+int(seed)*13)%997) / 50
 		}
-		if _, err := db.Insert("synth", i%26, mesh, set); err != nil {
-			return err
+		if _, err := db.Insert("synth", i%26, mesh, features.Set{kind: v}); err != nil {
+			return rates, err
 		}
 	}
-	dim := opts.Dim(features.PrincipalMoments)
-	query := features.Set{features.PrincipalMoments: make(features.Vector, dim)}
+	query := features.Set{kind: make(features.Vector, dim)}
 	weights := make([]float64, dim)
 	for i := range weights {
 		weights[i] = 1 + float64(i)
 	}
-	searchOpts := core.Options{Feature: features.PrincipalMoments, Weights: weights, K: 10}
-	scan := func(workers int) (float64, error) {
-		e := core.NewEngine(db).SetWorkers(workers)
-		const iters = 50
-		// Warm up caches so the first-measured configuration isn't
-		// penalized for paging the snapshot in.
+	searchOpts := core.Options{Feature: kind, Weights: weights, K: 10}
+	// Iteration counts scale inversely with corpus size so one config
+	// costs on the order of ten million row visits regardless of n.
+	iters := 10_000_000 / n
+	if iters < 3 {
+		iters = 3
+	} else if iters > 50 {
+		iters = 50
+	}
+	measure := func(workers int, mode core.ScanMode) (float64, error) {
+		e := core.NewEngine(db).SetWorkers(workers).SetSearchMode(mode)
+		// Warm up so the measured loop sees resident snapshots and, for
+		// two-stage, an already-built columnar store (a server keeps it
+		// fresh in the background; the build is not per-query cost).
 		if _, err := e.SearchTopK(context.Background(), query, searchOpts); err != nil {
 			return 0, err
 		}
@@ -95,19 +188,61 @@ func figPerf(seed int64) error {
 				return 0, err
 			}
 		}
-		return float64(scanN*iters) / time.Since(start).Seconds(), nil
+		return float64(n) * float64(iters) / time.Since(start).Seconds(), nil
 	}
-	serialScan, err := scan(1)
+	if rates[0], err = measure(1, core.ScanExact); err != nil {
+		return rates, err
+	}
+	if rates[1], err = measure(0, core.ScanExact); err != nil {
+		return rates, err
+	}
+	if rates[2], err = measure(0, core.ScanTwoStage); err != nil {
+		return rates, err
+	}
+	return rates, nil
+}
+
+// checkPerfReport validates a BENCH_perf.json: it must parse, carry both
+// ingest series, and carry every scan series at every size it declares,
+// all with positive finite rates. Used by verify.sh as a smoke gate.
+func checkPerfReport(path string) error {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	poolScan, err := scan(0)
-	if err != nil {
-		return err
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
 	}
-	fmt.Printf("weighted scan (%d records, top-10): %.0f shapes/sec serial, %.0f shapes/sec sharded over %d workers (%.2fx)\n",
-		scanN, serialScan, poolScan, workpool.Resolve(0), poolScan/serialScan)
-	fmt.Printf("csv,perf,scan,serial,%.2f\n", serialScan)
-	fmt.Printf("csv,perf,scan,sharded,%.2f\n", poolScan)
+	if len(rep.Sizes) == 0 {
+		return fmt.Errorf("%s: no sizes recorded", path)
+	}
+	have := map[string]float64{}
+	for _, s := range rep.Series {
+		if s.ShapesPerSec <= 0 || math.IsNaN(s.ShapesPerSec) || math.IsInf(s.ShapesPerSec, 0) {
+			return fmt.Errorf("%s: series %s at %d records has invalid rate %g", path, s.Name, s.Records, s.ShapesPerSec)
+		}
+		have[fmt.Sprintf("%s@%d", s.Name, s.Records)] = s.ShapesPerSec
+	}
+	for _, name := range []string{"ingest_serial", "ingest_pooled"} {
+		found := false
+		for _, s := range rep.Series {
+			if s.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: missing series %s", path, name)
+		}
+	}
+	for _, n := range rep.Sizes {
+		for _, name := range scanSeriesNames {
+			if _, ok := have[fmt.Sprintf("%s@%d", name, n)]; !ok {
+				return fmt.Errorf("%s: missing series %s at %d records", path, name, n)
+			}
+		}
+	}
+	fmt.Printf("%s: ok (%d series, sizes %v)\n", path, len(rep.Series), rep.Sizes)
 	return nil
 }

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"threedess/internal/dataset"
 	"threedess/internal/eval"
@@ -36,7 +38,21 @@ func main() {
 	log.SetFlags(0)
 	fig := flag.String("fig", "all", "figure to regenerate (4, 7, 8..12, 13, 15, 16, rtree, cluster, ext, ablation, perf, scrub, all)")
 	seed := flag.Int64("seed", 42, "corpus seed")
+	perfSizes := flag.String("perf-sizes", "5000,100000,1000000", "comma-separated corpus sizes for -fig perf scan benchmarks")
+	perfOut := flag.String("perf-out", "results/BENCH_perf.json", "machine-readable output path for -fig perf (empty = stdout csv only)")
+	checkPerf := flag.String("check-perf", "", "validate an existing BENCH_perf.json and exit (smoke gate for verify.sh)")
 	flag.Parse()
+
+	if *checkPerf != "" {
+		if err := checkPerfReport(*checkPerf); err != nil {
+			log.Fatalf("check-perf: %v", err)
+		}
+		return
+	}
+	sizes, err := parsePerfSizes(*perfSizes)
+	if err != nil {
+		log.Fatalf("-perf-sizes: %v", err)
+	}
 
 	needCorpus := *fig != "4" && *fig != "rtree-synthetic" && *fig != "perf" && *fig != "scrub"
 	var c *eval.Corpus
@@ -72,7 +88,7 @@ func main() {
 	run("ext", func() error { return figExtensions(*seed) })
 	run("ablation", func() error { return figAblation(c) })
 	run("map", func() error { return figMAP(c) })
-	run("perf", func() error { return figPerf(*seed) })
+	run("perf", func() error { return figPerf(*seed, sizes, *perfOut) })
 	run("scrub", func() error {
 		dir, err := os.MkdirTemp("", "benchscrub")
 		if err != nil {
@@ -85,6 +101,25 @@ func main() {
 
 func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func parsePerfSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid corpus size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no corpus sizes given")
+	}
+	return sizes, nil
 }
 
 func fig4() error {

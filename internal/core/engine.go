@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"threedess/internal/colstore"
 	"threedess/internal/features"
 	"threedess/internal/geom"
 	"threedess/internal/rtree"
@@ -30,6 +31,12 @@ type Engine struct {
 	// (≤ 0 = one per logical CPU). It never changes results, only
 	// throughput.
 	workers int
+	// cstore holds per-kind columnar descriptor copies for the two-stage
+	// weighted search path; mode is the engine-wide default ScanMode.
+	// Neither changes results — two-stage search is exact — only how a
+	// weighted query executes.
+	cstore *colstore.Manager
+	mode   ScanMode
 }
 
 // NewEngine builds an engine over db, extracting query features with the
@@ -40,6 +47,7 @@ func NewEngine(db *shapedb.DB) *Engine {
 		db:        db,
 		extractor: features.NewExtractor(db.Options()),
 		workers:   db.Options().Workers,
+		cstore:    colstore.NewManager(db),
 	}
 }
 
@@ -79,6 +87,11 @@ type Options struct {
 	Threshold float64
 	// K is the result count for SearchTopK.
 	K int
+	// Mode selects how a weighted search executes: ScanAuto (default)
+	// defers to the engine's configured mode, ScanExact forces the
+	// exhaustive scan, ScanTwoStage forces the columnar filter-and-refine
+	// path. Every mode returns identical results.
+	Mode ScanMode
 }
 
 // WeightedDistance evaluates Equation 4.3.
@@ -183,6 +196,14 @@ func (e *Engine) SearchThreshold(ctx context.Context, query features.Set, opt Op
 		}
 		return e.toResults(nn, dmax), nil
 	}
+	if mode, forced := e.resolveScanMode(opt); mode == ScanTwoStage {
+		out, err := e.twoStageThreshold(ctx, qv, opt, dmax)
+		if err == nil || forced || ctx.Err() != nil {
+			return out, err
+		}
+		// Auto-selected two-stage could not serve (store build failure);
+		// degrade to the exact scan rather than failing the query.
+	}
 	return e.scan(ctx, qv, opt, func(r Result) bool { return r.Similarity >= opt.Threshold }, 0, dmax)
 }
 
@@ -208,12 +229,20 @@ func (e *Engine) SearchTopK(ctx context.Context, query features.Set, opt Options
 		}
 		return e.toResults(nn, dmax), nil
 	}
+	if mode, forced := e.resolveScanMode(opt); mode == ScanTwoStage {
+		out, err := e.twoStageTopK(ctx, qv, opt, dmax)
+		if err == nil || forced || ctx.Err() != nil {
+			return out, err
+		}
+	}
 	return e.scan(ctx, qv, opt, nil, opt.K, dmax)
 }
 
 // minParallelScan is the snapshot size below which the sharded scan is
 // not worth its goroutine fan-out and the scan stays on one worker.
-const minParallelScan = 64
+// Goroutine spawn, WaitGroup synchronization, and the partial merge cost
+// on the order of a thousand ranked records, so small corpora scan inline.
+const minParallelScan = 1024
 
 // scan is the weighted-distance fallback: a full scan ranked by Equation
 // 4.3. keep filters results (nil keeps everything); k > 0 truncates.
@@ -223,7 +252,9 @@ const minParallelScan = 64
 // ranks its shard into a local partial result (truncated to its own top-k
 // when k > 0), and the partials are merged and re-ranked at the end. The
 // final (distance, ID) ordering makes the output independent of the shard
-// layout, so serial and parallel scans return identical results.
+// layout, so serial and parallel scans return identical results. A scan
+// that resolves to one shard runs on the calling goroutine: spawning a
+// worker and merging a single partial only adds latency.
 func (e *Engine) scan(ctx context.Context, qv features.Vector, opt Options, keep func(Result) bool, k int, dmax float64) ([]Result, error) {
 	recs := e.db.Snapshot()
 	workers := workpool.Resolve(e.workers)
@@ -233,15 +264,19 @@ func (e *Engine) scan(ctx context.Context, qv features.Vector, opt Options, keep
 	shards := workpool.Shards(workers, len(recs))
 	partials := make([][]Result, len(shards))
 	errs := make([]error, len(shards))
-	var wg sync.WaitGroup
-	for si, s := range shards {
-		wg.Add(1)
-		go func(si int, s workpool.Shard) {
-			defer wg.Done()
-			partials[si], errs[si] = e.scanShard(ctx, recs[s.Lo:s.Hi], qv, opt, keep, k, dmax)
-		}(si, s)
+	if len(shards) == 1 {
+		partials[0], errs[0] = e.scanShard(ctx, recs, qv, opt, keep, k, dmax)
+	} else {
+		var wg sync.WaitGroup
+		for si, s := range shards {
+			wg.Add(1)
+			go func(si int, s workpool.Shard) {
+				defer wg.Done()
+				partials[si], errs[si] = e.scanShard(ctx, recs[s.Lo:s.Hi], qv, opt, keep, k, dmax)
+			}(si, s)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

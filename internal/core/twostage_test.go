@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/shapedb"
+)
+
+// randomScanDB fills an in-memory DB with n records whose principal-moment
+// vectors sit on a coarse integer grid (so exact-distance ties occur
+// constantly) and sprinkles in records that lack the kind entirely, which
+// both search paths must skip identically.
+func randomScanDB(t *testing.T, rng *rand.Rand, n int) *shapedb.DB {
+	t.Helper()
+	db, err := shapedb.Open("", features.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	opts := db.Options()
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	pmDim := opts.Dim(features.PrincipalMoments)
+	gpDim := opts.Dim(features.GeometricParams)
+	for i := 0; i < n; i++ {
+		set := features.Set{}
+		if i%11 == 3 {
+			// No principal moments: invisible to a PM search on every path.
+			v := make(features.Vector, gpDim)
+			for d := range v {
+				v[d] = rng.Float64() * 10
+			}
+			set[features.GeometricParams] = v
+		} else {
+			v := make(features.Vector, pmDim)
+			for d := range v {
+				v[d] = float64(rng.Intn(8))
+			}
+			set[features.PrincipalMoments] = v
+		}
+		if _, err := db.Insert("r", i%7, mesh, set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func pmQuery(rng *rand.Rand, db *shapedb.DB) (features.Set, []float64) {
+	dim := db.Options().Dim(features.PrincipalMoments)
+	v := make(features.Vector, dim)
+	w := make([]float64, dim)
+	for d := range v {
+		v[d] = rng.Float64() * 8
+		w[d] = rng.Float64() * 3
+	}
+	if rng.Intn(4) == 0 {
+		w[rng.Intn(dim)] = 0
+	}
+	return features.Set{features.PrincipalMoments: v}, w
+}
+
+// TestTwoStageTopKMatchesExactScan is the equivalence gate for the
+// two-stage path: across random corpora, weights, worker counts, and K
+// (including K far beyond the corpus), the forced two-stage search must
+// return exactly the ranked results of the exhaustive scan — same IDs,
+// same order, and bitwise-identical distances and similarities.
+func TestTwoStageTopKMatchesExactScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := []int{0, 1, 2, 37, 180, 700}[trial%6]
+		if trial == 24 {
+			n = 3000 // spills past one coarse block
+		}
+		db := randomScanDB(t, rng, n)
+		e := NewEngine(db).SetWorkers(1 + trial%3)
+		query, w := pmQuery(rng, db)
+		for _, k := range []int{1, 3, 10, n + 10} {
+			opt := Options{Feature: features.PrincipalMoments, Weights: w, K: k}
+			opt.Mode = ScanExact
+			exact, err := e.SearchTopK(context.Background(), query, opt)
+			if err != nil {
+				t.Fatalf("trial %d k=%d exact: %v", trial, k, err)
+			}
+			opt.Mode = ScanTwoStage
+			two, err := e.SearchTopK(context.Background(), query, opt)
+			if err != nil {
+				t.Fatalf("trial %d k=%d two-stage: %v", trial, k, err)
+			}
+			if !reflect.DeepEqual(exact, two) {
+				t.Fatalf("trial %d n=%d k=%d: two-stage diverged\nexact:     %+v\ntwo-stage: %+v",
+					trial, n, k, exact, two)
+			}
+		}
+	}
+}
+
+// TestTwoStageThresholdMatchesExactScan covers the similarity-threshold
+// form, including both boundary thresholds: t=0 must keep every record
+// (clamped similarity is never negative) and t=1 keeps only exact hits.
+func TestTwoStageThresholdMatchesExactScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 12; trial++ {
+		db := randomScanDB(t, rng, 150+rng.Intn(300))
+		e := NewEngine(db).SetWorkers(1 + trial%3)
+		query, w := pmQuery(rng, db)
+		for _, th := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			opt := Options{Feature: features.PrincipalMoments, Weights: w, Threshold: th}
+			opt.Mode = ScanExact
+			exact, err := e.SearchThreshold(context.Background(), query, opt)
+			if err != nil {
+				t.Fatalf("trial %d t=%g exact: %v", trial, th, err)
+			}
+			opt.Mode = ScanTwoStage
+			two, err := e.SearchThreshold(context.Background(), query, opt)
+			if err != nil {
+				t.Fatalf("trial %d t=%g two-stage: %v", trial, th, err)
+			}
+			if !reflect.DeepEqual(exact, two) {
+				t.Fatalf("trial %d t=%g: two-stage diverged (%d vs %d results)\nexact:     %+v\ntwo-stage: %+v",
+					trial, th, len(exact), len(two), exact, two)
+			}
+		}
+	}
+}
+
+// TestTwoStageSurvivesMutations interleaves searches with inserts and
+// deletes so the columnar store must rebuild/append between queries, and
+// checks equivalence after every mutation batch.
+func TestTwoStageSurvivesMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	db := randomScanDB(t, rng, 200)
+	e := NewEngine(db).SetWorkers(2)
+	check := func(stage string) {
+		t.Helper()
+		query, w := pmQuery(rng, db)
+		opt := Options{Feature: features.PrincipalMoments, Weights: w, K: 12}
+		opt.Mode = ScanExact
+		exact, err := e.SearchTopK(context.Background(), query, opt)
+		if err != nil {
+			t.Fatalf("%s exact: %v", stage, err)
+		}
+		opt.Mode = ScanTwoStage
+		two, err := e.SearchTopK(context.Background(), query, opt)
+		if err != nil {
+			t.Fatalf("%s two-stage: %v", stage, err)
+		}
+		if !reflect.DeepEqual(exact, two) {
+			t.Fatalf("%s: two-stage diverged\nexact:     %+v\ntwo-stage: %+v", stage, exact, two)
+		}
+	}
+	check("initial")
+
+	opts := db.Options()
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	dim := opts.Dim(features.PrincipalMoments)
+	for i := 0; i < 40; i++ {
+		v := make(features.Vector, dim)
+		for d := range v {
+			// Far outside the original quantization grid: the append path
+			// must clamp into the half-infinite edge cells safely.
+			v[d] = 100 + rng.Float64()*50
+		}
+		if _, err := db.Insert("late", 3, mesh, features.Set{features.PrincipalMoments: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after out-of-grid appends")
+
+	for _, id := range db.IDs()[:30] {
+		if _, err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after deletes")
+}
+
+// trippingCtx reports itself alive for the first Err call (the engine's
+// entry check) and cancelled afterwards, so cancellation lands inside the
+// two-stage block scan rather than before it.
+type trippingCtx struct {
+	context.Context
+	calls atomic.Int32
+}
+
+func (c *trippingCtx) Err() error {
+	if c.calls.Add(1) > 1 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestTwoStageHonorsMidScanCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	db := randomScanDB(t, rng, 2500) // > one coarse block
+	e := NewEngine(db)
+	query, w := pmQuery(rng, db)
+	ctx := &trippingCtx{Context: context.Background()}
+	_, err := e.SearchTopK(ctx, query, Options{
+		Feature: features.PrincipalMoments, Weights: w, K: 5, Mode: ScanTwoStage,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-scan cancel: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParseScanMode(t *testing.T) {
+	for in, want := range map[string]ScanMode{
+		"": ScanAuto, "auto": ScanAuto, "exact": ScanExact,
+		"two-stage": ScanTwoStage, "twostage": ScanTwoStage,
+	} {
+		got, err := ParseScanMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScanMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseScanMode("bogus"); err == nil {
+		t.Error("ParseScanMode(bogus) accepted")
+	}
+	if ScanTwoStage.String() != "two-stage" || ScanExact.String() != "exact" || ScanAuto.String() != "auto" {
+		t.Error("ScanMode.String mismatch")
+	}
+}
+
+// TestScanWorkerCountInvariance pins the satellite fix: the single-shard
+// inline scan and the multi-worker sharded scan return identical results.
+func TestScanWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	db := randomScanDB(t, rng, 2100) // above minParallelScan
+	query, w := pmQuery(rng, db)
+	opt := Options{Feature: features.PrincipalMoments, Weights: w, K: 15, Mode: ScanExact}
+	base, err := NewEngine(db).SetWorkers(1).SearchTopK(context.Background(), query, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got, err := NewEngine(db).SetWorkers(workers).SearchTopK(context.Background(), query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d scan diverged from serial", workers)
+		}
+	}
+}

@@ -12,6 +12,14 @@ type BulkItem struct {
 	Point Point
 }
 
+// bulkEntry is one build-time entry of the STR packer: a flat box plus
+// either a child node (upper levels) or a payload id (leaf level).
+type bulkEntry struct {
+	box   []float64
+	child *node
+	id    int64
+}
+
 // BulkLoad builds a packed R-tree over the items using Sort-Tile-Recursive
 // (STR) packing, which produces near-optimal leaf utilization and low MBR
 // overlap — the preferred way to index a static corpus before serving
@@ -21,36 +29,61 @@ func BulkLoad(dim, maxEntries int, items []BulkItem) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries := make([]entry, 0, len(items))
-	for _, it := range items {
+	entries := make([]bulkEntry, 0, len(items))
+	// One contiguous backing array for every leaf box keeps the build
+	// allocation-light and the copies into node storage sequential.
+	backing := make([]float64, 2*dim*len(items))
+	for n, it := range items {
 		if err := t.checkPoint(it.Point); err != nil {
 			return nil, fmt.Errorf("rtree: bulk item %d: %w", it.ID, err)
 		}
-		entries = append(entries, entry{rect: PointRect(it.Point), id: it.ID})
+		box := backing[n*2*dim : (n+1)*2*dim]
+		copy(box, it.Point)
+		copy(box[dim:], it.Point)
+		entries = append(entries, bulkEntry{box: box, id: it.ID})
 	}
 	t.size = len(entries)
 	if len(entries) == 0 {
 		return t, nil
 	}
-	level := strPack(entries, dim, 0, maxEntries, true)
+	level := t.strPack(entries, 0, t.maxEntries, true)
 	for len(level) > 1 {
-		parentEntries := make([]entry, len(level))
+		parents := make([]bulkEntry, len(level))
 		for i, n := range level {
-			parentEntries[i] = entry{rect: nodeRect(n), child: n}
+			box := make([]float64, 2*dim)
+			t.nodeBoxInto(box, n)
+			parents[i] = bulkEntry{box: box, child: n}
 		}
-		level = strPack(parentEntries, dim, 0, maxEntries, false)
+		level = t.strPack(parents, 0, t.maxEntries, false)
 	}
 	t.root = level[0]
 	return t, nil
 }
 
-// strPack tiles the entries into nodes of up to capacity entries, sorting
-// recursively along each dimension.
-func strPack(entries []entry, dim, axis, capacity int, leaf bool) []*node {
-	if len(entries) <= capacity {
-		return []*node{{leaf: leaf, entries: entries}}
+// packNode copies a run of bulk entries into one flat node.
+func (t *Tree) packNode(entries []bulkEntry, leaf bool) *node {
+	n := &node{leaf: leaf}
+	n.boxes = make([]float64, 0, len(entries)*2*t.dim)
+	for _, e := range entries {
+		n.boxes = append(n.boxes, e.box...)
+		if leaf {
+			n.ids = append(n.ids, e.id)
+		} else {
+			n.children = append(n.children, e.child)
+		}
 	}
-	center := func(e entry, d int) float64 { return (e.rect.Min[d] + e.rect.Max[d]) / 2 }
+	return n
+}
+
+// strPack tiles the entries into nodes of up to capacity entries, sorting
+// recursively along each dimension. Sub-ranges are sorted in place; the
+// slab boundaries are fixed before recursion, so the ranges stay disjoint.
+func (t *Tree) strPack(entries []bulkEntry, axis, capacity int, leaf bool) []*node {
+	if len(entries) <= capacity {
+		return []*node{t.packNode(entries, leaf)}
+	}
+	dim := t.dim
+	center := func(e bulkEntry, d int) float64 { return (e.box[d] + e.box[dim+d]) / 2 }
 	sort.Slice(entries, func(i, j int) bool { return center(entries[i], axis) < center(entries[j], axis) })
 
 	nodesNeeded := int(math.Ceil(float64(len(entries)) / float64(capacity)))
@@ -62,9 +95,7 @@ func strPack(entries []entry, dim, axis, capacity int, leaf bool) []*node {
 			if end > len(entries) {
 				end = len(entries)
 			}
-			chunk := make([]entry, end-start)
-			copy(chunk, entries[start:end])
-			out = append(out, &node{leaf: leaf, entries: chunk})
+			out = append(out, t.packNode(entries[start:end], leaf))
 		}
 		return out
 	}
@@ -77,9 +108,7 @@ func strPack(entries []entry, dim, axis, capacity int, leaf bool) []*node {
 		if end > len(entries) {
 			end = len(entries)
 		}
-		chunk := make([]entry, end-start)
-		copy(chunk, entries[start:end])
-		out = append(out, strPack(chunk, dim, axis+1, capacity, leaf)...)
+		out = append(out, t.strPack(entries[start:end], axis+1, capacity, leaf)...)
 	}
 	return out
 }

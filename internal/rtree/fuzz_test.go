@@ -104,17 +104,18 @@ func (t *Tree) validate() error {
 				return errDepth(depth, leafDepth)
 			}
 		}
-		for _, e := range n.entries {
-			if bound != nil && !bound.Contains(e.rect) {
-				return errBounds(e.rect, *bound)
+		for i := 0; i < n.count(); i++ {
+			rect := boxRect(t.nbox(n, i))
+			if bound != nil && !bound.Contains(rect) {
+				return errBounds(rect, *bound)
 			}
 			if !n.leaf {
-				r := e.rect
-				if err := walk(e.child, depth+1, &r); err != nil {
+				child := n.children[i]
+				if err := walk(child, depth+1, &rect); err != nil {
 					return err
 				}
-				if tight := nodeRect(e.child); !rectEqual(tight, e.rect) {
-					return errTight(e.rect, tight)
+				if tight := t.nodeRect(child); !boxEqual(rectBox(tight), rectBox(rect)) {
+					return errTight(rect, tight)
 				}
 			}
 		}

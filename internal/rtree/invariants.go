@@ -12,12 +12,16 @@ func (t *Tree) ForEachEntry(fn func(id int64, r Rect) bool) {
 }
 
 func (t *Tree) forEachEntry(n *node, fn func(id int64, r Rect) bool) bool {
-	for _, e := range n.entries {
-		if n.leaf {
-			if !fn(e.id, e.rect) {
+	if n.leaf {
+		for i := range n.ids {
+			if !fn(n.ids[i], boxRect(t.nbox(n, i))) {
 				return false
 			}
-		} else if !t.forEachEntry(e.child, fn) {
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !t.forEachEntry(c, fn) {
 			return false
 		}
 	}
@@ -28,15 +32,17 @@ func (t *Tree) forEachEntry(n *node, fn func(id int64, r Rect) bool) bool {
 // invariants every query's correctness rests on:
 //
 //   - every leaf sits at the same depth (the tree is height-balanced);
-//   - every internal entry's rectangle is exactly the tight bounding box
-//     of its child's entries (MinDist pruning and Contains-guided deletes
-//     both assume tightness — a too-small box loses entries, a too-large
-//     one only wastes work, and neither should exist);
+//   - every internal entry's box is exactly the tight bounding box of its
+//     child's entries (MinDist pruning and Contains-guided deletes both
+//     assume tightness — a too-small box loses entries, a too-large one
+//     only wastes work, and neither should exist);
 //   - node entry counts respect Guttman's bounds: at most maxEntries
 //     everywhere; at least minEntries in non-root nodes; an internal root
 //     has at least 2 entries;
-//   - internal entries carry children and no payload, leaf entries carry
-//     no children; Len() equals the number of leaf entries.
+//   - the flat arrays are consistent: a node's boxes array holds exactly
+//     2·dim floats per entry, leaves carry ids and no children, internal
+//     nodes carry children and no ids; Len() equals the number of leaf
+//     entries.
 //
 // It returns the first violation found (nil when the tree is sound). The
 // reconciler runs it before trusting an index's contents, and escalates
@@ -45,50 +51,55 @@ func (t *Tree) CheckInvariants() error {
 	if t.root == nil {
 		return fmt.Errorf("rtree: nil root")
 	}
+	stride := 2 * t.dim
 	leafDepth := -1
 	count := 0
 	var walk func(n *node, depth int) error
 	walk = func(n *node, depth int) error {
-		if len(n.entries) > t.maxEntries {
-			return fmt.Errorf("rtree: node at depth %d has %d entries, max %d", depth, len(n.entries), t.maxEntries)
+		cnt := n.count()
+		if cnt > t.maxEntries {
+			return fmt.Errorf("rtree: node at depth %d has %d entries, max %d", depth, cnt, t.maxEntries)
 		}
 		isRoot := n == t.root
-		if !isRoot && len(n.entries) < t.minEntries {
-			return fmt.Errorf("rtree: non-root node at depth %d has %d entries, min %d", depth, len(n.entries), t.minEntries)
+		if !isRoot && cnt < t.minEntries {
+			return fmt.Errorf("rtree: non-root node at depth %d has %d entries, min %d", depth, cnt, t.minEntries)
 		}
-		if isRoot && !n.leaf && len(n.entries) < 2 {
-			return fmt.Errorf("rtree: internal root has %d entries, want >= 2", len(n.entries))
+		if isRoot && !n.leaf && cnt < 2 {
+			return fmt.Errorf("rtree: internal root has %d entries, want >= 2", cnt)
+		}
+		if len(n.boxes) != cnt*stride {
+			return fmt.Errorf("rtree: node at depth %d holds %d box floats for %d entries (stride %d)",
+				depth, len(n.boxes), cnt, stride)
 		}
 		if n.leaf {
+			if len(n.children) != 0 {
+				return fmt.Errorf("rtree: leaf at depth %d carries %d child nodes", depth, len(n.children))
+			}
 			if leafDepth == -1 {
 				leafDepth = depth
 			} else if depth != leafDepth {
 				return fmt.Errorf("rtree: leaf at depth %d, others at %d", depth, leafDepth)
 			}
-			for _, e := range n.entries {
-				if e.child != nil {
-					return fmt.Errorf("rtree: leaf entry %d carries a child node", e.id)
-				}
-				if len(e.rect.Min) != t.dim || len(e.rect.Max) != t.dim {
-					return fmt.Errorf("rtree: leaf entry %d has dimension %d, tree dimension %d", e.id, len(e.rect.Min), t.dim)
-				}
-			}
-			count += len(n.entries)
+			count += cnt
 			return nil
 		}
-		for i, e := range n.entries {
-			if e.child == nil {
+		if len(n.ids) != 0 {
+			return fmt.Errorf("rtree: internal node at depth %d carries %d payload ids", depth, len(n.ids))
+		}
+		tight := make([]float64, stride)
+		for i, c := range n.children {
+			if c == nil {
 				return fmt.Errorf("rtree: internal entry %d at depth %d has nil child", i, depth)
 			}
-			if len(e.child.entries) == 0 {
+			if c.count() == 0 {
 				return fmt.Errorf("rtree: internal entry %d at depth %d points at an empty node", i, depth)
 			}
-			tight := nodeRect(e.child)
-			if !rectEqual(e.rect, tight) {
-				return fmt.Errorf("rtree: internal entry %d at depth %d has box %v/%v, tight box %v/%v",
-					i, depth, e.rect.Min, e.rect.Max, tight.Min, tight.Max)
+			t.nodeBoxInto(tight, c)
+			if !boxEqual(t.nbox(n, i), tight) {
+				return fmt.Errorf("rtree: internal entry %d at depth %d has box %v, tight box %v",
+					i, depth, t.nbox(n, i), tight)
 			}
-			if err := walk(e.child, depth+1); err != nil {
+			if err := walk(c, depth+1); err != nil {
 				return err
 			}
 		}

@@ -146,7 +146,7 @@ func TestCheckInvariantsDetectsDamage(t *testing.T) {
 		if tr.root.leaf {
 			t.Skip("tree did not split")
 		}
-		tr.root.entries[0].rect.Max[0] += 5 // no longer tight
+		tr.root.boxes[tr.dim] += 5 // first entry's max[0]: no longer tight
 		if err := tr.CheckInvariants(); err == nil {
 			t.Fatal("loose bounding box not detected")
 		}
@@ -162,9 +162,9 @@ func TestCheckInvariantsDetectsDamage(t *testing.T) {
 		// size accounting.
 		n := tr.root
 		for !n.leaf {
-			n = n.entries[0].child
+			n = n.children[0]
 		}
-		n.entries = n.entries[:len(n.entries)-1]
+		tr.removeEntry(n, len(n.ids)-1)
 		if err := tr.CheckInvariants(); err == nil {
 			t.Fatal("dropped leaf entry not detected")
 		}

@@ -4,6 +4,18 @@
 // multidimensional access method the DATABASE tier of the paper builds on
 // top of its record store (§2.3).
 //
+// Nodes use an RBush-style flat layout (the idiom of tidwall/rtree): one
+// contiguous []float64 holds every entry's box (2·dim coordinates per
+// entry, min corner then max corner) next to a parallel child-pointer or
+// payload-id slice, so scanning a node during search or k-NN is one
+// sequential read with no per-entry pointer chasing or allocation.
+//
+// Best-first k-NN and ball search come in unweighted and weighted forms;
+// the weighted forms prune with the weighted MinDist bound, which remains
+// a valid lower bound of the weighted Euclidean metric of Equation 4.3
+// (every squared per-dimension term is scaled by the same non-negative
+// weight in both the bound and the true distance).
+//
 // The tree also counts node accesses per query so the paper's index
 // efficiency claim ("almost optimal for small real databases and efficient
 // for large synthetic databases") can be measured.
@@ -46,14 +58,6 @@ func NewRect(min, max Point) (Rect, error) {
 	return Rect{Min: min, Max: max}, nil
 }
 
-func (r Rect) clone() Rect {
-	min := make(Point, len(r.Min))
-	max := make(Point, len(r.Max))
-	copy(min, r.Min)
-	copy(max, r.Max)
-	return Rect{Min: min, Max: max}
-}
-
 // Area returns the hyper-volume of r.
 func (r Rect) Area() float64 {
 	a := 1.0
@@ -83,30 +87,6 @@ func (r Rect) Contains(s Rect) bool {
 	return true
 }
 
-// enlarge grows r in place to cover s.
-func (r *Rect) enlarge(s Rect) {
-	for i := range r.Min {
-		if s.Min[i] < r.Min[i] {
-			r.Min[i] = s.Min[i]
-		}
-		if s.Max[i] > r.Max[i] {
-			r.Max[i] = s.Max[i]
-		}
-	}
-}
-
-// union returns the bounding rectangle of r and s.
-func (r Rect) union(s Rect) Rect {
-	u := r.clone()
-	u.enlarge(s)
-	return u
-}
-
-// enlargement returns how much r's area grows to cover s.
-func (r Rect) enlargement(s Rect) float64 {
-	return r.union(s).Area() - r.Area()
-}
-
 // MinDist returns the minimum Euclidean distance from p to any point of r
 // (zero when p is inside) — the k-NN pruning bound of Roussopoulos et al.
 func (r Rect) MinDist(p Point) float64 {
@@ -134,15 +114,154 @@ func Dist(a, b Point) float64 {
 	return math.Sqrt(sum)
 }
 
-type entry struct {
-	rect  Rect
-	child *node // non-nil for internal entries
-	id    int64 // leaf payload
+// ---------------------------------------------------------------------------
+// Flat box helpers. A "box" is one entry's rectangle stored inline in its
+// node's boxes array: len(b) == 2*dim, min corner in b[:dim], max corner in
+// b[dim:]. The dimension is implied by the slice length.
+
+// rectBox flattens a Rect into box form (allocates).
+func rectBox(r Rect) []float64 {
+	b := make([]float64, len(r.Min)*2)
+	copy(b, r.Min)
+	copy(b[len(r.Min):], r.Max)
+	return b
 }
 
+// boxRect materializes a box back into a Rect (allocates copies, so the
+// caller may retain it).
+func boxRect(b []float64) Rect {
+	d := len(b) / 2
+	min := make(Point, d)
+	max := make(Point, d)
+	copy(min, b[:d])
+	copy(max, b[d:])
+	return Rect{Min: min, Max: max}
+}
+
+func boxArea(b []float64) float64 {
+	d := len(b) / 2
+	a := 1.0
+	for i := 0; i < d; i++ {
+		a *= b[d+i] - b[i]
+	}
+	return a
+}
+
+// boxUnionArea returns the area of the bounding box of a and b without
+// materializing it.
+func boxUnionArea(a, b []float64) float64 {
+	d := len(a) / 2
+	area := 1.0
+	for i := 0; i < d; i++ {
+		lo := a[i]
+		if b[i] < lo {
+			lo = b[i]
+		}
+		hi := a[d+i]
+		if b[d+i] > hi {
+			hi = b[d+i]
+		}
+		area *= hi - lo
+	}
+	return area
+}
+
+// boxEnlargement returns how much a's area grows to cover b.
+func boxEnlargement(a, b []float64) float64 {
+	return boxUnionArea(a, b) - boxArea(a)
+}
+
+// boxEnlarge grows a in place to cover b.
+func boxEnlarge(a, b []float64) {
+	d := len(a) / 2
+	for i := 0; i < d; i++ {
+		if b[i] < a[i] {
+			a[i] = b[i]
+		}
+		if b[d+i] > a[d+i] {
+			a[d+i] = b[d+i]
+		}
+	}
+}
+
+func boxIntersects(a, b []float64) bool {
+	d := len(a) / 2
+	for i := 0; i < d; i++ {
+		if a[i] > b[d+i] || a[d+i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// boxContains reports whether a fully contains b.
+func boxContains(a, b []float64) bool {
+	d := len(a) / 2
+	for i := 0; i < d; i++ {
+		if b[i] < a[i] || b[d+i] > a[d+i] {
+			return false
+		}
+	}
+	return true
+}
+
+func boxEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// boxMinDist is Rect.MinDist over the flat form: the minimum distance from
+// p to any point of the box under the (optionally weighted) Euclidean
+// metric. With w == nil the metric is unweighted. Since every squared
+// per-dimension term is scaled by the same non-negative weight as in the
+// true weighted distance, the result lower-bounds the weighted distance
+// from p to every point inside the box — the provably-safe pruning bound
+// of the weighted k-NN.
+func boxMinDist(b []float64, p Point, w []float64) float64 {
+	d := len(p)
+	sum := 0.0
+	for i := 0; i < d; i++ {
+		var dd float64
+		switch {
+		case p[i] < b[i]:
+			dd = b[i] - p[i]
+		case p[i] > b[d+i]:
+			dd = p[i] - b[d+i]
+		}
+		if w != nil {
+			sum += w[i] * dd * dd
+		} else {
+			sum += dd * dd
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// ---------------------------------------------------------------------------
+
+// node is one R-tree node in flat layout: boxes holds the entries'
+// rectangles inline (2·dim floats per entry), parallel to children (for
+// internal nodes) or ids (for leaves).
 type node struct {
-	leaf    bool
-	entries []entry
+	leaf     bool
+	boxes    []float64
+	children []*node
+	ids      []int64
+}
+
+// count returns the number of entries in n.
+func (n *node) count() int {
+	if n.leaf {
+		return len(n.ids)
+	}
+	return len(n.children)
 }
 
 // Tree is a dynamic R-tree. It is not safe for concurrent mutation; wrap
@@ -197,10 +316,16 @@ func (t *Tree) ResetStats() { t.accesses.Store(0) }
 // Height returns the height of the tree (1 for a single leaf).
 func (t *Tree) Height() int {
 	h := 1
-	for n := t.root; !n.leaf; n = n.entries[0].child {
+	for n := t.root; !n.leaf; n = n.children[0] {
 		h++
 	}
 	return h
+}
+
+// nbox returns entry i's box inside n (aliases the node's storage).
+func (t *Tree) nbox(n *node, i int) []float64 {
+	s := 2 * t.dim
+	return n.boxes[i*s : i*s+s]
 }
 
 func (t *Tree) checkPoint(p Point) error {
@@ -215,12 +340,32 @@ func (t *Tree) checkPoint(p Point) error {
 	return nil
 }
 
+func (t *Tree) checkWeights(w []float64) error {
+	if w == nil {
+		return nil
+	}
+	if len(w) != t.dim {
+		return fmt.Errorf("rtree: %d weights for tree dimension %d", len(w), t.dim)
+	}
+	for i, v := range w {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("rtree: invalid weight %g at dimension %d", v, i)
+		}
+	}
+	return nil
+}
+
 // InsertPoint stores id at position p.
 func (t *Tree) InsertPoint(id int64, p Point) error {
 	if err := t.checkPoint(p); err != nil {
 		return err
 	}
-	return t.insert(entry{rect: PointRect(p), id: id})
+	box := make([]float64, 2*t.dim)
+	copy(box, p)
+	copy(box[t.dim:], p)
+	t.insertLeafEntry(box, id)
+	t.size++
+	return nil
 }
 
 // InsertRect stores id with bounding rectangle r.
@@ -231,151 +376,205 @@ func (t *Tree) InsertRect(id int64, r Rect) error {
 	if err := t.checkPoint(r.Max); err != nil {
 		return err
 	}
-	return t.insert(entry{rect: r.clone(), id: id})
-}
-
-func (t *Tree) insert(e entry) error {
-	leaf := t.chooseLeaf(t.root, e, nil)
-	leaf.node.entries = append(leaf.node.entries, e)
-	t.adjustPath(leaf)
+	t.insertLeafEntry(rectBox(r), id)
 	t.size++
 	return nil
 }
 
-// path element for insert/delete traversals.
-type pathElem struct {
-	node   *node
-	parent *pathElem
-	// index of this node's entry within the parent.
-	parentIdx int
+// pathStep is one level of a root-to-node traversal: the node, and its
+// entry index within its parent (undefined for the root).
+type pathStep struct {
+	n   *node
+	idx int
 }
 
-// chooseLeaf descends to the leaf needing least enlargement (Guttman CL).
-func (t *Tree) chooseLeaf(n *node, e entry, parent *pathElem) *pathElem {
-	return t.chooseLeafFrom(&pathElem{node: n, parent: parent}, e)
+// insertLeafEntry places a leaf entry via Guttman ChooseLeaf and fixes the
+// path upward (splits included). It does not touch t.size — callers do,
+// which lets condense reinsert orphans without double counting.
+func (t *Tree) insertLeafEntry(box []float64, id int64) {
+	path := t.chooseLeaf(box)
+	leaf := path[len(path)-1].n
+	leaf.boxes = append(leaf.boxes, box...)
+	leaf.ids = append(leaf.ids, id)
+	t.adjustPath(path)
 }
 
-func (t *Tree) chooseLeafFrom(p *pathElem, e entry) *pathElem {
-	n := p.node
-	if n.leaf {
-		return p
-	}
-	best := 0
-	bestEnl := math.Inf(1)
-	bestArea := math.Inf(1)
-	for i := range n.entries {
-		enl := n.entries[i].rect.enlargement(e.rect)
-		area := n.entries[i].rect.Area()
-		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
-			best, bestEnl, bestArea = i, enl, area
-		}
-	}
-	child := &pathElem{node: n.entries[best].child, parent: p, parentIdx: best}
-	return t.chooseLeafFrom(child, e)
-}
-
-// adjustPath fixes bounding rectangles upward from a modified node and
-// splits overflowing nodes.
-func (t *Tree) adjustPath(p *pathElem) {
-	for p != nil {
-		n := p.node
-		if len(n.entries) > t.maxEntries {
-			a, b := t.splitNode(n)
-			if p.parent == nil {
-				// Root split: grow the tree.
-				t.root = &node{
-					leaf: false,
-					entries: []entry{
-						{rect: nodeRect(a), child: a},
-						{rect: nodeRect(b), child: b},
-					},
-				}
-			} else {
-				parent := p.parent.node
-				parent.entries[p.parentIdx] = entry{rect: nodeRect(a), child: a}
-				parent.entries = append(parent.entries, entry{rect: nodeRect(b), child: b})
+// chooseLeaf descends to the leaf needing least enlargement (Guttman CL),
+// returning the full root-to-leaf path.
+func (t *Tree) chooseLeaf(box []float64) []pathStep {
+	path := make([]pathStep, 0, 8)
+	n := t.root
+	path = append(path, pathStep{n: n})
+	for !n.leaf {
+		best := 0
+		bestEnl := math.Inf(1)
+		bestArea := math.Inf(1)
+		for i := range n.children {
+			nb := t.nbox(n, i)
+			enl := boxEnlargement(nb, box)
+			area := boxArea(nb)
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
 			}
-		} else if p.parent != nil {
-			p.parent.node.entries[p.parentIdx].rect = nodeRect(n)
 		}
-		p = p.parent
+		n = n.children[best]
+		path = append(path, pathStep{n: n, idx: best})
+	}
+	return path
+}
+
+// adjustPath fixes bounding boxes upward from a modified node and splits
+// overflowing nodes.
+func (t *Tree) adjustPath(path []pathStep) {
+	for pi := len(path) - 1; pi >= 0; pi-- {
+		n := path[pi].n
+		if n.count() > t.maxEntries {
+			a, b := t.splitNode(n)
+			if pi == 0 {
+				// Root split: grow the tree.
+				root := &node{leaf: false}
+				t.appendChild(root, a)
+				t.appendChild(root, b)
+				t.root = root
+			} else {
+				parent := path[pi-1].n
+				t.setChild(parent, path[pi].idx, a)
+				t.appendChild(parent, b)
+			}
+		} else if pi > 0 {
+			parent := path[pi-1].n
+			t.nodeBoxInto(t.nbox(parent, path[pi].idx), n)
+		}
 	}
 }
 
-func nodeRect(n *node) Rect {
-	r := n.entries[0].rect.clone()
-	for _, e := range n.entries[1:] {
-		r.enlarge(e.rect)
+// appendChild appends c with its tight box as a new entry of internal
+// node n.
+func (t *Tree) appendChild(n *node, c *node) {
+	s := 2 * t.dim
+	n.boxes = append(n.boxes, make([]float64, s)...)
+	t.nodeBoxInto(n.boxes[len(n.boxes)-s:], c)
+	n.children = append(n.children, c)
+}
+
+// setChild replaces entry i of internal node n with child c and its tight
+// box.
+func (t *Tree) setChild(n *node, i int, c *node) {
+	n.children[i] = c
+	t.nodeBoxInto(t.nbox(n, i), c)
+}
+
+// nodeBoxInto writes the tight bounding box of n's entries into dst
+// (len 2·dim). n must have at least one entry.
+func (t *Tree) nodeBoxInto(dst []float64, n *node) {
+	s := 2 * t.dim
+	copy(dst, n.boxes[:s])
+	cnt := n.count()
+	for i := 1; i < cnt; i++ {
+		boxEnlarge(dst, n.boxes[i*s:i*s+s])
 	}
-	return r
+}
+
+// nodeRect returns the tight bounding box of n as a Rect (allocates).
+func (t *Tree) nodeRect(n *node) Rect {
+	box := make([]float64, 2*t.dim)
+	t.nodeBoxInto(box, n)
+	return boxRect(box)
+}
+
+// appendEntryFrom copies entry i of src onto the end of dst (same level,
+// same leaf-ness).
+func (t *Tree) appendEntryFrom(dst, src *node, i int) {
+	dst.boxes = append(dst.boxes, t.nbox(src, i)...)
+	if src.leaf {
+		dst.ids = append(dst.ids, src.ids[i])
+	} else {
+		dst.children = append(dst.children, src.children[i])
+	}
+}
+
+// removeEntry deletes entry i of n, compacting the flat arrays.
+func (t *Tree) removeEntry(n *node, i int) {
+	s := 2 * t.dim
+	copy(n.boxes[i*s:], n.boxes[(i+1)*s:])
+	n.boxes = n.boxes[:len(n.boxes)-s]
+	if n.leaf {
+		n.ids = append(n.ids[:i], n.ids[i+1:]...)
+	} else {
+		n.children = append(n.children[:i], n.children[i+1:]...)
+	}
 }
 
 // splitNode performs Guttman's quadratic split, returning two nodes.
 func (t *Tree) splitNode(n *node) (*node, *node) {
-	entries := n.entries
+	cnt := n.count()
 	// Pick seeds: the pair wasting the most area.
 	s1, s2 := 0, 1
 	worst := math.Inf(-1)
-	for i := 0; i < len(entries); i++ {
-		for j := i + 1; j < len(entries); j++ {
-			d := entries[i].rect.union(entries[j].rect).Area() -
-				entries[i].rect.Area() - entries[j].rect.Area()
+	for i := 0; i < cnt; i++ {
+		bi := t.nbox(n, i)
+		ai := boxArea(bi)
+		for j := i + 1; j < cnt; j++ {
+			bj := t.nbox(n, j)
+			d := boxUnionArea(bi, bj) - ai - boxArea(bj)
 			if d > worst {
 				worst, s1, s2 = d, i, j
 			}
 		}
 	}
-	a := &node{leaf: n.leaf, entries: []entry{entries[s1]}}
-	b := &node{leaf: n.leaf, entries: []entry{entries[s2]}}
-	ra := entries[s1].rect.clone()
-	rb := entries[s2].rect.clone()
+	a := &node{leaf: n.leaf}
+	b := &node{leaf: n.leaf}
+	t.appendEntryFrom(a, n, s1)
+	t.appendEntryFrom(b, n, s2)
+	ra := append([]float64(nil), t.nbox(n, s1)...)
+	rb := append([]float64(nil), t.nbox(n, s2)...)
 
-	rest := make([]entry, 0, len(entries)-2)
-	for i, e := range entries {
+	rest := make([]int, 0, cnt-2)
+	for i := 0; i < cnt; i++ {
 		if i != s1 && i != s2 {
-			rest = append(rest, e)
+			rest = append(rest, i)
 		}
 	}
 	for len(rest) > 0 {
 		// If one group needs all remaining entries to reach minEntries,
 		// assign them all.
-		if len(a.entries)+len(rest) == t.minEntries {
-			for _, e := range rest {
-				a.entries = append(a.entries, e)
-				ra.enlarge(e.rect)
+		if a.count()+len(rest) == t.minEntries {
+			for _, i := range rest {
+				t.appendEntryFrom(a, n, i)
+				boxEnlarge(ra, t.nbox(n, i))
 			}
 			break
 		}
-		if len(b.entries)+len(rest) == t.minEntries {
-			for _, e := range rest {
-				b.entries = append(b.entries, e)
-				rb.enlarge(e.rect)
+		if b.count()+len(rest) == t.minEntries {
+			for _, i := range rest {
+				t.appendEntryFrom(b, n, i)
+				boxEnlarge(rb, t.nbox(n, i))
 			}
 			break
 		}
 		// PickNext: entry with maximum preference difference.
 		bestIdx, bestDiff := 0, -1.0
-		for i, e := range rest {
-			d1 := ra.enlargement(e.rect)
-			d2 := rb.enlargement(e.rect)
-			diff := math.Abs(d1 - d2)
+		for ri, i := range rest {
+			eb := t.nbox(n, i)
+			diff := math.Abs(boxEnlargement(ra, eb) - boxEnlargement(rb, eb))
 			if diff > bestDiff {
-				bestIdx, bestDiff = i, diff
+				bestIdx, bestDiff = ri, diff
 			}
 		}
-		e := rest[bestIdx]
+		i := rest[bestIdx]
 		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
-		d1 := ra.enlargement(e.rect)
-		d2 := rb.enlargement(e.rect)
+		eb := t.nbox(n, i)
+		d1 := boxEnlargement(ra, eb)
+		d2 := boxEnlargement(rb, eb)
 		toA := d1 < d2 ||
-			(d1 == d2 && ra.Area() < rb.Area()) ||
-			(d1 == d2 && ra.Area() == rb.Area() && len(a.entries) <= len(b.entries))
+			(d1 == d2 && boxArea(ra) < boxArea(rb)) ||
+			(d1 == d2 && boxArea(ra) == boxArea(rb) && a.count() <= b.count())
 		if toA {
-			a.entries = append(a.entries, e)
-			ra.enlarge(e.rect)
+			t.appendEntryFrom(a, n, i)
+			boxEnlarge(ra, eb)
 		} else {
-			b.entries = append(b.entries, e)
-			rb.enlarge(e.rect)
+			t.appendEntryFrom(b, n, i)
+			boxEnlarge(rb, eb)
 		}
 	}
 	return a, b
@@ -385,24 +584,29 @@ func (t *Tree) splitNode(n *node) (*node, *node) {
 // exactly (use PointRect for point entries). It reports whether an entry
 // was removed.
 func (t *Tree) Delete(id int64, r Rect) bool {
-	leafPath := t.findLeaf(&pathElem{node: t.root}, id, r)
-	if leafPath == nil {
+	if len(r.Min) != t.dim || len(r.Max) != t.dim {
 		return false
 	}
-	n := leafPath.node
-	for i := range n.entries {
-		if n.entries[i].id == id && rectEqual(n.entries[i].rect, r) {
-			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	box := rectBox(r)
+	path := make([]pathStep, 0, 8)
+	path = append(path, pathStep{n: t.root})
+	if !t.findLeaf(t.root, box, id, &path) {
+		return false
+	}
+	leaf := path[len(path)-1].n
+	for i := 0; i < len(leaf.ids); i++ {
+		if leaf.ids[i] == id && boxEqual(t.nbox(leaf, i), box) {
+			t.removeEntry(leaf, i)
 			break
 		}
 	}
 	t.size--
-	t.condense(leafPath)
+	t.condense(path)
 	// Shrink the root when it has a single child.
-	for !t.root.leaf && len(t.root.entries) == 1 {
-		t.root = t.root.entries[0].child
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
 	}
-	if len(t.root.entries) == 0 {
+	if t.root.count() == 0 {
 		t.root = &node{leaf: true}
 	}
 	return true
@@ -413,91 +617,90 @@ func (t *Tree) DeletePoint(id int64, p Point) bool {
 	return t.Delete(id, PointRect(p))
 }
 
-func rectEqual(a, b Rect) bool {
-	for i := range a.Min {
-		if a.Min[i] != b.Min[i] || a.Max[i] != b.Max[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func (t *Tree) findLeaf(p *pathElem, id int64, r Rect) *pathElem {
-	n := p.node
+// findLeaf extends path down to the leaf holding (id, box), reporting
+// whether it was found.
+func (t *Tree) findLeaf(n *node, box []float64, id int64, path *[]pathStep) bool {
 	if n.leaf {
-		for i := range n.entries {
-			if n.entries[i].id == id && rectEqual(n.entries[i].rect, r) {
-				return p
+		for i := range n.ids {
+			if n.ids[i] == id && boxEqual(t.nbox(n, i), box) {
+				return true
 			}
 		}
-		return nil
+		return false
 	}
-	for i := range n.entries {
-		if n.entries[i].rect.Contains(r) {
-			child := &pathElem{node: n.entries[i].child, parent: p, parentIdx: i}
-			if found := t.findLeaf(child, id, r); found != nil {
-				return found
+	for i, c := range n.children {
+		if boxContains(t.nbox(n, i), box) {
+			*path = append(*path, pathStep{n: c, idx: i})
+			if t.findLeaf(c, box, id, path) {
+				return true
 			}
+			*path = (*path)[:len(*path)-1]
 		}
 	}
-	return nil
+	return false
 }
 
 // condense removes underfull nodes along the path and reinserts their
 // orphaned entries (Guttman CT).
-func (t *Tree) condense(p *pathElem) {
-	var orphans []entry
-	for p.parent != nil {
-		n := p.node
-		parent := p.parent.node
-		if len(n.entries) < t.minEntries {
-			// Remove this node from its parent and stash its entries.
-			orphans = append(orphans, collectLeafEntries(n)...)
-			parent.entries = append(parent.entries[:p.parentIdx], parent.entries[p.parentIdx+1:]...)
-			// Parent indices of siblings after parentIdx shifted; the path
-			// above only references p.parent and upward, so this is safe.
-		} else if len(n.entries) > 0 {
-			parent.entries[p.parentIdx].rect = nodeRect(n)
-		}
-		p = p.parent
+func (t *Tree) condense(path []pathStep) {
+	type orphan struct {
+		box []float64
+		id  int64
 	}
-	for _, e := range orphans {
-		leaf := t.chooseLeaf(t.root, e, nil)
-		leaf.node.entries = append(leaf.node.entries, e)
-		t.adjustPath(leaf)
+	var orphans []orphan
+	for pi := len(path) - 1; pi > 0; pi-- {
+		n := path[pi].n
+		parent := path[pi-1].n
+		idx := path[pi].idx
+		if n.count() < t.minEntries {
+			// Remove this node from its parent and stash its entries.
+			t.collectLeafEntries(n, func(box []float64, id int64) {
+				orphans = append(orphans, orphan{box: append([]float64(nil), box...), id: id})
+			})
+			t.removeEntry(parent, idx)
+			// Parent indices of siblings after idx shifted; the path above
+			// only references the parent and upward, so this is safe.
+		} else if n.count() > 0 {
+			t.nodeBoxInto(t.nbox(parent, idx), n)
+		}
+	}
+	for _, o := range orphans {
+		t.insertLeafEntry(o.box, o.id)
 	}
 }
 
-func collectLeafEntries(n *node) []entry {
+// collectLeafEntries calls fn for every leaf entry under n. The box slice
+// aliases node storage; fn must copy if it retains it.
+func (t *Tree) collectLeafEntries(n *node, fn func(box []float64, id int64)) {
 	if n.leaf {
-		out := make([]entry, len(n.entries))
-		copy(out, n.entries)
-		return out
+		for i := range n.ids {
+			fn(t.nbox(n, i), n.ids[i])
+		}
+		return
 	}
-	var out []entry
-	for _, e := range n.entries {
-		out = append(out, collectLeafEntries(e.child)...)
+	for _, c := range n.children {
+		t.collectLeafEntries(c, fn)
 	}
-	return out
 }
 
 // Search calls fn for every entry whose rectangle intersects query. fn
 // returning false stops the search early.
 func (t *Tree) Search(query Rect, fn func(id int64, r Rect) bool) {
-	t.search(t.root, query, fn)
+	t.search(t.root, rectBox(query), fn)
 }
 
-func (t *Tree) search(n *node, query Rect, fn func(id int64, r Rect) bool) bool {
+func (t *Tree) search(n *node, qb []float64, fn func(id int64, r Rect) bool) bool {
 	t.accesses.Add(1)
-	for _, e := range n.entries {
-		if !e.rect.Intersects(query) {
+	cnt := n.count()
+	for i := 0; i < cnt; i++ {
+		if !boxIntersects(t.nbox(n, i), qb) {
 			continue
 		}
 		if n.leaf {
-			if !fn(e.id, e.rect) {
+			if !fn(n.ids[i], boxRect(t.nbox(n, i))) {
 				return false
 			}
-		} else if !t.search(e.child, query, fn) {
+		} else if !t.search(n.children[i], qb, fn) {
 			return false
 		}
 	}
@@ -513,6 +716,22 @@ type Neighbor struct {
 // NearestNeighbors returns the k entries nearest to p in increasing
 // distance order, using best-first traversal with MinDist pruning.
 func (t *Tree) NearestNeighbors(k int, p Point) []Neighbor {
+	return t.knn(k, p, nil)
+}
+
+// NearestNeighborsWeighted is NearestNeighbors under the weighted
+// Euclidean metric of Equation 4.3 (w == nil means uniform weights).
+// Weights must be non-negative and finite with one weight per dimension;
+// invalid weights return nil. The weighted MinDist bound keeps the
+// best-first traversal exact under the weighted metric.
+func (t *Tree) NearestNeighborsWeighted(k int, p Point, w []float64) []Neighbor {
+	if err := t.checkWeights(w); err != nil {
+		return nil
+	}
+	return t.knn(k, p, w)
+}
+
+func (t *Tree) knn(k int, p Point, w []float64) []Neighbor {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
@@ -526,12 +745,14 @@ func (t *Tree) NearestNeighbors(k int, p Point) []Neighbor {
 		it := pq.pop()
 		if it.node != nil {
 			t.accesses.Add(1)
-			for _, e := range it.node.entries {
-				d := e.rect.MinDist(p)
-				if it.node.leaf {
-					pq.push(heapItem{dist: d, id: e.id, isEntry: true})
+			n := it.node
+			cnt := n.count()
+			for i := 0; i < cnt; i++ {
+				d := boxMinDist(t.nbox(n, i), p, w)
+				if n.leaf {
+					pq.push(heapItem{dist: d, id: n.ids[i], isEntry: true})
 				} else {
-					pq.push(heapItem{dist: d, node: e.child})
+					pq.push(heapItem{dist: d, node: n.children[i]})
 				}
 			}
 			continue
@@ -549,6 +770,19 @@ func (t *Tree) NearestNeighbors(k int, p Point) []Neighbor {
 // in increasing distance order. This implements the paper's threshold
 // query: similarity ≥ s corresponds to distance ≤ (1−s)·dmax.
 func (t *Tree) WithinRadius(p Point, radius float64) []Neighbor {
+	return t.ball(p, radius, nil)
+}
+
+// WithinRadiusWeighted is WithinRadius under the weighted Euclidean
+// metric (w == nil means uniform weights; invalid weights return nil).
+func (t *Tree) WithinRadiusWeighted(p Point, radius float64, w []float64) []Neighbor {
+	if err := t.checkWeights(w); err != nil {
+		return nil
+	}
+	return t.ball(p, radius, w)
+}
+
+func (t *Tree) ball(p Point, radius float64, w []float64) []Neighbor {
 	if t.size == 0 || radius < 0 {
 		return nil
 	}
@@ -565,15 +799,17 @@ func (t *Tree) WithinRadius(p Point, radius float64) []Neighbor {
 		}
 		if it.node != nil {
 			t.accesses.Add(1)
-			for _, e := range it.node.entries {
-				d := e.rect.MinDist(p)
+			n := it.node
+			cnt := n.count()
+			for i := 0; i < cnt; i++ {
+				d := boxMinDist(t.nbox(n, i), p, w)
 				if d > radius {
 					continue
 				}
-				if it.node.leaf {
-					pq.push(heapItem{dist: d, id: e.id, isEntry: true})
+				if n.leaf {
+					pq.push(heapItem{dist: d, id: n.ids[i], isEntry: true})
 				} else {
-					pq.push(heapItem{dist: d, node: e.child})
+					pq.push(heapItem{dist: d, node: n.children[i]})
 				}
 			}
 			continue

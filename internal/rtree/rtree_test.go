@@ -109,8 +109,9 @@ func TestRectOps(t *testing.T) {
 	if a.Contains(b) {
 		t.Error("partial overlap reported contained")
 	}
-	u := a.union(b)
-	if u.Min[0] != 0 || u.Max[1] != 3 {
+	ub := rectBox(a)
+	boxEnlarge(ub, rectBox(b))
+	if u := boxRect(ub); u.Min[0] != 0 || u.Max[1] != 3 {
 		t.Errorf("union = %v", u)
 	}
 }

@@ -168,6 +168,11 @@ type SearchRequest struct {
 	Threshold *float64  `json:"threshold,omitempty"` // threshold search when set
 	K         int       `json:"k,omitempty"`         // top-k search otherwise (default 10)
 	Weights   []float64 `json:"weights,omitempty"`
+	// ScanMode picks how a weighted search executes: "auto" (default,
+	// engine decides), "exact" (exhaustive scan — the escape hatch), or
+	// "two-stage" (columnar filter-and-refine). Results are identical in
+	// every mode.
+	ScanMode string `json:"scan_mode,omitempty"`
 }
 
 // SearchResult is one result row.
@@ -517,6 +522,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	mode, err := core.ParseScanMode(req.ScanMode)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	query, err := s.resolveQuery(req.QueryID, req.MeshOFF)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -529,7 +539,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var results []core.Result
 	if req.Threshold != nil {
 		results, err = s.engine.SearchThreshold(r.Context(), query, core.Options{
-			Feature: kind, Threshold: *req.Threshold, Weights: req.Weights,
+			Feature: kind, Threshold: *req.Threshold, Weights: req.Weights, Mode: mode,
 		})
 	} else {
 		fetch := k
@@ -537,7 +547,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			fetch++ // absorb the query shape, which is always retrieved
 		}
 		results, err = s.engine.SearchTopK(r.Context(), query, core.Options{
-			Feature: kind, K: fetch, Weights: req.Weights,
+			Feature: kind, K: fetch, Weights: req.Weights, Mode: mode,
 		})
 	}
 	if err != nil {

@@ -96,6 +96,11 @@ type DB struct {
 	// a retried insert can be answered with the original IDs. Maintained by
 	// applyInsert/applyDelete, so replay and replication rebuild it.
 	idem map[string]map[int]int64
+	// version counts record-set mutations (inserts, deletes, quarantines,
+	// replica resets). Derived read-side structures — the columnar
+	// descriptor store above all — compare it against the version their
+	// snapshot was built from to detect staleness cheaply.
+	version int64
 }
 
 // frameRef locates one record's insert frame in the journal file.
@@ -341,8 +346,8 @@ func (db *DB) InsertWith(name string, group int, mesh *geom.Mesh, set features.S
 	if db.journal != nil {
 		db.entryCount++
 		db.setFrame(rec.ID, ref)
-		db.wakeCommitWaiters()
 	}
+	db.wakeCommitWaiters()
 	return rec.ID, nil
 }
 
@@ -418,6 +423,7 @@ func entryOf(rec *Record) *journalEntry {
 // applyInsert mutates in-memory state; callers hold the write lock (or are
 // single-threaded replay).
 func (db *DB) applyInsert(rec *Record) {
+	db.version++
 	db.records[rec.ID] = rec
 	if rec.ID >= db.nextID {
 		db.nextID = rec.ID + 1
@@ -482,9 +488,9 @@ func (db *DB) Delete(id int64) (bool, error) {
 			return false, err
 		}
 		db.entryCount++
-		db.wakeCommitWaiters()
 	}
 	db.applyDelete(id)
+	db.wakeCommitWaiters()
 	return true, nil
 }
 
@@ -493,6 +499,7 @@ func (db *DB) applyDelete(id int64) {
 	if !ok {
 		return
 	}
+	db.version++
 	for k, v := range rec.Features {
 		if idx, ok := db.indexes[k]; ok {
 			idx.DeletePoint(id, rtree.Point(v))
@@ -561,6 +568,15 @@ func (db *DB) Get(id int64) (*Record, bool) {
 // holds the database lock, so snapshot consumers are free to call back
 // into the DB (and to be scanned in parallel).
 func (db *DB) Snapshot() []*Record {
+	recs, _ := db.SnapshotVersion()
+	return recs
+}
+
+// SnapshotVersion is Snapshot paired with the mutation version the
+// snapshot reflects, read under the same lock so the pair is consistent.
+// A later Version() call returning the same number means the record set
+// has not changed since the snapshot was taken.
+func (db *DB) SnapshotVersion() ([]*Record, int64) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	recs := make([]*Record, 0, len(db.records))
@@ -568,7 +584,18 @@ func (db *DB) Snapshot() []*Record {
 		recs = append(recs, rec)
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
-	return recs
+	return recs, db.version
+}
+
+// Version returns the record-set mutation counter: it increases on every
+// insert, delete, quarantine, and replica reset (local, replayed, or
+// replicated), and is stable while the record set is unchanged. Derived
+// structures snapshot it via SnapshotVersion and compare to detect
+// staleness without diffing records.
+func (db *DB) Version() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
 }
 
 // ForEach calls fn for every record in ascending ID order. fn must not

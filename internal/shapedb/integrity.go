@@ -267,13 +267,13 @@ func (db *DB) Quarantine(id int64, state ScrubState, detail string) bool {
 		if err := db.journal.append(&journalEntry{Op: opDelete, ID: id}); err == nil {
 			if db.journal.sync() == nil {
 				db.entryCount++
-				db.wakeCommitWaiters()
 			}
 		}
 	}
 	db.applyDelete(id)
 	db.quarantined[id] = QuarantineInfo{ID: id, Name: rec.Name, State: state, Detail: detail}
 	db.dirtyQuarantine++
+	db.wakeCommitWaiters()
 	return true
 }
 

@@ -11,6 +11,18 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race -count=1 ./internal/shapedb/... ./internal/core/... ./internal/features/...
+# Two-stage search gate: the exact-vs-two-stage equivalence suite, the
+# coarse-bound safety property, and the columnar-store coherence test
+# (CommitNotify-driven refresh under concurrent mutation), with the race
+# detector, never cached.
+go test -race -count=1 ./internal/colstore/...
+go test -race -count=1 -run 'TwoStage|CoarseBound|ScanWorker' ./internal/core/... ./internal/colstore/...
+# Benchrunner smoke: the perf figure at toy sizes must produce a
+# BENCH_perf.json that parses with every expected series.
+BENCH_SMOKE="$(mktemp -d)"
+go run ./cmd/benchrunner -fig perf -perf-sizes 500,2000 -perf-out "$BENCH_SMOKE/BENCH_perf.json" > /dev/null
+go run ./cmd/benchrunner -check-perf "$BENCH_SMOKE/BENCH_perf.json"
+rm -rf "$BENCH_SMOKE"
 # Durability gate: the fault-injection crash matrix and faultfs harness
 # under the race detector, never cached.
 go test -race -count=1 -run 'Crash|Fault|Torn|Recovery' ./internal/shapedb/... ./internal/faultfs/...
