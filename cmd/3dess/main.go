@@ -40,6 +40,20 @@
 // nodes so arbitrary API clients can neither read the journal nor demote
 // the primary.
 //
+// Clustering: a scatter-gather cluster is N shard processes plus one
+// coordinator. Each shard runs with -shard-of I -shards N and owns the
+// slice of shape ids the cluster's hash ring assigns it (with
+// -load-corpus a shard ingests only its slice, under globally consistent
+// ids). The coordinator runs with -coordinator listing the shard
+// endpoints (comma-separated shards; '|'-separated replica URLs within a
+// shard) and routes every corpus and search endpoint over the fleet:
+// searches fan out under per-shard deadlines (-shard-timeout) with
+// bounded retries (-shard-retries) and straggler hedging (-hedge-after),
+// and a shard that stays down past its retry budget degrades the answer
+// — merged results from the survivors plus an X-Partial-Results header —
+// instead of failing it. See DESIGN.md §12 for the merge-equivalence
+// guarantee and the degradation policy.
+//
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain-timeout; requests still running
 // after that are force-closed, which cancels their contexts and aborts
@@ -53,9 +67,11 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -64,6 +80,7 @@ import (
 	"threedess/internal/features"
 	"threedess/internal/geom"
 	"threedess/internal/replica"
+	"threedess/internal/scatter"
 	"threedess/internal/scrub"
 	"threedess/internal/server"
 	"threedess/internal/shapedb"
@@ -93,6 +110,12 @@ func main() {
 	ackTimeout := flag.Duration("repl-ack-timeout", server.DefaultAckTimeout, "how long a synchronous write waits for the standby before failing with 503")
 	replSecret := flag.String("repl-secret", "", "shared secret gating the replication endpoints; both nodes must set the same value (empty = open trusted-network mode)")
 	searchMode := flag.String("search-mode", "auto", "default execution mode for weighted searches: auto, exact (exhaustive scan escape hatch), or two-stage (columnar filter-and-refine); results are identical in every mode")
+	shardIndex := flag.Int("shard-of", -1, "run as this shard index (0-based) of a -shards cluster")
+	numShards := flag.Int("shards", 0, "total shard count when running with -shard-of")
+	coordinator := flag.String("coordinator", "", "run as the cluster coordinator over these shards: comma-separated shard endpoints, '|'-separated replica URLs within a shard (e.g. http://s0:8080,http://s1:8080|http://s1b:8080)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "coordinator: per-attempt deadline for one shard request (0 = default)")
+	shardRetries := flag.Int("shard-retries", 0, "coordinator: retries per shard after the first attempt (0 = default, negative = disabled)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: straggler budget before a duplicate request is hedged to another replica (0 = default, negative = disabled)")
 	flag.Parse()
 
 	replicated := *replicateFrom != "" || *advertise != ""
@@ -101,6 +124,17 @@ func main() {
 	}
 	if replicated && *dataDir == "" {
 		log.Fatalf("replication requires -data: only a durable journal can be streamed")
+	}
+	isShard := *shardIndex >= 0 || *numShards != 0
+	isCoord := *coordinator != ""
+	if isShard && isCoord {
+		log.Fatalf("-shard-of and -coordinator are mutually exclusive: a node is a shard or the coordinator, not both")
+	}
+	if isShard && (*shardIndex < 0 || *numShards <= 0 || *shardIndex >= *numShards) {
+		log.Fatalf("-shard-of needs 0 <= index < -shards (got index %d of %d shards)", *shardIndex, *numShards)
+	}
+	if isCoord && (replicated || *loadCorpus || *dataDir != "") {
+		log.Fatalf("a coordinator is stateless: drop -data/-load-corpus/-replicate-from/-advertise (the shards hold the corpus)")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -128,10 +162,11 @@ func main() {
 		log.Fatalf("-search-mode: %v", err)
 	}
 	engine.SetSearchMode(mode)
-	if mode != core.ScanExact {
+	if mode != core.ScanExact && !isCoord {
 		// Keep the columnar descriptor store fresh in the background so
 		// two-stage queries never pay the rebuild on the request path.
 		// Query-time staleness checks remain the correctness guarantee.
+		// (A coordinator's own engine holds no corpus — nothing to watch.)
 		go engine.ColStore().Watch(ctx)
 	}
 	api := server.NewWithConfig(engine, server.Config{
@@ -144,28 +179,61 @@ func main() {
 		},
 	})
 
+	// Cluster roles: a shard validates explicit-id ownership against the
+	// ring and serves the bounds endpoint; a coordinator scatter-gathers
+	// every corpus and search endpoint over the shard fleet.
+	var shardRing *scatter.Ring
+	if isShard {
+		if _, err := api.SetShard(*shardIndex, *numShards); err != nil {
+			log.Fatalf("-shard-of: %v", err)
+		}
+		if shardRing, err = scatter.NewRing(*numShards); err != nil {
+			log.Fatalf("-shards: %v", err)
+		}
+		log.Printf("3dess: %s of a %d-shard cluster", scatter.ShardName(*shardIndex), *numShards)
+	}
+	if isCoord {
+		specs, err := parseShardSpecs(*coordinator)
+		if err != nil {
+			log.Fatalf("-coordinator: %v", err)
+		}
+		coord, err := scatter.New(specs, scatter.Policy{
+			Timeout:    *shardTimeout,
+			Retries:    *shardRetries,
+			HedgeAfter: *hedgeAfter,
+		})
+		if err != nil {
+			log.Fatalf("-coordinator: %v", err)
+		}
+		api.SetCoordinator(coord)
+		log.Printf("3dess: coordinator over %d shards", len(specs))
+	}
+
 	// Self-healing maintenance: background integrity scrubbing,
 	// index<->store reconciliation, and automatic compaction, surfaced at
 	// /api/admin/maintenance. Stop() runs before db.Close (LIFO defers)
-	// so no pass is mid-flight when the journal handle goes away.
-	maintCfg := scrub.DefaultConfig()
-	maintCfg.ScrubInterval = *scrubInterval
-	maintCfg.ScrubRate = *scrubRate
-	maintCfg.ReconcileInterval = *reconcileInterval
-	maintCfg.CompactRatio = *compactRatio
-	if *replicateFrom != "" && maintCfg.CompactRatio > 0 {
-		// A standby's journal must stay a byte-for-byte prefix of the
-		// primary's; local compaction would diverge it and force a full
-		// re-bootstrap. (The primary compacts normally — its epoch change
-		// makes the standby re-sync.)
-		log.Printf("3dess: standby mode: automatic compaction disabled")
-		maintCfg.CompactRatio = 0
+	// so no pass is mid-flight when the journal handle goes away. A
+	// coordinator holds no corpus, so it runs no maintenance.
+	if !isCoord {
+		maintCfg := scrub.DefaultConfig()
+		maintCfg.ScrubInterval = *scrubInterval
+		maintCfg.ScrubRate = *scrubRate
+		maintCfg.ReconcileInterval = *reconcileInterval
+		maintCfg.CompactRatio = *compactRatio
+		if *replicateFrom != "" && maintCfg.CompactRatio > 0 {
+			// A standby's journal must stay a byte-for-byte prefix of the
+			// primary's; local compaction would diverge it and force a full
+			// re-bootstrap. (The primary compacts normally — its epoch change
+			// makes the standby re-sync.)
+			log.Printf("3dess: standby mode: automatic compaction disabled")
+			maintCfg.CompactRatio = 0
+		}
+		maintCfg.Logf = log.Printf
+		maint := scrub.New(db, maintCfg)
+		maint.Start(ctx)
+		defer maint.Stop()
+		api.SetMaintenance(maint)
 	}
-	maintCfg.Logf = log.Printf
-	maint := scrub.New(db, maintCfg)
-	maint.Start(ctx)
-	defer maint.Stop()
-	api.SetMaintenance(maint)
 
 	// Replication wiring: the node's role state activates the server's
 	// role gate, protocol endpoints, and sync-ack write path; a standby
@@ -219,7 +287,7 @@ func main() {
 	log.Printf("3dess: serving %d shapes on %s", db.Len(), *addr)
 	if needCorpus {
 		go func() {
-			if err := ingestCorpus(ctx, engine, *seed); err != nil {
+			if err := ingestCorpus(ctx, engine, *seed, shardRing, *shardIndex); err != nil {
 				log.Fatalf("loading corpus: %v", err)
 			}
 			api.SetReady(true)
@@ -259,19 +327,54 @@ func main() {
 
 // ingestCorpus loads the generated corpus through the engine's batch
 // ingest path, so startup loading shares the worker pool, ordering, and
-// cancellation behavior of the HTTP batch endpoint.
-func ingestCorpus(ctx context.Context, engine *core.Engine, seed int64) error {
+// cancellation behavior of the HTTP batch endpoint. A shard (ring != nil)
+// ingests only the slice the ring assigns it, under explicit ids that are
+// globally consistent across the fleet — every shard derives the same
+// id for corpus shape i, so the union over shards is exactly the
+// single-node corpus.
+func ingestCorpus(ctx context.Context, engine *core.Engine, seed int64, ring *scatter.Ring, shard int) error {
 	shapes, err := dataset.Generate(seed)
 	if err != nil {
 		return err
 	}
-	items := make([]core.IngestShape, len(shapes))
+	var items []core.IngestShape
 	for i, s := range shapes {
-		items[i] = core.IngestShape{Name: s.Name, Group: s.Group, Mesh: s.Mesh}
+		it := core.IngestShape{Name: s.Name, Group: s.Group, Mesh: s.Mesh}
+		if ring != nil {
+			id := int64(i + 1)
+			if ring.Owner(id) != shard {
+				continue
+			}
+			it.ID = id
+		}
+		items = append(items, it)
+	}
+	if len(items) == 0 {
+		log.Printf("3dess: corpus slice for this shard is empty")
+		return nil
 	}
 	if _, err := engine.InsertBatch(ctx, items, nil); err != nil {
 		return err
 	}
-	log.Printf("3dess: ingested %d corpus shapes", len(shapes))
+	log.Printf("3dess: ingested %d of %d corpus shapes", len(items), len(shapes))
 	return nil
+}
+
+// parseShardSpecs parses the -coordinator topology string: shards are
+// comma-separated; replica URLs within one shard are '|'-separated.
+func parseShardSpecs(s string) ([]scatter.ShardSpec, error) {
+	var specs []scatter.ShardSpec
+	for _, entry := range strings.Split(s, ",") {
+		var eps []string
+		for _, ep := range strings.Split(entry, "|") {
+			if ep = strings.TrimSpace(ep); ep != "" {
+				eps = append(eps, ep)
+			}
+		}
+		if len(eps) == 0 {
+			return nil, fmt.Errorf("empty shard entry in %q", s)
+		}
+		specs = append(specs, scatter.ShardSpec{Endpoints: eps})
+	}
+	return specs, nil
 }

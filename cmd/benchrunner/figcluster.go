@@ -1,0 +1,331 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"threedess/internal/core"
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/replica"
+	"threedess/internal/scatter"
+	"threedess/internal/server"
+	"threedess/internal/shapedb"
+)
+
+// ClusterSeries is one measured topology: merged top-10 query throughput
+// through the full HTTP coordinator path at a given shard count.
+type ClusterSeries struct {
+	Shards        int     `json:"shards"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+// ClusterDegraded measures the robustness path: query latency against a
+// fleet with one shard partitioned away, where every answer must arrive
+// degraded (200 + X-Partial-Results), never failed.
+type ClusterDegraded struct {
+	Shards          int     `json:"shards"`
+	DeadShards      int     `json:"dead_shards"`
+	Queries         int     `json:"queries"`
+	PartialFraction float64 `json:"partial_fraction"` // answers carrying the header (must be 1.0)
+	ErrorFraction   float64 `json:"error_fraction"`   // 5xx answers (must be 0.0)
+	P50MS           float64 `json:"p50_ms"`
+	P95MS           float64 `json:"p95_ms"`
+}
+
+// ClusterReport is the machine-readable result of `benchrunner -fig
+// cluster`, written as BENCH_cluster.json.
+type ClusterReport struct {
+	GeneratedUnix int64           `json:"generated_unix"`
+	Seed          int64           `json:"seed"`
+	Host          PerfHost        `json:"host"`
+	CorpusSize    int             `json:"corpus_size"`
+	Series        []ClusterSeries `json:"series"`
+	Degraded      ClusterDegraded `json:"degraded"`
+}
+
+// clusterShardCounts are the topologies figScatter measures.
+var clusterShardCounts = []int{1, 2, 4, 8}
+
+// benchCluster is an in-process scatter-gather deployment: N shard
+// servers behind real HTTP listeners, a coordinator routing over them,
+// and a fault injector per shard.
+type benchCluster struct {
+	coordURL string
+	faults   []*replica.FaultRT
+	close    []func()
+}
+
+func (bc *benchCluster) Close() {
+	for i := len(bc.close) - 1; i >= 0; i-- {
+		bc.close[i]()
+	}
+}
+
+// bootCluster builds a cluster of `shards` nodes seeded with n synthetic
+// records (explicit ids 1..n, each stored on its ring owner).
+func bootCluster(shards, n int, seed int64) (*benchCluster, error) {
+	bc := &benchCluster{}
+	ring, err := scatter.NewRing(shards)
+	if err != nil {
+		return nil, err
+	}
+	kind := features.PrincipalMoments
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	var specs []scatter.ShardSpec
+	for i := 0; i < shards; i++ {
+		db, err := shapedb.Open("", features.Options{})
+		if err != nil {
+			bc.Close()
+			return nil, err
+		}
+		bc.close = append(bc.close, func() { db.Close() })
+		dim := db.Options().Dim(kind)
+		for id := 1; id <= n; id++ {
+			if ring.Owner(int64(id)) != i {
+				continue
+			}
+			v := make(features.Vector, dim)
+			for d := range v {
+				v[d] = float64((id*31+d*7+int(seed)*13)%997) / 50
+			}
+			set := features.Set{kind: v}
+			if _, err := db.InsertWith("synth", id%26, mesh, set, shapedb.InsertOpts{ID: int64(id)}); err != nil {
+				bc.Close()
+				return nil, err
+			}
+		}
+		srv := server.New(core.NewEngine(db))
+		if _, err := srv.SetShard(i, shards); err != nil {
+			bc.Close()
+			return nil, err
+		}
+		ts := httptest.NewServer(srv)
+		bc.close = append(bc.close, ts.Close)
+		f := replica.NewFaultRT(nil)
+		bc.faults = append(bc.faults, f)
+		specs = append(specs, scatter.ShardSpec{Endpoints: []string{ts.URL}, Transport: f})
+	}
+	coord, err := scatter.New(specs, scatter.Policy{
+		Timeout:     2 * time.Second,
+		Retries:     1,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		HedgeAfter:  -1,
+		MergeMargin: 5 * time.Millisecond,
+	})
+	if err != nil {
+		bc.Close()
+		return nil, err
+	}
+	cdb, err := shapedb.Open("", features.Options{})
+	if err != nil {
+		bc.Close()
+		return nil, err
+	}
+	bc.close = append(bc.close, func() { cdb.Close() })
+	coordSrv := server.New(core.NewEngine(cdb)).SetCoordinator(coord)
+	cts := httptest.NewServer(coordSrv)
+	bc.close = append(bc.close, cts.Close)
+	bc.coordURL = cts.URL
+	return bc, nil
+}
+
+// clusterQuery posts one top-10 query and returns (latency, degraded,
+// 5xx).
+func clusterQuery(httpc *http.Client, url string, body []byte) (time.Duration, bool, bool, error) {
+	start := time.Now()
+	resp, err := httpc.Post(url+"/api/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	elapsed := time.Since(start)
+	return elapsed, resp.Header.Get("X-Partial-Results") != "", resp.StatusCode >= 500, nil
+}
+
+// figScatter measures the scatter-gather cluster: merged query throughput
+// through the HTTP coordinator at shard counts 1/2/4/8, then degraded
+// query latency with one of four shards partitioned mid-fleet.
+func figScatter(seed int64, corpusSize int, outPath string) error {
+	header(fmt.Sprintf("cluster: scatter-gather throughput & degraded latency (%d records)", corpusSize))
+	report := &ClusterReport{
+		GeneratedUnix: time.Now().Unix(),
+		Seed:          seed,
+		CorpusSize:    corpusSize,
+		Host: PerfHost{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+	queryBody, err := json.Marshal(map[string]any{
+		"query_vector": []float64{5, 9, 13},
+		"feature":      features.PrincipalMoments.String(),
+		"k":            10,
+		"weights":      []float64{1, 2, 3},
+	})
+	if err != nil {
+		return err
+	}
+	httpc := &http.Client{}
+
+	const workers = 8
+	const queriesPerTopo = 400
+	for _, shards := range clusterShardCounts {
+		bc, err := bootCluster(shards, corpusSize, seed)
+		if err != nil {
+			return err
+		}
+		// Warm-up: connections, snapshots, id caches.
+		if _, _, _, err := clusterQuery(httpc, bc.coordURL, queryBody); err != nil {
+			bc.Close()
+			return err
+		}
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		errs := make([]error, workers)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for next.Add(1) <= queriesPerTopo {
+					if _, _, _, err := clusterQuery(httpc, bc.coordURL, queryBody); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		qps := float64(queriesPerTopo) / time.Since(start).Seconds()
+		bc.Close()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		report.Series = append(report.Series, ClusterSeries{Shards: shards, QueriesPerSec: qps})
+		fmt.Printf("%d shards: %.0f merged top-10 queries/sec (%d workers)\n", shards, qps, workers)
+		fmt.Printf("csv,cluster,qps,%d,%.2f\n", shards, qps)
+	}
+
+	// Degradation: 4 shards, one partitioned. Every answer must be a 200
+	// carrying X-Partial-Results; the latencies bound what a dead shard
+	// costs the serving path.
+	const degradedShards = 4
+	bc, err := bootCluster(degradedShards, corpusSize, seed)
+	if err != nil {
+		return err
+	}
+	defer bc.Close()
+	bc.faults[1].SetPartition(true)
+	const degradedQueries = 100
+	latencies := make([]time.Duration, 0, degradedQueries)
+	partial, fiveXX := 0, 0
+	for i := 0; i < degradedQueries; i++ {
+		lat, degraded, bad, err := clusterQuery(httpc, bc.coordURL, queryBody)
+		if err != nil {
+			return err
+		}
+		latencies = append(latencies, lat)
+		if degraded {
+			partial++
+		}
+		if bad {
+			fiveXX++
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50 := latencies[len(latencies)/2]
+	p95 := latencies[len(latencies)*95/100]
+	report.Degraded = ClusterDegraded{
+		Shards:          degradedShards,
+		DeadShards:      1,
+		Queries:         degradedQueries,
+		PartialFraction: float64(partial) / degradedQueries,
+		ErrorFraction:   float64(fiveXX) / degradedQueries,
+		P50MS:           float64(p50) / float64(time.Millisecond),
+		P95MS:           float64(p95) / float64(time.Millisecond),
+	}
+	fmt.Printf("degraded (1 of %d shards dead): p50 %.1fms p95 %.1fms, %.0f%% partial answers, %.0f%% errors\n",
+		degradedShards, report.Degraded.P50MS, report.Degraded.P95MS,
+		100*report.Degraded.PartialFraction, 100*report.Degraded.ErrorFraction)
+	fmt.Printf("csv,cluster,degraded,%d,%.2f,%.2f,%.3f,%.3f\n", degradedShards,
+		report.Degraded.P50MS, report.Degraded.P95MS,
+		report.Degraded.PartialFraction, report.Degraded.ErrorFraction)
+
+	if outPath != "" {
+		if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// checkClusterReport validates a BENCH_cluster.json: it must parse, carry
+// a throughput series for every standard shard count with positive finite
+// rates, and show the degradation contract held — every degraded answer
+// partial, none an error. Used by verify.sh as the cluster smoke gate.
+func checkClusterReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r ClusterReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	have := map[int]float64{}
+	for _, s := range r.Series {
+		have[s.Shards] = s.QueriesPerSec
+	}
+	for _, shards := range clusterShardCounts {
+		qps, ok := have[shards]
+		if !ok {
+			return fmt.Errorf("%s: missing series for %d shards", path, shards)
+		}
+		if !(qps > 0) || math.IsInf(qps, 0) {
+			return fmt.Errorf("%s: %d shards: bad rate %v", path, shards, qps)
+		}
+	}
+	d := r.Degraded
+	if d.Queries <= 0 {
+		return fmt.Errorf("%s: no degraded-path measurements", path)
+	}
+	if d.PartialFraction != 1 {
+		return fmt.Errorf("%s: only %.0f%% of degraded answers carried X-Partial-Results", path, 100*d.PartialFraction)
+	}
+	if d.ErrorFraction != 0 {
+		return fmt.Errorf("%s: %.0f%% of degraded answers were 5xx", path, 100*d.ErrorFraction)
+	}
+	if !(d.P50MS > 0 && d.P95MS >= d.P50MS) {
+		return fmt.Errorf("%s: implausible degraded latencies p50=%v p95=%v", path, d.P50MS, d.P95MS)
+	}
+	fmt.Printf("check-cluster: %s ok (%d shard counts, degraded p95 %.1fms)\n", path, len(r.Series), d.P95MS)
+	return nil
+}

@@ -9,7 +9,8 @@
 //	-fig 15     average recall of 26 queries per strategy (both policies)
 //	-fig 16     average precision and recall at |R|=10
 //	-fig rtree  R-tree efficiency, real + synthetic databases (§2.3)
-//	-fig cluster  clustering algorithm comparison (§2.2 extension)
+//	-fig clustering  clustering algorithm comparison (§2.2 extension)
+//	-fig cluster  scatter-gather cluster throughput & degraded-query latency
 //	-fig ext    extension-descriptor effectiveness (higher-order, D2)
 //	-fig ablation multi-step Keep-parameter sweep
 //	-fig map    mean average precision per strategy (rank-quality summary)
@@ -36,11 +37,14 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	fig := flag.String("fig", "all", "figure to regenerate (4, 7, 8..12, 13, 15, 16, rtree, cluster, ext, ablation, perf, scrub, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (4, 7, 8..12, 13, 15, 16, rtree, clustering, cluster, ext, ablation, perf, scrub, all)")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	perfSizes := flag.String("perf-sizes", "5000,100000,1000000", "comma-separated corpus sizes for -fig perf scan benchmarks")
 	perfOut := flag.String("perf-out", "results/BENCH_perf.json", "machine-readable output path for -fig perf (empty = stdout csv only)")
 	checkPerf := flag.String("check-perf", "", "validate an existing BENCH_perf.json and exit (smoke gate for verify.sh)")
+	clusterSize := flag.Int("cluster-size", 5000, "corpus size for -fig cluster scatter benchmarks")
+	clusterOut := flag.String("cluster-out", "results/BENCH_cluster.json", "machine-readable output path for -fig cluster (empty = stdout csv only)")
+	checkCluster := flag.String("check-cluster", "", "validate an existing BENCH_cluster.json and exit (smoke gate for verify.sh)")
 	flag.Parse()
 
 	if *checkPerf != "" {
@@ -49,12 +53,18 @@ func main() {
 		}
 		return
 	}
+	if *checkCluster != "" {
+		if err := checkClusterReport(*checkCluster); err != nil {
+			log.Fatalf("check-cluster: %v", err)
+		}
+		return
+	}
 	sizes, err := parsePerfSizes(*perfSizes)
 	if err != nil {
 		log.Fatalf("-perf-sizes: %v", err)
 	}
 
-	needCorpus := *fig != "4" && *fig != "rtree-synthetic" && *fig != "perf" && *fig != "scrub"
+	needCorpus := *fig != "4" && *fig != "rtree-synthetic" && *fig != "perf" && *fig != "scrub" && *fig != "cluster"
 	var c *eval.Corpus
 	if needCorpus {
 		fmt.Fprintln(os.Stderr, "building corpus (feature extraction over 113 shapes)...")
@@ -84,7 +94,8 @@ func main() {
 	run("15", func() error { return fig15and16(c, false) })
 	run("16", func() error { return fig15and16(c, true) })
 	run("rtree", func() error { return figRTree(c) })
-	run("cluster", func() error { return figCluster(c) })
+	run("clustering", func() error { return figClustering(c) })
+	run("cluster", func() error { return figScatter(*seed, *clusterSize, *clusterOut) })
 	run("ext", func() error { return figExtensions(*seed) })
 	run("ablation", func() error { return figAblation(c) })
 	run("map", func() error { return figMAP(c) })
@@ -332,7 +343,7 @@ func mathAbs(x float64) float64 {
 	return x
 }
 
-func figCluster(c *eval.Corpus) error {
+func figClustering(c *eval.Corpus) error {
 	header("extension: clustering algorithm comparison (§2.2), k = 26 on principal moments")
 	rows, err := c.CompareClusterings(features.PrincipalMoments, dataset.NumGroups, 1)
 	if err != nil {
@@ -341,7 +352,7 @@ func figCluster(c *eval.Corpus) error {
 	fmt.Printf("%-10s %-6s %-10s %-12s %s\n", "algorithm", "K", "purity", "silhouette", "SSE")
 	for _, r := range rows {
 		fmt.Printf("%-10s %-6d %-10.3f %-12.3f %.4f\n", r.Algorithm, r.K, r.Purity, r.Silhouette, r.SSE)
-		fmt.Printf("csv,cluster,%s,%d,%.4f,%.4f,%.4f\n", r.Algorithm, r.K, r.Purity, r.Silhouette, r.SSE)
+		fmt.Printf("csv,clustering,%s,%d,%.4f,%.4f,%.4f\n", r.Algorithm, r.K, r.Purity, r.Silhouette, r.SSE)
 	}
 	return nil
 }

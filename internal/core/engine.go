@@ -92,6 +92,12 @@ type Options struct {
 	// exhaustive scan, ScanTwoStage forces the columnar filter-and-refine
 	// path. Every mode returns identical results.
 	Mode ScanMode
+	// DMax overrides the Equation-4.4 normalizer (0 = derive it from this
+	// database's feature-space bounding box, the default). A scatter-gather
+	// coordinator passes the cluster-global diagonal here so every shard's
+	// similarity values — and threshold cutoffs — agree with a single node
+	// holding the whole corpus.
+	DMax float64
 }
 
 // WeightedDistance evaluates Equation 4.3.
@@ -148,7 +154,20 @@ func (e *Engine) checkOptions(opt *Options, query features.Set) (features.Vector
 			}
 		}
 	}
+	if opt.DMax < 0 || math.IsNaN(opt.DMax) || math.IsInf(opt.DMax, 0) {
+		return nil, fmt.Errorf("core: invalid dmax override %g", opt.DMax)
+	}
 	return qv, nil
+}
+
+// dmax resolves the Equation-4.4 normalizer for a search: the explicit
+// override when one was supplied, the database's own bounding-box diagonal
+// otherwise.
+func (e *Engine) dmax(opt Options) float64 {
+	if opt.DMax > 0 {
+		return opt.DMax
+	}
+	return e.db.DMax(opt.Feature)
 }
 
 // ExtractQuery runs feature extraction on a query mesh for the given
@@ -185,7 +204,7 @@ func (e *Engine) SearchThreshold(ctx context.Context, query features.Set, opt Op
 	if opt.Threshold < 0 || opt.Threshold > 1 {
 		return nil, fmt.Errorf("core: threshold %g outside [0, 1]", opt.Threshold)
 	}
-	dmax := e.db.DMax(opt.Feature)
+	dmax := e.dmax(opt)
 	if opt.Weights == nil {
 		// Equation 4.4: similarity ≥ t ⇔ distance ≤ (1−t)·dmax. Serve
 		// through the index.
@@ -221,7 +240,7 @@ func (e *Engine) SearchTopK(ctx context.Context, query features.Set, opt Options
 	if opt.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive, got %d", opt.K)
 	}
-	dmax := e.db.DMax(opt.Feature)
+	dmax := e.dmax(opt)
 	if opt.Weights == nil {
 		nn, err := e.db.KNN(opt.Feature, qv, opt.K)
 		if err != nil {

@@ -11,11 +11,14 @@ import (
 )
 
 // IngestShape is one item of a bulk insert: the same (name, group, mesh)
-// triple Insert takes, carried in a slice so extraction can fan out.
+// triple Insert takes, carried in a slice so extraction can fan out. ID
+// requests an explicit record id (0 = sequential); sharded corpus loads
+// use it so every node agrees on the global id space.
 type IngestShape struct {
 	Name  string
 	Group int
 	Mesh  *geom.Mesh
+	ID    int64
 }
 
 // InsertBatch runs the quarantine pipeline (sanitize, extract with
@@ -79,6 +82,7 @@ func (e *Engine) IngestBatchKeyed(ctx context.Context, shapes []IngestShape, kin
 		}
 		id, err := e.db.InsertWith(sh.Name, sh.Group, meshes[i], sets[i], shapedb.InsertOpts{
 			Degraded: degs[i].Names(), IdemKey: key, IdemIndex: i, IdemCount: len(shapes),
+			ID: sh.ID,
 		})
 		if err != nil {
 			return out[:i], fmt.Errorf("core: inserting %q after %d of %d shapes: %w", sh.Name, i, len(shapes), err)

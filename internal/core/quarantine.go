@@ -129,12 +129,27 @@ func (e *Engine) IngestMesh(name string, group int, mesh *geom.Mesh, kinds []fea
 // with the original ID via shapedb.IdempotentIDs instead of storing a
 // duplicate.
 func (e *Engine) IngestMeshKeyed(name string, group int, mesh *geom.Mesh, kinds []features.Kind, key string) (IngestResult, error) {
+	return e.IngestMeshWith(name, group, mesh, kinds, IngestOpts{Key: key})
+}
+
+// IngestOpts carries the optional fields of IngestMeshWith: the client
+// idempotency key ("" = none) and an explicit record id (0 = sequential;
+// see shapedb.InsertOpts.ID).
+type IngestOpts struct {
+	Key string
+	ID  int64
+}
+
+// IngestMeshWith is the full single-shape ingest entry point: the
+// quarantine pipeline plus idempotency attribution and cluster-routed
+// explicit ids.
+func (e *Engine) IngestMeshWith(name string, group int, mesh *geom.Mesh, kinds []features.Kind, o IngestOpts) (IngestResult, error) {
 	set, deg, m, err := e.ExtractUntrusted(mesh, kinds)
 	if err != nil {
 		return IngestResult{}, err
 	}
 	id, err := e.db.InsertWith(name, group, m, set, shapedb.InsertOpts{
-		Degraded: deg.Names(), IdemKey: key, IdemIndex: 0, IdemCount: 1,
+		Degraded: deg.Names(), IdemKey: o.Key, IdemIndex: 0, IdemCount: 1, ID: o.ID,
 	})
 	if err != nil {
 		return IngestResult{}, err

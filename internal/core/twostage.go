@@ -66,6 +66,10 @@ func (e *Engine) SetSearchMode(m ScanMode) *Engine {
 	return e
 }
 
+// SearchMode returns the engine-wide default scan mode, for operator
+// surfaces (/api/stats) that report which execution path serves queries.
+func (e *Engine) SearchMode() ScanMode { return e.mode }
+
 // ColStore exposes the engine's columnar store manager so servers can run
 // its Watch loop and tests can inspect staleness behavior.
 func (e *Engine) ColStore() *colstore.Manager { return e.cstore }

@@ -1,0 +1,431 @@
+package scatter
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	mathrand "math/rand/v2"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy tunes how the coordinator talks to one shard. The zero value
+// takes every default below, so `scatter.Policy{}` is a production-ready
+// configuration.
+type Policy struct {
+	// Timeout caps one attempt against one replica. The effective
+	// per-attempt deadline is the smaller of Timeout and what remains of
+	// the request context minus MergeMargin, so a shard can never consume
+	// the whole request budget and starve the merge.
+	Timeout time.Duration
+	// Retries is how many additional attempts follow a failed first one
+	// (connection error, timeout, 429, or 5xx). Attempts rotate across the
+	// shard's replica endpoints. Negative disables retries.
+	Retries int
+	// BackoffBase/BackoffCap shape the exponential backoff between
+	// attempts; up to 50% jitter is added so a burst of queries against a
+	// recovering shard doesn't retry in lockstep.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// HedgeAfter is the straggler budget: when an attempt has neither
+	// succeeded nor failed after this long, a duplicate request is sent to
+	// the shard's next replica and the first response wins. Hedging only
+	// fires for slow requests — a fast failure goes through the ordinary
+	// retry path instead. Negative disables hedging; zero takes the
+	// default.
+	HedgeAfter time.Duration
+	// MergeMargin is reserved from the request deadline for the
+	// coordinator's own merge work; per-shard deadlines never extend into
+	// it.
+	MergeMargin time.Duration
+}
+
+// Defaults for Policy fields left zero.
+const (
+	DefaultTimeout     = 2 * time.Second
+	DefaultRetries     = 2
+	DefaultBackoffBase = 25 * time.Millisecond
+	DefaultBackoffCap  = 500 * time.Millisecond
+	DefaultHedgeAfter  = 250 * time.Millisecond
+	DefaultMergeMargin = 50 * time.Millisecond
+)
+
+func (p Policy) withDefaults() Policy {
+	if p.Timeout == 0 {
+		p.Timeout = DefaultTimeout
+	}
+	if p.Retries == 0 {
+		p.Retries = DefaultRetries
+	} else if p.Retries < 0 {
+		p.Retries = 0
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = DefaultBackoffBase
+	}
+	if p.BackoffCap <= 0 {
+		p.BackoffCap = DefaultBackoffCap
+	}
+	if p.HedgeAfter == 0 {
+		p.HedgeAfter = DefaultHedgeAfter
+	}
+	if p.MergeMargin <= 0 {
+		p.MergeMargin = DefaultMergeMargin
+	}
+	return p
+}
+
+// ShardError is a non-2xx HTTP answer from a shard, preserved with its
+// status so the coordinator can distinguish a query problem (4xx: every
+// shard would refuse it the same way — propagate) from a shard problem
+// (5xx: retry, then degrade).
+type ShardError struct {
+	Shard  string
+	Status int
+	Msg    string
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("scatter: %s answered HTTP %d: %s", e.Shard, e.Status, e.Msg)
+}
+
+// HTTPStatus extracts the shard-reported status from an error chain (0
+// when the error is not a ShardError — a transport failure or timeout).
+func HTTPStatus(err error) int {
+	var se *ShardError
+	if errors.As(err, &se) {
+		return se.Status
+	}
+	return 0
+}
+
+// ShardHealth is one shard's liveness view, as tracked by its client.
+type ShardHealth struct {
+	Name      string   `json:"name"`
+	Endpoints []string `json:"endpoints"`
+	// Healthy means the last contact succeeded (no consecutive failures
+	// since).
+	Healthy bool `json:"healthy"`
+	// LastSeen is the wall-clock time of the last successful response
+	// (RFC3339, empty when the shard has never answered).
+	LastSeen string `json:"last_seen,omitempty"`
+	// SinceSeenMS is how long ago that was, in milliseconds (-1 when
+	// never).
+	SinceSeenMS int64 `json:"since_seen_ms"`
+	// ConsecutiveFails counts attempts failed since the last success.
+	ConsecutiveFails int64 `json:"consecutive_fails"`
+	// Requests and Hedges count attempts sent (hedges included) and
+	// hedged duplicates specifically.
+	Requests int64 `json:"requests"`
+	Hedges   int64 `json:"hedges"`
+}
+
+// ShardClient talks to one shard (and its replicas) under the policy's
+// robustness machinery. It is safe for concurrent use.
+type ShardClient struct {
+	name      string
+	endpoints []string
+	policy    Policy
+	httpc     *http.Client
+
+	mu     sync.Mutex
+	cursor int // replica rotation
+
+	lastSeenNano atomic.Int64
+	fails        atomic.Int64
+	requests     atomic.Int64
+	hedges       atomic.Int64
+}
+
+// newShardClient builds the client for shard i. transport may be nil
+// (http.DefaultTransport-ish pooling) and exists so chaos tests can inject
+// a replica.FaultRT between coordinator and shard.
+func newShardClient(i int, endpoints []string, policy Policy, transport http.RoundTripper) *ShardClient {
+	if transport == nil {
+		transport = &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   policy.Timeout,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			ResponseHeaderTimeout: policy.Timeout,
+			IdleConnTimeout:       90 * time.Second,
+			MaxIdleConnsPerHost:   16,
+		}
+	}
+	return &ShardClient{
+		name:      ShardName(i),
+		endpoints: append([]string(nil), endpoints...),
+		policy:    policy,
+		// No client-level timeout: per-attempt contexts bound every
+		// request, and a fixed client timeout would fight the
+		// context-derived deadlines.
+		httpc: &http.Client{Transport: transport},
+	}
+}
+
+// Name returns the shard's canonical name ("shard-0").
+func (sc *ShardClient) Name() string { return sc.name }
+
+// Endpoints returns the shard's replica URLs.
+func (sc *ShardClient) Endpoints() []string { return append([]string(nil), sc.endpoints...) }
+
+// Call performs one logical request against the shard under the full
+// policy: per-attempt deadlines derived from ctx, bounded retries with
+// backoff+jitter rotating across replicas, and hedged duplicates for
+// stragglers. A 4xx answer is returned as a *ShardError without retrying
+// (the query is at fault, not the shard); connection failures, timeouts,
+// 429 and 5xx are retried until the budget runs out.
+func (sc *ShardClient) Call(ctx context.Context, method, path string, body, out any) error {
+	return sc.CallIdem(ctx, method, path, "", body, out)
+}
+
+// CallIdem is Call with an Idempotency-Key header. Every mutating request
+// a coordinator routes MUST carry one: the retry and hedging machinery
+// deliberately resends requests, and only the shard-side idempotency
+// machinery makes that safe for writes.
+func (sc *ShardClient) CallIdem(ctx context.Context, method, path, idemKey string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return err
+		}
+	}
+	attempts := 1 + sc.policy.Retries
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		status, data, err := sc.attemptHedged(ctx, method, path, idemKey, payload)
+		switch {
+		case err != nil:
+			// Transport-level failure or attempt timeout.
+			sc.markFail()
+			lastErr = err
+		case status == http.StatusTooManyRequests || status >= 500:
+			// Overload shed or server fault: worth another attempt. Only a
+			// 5xx counts against shard health — a 429 is the admission gate
+			// doing its job on a live shard.
+			if status >= 500 {
+				sc.markFail()
+			} else {
+				sc.markSeen()
+			}
+			lastErr = &ShardError{Shard: sc.name, Status: status, Msg: errMsg(data)}
+		case status >= 400:
+			// The shard is alive and rejected the request: the caller's
+			// problem, retrying cannot help.
+			sc.markSeen()
+			return &ShardError{Shard: sc.name, Status: status, Msg: errMsg(data)}
+		default:
+			sc.markSeen()
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("scatter: decoding %s response from %s: %w", path, sc.name, err)
+			}
+			return nil
+		}
+		if a < attempts-1 {
+			if err := sc.backoff(ctx, a+1); err != nil {
+				return err
+			}
+		}
+	}
+	return fmt.Errorf("scatter: %s unavailable after %d attempts: %w", sc.name, attempts, lastErr)
+}
+
+// attemptHedged runs one attempt: a request to the next replica, plus — if
+// it is still in flight after HedgeAfter — a duplicate to the replica
+// after that, first answer wins. Returns (status, body, nil) for any HTTP
+// answer and a non-nil error only for transport failures/timeouts.
+func (sc *ShardClient) attemptHedged(ctx context.Context, method, path, idemKey string, payload []byte) (int, []byte, error) {
+	budget := sc.policy.Timeout
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl) - sc.policy.MergeMargin
+		if remaining <= 0 {
+			return 0, nil, fmt.Errorf("scatter: no budget left for %s: %w", sc.name, context.DeadlineExceeded)
+		}
+		if remaining < budget {
+			budget = remaining
+		}
+	}
+	actx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+
+	type reply struct {
+		status int
+		data   []byte
+		err    error
+	}
+	ch := make(chan reply, 2) // buffered: a canceled loser must not leak its goroutine
+	send := func(endpoint string) {
+		status, data, err := sc.once(actx, method, endpoint+path, idemKey, payload)
+		ch <- reply{status, data, err}
+	}
+	go send(sc.nextEndpoint())
+	inflight := 1
+
+	var hedgeC <-chan time.Time
+	if sc.policy.HedgeAfter > 0 {
+		t := time.NewTimer(sc.policy.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var last reply
+	for {
+		select {
+		case rep := <-ch:
+			inflight--
+			if rep.err == nil && rep.status != http.StatusTooManyRequests && rep.status < 500 {
+				return rep.status, rep.data, nil
+			}
+			last = rep
+			if inflight == 0 {
+				// Every launched request has answered (badly). A fast
+				// failure before the hedge timer goes back to the retry
+				// loop — hedging is for stragglers, not for errors.
+				return last.status, last.data, last.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if inflight > 0 {
+				sc.hedges.Add(1)
+				go send(sc.nextEndpoint())
+				inflight++
+			}
+		case <-actx.Done():
+			// The attempt deadline cancels the in-flight requests; their
+			// replies land in the buffered channel and are discarded.
+			return 0, nil, fmt.Errorf("scatter: %s attempt exceeded %s budget: %w", sc.name, budget, actx.Err())
+		}
+	}
+}
+
+// once sends a single HTTP request and reads the whole (bounded) body.
+func (sc *ShardClient) once(ctx context.Context, method, url, idemKey string, payload []byte) (int, []byte, error) {
+	sc.requests.Add(1)
+	var rdr io.Reader
+	if payload != nil {
+		rdr = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rdr)
+	if err != nil {
+		return 0, nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := sc.httpc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	// Shard answers are JSON result sets; 64 MiB is far beyond any of
+	// them and keeps a corrupted peer from ballooning coordinator memory.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// Probe makes one cheap liveness attempt (no retries, no hedging, 500ms
+// cap) against the shard's replicas in rotation order and records the
+// outcome, so readiness endpoints reflect shards the coordinator has not
+// queried recently.
+func (sc *ShardClient) Probe(ctx context.Context) bool {
+	actx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+	defer cancel()
+	for range sc.endpoints {
+		status, _, err := sc.once(actx, http.MethodGet, sc.nextEndpoint()+"/healthz", "", nil)
+		if err == nil && status == http.StatusOK {
+			sc.markSeen()
+			return true
+		}
+	}
+	sc.markFail()
+	return false
+}
+
+// Health snapshots the shard's liveness counters.
+func (sc *ShardClient) Health() ShardHealth {
+	h := ShardHealth{
+		Name:             sc.name,
+		Endpoints:        sc.Endpoints(),
+		ConsecutiveFails: sc.fails.Load(),
+		Requests:         sc.requests.Load(),
+		Hedges:           sc.hedges.Load(),
+		SinceSeenMS:      -1,
+	}
+	if nano := sc.lastSeenNano.Load(); nano != 0 {
+		seen := time.Unix(0, nano)
+		h.LastSeen = seen.UTC().Format(time.RFC3339Nano)
+		h.SinceSeenMS = time.Since(seen).Milliseconds()
+	}
+	h.Healthy = h.ConsecutiveFails == 0 && h.LastSeen != ""
+	return h
+}
+
+func (sc *ShardClient) markSeen() {
+	sc.lastSeenNano.Store(time.Now().UnixNano())
+	sc.fails.Store(0)
+}
+
+func (sc *ShardClient) markFail() { sc.fails.Add(1) }
+
+// nextEndpoint rotates through the shard's replicas so retries and hedges
+// land on a different node than the attempt they follow.
+func (sc *ShardClient) nextEndpoint() string {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	ep := sc.endpoints[sc.cursor%len(sc.endpoints)]
+	sc.cursor++
+	return ep
+}
+
+// backoff sleeps before retry `attempt` (1-based): exponential from
+// BackoffBase, capped at BackoffCap, plus up to 50% jitter. A done ctx
+// cuts the sleep short and returns its error.
+func (sc *ShardClient) backoff(ctx context.Context, attempt int) error {
+	d := sc.policy.BackoffBase << (attempt - 1)
+	if d > sc.policy.BackoffCap {
+		d = sc.policy.BackoffCap
+	}
+	d += time.Duration(mathrand.Int64N(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// errMsg extracts the server's {"error": ...} message from an error body,
+// falling back to the raw bytes.
+func errMsg(data []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	s := string(data)
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

@@ -1,0 +1,304 @@
+package scatter
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testPolicy is a fully-specified fast policy for direct newShardClient
+// tests (which, unlike New, do not apply defaults).
+func testPolicy() Policy {
+	return Policy{
+		Timeout:     2 * time.Second,
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		HedgeAfter:  -1, // no hedging unless the test wants it
+		MergeMargin: 5 * time.Millisecond,
+	}.withDefaults()
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.Timeout != DefaultTimeout || p.Retries != DefaultRetries ||
+		p.BackoffBase != DefaultBackoffBase || p.BackoffCap != DefaultBackoffCap ||
+		p.HedgeAfter != DefaultHedgeAfter || p.MergeMargin != DefaultMergeMargin {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	// Negative disables, zero defaults.
+	p = Policy{Retries: -1, HedgeAfter: -time.Second}.withDefaults()
+	if p.Retries != 0 {
+		t.Errorf("Retries = %d, want 0 (disabled)", p.Retries)
+	}
+	if p.HedgeAfter >= 0 {
+		t.Errorf("HedgeAfter = %v, want negative (disabled)", p.HedgeAfter)
+	}
+}
+
+func TestCallRetriesTransient5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]int{"ok": 1})
+	}))
+	defer ts.Close()
+	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil)
+	var out map[string]int
+	if err := sc.Call(context.Background(), http.MethodGet, "/x", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["ok"] != 1 {
+		t.Errorf("out = %v", out)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d calls, want 3 (two 500s retried)", n)
+	}
+	if h := sc.Health(); !h.Healthy {
+		t.Errorf("shard unhealthy after eventual success: %+v", h)
+	}
+}
+
+func TestCall4xxDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "no such thing"})
+	}))
+	defer ts.Close()
+	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil)
+	err := sc.Call(context.Background(), http.MethodGet, "/x", nil, nil)
+	if err == nil {
+		t.Fatal("no error for a 404")
+	}
+	if HTTPStatus(err) != http.StatusNotFound {
+		t.Errorf("HTTPStatus = %d, want 404 (err: %v)", HTTPStatus(err), err)
+	}
+	var se *ShardError
+	if !errors.As(err, &se) || se.Msg != "no such thing" {
+		t.Errorf("err = %v, want ShardError with server message", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("server saw %d calls, want 1 (4xx must not retry)", n)
+	}
+	// A 4xx proves the shard alive: it must not count against health.
+	if h := sc.Health(); !h.Healthy {
+		t.Errorf("shard unhealthy after a 4xx answer: %+v", h)
+	}
+}
+
+func TestCallExhaustsRetryBudget(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil)
+	err := sc.Call(context.Background(), http.MethodGet, "/x", nil, nil)
+	if err == nil {
+		t.Fatal("no error after exhausted retries")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", n)
+	}
+	if h := sc.Health(); h.Healthy || h.ConsecutiveFails == 0 {
+		t.Errorf("shard reported healthy after a 5xx streak: %+v", h)
+	}
+}
+
+func Test429RetriesWithoutHealthPenalty(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]int{"ok": 1})
+	}))
+	defer ts.Close()
+	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil)
+	var out map[string]int
+	if err := sc.Call(context.Background(), http.MethodGet, "/x", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("server saw %d calls, want 2", n)
+	}
+	if h := sc.Health(); !h.Healthy || h.ConsecutiveFails != 0 {
+		t.Errorf("a 429 dented shard health: %+v", h)
+	}
+}
+
+// A straggler replica is hedged: the duplicate goes to the next replica
+// and the first answer wins, well before the straggler finishes.
+func TestHedgedRequestBeatsStraggler(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(400 * time.Millisecond)
+		json.NewEncoder(w).Encode(map[string]string{"from": "slow"})
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"from": "fast"})
+	}))
+	defer fast.Close()
+	p := testPolicy()
+	p.HedgeAfter = 30 * time.Millisecond
+	sc := newShardClient(0, []string{slow.URL, fast.URL}, p, nil)
+	start := time.Now()
+	var out map[string]string
+	if err := sc.Call(context.Background(), http.MethodGet, "/x", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["from"] != "fast" {
+		t.Errorf("answer came from %q, want the hedged fast replica", out["from"])
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Errorf("took %v, hedge should have answered long before the straggler", elapsed)
+	}
+	if h := sc.Health(); h.Hedges != 1 {
+		t.Errorf("hedges = %d, want 1", h.Hedges)
+	}
+}
+
+// The per-attempt budget is derived from the request context: a nearly
+// expired context fails fast instead of waiting out Policy.Timeout.
+func TestDeadlineBoundsAttempt(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+		}
+	}))
+	defer ts.Close()
+	p := testPolicy()
+	p.MergeMargin = 10 * time.Millisecond
+	sc := newShardClient(0, []string{ts.URL}, p, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := sc.Call(ctx, http.MethodGet, "/x", nil, nil)
+	if err == nil {
+		t.Fatal("no error under an expired deadline")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("took %v, the context deadline should have cut the attempt short", elapsed)
+	}
+}
+
+func TestBackoffHonorsCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	p := testPolicy()
+	p.Retries = 5
+	p.BackoffBase = time.Second
+	p.BackoffCap = 2 * time.Second
+	sc := newShardClient(0, []string{ts.URL}, p, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := sc.Call(ctx, http.MethodGet, "/x", nil, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("cancel took %v to cut the backoff sleep", elapsed)
+	}
+}
+
+// fakeShard serves the minimal shard surface the coordinator machinery
+// needs: /healthz and /api/stats with a configurable max id.
+func fakeShard(t *testing.T, maxID int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			fmt.Fprint(w, `{"status":"ok"}`)
+		case "/api/stats":
+			json.NewEncoder(w).Encode(map[string]any{"shapes": 0, "max_id": maxID})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestAllocIDSeedsFromShardStats(t *testing.T) {
+	specs := []ShardSpec{
+		{Endpoints: []string{fakeShard(t, 100).URL}},
+		{Endpoints: []string{fakeShard(t, 250).URL}},
+	}
+	c, err := New(specs, Policy{BackoffBase: time.Millisecond, BackoffCap: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard := 0; shard < 2; shard++ {
+		id, err := c.AllocID(context.Background(), shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id <= 250 {
+			t.Errorf("allocated id %d, want > 250 (the fleet max)", id)
+		}
+		if owner := c.Ring().Owner(id); owner != shard {
+			t.Errorf("id %d owned by shard %d, requested %d", id, owner, shard)
+		}
+	}
+	// A conflict report advances the counter past the taken id.
+	c.BumpID(10_000)
+	id, err := c.AllocID(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 10_000 {
+		t.Errorf("allocated id %d after BumpID(10000)", id)
+	}
+}
+
+func TestAllocIDRejectsBadShard(t *testing.T) {
+	c, err := New([]ShardSpec{{Endpoints: []string{fakeShard(t, 0).URL}}}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocID(context.Background(), 7); err == nil {
+		t.Error("AllocID accepted an out-of-range shard index")
+	}
+}
+
+func TestProbeTracksLiveness(t *testing.T) {
+	ts := fakeShard(t, 0)
+	c, err := New([]ShardSpec{{Endpoints: []string{ts.URL}}}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Probe(context.Background()); n != 1 {
+		t.Fatalf("Probe = %d healthy, want 1", n)
+	}
+	h := c.Health()
+	if len(h) != 1 || !h[0].Healthy || h[0].LastSeen == "" {
+		t.Errorf("health = %+v", h)
+	}
+	ts.Close()
+	if n := c.Probe(context.Background()); n != 0 {
+		t.Fatalf("Probe = %d healthy after shutdown, want 0", n)
+	}
+	if h := c.Health(); h[0].Healthy {
+		t.Errorf("shard still healthy after failed probe: %+v", h[0])
+	}
+}

@@ -1,0 +1,192 @@
+package scatter
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardSpec describes one shard of the cluster: the base URLs of its
+// replicas (primary first, e.g. "http://shard0:8080") and an optional
+// transport override so tests can inject network faults between the
+// coordinator and this shard.
+type ShardSpec struct {
+	Endpoints []string
+	Transport http.RoundTripper
+}
+
+// Coordinator owns the cluster view: the hash ring partitioning shape ids
+// over shards and one ShardClient per shard. It is stateless apart from
+// the id-allocation counter — every query carries its own deadline and the
+// shard clients track liveness — so a restarted coordinator resumes
+// serving with no recovery step.
+type Coordinator struct {
+	ring    *Ring
+	clients []*ShardClient
+	policy  Policy
+
+	// Id allocation for routed inserts: seeded lazily from the max id
+	// reported by shard stats, then advanced atomically. seedMu serializes
+	// the one-time seeding.
+	seedMu sync.Mutex
+	seeded bool
+	nextID atomic.Int64
+}
+
+// New builds a coordinator over the given shards. The policy applies to
+// every shard (zero value = defaults).
+func New(specs []ShardSpec, policy Policy) (*Coordinator, error) {
+	ring, err := NewRing(len(specs))
+	if err != nil {
+		return nil, err
+	}
+	policy = policy.withDefaults()
+	c := &Coordinator{ring: ring, policy: policy}
+	for i, spec := range specs {
+		if len(spec.Endpoints) == 0 {
+			return nil, fmt.Errorf("scatter: %s has no endpoints", ShardName(i))
+		}
+		c.clients = append(c.clients, newShardClient(i, spec.Endpoints, policy, spec.Transport))
+	}
+	return c, nil
+}
+
+// NumShards returns the cluster's shard count.
+func (c *Coordinator) NumShards() int { return c.ring.Shards() }
+
+// Ring returns the cluster's hash ring.
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Shard returns the client for shard index i.
+func (c *Coordinator) Shard(i int) *ShardClient { return c.clients[i] }
+
+// Owner returns the client for the shard owning the given shape id.
+func (c *Coordinator) Owner(id int64) *ShardClient { return c.clients[c.ring.Owner(id)] }
+
+// Health snapshots every shard's liveness counters, in shard order.
+func (c *Coordinator) Health() []ShardHealth {
+	out := make([]ShardHealth, len(c.clients))
+	for i, sc := range c.clients {
+		out[i] = sc.Health()
+	}
+	return out
+}
+
+// Probe makes one cheap liveness attempt against every shard concurrently
+// and returns how many answered. Readiness endpoints call this so a
+// coordinator that has not routed traffic recently still reports fresh
+// shard health.
+func (c *Coordinator) Probe(ctx context.Context) int {
+	var healthy atomic.Int64
+	var wg sync.WaitGroup
+	for _, sc := range c.clients {
+		wg.Add(1)
+		go func(sc *ShardClient) {
+			defer wg.Done()
+			if sc.Probe(ctx) {
+				healthy.Add(1)
+			}
+		}(sc)
+	}
+	wg.Wait()
+	return int(healthy.Load())
+}
+
+// ForEach fans fn out over every shard concurrently and returns the
+// per-shard errors (nil entries for successes), indexed by shard. Each fn
+// call runs under the full ShardClient policy; the caller decides which
+// failures degrade the answer and which fail it.
+func (c *Coordinator) ForEach(ctx context.Context, fn func(ctx context.Context, i int, sc *ShardClient) error) []error {
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, sc := range c.clients {
+		wg.Add(1)
+		go func(i int, sc *ShardClient) {
+			defer wg.Done()
+			errs[i] = fn(ctx, i, sc)
+		}(i, sc)
+	}
+	wg.Wait()
+	return errs
+}
+
+// shardStats is the slice of a shard's /api/stats answer the coordinator
+// cares about.
+type shardStats struct {
+	Shapes int            `json:"shapes"`
+	Groups map[string]int `json:"group_sizes"`
+	MaxID  int64          `json:"max_id"`
+}
+
+// AllocID allocates a fresh globally-unique shape id owned by the given
+// shard. On first use the counter seeds itself from the maximum id any
+// reachable shard reports, so a restarted coordinator never reissues an
+// id; the owning-shard constraint is satisfied by probing successive
+// candidates (with N shards a candidate lands on a given shard with
+// probability ~1/N, so the expected cost is N ring lookups).
+func (c *Coordinator) AllocID(ctx context.Context, shard int) (int64, error) {
+	if shard < 0 || shard >= len(c.clients) {
+		return 0, fmt.Errorf("scatter: no shard %d", shard)
+	}
+	if err := c.seedIDs(ctx); err != nil {
+		return 0, err
+	}
+	// 64 shards × 64 vnodes make runs of same-owner ids short; 4096
+	// candidates without a hit means the ring is broken, not unlucky.
+	for range 4096 {
+		id := c.nextID.Add(1)
+		if c.ring.Owner(id) == shard {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("scatter: could not allocate an id owned by %s", ShardName(shard))
+}
+
+// seedIDs initializes the allocation counter from shard stats, once.
+// Every reachable shard must answer — seeding below an unreachable
+// shard's max id would hand out duplicates — so a shard outage fails
+// inserts (a routing-layer judgment call: reads degrade, writes don't).
+func (c *Coordinator) seedIDs(ctx context.Context) error {
+	c.seedMu.Lock()
+	defer c.seedMu.Unlock()
+	if c.seeded {
+		return nil
+	}
+	maxIDs := make([]int64, len(c.clients))
+	errs := c.ForEach(ctx, func(ctx context.Context, i int, sc *ShardClient) error {
+		var st shardStats
+		if err := sc.Call(ctx, http.MethodGet, "/api/stats", nil, &st); err != nil {
+			return err
+		}
+		maxIDs[i] = st.MaxID
+		return nil
+	})
+	var max int64
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("scatter: seeding id allocation: %w", err)
+		}
+		if maxIDs[i] > max {
+			max = maxIDs[i]
+		}
+	}
+	if cur := c.nextID.Load(); max > cur {
+		c.nextID.CompareAndSwap(cur, max)
+	}
+	c.seeded = true
+	return nil
+}
+
+// BumpID advances the allocation counter past a taken id, after a shard
+// answered an explicit-id insert with a conflict (another writer got
+// there first). The caller then allocates again.
+func (c *Coordinator) BumpID(taken int64) {
+	for {
+		cur := c.nextID.Load()
+		if cur >= taken || c.nextID.CompareAndSwap(cur, taken) {
+			return
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package scatter
+
+import "testing"
+
+func TestNewRingRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewRing(n); err == nil {
+			t.Errorf("NewRing(%d) succeeded", n)
+		}
+	}
+}
+
+// Every participant builds the ring from the shard count alone, so two
+// independently built rings must agree on every owner.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewRing(5)
+	for id := int64(1); id <= 10000; id++ {
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("id %d: owners disagree (%d vs %d)", id, a.Owner(id), b.Owner(id))
+		}
+	}
+	if a.OwnerKey("some-idem-key") != b.OwnerKey("some-idem-key") {
+		t.Error("OwnerKey disagrees between identical rings")
+	}
+}
+
+func TestRingOwnerInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		r, err := NewRing(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", r.Shards(), shards)
+		}
+		for id := int64(1); id <= 2000; id++ {
+			if o := r.Owner(id); o < 0 || o >= shards {
+				t.Fatalf("%d shards: owner(%d) = %d", shards, id, o)
+			}
+		}
+	}
+}
+
+// With 64 vnodes per shard the load should stay within a factor ~2 of
+// even — the property the coordinator's id allocator and the per-shard
+// corpus slices depend on.
+func TestRingDistribution(t *testing.T) {
+	const shards, ids = 4, 100000
+	r, err := NewRing(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for id := int64(1); id <= ids; id++ {
+		counts[r.Owner(id)]++
+	}
+	for s, n := range counts {
+		frac := float64(n) / ids
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("shard %d owns %.1f%% of ids (counts %v)", s, 100*frac, counts)
+		}
+	}
+}
+
+// A single-shard ring owns everything: the cluster of one must behave
+// exactly like a standalone node.
+func TestRingSingleShardOwnsAll(t *testing.T) {
+	r, err := NewRing(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 1000; id++ {
+		if r.Owner(id) != 0 {
+			t.Fatalf("owner(%d) = %d", id, r.Owner(id))
+		}
+	}
+	if r.OwnerKey("anything") != 0 {
+		t.Error("OwnerKey != 0 on a single-shard ring")
+	}
+}
+
+func TestShardName(t *testing.T) {
+	if got := ShardName(3); got != "shard-3" {
+		t.Errorf("ShardName(3) = %q", got)
+	}
+}

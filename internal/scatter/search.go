@@ -1,0 +1,263 @@
+package scatter
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// PartialHeader names the shards whose slice of the corpus is missing
+// from a degraded answer, comma-joined in shard order. Absent when every
+// shard contributed.
+const PartialHeader = "X-Partial-Results"
+
+// Query is one scatter-gather search. The query is always a resolved
+// feature vector — the coordinator (or its HTTP layer) resolves
+// query-by-id and query-by-example down to a vector before fan-out, so
+// shards never re-extract features.
+type Query struct {
+	// Feature is the descriptor name ("moments", ...).
+	Feature string
+	// Vector is the query point in that descriptor's space.
+	Vector []float64
+	// Weights are the per-dimension weights of Equation 4.3 (nil =
+	// uniform).
+	Weights []float64
+	// Threshold switches to similarity-threshold search when non-nil;
+	// otherwise K bounds a top-k search.
+	Threshold *float64
+	K         int
+	// ScanMode is passed through to the shards ("", "auto", "exact",
+	// "two-stage"); every mode returns identical results.
+	ScanMode string
+	// ExcludeID drops a shape from the merged results (query-by-id always
+	// retrieves the query shape itself).
+	ExcludeID int64
+}
+
+// Result is one merged result row. The JSON tags mirror the server's
+// SearchResult so coordinator answers are indistinguishable from
+// single-node answers.
+type Result struct {
+	ID         int64   `json:"id"`
+	Name       string  `json:"name"`
+	Group      int     `json:"group"`
+	Distance   float64 `json:"distance"`
+	Similarity float64 `json:"similarity"`
+}
+
+// Outcome is a merged search answer. Missing lists the shards (in shard
+// order) whose corpus slice is absent because they stayed down past their
+// retry budget; empty Missing means the answer is bit-identical to a
+// single-node scan over the whole corpus.
+type Outcome struct {
+	Results []Result
+	Missing []string
+}
+
+// shardSearchReq mirrors the server's SearchRequest fields the
+// coordinator uses — a resolved query vector plus the global dmax
+// override that makes per-shard similarity values (and threshold
+// filtering) agree with a single-node scan.
+type shardSearchReq struct {
+	QueryVector []float64 `json:"query_vector"`
+	Feature     string    `json:"feature"`
+	Threshold   *float64  `json:"threshold,omitempty"`
+	K           int       `json:"k,omitempty"`
+	Weights     []float64 `json:"weights,omitempty"`
+	ScanMode    string    `json:"scan_mode,omitempty"`
+	DMax        *float64  `json:"dmax,omitempty"`
+}
+
+// shardBounds mirrors the server's /api/cluster/bounds answer: the
+// feature-space bounding box of the shard's stored vectors of one kind.
+type shardBounds struct {
+	Count int       `json:"count"`
+	Lo    []float64 `json:"lo,omitempty"`
+	Hi    []float64 `json:"hi,omitempty"`
+}
+
+// Search fans the query out over every shard and merges the per-shard
+// partial results into the canonical (distance, id) order.
+//
+// Two fan-out rounds make the merged answer bit-identical to a
+// single-node scan: the first collects per-shard feature-space bounding
+// boxes, which merge exactly (elementwise min/max) into the global box;
+// its diagonal — computed with the same summation order as
+// shapedb.DMax — is sent back as a dmax override, so every shard computes
+// Equation-4.4 similarities (and threshold cutoffs) against the global
+// normalizer instead of its local one. Distances are dmax-independent, and
+// the merge re-sorts by the same (distance ascending, id ascending) rule
+// every engine path uses, so rows, order, and every float match the
+// single-node answer bit for bit.
+//
+// A shard down past its retry budget in either round is dropped from the
+// query and named in Outcome.Missing — degraded, never failed. A 4xx from
+// any shard means the query itself is at fault and is returned as a
+// *ShardError. Only when every shard is missing does Search fail with
+// ErrNoShards.
+func (c *Coordinator) Search(ctx context.Context, q Query) (*Outcome, error) {
+	if len(q.Vector) == 0 {
+		return nil, fmt.Errorf("scatter: query has no vector")
+	}
+	missing := make([]bool, c.NumShards())
+
+	// Round 1: bounds. A shard that cannot even answer its bounds is
+	// excluded from the search round — its box is unknown, so including
+	// its rows could disagree with the dmax the others were told to use.
+	bounds := make([]shardBounds, c.NumShards())
+	path := "/api/cluster/bounds?feature=" + url.QueryEscape(q.Feature)
+	errs := c.ForEach(ctx, func(ctx context.Context, i int, sc *ShardClient) error {
+		return sc.Call(ctx, http.MethodGet, path, nil, &bounds[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			if status := HTTPStatus(err); status >= 400 && status < 500 {
+				return nil, err // the query names a bad feature, etc.
+			}
+			missing[i] = true
+		}
+	}
+	dmax := mergeDMax(bounds, missing)
+
+	// Round 2: the search itself, against surviving shards only.
+	req := shardSearchReq{
+		QueryVector: q.Vector,
+		Feature:     q.Feature,
+		Threshold:   q.Threshold,
+		ScanMode:    q.ScanMode,
+		DMax:        &dmax,
+		// Nil weights are canonicalized to explicit uniform ones:
+		// arithmetically identical under Equation 4.3, but they steer every
+		// shard onto the weighted-scan path, whose (distance, id) tie order
+		// is canonical — the unweighted path's R-tree traversal order is
+		// not, and the merge must not depend on it.
+		Weights: q.Weights,
+	}
+	if req.Weights == nil {
+		req.Weights = uniformWeights(len(q.Vector))
+	}
+	if q.Threshold == nil {
+		req.K = q.K
+		if q.ExcludeID != 0 {
+			req.K++ // absorb the query shape, which is always retrieved
+		}
+	}
+	partials := make([][]Result, c.NumShards())
+	errs = c.ForEach(ctx, func(ctx context.Context, i int, sc *ShardClient) error {
+		if missing[i] {
+			return nil
+		}
+		return sc.Call(ctx, http.MethodPost, "/api/search", req, &partials[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			if status := HTTPStatus(err); status >= 400 && status < 500 {
+				return nil, err
+			}
+			missing[i] = true
+			partials[i] = nil
+		}
+	}
+
+	out := &Outcome{}
+	anyAlive := false
+	for i, m := range missing {
+		if m {
+			out.Missing = append(out.Missing, ShardName(i))
+		} else {
+			anyAlive = true
+		}
+	}
+	if !anyAlive {
+		return nil, ErrNoShards
+	}
+
+	// Merge: concatenate and re-sort into the canonical order. Each
+	// partial is already its shard's top-(K) slice, so for top-k the
+	// global top-K is a subset of the union; for threshold every matching
+	// row is present. Truncation happens after the exclude so dropping the
+	// query shape cannot cost a legitimate row.
+	for _, p := range partials {
+		out.Results = append(out.Results, p...)
+	}
+	sort.Slice(out.Results, func(i, j int) bool {
+		if out.Results[i].Distance != out.Results[j].Distance {
+			return out.Results[i].Distance < out.Results[j].Distance
+		}
+		return out.Results[i].ID < out.Results[j].ID
+	})
+	if q.ExcludeID != 0 {
+		kept := out.Results[:0]
+		for _, r := range out.Results {
+			if r.ID != q.ExcludeID {
+				kept = append(kept, r)
+			}
+		}
+		out.Results = kept
+	}
+	if q.Threshold == nil && len(out.Results) > q.K {
+		out.Results = out.Results[:q.K]
+	}
+	return out, nil
+}
+
+// ErrNoShards reports that every shard was unreachable past its retry
+// budget — the one condition under which a scatter query fails rather
+// than degrades.
+var ErrNoShards = fmt.Errorf("scatter: no shards reachable")
+
+// mergeDMax merges per-shard bounding boxes into the global box and
+// returns its diagonal, replicating shapedb.DMax exactly: elementwise
+// min/max (exact in floating point), squared extents summed in dimension
+// order, sqrt, floored at 1e-12. The result is bit-identical to what a
+// single node holding every vector would compute.
+func mergeDMax(bounds []shardBounds, missing []bool) float64 {
+	var lo, hi []float64
+	for i, b := range bounds {
+		if missing[i] || b.Count == 0 || len(b.Lo) == 0 {
+			continue
+		}
+		if lo == nil {
+			lo = append([]float64(nil), b.Lo...)
+			hi = append([]float64(nil), b.Hi...)
+			continue
+		}
+		for d := range lo {
+			if d < len(b.Lo) && b.Lo[d] < lo[d] {
+				lo[d] = b.Lo[d]
+			}
+			if d < len(b.Hi) && b.Hi[d] > hi[d] {
+				hi[d] = b.Hi[d]
+			}
+		}
+	}
+	if lo == nil {
+		return 1e-12
+	}
+	sum := 0.0
+	for i := range lo {
+		d := hi[i] - lo[i]
+		sum += d * d
+	}
+	if d := math.Sqrt(sum); d > 1e-12 {
+		return d
+	}
+	return 1e-12
+}
+
+func uniformWeights(dim int) []float64 {
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// JoinMissing renders an Outcome's missing-shard list for the
+// X-Partial-Results header.
+func JoinMissing(missing []string) string { return strings.Join(missing, ",") }

@@ -11,11 +11,13 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"threedess/internal/geom"
 	"threedess/internal/replica"
+	"threedess/internal/scatter"
 )
 
 // Client is a Go client for the 3DESS HTTP API, used by the CLI tools and
@@ -113,6 +115,12 @@ func (c *Client) do(method, path string, body, out any) error {
 // to resend after ambiguous failures (the server deduplicates it), so it
 // gets the full GET retry/failover treatment.
 func (c *Client) doIdem(method, path, idemKey string, body, out any) error {
+	return c.doCapture(method, path, idemKey, body, out, nil)
+}
+
+// doCapture is doIdem with a hook observing the final (decoded) response,
+// for callers that need headers — e.g. a coordinator's X-Partial-Results.
+func (c *Client) doCapture(method, path, idemKey string, body, out any, capture func(*http.Response)) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -180,6 +188,9 @@ func (c *Client) doIdem(method, path, idemKey string, body, out any) error {
 			c.backoff(attempt + 1)
 			continue
 		}
+		if capture != nil {
+			capture(resp)
+		}
 		return decodeResponse(resp, out)
 	}
 	return lastErr
@@ -221,18 +232,27 @@ func (c *Client) retarget(primary string) {
 	c.override = primary
 }
 
-// retryAfter parses a Retry-After header given in seconds (the only form
-// the 3DESS server emits).
+// retryAfter parses a Retry-After header: the delta-seconds form the
+// 3DESS server emits, or the RFC 9110 HTTP-date form other servers and
+// intermediaries send (RFC 1123 and its obsolete fallbacks, via
+// http.ParseTime). A date already in the past means "retry now" — a zero
+// wait, not a parse failure.
 func retryAfter(resp *http.Response) (time.Duration, bool) {
 	v := resp.Header.Get("Retry-After")
 	if v == "" {
 		return 0, false
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	when, err := http.ParseTime(v)
+	if err != nil {
 		return 0, false
 	}
-	return time.Duration(secs) * time.Second, true
+	return max(time.Until(when), 0), true
 }
 
 func (c *Client) sleepFor(d time.Duration) {
@@ -371,6 +391,19 @@ func (c *Client) Search(req SearchRequest) ([]SearchResult, error) {
 	var out []SearchResult
 	err := c.do(http.MethodPost, "/api/search", req, &out)
 	return out, err
+}
+
+// SearchPartial is Search surfacing cluster degradation: alongside the
+// results it returns the shards a coordinator named in X-Partial-Results
+// (nil when the answer covers the whole corpus, or when the server is a
+// single node). Callers that must not act on partial data check missing.
+func (c *Client) SearchPartial(req SearchRequest) (results []SearchResult, missing []string, err error) {
+	err = c.doCapture(http.MethodPost, "/api/search", "", req, &results, func(resp *http.Response) {
+		if v := resp.Header.Get(scatter.PartialHeader); v != "" {
+			missing = strings.Split(v, ",")
+		}
+	})
+	return results, missing, err
 }
 
 // MultiStep runs the §4.2 multi-step strategy.

@@ -1,0 +1,477 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"threedess/internal/features"
+	"threedess/internal/scatter"
+	"threedess/internal/workpool"
+)
+
+// The cluster surface of the server: the shard role (explicit-id insert
+// ownership validation, the bounds endpoint a coordinator merges into the
+// global dmax) and the coordinator role (scatter-gather routing of
+// searches, inserts, deletes, listings, and stats over the shard fleet,
+// with partial-result degradation). Servers that never call SetShard or
+// SetCoordinator behave exactly as before.
+//
+// Trust model: cluster-internal fields (explicit ids, dmax overrides,
+// query vectors) travel over the same open HTTP surface as everything
+// else, mirroring the replication plane's default. The cluster is meant
+// to run on a trusted network segment; shards validate everything they
+// are sent (ownership, dimensions, finiteness), so a stray client can get
+// wrong-but-bounded behavior, never corruption.
+
+// clusterRole is the server's place in a scatter-gather cluster: a shard
+// (ring + own index) or the coordinator (ring + shard clients).
+type clusterRole struct {
+	ring  *scatter.Ring
+	index int
+	coord *scatter.Coordinator
+}
+
+// SetShard configures this server as shard `index` of a cluster of
+// `total` shards and returns the server. Call before serving traffic. The
+// shard refuses explicit-id inserts the hash ring assigns elsewhere, so a
+// misconfigured loader cannot split ownership.
+func (s *Server) SetShard(index, total int) (*Server, error) {
+	ring, err := scatter.NewRing(total)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= total {
+		return nil, fmt.Errorf("server: shard index %d outside cluster of %d", index, total)
+	}
+	s.cluster = &clusterRole{ring: ring, index: index}
+	return s, nil
+}
+
+// SetCoordinator configures this server as the cluster's coordinator,
+// routing every corpus and search endpoint over the given shard fleet.
+// Call before serving traffic. The server's own engine stays empty and is
+// used only to extract features from query-by-example uploads.
+func (s *Server) SetCoordinator(coord *scatter.Coordinator) *Server {
+	s.cluster = &clusterRole{ring: coord.Ring(), coord: coord}
+	return s
+}
+
+// isCoordinator reports whether requests should be scatter-gather routed.
+func (s *Server) isCoordinator() bool {
+	return s.cluster != nil && s.cluster.coord != nil
+}
+
+// clusterRoleName names this node's cluster role for operator surfaces
+// ("" when not clustered).
+func (s *Server) clusterRoleName() string {
+	switch c := s.cluster; {
+	case c == nil:
+		return ""
+	case c.coord != nil:
+		return "coordinator"
+	default:
+		return scatter.ShardName(c.index)
+	}
+}
+
+// checkShardOwnership rejects an explicit-id insert on a shard the ring
+// assigns elsewhere (id 0 = sequential assignment, always allowed; a
+// non-clustered server accepts any explicit id).
+func (s *Server) checkShardOwnership(id int64) error {
+	c := s.cluster
+	if id == 0 || c == nil || c.coord != nil {
+		return nil
+	}
+	if owner := c.ring.Owner(id); owner != c.index {
+		return fmt.Errorf("shape id %d belongs to %s, not %s",
+			id, scatter.ShardName(owner), scatter.ShardName(c.index))
+	}
+	return nil
+}
+
+// notOnCoordinator refuses endpoints that need a whole local corpus
+// (multi-step, feedback, browsing) with 501 on a coordinator. Returns
+// false when the request was refused.
+func (s *Server) notOnCoordinator(w http.ResponseWriter, what string) bool {
+	if !s.isCoordinator() {
+		return true
+	}
+	writeErr(w, http.StatusNotImplemented,
+		fmt.Errorf("%s is not available on a coordinator; send it to a shard", what))
+	return false
+}
+
+// handleClusterBounds serves GET /api/cluster/bounds?feature=K: the
+// feature-space bounding box of this node's stored vectors, plus its
+// shape count. Coordinators merge these boxes elementwise into the global
+// box whose diagonal is the cluster-wide Equation-4.4 normalizer.
+func (s *Server) handleClusterBounds(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	kind, err := features.ParseKind(r.URL.Query().Get("feature"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := map[string]any{"count": s.engine.DB().Len()}
+	if lo, hi, ok := s.engine.DB().Bounds(kind); ok {
+		resp["lo"], resp["hi"] = lo, hi
+	} else {
+		resp["count"] = 0
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeScatterErr maps a scatter routing failure onto a response: a
+// shard's own HTTP answer passes through with its status (the query was
+// at fault), a cluster-wide outage is 503 with a retry hint, and context
+// errors keep their usual 504/503 mapping.
+func writeScatterErr(w http.ResponseWriter, err error) {
+	if status := scatter.HTTPStatus(err); status >= 400 && status < 500 {
+		writeErr(w, status, err)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeEngineErr(w, err, http.StatusServiceUnavailable)
+}
+
+// setPartialHeader marks a degraded answer with the shards whose corpus
+// slice is missing.
+func setPartialHeader(w http.ResponseWriter, missing []string) {
+	if len(missing) > 0 {
+		w.Header().Set(scatter.PartialHeader, scatter.JoinMissing(missing))
+	}
+}
+
+// clusterSearch scatter-gathers POST /api/search: resolve the query down
+// to a feature vector (locally for uploads, from the owning shard for
+// query-by-id), fan out, merge, and degrade — never fail — when shards
+// are down past their retry budget.
+func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req SearchRequest, kind features.Kind) {
+	coord := s.cluster.coord
+	vec := req.QueryVector
+	if len(vec) == 0 {
+		switch {
+		case req.QueryID != 0:
+			// The owning shard holds the stored descriptors. If it is down
+			// the query itself is unresolvable — the one read that cannot
+			// degrade.
+			var feats map[string][]float64
+			path := fmt.Sprintf("/api/shapes/%d/features", req.QueryID)
+			if err := coord.Owner(req.QueryID).Call(r.Context(), http.MethodGet, path, nil, &feats); err != nil {
+				writeScatterErr(w, err)
+				return
+			}
+			v, ok := feats[kind.String()]
+			if !ok {
+				writeErr(w, http.StatusBadRequest,
+					fmt.Errorf("shape %d has no %s descriptor", req.QueryID, kind))
+				return
+			}
+			vec = v
+		case req.MeshOFF != "":
+			// Query by example: extract once here, so shards never
+			// re-extract (and cannot disagree).
+			mesh, err := s.parseMesh(req.MeshOFF)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing query mesh: %w", err))
+				return
+			}
+			set, _, _, err := s.engine.ExtractUntrusted(mesh, features.CoreKinds)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			v, ok := set[kind]
+			if !ok {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("query has no %s vector", kind))
+				return
+			}
+			vec = v
+		default:
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("either query_id, mesh_off, or query_vector must be provided"))
+			return
+		}
+	}
+	k := req.K
+	if k <= 0 {
+		k = 10
+	}
+	out, err := coord.Search(r.Context(), scatter.Query{
+		Feature:   kind.String(),
+		Vector:    vec,
+		Weights:   req.Weights,
+		Threshold: req.Threshold,
+		K:         k,
+		ScanMode:  req.ScanMode,
+		ExcludeID: req.QueryID,
+	})
+	if err != nil {
+		writeScatterErr(w, err)
+		return
+	}
+	setPartialHeader(w, out.Missing)
+	results := make([]SearchResult, len(out.Results))
+	for i, res := range out.Results {
+		results[i] = SearchResult(res)
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+// clusterShapes routes /api/shapes on a coordinator: GET fans the listing
+// out and merges by id; POST allocates a globally-unique id and routes
+// the insert to its owning shard.
+func (s *Server) clusterShapes(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		coord := s.cluster.coord
+		lists := make([][]ShapeInfo, coord.NumShards())
+		errs := coord.ForEach(r.Context(), func(ctx context.Context, i int, sc *scatter.ShardClient) error {
+			return sc.Call(ctx, http.MethodGet, "/api/shapes", nil, &lists[i])
+		})
+		var missing []string
+		for i, err := range errs {
+			if err != nil {
+				if status := scatter.HTTPStatus(err); status >= 400 && status < 500 {
+					writeScatterErr(w, err)
+					return
+				}
+				missing = append(missing, scatter.ShardName(i))
+				lists[i] = nil
+			}
+		}
+		if len(missing) == coord.NumShards() {
+			writeScatterErr(w, scatter.ErrNoShards)
+			return
+		}
+		var out []ShapeInfo
+		for _, l := range lists {
+			out = append(out, l...)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		if out == nil {
+			out = []ShapeInfo{}
+		}
+		setPartialHeader(w, missing)
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req struct {
+			Name    string `json:"name"`
+			Group   int    `json:"group"`
+			MeshOFF string `json:"mesh_off"`
+			ID      int64  `json:"id"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeDecodeErr(w, err)
+			return
+		}
+		if req.ID != 0 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("explicit ids are allocated by the coordinator"))
+			return
+		}
+		key := r.Header.Get(IdempotencyKeyHeader)
+		if key == "" {
+			// Routed writes are ALWAYS keyed: the retry/hedging machinery
+			// deliberately resends requests, and only shard-side
+			// deduplication makes that safe.
+			key = newIdemKey()
+		}
+		resp, err := s.routeInsert(r, key, req.Name, req.Group, req.MeshOFF)
+		if err != nil {
+			writeScatterErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, resp)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// insertAnswer is a shard's insert acknowledgment.
+type insertAnswer struct {
+	ID       int64    `json:"id"`
+	Degraded []string `json:"degraded"`
+}
+
+// routeInsert performs one keyed insert against the cluster: the
+// idempotency key picks the shard (so a retried request reaches the same
+// shard and replays instead of duplicating), an explicit id owned by that
+// shard is allocated, and an id conflict (another coordinator instance,
+// or a corpus loaded after seeding) bumps the allocator and retries with
+// a fresh id.
+func (s *Server) routeInsert(r *http.Request, key, name string, group int, meshOFF string) (*insertAnswer, error) {
+	coord := s.cluster.coord
+	shard := coord.Ring().OwnerKey(key)
+	var lastErr error
+	for range 4 {
+		id, err := coord.AllocID(r.Context(), shard)
+		if err != nil {
+			return nil, err
+		}
+		body := map[string]any{"name": name, "group": group, "mesh_off": meshOFF, "id": id}
+		var out insertAnswer
+		err = coord.Shard(shard).CallIdem(r.Context(), http.MethodPost, "/api/shapes", key, body, &out)
+		if err == nil {
+			return &out, nil
+		}
+		if scatter.HTTPStatus(err) == http.StatusConflict {
+			coord.BumpID(id)
+			lastErr = err
+			continue
+		}
+		return nil, err
+	}
+	return nil, fmt.Errorf("server: id allocation kept conflicting: %w", lastErr)
+}
+
+// clusterInsertBatch routes a bulk upload item by item: each item gets a
+// per-item idempotency key derived from the batch key, which both picks
+// its shard and makes a retried batch replay shard-side. Items fan out on
+// the worker pool; like the single-node batch path, a failure partway
+// leaves earlier items stored (the retried batch replays them by key).
+func (s *Server) clusterInsertBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchInsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeDecodeErr(w, err)
+		return
+	}
+	if len(req.Shapes) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	key := r.Header.Get(IdempotencyKeyHeader)
+	if key == "" {
+		key = newIdemKey()
+	}
+	answers := make([]*insertAnswer, len(req.Shapes))
+	errs := make([]error, len(req.Shapes))
+	if err := workpool.ForEachNCtx(r.Context(), 0, len(req.Shapes), func(i int) {
+		sh := req.Shapes[i]
+		if sh.ID != 0 {
+			errs[i] = fmt.Errorf("shape %d (%q): explicit ids are allocated by the coordinator", i, sh.Name)
+			return
+		}
+		answers[i], errs[i] = s.routeInsert(r, fmt.Sprintf("%s#%d", key, i), sh.Name, sh.Group, sh.MeshOFF)
+	}); err != nil {
+		writeEngineErr(w, err, http.StatusServiceUnavailable)
+		return
+	}
+	for i, err := range errs {
+		if err != nil {
+			writeScatterErr(w, fmt.Errorf("shape %d (%q): %w", i, req.Shapes[i].Name, err))
+			return
+		}
+	}
+	resp := BatchInsertResponse{IDs: make([]int64, len(answers))}
+	anyDegraded := false
+	for i, a := range answers {
+		resp.IDs[i] = a.ID
+		if len(a.Degraded) > 0 {
+			anyDegraded = true
+		}
+	}
+	if anyDegraded {
+		resp.Degraded = make([][]string, len(answers))
+		for i, a := range answers {
+			resp.Degraded[i] = a.Degraded
+		}
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// clusterShapeByID proxies /api/shapes/{id}[/view|/features] to the
+// owning shard. A single-shape read on a dead shard cannot degrade — it
+// answers 503 with a retry hint rather than pretending absence (a 404
+// here would be indistinguishable from a real miss).
+func (s *Server) clusterShapeByID(w http.ResponseWriter, r *http.Request, id int64) {
+	coord := s.cluster.coord
+	sc := coord.Owner(id)
+	switch r.Method {
+	case http.MethodGet:
+		var out json.RawMessage
+		if err := sc.Call(r.Context(), http.MethodGet, r.URL.Path, nil, &out); err != nil {
+			writeScatterErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(out)
+	case http.MethodDelete:
+		key := r.Header.Get(IdempotencyKeyHeader)
+		if key == "" {
+			key = newIdemKey()
+		}
+		var out json.RawMessage
+		if err := sc.CallIdem(r.Context(), http.MethodDelete, r.URL.Path, key, nil, &out); err != nil {
+			writeScatterErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(out)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// clusterStats aggregates /api/stats across the fleet and appends the
+// coordinator's own view: per-shard health/last-seen and the topology.
+// Unreachable shards are named in X-Partial-Results and visible as
+// unhealthy rows; the aggregate covers the survivors.
+func (s *Server) clusterStats(w http.ResponseWriter, r *http.Request) {
+	coord := s.cluster.coord
+	stats := make([]StatsResponse, coord.NumShards())
+	errs := coord.ForEach(r.Context(), func(ctx context.Context, i int, sc *scatter.ShardClient) error {
+		return sc.Call(ctx, http.MethodGet, "/api/stats", nil, &stats[i])
+	})
+	resp := StatsResponse{
+		Groups: map[string]int{},
+		Role:   "coordinator",
+	}
+	var missing []string
+	modes := map[string]bool{}
+	featSet := map[string]bool{}
+	for i, err := range errs {
+		if err != nil {
+			missing = append(missing, scatter.ShardName(i))
+			continue
+		}
+		st := stats[i]
+		resp.Shapes += st.Shapes
+		for g, n := range st.Groups {
+			resp.Groups[g] += n
+		}
+		for _, f := range st.Features {
+			featSet[f] = true
+		}
+		if st.MaxID > resp.MaxID {
+			resp.MaxID = st.MaxID
+		}
+		modes[st.ScanMode] = true
+	}
+	for f := range featSet {
+		resp.Features = append(resp.Features, f)
+	}
+	sort.Strings(resp.Features)
+	// The scan mode operators see is the fleet's: one value when the
+	// shards agree, "mixed" when they don't.
+	switch len(modes) {
+	case 0:
+	case 1:
+		for m := range modes {
+			resp.ScanMode = m
+		}
+	default:
+		resp.ScanMode = "mixed"
+	}
+	resp.Shards = coord.Health()
+	setPartialHeader(w, missing)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,468 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/scatter"
+	"threedess/internal/shapedb"
+)
+
+// chaosPolicy bounds every per-shard conversation tightly so a dead or
+// straggling shard degrades the answer in tens of milliseconds.
+func chaosPolicy() scatter.Policy {
+	return scatter.Policy{
+		Timeout:     250 * time.Millisecond,
+		Retries:     1,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		HedgeAfter:  -1,
+		MergeMargin: 5 * time.Millisecond,
+	}
+}
+
+// expectedWithout is the oracle for a degraded answer: the reference
+// node's full ranking filtered to shapes not owned by the dead shards,
+// truncated to k. Distances are dmax-independent, so they must match the
+// degraded cluster answer bit for bit; similarities are normalized by the
+// surviving shards' merged box and are compared by the caller only when
+// no shard is missing.
+func (tc *testCluster) expectedWithout(t *testing.T, req SearchRequest, dead map[int]bool, k int) []SearchResult {
+	t.Helper()
+	full := req
+	full.K = tc.refDB.Len() + 1
+	all, err := tc.refC.Search(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []SearchResult
+	for _, r := range all {
+		if !dead[tc.ring.Owner(r.ID)] {
+			out = append(out, r)
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TestChaosDeadShardDegrades is the acceptance scenario: one of four
+// shards is killed, and the coordinator answers 200 with the survivors'
+// merged results and an X-Partial-Results header naming the dead shard —
+// never an error. Healing the shard restores bit-identical full answers.
+func TestChaosDeadShardDegrades(t *testing.T) {
+	tc := newTestCluster(t, 4, chaosPolicy(), true)
+	tc.seedSynthetic(t, 48)
+	req := SearchRequest{
+		QueryVector: []float64{0.4, 0.6, 0.2},
+		Feature:     features.PrincipalMoments.String(),
+		K:           12,
+		Weights:     []float64{1.2, 0.8, 1.0},
+	}
+
+	// Healthy fleet: bit-identical to the single-node scan, no header.
+	res, missing, err := tc.coordC.SearchPartial(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("healthy fleet reported missing shards %v", missing)
+	}
+	ref, err := tc.refC.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatalf("healthy cluster != reference\ncluster: %+v\nref:     %+v", res, ref)
+	}
+
+	const dead = 2
+	tc.faults[dead].SetPartition(true)
+	start := time.Now()
+	res, missing, err = tc.coordC.SearchPartial(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("query with a dead shard failed: %v", err)
+	}
+	if want := []string{scatter.ShardName(dead)}; !reflect.DeepEqual(missing, want) {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+	// Within the request deadline: a retry budget of 1+1 fast-failing
+	// attempts must resolve far under the policy timeout.
+	if elapsed > 2*time.Second {
+		t.Errorf("degraded answer took %v", elapsed)
+	}
+	want := tc.expectedWithout(t, req, map[int]bool{dead: true}, req.K)
+	if len(res) != len(want) {
+		t.Fatalf("degraded answer has %d rows, want %d", len(res), len(want))
+	}
+	for i := range want {
+		if res[i].ID != want[i].ID || res[i].Distance != want[i].Distance ||
+			res[i].Name != want[i].Name || res[i].Group != want[i].Group {
+			t.Fatalf("degraded row %d = %+v, want %+v", i, res[i], want[i])
+		}
+	}
+
+	// Recovery: the next query is whole again.
+	tc.faults[dead].SetPartition(false)
+	res, missing, err = tc.coordC.SearchPartial(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("healed fleet still reports missing shards %v", missing)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatalf("healed cluster != reference\ncluster: %+v\nref:     %+v", res, ref)
+	}
+}
+
+// TestChaosKilledMidQuery arms the injector so the shard dies between
+// accepting traffic and this query's fan-out: the bounds round eats the
+// whole retry budget and the shard is excluded, degraded, not failed.
+func TestChaosKilledMidQuery(t *testing.T) {
+	tc := newTestCluster(t, 4, chaosPolicy(), true)
+	tc.seedSynthetic(t, 32)
+	const dead = 1
+	// 1+1 attempts for the bounds round; the search round never reaches a
+	// shard marked missing. Arm a few extra in case of probes.
+	tc.faults[dead].DropNext(8)
+	res, missing, err := tc.coordC.SearchPartial(SearchRequest{
+		QueryVector: []float64{0.1, 0.9, 0.5},
+		Feature:     features.PrincipalMoments.String(),
+		K:           10,
+		Weights:     []float64{1, 1, 1},
+	})
+	if err != nil {
+		t.Fatalf("mid-query kill failed the query: %v", err)
+	}
+	if want := []string{scatter.ShardName(dead)}; !reflect.DeepEqual(missing, want) {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+	for _, r := range res {
+		if tc.ring.Owner(r.ID) == dead {
+			t.Fatalf("dead shard's shape %d present in degraded answer", r.ID)
+		}
+	}
+}
+
+// TestChaosStragglerCutByDeadline: a shard that answers slower than the
+// per-attempt budget is treated as down — the answer degrades within the
+// deadline instead of stalling behind the straggler.
+func TestChaosStragglerCutByDeadline(t *testing.T) {
+	tc := newTestCluster(t, 3, chaosPolicy(), true)
+	tc.seedSynthetic(t, 24)
+	const slow = 0
+	tc.faults[slow].SetDelay(5 * time.Second)
+	start := time.Now()
+	_, missing, err := tc.coordC.SearchPartial(SearchRequest{
+		QueryVector: []float64{0.5, 0.5, 0.5},
+		Feature:     features.PrincipalMoments.String(),
+		K:           8,
+		Weights:     []float64{1, 1, 1},
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("straggler failed the query: %v", err)
+	}
+	if want := []string{scatter.ShardName(slow)}; !reflect.DeepEqual(missing, want) {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+	// Two rounds × (1+1 attempts × 250ms) plus slack — nowhere near the
+	// straggler's 5s.
+	if elapsed > 3*time.Second {
+		t.Errorf("straggler held the query for %v", elapsed)
+	}
+}
+
+// TestChaosAllShardsDownFailsClosed: losing every shard is the one case
+// that fails (503 + Retry-After), because an empty answer would be
+// indistinguishable from an empty corpus.
+func TestChaosAllShardsDownFailsClosed(t *testing.T) {
+	tc := newTestCluster(t, 2, chaosPolicy(), true)
+	tc.seedSynthetic(t, 10)
+	for _, f := range tc.faults {
+		f.SetPartition(true)
+	}
+	body, _ := json.Marshal(SearchRequest{
+		QueryVector: []float64{0.5, 0.5, 0.5},
+		Feature:     features.PrincipalMoments.String(),
+		K:           5,
+	})
+	resp, err := http.Post(tc.coordURL+"/api/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without a Retry-After hint")
+	}
+}
+
+// TestChaosSoak drives live mixed traffic (top-k and threshold searches,
+// listings, stats) while shards are partitioned, delayed, and healed
+// underneath it — never more than half the fleet at once. The invariants:
+// no request ever answers 5xx, partial headers only name real shards, and
+// a quiesced fleet serves bit-identical full answers again.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	tc := newTestCluster(t, 4, chaosPolicy(), true)
+	tc.seedSynthetic(t, 40)
+	feature := features.PrincipalMoments.String()
+
+	validNames := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		validNames[scatter.ShardName(i)] = true
+	}
+
+	var (
+		stop     atomic.Bool
+		queries  atomic.Int64
+		partials atomic.Int64
+		fiveXX   atomic.Int64
+		failMu   sync.Mutex
+		failures []string
+	)
+	record := func(format string, args ...any) {
+		failMu.Lock()
+		defer failMu.Unlock()
+		if len(failures) < 10 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+
+	post := func(rng *rand.Rand) {
+		var reqBody SearchRequest
+		if rng.Intn(2) == 0 {
+			reqBody = SearchRequest{
+				QueryVector: []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+				Feature:     feature, K: 1 + rng.Intn(20),
+				Weights: []float64{1, 1, 1},
+			}
+		} else {
+			thr := rng.Float64() * 0.9
+			reqBody = SearchRequest{
+				QueryVector: []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+				Feature:     feature, Threshold: &thr,
+				Weights: []float64{0.5 + rng.Float64(), 0.5 + rng.Float64(), 0.5 + rng.Float64()},
+			}
+		}
+		body, _ := json.Marshal(reqBody)
+		resp, err := http.Post(tc.coordURL+"/api/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			record("transport error: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		queries.Add(1)
+		if resp.StatusCode >= 500 {
+			fiveXX.Add(1)
+			record("search answered %d", resp.StatusCode)
+			return
+		}
+		if h := resp.Header.Get(scatter.PartialHeader); h != "" {
+			partials.Add(1)
+			for _, name := range strings.Split(h, ",") {
+				if !validNames[name] {
+					record("partial header names unknown shard %q", name)
+				}
+			}
+		}
+		var results []SearchResult
+		if err := json.NewDecoder(resp.Body).Decode(&results); err != nil {
+			record("undecodable answer: %v", err)
+		}
+	}
+
+	get := func(path string) {
+		resp, err := http.Get(tc.coordURL + path)
+		if err != nil {
+			record("GET %s transport error: %v", path, err)
+			return
+		}
+		defer resp.Body.Close()
+		queries.Add(1)
+		if resp.StatusCode >= 500 {
+			fiveXX.Add(1)
+			record("GET %s answered %d", path, resp.StatusCode)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				switch rng.Intn(4) {
+				case 0:
+					get("/api/shapes")
+				case 1:
+					get("/api/stats")
+				default:
+					post(rng)
+				}
+			}
+		}(int64(w))
+	}
+
+	// Chaos controller: kill/delay/heal shards 1 and 3, never the whole
+	// fleet (total loss is the one legal failure, tested separately).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for !stop.Load() {
+			victim := []int{1, 3}[rng.Intn(2)]
+			switch rng.Intn(3) {
+			case 0:
+				tc.faults[victim].SetPartition(true)
+			case 1:
+				tc.faults[victim].SetDelay(time.Duration(rng.Intn(300)) * time.Millisecond)
+			case 2:
+				tc.faults[victim].DropNext(rng.Intn(4))
+			}
+			time.Sleep(time.Duration(10+rng.Intn(30)) * time.Millisecond)
+			tc.faults[victim].SetPartition(false)
+			tc.faults[victim].SetDelay(0)
+		}
+	}()
+
+	time.Sleep(1500 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if n := fiveXX.Load(); n > 0 {
+		t.Errorf("%d of %d requests answered 5xx during the soak", n, queries.Load())
+	}
+	failMu.Lock()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	failMu.Unlock()
+	t.Logf("soak: %d requests, %d degraded answers", queries.Load(), partials.Load())
+
+	// Quiesce and heal: the fleet must serve bit-identical full answers.
+	for _, f := range tc.faults {
+		f.SetPartition(false)
+		f.SetDelay(0)
+		f.DropNext(0)
+	}
+	req := SearchRequest{
+		QueryVector: []float64{0.3, 0.3, 0.9},
+		Feature:     feature, K: 15, Weights: []float64{1, 1, 1},
+	}
+	res, missing, err := tc.coordC.SearchPartial(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("healed fleet reports missing shards %v", missing)
+	}
+	ref, err := tc.refC.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatalf("post-chaos cluster != reference\ncluster: %+v\nref:     %+v", res, ref)
+	}
+}
+
+// TestClusterHedgeRecoversStraggler: one shard has two replicas, one of
+// them slow; the hedge fires after HedgeAfter and the fast replica's
+// answer wins well before the straggler's delay — with no degradation.
+func TestClusterHedgeRecoversStraggler(t *testing.T) {
+	db, _, srv := newNode(t)
+	if _, err := srv.SetShard(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Two listeners over the same shard state = two replicas.
+	tsA := httptest.NewServer(srv)
+	t.Cleanup(tsA.Close)
+	tsB := httptest.NewServer(srv)
+	t.Cleanup(tsB.Close)
+
+	slow := &hostDelayRT{host: tsA.Listener.Addr().String(), delay: 2 * time.Second}
+	policy := chaosPolicy()
+	policy.Timeout = 5 * time.Second // only the hedge should save us, not the attempt deadline
+	policy.HedgeAfter = 30 * time.Millisecond
+	coord, err := scatter.New([]scatter.ShardSpec{
+		{Endpoints: []string{tsA.URL, tsB.URL}, Transport: slow},
+	}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, coordSrv := newNode(t)
+	coordSrv.SetCoordinator(coord)
+	cts := httptest.NewServer(coordSrv)
+	t.Cleanup(cts.Close)
+	c := NewClient(cts.URL)
+
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	set := features.Set{features.PrincipalMoments: features.Vector{0.1, 0.2, 0.3}}
+	if _, err := db.InsertWith("only", 1, mesh, set, shapedb.InsertOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	res, missing, err := c.SearchPartial(SearchRequest{
+		QueryVector: []float64{0.1, 0.2, 0.3},
+		Feature:     features.PrincipalMoments.String(),
+		K:           5, Weights: []float64{1, 1, 1},
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("hedged query degraded: missing %v", missing)
+	}
+	if len(res) != 1 || res[0].Name != "only" {
+		t.Fatalf("results = %+v", res)
+	}
+	if elapsed > 1500*time.Millisecond {
+		t.Errorf("hedge did not rescue the straggler: %v elapsed", elapsed)
+	}
+	if h := coord.Shard(0).Health(); h.Hedges == 0 {
+		t.Error("no hedges recorded")
+	}
+}
+
+// hostDelayRT delays requests to one specific host — a single slow
+// replica in an otherwise healthy shard.
+type hostDelayRT struct {
+	host  string
+	delay time.Duration
+}
+
+func (rt *hostDelayRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Host == rt.host {
+		t := time.NewTimer(rt.delay)
+		select {
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		case <-t.C:
+		}
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}

@@ -125,6 +125,23 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusServiceUnavailable
 		}
 	}
+	if c := s.cluster; c != nil {
+		body["cluster_role"] = s.clusterRoleName()
+		if c.coord != nil {
+			// A coordinator is ready while any shard can answer — partial
+			// results are the contract — and not ready only when a query
+			// would have nothing to merge. Probing here (rather than
+			// trusting traffic-driven counters) keeps an idle coordinator's
+			// view fresh.
+			healthy := c.coord.Probe(r.Context())
+			body["shards_healthy"] = healthy
+			body["shards"] = c.coord.Health()
+			if healthy == 0 {
+				body["ready"] = false
+				status = http.StatusServiceUnavailable
+			}
+		}
+	}
 	writeJSON(w, status, body)
 }
 

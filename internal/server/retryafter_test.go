@@ -1,0 +1,58 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{Header: h}
+}
+
+// retryAfter must accept both RFC 9110 forms: delta-seconds and HTTP-date
+// (some servers and intermediaries only send the date form).
+func TestRetryAfterParsesBothForms(t *testing.T) {
+	if _, ok := retryAfter(respWithRetryAfter("")); ok {
+		t.Error("absent header parsed as present")
+	}
+	if d, ok := retryAfter(respWithRetryAfter("3")); !ok || d != 3*time.Second {
+		t.Errorf("delta-seconds: (%v, %v), want (3s, true)", d, ok)
+	}
+	if d, ok := retryAfter(respWithRetryAfter("0")); !ok || d != 0 {
+		t.Errorf("zero seconds: (%v, %v), want (0, true)", d, ok)
+	}
+	if _, ok := retryAfter(respWithRetryAfter("-5")); ok {
+		t.Error("negative delta-seconds parsed as valid")
+	}
+	if _, ok := retryAfter(respWithRetryAfter("soon")); ok {
+		t.Error("garbage parsed as valid")
+	}
+
+	// A future HTTP-date waits roughly until that date.
+	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	d, ok := retryAfter(respWithRetryAfter(future))
+	if !ok {
+		t.Fatalf("HTTP-date %q not accepted", future)
+	}
+	if d <= 2*time.Second || d > 5*time.Second {
+		t.Errorf("HTTP-date wait = %v, want ~5s", d)
+	}
+
+	// RFC 850 and asctime obsolete fallbacks go through http.ParseTime too.
+	rfc850 := time.Now().Add(10 * time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT")
+	if _, ok := retryAfter(respWithRetryAfter(rfc850)); !ok {
+		t.Errorf("RFC 850 date %q not accepted", rfc850)
+	}
+
+	// A date already in the past means "retry now" — zero wait, not a
+	// parse failure (which would strand the client on its default backoff).
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d, ok := retryAfter(respWithRetryAfter(past)); !ok || d != 0 {
+		t.Errorf("past HTTP-date: (%v, %v), want (0, true)", d, ok)
+	}
+}

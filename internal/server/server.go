@@ -23,6 +23,7 @@ import (
 	"threedess/internal/features"
 	"threedess/internal/geom"
 	"threedess/internal/replica"
+	"threedess/internal/scatter"
 	"threedess/internal/scrub"
 	"threedess/internal/shapedb"
 )
@@ -45,6 +46,10 @@ type Server struct {
 	// see replication.go.
 	repl    atomic.Pointer[replica.Node]
 	replCfg ReplicationConfig
+	// cluster is the optional scatter-gather cluster role (nil =
+	// standalone); set via SetShard or SetCoordinator before serving
+	// traffic. See cluster.go.
+	cluster *clusterRole
 	// idemMu/idemInFlight serialize concurrent mutating requests that share
 	// an Idempotency-Key, so exactly one performs the insert and the rest
 	// replay its stored result instead of double-inserting.
@@ -112,6 +117,7 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/api/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/api/browse", s.handleBrowse)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/cluster/bounds", s.handleClusterBounds)
 	s.mux.HandleFunc("/api/admin/maintenance", s.handleMaintenance)
 	s.mux.HandleFunc("/api/admin/replication", s.handleAdminReplication)
 	s.mux.HandleFunc(replica.StatePath, s.handleReplState)
@@ -159,10 +165,13 @@ type ViewModel struct {
 
 // SearchRequest is the query-by-example / query-by-id request body.
 type SearchRequest struct {
-	// Either QueryID (query by browsing/picking) or MeshOFF (query by
-	// example: an OFF file as a string) must be set.
-	QueryID int64  `json:"query_id,omitempty"`
-	MeshOFF string `json:"mesh_off,omitempty"`
+	// Exactly one of QueryID (query by browsing/picking), MeshOFF (query
+	// by example: an OFF file as a string), or QueryVector (a resolved
+	// feature-space point — what a scatter-gather coordinator sends its
+	// shards) must be set.
+	QueryID     int64     `json:"query_id,omitempty"`
+	MeshOFF     string    `json:"mesh_off,omitempty"`
+	QueryVector []float64 `json:"query_vector,omitempty"`
 
 	Feature   string    `json:"feature"`
 	Threshold *float64  `json:"threshold,omitempty"` // threshold search when set
@@ -173,6 +182,10 @@ type SearchRequest struct {
 	// "two-stage" (columnar filter-and-refine). Results are identical in
 	// every mode.
 	ScanMode string `json:"scan_mode,omitempty"`
+	// DMax overrides the Equation-4.4 similarity normalizer (nil = derive
+	// from this node's corpus). A coordinator passes the cluster-global
+	// value so per-shard similarities agree with a single-node scan.
+	DMax *float64 `json:"dmax,omitempty"`
 }
 
 // SearchResult is one result row.
@@ -184,11 +197,14 @@ type SearchResult struct {
 	Similarity float64 `json:"similarity"`
 }
 
-// BatchShape is one item of a bulk upload.
+// BatchShape is one item of a bulk upload. ID requests an explicit record
+// id (0 = assign sequentially); cluster-routed inserts carry centrally
+// allocated ids so every shard shares one global id space.
 type BatchShape struct {
 	Name    string `json:"name"`
 	Group   int    `json:"group"`
 	MeshOFF string `json:"mesh_off"`
+	ID      int64  `json:"id,omitempty"`
 }
 
 // BatchInsertRequest bulk-uploads shapes; feature extraction fans out on
@@ -236,11 +252,18 @@ type BrowseNodeJSON struct {
 	Children []BrowseNodeJSON `json:"children,omitempty"`
 }
 
-// StatsResponse reports database statistics.
+// StatsResponse reports database statistics plus the operator-facing
+// execution view: which scan mode serves weighted queries, this node's
+// cluster role, the highest id ever assigned (the seed for a
+// coordinator's id allocator), and — on a coordinator — per-shard health.
 type StatsResponse struct {
-	Shapes   int            `json:"shapes"`
-	Groups   map[string]int `json:"group_sizes"`
-	Features []string       `json:"features"`
+	Shapes   int                   `json:"shapes"`
+	Groups   map[string]int        `json:"group_sizes"`
+	Features []string              `json:"features"`
+	ScanMode string                `json:"scan_mode,omitempty"`
+	Role     string                `json:"role,omitempty"`
+	MaxID    int64                 `json:"max_id"`
+	Shards   []scatter.ShardHealth `json:"shards,omitempty"`
 }
 
 // --- handlers ---
@@ -282,6 +305,10 @@ func writeEngineErr(w http.ResponseWriter, err error, status int) {
 }
 
 func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
+	if s.isCoordinator() {
+		s.clusterShapes(w, r)
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		recs := s.engine.DB().Snapshot()
@@ -292,6 +319,7 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
 		// Insert a new shape: {"name": ..., "group": ..., "mesh_off": ...}
+		// plus an optional explicit "id" on cluster-routed inserts.
 		if !s.requireWritable(w) {
 			return
 		}
@@ -299,9 +327,14 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 			Name    string `json:"name"`
 			Group   int    `json:"group"`
 			MeshOFF string `json:"mesh_off"`
+			ID      int64  `json:"id"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeDecodeErr(w, err)
+			return
+		}
+		if err := s.checkShardOwnership(req.ID); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 		mesh, err := s.parseMesh(req.MeshOFF)
@@ -331,8 +364,14 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		res, err := s.engine.IngestMeshKeyed(req.Name, req.Group, mesh, nil, key)
+		res, err := s.engine.IngestMeshWith(req.Name, req.Group, mesh, nil, core.IngestOpts{Key: key, ID: req.ID})
 		if err != nil {
+			if errors.Is(err, shapedb.ErrIDExists) {
+				// The explicit id lost a race with another allocation; the
+				// coordinator bumps its counter and retries with a fresh id.
+				writeErr(w, http.StatusConflict, err)
+				return
+			}
 			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
@@ -355,6 +394,10 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	if s.isCoordinator() {
+		s.clusterInsertBatch(w, r)
+		return
+	}
 	if !s.requireWritable(w) {
 		return
 	}
@@ -366,6 +409,12 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 	if len(req.Shapes) == 0 {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
+	}
+	for _, sh := range req.Shapes {
+		if err := s.checkShardOwnership(sh.ID); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
 	}
 	key := r.Header.Get(IdempotencyKeyHeader)
 	if key != "" {
@@ -394,10 +443,14 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("shape %d (%q): %w", i, sh.Name, err))
 			return
 		}
-		items[i] = core.IngestShape{Name: sh.Name, Group: sh.Group, Mesh: mesh}
+		items[i] = core.IngestShape{Name: sh.Name, Group: sh.Group, Mesh: mesh, ID: sh.ID}
 	}
 	res, err := s.engine.IngestBatchKeyed(r.Context(), items, nil, key)
 	if err != nil {
+		if errors.Is(err, shapedb.ErrIDExists) {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
 		writeEngineErr(w, err, http.StatusUnprocessableEntity)
 		return
 	}
@@ -422,17 +475,26 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, resp)
 }
 
-// handleShapeByID serves /api/shapes/{id} and /api/shapes/{id}/view.
+// handleShapeByID serves /api/shapes/{id}, /api/shapes/{id}/view, and
+// /api/shapes/{id}/features.
 func (s *Server) handleShapeByID(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/api/shapes/")
-	wantView := false
-	if strings.HasSuffix(rest, "/view") {
+	wantView, wantFeatures := false, false
+	switch {
+	case strings.HasSuffix(rest, "/view"):
 		wantView = true
 		rest = strings.TrimSuffix(rest, "/view")
+	case strings.HasSuffix(rest, "/features"):
+		wantFeatures = true
+		rest = strings.TrimSuffix(rest, "/features")
 	}
 	id, err := strconv.ParseInt(rest, 10, 64)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad shape id %q", rest))
+		return
+	}
+	if s.isCoordinator() {
+		s.clusterShapeByID(w, r, id)
 		return
 	}
 	rec, ok := s.engine.DB().Get(id)
@@ -446,10 +508,20 @@ func (s *Server) handleShapeByID(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, viewOf(rec))
 			return
 		}
+		if wantFeatures {
+			// The stored descriptors, keyed by kind — what a coordinator
+			// fetches to resolve a query-by-id into a query vector.
+			out := make(map[string][]float64, len(rec.Features))
+			for k, v := range rec.Features {
+				out[k.String()] = v
+			}
+			writeJSON(w, http.StatusOK, out)
+			return
+		}
 		writeJSON(w, http.StatusOK, infoOf(rec))
 	case http.MethodDelete:
-		if wantView {
-			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("cannot delete a view"))
+		if wantView || wantFeatures {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("cannot delete a sub-resource"))
 			return
 		}
 		if !s.requireWritable(w) {
@@ -527,10 +599,35 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	query, err := s.resolveQuery(req.QueryID, req.MeshOFF)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if s.isCoordinator() {
+		s.clusterSearch(w, r, req, kind)
 		return
+	}
+	var query features.Set
+	if len(req.QueryVector) > 0 {
+		// A pre-resolved feature-space point (the coordinator's fan-out
+		// form; also usable directly by callers that cache vectors).
+		if req.QueryID != 0 || req.MeshOFF != "" {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("query_vector excludes query_id and mesh_off"))
+			return
+		}
+		if want := s.engine.DB().Options().Dim(kind); len(req.QueryVector) != want {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("query_vector has dimension %d, feature %s wants %d", len(req.QueryVector), kind, want))
+			return
+		}
+		query = features.Set{kind: features.Vector(req.QueryVector)}
+	} else {
+		query, err = s.resolveQuery(req.QueryID, req.MeshOFF)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	var dmax float64
+	if req.DMax != nil {
+		dmax = *req.DMax
 	}
 	k := req.K
 	if k <= 0 {
@@ -539,7 +636,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var results []core.Result
 	if req.Threshold != nil {
 		results, err = s.engine.SearchThreshold(r.Context(), query, core.Options{
-			Feature: kind, Threshold: *req.Threshold, Weights: req.Weights, Mode: mode,
+			Feature: kind, Threshold: *req.Threshold, Weights: req.Weights, Mode: mode, DMax: dmax,
 		})
 	} else {
 		fetch := k
@@ -547,7 +644,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			fetch++ // absorb the query shape, which is always retrieved
 		}
 		results, err = s.engine.SearchTopK(r.Context(), query, core.Options{
-			Feature: kind, K: fetch, Weights: req.Weights, Mode: mode,
+			Feature: kind, K: fetch, Weights: req.Weights, Mode: mode, DMax: dmax,
 		})
 	}
 	if err != nil {
@@ -566,6 +663,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMultiStep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if !s.notOnCoordinator(w, "multi-step search") {
 		return
 	}
 	var req MultiStepRequest
@@ -616,6 +716,9 @@ func (s *Server) handleMultiStep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if !s.notOnCoordinator(w, "relevance feedback") {
 		return
 	}
 	var req FeedbackRequest
@@ -669,6 +772,9 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
+	if !s.notOnCoordinator(w, "cluster browsing") {
+		return
+	}
 	kindName := r.URL.Query().Get("feature")
 	if kindName == "" {
 		kindName = features.PrincipalMoments.String()
@@ -691,9 +797,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
+	if s.isCoordinator() {
+		s.clusterStats(w, r)
+		return
+	}
 	db := s.engine.DB()
 	snap := db.Snapshot()
-	resp := StatsResponse{Shapes: len(snap), Groups: map[string]int{}}
+	resp := StatsResponse{
+		Shapes:   len(snap),
+		Groups:   map[string]int{},
+		ScanMode: s.engine.SearchMode().String(),
+		Role:     s.clusterRoleName(),
+		MaxID:    db.MaxID(),
+	}
 	for _, rec := range snap {
 		resp.Groups[strconv.Itoa(rec.Group)]++
 	}

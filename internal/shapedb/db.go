@@ -292,7 +292,16 @@ type InsertOpts struct {
 	IdemKey   string
 	IdemIndex int
 	IdemCount int
+	// ID requests an explicit record id instead of the next sequential one
+	// (0 = assign sequentially). Sharded clusters allocate ids centrally so
+	// every shard's records live in one global id space; an id already in
+	// use fails the insert with ErrIDExists. The sequential counter always
+	// advances past explicit ids, so the two schemes can coexist.
+	ID int64
 }
+
+// ErrIDExists reports an explicit-id insert whose id is already taken.
+var ErrIDExists = errors.New("shapedb: id already exists")
 
 // InsertFull is Insert carrying per-kind degradation flags (stable feature
 // kind names whose extraction was skipped; see features.Degradation). The
@@ -324,8 +333,18 @@ func (db *DB) InsertWith(name string, group int, mesh *geom.Mesh, set features.S
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	id := db.nextID
+	if o.ID != 0 {
+		if o.ID < 0 {
+			return 0, fmt.Errorf("shapedb: explicit id %d for %q must be positive", o.ID, name)
+		}
+		if _, taken := db.records[o.ID]; taken {
+			return 0, fmt.Errorf("shapedb: %q wants id %d: %w", name, o.ID, ErrIDExists)
+		}
+		id = o.ID
+	}
 	rec := &Record{
-		ID:        db.nextID,
+		ID:        id,
 		Name:      name,
 		Group:     group,
 		Mesh:      mesh.Clone(),
@@ -718,6 +737,29 @@ func (db *DB) DMax(k features.Kind) float64 {
 		return d
 	}
 	return 1e-12
+}
+
+// Bounds returns copies of the feature-space bounding box (lo, hi) of the
+// stored vectors of kind k, or ok=false when no vector of that kind is
+// stored. A cluster coordinator merges per-shard boxes elementwise into
+// the global box, whose diagonal reproduces this database's DMax exactly.
+func (db *DB) Bounds(k features.Kind) (lo, hi []float64, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	l, ok := db.lo[k]
+	if !ok {
+		return nil, nil, false
+	}
+	return append([]float64(nil), l...), append([]float64(nil), db.hi[k]...), true
+}
+
+// MaxID returns the highest record id ever assigned (0 for a fresh
+// database), including ids whose records were since deleted — the safe
+// seed for an external id allocator.
+func (db *DB) MaxID() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.nextID - 1
 }
 
 // DimRanges returns the per-dimension extent (hi − lo) of the stored

@@ -38,6 +38,21 @@ go test -race -count=1 ./internal/scrub/...
 # gate, commit-wake long-polling, drain/resume — never cached.
 go test -race -count=1 ./internal/replica/...
 go test -race -count=1 -run 'Replication|Chaos|Standby|Fencing|Drain|Readyz|Idempoten|InflatedAck|Failover|CommitNotify' ./internal/server/... ./internal/shapedb/...
+# Cluster gate: scatter-gather correctness — consistent-hash ring
+# properties, the shard client's retry/hedge/deadline machinery, the
+# merge-equivalence suite (coordinator answers bit-identical to a
+# single-node scan across shard counts, weights, and scan modes), and the
+# chaos suite (dead/partitioned/straggling shards degrade to partial
+# results, never errors), under the race detector, never cached.
+go test -race -count=1 ./internal/scatter/...
+go test -race -count=1 -run 'Cluster|Chaos|Coordinator|Shard|RetryAfter' ./internal/server/...
+# Benchrunner cluster smoke: the scatter figure at a toy corpus size must
+# produce a BENCH_cluster.json whose degradation contract held (every
+# degraded answer partial, none an error).
+CLUSTER_SMOKE="$(mktemp -d)"
+go run ./cmd/benchrunner -fig cluster -cluster-size 400 -cluster-out "$CLUSTER_SMOKE/BENCH_cluster.json" > /dev/null
+go run ./cmd/benchrunner -check-cluster "$CLUSTER_SMOKE/BENCH_cluster.json"
+rm -rf "$CLUSTER_SMOKE"
 # Hostile-input gate: a short live-fuzz pass over each mesh parser (the
 # checked-in seeds alone run in the normal suite; this explores beyond
 # them). 5s per target keeps the gate fast while still catching
