@@ -54,6 +54,18 @@
 // instead of failing it. See DESIGN.md §12 for the merge-equivalence
 // guarantee and the degradation policy.
 //
+// Brownout serving: under pressure (in-flight depth past the
+// -brownout-* fractions of -max-inflight, or the decayed latency signal
+// past -slow-latency) searches step down through cheaper tiers — coarse
+// filter-stage answers marked X-Degraded: coarse, then cache-only
+// serving, then 429 — instead of jumping straight to shedding. Exact
+// results are cached (-cache-entries) with ETags and invalidated on
+// every commit. A standby serves reads behind a bounded-staleness gate
+// (-max-staleness, tightened per-request with the Max-Staleness header;
+// every read carries X-Staleness), and a coordinator skips shards whose
+// circuit breaker (-breaker-after / -breaker-cooldown) is open instead
+// of burning their retry budget. See DESIGN.md §13 for the full ladder.
+//
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -drain-timeout; requests still running
 // after that are force-closed, which cancels their contexts and aborts
@@ -116,6 +128,13 @@ func main() {
 	shardTimeout := flag.Duration("shard-timeout", 0, "coordinator: per-attempt deadline for one shard request (0 = default)")
 	shardRetries := flag.Int("shard-retries", 0, "coordinator: retries per shard after the first attempt (0 = default, negative = disabled)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: straggler budget before a duplicate request is hedged to another replica (0 = default, negative = disabled)")
+	breakerAfter := flag.Int("breaker-after", 0, "coordinator: consecutive per-shard failures that open its circuit breaker (0 = default, negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "coordinator: how long an open breaker skips a shard before probing it with one trial call (0 = default)")
+	maxStaleness := flag.Duration("max-staleness", 0, "standby: staleness ceiling for serving reads; older data answers 503 with the primary pointer (0 = default 10s, negative = unbounded)")
+	cacheEntries := flag.Int("cache-entries", 0, "query-result cache capacity in entries (0 = default, negative = disabled)")
+	coarseAt := flag.Float64("brownout-coarse-at", 0, "in-flight fraction above which weighted searches serve the coarse filter stage only (0 = default 0.5, negative = brownout disabled)")
+	cacheOnlyAt := flag.Float64("brownout-cache-only-at", 0, "in-flight fraction above which searches serve only from cache (0 = default 0.85)")
+	slowLatency := flag.Duration("slow-latency", 0, "decayed request-latency EWMA above which the brownout tier is bumped one step (0 = default 1.5s, negative = disabled)")
 	flag.Parse()
 
 	replicated := *replicateFrom != "" || *advertise != ""
@@ -177,7 +196,14 @@ func main() {
 			MaxVertices:  *maxVertices,
 			MaxTriangles: *maxTriangles,
 		},
+		BrownoutCoarseAt:    *coarseAt,
+		BrownoutCacheOnlyAt: *cacheOnlyAt,
+		SlowLatency:         *slowLatency,
+		CacheEntries:        *cacheEntries,
 	})
+	// Evict version-stale result-cache entries as commits land (lookups
+	// re-check versions themselves; this reclaims memory early).
+	go api.WatchCache(ctx)
 
 	// Cluster roles: a shard validates explicit-id ownership against the
 	// ring and serves the bounds endpoint; a coordinator scatter-gathers
@@ -198,9 +224,11 @@ func main() {
 			log.Fatalf("-coordinator: %v", err)
 		}
 		coord, err := scatter.New(specs, scatter.Policy{
-			Timeout:    *shardTimeout,
-			Retries:    *shardRetries,
-			HedgeAfter: *hedgeAfter,
+			Timeout:         *shardTimeout,
+			Retries:         *shardRetries,
+			HedgeAfter:      *hedgeAfter,
+			BreakerAfter:    *breakerAfter,
+			BreakerCooldown: *breakerCooldown,
 		})
 		if err != nil {
 			log.Fatalf("-coordinator: %v", err)
@@ -257,9 +285,10 @@ func main() {
 			node = replica.NewPrimaryNode(*advertise)
 		}
 		api.SetReplication(node, server.ReplicationConfig{
-			SyncWrites: *replSync,
-			AckTimeout: *ackTimeout,
-			PeerSecret: *replSecret,
+			SyncWrites:   *replSync,
+			AckTimeout:   *ackTimeout,
+			PeerSecret:   *replSecret,
+			MaxStaleness: *maxStaleness,
 		})
 		if standby != nil {
 			standby.Start(ctx)

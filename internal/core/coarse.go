@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"threedess/internal/features"
+)
+
+// Coarse serving (ScanCoarse): the brownout search path. Answers come
+// from the columnar store's quantized filter stage alone — no exact
+// re-rank — so they cost a fraction of a full scan but are approximate:
+// distances are lower bounds (similarities read high) and ranking near
+// ties may differ from the exact scan. Callers are responsible for
+// marking responses produced this way as degraded (X-Degraded: coarse);
+// the engine never picks this mode on its own (ScanAuto excludes it).
+
+// coarseTopK serves a weighted top-k query from the quantized columns
+// only. Requires the columnar store; errors surface to the caller, which
+// decides whether to fall back to an exact mode (and drop the degraded
+// marking) or fail.
+func (e *Engine) coarseTopK(ctx context.Context, qv features.Vector, opt Options, dmax float64) ([]Result, error) {
+	st, err := e.cstore.Store(opt.Feature)
+	if err != nil {
+		return nil, err
+	}
+	cands, _, err := st.SearchCoarseTopK(ctx, qv, opt.Weights, opt.K, e.workers)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, c := range cands {
+		out = append(out, batchResult(c.Rec, c.Dist, dmax))
+	}
+	return out, nil
+}
+
+// coarseThreshold serves a weighted similarity-threshold query from the
+// quantized columns only. The radius conversion matches the two-stage
+// path; because coarse distances are lower bounds the result can only
+// over-include relative to the exact answer, never miss.
+func (e *Engine) coarseThreshold(ctx context.Context, qv features.Vector, opt Options, dmax float64) ([]Result, error) {
+	st, err := e.cstore.Store(opt.Feature)
+	if err != nil {
+		return nil, err
+	}
+	radius := math.Inf(1)
+	if opt.Threshold > 0 {
+		radius = (1-opt.Threshold)*dmax*(1+1e-9) + dmax*1e-12
+	}
+	cands, _, err := st.SearchCoarseRadius(ctx, qv, opt.Weights, radius, e.workers)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, c := range cands {
+		r := batchResult(c.Rec, c.Dist, dmax)
+		if r.Similarity >= opt.Threshold {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -215,7 +215,16 @@ func (e *Engine) SearchThreshold(ctx context.Context, query features.Set, opt Op
 		}
 		return e.toResults(nn, dmax), nil
 	}
-	if mode, forced := e.resolveScanMode(opt); mode == ScanTwoStage {
+	switch mode, forced := e.resolveScanMode(opt); mode {
+	case ScanCoarse:
+		// Coarse is approximate by design; a forced request surfaces
+		// errors so the caller can fall back to exact and drop its
+		// degraded marking, never mislabel.
+		out, err := e.coarseThreshold(ctx, qv, opt, dmax)
+		if err == nil || forced || ctx.Err() != nil {
+			return out, err
+		}
+	case ScanTwoStage:
 		out, err := e.twoStageThreshold(ctx, qv, opt, dmax)
 		if err == nil || forced || ctx.Err() != nil {
 			return out, err
@@ -248,7 +257,13 @@ func (e *Engine) SearchTopK(ctx context.Context, query features.Set, opt Options
 		}
 		return e.toResults(nn, dmax), nil
 	}
-	if mode, forced := e.resolveScanMode(opt); mode == ScanTwoStage {
+	switch mode, forced := e.resolveScanMode(opt); mode {
+	case ScanCoarse:
+		out, err := e.coarseTopK(ctx, qv, opt, dmax)
+		if err == nil || forced || ctx.Err() != nil {
+			return out, err
+		}
+	case ScanTwoStage:
 		out, err := e.twoStageTopK(ctx, qv, opt, dmax)
 		if err == nil || forced || ctx.Err() != nil {
 			return out, err

@@ -24,6 +24,12 @@ const (
 	// ScanTwoStage forces the two-stage path: quantized columnar filter
 	// plus R-tree bound seeding, then exact re-ranking of survivors.
 	ScanTwoStage
+	// ScanCoarse serves the two-stage filter stage AS the answer — rows
+	// ranked by their quantized lower bounds with the exact re-rank
+	// skipped. Results are approximate (distances read low, ranking may
+	// differ near ties); it exists for brownout serving, where the caller
+	// must mark the response degraded. Never chosen by ScanAuto.
+	ScanCoarse
 )
 
 func (m ScanMode) String() string {
@@ -34,6 +40,8 @@ func (m ScanMode) String() string {
 		return "exact"
 	case ScanTwoStage:
 		return "two-stage"
+	case ScanCoarse:
+		return "coarse"
 	default:
 		return fmt.Sprintf("ScanMode(%d)", int(m))
 	}
@@ -48,8 +56,10 @@ func ParseScanMode(s string) (ScanMode, error) {
 		return ScanExact, nil
 	case "two-stage", "twostage", "two_stage":
 		return ScanTwoStage, nil
+	case "coarse":
+		return ScanCoarse, nil
 	default:
-		return ScanAuto, fmt.Errorf("core: unknown scan mode %q (want auto, exact, or two-stage)", s)
+		return ScanAuto, fmt.Errorf("core: unknown scan mode %q (want auto, exact, two-stage, or coarse)", s)
 	}
 }
 

@@ -103,6 +103,9 @@ type Status struct {
 	Lag           int64 `json:"lag"`
 	CaughtUp      bool  `json:"caught_up"`
 	LastContactMS int64 `json:"last_contact_ms"`
+	// StalenessMS bounds how old served reads may be: ms since the standby
+	// last observed itself fully caught up (-1 = never; 0 on a primary).
+	StalenessMS int64 `json:"staleness_ms"`
 	Promotions    int64 `json:"promotions"`
 	StepDowns     int64 `json:"step_downs"`
 	// Primary-side ack tracking (meaningful when Role == "primary").
@@ -128,8 +131,13 @@ type Node struct {
 	committed   int64
 	caughtUp    bool
 	lastContact time.Time
-	promotions  int64
-	stepDowns   int64
+	// lastSynced is the last instant the standby observed itself fully
+	// caught up with the primary's committed offset. It bounds read
+	// staleness: every commit older than lastSynced is applied locally, so
+	// data served from this standby is at most time.Since(lastSynced) old.
+	lastSynced time.Time
+	promotions int64
+	stepDowns  int64
 
 	// Primary-side ack watermark: the highest offset (within ackEpoch) a
 	// standby has attested durable by requesting the stream from it.
@@ -245,10 +253,31 @@ func (n *Node) setProgress(epoch, applied, committed int64, contact bool) {
 	n.committed = committed
 	if applied >= committed {
 		n.caughtUp = true
+		if contact {
+			// The primary just told us its committed offset and we have
+			// applied all of it: our view is current as of this instant.
+			n.lastSynced = time.Now()
+		}
 	}
 	if contact {
 		n.lastContact = time.Now()
 	}
+}
+
+// Staleness bounds how old the data this node serves may be. A primary is
+// never stale. A standby's bound is the time since it last observed itself
+// fully caught up with the primary's committed offset; ok is false when it
+// never has (bootstrap or mid-re-bootstrap — nothing can be promised).
+func (n *Node) Staleness() (time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == RolePrimary {
+		return 0, true
+	}
+	if n.lastSynced.IsZero() {
+		return 0, false
+	}
+	return time.Since(n.lastSynced), true
 }
 
 // markContact refreshes the standby's last-contact clock without touching
@@ -387,6 +416,13 @@ func (n *Node) Status() Status {
 		st.LastContactMS = time.Since(n.lastContact).Milliseconds()
 	} else {
 		st.LastContactMS = -1
+	}
+	if n.role == RolePrimary {
+		st.StalenessMS = 0
+	} else if !n.lastSynced.IsZero() {
+		st.StalenessMS = time.Since(n.lastSynced).Milliseconds()
+	} else {
+		st.StalenessMS = -1
 	}
 	return st
 }

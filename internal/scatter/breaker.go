@@ -1,0 +1,127 @@
+package scatter
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Circuit breaker: ShardClient has always counted ConsecutiveFails; the
+// breaker is the piece that consults it. After BreakerAfter consecutive
+// failures the breaker opens and every Call against the shard fails
+// immediately with *BreakerOpenError — no connection attempt, no retry
+// budget, no backoff sleeps — so a dead shard costs the coordinator one
+// error allocation per query instead of a full timeout ladder. After
+// BreakerCooldown one caller is let through as a half-open trial; its
+// success closes the breaker, its failure re-opens it for another
+// cooldown. Probes bypass the breaker (they ARE the cheap liveness
+// check), and a successful probe closes it early.
+
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker defaults for Policy fields left zero.
+const (
+	DefaultBreakerAfter    = 3
+	DefaultBreakerCooldown = time.Second
+)
+
+// ErrBreakerOpen matches (via errors.Is) every breaker rejection.
+var ErrBreakerOpen = errors.New("scatter: circuit breaker open")
+
+// BreakerOpenError is returned by Call/CallIdem when the shard's breaker
+// rejects the request without attempting it. RetryAfter is how long until
+// the next half-open trial is due (callers can surface it as a hint).
+type BreakerOpenError struct {
+	Shard      string
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("scatter: %s circuit breaker open (next trial in %s)", e.Shard, e.RetryAfter.Round(time.Millisecond))
+}
+
+func (e *BreakerOpenError) Is(target error) bool { return target == ErrBreakerOpen }
+
+// allowAttempt reports whether the breaker admits a request right now.
+// When it refuses, retryIn is the time until the next half-open trial. A
+// true return from the open state means THIS caller won the half-open
+// trial slot: its outcome (markSeen/markFail) decides the next state.
+func (sc *ShardClient) allowAttempt() (ok bool, retryIn time.Duration) {
+	if sc.policy.BreakerAfter < 0 {
+		return true, 0
+	}
+	switch breakerState(sc.brState.Load()) {
+	case breakerClosed:
+		return true, 0
+	case breakerHalfOpen:
+		// A trial is already in flight; everyone else waits it out.
+		return false, sc.policy.BreakerCooldown
+	default: // open
+		until := sc.brUntil.Load()
+		if now := time.Now().UnixNano(); now < until {
+			return false, time.Duration(until - now)
+		}
+		if sc.brState.CompareAndSwap(int32(breakerOpen), int32(breakerHalfOpen)) {
+			return true, 0
+		}
+		return false, sc.policy.BreakerCooldown
+	}
+}
+
+// breakerOnSuccess closes the breaker (any successful contact proves the
+// shard lives — including a half-open trial or an out-of-band probe).
+func (sc *ShardClient) breakerOnSuccess() {
+	if sc.policy.BreakerAfter < 0 {
+		return
+	}
+	sc.brState.Store(int32(breakerClosed))
+}
+
+// breakerOnFailure reacts to one more consecutive failure: a failed
+// half-open trial re-opens immediately; fails crossing the threshold
+// open a closed breaker. Failures while already open (stragglers from
+// requests launched before it opened) change nothing.
+func (sc *ShardClient) breakerOnFailure(consecutive int64) {
+	if sc.policy.BreakerAfter < 0 {
+		return
+	}
+	switch breakerState(sc.brState.Load()) {
+	case breakerHalfOpen:
+		sc.brUntil.Store(time.Now().Add(sc.policy.BreakerCooldown).UnixNano())
+		sc.brState.Store(int32(breakerOpen))
+		sc.brOpens.Add(1)
+	case breakerClosed:
+		if consecutive >= int64(sc.policy.BreakerAfter) {
+			sc.brUntil.Store(time.Now().Add(sc.policy.BreakerCooldown).UnixNano())
+			if sc.brState.CompareAndSwap(int32(breakerClosed), int32(breakerOpen)) {
+				sc.brOpens.Add(1)
+			}
+		}
+	}
+}
+
+// BreakerState returns the breaker's current state name, for tests and
+// operator surfaces.
+func (sc *ShardClient) BreakerState() string {
+	if sc.policy.BreakerAfter < 0 {
+		return "disabled"
+	}
+	return breakerState(sc.brState.Load()).String()
+}

@@ -44,6 +44,14 @@ type Policy struct {
 	// coordinator's own merge work; per-shard deadlines never extend into
 	// it.
 	MergeMargin time.Duration
+	// BreakerAfter is the consecutive-failure count that opens the shard's
+	// circuit breaker: while open, calls fail immediately with
+	// *BreakerOpenError instead of consuming the retry/timeout budget.
+	// Zero takes the default; negative disables the breaker.
+	BreakerAfter int
+	// BreakerCooldown is how long an open breaker rejects before admitting
+	// one half-open trial request. Zero takes the default.
+	BreakerCooldown time.Duration
 }
 
 // Defaults for Policy fields left zero.
@@ -76,6 +84,12 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.MergeMargin <= 0 {
 		p.MergeMargin = DefaultMergeMargin
+	}
+	if p.BreakerAfter == 0 {
+		p.BreakerAfter = DefaultBreakerAfter
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = DefaultBreakerCooldown
 	}
 	return p
 }
@@ -123,6 +137,12 @@ type ShardHealth struct {
 	// hedged duplicates specifically.
 	Requests int64 `json:"requests"`
 	Hedges   int64 `json:"hedges"`
+	// Breaker is the circuit breaker state: "closed", "open", "half-open",
+	// or "disabled". BreakerOpens counts transitions into the open state;
+	// BreakerRetryMS is the time until the next half-open trial when open.
+	Breaker        string `json:"breaker"`
+	BreakerOpens   int64  `json:"breaker_opens"`
+	BreakerRetryMS int64  `json:"breaker_retry_ms,omitempty"`
 }
 
 // ShardClient talks to one shard (and its replicas) under the policy's
@@ -140,6 +160,11 @@ type ShardClient struct {
 	fails        atomic.Int64
 	requests     atomic.Int64
 	hedges       atomic.Int64
+
+	// Circuit breaker state (see breaker.go).
+	brState atomic.Int32 // breakerState
+	brUntil atomic.Int64 // unixnano: when the open state admits a trial
+	brOpens atomic.Int64
 }
 
 // newShardClient builds the client for shard i. transport may be nil
@@ -202,6 +227,12 @@ func (sc *ShardClient) CallIdem(ctx context.Context, method, path, idemKey strin
 	for a := 0; a < attempts; a++ {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		// An open breaker rejects without attempting — the whole point is
+		// that a dead shard costs nothing, so no retry budget is spent and
+		// the loop exits immediately rather than backing off.
+		if ok, retryIn := sc.allowAttempt(); !ok {
+			return &BreakerOpenError{Shard: sc.name, RetryAfter: retryIn}
 		}
 		status, data, err := sc.attemptHedged(ctx, method, path, idemKey, payload)
 		switch {
@@ -374,6 +405,13 @@ func (sc *ShardClient) Health() ShardHealth {
 		h.LastSeen = seen.UTC().Format(time.RFC3339Nano)
 		h.SinceSeenMS = time.Since(seen).Milliseconds()
 	}
+	h.Breaker = sc.BreakerState()
+	h.BreakerOpens = sc.brOpens.Load()
+	if breakerState(sc.brState.Load()) == breakerOpen {
+		if rem := sc.brUntil.Load() - time.Now().UnixNano(); rem > 0 {
+			h.BreakerRetryMS = time.Duration(rem).Milliseconds()
+		}
+	}
 	h.Healthy = h.ConsecutiveFails == 0 && h.LastSeen != ""
 	return h
 }
@@ -381,9 +419,12 @@ func (sc *ShardClient) Health() ShardHealth {
 func (sc *ShardClient) markSeen() {
 	sc.lastSeenNano.Store(time.Now().UnixNano())
 	sc.fails.Store(0)
+	sc.breakerOnSuccess()
 }
 
-func (sc *ShardClient) markFail() { sc.fails.Add(1) }
+func (sc *ShardClient) markFail() {
+	sc.breakerOnFailure(sc.fails.Add(1))
+}
 
 // nextEndpoint rotates through the shard's replicas so retries and hedges
 // land on a different node than the attempt they follow.

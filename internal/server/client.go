@@ -45,10 +45,23 @@ type Client struct {
 	// the client rides out a failover without caller involvement. Empty
 	// means single-endpoint mode against BaseURL.
 	Endpoints []string
+	// ReadEndpoints, when set, splits the client read/write: reads (GETs
+	// and the search family) rotate over these endpoints — typically the
+	// standbys — while writes keep using Endpoints/BaseURL. Each read
+	// carries the Max-Staleness bound; a standby refusing as too stale
+	// (503 + X-Replica-Primary) sends just that request to the primary,
+	// without sticking future reads there.
+	ReadEndpoints []string
+	// MaxStaleness, when positive, is the staleness bound stamped on every
+	// read sent to a ReadEndpoints node. Zero sends no header (the
+	// server's own ceiling applies).
+	MaxStaleness time.Duration
 	// epMu guards the failover cursor state below.
 	epMu sync.Mutex
 	// epIdx is the current index into Endpoints.
 	epIdx int
+	// rdIdx is the current index into ReadEndpoints.
+	rdIdx int
 	// override is a primary URL learned from an X-Replica-Primary header,
 	// tried before the Endpoints rotation until it fails.
 	override string
@@ -80,6 +93,18 @@ func NewFailoverClient(endpoints ...string) *Client {
 	}
 	c := NewClient(endpoints[0])
 	c.Endpoints = endpoints
+	return c
+}
+
+// NewReadSplitClient builds a failover client that additionally routes
+// read traffic (GETs and the search family) to the given read replicas,
+// each read bounded by maxStaleness (zero defers to the server ceiling).
+// Writes — and reads a replica refuses as too stale — go to the write
+// endpoints, so callers see one client with replica offload, not two.
+func NewReadSplitClient(maxStaleness time.Duration, writeEndpoints, readEndpoints []string) *Client {
+	c := NewFailoverClient(writeEndpoints...)
+	c.ReadEndpoints = readEndpoints
+	c.MaxStaleness = maxStaleness
 	return c
 }
 
@@ -133,11 +158,18 @@ func (c *Client) doCapture(method, path, idemKey string, body, out any, capture 
 	// Everything else must not be blindly resent after a failure that may
 	// have already landed it.
 	resendable := method == http.MethodGet || idemKey != ""
+	read := isReadRequest(method, path)
 	attempts := 1 + c.MaxRetries
 	var lastErr error
+	// A replica's too-stale refusal redirects only the current request to
+	// the primary; the rotation keeps preferring replicas for later reads.
+	readOverride := ""
 	for attempt := 0; attempt < attempts; attempt++ {
-		base := c.endpoint()
-		resp, err := c.attempt(method, base+path, idemKey, payload)
+		base := readOverride
+		if base == "" {
+			base = c.endpoint(read)
+		}
+		resp, err := c.attempt(method, base+path, idemKey, payload, read)
 		if err != nil {
 			// Connection-level failure: this endpoint may be dead; rotate
 			// to the next one. Resending is only safe for GETs and keyed
@@ -147,6 +179,7 @@ func (c *Client) doCapture(method, path, idemKey string, body, out any, capture 
 				return err
 			}
 			lastErr = err
+			readOverride = ""
 			c.failEndpoint(base)
 			c.backoff(attempt + 1)
 			continue
@@ -168,10 +201,16 @@ func (c *Client) doCapture(method, path, idemKey string, body, out any, capture 
 			continue
 		case resp.StatusCode == http.StatusServiceUnavailable &&
 			resp.Header.Get(replica.PrimaryHeader) != "" && attempt < attempts-1:
-			// Role refusal from a standby (or fenced ex-primary): the
-			// handler did no work, so every method may follow the pointer
-			// to the current primary and resend immediately.
-			c.retarget(resp.Header.Get(replica.PrimaryHeader))
+			// Role or staleness refusal from a standby (or fenced
+			// ex-primary): the handler did no work, so every method may
+			// follow the pointer to the current primary and resend
+			// immediately. A split-client read keeps the redirect local to
+			// this request — the standby may be caught up again next read.
+			if read && len(c.ReadEndpoints) > 0 {
+				readOverride = resp.Header.Get(replica.PrimaryHeader)
+			} else {
+				c.retarget(resp.Header.Get(replica.PrimaryHeader))
+			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			lastErr = fmt.Errorf("server: HTTP %d (not primary)", resp.StatusCode)
@@ -183,6 +222,7 @@ func (c *Client) doCapture(method, path, idemKey string, body, out any, capture 
 			if resp.StatusCode == http.StatusServiceUnavailable {
 				// Could be a draining or freshly-demoted node with no
 				// pointer to offer; try the next endpoint.
+				readOverride = ""
 				c.failEndpoint(base)
 			}
 			c.backoff(attempt + 1)
@@ -196,11 +236,26 @@ func (c *Client) doCapture(method, path, idemKey string, body, out any, capture 
 	return lastErr
 }
 
-// endpoint picks the base URL for the next attempt: a learned primary
-// override first, then the Endpoints rotation, then BaseURL.
-func (c *Client) endpoint() string {
+// isReadRequest classifies a request for read/write splitting: GETs plus
+// the POST-carrying search family, which a standby serves behind its
+// staleness gate without mutating anything.
+func isReadRequest(method, path string) bool {
+	if method == http.MethodGet {
+		return true
+	}
+	return method == http.MethodPost &&
+		(path == "/api/search" || path == "/api/search/multistep" || path == "/api/feedback")
+}
+
+// endpoint picks the base URL for the next attempt. Reads on a split
+// client rotate over ReadEndpoints; everything else takes a learned
+// primary override first, then the Endpoints rotation, then BaseURL.
+func (c *Client) endpoint(read bool) string {
 	c.epMu.Lock()
 	defer c.epMu.Unlock()
+	if read && len(c.ReadEndpoints) > 0 {
+		return c.ReadEndpoints[c.rdIdx%len(c.ReadEndpoints)]
+	}
 	if c.override != "" {
 		return c.override
 	}
@@ -211,8 +266,9 @@ func (c *Client) endpoint() string {
 }
 
 // failEndpoint reacts to a failure of the given base URL: a failed
-// override is dropped (back to the rotation), a failed rotation entry
-// advances the cursor to the next endpoint.
+// override is dropped (back to the rotation), a failed rotation entry —
+// in either the write or the read rotation — advances that cursor to the
+// next endpoint.
 func (c *Client) failEndpoint(base string) {
 	c.epMu.Lock()
 	defer c.epMu.Unlock()
@@ -222,6 +278,9 @@ func (c *Client) failEndpoint(base string) {
 	}
 	if len(c.Endpoints) > 1 && c.Endpoints[c.epIdx%len(c.Endpoints)] == base {
 		c.epIdx = (c.epIdx + 1) % len(c.Endpoints)
+	}
+	if len(c.ReadEndpoints) > 1 && c.ReadEndpoints[c.rdIdx%len(c.ReadEndpoints)] == base {
+		c.rdIdx = (c.rdIdx + 1) % len(c.ReadEndpoints)
 	}
 }
 
@@ -243,10 +302,10 @@ func retryAfter(resp *http.Response) (time.Duration, bool) {
 		return 0, false
 	}
 	if secs, err := strconv.Atoi(v); err == nil {
-		if secs < 0 {
-			return 0, false
-		}
-		return time.Duration(secs) * time.Second, true
+		// Negative delta-seconds clamps to "retry now", matching the past-
+		// date case below — treating it as a parse failure would strand the
+		// client on its slower default backoff for a well-meant hint.
+		return max(time.Duration(secs)*time.Second, 0), true
 	}
 	when, err := http.ParseTime(v)
 	if err != nil {
@@ -263,7 +322,7 @@ func (c *Client) sleepFor(d time.Duration) {
 	sleep(d)
 }
 
-func (c *Client) attempt(method, url, idemKey string, payload []byte) (*http.Response, error) {
+func (c *Client) attempt(method, url, idemKey string, payload []byte, read bool) (*http.Response, error) {
 	var rdr io.Reader
 	if payload != nil {
 		rdr = bytes.NewReader(payload)
@@ -277,6 +336,9 @@ func (c *Client) attempt(method, url, idemKey string, payload []byte) (*http.Res
 	}
 	if idemKey != "" {
 		req.Header.Set(IdempotencyKeyHeader, idemKey)
+	}
+	if read && c.MaxStaleness > 0 {
+		req.Header.Set(MaxStalenessHeader, c.MaxStaleness.String())
 	}
 	httpc := c.HTTP
 	if httpc == nil {

@@ -3,10 +3,14 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 
+	"threedess/internal/core"
 	"threedess/internal/features"
 	"threedess/internal/scatter"
 	"threedess/internal/workpool"
@@ -130,13 +134,26 @@ func (s *Server) handleClusterBounds(w http.ResponseWriter, r *http.Request) {
 // writeScatterErr maps a scatter routing failure onto a response: a
 // shard's own HTTP answer passes through with its status (the query was
 // at fault), a cluster-wide outage is 503 with a retry hint, and context
-// errors keep their usual 504/503 mapping.
-func writeScatterErr(w http.ResponseWriter, err error) {
+// errors keep their usual 504/503 mapping. The hint comes from the
+// breaker's own cooldown when one rejected the call, from live pressure
+// otherwise.
+func (s *Server) writeScatterErr(w http.ResponseWriter, err error) {
 	if status := scatter.HTTPStatus(err); status >= 400 && status < 500 {
 		writeErr(w, status, err)
 		return
 	}
-	w.Header().Set("Retry-After", "1")
+	var brk *scatter.BreakerOpenError
+	if errors.As(err, &brk) && brk.RetryAfter > 0 {
+		secs := int(math.Ceil(brk.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		} else if secs > 30 {
+			secs = 30
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	} else {
+		s.setRetryAfter(w)
+	}
 	writeEngineErr(w, err, http.StatusServiceUnavailable)
 }
 
@@ -151,9 +168,33 @@ func setPartialHeader(w http.ResponseWriter, missing []string) {
 // clusterSearch scatter-gathers POST /api/search: resolve the query down
 // to a feature vector (locally for uploads, from the owning shard for
 // query-by-id), fan out, merge, and degrade — never fail — when shards
-// are down past their retry budget.
+// are down past their retry budget. The coordinator runs the same
+// brownout ladder as a single node, but decides degradation itself:
+// shards never locally degrade a fan-out call (see brownout.go), so a
+// coarse tier here forces coarse mode across the whole fleet and the
+// merged answer is marked once, truthfully.
 func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req SearchRequest, kind features.Kind) {
 	coord := s.cluster.coord
+	mode, _ := core.ParseScanMode(req.ScanMode) // validated by handleSearch
+	key := s.searchCacheKey(req)
+	version := s.dataVersion()
+	tier := s.currentTier()
+	if key != "" {
+		if ent, ok := s.qcache.get(key, version); ok && ent.version == version {
+			writeCachedResult(w, r, ent, true, "hit")
+			return
+		}
+	}
+	if tier >= TierCacheOnly {
+		if key != "" {
+			if ent, ok := s.qcache.get(key, version); ok {
+				writeCachedResult(w, r, ent, false, "hit")
+				return
+			}
+		}
+		s.shed(w, "coordinator browned out to cache-only serving and this query has no cached answer")
+		return
+	}
 	vec := req.QueryVector
 	if len(vec) == 0 {
 		switch {
@@ -164,7 +205,7 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 			var feats map[string][]float64
 			path := fmt.Sprintf("/api/shapes/%d/features", req.QueryID)
 			if err := coord.Owner(req.QueryID).Call(r.Context(), http.MethodGet, path, nil, &feats); err != nil {
-				writeScatterErr(w, err)
+				s.writeScatterErr(w, err)
 				return
 			}
 			v, ok := feats[kind.String()]
@@ -203,23 +244,57 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 	if k <= 0 {
 		k = 10
 	}
-	out, err := coord.Search(r.Context(), scatter.Query{
+	// Coarse tier: the whole fleet runs the filter stage only, and the
+	// merged answer carries one X-Degraded marking. Explicit exact
+	// requests opted out; unweighted queries are already cheap shard-side.
+	degraded := ""
+	scanMode := req.ScanMode
+	if mode == core.ScanCoarse {
+		degraded = DegradedCoarse
+	} else if tier == TierCoarse && len(req.Weights) > 0 && mode != core.ScanExact {
+		scanMode = core.ScanCoarse.String()
+		degraded = DegradedCoarse
+	}
+	q := scatter.Query{
 		Feature:   kind.String(),
 		Vector:    vec,
 		Weights:   req.Weights,
 		Threshold: req.Threshold,
 		K:         k,
-		ScanMode:  req.ScanMode,
+		ScanMode:  scanMode,
 		ExcludeID: req.QueryID,
-	})
+	}
+	out, err := coord.Search(r.Context(), q)
+	if err != nil && degraded != "" && mode != core.ScanCoarse && r.Context().Err() == nil {
+		// The tier forced coarse but the fleet cannot serve it (shards
+		// without a columnar slice surface the error): rerun the requested
+		// mode and drop the marking — an exact answer must never be
+		// labeled coarse, and vice versa.
+		degraded = ""
+		q.ScanMode = req.ScanMode
+		out, err = coord.Search(r.Context(), q)
+	}
 	if err != nil {
-		writeScatterErr(w, err)
+		s.writeScatterErr(w, err)
 		return
 	}
 	setPartialHeader(w, out.Missing)
 	results := make([]SearchResult, len(out.Results))
 	for i, res := range out.Results {
 		results[i] = SearchResult(res)
+	}
+	if degraded != "" {
+		w.Header().Set(DegradedHeader, degraded)
+	}
+	// Only exact, complete answers are cached (and thus ETagged): a
+	// partial merge must never be replayed as the corpus-wide truth, and
+	// a coarse one must never shadow the exact answer at the same key.
+	if degraded == "" && len(out.Missing) == 0 && key != "" {
+		if body, merr := json.Marshal(results); merr == nil {
+			ent := s.qcache.put(key, version, append(body, '\n'))
+			writeCachedResult(w, r, ent, true, "fill")
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, results)
 }
@@ -239,7 +314,7 @@ func (s *Server) clusterShapes(w http.ResponseWriter, r *http.Request) {
 		for i, err := range errs {
 			if err != nil {
 				if status := scatter.HTTPStatus(err); status >= 400 && status < 500 {
-					writeScatterErr(w, err)
+					s.writeScatterErr(w, err)
 					return
 				}
 				missing = append(missing, scatter.ShardName(i))
@@ -247,7 +322,7 @@ func (s *Server) clusterShapes(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if len(missing) == coord.NumShards() {
-			writeScatterErr(w, scatter.ErrNoShards)
+			s.writeScatterErr(w, scatter.ErrNoShards)
 			return
 		}
 		var out []ShapeInfo
@@ -283,9 +358,12 @@ func (s *Server) clusterShapes(w http.ResponseWriter, r *http.Request) {
 			// deduplication makes that safe.
 			key = newIdemKey()
 		}
+		// Invalidate even on error: a timed-out routed write may still have
+		// landed shard-side.
+		defer s.bumpCacheGen()
 		resp, err := s.routeInsert(r, key, req.Name, req.Group, req.MeshOFF)
 		if err != nil {
-			writeScatterErr(w, err)
+			s.writeScatterErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, resp)
@@ -352,6 +430,9 @@ func (s *Server) clusterInsertBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	answers := make([]*insertAnswer, len(req.Shapes))
 	errs := make([]error, len(req.Shapes))
+	// Even a failed batch may have stored a prefix shard-side; invalidate
+	// regardless of outcome.
+	defer s.bumpCacheGen()
 	if err := workpool.ForEachNCtx(r.Context(), 0, len(req.Shapes), func(i int) {
 		sh := req.Shapes[i]
 		if sh.ID != 0 {
@@ -365,7 +446,7 @@ func (s *Server) clusterInsertBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, err := range errs {
 		if err != nil {
-			writeScatterErr(w, fmt.Errorf("shape %d (%q): %w", i, req.Shapes[i].Name, err))
+			s.writeScatterErr(w, fmt.Errorf("shape %d (%q): %w", i, req.Shapes[i].Name, err))
 			return
 		}
 	}
@@ -397,7 +478,7 @@ func (s *Server) clusterShapeByID(w http.ResponseWriter, r *http.Request, id int
 	case http.MethodGet:
 		var out json.RawMessage
 		if err := sc.Call(r.Context(), http.MethodGet, r.URL.Path, nil, &out); err != nil {
-			writeScatterErr(w, err)
+			s.writeScatterErr(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -408,9 +489,10 @@ func (s *Server) clusterShapeByID(w http.ResponseWriter, r *http.Request, id int
 		if key == "" {
 			key = newIdemKey()
 		}
+		defer s.bumpCacheGen()
 		var out json.RawMessage
 		if err := sc.CallIdem(r.Context(), http.MethodDelete, r.URL.Path, key, nil, &out); err != nil {
-			writeScatterErr(w, err)
+			s.writeScatterErr(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -472,6 +554,7 @@ func (s *Server) clusterStats(w http.ResponseWriter, r *http.Request) {
 		resp.ScanMode = "mixed"
 	}
 	resp.Shards = coord.Health()
+	s.fillPressureStats(&resp)
 	setPartialHeader(w, missing)
 	writeJSON(w, http.StatusOK, resp)
 }

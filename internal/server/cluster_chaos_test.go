@@ -371,13 +371,15 @@ func TestChaosSoak(t *testing.T) {
 		QueryVector: []float64{0.3, 0.3, 0.9},
 		Feature:     feature, K: 15, Weights: []float64{1, 1, 1},
 	}
-	res, missing, err := tc.coordC.SearchPartial(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(missing) != 0 {
-		t.Fatalf("healed fleet reports missing shards %v", missing)
-	}
+	// Breakers opened during the soak admit a half-open trial after their
+	// cooldown; poll until the fleet answers in full again.
+	var res []SearchResult
+	waitUntil(t, 5*time.Second, "healed fleet to answer in full", func() bool {
+		var missing []string
+		var err error
+		res, missing, err = tc.coordC.SearchPartial(req)
+		return err == nil && len(missing) == 0
+	})
 	ref, err := tc.refC.Search(req)
 	if err != nil {
 		t.Fatal(err)

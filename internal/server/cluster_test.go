@@ -27,6 +27,7 @@ import (
 type testCluster struct {
 	coordC   *Client
 	coordURL string
+	coordSrv *Server
 	refC     *Client
 	ring     *scatter.Ring
 	coord    *scatter.Coordinator
@@ -39,16 +40,21 @@ type testCluster struct {
 // hedging unless a test opts in (hedging is nondeterministic by design).
 func fastPolicy() scatter.Policy {
 	return scatter.Policy{
-		Timeout:     5 * time.Second,
-		Retries:     1,
-		BackoffBase: time.Millisecond,
-		BackoffCap:  2 * time.Millisecond,
-		HedgeAfter:  -1,
-		MergeMargin: 5 * time.Millisecond,
+		Timeout:         5 * time.Second,
+		Retries:         1,
+		BackoffBase:     time.Millisecond,
+		BackoffCap:      2 * time.Millisecond,
+		HedgeAfter:      -1,
+		MergeMargin:     5 * time.Millisecond,
+		BreakerCooldown: 10 * time.Millisecond,
 	}
 }
 
 func newNode(t *testing.T) (*shapedb.DB, *core.Engine, *Server) {
+	return newNodeCfg(t, Config{})
+}
+
+func newNodeCfg(t *testing.T, cfg Config) (*shapedb.DB, *core.Engine, *Server) {
 	t.Helper()
 	db, err := shapedb.Open("", features.Options{VoxelResolution: 20})
 	if err != nil {
@@ -56,13 +62,23 @@ func newNode(t *testing.T) (*shapedb.DB, *core.Engine, *Server) {
 	}
 	t.Cleanup(func() { db.Close() })
 	engine := core.NewEngine(db)
-	return db, engine, New(engine)
+	return db, engine, NewWithConfig(engine, cfg)
 }
 
 // newTestCluster boots a cluster of `shards` shard nodes plus a
 // coordinator and a reference node. withFaults threads a FaultRT between
 // the coordinator and each shard for chaos injection.
 func newTestCluster(t *testing.T, shards int, policy scatter.Policy, withFaults bool) *testCluster {
+	// The result cache is disabled on this coordinator: a fresh hit would
+	// answer repeated identical queries without touching a single shard,
+	// masking exactly the fan-out behavior these fixtures exist to test.
+	// Cache-path coverage uses newTestClusterCfg (see brownout tests).
+	return newTestClusterCfg(t, shards, policy, withFaults, Config{CacheEntries: -1})
+}
+
+// newTestClusterCfg is newTestCluster with an explicit coordinator
+// config, for tests exercising the coordinator's own brownout ladder.
+func newTestClusterCfg(t *testing.T, shards int, policy scatter.Policy, withFaults bool, coordCfg Config) *testCluster {
 	t.Helper()
 	tc := &testCluster{}
 	var specs []scatter.ShardSpec
@@ -89,8 +105,9 @@ func newTestCluster(t *testing.T, shards int, policy scatter.Policy, withFaults 
 	tc.coord = coord
 	tc.ring = coord.Ring()
 
-	_, _, coordSrv := newNode(t)
+	_, _, coordSrv := newNodeCfg(t, coordCfg)
 	coordSrv.SetCoordinator(coord)
+	tc.coordSrv = coordSrv
 	cts := httptest.NewServer(coordSrv)
 	t.Cleanup(cts.Close)
 	tc.coordC, tc.coordURL = NewClient(cts.URL), cts.URL

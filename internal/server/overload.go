@@ -6,6 +6,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"time"
 
 	"threedess/internal/replica"
 )
@@ -20,9 +21,13 @@ import (
 //  2. Panic recovery turns a handler panic into a 500 with a logged stack
 //     instead of a killed connection (and, for panics escaping into
 //     goroutines, a dead process).
-//  3. An admission gate bounds in-flight requests. Excess load is shed
-//     immediately with 429 + Retry-After, so admitted requests keep their
-//     latency instead of everyone timing out together.
+//  3. An admission gate bounds in-flight requests, and a brownout ladder
+//     (see brownout.go) degrades search cost before availability: full
+//     exact answers step down to coarse-only, then cache-only, as the
+//     gate fills or the latency signal climbs. Only requests that cannot
+//     be served any cheaper are shed, with 429 + a pressure-derived
+//     Retry-After, so admitted requests keep their latency instead of
+//     everyone timing out together.
 const (
 	HealthzPath = "/healthz"
 	ReadyzPath  = "/readyz"
@@ -66,14 +71,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case s.gate <- struct{}{}:
 			defer func() { <-s.gate }()
 		default:
-			// Shed before any work happens: the request never reached a
-			// handler, so the client may safely resend it after the hint.
-			sw.Header().Set("Retry-After", "1")
-			writeErr(sw, http.StatusTooManyRequests,
-				fmt.Errorf("server at capacity (%d requests in flight)", cap(s.gate)))
+			// Gate full — the ladder's floor. A search whose answer is
+			// cached serves from memory without a slot; everything else is
+			// shed before any work happens, with a Retry-After derived
+			// from how backed up the server actually is, so the client may
+			// safely resend after the hint.
+			if s.shedSearchFromCache(sw, r) {
+				return
+			}
+			s.shed(sw, fmt.Sprintf("server at capacity (%d requests in flight)", cap(s.gate)))
 			return
 		}
 	}
+	// Feed the decaying latency signal that steps the brownout tier and
+	// sizes Retry-After hints (see brownout.go).
+	start := time.Now()
+	defer func() { s.press.observe(time.Since(start)) }()
 	if s.cfg.RequestTimeout > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
@@ -119,6 +132,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		st := n.Status()
 		body["role"] = st.Role
 		body["replication_lag"] = st.Lag
+		body["staleness_ms"] = st.StalenessMS
 		if n.Role() != replica.RolePrimary && !n.CaughtUp() {
 			body["ready"] = false
 			body["catching_up"] = true

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"threedess/internal/replica"
+)
+
+// Read-replica serving: standbys answer GET/search traffic behind a
+// bounded-staleness gate. Every read a replicated node serves carries
+// `X-Staleness` — an upper bound, in milliseconds, on how old the data
+// may be (0 on the primary; on a standby, the time since it last observed
+// itself fully caught up with the primary's committed offset). Requests
+// may tighten the bound with `Max-Staleness`; a standby that cannot meet
+// the effective bound refuses with 503 + X-Replica-Primary rather than
+// silently serving old data — the failover client follows the pointer,
+// so "too stale" reads transparently land on the primary.
+
+const (
+	// StalenessHeader is the response bound: "data served is at most this
+	// many milliseconds old".
+	StalenessHeader = "X-Staleness"
+	// MaxStalenessHeader is the request bound: a Go duration ("2s",
+	// "150ms") or bare integer seconds. "0" demands fully-current data,
+	// which only the primary can promise.
+	MaxStalenessHeader = "Max-Staleness"
+)
+
+// DefaultMaxStaleness is the server-side staleness ceiling when
+// ReplicationConfig leaves MaxStaleness zero. A standby streaming over a
+// healthy link syncs every heartbeat (hundreds of ms); ten seconds of
+// silence means the link or primary is gone and reads should fail over.
+const DefaultMaxStaleness = 10 * time.Second
+
+// maxStalenessBound resolves the effective bound for one request: the
+// tighter of the server ceiling and the client's Max-Staleness header.
+// (A client may not loosen past the operator's ceiling: the ceiling is
+// the guarantee `X-Staleness` is allowed to report.) Negative server
+// config disables the ceiling; ok=false flags an unparseable header.
+func (s *Server) maxStalenessBound(r *http.Request) (bound time.Duration, ok bool) {
+	bound = s.replCfg.MaxStaleness
+	if bound == 0 {
+		bound = DefaultMaxStaleness
+	} else if bound < 0 {
+		bound = 1<<63 - 1 // unbounded
+	}
+	hdr := r.Header.Get(MaxStalenessHeader)
+	if hdr == "" {
+		return bound, true
+	}
+	req, err := time.ParseDuration(hdr)
+	if err != nil {
+		secs, ierr := strconv.Atoi(hdr)
+		if ierr != nil {
+			return bound, false
+		}
+		req = time.Duration(secs) * time.Second
+	}
+	if req < 0 {
+		req = 0
+	}
+	if req < bound {
+		bound = req
+	}
+	return bound, true
+}
+
+// staleGuard gates one read on a replicated node: it stamps X-Staleness
+// and reports whether the request may be served here. When the node
+// cannot bound its staleness (never caught up) or the bound exceeds the
+// request's, it answers 503 with the primary pointer and returns false.
+// Non-replicated nodes pass through untouched (no header: there is no
+// replication, so there is nothing to be stale relative to).
+func (s *Server) staleGuard(w http.ResponseWriter, r *http.Request) bool {
+	n := s.repl.Load()
+	if n == nil {
+		return true
+	}
+	bound, ok := s.maxStalenessBound(r)
+	if !ok {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("bad %s header %q (want a duration like \"2s\" or integer seconds)", MaxStalenessHeader, r.Header.Get(MaxStalenessHeader)))
+		return false
+	}
+	stale, ever := n.Staleness()
+	if ever && stale <= bound {
+		w.Header().Set(StalenessHeader, strconv.FormatInt(staleMS(stale), 10))
+		return true
+	}
+	// Too stale (or never synced): point at the primary instead of
+	// serving data older than promised. The failover client retargets on
+	// this exact (503, X-Replica-Primary) pair.
+	w.Header().Set(replica.PrimaryHeader, n.PrimaryURL())
+	s.setRetryAfter(w)
+	if ever {
+		w.Header().Set(StalenessHeader, strconv.FormatInt(staleMS(stale), 10))
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("standby is %s stale, over the %s bound; read from the primary at %s", stale.Round(time.Millisecond), bound, n.PrimaryURL()))
+	} else {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("standby has not finished its first catch-up; read from the primary at %s", n.PrimaryURL()))
+	}
+	return false
+}
+
+// addStalenessHeader stamps X-Staleness best-effort on paths that bypass
+// staleGuard (cache serves at the shed floor), without refusing anything.
+func (s *Server) addStalenessHeader(w http.ResponseWriter) {
+	n := s.repl.Load()
+	if n == nil {
+		return
+	}
+	if stale, ever := n.Staleness(); ever {
+		w.Header().Set(StalenessHeader, strconv.FormatInt(staleMS(stale), 10))
+	}
+}
+
+// staleMS rounds a staleness bound up to whole milliseconds (never down:
+// the header is an upper bound).
+func staleMS(d time.Duration) int64 {
+	ms := d.Milliseconds()
+	if d > time.Duration(ms)*time.Millisecond {
+		ms++
+	}
+	return ms
+}

@@ -1,0 +1,278 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/replica"
+)
+
+// The read-replica suite: standbys answer reads behind the bounded-
+// staleness gate, every served read carries X-Staleness, refusals point
+// at the primary, and the read-split client routes around all of it.
+
+// replGet issues a raw GET with optional headers against a node.
+func replGet(t *testing.T, url string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// A primary bounds its own staleness at zero; a caught-up standby serves
+// reads and the search family with a small positive bound; every refusal
+// carries the primary pointer.
+func TestReplicaReadsCarryStalenessBound(t *testing.T) {
+	p := startReplPrimary(t, 3*time.Second)
+	pc := NewClient(p.srv.URL)
+	seedShapes(t, pc)
+
+	resp := replGet(t, p.srv.URL+"/api/shapes", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("primary list: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(StalenessHeader); got != "0" {
+		t.Errorf("primary %s = %q, want 0", StalenessHeader, got)
+	}
+
+	s := startReplStandby(t, p, standbyOpts{})
+	waitUntil(t, 10*time.Second, "standby catch-up", s.node.CaughtUp)
+
+	resp = replGet(t, s.srv.URL+"/api/shapes", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("standby list: HTTP %d", resp.StatusCode)
+	}
+	ms, err := strconv.ParseInt(resp.Header.Get(StalenessHeader), 10, 64)
+	if err != nil || ms < 0 {
+		t.Fatalf("standby %s = %q, want a non-negative integer", StalenessHeader, resp.Header.Get(StalenessHeader))
+	}
+	if ms > DefaultMaxStaleness.Milliseconds() {
+		t.Errorf("caught-up standby reports %dms staleness, over the %s ceiling", ms, DefaultMaxStaleness)
+	}
+
+	// The search family is gated (and stamped) the same way.
+	sc := NewClient(s.srv.URL)
+	shapes, err := sc.ListShapes()
+	if err != nil || len(shapes) == 0 {
+		t.Fatalf("standby shapes: %v, %v", shapes, err)
+	}
+	body, _ := json.Marshal(SearchRequest{
+		QueryID: shapes[0].ID, Feature: features.PrincipalMoments.String(), K: 3,
+	})
+	sresp, err := http.Post(s.srv.URL+"/api/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK || sresp.Header.Get(StalenessHeader) == "" {
+		t.Errorf("standby search: HTTP %d, %s %q",
+			sresp.StatusCode, StalenessHeader, sresp.Header.Get(StalenessHeader))
+	}
+
+	// Max-Staleness: 0 demands fully-current data — only the primary can
+	// promise that, so the standby refuses with the pointer and a
+	// pressure-derived Retry-After, never a silent stale answer.
+	resp = replGet(t, s.srv.URL+"/api/shapes", map[string]string{MaxStalenessHeader: "0"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("standby read at Max-Staleness 0: HTTP %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get(replica.PrimaryHeader); got != p.srv.URL {
+		t.Errorf("refusal %s = %q, want %q", replica.PrimaryHeader, got, p.srv.URL)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("refusal missing Retry-After")
+	}
+	if resp.Header.Get(StalenessHeader) == "" {
+		t.Error("refusal hides the actual staleness bound")
+	}
+	// The primary trivially meets the same demand.
+	resp = replGet(t, p.srv.URL+"/api/shapes", map[string]string{MaxStalenessHeader: "0"})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("primary read at Max-Staleness 0: HTTP %d", resp.StatusCode)
+	}
+	// A loose bound is served; duration and integer-second forms both
+	// parse; garbage is a caller error, not a refusal.
+	resp = replGet(t, s.srv.URL+"/api/shapes", map[string]string{MaxStalenessHeader: "30s"})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("standby read at Max-Staleness 30s: HTTP %d", resp.StatusCode)
+	}
+	resp = replGet(t, s.srv.URL+"/api/shapes", map[string]string{MaxStalenessHeader: "30"})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("standby read at Max-Staleness 30: HTTP %d", resp.StatusCode)
+	}
+	resp = replGet(t, s.srv.URL+"/api/shapes", map[string]string{MaxStalenessHeader: "soonish"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("standby read at Max-Staleness 'soonish': HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// A partitioned standby's staleness grows without bound; once it blows
+// the requested bound the standby starts refusing instead of serving
+// ever-older data.
+func TestStandbyRefusesWhenLagged(t *testing.T) {
+	p := startReplPrimary(t, 3*time.Second)
+	pc := NewClient(p.srv.URL)
+	seedShapes(t, pc)
+	s := startReplStandby(t, p, standbyOpts{withFault: true})
+	waitUntil(t, 10*time.Second, "standby catch-up", s.node.CaughtUp)
+
+	s.fault.SetPartition(true)
+	waitUntil(t, 10*time.Second, "staleness to outgrow a 50ms bound", func() bool {
+		resp := replGet(t, s.srv.URL+"/api/shapes", map[string]string{MaxStalenessHeader: "50ms"})
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	resp := replGet(t, s.srv.URL+"/api/shapes", map[string]string{MaxStalenessHeader: "50ms"})
+	if got := resp.Header.Get(replica.PrimaryHeader); got != p.srv.URL {
+		t.Errorf("lagged refusal %s = %q, want %q", replica.PrimaryHeader, got, p.srv.URL)
+	}
+
+	// Healing the link lets the heartbeat re-sync and reads resume.
+	s.fault.SetPartition(false)
+	waitUntil(t, 10*time.Second, "standby to serve under a 2s bound again", func() bool {
+		resp := replGet(t, s.srv.URL+"/api/shapes", map[string]string{MaxStalenessHeader: "2s"})
+		return resp.StatusCode == http.StatusOK
+	})
+}
+
+// countingProxy wraps a node with a request counter so tests can see
+// which node a client actually talked to.
+type countingProxy struct {
+	ts *httptest.Server
+
+	mu       sync.Mutex
+	reads    int
+	writes   int
+	maxStale []string // Max-Staleness header of each read
+}
+
+func newCountingProxy(t *testing.T, api *Server) *countingProxy {
+	t.Helper()
+	cp := &countingProxy{}
+	cp.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cp.mu.Lock()
+		if isReadRequest(r.Method, r.URL.Path) {
+			cp.reads++
+			cp.maxStale = append(cp.maxStale, r.Header.Get(MaxStalenessHeader))
+		} else {
+			cp.writes++
+		}
+		cp.mu.Unlock()
+		api.ServeHTTP(w, r)
+	}))
+	t.Cleanup(cp.ts.Close)
+	return cp
+}
+
+func (cp *countingProxy) counts() (reads, writes int) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.reads, cp.writes
+}
+
+// The read-split client sends reads to the replica corpus stamped with
+// its staleness bound, and writes to the write endpoints.
+func TestReadSplitClientRoutes(t *testing.T) {
+	p := startReplPrimary(t, 3*time.Second)
+	pc := NewClient(p.srv.URL)
+	seedShapes(t, pc)
+	s := startReplStandby(t, p, standbyOpts{})
+	waitUntil(t, 10*time.Second, "standby catch-up", s.node.CaughtUp)
+
+	pp := newCountingProxy(t, p.api)
+	sp := newCountingProxy(t, s.api)
+	c := NewReadSplitClient(2*time.Second, []string{pp.ts.URL}, []string{sp.ts.URL})
+
+	shapes, err := c.ListShapes()
+	if err != nil || len(shapes) != 6 {
+		t.Fatalf("split-client list: %d shapes, %v", len(shapes), err)
+	}
+	if _, err := c.Search(SearchRequest{
+		QueryID: shapes[0].ID, Feature: features.PrincipalMoments.String(), K: 3,
+	}); err != nil {
+		t.Fatalf("split-client search: %v", err)
+	}
+	sReads, sWrites := sp.counts()
+	pReads, _ := pp.counts()
+	if sReads != 2 || pReads != 0 {
+		t.Errorf("reads hit standby %d / primary %d, want 2 / 0", sReads, pReads)
+	}
+	if sWrites != 0 {
+		t.Errorf("standby saw %d writes through the split client", sWrites)
+	}
+	sp.mu.Lock()
+	for i, h := range sp.maxStale {
+		if h != "2s" {
+			t.Errorf("read %d carried Max-Staleness %q, want 2s", i, h)
+		}
+	}
+	sp.mu.Unlock()
+
+	// A write routes to the write endpoints.
+	id, err := c.InsertShape("split-write", 2, geom.Box(geom.V(0, 0, 0), geom.V(1, 2, 3)))
+	if err != nil {
+		t.Fatalf("split-client insert: %v", err)
+	}
+	if _, ok := p.db.Get(id); !ok {
+		t.Error("split-client write did not land on the primary")
+	}
+	if _, pWrites := pp.counts(); pWrites != 1 {
+		t.Errorf("primary saw %d writes, want 1", pWrites)
+	}
+	if sReads, _ := sp.counts(); sReads != 2 {
+		t.Errorf("standby read count moved to %d during a write", sReads)
+	}
+}
+
+// A standby that cannot serve (never synced) bounces each read to the
+// primary via its pointer — but the redirect is per-request: the next
+// read tries the replica again rather than sticking to the primary.
+func TestReadSplitFallbackIsPerRequest(t *testing.T) {
+	p := startReplPrimary(t, 3*time.Second)
+	pc := NewClient(p.srv.URL)
+	seedShapes(t, pc)
+	// Partitioned from birth: the standby never completes a catch-up, so
+	// its staleness is unbounded and every read is refused.
+	s := startReplStandby(t, p, standbyOpts{withFault: true})
+	s.fault.SetPartition(true)
+
+	pp := newCountingProxy(t, p.api)
+	sp := newCountingProxy(t, s.api)
+	c := NewReadSplitClient(0, []string{pp.ts.URL}, []string{sp.ts.URL})
+
+	// The redirect follows X-Replica-Primary to the primary's advertised
+	// URL (not our proxy), so the proof of non-stickiness is the standby
+	// proxy's counter: each read must attempt the replica first.
+	for i := 0; i < 2; i++ {
+		shapes, err := c.ListShapes()
+		if err != nil || len(shapes) != 6 {
+			t.Fatalf("read %d through dead replica: %d shapes, %v", i, len(shapes), err)
+		}
+	}
+	if sReads, _ := sp.counts(); sReads != 2 {
+		t.Errorf("standby saw %d read attempts, want 2 (fallback must not stick)", sReads)
+	}
+	if pReads, _ := pp.counts(); pReads != 0 {
+		t.Errorf("proxy in front of the primary saw %d reads; redirects should go to the advertised URL", pReads)
+	}
+}

@@ -40,6 +40,12 @@ type ReplicationConfig struct {
 	// with the same value). Empty preserves the open, trusted-network
 	// behavior.
 	PeerSecret string
+	// MaxStaleness is the server-side ceiling on how stale a standby may
+	// be while still serving reads (see readreplica.go). Requests tighten
+	// it per-read with the Max-Staleness header but never loosen it. Zero
+	// takes DefaultMaxStaleness; negative removes the ceiling (reads are
+	// served at any staleness, truthfully labeled via X-Staleness).
+	MaxStaleness time.Duration
 }
 
 // DefaultAckTimeout is how long a synchronous write waits for the standby
@@ -95,8 +101,8 @@ func (s *Server) waitReplicated(r *http.Request, target shapedb.ReplState) error
 // journaled locally either way; 503 tells the client to retry (its
 // idempotency key collapses the retry into the original write once the
 // standby attests it).
-func writeAckErr(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", "1")
+func (s *Server) writeAckErr(w http.ResponseWriter, err error) {
+	s.setRetryAfter(w)
 	writeErr(w, http.StatusServiceUnavailable, err)
 }
 

@@ -26,8 +26,10 @@ func TestRetryAfterParsesBothForms(t *testing.T) {
 	if d, ok := retryAfter(respWithRetryAfter("0")); !ok || d != 0 {
 		t.Errorf("zero seconds: (%v, %v), want (0, true)", d, ok)
 	}
-	if _, ok := retryAfter(respWithRetryAfter("-5")); ok {
-		t.Error("negative delta-seconds parsed as valid")
+	// Negative delta-seconds clamps to "retry now", matching the past
+	// HTTP-date case — both mean the wait is already over.
+	if d, ok := retryAfter(respWithRetryAfter("-5")); !ok || d != 0 {
+		t.Errorf("negative delta-seconds: (%v, %v), want (0, true)", d, ok)
 	}
 	if _, ok := retryAfter(respWithRetryAfter("soon")); ok {
 		t.Error("garbage parsed as valid")

@@ -55,6 +55,14 @@ type Server struct {
 	// replay its stored result instead of double-inserting.
 	idemMu       sync.Mutex
 	idemInFlight map[string]chan struct{}
+	// qcache is the version-tagged query-result cache (nil = disabled);
+	// see qcache.go. cacheGen is the coordinator-side write generation
+	// folded into dataVersion (routed writes bypass the local db).
+	qcache   *qcache
+	cacheGen atomic.Int64
+	// press is the decaying latency signal feeding brownout tier
+	// selection and Retry-After hints; see brownout.go.
+	press pressure
 }
 
 // Defaults for Config fields left zero.
@@ -84,6 +92,20 @@ type Config struct {
 	// vertex/triangle counts, face degree, and token length. The zero
 	// value takes the geom defaults; see geom.ReadLimits.
 	MeshLimits geom.ReadLimits
+	// BrownoutCoarseAt / BrownoutCacheOnlyAt are the in-flight fractions
+	// (of MaxInFlight) at which searches step down to coarse-only and
+	// cache-only serving; see brownout.go. Zero takes the defaults;
+	// a negative BrownoutCoarseAt disables tiering entirely (the gate
+	// stays binary, as before).
+	BrownoutCoarseAt    float64
+	BrownoutCacheOnlyAt float64
+	// SlowLatency is the decayed request-latency EWMA above which the
+	// tier is bumped one step even at low depth. Zero takes the default;
+	// negative disables the latency signal.
+	SlowLatency time.Duration
+	// CacheEntries bounds the query-result cache (entries, not bytes).
+	// Zero takes DefaultCacheEntries; negative disables the cache.
+	CacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +117,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.BrownoutCoarseAt == 0 {
+		c.BrownoutCoarseAt = DefaultCoarseAt
+	}
+	if c.BrownoutCacheOnlyAt == 0 {
+		c.BrownoutCacheOnlyAt = DefaultCacheOnlyAt
+	}
+	if c.SlowLatency == 0 {
+		c.SlowLatency = DefaultSlowLatency
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
 	}
 	return c
 }
@@ -108,6 +142,9 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 		idemInFlight: make(map[string]chan struct{})}
 	if s.cfg.MaxInFlight > 0 {
 		s.gate = make(chan struct{}, s.cfg.MaxInFlight)
+	}
+	if s.cfg.CacheEntries > 0 {
+		s.qcache = newQCache(s.cfg.CacheEntries)
 	}
 	s.mux.HandleFunc("/api/shapes", s.handleShapes)
 	s.mux.HandleFunc("/api/shapes/batch", s.handleShapesBatch)
@@ -264,6 +301,14 @@ type StatsResponse struct {
 	Role     string                `json:"role,omitempty"`
 	MaxID    int64                 `json:"max_id"`
 	Shards   []scatter.ShardHealth `json:"shards,omitempty"`
+	// Brownout observability: the serving tier the next search would get,
+	// in-flight gate occupancy, the decayed latency signal, and
+	// query-result cache counters.
+	Tier         string           `json:"tier,omitempty"`
+	GateInFlight int              `json:"gate_in_flight"`
+	GateCapacity int              `json:"gate_capacity,omitempty"`
+	LatencyEWMAMS int64           `json:"latency_ewma_ms"`
+	Cache        map[string]int64 `json:"cache,omitempty"`
 }
 
 // --- handlers ---
@@ -311,6 +356,9 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
+		if !s.staleGuard(w, r) {
+			return
+		}
 		recs := s.engine.DB().Snapshot()
 		out := make([]ShapeInfo, 0, len(recs))
 		for _, rec := range recs {
@@ -357,7 +405,7 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 				// this retry), so answering 2xx here without the gate would
 				// acknowledge a write that exists only on this node's disk.
 				if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
-					writeAckErr(w, err)
+					s.writeAckErr(w, err)
 					return
 				}
 				writeJSON(w, http.StatusOK, s.idemReplay(ids[0]))
@@ -376,7 +424,7 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
-			writeAckErr(w, err)
+			s.writeAckErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, map[string]any{"id": res.ID, "degraded": res.Degraded})
@@ -429,7 +477,7 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 			// failed-ack attempt must not be acknowledged until the standby
 			// attests it.
 			if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
-				writeAckErr(w, err)
+				s.writeAckErr(w, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, s.idemReplayBatch(ids))
@@ -455,7 +503,7 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
-		writeAckErr(w, err)
+		s.writeAckErr(w, err)
 		return
 	}
 	resp := BatchInsertResponse{IDs: make([]int64, len(res))}
@@ -504,7 +552,18 @@ func (s *Server) handleShapeByID(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
+		if !s.staleGuard(w, r) {
+			return
+		}
 		if wantView {
+			// Views are immutable per (id, data version): ETag lets the
+			// interface tier re-render a model it already holds for free.
+			etag := qetag(fmt.Sprintf("view:%d", id), s.dataVersion())
+			w.Header().Set("ETag", etag)
+			if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, etag) {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
 			writeJSON(w, http.StatusOK, viewOf(rec))
 			return
 		}
@@ -532,7 +591,7 @@ func (s *Server) handleShapeByID(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
-			writeAckErr(w, err)
+			s.writeAckErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
@@ -603,6 +662,33 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.clusterSearch(w, r, req, kind)
 		return
 	}
+	if !s.staleGuard(w, r) {
+		return
+	}
+	// Cluster-internal fan-out requests (the coordinator's DMax-carrying
+	// shard calls) may be answered from cache but never locally degraded:
+	// a shard quietly substituting coarse or stale rows would poison the
+	// coordinator's bit-identical merge.
+	internal := req.DMax != nil
+	key := s.searchCacheKey(req)
+	version := s.dataVersion()
+	tier := s.currentTier()
+	if key != "" {
+		if ent, ok := s.qcache.get(key, version); ok && ent.version == version {
+			writeCachedResult(w, r, ent, true, "hit")
+			return
+		}
+	}
+	if tier >= TierCacheOnly && !internal {
+		if key != "" {
+			if ent, ok := s.qcache.get(key, version); ok {
+				writeCachedResult(w, r, ent, false, "hit")
+				return
+			}
+		}
+		s.shed(w, "server browned out to cache-only serving and this query has no cached answer")
+		return
+	}
 	var query features.Set
 	if len(req.QueryVector) > 0 {
 		// A pre-resolved feature-space point (the coordinator's fan-out
@@ -633,19 +719,39 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 {
 		k = 10
 	}
-	var results []core.Result
-	if req.Threshold != nil {
-		results, err = s.engine.SearchThreshold(r.Context(), query, core.Options{
-			Feature: kind, Threshold: *req.Threshold, Weights: req.Weights, Mode: mode, DMax: dmax,
-		})
-	} else {
+	// The coarse tier swaps the scan mode under the request: the two-stage
+	// filter stage becomes the answer, marked X-Degraded. An explicit
+	// exact request is honored (the client opted out of approximation),
+	// and unweighted queries already serve cheaply through the R-tree.
+	degraded := ""
+	effMode := mode
+	if mode == core.ScanCoarse {
+		degraded = DegradedCoarse
+	} else if tier == TierCoarse && !internal && len(req.Weights) > 0 && mode != core.ScanExact {
+		effMode = core.ScanCoarse
+		degraded = DegradedCoarse
+	}
+	run := func(m core.ScanMode) ([]core.Result, error) {
+		if req.Threshold != nil {
+			return s.engine.SearchThreshold(r.Context(), query, core.Options{
+				Feature: kind, Threshold: *req.Threshold, Weights: req.Weights, Mode: m, DMax: dmax,
+			})
+		}
 		fetch := k
 		if req.QueryID != 0 {
 			fetch++ // absorb the query shape, which is always retrieved
 		}
-		results, err = s.engine.SearchTopK(r.Context(), query, core.Options{
-			Feature: kind, K: fetch, Weights: req.Weights, Mode: mode, DMax: dmax,
+		return s.engine.SearchTopK(r.Context(), query, core.Options{
+			Feature: kind, K: fetch, Weights: req.Weights, Mode: m, DMax: dmax,
 		})
+	}
+	results, err := run(effMode)
+	if err != nil && degraded != "" && mode != core.ScanCoarse && r.Context().Err() == nil {
+		// The brownout tier forced coarse but the columnar store cannot
+		// serve it: run the requested mode and drop the degraded marking —
+		// an exact answer must never be labeled coarse, and vice versa.
+		degraded = ""
+		results, err = run(mode)
 	}
 	if err != nil {
 		writeEngineErr(w, err, http.StatusUnprocessableEntity)
@@ -657,7 +763,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.Threshold == nil && len(results) > k {
 		results = results[:k]
 	}
-	writeJSON(w, http.StatusOK, toWireResults(results))
+	wire := toWireResults(results)
+	if degraded != "" {
+		// Approximate answers are marked and never cached: the cache
+		// stores only what an exact scan would return.
+		w.Header().Set(DegradedHeader, degraded)
+		writeJSON(w, http.StatusOK, wire)
+		return
+	}
+	if key != "" {
+		if body, merr := json.Marshal(wire); merr == nil {
+			ent := s.qcache.put(key, version, append(body, '\n'))
+			writeCachedResult(w, r, ent, true, "fill")
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, wire)
 }
 
 func (s *Server) handleMultiStep(w http.ResponseWriter, r *http.Request) {
@@ -666,6 +787,9 @@ func (s *Server) handleMultiStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.notOnCoordinator(w, "multi-step search") {
+		return
+	}
+	if !s.staleGuard(w, r) {
 		return
 	}
 	var req MultiStepRequest
@@ -719,6 +843,9 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.notOnCoordinator(w, "relevance feedback") {
+		return
+	}
+	if !s.staleGuard(w, r) {
 		return
 	}
 	var req FeedbackRequest
@@ -775,6 +902,9 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	if !s.notOnCoordinator(w, "cluster browsing") {
 		return
 	}
+	if !s.staleGuard(w, r) {
+		return
+	}
 	kindName := r.URL.Query().Get("feature")
 	if kindName == "" {
 		kindName = features.PrincipalMoments.String()
@@ -818,7 +948,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.Features = append(resp.Features, k.String())
 		}
 	}
+	s.fillPressureStats(&resp)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// fillPressureStats adds the brownout/cache observability fields shared
+// by single-node and coordinator stats responses.
+func (s *Server) fillPressureStats(resp *StatsResponse) {
+	resp.Tier = s.currentTier().String()
+	if s.gate != nil {
+		resp.GateInFlight = len(s.gate)
+		resp.GateCapacity = cap(s.gate)
+	}
+	resp.LatencyEWMAMS = s.press.latency().Milliseconds()
+	if s.qcache != nil {
+		resp.Cache = s.qcache.stats()
+	}
 }
 
 func toWireResults(results []core.Result) []SearchResult {

@@ -60,3 +60,12 @@ rm -rf "$CLUSTER_SMOKE"
 go test -run '^$' -fuzz '^FuzzReadOFF$' -fuzztime 5s ./internal/geom
 go test -run '^$' -fuzz '^FuzzReadOBJ$' -fuzztime 5s ./internal/geom
 go test -run '^$' -fuzz '^FuzzReadSTL$' -fuzztime 5s ./internal/geom
+# Brownout gate: the degradation ladder (tier selection from gate depth
+# + latency EWMA, truthful X-Degraded marking, the no-read-5xx churn
+# property), the result cache (ETag revalidation, bit-identical hits,
+# partial cluster answers never cached, coordinator write invalidation),
+# bounded-staleness replica reads with the read-split client, and the
+# scatter circuit breaker (open/half-open/close, probe recovery, hedge
+# goroutine hygiene), under the race detector, never cached.
+go test -race -count=1 -run 'Breaker|Probe|AttemptHedged' ./internal/scatter/...
+go test -race -count=1 -run 'Tier|Cache|Brownout|Partial|Staleness|ReadSplit|StandbyRefuses|ReplicaReads|ETag' ./internal/server/...
