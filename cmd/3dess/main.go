@@ -54,6 +54,19 @@
 // instead of failing it. See DESIGN.md §12 for the merge-equivalence
 // guarantee and the degradation policy.
 //
+// Rebalancing: a live cluster grows or shrinks without downtime. New
+// shards start with -shard-of I -join (epoch 0, empty corpus, waiting
+// for the driver's topology push); the coordinator drives the migration
+// with -rebalance M -rebalance-add <new endpoints> (or over HTTP via
+// POST /api/admin/rebalance on a running coordinator). Every
+// coordinator↔shard call carries a versioned ring epoch; stale holders
+// get 409 plus the current ring and self-heal. The driver journals every
+// step in -rebalance-state (default <data>/rebalance.state), so a
+// coordinator that crashes mid-migration resumes it automatically on
+// restart, fenced above the dead driver; sources are only drained after
+// the whole fleet acknowledges the cutover. See DESIGN.md §14 for the
+// state machine and failure matrix.
+//
 // Brownout serving: under pressure (in-flight depth past the
 // -brownout-* fractions of -max-inflight, or the decayed latency signal
 // past -slow-latency) searches step down through cheaper tiers — coarse
@@ -83,6 +96,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -124,6 +138,10 @@ func main() {
 	searchMode := flag.String("search-mode", "auto", "default execution mode for weighted searches: auto, exact (exhaustive scan escape hatch), or two-stage (columnar filter-and-refine); results are identical in every mode")
 	shardIndex := flag.Int("shard-of", -1, "run as this shard index (0-based) of a -shards cluster")
 	numShards := flag.Int("shards", 0, "total shard count when running with -shard-of")
+	join := flag.Bool("join", false, "run as a JOINING shard: start at ring epoch 0 with an empty corpus and wait for the coordinator's rebalance driver to install the live topology (requires -shard-of, ignores -shards)")
+	rebalanceTo := flag.Int("rebalance", 0, "coordinator: drive a live rebalance to this shard count after startup (grow needs -rebalance-add; 0 = none)")
+	rebalanceAdd := flag.String("rebalance-add", "", "coordinator: endpoints of the shards joining under -rebalance, same syntax as -coordinator")
+	rebalanceState := flag.String("rebalance-state", "", "coordinator: path of the crash-resume migration journal (default <data>/rebalance.state; empty without -data = no crash resume)")
 	coordinator := flag.String("coordinator", "", "run as the cluster coordinator over these shards: comma-separated shard endpoints, '|'-separated replica URLs within a shard (e.g. http://s0:8080,http://s1:8080|http://s1b:8080)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "coordinator: per-attempt deadline for one shard request (0 = default)")
 	shardRetries := flag.Int("shard-retries", 0, "coordinator: retries per shard after the first attempt (0 = default, negative = disabled)")
@@ -144,22 +162,34 @@ func main() {
 	if replicated && *dataDir == "" {
 		log.Fatalf("replication requires -data: only a durable journal can be streamed")
 	}
-	isShard := *shardIndex >= 0 || *numShards != 0
+	isShard := *shardIndex >= 0 || *numShards != 0 || *join
 	isCoord := *coordinator != ""
 	if isShard && isCoord {
 		log.Fatalf("-shard-of and -coordinator are mutually exclusive: a node is a shard or the coordinator, not both")
 	}
-	if isShard && (*shardIndex < 0 || *numShards <= 0 || *shardIndex >= *numShards) {
+	if *join && (*shardIndex < 0 || *loadCorpus) {
+		log.Fatalf("-join needs -shard-of (the index this shard will own) and starts empty: drop -load-corpus")
+	}
+	if isShard && !*join && (*shardIndex < 0 || *numShards <= 0 || *shardIndex >= *numShards) {
 		log.Fatalf("-shard-of needs 0 <= index < -shards (got index %d of %d shards)", *shardIndex, *numShards)
 	}
-	if isCoord && (replicated || *loadCorpus || *dataDir != "") {
-		log.Fatalf("a coordinator is stateless: drop -data/-load-corpus/-replicate-from/-advertise (the shards hold the corpus)")
+	if isCoord && (replicated || *loadCorpus) {
+		log.Fatalf("a coordinator holds no corpus: drop -load-corpus/-replicate-from/-advertise (with -data it keeps only the rebalance journal)")
+	}
+	if !isCoord && (*rebalanceTo != 0 || *rebalanceAdd != "" || *rebalanceState != "") {
+		log.Fatalf("-rebalance/-rebalance-add/-rebalance-state only apply to a -coordinator node")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	db, err := shapedb.Open(*dataDir, features.Options{VoxelResolution: *voxelRes})
+	dbDir := *dataDir
+	if isCoord {
+		// A coordinator's own engine holds no corpus — its -data directory
+		// (if any) keeps only the crash-resume rebalance journal.
+		dbDir = ""
+	}
+	db, err := shapedb.Open(dbDir, features.Options{VoxelResolution: *voxelRes})
 	if err != nil {
 		log.Fatalf("opening database: %v", err)
 	}
@@ -188,6 +218,10 @@ func main() {
 		// (A coordinator's own engine holds no corpus — nothing to watch.)
 		go engine.ColStore().Watch(ctx)
 	}
+	rebalPath := *rebalanceState
+	if isCoord && rebalPath == "" && *dataDir != "" {
+		rebalPath = filepath.Join(*dataDir, "rebalance.state")
+	}
 	api := server.NewWithConfig(engine, server.Config{
 		RequestTimeout: *reqTimeout,
 		MaxUploadBytes: *maxUpload,
@@ -200,6 +234,7 @@ func main() {
 		BrownoutCacheOnlyAt: *cacheOnlyAt,
 		SlowLatency:         *slowLatency,
 		CacheEntries:        *cacheEntries,
+		RebalancePath:       rebalPath,
 	})
 	// Evict version-stale result-cache entries as commits land (lookups
 	// re-check versions themselves; this reclaims memory early).
@@ -209,7 +244,16 @@ func main() {
 	// ring and serves the bounds endpoint; a coordinator scatter-gathers
 	// every corpus and search endpoint over the shard fleet.
 	var shardRing *scatter.Ring
-	if isShard {
+	if isShard && *join {
+		// A joining shard starts at ring epoch 0 with an empty corpus; the
+		// coordinator's rebalance driver pushes the live topology and copies
+		// its slice over (any call routed to it earlier self-heals via the
+		// 409 epoch exchange).
+		if _, err := api.SetShardJoining(*shardIndex); err != nil {
+			log.Fatalf("-join: %v", err)
+		}
+		log.Printf("3dess: %s joining the cluster at epoch 0, awaiting rebalance", scatter.ShardName(*shardIndex))
+	} else if isShard {
 		if _, err := api.SetShard(*shardIndex, *numShards); err != nil {
 			log.Fatalf("-shard-of: %v", err)
 		}
@@ -235,6 +279,29 @@ func main() {
 		}
 		api.SetCoordinator(coord)
 		log.Printf("3dess: coordinator over %d shards", len(specs))
+
+		// Crash resume first: an interrupted migration in the state journal
+		// outranks a fresh -rebalance request (the journal knows which phase
+		// the fleet was left in; see DESIGN.md §14).
+		if resumed, err := api.ResumeRebalance(); err != nil {
+			log.Fatalf("resuming rebalance from %s: %v", rebalPath, err)
+		} else if resumed {
+			log.Printf("3dess: resuming interrupted rebalance from %s", rebalPath)
+			if *rebalanceTo != 0 {
+				log.Printf("3dess: -rebalance %d deferred: an interrupted migration is resuming first", *rebalanceTo)
+			}
+		} else if *rebalanceTo != 0 {
+			opts := scatter.MigrateOptions{Target: *rebalanceTo}
+			if *rebalanceAdd != "" {
+				if opts.Add, err = parseShardSpecs(*rebalanceAdd); err != nil {
+					log.Fatalf("-rebalance-add: %v", err)
+				}
+			}
+			if _, err := api.StartRebalance(opts); err != nil {
+				log.Fatalf("-rebalance: %v", err)
+			}
+			log.Printf("3dess: rebalancing %d -> %d shards", len(specs), *rebalanceTo)
+		}
 	}
 
 	// Self-healing maintenance: background integrity scrubbing,

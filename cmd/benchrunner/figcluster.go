@@ -64,6 +64,7 @@ var clusterShardCounts = []int{1, 2, 4, 8}
 // and a fault injector per shard.
 type benchCluster struct {
 	coordURL string
+	coord    *scatter.Coordinator
 	faults   []*replica.FaultRT
 	close    []func()
 }
@@ -130,6 +131,7 @@ func bootCluster(shards, n int, seed int64) (*benchCluster, error) {
 		bc.Close()
 		return nil, err
 	}
+	bc.coord = coord
 	cdb, err := shapedb.Open("", features.Options{})
 	if err != nil {
 		bc.Close()

@@ -1,0 +1,305 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"threedess/internal/core"
+	"threedess/internal/features"
+	"threedess/internal/replica"
+	"threedess/internal/scatter"
+	"threedess/internal/server"
+	"threedess/internal/shapedb"
+)
+
+// RebalanceReport is the machine-readable result of `benchrunner -fig
+// rebalance`, written as BENCH_rebalance.json: query throughput before,
+// during, and after a live 4→6 shard rebalance, plus the migration's own
+// copy rate. The serving contract during the migration is the headline —
+// zero query errors while every third record changes hands.
+type RebalanceReport struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	Seed          int64    `json:"seed"`
+	Host          PerfHost `json:"host"`
+	CorpusSize    int      `json:"corpus_size"`
+
+	FromShards int `json:"from_shards"`
+	ToShards   int `json:"to_shards"`
+
+	SteadyQPS  float64 `json:"steady_qps"`  // before the migration
+	MidQPS     float64 `json:"mid_qps"`     // while records move
+	PostQPS    float64 `json:"post_qps"`    // after finalize
+	MidQueries int     `json:"mid_queries"` // answers merged mid-migration
+
+	Moved         int64   `json:"moved"`          // records copied
+	MigrationSecs float64 `json:"migration_secs"` // prepare → done wall time
+	ShapesPerSec  float64 `json:"shapes_per_sec"` // Moved / MigrationSecs
+	ErrorFraction float64 `json:"error_fraction"` // 5xx anywhere in the run (must be 0)
+	FinalEpoch    int64   `json:"final_epoch"`
+}
+
+// benchSteadyQPS pushes a fixed query count through the coordinator with
+// a small worker pool and returns the throughput plus how many answers
+// were 5xx.
+func benchSteadyQPS(httpc *http.Client, url string, body []byte, queries, workers int) (float64, int, error) {
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	var fiveXX atomic.Int64
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for next.Add(1) <= int64(queries) {
+				_, _, bad, err := clusterQuery(httpc, url, body)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if bad {
+					fiveXX.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	qps := float64(queries) / time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return qps, int(fiveXX.Load()), nil
+}
+
+// addJoiningShards boots `count` empty joining shard servers (epoch 0,
+// awaiting the migration driver's topology push) and returns their specs
+// for MigrateOptions.Add.
+func addJoiningShards(bc *benchCluster, from, count int) ([]scatter.ShardSpec, error) {
+	var add []scatter.ShardSpec
+	for i := 0; i < count; i++ {
+		db, err := shapedb.Open("", features.Options{})
+		if err != nil {
+			return nil, err
+		}
+		bc.close = append(bc.close, func() { db.Close() })
+		srv := server.New(core.NewEngine(db))
+		if _, err := srv.SetShardJoining(from + i); err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv)
+		bc.close = append(bc.close, ts.Close)
+		f := replica.NewFaultRT(nil)
+		bc.faults = append(bc.faults, f)
+		add = append(add, scatter.ShardSpec{Endpoints: []string{ts.URL}, Transport: f})
+	}
+	return add, nil
+}
+
+// figRebalance measures a live 4→6 rebalance under query load: steady
+// throughput on the 4-shard fleet, throughput while the migration copies
+// every moved record (the double-routing window included), the
+// migration's own shapes/sec, and throughput on the finalized 6-shard
+// fleet. Any 5xx at any point is a contract violation and fails the run's
+// gate, not just a statistic.
+func figRebalance(seed int64, corpusSize int, outPath string) error {
+	const fromShards, toShards = 4, 6
+	header(fmt.Sprintf("rebalance: live %d→%d migration under query load (%d records)", fromShards, toShards, corpusSize))
+	report := &RebalanceReport{
+		GeneratedUnix: time.Now().Unix(),
+		Seed:          seed,
+		CorpusSize:    corpusSize,
+		FromShards:    fromShards,
+		ToShards:      toShards,
+		Host: PerfHost{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+	queryBody, err := json.Marshal(map[string]any{
+		"query_vector": []float64{5, 9, 13},
+		"feature":      features.PrincipalMoments.String(),
+		"k":            10,
+		"weights":      []float64{1, 2, 3},
+	})
+	if err != nil {
+		return err
+	}
+	httpc := &http.Client{}
+
+	bc, err := bootCluster(fromShards, corpusSize, seed)
+	if err != nil {
+		return err
+	}
+	defer bc.Close()
+
+	const workers = 8
+	const steadyQueries = 300
+	// Warm-up, then the pre-migration baseline.
+	if _, _, _, err := clusterQuery(httpc, bc.coordURL, queryBody); err != nil {
+		return err
+	}
+	totalBad := 0
+	steady, bad, err := benchSteadyQPS(httpc, bc.coordURL, queryBody, steadyQueries, workers)
+	if err != nil {
+		return err
+	}
+	totalBad += bad
+	report.SteadyQPS = steady
+	fmt.Printf("steady (%d shards): %.0f merged top-10 queries/sec\n", fromShards, steady)
+
+	add, err := addJoiningShards(bc, fromShards, toShards-fromShards)
+	if err != nil {
+		return err
+	}
+
+	// Keep querying while the migration runs; everything answered between
+	// the driver's first and last act counts as mid-migration load.
+	stop := make(chan struct{})
+	var midQueries, midBad atomic.Int64
+	var qwg sync.WaitGroup
+	qerrs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		qwg.Add(1)
+		go func(w int) {
+			defer qwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _, bad, err := clusterQuery(httpc, bc.coordURL, queryBody)
+				if err != nil {
+					qerrs[w] = err
+					return
+				}
+				midQueries.Add(1)
+				if bad {
+					midBad.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	m := scatter.NewMigrator(bc.coord, scatter.MigrateOptions{
+		Target:    toShards,
+		Add:       add,
+		BatchSize: 64,
+		Holder:    "benchrunner",
+	})
+	migStart := time.Now()
+	runErr := m.Run(context.Background())
+	migSecs := time.Since(migStart).Seconds()
+	close(stop)
+	qwg.Wait()
+	if runErr != nil {
+		return fmt.Errorf("migration failed: %w", runErr)
+	}
+	for _, err := range qerrs {
+		if err != nil {
+			return fmt.Errorf("query failed mid-migration: %w", err)
+		}
+	}
+	totalBad += int(midBad.Load())
+
+	st := m.Status()
+	report.MidQueries = int(midQueries.Load())
+	report.MidQPS = float64(report.MidQueries) / migSecs
+	report.Moved = st.Copied
+	report.MigrationSecs = migSecs
+	if migSecs > 0 {
+		report.ShapesPerSec = float64(st.Copied) / migSecs
+	}
+	report.FinalEpoch = bc.coord.Epoch()
+	fmt.Printf("migration: moved %d records in %.2fs (%.0f shapes/sec), %d queries served meanwhile (%.0f qps)\n",
+		report.Moved, report.MigrationSecs, report.ShapesPerSec, report.MidQueries, report.MidQPS)
+
+	post, bad, err := benchSteadyQPS(httpc, bc.coordURL, queryBody, steadyQueries, workers)
+	if err != nil {
+		return err
+	}
+	totalBad += bad
+	report.PostQPS = post
+	totalQueries := steadyQueries + report.MidQueries + steadyQueries + 1
+	report.ErrorFraction = float64(totalBad) / float64(totalQueries)
+	fmt.Printf("post (%d shards, epoch %d): %.0f merged top-10 queries/sec, %.3f%% errors over the whole run\n",
+		toShards, report.FinalEpoch, post, 100*report.ErrorFraction)
+	fmt.Printf("csv,rebalance,qps,%.2f,%.2f,%.2f\n", report.SteadyQPS, report.MidQPS, report.PostQPS)
+	fmt.Printf("csv,rebalance,migration,%d,%.3f,%.2f,%.4f\n",
+		report.Moved, report.MigrationSecs, report.ShapesPerSec, report.ErrorFraction)
+
+	if outPath != "" {
+		if err := os.MkdirAll(filepath.Dir(outPath), 0o755); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// checkRebalanceReport validates a BENCH_rebalance.json: it must parse,
+// show a real migration (records moved at a positive rate, the ring at a
+// post-finalize epoch), queries answered while it ran, and the serving
+// contract held — not one 5xx anywhere in the run. Used by verify.sh as
+// the rebalance smoke gate.
+func checkRebalanceReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r RebalanceReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if r.FromShards <= 0 || r.ToShards <= r.FromShards {
+		return fmt.Errorf("%s: implausible topology %d→%d", path, r.FromShards, r.ToShards)
+	}
+	for name, qps := range map[string]float64{
+		"steady": r.SteadyQPS, "mid": r.MidQPS, "post": r.PostQPS,
+	} {
+		if !(qps > 0) || math.IsInf(qps, 0) {
+			return fmt.Errorf("%s: bad %s-migration rate %v", path, name, qps)
+		}
+	}
+	if r.MidQueries <= 0 {
+		return fmt.Errorf("%s: no queries answered mid-migration — the measurement proved nothing", path)
+	}
+	if r.Moved <= 0 {
+		return fmt.Errorf("%s: migration moved %d records", path, r.Moved)
+	}
+	if !(r.MigrationSecs > 0) || !(r.ShapesPerSec > 0) || math.IsInf(r.ShapesPerSec, 0) {
+		return fmt.Errorf("%s: implausible migration rate: %v records in %vs", path, r.Moved, r.MigrationSecs)
+	}
+	if r.ErrorFraction != 0 {
+		return fmt.Errorf("%s: %.2f%% of answers were 5xx during the run", path, 100*r.ErrorFraction)
+	}
+	// prepare/cutover/finalize each bump the epoch once past the static 1.
+	if r.FinalEpoch < 4 {
+		return fmt.Errorf("%s: final epoch %d, want >= 4 (migration did not finalize)", path, r.FinalEpoch)
+	}
+	fmt.Printf("check-rebalance: %s ok (%d moved at %.0f shapes/sec, mid-migration %.0f qps, zero errors)\n",
+		path, r.Moved, r.ShapesPerSec, r.MidQPS)
+	return nil
+}

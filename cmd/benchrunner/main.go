@@ -11,6 +11,7 @@
 //	-fig rtree  R-tree efficiency, real + synthetic databases (§2.3)
 //	-fig clustering  clustering algorithm comparison (§2.2 extension)
 //	-fig cluster  scatter-gather cluster throughput & degraded-query latency
+//	-fig rebalance  live 4→6 shard rebalance under query load (qps + copy rate)
 //	-fig ext    extension-descriptor effectiveness (higher-order, D2)
 //	-fig ablation multi-step Keep-parameter sweep
 //	-fig map    mean average precision per strategy (rank-quality summary)
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	fig := flag.String("fig", "all", "figure to regenerate (4, 7, 8..12, 13, 15, 16, rtree, clustering, cluster, ext, ablation, perf, scrub, all)")
+	fig := flag.String("fig", "all", "figure to regenerate (4, 7, 8..12, 13, 15, 16, rtree, clustering, cluster, rebalance, ext, ablation, perf, scrub, all)")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	perfSizes := flag.String("perf-sizes", "5000,100000,1000000", "comma-separated corpus sizes for -fig perf scan benchmarks")
 	perfOut := flag.String("perf-out", "results/BENCH_perf.json", "machine-readable output path for -fig perf (empty = stdout csv only)")
@@ -45,6 +46,9 @@ func main() {
 	clusterSize := flag.Int("cluster-size", 5000, "corpus size for -fig cluster scatter benchmarks")
 	clusterOut := flag.String("cluster-out", "results/BENCH_cluster.json", "machine-readable output path for -fig cluster (empty = stdout csv only)")
 	checkCluster := flag.String("check-cluster", "", "validate an existing BENCH_cluster.json and exit (smoke gate for verify.sh)")
+	rebalanceSize := flag.Int("rebalance-size", 3000, "corpus size for -fig rebalance migration benchmarks")
+	rebalanceOut := flag.String("rebalance-out", "results/BENCH_rebalance.json", "machine-readable output path for -fig rebalance (empty = stdout csv only)")
+	checkRebalance := flag.String("check-rebalance", "", "validate an existing BENCH_rebalance.json and exit (smoke gate for verify.sh)")
 	flag.Parse()
 
 	if *checkPerf != "" {
@@ -59,12 +63,18 @@ func main() {
 		}
 		return
 	}
+	if *checkRebalance != "" {
+		if err := checkRebalanceReport(*checkRebalance); err != nil {
+			log.Fatalf("check-rebalance: %v", err)
+		}
+		return
+	}
 	sizes, err := parsePerfSizes(*perfSizes)
 	if err != nil {
 		log.Fatalf("-perf-sizes: %v", err)
 	}
 
-	needCorpus := *fig != "4" && *fig != "rtree-synthetic" && *fig != "perf" && *fig != "scrub" && *fig != "cluster"
+	needCorpus := *fig != "4" && *fig != "rtree-synthetic" && *fig != "perf" && *fig != "scrub" && *fig != "cluster" && *fig != "rebalance"
 	var c *eval.Corpus
 	if needCorpus {
 		fmt.Fprintln(os.Stderr, "building corpus (feature extraction over 113 shapes)...")
@@ -96,6 +106,7 @@ func main() {
 	run("rtree", func() error { return figRTree(c) })
 	run("clustering", func() error { return figClustering(c) })
 	run("cluster", func() error { return figScatter(*seed, *clusterSize, *clusterOut) })
+	run("rebalance", func() error { return figRebalance(*seed, *rebalanceSize, *rebalanceOut) })
 	run("ext", func() error { return figExtensions(*seed) })
 	run("ablation", func() error { return figAblation(c) })
 	run("map", func() error { return figMAP(c) })

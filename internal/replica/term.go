@@ -1,0 +1,48 @@
+package replica
+
+import "sync"
+
+// TermFence is the reusable core of the fencing-token machinery the
+// failover protocol runs on (see Node.Fence): a monotonically advancing
+// term paired with the identity of its holder. Any distributed procedure
+// that must survive a superseded driver — promotion, and now live shard
+// rebalancing — funnels its term decisions through one of these, so the
+// acceptance rule is written (and tested) exactly once:
+//
+//   - a higher term always wins and adopts its holder;
+//   - the current term is idempotent for the SAME holder (a crashed driver
+//     that resumed, or a retried push);
+//   - the current term from a DIFFERENT holder is rejected — two drivers
+//     at one term means a split brain, and first-writer-wins keeps exactly
+//     one of them alive;
+//   - a lower term is always rejected (the stale driver learns it was
+//     superseded from the Current() value it gets back).
+type TermFence struct {
+	mu     sync.Mutex
+	term   int64
+	holder string
+}
+
+// Observe applies the acceptance rule to (term, holder) and reports
+// whether the caller holds the fence afterwards. On acceptance the fence
+// adopts the pair; on rejection it is unchanged.
+func (f *TermFence) Observe(term int64, holder string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case term > f.term:
+		f.term, f.holder = term, holder
+		return true
+	case term == f.term && holder == f.holder:
+		return true
+	default:
+		return false
+	}
+}
+
+// Current returns the fence's term and holder.
+func (f *TermFence) Current() (int64, string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.term, f.holder
+}

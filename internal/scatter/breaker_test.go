@@ -31,7 +31,7 @@ func TestBreakerOpensAndSkipsDeadShard(t *testing.T) {
 		w.WriteHeader(http.StatusInternalServerError)
 	}))
 	defer ts.Close()
-	sc := newShardClient(0, []string{ts.URL}, breakerPolicy(), nil)
+	sc := newShardClient(0, []string{ts.URL}, breakerPolicy(), nil, nil)
 
 	// One Call = 3 attempts (1 + 2 retries), each a markFail: the third
 	// failure trips the breaker.
@@ -78,7 +78,7 @@ func TestBreakerHalfOpenTrialCloses(t *testing.T) {
 		json.NewEncoder(w).Encode(map[string]int{"ok": 1})
 	}))
 	defer ts.Close()
-	sc := newShardClient(0, []string{ts.URL}, breakerPolicy(), nil)
+	sc := newShardClient(0, []string{ts.URL}, breakerPolicy(), nil, nil)
 	sc.Call(context.Background(), http.MethodGet, "/x", nil, nil)
 	if got := sc.BreakerState(); got != "open" {
 		t.Fatalf("breaker = %q, want open", got)
@@ -108,7 +108,7 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 		w.WriteHeader(http.StatusInternalServerError)
 	}))
 	defer ts.Close()
-	sc := newShardClient(0, []string{ts.URL}, breakerPolicy(), nil)
+	sc := newShardClient(0, []string{ts.URL}, breakerPolicy(), nil, nil)
 	sc.Call(context.Background(), http.MethodGet, "/x", nil, nil)
 	time.Sleep(60 * time.Millisecond)
 	wire := calls.Load()
@@ -142,7 +142,7 @@ func TestProbeBypassesAndClosesBreaker(t *testing.T) {
 	defer ts.Close()
 	p := breakerPolicy()
 	p.BreakerCooldown = time.Hour // recovery must come from the probe, not time
-	sc := newShardClient(0, []string{ts.URL}, p, nil)
+	sc := newShardClient(0, []string{ts.URL}, p, nil, nil)
 	sc.Call(context.Background(), http.MethodGet, "/x", nil, nil)
 	if got := sc.BreakerState(); got != "open" {
 		t.Fatalf("breaker = %q, want open", got)
@@ -171,7 +171,7 @@ func TestBreakerDisabled(t *testing.T) {
 	defer ts.Close()
 	p := breakerPolicy()
 	p.BreakerAfter = -1
-	sc := newShardClient(0, []string{ts.URL}, p, nil)
+	sc := newShardClient(0, []string{ts.URL}, p, nil, nil)
 	for i := 0; i < 3; i++ {
 		if err := sc.Call(context.Background(), http.MethodGet, "/x", nil, nil); errors.Is(err, ErrBreakerOpen) {
 			t.Fatalf("disabled breaker rejected call %d", i)
@@ -208,7 +208,7 @@ func TestAttemptHedgedDoesNotLeakGoroutines(t *testing.T) {
 
 	p := testPolicy()
 	p.HedgeAfter = 5 * time.Millisecond
-	sc := newShardClient(0, []string{ts.URL, fast.URL}, p, nil)
+	sc := newShardClient(0, []string{ts.URL, fast.URL}, p, nil, nil)
 
 	before := runtime.NumGoroutine()
 	for i := 0; i < 20; i++ {

@@ -145,13 +145,32 @@ type ShardHealth struct {
 	BreakerRetryMS int64  `json:"breaker_retry_ms,omitempty"`
 }
 
+// EpochHook lets the topology owner (the Coordinator) stamp its ring
+// epoch on every shard call and self-heal when a shard answers 409 with
+// a different RingState: adopt the shard's newer state, or push its own
+// to a stale shard, then retry transparently.
+type EpochHook interface {
+	// Epoch is the ring epoch to stamp on outgoing requests.
+	Epoch() int64
+	// HealEpoch reconciles a shard's 409 RingState with the caller's view
+	// and reports whether a retry is worthwhile.
+	HealEpoch(ctx context.Context, sc *ShardClient, st RingState) bool
+}
+
+// maxEpochHeals bounds how many epoch reconciliations one logical call
+// will attempt before surfacing the EpochError — two sides flapping
+// between states must not spin a request forever.
+const maxEpochHeals = 2
+
 // ShardClient talks to one shard (and its replicas) under the policy's
 // robustness machinery. It is safe for concurrent use.
 type ShardClient struct {
 	name      string
+	index     int
 	endpoints []string
 	policy    Policy
 	httpc     *http.Client
+	hook      EpochHook // nil outside a coordinator
 
 	mu     sync.Mutex
 	cursor int // replica rotation
@@ -170,7 +189,7 @@ type ShardClient struct {
 // newShardClient builds the client for shard i. transport may be nil
 // (http.DefaultTransport-ish pooling) and exists so chaos tests can inject
 // a replica.FaultRT between coordinator and shard.
-func newShardClient(i int, endpoints []string, policy Policy, transport http.RoundTripper) *ShardClient {
+func newShardClient(i int, endpoints []string, policy Policy, transport http.RoundTripper, hook EpochHook) *ShardClient {
 	if transport == nil {
 		transport = &http.Transport{
 			DialContext: (&net.Dialer{
@@ -184,8 +203,10 @@ func newShardClient(i int, endpoints []string, policy Policy, transport http.Rou
 	}
 	return &ShardClient{
 		name:      ShardName(i),
+		index:     i,
 		endpoints: append([]string(nil), endpoints...),
 		policy:    policy,
+		hook:      hook,
 		// No client-level timeout: per-attempt contexts bound every
 		// request, and a fixed client timeout would fight the
 		// context-derived deadlines.
@@ -224,6 +245,7 @@ func (sc *ShardClient) CallIdem(ctx context.Context, method, path, idemKey strin
 	}
 	attempts := 1 + sc.policy.Retries
 	var lastErr error
+	heals := 0
 	for a := 0; a < attempts; a++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -251,9 +273,21 @@ func (sc *ShardClient) CallIdem(ctx context.Context, method, path, idemKey strin
 			}
 			lastErr = &ShardError{Shard: sc.name, Status: status, Msg: errMsg(data)}
 		case status >= 400:
-			// The shard is alive and rejected the request: the caller's
-			// problem, retrying cannot help.
+			// The shard is alive and rejected the request. A 409 carrying a
+			// RingState is the epoch gate — reconcile topologies and retry
+			// without spending the retry budget; any other 4xx is the
+			// caller's problem and retrying cannot help.
 			sc.markSeen()
+			if status == http.StatusConflict && sc.hook != nil {
+				if st, ok := decodeRingState(data); ok {
+					if heals < maxEpochHeals && sc.hook.HealEpoch(ctx, sc, st) {
+						heals++
+						a--
+						continue
+					}
+					return &EpochError{Shard: sc.index, State: st}
+				}
+			}
 			return &ShardError{Shard: sc.name, Status: status, Msg: errMsg(data)}
 		default:
 			sc.markSeen()
@@ -358,6 +392,9 @@ func (sc *ShardClient) once(ctx context.Context, method, url, idemKey string, pa
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
 	}
+	if sc.hook != nil {
+		req.Header.Set(RingEpochHeader, formatEpoch(sc.hook.Epoch()))
+	}
 	resp, err := sc.httpc.Do(req)
 	if err != nil {
 		return 0, nil, err
@@ -453,6 +490,48 @@ func (sc *ShardClient) backoff(ctx context.Context, attempt int) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// decodeRingState extracts the "ring" field a shard's epoch-gate 409
+// (and its ring-push rejection) carries. A 409 without one is an
+// ordinary conflict (an id collision on insert) and must pass through
+// untouched.
+func decodeRingState(data []byte) (RingState, bool) {
+	var body struct {
+		Ring *RingState `json:"ring"`
+	}
+	if json.Unmarshal(data, &body) == nil && body.Ring != nil {
+		return *body.Ring, true
+	}
+	return RingState{}, false
+}
+
+// pushState posts a RingState to the shard's ring endpoint directly —
+// one attempt, no heal recursion. Returns the state the shard holds
+// afterwards and whether the push was accepted.
+func (sc *ShardClient) pushState(ctx context.Context, st RingState) (RingState, bool) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return RingState{}, false
+	}
+	actx, cancel := context.WithTimeout(ctx, sc.policy.Timeout)
+	defer cancel()
+	status, data, err := sc.once(actx, http.MethodPost, sc.nextEndpoint()+"/api/cluster/ring", "", payload)
+	if err != nil {
+		return RingState{}, false
+	}
+	if status == http.StatusOK {
+		sc.markSeen()
+		var got RingState
+		if json.Unmarshal(data, &got) != nil {
+			got = st
+		}
+		return got, true
+	}
+	if got, ok := decodeRingState(data); ok {
+		return got, false
+	}
+	return RingState{}, false
 }
 
 // errMsg extracts the server's {"error": ...} message from an error body,

@@ -52,7 +52,7 @@ func TestCallRetriesTransient5xx(t *testing.T) {
 		json.NewEncoder(w).Encode(map[string]int{"ok": 1})
 	}))
 	defer ts.Close()
-	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil)
+	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil, nil)
 	var out map[string]int
 	if err := sc.Call(context.Background(), http.MethodGet, "/x", nil, &out); err != nil {
 		t.Fatal(err)
@@ -76,7 +76,7 @@ func TestCall4xxDoesNotRetry(t *testing.T) {
 		json.NewEncoder(w).Encode(map[string]string{"error": "no such thing"})
 	}))
 	defer ts.Close()
-	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil)
+	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil, nil)
 	err := sc.Call(context.Background(), http.MethodGet, "/x", nil, nil)
 	if err == nil {
 		t.Fatal("no error for a 404")
@@ -104,7 +104,7 @@ func TestCallExhaustsRetryBudget(t *testing.T) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}))
 	defer ts.Close()
-	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil)
+	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil, nil)
 	err := sc.Call(context.Background(), http.MethodGet, "/x", nil, nil)
 	if err == nil {
 		t.Fatal("no error after exhausted retries")
@@ -127,7 +127,7 @@ func Test429RetriesWithoutHealthPenalty(t *testing.T) {
 		json.NewEncoder(w).Encode(map[string]int{"ok": 1})
 	}))
 	defer ts.Close()
-	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil)
+	sc := newShardClient(0, []string{ts.URL}, testPolicy(), nil, nil)
 	var out map[string]int
 	if err := sc.Call(context.Background(), http.MethodGet, "/x", nil, &out); err != nil {
 		t.Fatal(err)
@@ -154,7 +154,7 @@ func TestHedgedRequestBeatsStraggler(t *testing.T) {
 	defer fast.Close()
 	p := testPolicy()
 	p.HedgeAfter = 30 * time.Millisecond
-	sc := newShardClient(0, []string{slow.URL, fast.URL}, p, nil)
+	sc := newShardClient(0, []string{slow.URL, fast.URL}, p, nil, nil)
 	start := time.Now()
 	var out map[string]string
 	if err := sc.Call(context.Background(), http.MethodGet, "/x", nil, &out); err != nil {
@@ -183,7 +183,7 @@ func TestDeadlineBoundsAttempt(t *testing.T) {
 	defer ts.Close()
 	p := testPolicy()
 	p.MergeMargin = 10 * time.Millisecond
-	sc := newShardClient(0, []string{ts.URL}, p, nil)
+	sc := newShardClient(0, []string{ts.URL}, p, nil, nil)
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
 	defer cancel()
 	start := time.Now()
@@ -205,7 +205,7 @@ func TestBackoffHonorsCancel(t *testing.T) {
 	p.Retries = 5
 	p.BackoffBase = time.Second
 	p.BackoffCap = 2 * time.Second
-	sc := newShardClient(0, []string{ts.URL}, p, nil)
+	sc := newShardClient(0, []string{ts.URL}, p, nil, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(30 * time.Millisecond)

@@ -17,15 +17,28 @@ type ShardSpec struct {
 	Transport http.RoundTripper
 }
 
-// Coordinator owns the cluster view: the hash ring partitioning shape ids
-// over shards and one ShardClient per shard. It is stateless apart from
-// the id-allocation counter — every query carries its own deadline and the
-// shard clients track liveness — so a restarted coordinator resumes
-// serving with no recovery step.
-type Coordinator struct {
-	ring    *Ring
+// topology is one immutable cluster view: a RingState, its routing
+// rings, and one ShardClient per fleet slot. The coordinator swaps whole
+// topologies atomically at migration phase boundaries, so every query
+// observes a single consistent view.
+type topology struct {
+	rings   *rings
+	specs   []ShardSpec
 	clients []*ShardClient
-	policy  Policy
+}
+
+// Coordinator owns the cluster view: the versioned hash ring(s)
+// partitioning shape ids over shards and one ShardClient per shard. It
+// is stateless apart from the id-allocation counter — every query
+// carries its own deadline and the shard clients track liveness — so a
+// restarted coordinator resumes serving with no recovery step.
+type Coordinator struct {
+	topo   atomic.Pointer[topology]
+	policy Policy
+
+	// topoMu serializes topology swaps (SetTopology / AdoptState) so two
+	// concurrent self-heals cannot interleave client reuse.
+	topoMu sync.Mutex
 
 	// Id allocation for routed inserts: seeded lazily from the max id
 	// reported by shard stats, then advanced atomically. seedMu serializes
@@ -35,40 +48,182 @@ type Coordinator struct {
 	nextID atomic.Int64
 }
 
-// New builds a coordinator over the given shards. The policy applies to
-// every shard (zero value = defaults).
+// New builds a coordinator over the given shards at the static epoch-1
+// ring state. The policy applies to every shard (zero value = defaults).
 func New(specs []ShardSpec, policy Policy) (*Coordinator, error) {
-	ring, err := NewRing(len(specs))
-	if err != nil {
+	c := &Coordinator{policy: policy.withDefaults()}
+	if err := c.SetTopology(StaticState(len(specs)), specs); err != nil {
 		return nil, err
-	}
-	policy = policy.withDefaults()
-	c := &Coordinator{ring: ring, policy: policy}
-	for i, spec := range specs {
-		if len(spec.Endpoints) == 0 {
-			return nil, fmt.Errorf("scatter: %s has no endpoints", ShardName(i))
-		}
-		c.clients = append(c.clients, newShardClient(i, spec.Endpoints, policy, spec.Transport))
 	}
 	return c, nil
 }
 
-// NumShards returns the cluster's shard count.
-func (c *Coordinator) NumShards() int { return c.ring.Shards() }
+// SetTopology installs a new RingState over the given fleet specs
+// (indexed by shard slot; must cover st.Fleet()). Clients whose endpoint
+// list is unchanged are carried over from the previous topology so their
+// health counters and breaker state survive the swap.
+func (c *Coordinator) SetTopology(st RingState, specs []ShardSpec) error {
+	r, err := buildRings(st)
+	if err != nil {
+		return err
+	}
+	if len(specs) < st.Fleet() {
+		return fmt.Errorf("scatter: state needs %d shard specs, got %d", st.Fleet(), len(specs))
+	}
+	specs = specs[:st.Fleet()]
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	old := c.topo.Load()
+	t := &topology{rings: r, specs: append([]ShardSpec(nil), specs...)}
+	for i, spec := range specs {
+		if len(spec.Endpoints) == 0 {
+			return fmt.Errorf("scatter: %s has no endpoints", ShardName(i))
+		}
+		if old != nil && i < len(old.clients) && sameEndpoints(old.specs[i], spec) {
+			t.clients = append(t.clients, old.clients[i])
+			continue
+		}
+		t.clients = append(t.clients, newShardClient(i, spec.Endpoints, c.policy, spec.Transport, c))
+	}
+	c.topo.Store(t)
+	return nil
+}
 
-// Ring returns the cluster's hash ring.
-func (c *Coordinator) Ring() *Ring { return c.ring }
+func sameEndpoints(a, b ShardSpec) bool {
+	return a.Transport == b.Transport && equalStrings(a.Endpoints, b.Endpoints)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AdoptState self-heals onto a newer RingState learned from a shard's
+// 409 rejection. The state must carry its own endpoint list (migration
+// states always do); without one, adoption only succeeds if the current
+// fleet already covers the new state's slots.
+func (c *Coordinator) AdoptState(st RingState) error {
+	cur := c.State()
+	if st.Epoch <= cur.Epoch && st.Term <= cur.Term {
+		return nil // already there (or ahead): nothing to adopt
+	}
+	specs := c.topo.Load().specs
+	if len(st.Endpoints) > 0 {
+		specs = make([]ShardSpec, len(st.Endpoints))
+		have := c.topo.Load()
+		for i, eps := range st.Endpoints {
+			specs[i] = ShardSpec{Endpoints: eps}
+			// Preserve a fault-injecting transport when the slot's endpoints
+			// are unchanged (test harnesses rely on this).
+			if i < len(have.specs) && equalStrings(have.specs[i].Endpoints, eps) {
+				specs[i].Transport = have.specs[i].Transport
+			}
+		}
+	}
+	return c.SetTopology(st, specs)
+}
+
+// State snapshots the coordinator's current RingState.
+func (c *Coordinator) State() RingState { return c.topo.Load().rings.state }
+
+// HealEpoch implements EpochHook: when a shard 409s with a RingState
+// that disagrees with the coordinator's, the newer side wins — the
+// coordinator adopts a newer state, or pushes its own to a stale shard.
+// Returns whether the call that hit the 409 is worth retrying.
+func (c *Coordinator) HealEpoch(ctx context.Context, sc *ShardClient, st RingState) bool {
+	cur := c.State()
+	switch {
+	case st.Term > cur.Term || (st.Term == cur.Term && st.Epoch > cur.Epoch):
+		return c.AdoptState(st) == nil
+	case st.Term < cur.Term || st.Epoch < cur.Epoch:
+		got, ok := sc.pushState(ctx, cur)
+		if ok {
+			return true
+		}
+		if got.Term > cur.Term || (got.Term == cur.Term && got.Epoch > cur.Epoch) {
+			// The shard refused our push because it knew a newer state after
+			// all (a migration phase landed between the 409 and the push).
+			return c.AdoptState(got) == nil
+		}
+		return false
+	default:
+		// The shard's state matches what we hold NOW — the request that
+		// drew the 409 was stamped before a topology swap that has since
+		// landed here (a concurrent heal or the migration driver beat us to
+		// it). A retry stamps the current epoch and goes through; the
+		// caller's maxEpochHeals bounds any pathological ping-pong.
+		return true
+	}
+}
+
+// Epoch returns the coordinator's current ring epoch.
+func (c *Coordinator) Epoch() int64 { return c.State().Epoch }
+
+// Specs returns the current fleet's shard specs (indexed by slot).
+func (c *Coordinator) Specs() []ShardSpec { return c.topo.Load().specs }
+
+// NumShards returns the fleet size: every shard slot involved in the
+// current state (serving + joining/draining during a migration).
+func (c *Coordinator) NumShards() int { return len(c.topo.Load().clients) }
+
+// Ring returns the current serving ring (read ownership).
+func (c *Coordinator) Ring() *Ring { return c.topo.Load().rings.serving }
 
 // Shard returns the client for shard index i.
-func (c *Coordinator) Shard(i int) *ShardClient { return c.clients[i] }
+func (c *Coordinator) Shard(i int) *ShardClient { return c.topo.Load().clients[i] }
 
-// Owner returns the client for the shard owning the given shape id.
-func (c *Coordinator) Owner(id int64) *ShardClient { return c.clients[c.ring.Owner(id)] }
+// Owner returns the client for the shard owning the given shape id on
+// the serving ring.
+func (c *Coordinator) Owner(id int64) *ShardClient {
+	t := c.topo.Load()
+	return t.clients[t.rings.serving.Owner(id)]
+}
+
+// OwnerIndexes returns the shard indexes that may hold the given shape
+// id for reads: the serving owner first, then the write-ring owner when
+// it differs (a record inserted during the prepare window lives only
+// there until cutover), then (during the cutover double-routing window)
+// the draining ring's owner. Point reads and deletes fan over all of
+// them, so every acknowledged write is reachable at every migration
+// phase.
+func (c *Coordinator) OwnerIndexes(id int64) []int {
+	t := c.topo.Load()
+	own := []int{t.rings.serving.Owner(id)}
+	if w := t.rings.write.Owner(id); w != own[0] {
+		own = append(own, w)
+	}
+	if t.rings.alt != nil {
+		if a := t.rings.alt.Owner(id); a != own[0] {
+			own = append(own, a)
+		}
+	}
+	return own
+}
+
+// WriteOwnerKey maps a routing key (the idempotency key of a routed
+// insert) onto the shard index that owns new records — the write ring,
+// so mid-migration inserts land on their post-cutover owner.
+func (c *Coordinator) WriteOwnerKey(key string) int {
+	return c.topo.Load().rings.write.OwnerKey(key)
+}
+
+// writeOwnerID maps a shape id onto its write-ring owner.
+func (c *Coordinator) writeOwnerID(id int64) int {
+	return c.topo.Load().rings.write.Owner(id)
+}
 
 // Health snapshots every shard's liveness counters, in shard order.
 func (c *Coordinator) Health() []ShardHealth {
-	out := make([]ShardHealth, len(c.clients))
-	for i, sc := range c.clients {
+	clients := c.topo.Load().clients
+	out := make([]ShardHealth, len(clients))
+	for i, sc := range clients {
 		out[i] = sc.Health()
 	}
 	return out
@@ -81,7 +236,7 @@ func (c *Coordinator) Health() []ShardHealth {
 func (c *Coordinator) Probe(ctx context.Context) int {
 	var healthy atomic.Int64
 	var wg sync.WaitGroup
-	for _, sc := range c.clients {
+	for _, sc := range c.topo.Load().clients {
 		wg.Add(1)
 		go func(sc *ShardClient) {
 			defer wg.Done()
@@ -94,14 +249,15 @@ func (c *Coordinator) Probe(ctx context.Context) int {
 	return int(healthy.Load())
 }
 
-// ForEach fans fn out over every shard concurrently and returns the
-// per-shard errors (nil entries for successes), indexed by shard. Each fn
-// call runs under the full ShardClient policy; the caller decides which
-// failures degrade the answer and which fail it.
+// ForEach fans fn out over every fleet shard concurrently and returns
+// the per-shard errors (nil entries for successes), indexed by shard.
+// Each fn call runs under the full ShardClient policy; the caller
+// decides which failures degrade the answer and which fail it.
 func (c *Coordinator) ForEach(ctx context.Context, fn func(ctx context.Context, i int, sc *ShardClient) error) []error {
-	errs := make([]error, len(c.clients))
+	clients := c.topo.Load().clients
+	errs := make([]error, len(clients))
 	var wg sync.WaitGroup
-	for i, sc := range c.clients {
+	for i, sc := range clients {
 		wg.Add(1)
 		go func(i int, sc *ShardClient) {
 			defer wg.Done()
@@ -121,13 +277,14 @@ type shardStats struct {
 }
 
 // AllocID allocates a fresh globally-unique shape id owned by the given
-// shard. On first use the counter seeds itself from the maximum id any
-// reachable shard reports, so a restarted coordinator never reissues an
-// id; the owning-shard constraint is satisfied by probing successive
-// candidates (with N shards a candidate lands on a given shard with
-// probability ~1/N, so the expected cost is N ring lookups).
+// shard on the WRITE ring. On first use the counter seeds itself from
+// the maximum id any reachable shard reports, so a restarted coordinator
+// never reissues an id; the owning-shard constraint is satisfied by
+// probing successive candidates (with N shards a candidate lands on a
+// given shard with probability ~1/N, so the expected cost is N ring
+// lookups).
 func (c *Coordinator) AllocID(ctx context.Context, shard int) (int64, error) {
-	if shard < 0 || shard >= len(c.clients) {
+	if shard < 0 || shard >= c.NumShards() {
 		return 0, fmt.Errorf("scatter: no shard %d", shard)
 	}
 	if err := c.seedIDs(ctx); err != nil {
@@ -137,7 +294,7 @@ func (c *Coordinator) AllocID(ctx context.Context, shard int) (int64, error) {
 	// candidates without a hit means the ring is broken, not unlucky.
 	for range 4096 {
 		id := c.nextID.Add(1)
-		if c.ring.Owner(id) == shard {
+		if c.writeOwnerID(id) == shard {
 			return id, nil
 		}
 	}
@@ -154,7 +311,7 @@ func (c *Coordinator) seedIDs(ctx context.Context) error {
 	if c.seeded {
 		return nil
 	}
-	maxIDs := make([]int64, len(c.clients))
+	maxIDs := make([]int64, c.NumShards())
 	errs := c.ForEach(ctx, func(ctx context.Context, i int, sc *ShardClient) error {
 		var st shardStats
 		if err := sc.Call(ctx, http.MethodGet, "/api/stats", nil, &st); err != nil {

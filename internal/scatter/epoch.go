@@ -1,0 +1,241 @@
+package scatter
+
+import (
+	"fmt"
+	"sync"
+
+	"threedess/internal/replica"
+)
+
+// RingEpochHeader carries the sender's ring epoch on every
+// coordinator↔shard call. A shard whose own epoch differs answers 409
+// with its current RingState in the body, and the caller self-heals by
+// adopting the newer state (or pushing its own, if the shard is the
+// stale side) and retrying.
+const RingEpochHeader = "X-Ring-Epoch"
+
+// RingState is the versioned cluster topology every participant agrees
+// on. Epoch 1 is the static single-topology state a cluster boots with;
+// a migration bumps the epoch three times (prepare, cutover, finalize)
+// so every phase transition is observable and totally ordered.
+//
+// During a migration two rings are live at once:
+//
+//   - the SERVING ring (Shards, or Draining while it is set) still owns
+//     every record for reads — nothing has moved yet, or moved copies
+//     are not yet authoritative;
+//   - the WRITE ring (Target while it is set, else Shards) owns all new
+//     inserts, so no write lands on a source arc that is about to be
+//     copied out from under it.
+//
+// Phase shapes:
+//
+//	static:   {Epoch: E,   Shards: N}
+//	prepare:  {Epoch: E+1, Shards: N, Target: M}   reads old, writes new
+//	cutover:  {Epoch: E+2, Shards: M, Draining: N} reads both, writes new
+//	finalize: {Epoch: E+3, Shards: M}
+//
+// Term and Holder fence the migration driver: a shard only adopts a
+// state whose (Term, Holder) passes its replica.TermFence, so a crashed
+// coordinator that resumes at a higher term supersedes its earlier self,
+// and a stale coordinator's pushes are rejected everywhere.
+type RingState struct {
+	Epoch     int64      `json:"epoch"`
+	Term      int64      `json:"term"`
+	Holder    string     `json:"holder,omitempty"`
+	Shards    int        `json:"shards"`
+	Target    int        `json:"target,omitempty"`
+	Draining  int        `json:"draining,omitempty"`
+	Endpoints [][]string `json:"endpoints,omitempty"`
+}
+
+// StaticState is the epoch-1 state of a freshly booted cluster of n
+// shards, before any migration has run.
+func StaticState(n int) RingState { return RingState{Epoch: 1, Shards: n} }
+
+// Fleet is how many shard slots the state involves: the maximum of the
+// serving, target, and draining counts. Fan-out operations (searches,
+// stats, state pushes) cover the whole fleet during a migration.
+func (st RingState) Fleet() int {
+	n := st.Shards
+	if st.Target > n {
+		n = st.Target
+	}
+	if st.Draining > n {
+		n = st.Draining
+	}
+	return n
+}
+
+// Transitioning reports whether the state describes a migration in
+// flight (reads and writes are routed by different rings).
+func (st RingState) Transitioning() bool { return st.Target > 0 || st.Draining > 0 }
+
+// servingShards is the shard count whose ring owns records for reads.
+func (st RingState) servingShards() int { return st.Shards }
+
+// writeShards is the shard count whose ring owns new inserts.
+func (st RingState) writeShards() int {
+	if st.Target > 0 {
+		return st.Target
+	}
+	return st.Shards
+}
+
+// altShards is the second read ring during the cutover double-routing
+// window (the draining pre-cutover topology), or 0 when only one ring
+// serves reads.
+func (st RingState) altShards() int { return st.Draining }
+
+// EpochError is the typed form of a shard's 409 epoch rejection: the
+// shard's current RingState rode back in the response body. ShardClient
+// surfaces it (after its own healing attempts are exhausted) so callers
+// can adopt the state and retry.
+type EpochError struct {
+	Shard int
+	State RingState
+}
+
+func (e *EpochError) Error() string {
+	return fmt.Sprintf("scatter: %s is at ring epoch %d", ShardName(e.Shard), e.State.Epoch)
+}
+
+// rings caches the consistent-hash rings a RingState routes by, so the
+// hot paths never rebuild vnode arrays. All three may alias when the
+// state is not transitioning.
+type rings struct {
+	state   RingState
+	serving *Ring
+	write   *Ring
+	alt     *Ring // nil unless double-routing (cutover window)
+}
+
+func buildRings(st RingState) (*rings, error) {
+	r := &rings{state: st}
+	var err error
+	if r.serving, err = NewRing(st.servingShards()); err != nil {
+		return nil, err
+	}
+	if w := st.writeShards(); w == st.servingShards() {
+		r.write = r.serving
+	} else if r.write, err = NewRing(w); err != nil {
+		return nil, err
+	}
+	if a := st.altShards(); a > 0 && a != st.servingShards() {
+		if r.alt, err = NewRing(a); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// ShardState is a shard node's mutable view of the cluster topology. The
+// server consults it on every request: the epoch gate compares the
+// caller's X-Ring-Epoch against Epoch(), and routed-insert validation
+// asks WriteOwner. Adoption is fenced — see RingState.
+type ShardState struct {
+	index int
+	fence replica.TermFence
+
+	mu sync.Mutex
+	r  *rings
+}
+
+// NewShardState boots shard `index` of a static `shards`-node cluster.
+func NewShardState(index, shards int) (*ShardState, error) {
+	st := StaticState(shards)
+	r, err := buildRings(st)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardState{index: index, r: r}
+	// Seed the fence at the static state's term (0) with no holder, so the
+	// first migration's term-1 push is an advance.
+	s.fence.Observe(st.Term, st.Holder)
+	return s, nil
+}
+
+// NewJoiningShardState boots shard `index` as a joining node that does
+// not yet appear in any adopted topology: epoch 0, so the first real
+// state push (any term ≥ 1, or term 0 with a higher epoch is impossible
+// — epoch 0 is below every live epoch) is adopted and every earlier
+// routed call 409s with a state the coordinator recognizes as stale and
+// overwrites.
+func NewJoiningShardState(index int) (*ShardState, error) {
+	r, err := buildRings(RingState{Epoch: 0, Shards: index + 1})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardState{index: index, r: r}, nil
+}
+
+// Index returns the shard's own index.
+func (s *ShardState) Index() int { return s.index }
+
+// State snapshots the current RingState.
+func (s *ShardState) State() RingState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.state
+}
+
+// Epoch returns the current ring epoch.
+func (s *ShardState) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.state.Epoch
+}
+
+// Adopt applies a pushed RingState if its fencing term passes and its
+// epoch does not regress within the current term. It returns the state
+// in effect afterwards and whether the push was accepted. Re-adopting
+// the identical state is accepted (idempotent pushes from a resumed
+// migration driver).
+func (s *ShardState) Adopt(st RingState) (RingState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.r.state
+	if !s.fence.Observe(st.Term, st.Holder) {
+		return cur, false
+	}
+	if st.Term == cur.Term && st.Epoch < cur.Epoch {
+		// Same driver replaying an old phase (a retried push that lost a
+		// race with a newer one) — the fence can't see epoch order, so the
+		// epoch check rejects it here.
+		return cur, false
+	}
+	r, err := buildRings(st)
+	if err != nil {
+		return cur, false
+	}
+	s.r = r
+	return st, true
+}
+
+// ObserveTerm validates a migration driver's fencing term on a
+// data-plane migration call (import, dropmoved) without touching the
+// topology. A term above the fence's is adopted — the driver proved it
+// is the newest by winning the state push somewhere — and a stale term
+// is rejected, so a superseded driver cannot keep landing records.
+func (s *ShardState) ObserveTerm(term int64, holder string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fence.Observe(term, holder)
+}
+
+// WriteOwner maps a shape id onto the shard index that owns NEW copies
+// of it — the write ring. Routed-insert validation and moved-record
+// enumeration both route by this.
+func (s *ShardState) WriteOwner(id int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.write.Owner(id)
+}
+
+// ServingOwner maps a shape id onto the shard index that owns it for
+// reads.
+func (s *ShardState) ServingOwner(id int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.serving.Owner(id)
+}

@@ -1,0 +1,261 @@
+package scatter
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// The whole migration design leans on one ring property: vnode positions
+// depend only on the shard's own label, never on the cluster size. These
+// tests pin the resulting transition guarantees — grow moves keys only
+// onto the new shards, shrink moves keys only off the removed shard — for
+// the exact transitions a rebalance performs.
+
+const transitionIDs = 20000
+
+// Growing N -> M must move a key either nowhere or onto a NEW shard
+// (index >= N). A key hopping between two surviving shards would be
+// unreachable mid-migration: neither the copy plan (which only fills the
+// new shards) nor the old ring would know where it went.
+func TestRingGrowMovesKeysOnlyToNewShards(t *testing.T) {
+	for _, tc := range []struct{ from, to int }{{1, 2}, {4, 6}, {3, 4}, {5, 8}} {
+		old, err := NewRing(tc.from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err := NewRing(tc.to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := int64(1); id <= transitionIDs; id++ {
+			a, b := old.Owner(id), grown.Owner(id)
+			if a != b && b < tc.from {
+				t.Fatalf("%d->%d: id %d moved between survivors (%d -> %d)", tc.from, tc.to, id, a, b)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("idem-key-%d", i)
+			a, b := old.OwnerKey(key), grown.OwnerKey(key)
+			if a != b && b < tc.from {
+				t.Fatalf("%d->%d: key %q moved between survivors (%d -> %d)", tc.from, tc.to, key, a, b)
+			}
+		}
+	}
+}
+
+// Shrinking N -> N-1 must move exactly the removed shard's keys, each
+// onto some survivor; every key a survivor owned stays put. This is what
+// lets the drain phase enumerate moved records from the leaving shard
+// alone.
+func TestRingShrinkMovesOnlyRemovedShardsKeys(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		old, err := NewRing(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shrunk, err := NewRing(n - 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := int64(1); id <= transitionIDs; id++ {
+			a, b := old.Owner(id), shrunk.Owner(id)
+			if a == n-1 {
+				if b == n-1 {
+					t.Fatalf("%d->%d: id %d still owned by removed shard", n, n-1, id)
+				}
+				continue
+			}
+			if a != b {
+				t.Fatalf("%d->%d: id %d owned by survivor %d moved to %d", n, n-1, id, a, b)
+			}
+		}
+	}
+}
+
+// Property test: a grow N -> M moves roughly (M-N)/M of the keyspace —
+// the consistent-hashing minimum. Moving much more would make every
+// rebalance needlessly expensive; moving much less would mean the new
+// shards run underloaded.
+func TestRingGrowMovedFraction(t *testing.T) {
+	for _, tc := range []struct{ from, to int }{{1, 2}, {4, 6}, {4, 5}} {
+		old, _ := NewRing(tc.from)
+		grown, _ := NewRing(tc.to)
+		moved := 0
+		for id := int64(1); id <= transitionIDs; id++ {
+			if old.Owner(id) != grown.Owner(id) {
+				moved++
+			}
+		}
+		frac := float64(moved) / transitionIDs
+		want := float64(tc.to-tc.from) / float64(tc.to)
+		if frac < 0.6*want || frac > 1.4*want {
+			t.Errorf("%d->%d: moved %.1f%% of ids, want ~%.1f%%", tc.from, tc.to, 100*frac, 100*want)
+		}
+	}
+}
+
+// The serving ring of a prepare state and the write ring of a finalize
+// state bracket the migration; a key that no transition moves must
+// resolve to the same owner at every epoch in between. This is what lets
+// searches stay bit-identical through a rebalance: an unmoved record
+// never changes hands.
+func TestUnmovedOwnerStableAcrossAllPhases(t *testing.T) {
+	const from, to = 4, 6
+	phases := []RingState{
+		{Epoch: 1, Shards: from},                        // static
+		{Epoch: 2, Term: 1, Shards: from, Target: to},   // prepare
+		{Epoch: 3, Term: 1, Shards: to, Draining: from}, // cutover
+		{Epoch: 4, Term: 1, Shards: to},                 // finalize
+	}
+	oldRing, _ := NewRing(from)
+	newRing, _ := NewRing(to)
+	built := make([]*rings, len(phases))
+	for i, st := range phases {
+		r, err := buildRings(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		built[i] = r
+	}
+	for id := int64(1); id <= transitionIDs; id++ {
+		if oldRing.Owner(id) != newRing.Owner(id) {
+			continue // moved key: ownership legitimately changes at cutover
+		}
+		want := oldRing.Owner(id)
+		for _, r := range built {
+			if got := r.serving.Owner(id); got != want {
+				t.Fatalf("epoch %d: unmoved id %d serving-owner %d, want %d", r.state.Epoch, id, got, want)
+			}
+			if got := r.write.Owner(id); got != want {
+				t.Fatalf("epoch %d: unmoved id %d write-owner %d, want %d", r.state.Epoch, id, got, want)
+			}
+		}
+	}
+}
+
+// During prepare, reads route by the old ring and writes by the new one;
+// during cutover both rings serve reads. The rings cache must reflect
+// exactly that.
+func TestRingStatePhaseRouting(t *testing.T) {
+	prepare := RingState{Epoch: 2, Term: 1, Shards: 4, Target: 6}
+	r, err := buildRings(prepare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.serving.Shards() != 4 || r.write.Shards() != 6 || r.alt != nil {
+		t.Fatalf("prepare rings: serving %d write %d alt %v", r.serving.Shards(), r.write.Shards(), r.alt)
+	}
+	cutover := RingState{Epoch: 3, Term: 1, Shards: 6, Draining: 4}
+	r, err = buildRings(cutover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.serving.Shards() != 6 || r.write.Shards() != 6 || r.alt == nil || r.alt.Shards() != 4 {
+		t.Fatalf("cutover rings: serving %d write %d alt %v", r.serving.Shards(), r.write.Shards(), r.alt)
+	}
+	static := RingState{Epoch: 1, Shards: 4}
+	r, err = buildRings(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.write != r.serving || r.alt != nil {
+		t.Fatal("static state should alias one ring for reads and writes")
+	}
+	if !prepare.Transitioning() || !cutover.Transitioning() || static.Transitioning() {
+		t.Error("Transitioning misreports a phase")
+	}
+	if prepare.Fleet() != 6 || cutover.Fleet() != 6 || static.Fleet() != 4 {
+		t.Errorf("Fleet: prepare %d cutover %d static %d", prepare.Fleet(), cutover.Fleet(), static.Fleet())
+	}
+}
+
+// Adoption fencing: a newer term always wins, the same term accepts
+// idempotent replays and epoch advances but rejects epoch regression, and
+// a stale term is rejected outright.
+func TestShardStateAdoptFencing(t *testing.T) {
+	s, err := NewShardState(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepare := RingState{Epoch: 2, Term: 1, Holder: "m1", Shards: 4, Target: 6}
+	if _, ok := s.Adopt(prepare); !ok {
+		t.Fatal("term-1 prepare push rejected on a term-0 shard")
+	}
+	if got, ok := s.Adopt(prepare); !ok || got.Epoch != 2 {
+		t.Fatal("idempotent re-push of the identical state rejected")
+	}
+	cutover := RingState{Epoch: 3, Term: 1, Holder: "m1", Shards: 6, Draining: 4}
+	if _, ok := s.Adopt(cutover); !ok {
+		t.Fatal("same-term epoch advance rejected")
+	}
+	if got, ok := s.Adopt(prepare); ok {
+		t.Fatalf("same-term epoch REGRESSION accepted (now at %d)", got.Epoch)
+	}
+	stale := RingState{Epoch: 9, Term: 0, Shards: 8}
+	if _, ok := s.Adopt(stale); ok {
+		t.Fatal("stale-term push accepted")
+	}
+	resumed := RingState{Epoch: 2, Term: 2, Holder: "m2", Shards: 4, Target: 6}
+	if _, ok := s.Adopt(resumed); !ok {
+		t.Fatal("higher-term push (resumed driver, earlier epoch) rejected — the new term must supersede")
+	}
+	if s.Epoch() != 2 {
+		t.Fatalf("epoch %d after higher-term adoption, want 2", s.Epoch())
+	}
+	// The data-plane fence follows the same order.
+	if s.ObserveTerm(1, "m1") {
+		t.Error("stale term-1 import passed the fence after term 2 was observed")
+	}
+	if !s.ObserveTerm(2, "m2") {
+		t.Error("current-term import rejected")
+	}
+}
+
+// A joining shard boots at epoch 0 and must adopt the first real state it
+// is pushed, whatever the term — epoch 0 exists below every live epoch.
+func TestJoiningShardAdoptsFirstPush(t *testing.T) {
+	s, err := NewJoiningShardState(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 0 {
+		t.Fatalf("joining shard boots at epoch %d, want 0", s.Epoch())
+	}
+	live := RingState{Epoch: 7, Term: 3, Holder: "m3", Shards: 4, Target: 6}
+	if _, ok := s.Adopt(live); !ok {
+		t.Fatal("joining shard rejected the live topology push")
+	}
+	if s.Epoch() != 7 || s.WriteOwner(1) != NewRingMust(6).Owner(1) {
+		t.Fatal("joining shard did not route by the adopted write ring")
+	}
+}
+
+// A 409 whose attached state EQUALS the coordinator's current state means
+// the rejected request was stamped before a topology swap that has since
+// landed locally (a concurrent heal or the migration driver won the
+// race). The heal hook must say "retry" — the retried attempt stamps the
+// now-matching epoch — or a burst of in-flight queries straddling a swap
+// drops every shard at once and 503s.
+func TestHealEpochRetriesWhenStatesAlreadyAgree(t *testing.T) {
+	c, err := New([]ShardSpec{
+		{Endpoints: []string{"http://a"}},
+		{Endpoints: []string{"http://b"}},
+	}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HealEpoch(context.Background(), nil, c.State()) {
+		t.Fatal("HealEpoch refused a retry though both sides hold the same state")
+	}
+}
+
+// NewRingMust is a test helper: rings for fixed positive sizes cannot
+// fail to build.
+func NewRingMust(n int) *Ring {
+	r, err := NewRing(n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -3,10 +3,12 @@ package scatter
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -74,57 +76,109 @@ type shardSearchReq struct {
 }
 
 // shardBounds mirrors the server's /api/cluster/bounds answer: the
-// feature-space bounding box of the shard's stored vectors of one kind.
+// feature-space bounding box of the shard's stored vectors of one kind,
+// plus the shard's data version (journal sequence) so coordinators can
+// tag cached answers with the fleet-wide data state.
 type shardBounds struct {
-	Count int       `json:"count"`
-	Lo    []float64 `json:"lo,omitempty"`
-	Hi    []float64 `json:"hi,omitempty"`
+	Count   int       `json:"count"`
+	Lo      []float64 `json:"lo,omitempty"`
+	Hi      []float64 `json:"hi,omitempty"`
+	Version int64     `json:"version,omitempty"`
 }
 
-// Search fans the query out over every shard and merges the per-shard
-// partial results into the canonical (distance, id) order.
-//
-// Two fan-out rounds make the merged answer bit-identical to a
-// single-node scan: the first collects per-shard feature-space bounding
-// boxes, which merge exactly (elementwise min/max) into the global box;
-// its diagonal — computed with the same summation order as
-// shapedb.DMax — is sent back as a dmax override, so every shard computes
-// Equation-4.4 similarities (and threshold cutoffs) against the global
-// normalizer instead of its local one. Distances are dmax-independent, and
-// the merge re-sorts by the same (distance ascending, id ascending) rule
-// every engine path uses, so rows, order, and every float match the
-// single-node answer bit for bit.
-//
-// A shard down past its retry budget in either round is dropped from the
-// query and named in Outcome.Missing — degraded, never failed. A 4xx from
-// any shard means the query itself is at fault and is returned as a
-// *ShardError. Only when every shard is missing does Search fail with
-// ErrNoShards.
-func (c *Coordinator) Search(ctx context.Context, q Query) (*Outcome, error) {
-	if len(q.Vector) == 0 {
-		return nil, fmt.Errorf("scatter: query has no vector")
-	}
-	missing := make([]bool, c.NumShards())
+// BoundsSet is the outcome of the bounds round: everything the search
+// round needs (the global dmax and which shards survived), plus the
+// per-shard data versions that make a coherent cache tag.
+type BoundsSet struct {
+	Feature string
+	DMax    float64
+	Epoch   int64
+	missing []bool
+	bounds  []shardBounds
+}
 
-	// Round 1: bounds. A shard that cannot even answer its bounds is
-	// excluded from the search round — its box is unknown, so including
-	// its rows could disagree with the dmax the others were told to use.
-	bounds := make([]shardBounds, c.NumShards())
-	path := "/api/cluster/bounds?feature=" + url.QueryEscape(q.Feature)
+// Complete reports whether every shard contributed its bounds — a
+// prerequisite for caching the final answer.
+func (b *BoundsSet) Complete() bool {
+	for _, m := range b.missing {
+		if m {
+			return false
+		}
+	}
+	return true
+}
+
+// VersionTag folds the ring epoch and every shard's data version into
+// one value, changing whenever any shard's corpus slice changes (even by
+// a write that bypassed this coordinator) or the topology moves. Two
+// coordinators observing the same fleet state compute the same tag, so
+// ETags agree across coordinators.
+func (b *BoundsSet) VersionTag() int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(b.Epoch)
+	for i, sb := range b.bounds {
+		put(int64(i))
+		put(sb.Version)
+	}
+	return int64(h.Sum64())
+}
+
+// CollectBounds runs the bounds round: every fleet shard reports the
+// bounding box of its stored vectors for the feature, its record count,
+// and its data version. A shard that cannot answer is marked missing —
+// its box is unknown, so including its rows in a later search round
+// could disagree with the dmax the others were told to use. A 4xx from
+// any shard (bad feature name, etc.) fails the round.
+func (c *Coordinator) CollectBounds(ctx context.Context, feature string) (*BoundsSet, error) {
+	n := c.NumShards()
+	b := &BoundsSet{
+		Feature: feature,
+		Epoch:   c.Epoch(),
+		missing: make([]bool, n),
+		bounds:  make([]shardBounds, n),
+	}
+	path := "/api/cluster/bounds?feature=" + url.QueryEscape(feature)
 	errs := c.ForEach(ctx, func(ctx context.Context, i int, sc *ShardClient) error {
-		return sc.Call(ctx, http.MethodGet, path, nil, &bounds[i])
+		return sc.Call(ctx, http.MethodGet, path, nil, &b.bounds[i])
 	})
 	for i, err := range errs {
 		if err != nil {
 			if status := HTTPStatus(err); status >= 400 && status < 500 {
 				return nil, err // the query names a bad feature, etc.
 			}
-			missing[i] = true
+			b.missing[i] = true
 		}
 	}
-	dmax := mergeDMax(bounds, missing)
+	b.DMax = mergeDMax(b.bounds, b.missing)
+	return b, nil
+}
 
-	// Round 2: the search itself, against surviving shards only.
+// SearchBounds runs the search round against the shards that survived a
+// prior CollectBounds, and merges the partials into the canonical order.
+func (c *Coordinator) SearchBounds(ctx context.Context, q Query, b *BoundsSet) (*Outcome, error) {
+	if len(q.Vector) == 0 {
+		return nil, fmt.Errorf("scatter: query has no vector")
+	}
+	n := c.NumShards()
+	if len(b.missing) != n {
+		// The topology moved between rounds (a concurrent self-heal);
+		// restart from a fresh bounds round rather than mixing views.
+		nb, err := c.CollectBounds(ctx, b.Feature)
+		if err != nil {
+			return nil, err
+		}
+		*b = *nb
+	}
+	missing := append([]bool(nil), b.missing...)
+	dmax := b.DMax
+
 	req := shardSearchReq{
 		QueryVector: q.Vector,
 		Feature:     q.Feature,
@@ -147,8 +201,8 @@ func (c *Coordinator) Search(ctx context.Context, q Query) (*Outcome, error) {
 			req.K++ // absorb the query shape, which is always retrieved
 		}
 	}
-	partials := make([][]Result, c.NumShards())
-	errs = c.ForEach(ctx, func(ctx context.Context, i int, sc *ShardClient) error {
+	partials := make([][]Result, n)
+	errs := c.ForEach(ctx, func(ctx context.Context, i int, sc *ShardClient) error {
 		if missing[i] {
 			return nil
 		}
@@ -180,8 +234,11 @@ func (c *Coordinator) Search(ctx context.Context, q Query) (*Outcome, error) {
 	// Merge: concatenate and re-sort into the canonical order. Each
 	// partial is already its shard's top-(K) slice, so for top-k the
 	// global top-K is a subset of the union; for threshold every matching
-	// row is present. Truncation happens after the exclude so dropping the
-	// query shape cannot cost a legitimate row.
+	// row is present. During a migration's double-routing window a moved
+	// record exists on both its old and new owner, so equal ids collapse
+	// to one row (they are byte-identical copies — verified by CRC before
+	// cutover — and adjacent after the sort). Truncation happens after the
+	// exclude so dropping the query shape cannot cost a legitimate row.
 	for _, p := range partials {
 		out.Results = append(out.Results, p...)
 	}
@@ -191,6 +248,14 @@ func (c *Coordinator) Search(ctx context.Context, q Query) (*Outcome, error) {
 		}
 		return out.Results[i].ID < out.Results[j].ID
 	})
+	dedup := out.Results[:0]
+	for i, r := range out.Results {
+		if i > 0 && r.ID == dedup[len(dedup)-1].ID {
+			continue
+		}
+		dedup = append(dedup, r)
+	}
+	out.Results = dedup
 	if q.ExcludeID != 0 {
 		kept := out.Results[:0]
 		for _, r := range out.Results {
@@ -204,6 +269,36 @@ func (c *Coordinator) Search(ctx context.Context, q Query) (*Outcome, error) {
 		out.Results = out.Results[:q.K]
 	}
 	return out, nil
+}
+
+// Search fans the query out over every shard and merges the per-shard
+// partial results into the canonical (distance, id) order.
+//
+// Two fan-out rounds make the merged answer bit-identical to a
+// single-node scan: the first collects per-shard feature-space bounding
+// boxes, which merge exactly (elementwise min/max) into the global box;
+// its diagonal — computed with the same summation order as
+// shapedb.DMax — is sent back as a dmax override, so every shard computes
+// Equation-4.4 similarities (and threshold cutoffs) against the global
+// normalizer instead of its local one. Distances are dmax-independent, and
+// the merge re-sorts by the same (distance ascending, id ascending) rule
+// every engine path uses, so rows, order, and every float match the
+// single-node answer bit for bit.
+//
+// A shard down past its retry budget in either round is dropped from the
+// query and named in Outcome.Missing — degraded, never failed. A 4xx from
+// any shard means the query itself is at fault and is returned as a
+// *ShardError. Only when every shard is missing does Search fail with
+// ErrNoShards.
+func (c *Coordinator) Search(ctx context.Context, q Query) (*Outcome, error) {
+	if len(q.Vector) == 0 {
+		return nil, fmt.Errorf("scatter: query has no vector")
+	}
+	b, err := c.CollectBounds(ctx, q.Feature)
+	if err != nil {
+		return nil, err
+	}
+	return c.SearchBounds(ctx, q, b)
 }
 
 // ErrNoShards reports that every shard was unreachable past its retry
@@ -261,3 +356,6 @@ func uniformWeights(dim int) []float64 {
 // JoinMissing renders an Outcome's missing-shard list for the
 // X-Partial-Results header.
 func JoinMissing(missing []string) string { return strings.Join(missing, ",") }
+
+// formatEpoch renders an epoch for the X-Ring-Epoch header.
+func formatEpoch(e int64) string { return strconv.FormatInt(e, 10) }

@@ -215,6 +215,25 @@ func (c *Client) doCapture(method, path, idemKey string, body, out any, capture 
 			resp.Body.Close()
 			lastErr = fmt.Errorf("server: HTTP %d (not primary)", resp.StatusCode)
 			continue
+		case resp.StatusCode == http.StatusConflict && resendable && attempt < attempts-1:
+			// A 409 carrying a "ring" body is the cluster's epoch gate: the
+			// topology moved (a live rebalance crossed a phase boundary) and
+			// the node answered with its new RingState. The cluster heals
+			// itself within moments — coordinators adopt the newer state on
+			// their next exchange — so resending the request is exactly
+			// right. A 409 WITHOUT a ring (an id conflict) is terminal.
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var ringBody struct {
+				Error string          `json:"error"`
+				Ring  json.RawMessage `json:"ring"`
+			}
+			if json.Unmarshal(data, &ringBody) != nil || len(ringBody.Ring) == 0 {
+				return responseError(resp.StatusCode, data)
+			}
+			lastErr = fmt.Errorf("server: ring epoch changed: %s", ringBody.Error)
+			c.backoff(attempt + 1)
+			continue
 		case resp.StatusCode >= 500 && resendable && attempt < attempts-1:
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
@@ -378,19 +397,25 @@ func (c *Client) backoff(attempt int) {
 func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		var e struct {
-			Error string `json:"error"`
-		}
 		data, _ := io.ReadAll(resp.Body)
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s (%d)", e.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, data)
+		return responseError(resp.StatusCode, data)
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// responseError renders an HTTP error answer, preferring the server's
+// {"error": ...} message over raw bytes.
+func responseError(status int, data []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (%d)", e.Error, status)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", status, data)
 }
 
 // ListShapes returns every stored shape's metadata.

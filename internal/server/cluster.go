@@ -31,9 +31,9 @@ import (
 // wrong-but-bounded behavior, never corruption.
 
 // clusterRole is the server's place in a scatter-gather cluster: a shard
-// (ring + own index) or the coordinator (ring + shard clients).
+// (versioned ring state + own index) or the coordinator (shard clients).
 type clusterRole struct {
-	ring  *scatter.Ring
+	state *scatter.ShardState
 	index int
 	coord *scatter.Coordinator
 }
@@ -43,14 +43,30 @@ type clusterRole struct {
 // shard refuses explicit-id inserts the hash ring assigns elsewhere, so a
 // misconfigured loader cannot split ownership.
 func (s *Server) SetShard(index, total int) (*Server, error) {
-	ring, err := scatter.NewRing(total)
-	if err != nil {
-		return nil, err
-	}
 	if index < 0 || index >= total {
 		return nil, fmt.Errorf("server: shard index %d outside cluster of %d", index, total)
 	}
-	s.cluster = &clusterRole{ring: ring, index: index}
+	state, err := scatter.NewShardState(index, total)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = &clusterRole{state: state, index: index}
+	return s, nil
+}
+
+// SetShardJoining configures this server as shard `index` of a cluster it
+// has not yet joined: its ring state starts at epoch 0, below every live
+// epoch, so the first migration-driver push installs the real topology
+// and any earlier routed call self-heals via the 409 epoch exchange.
+func (s *Server) SetShardJoining(index int) (*Server, error) {
+	if index < 0 {
+		return nil, fmt.Errorf("server: negative shard index %d", index)
+	}
+	state, err := scatter.NewJoiningShardState(index)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = &clusterRole{state: state, index: index}
 	return s, nil
 }
 
@@ -59,7 +75,7 @@ func (s *Server) SetShard(index, total int) (*Server, error) {
 // Call before serving traffic. The server's own engine stays empty and is
 // used only to extract features from query-by-example uploads.
 func (s *Server) SetCoordinator(coord *scatter.Coordinator) *Server {
-	s.cluster = &clusterRole{ring: coord.Ring(), coord: coord}
+	s.cluster = &clusterRole{coord: coord}
 	return s
 }
 
@@ -81,15 +97,17 @@ func (s *Server) clusterRoleName() string {
 	}
 }
 
-// checkShardOwnership rejects an explicit-id insert on a shard the ring
-// assigns elsewhere (id 0 = sequential assignment, always allowed; a
-// non-clustered server accepts any explicit id).
+// checkShardOwnership rejects an explicit-id insert on a shard the WRITE
+// ring assigns elsewhere (id 0 = sequential assignment, always allowed; a
+// non-clustered server accepts any explicit id). The write ring — not the
+// serving one — owns new records, so mid-migration inserts land directly
+// on their post-cutover owner.
 func (s *Server) checkShardOwnership(id int64) error {
 	c := s.cluster
 	if id == 0 || c == nil || c.coord != nil {
 		return nil
 	}
-	if owner := c.ring.Owner(id); owner != c.index {
+	if owner := c.state.WriteOwner(id); owner != c.index {
 		return fmt.Errorf("shape id %d belongs to %s, not %s",
 			id, scatter.ShardName(owner), scatter.ShardName(c.index))
 	}
@@ -122,7 +140,13 @@ func (s *Server) handleClusterBounds(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := map[string]any{"count": s.engine.DB().Len()}
+	// The data version rides along so coordinators can fold every shard's
+	// mutation counter (plus the ring epoch) into one cache tag — any
+	// write anywhere in the fleet, through any coordinator, changes it.
+	resp := map[string]any{
+		"count":   s.engine.DB().Len(),
+		"version": s.engine.DB().Version(),
+	}
 	if lo, hi, ok := s.engine.DB().Bounds(kind); ok {
 		resp["lo"], resp["hi"] = lo, hi
 	} else {
@@ -177,23 +201,59 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 	coord := s.cluster.coord
 	mode, _ := core.ParseScanMode(req.ScanMode) // validated by handleSearch
 	key := s.searchCacheKey(req)
-	version := s.dataVersion()
 	tier := s.currentTier()
-	if key != "" {
-		if ent, ok := s.qcache.get(key, version); ok && ent.version == version {
-			writeCachedResult(w, r, ent, true, "hit")
-			return
-		}
-	}
 	if tier >= TierCacheOnly {
+		// Browned out to cache-only: no fleet round at all — serve whatever
+		// answer is stored (marked degraded; freshness is unknowable without
+		// asking the shards) or shed.
 		if key != "" {
-			if ent, ok := s.qcache.get(key, version); ok {
+			if ent, ok := s.qcache.lookup(key); ok {
+				s.qcache.noteStale()
 				writeCachedResult(w, r, ent, false, "hit")
 				return
 			}
+			s.qcache.noteMiss()
 		}
 		s.shed(w, "coordinator browned out to cache-only serving and this query has no cached answer")
 		return
+	}
+	// Bounds round first: beyond the global dmax it carries every shard's
+	// data version, which folds (with the ring epoch) into the cache tag.
+	// Tagging entries with fleet state instead of a local write counter
+	// means a second coordinator — or direct-to-shard writes — invalidate
+	// this coordinator's cache the moment the shards report a new version,
+	// and two coordinators compute identical ETags for identical answers.
+	b, err := coord.CollectBounds(r.Context(), kind.String())
+	if err != nil {
+		s.writeScatterErr(w, err)
+		return
+	}
+	var version int64
+	cacheable := key != "" && b.Complete()
+	if cacheable {
+		version = b.VersionTag()
+		if ent, ok := s.qcache.lookup(key); ok {
+			if ent.version == version {
+				s.qcache.noteHit()
+				writeCachedResult(w, r, ent, true, "hit")
+				return
+			}
+			s.qcache.noteStale()
+		} else {
+			s.qcache.noteMiss()
+		}
+	} else if key != "" {
+		// A shard is down: the fleet-wide tag is incomputable and a fresh
+		// merge would be partial. A cached COMPLETE answer beats both — it
+		// covered the whole corpus when it was computed, and its staleness
+		// is bounded by the outage — so the cache rides out a dead shard
+		// for queries it has already seen.
+		if ent, ok := s.qcache.lookup(key); ok {
+			s.qcache.noteHit()
+			writeCachedResult(w, r, ent, true, "hit")
+			return
+		}
+		s.qcache.noteMiss()
 	}
 	vec := req.QueryVector
 	if len(vec) == 0 {
@@ -204,7 +264,7 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 			// degrade.
 			var feats map[string][]float64
 			path := fmt.Sprintf("/api/shapes/%d/features", req.QueryID)
-			if err := coord.Owner(req.QueryID).Call(r.Context(), http.MethodGet, path, nil, &feats); err != nil {
+			if err := s.ownerGet(r.Context(), req.QueryID, path, &feats); err != nil {
 				s.writeScatterErr(w, err)
 				return
 			}
@@ -264,7 +324,7 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 		ScanMode:  scanMode,
 		ExcludeID: req.QueryID,
 	}
-	out, err := coord.Search(r.Context(), q)
+	out, err := coord.SearchBounds(r.Context(), q, b)
 	if err != nil && degraded != "" && mode != core.ScanCoarse && r.Context().Err() == nil {
 		// The tier forced coarse but the fleet cannot serve it (shards
 		// without a columnar slice surface the error): rerun the requested
@@ -272,7 +332,7 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 		// labeled coarse, and vice versa.
 		degraded = ""
 		q.ScanMode = req.ScanMode
-		out, err = coord.Search(r.Context(), q)
+		out, err = coord.SearchBounds(r.Context(), q, b)
 	}
 	if err != nil {
 		s.writeScatterErr(w, err)
@@ -289,7 +349,10 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 	// Only exact, complete answers are cached (and thus ETagged): a
 	// partial merge must never be replayed as the corpus-wide truth, and
 	// a coarse one must never shadow the exact answer at the same key.
-	if degraded == "" && len(out.Missing) == 0 && key != "" {
+	// SearchBounds may have re-collected bounds after a topology swap, so
+	// the tag is recomputed from the set the answer was actually built on.
+	if degraded == "" && len(out.Missing) == 0 && key != "" && b.Complete() {
+		version = b.VersionTag()
 		if body, merr := json.Marshal(results); merr == nil {
 			ent := s.qcache.put(key, version, append(body, '\n'))
 			writeCachedResult(w, r, ent, true, "fill")
@@ -297,6 +360,26 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 		}
 	}
 	writeJSON(w, http.StatusOK, results)
+}
+
+// ownerGet fetches a per-shape path from the shard owning the id on the
+// serving ring, falling back to the draining ring's owner during a
+// migration's cutover window (a moved record lives on both owners until
+// the post-cutover drop, and a record deleted from one may linger
+// briefly on the other).
+func (s *Server) ownerGet(ctx context.Context, id int64, path string, out any) error {
+	coord := s.cluster.coord
+	var firstErr error
+	for _, idx := range coord.OwnerIndexes(id) {
+		err := coord.Shard(idx).Call(ctx, http.MethodGet, path, nil, out)
+		if err == nil {
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // clusterShapes routes /api/shapes on a coordinator: GET fans the listing
@@ -330,6 +413,16 @@ func (s *Server) clusterShapes(w http.ResponseWriter, r *http.Request) {
 			out = append(out, l...)
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		// During a migration's cutover window a moved shape exists on both
+		// its old and new owner; adjacent equal ids collapse to one row.
+		dedup := out[:0]
+		for i, info := range out {
+			if i > 0 && info.ID == dedup[len(dedup)-1].ID {
+				continue
+			}
+			dedup = append(dedup, info)
+		}
+		out = dedup
 		if out == nil {
 			out = []ShapeInfo{}
 		}
@@ -386,7 +479,10 @@ type insertAnswer struct {
 // a fresh id.
 func (s *Server) routeInsert(r *http.Request, key, name string, group int, meshOFF string) (*insertAnswer, error) {
 	coord := s.cluster.coord
-	shard := coord.Ring().OwnerKey(key)
+	// The WRITE ring routes new records: during a migration an insert
+	// lands directly on its post-cutover owner and is never part of the
+	// moved set.
+	shard := coord.WriteOwnerKey(key)
 	var lastErr error
 	for range 4 {
 		id, err := coord.AllocID(r.Context(), shard)
@@ -473,11 +569,10 @@ func (s *Server) clusterInsertBatch(w http.ResponseWriter, r *http.Request) {
 // here would be indistinguishable from a real miss).
 func (s *Server) clusterShapeByID(w http.ResponseWriter, r *http.Request, id int64) {
 	coord := s.cluster.coord
-	sc := coord.Owner(id)
 	switch r.Method {
 	case http.MethodGet:
 		var out json.RawMessage
-		if err := sc.Call(r.Context(), http.MethodGet, r.URL.Path, nil, &out); err != nil {
+		if err := s.ownerGet(r.Context(), id, r.URL.Path, &out); err != nil {
 			s.writeScatterErr(w, err)
 			return
 		}
@@ -490,14 +585,42 @@ func (s *Server) clusterShapeByID(w http.ResponseWriter, r *http.Request, id int
 			key = newIdemKey()
 		}
 		defer s.bumpCacheGen()
+		// During the cutover double-routing window the record exists on
+		// both owners; the delete must reach every copy or a search would
+		// resurrect the shape from the one it missed. Outside a migration
+		// this is a single call, exactly as before.
 		var out json.RawMessage
-		if err := sc.CallIdem(r.Context(), http.MethodDelete, r.URL.Path, key, nil, &out); err != nil {
-			s.writeScatterErr(w, err)
+		var okBody json.RawMessage
+		deleted := false
+		var firstErr error
+		for _, idx := range coord.OwnerIndexes(id) {
+			err := coord.Shard(idx).CallIdem(r.Context(), http.MethodDelete, r.URL.Path, key, nil, &out)
+			switch {
+			case err == nil:
+				deleted = true
+				if okBody == nil {
+					okBody = out
+				}
+			case scatter.HTTPStatus(err) == http.StatusNotFound:
+				// The copy was never on this owner (or is already gone);
+				// absence is exactly the post-state a delete wants.
+			default:
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if firstErr != nil {
+			s.writeScatterErr(w, firstErr)
+			return
+		}
+		if !deleted {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("shape %d not found", id))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		w.Write(out)
+		w.Write(okBody)
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
@@ -554,6 +677,14 @@ func (s *Server) clusterStats(w http.ResponseWriter, r *http.Request) {
 		resp.ScanMode = "mixed"
 	}
 	resp.Shards = coord.Health()
+	// Fleet-wide breaker pressure in one number: how many times any
+	// shard's circuit breaker tripped open since this coordinator started.
+	for _, h := range resp.Shards {
+		resp.BreakerOpens += h.BreakerOpens
+	}
+	st := coord.State()
+	resp.Ring = &st
+	resp.Rebalance = s.rebalanceStatus()
 	s.fillPressureStats(&resp)
 	setPartialHeader(w, missing)
 	writeJSON(w, http.StatusOK, resp)

@@ -95,6 +95,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.MaxUploadBytes > 0 && r.Body != nil {
 		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxUploadBytes)
 	}
+	// The shard-side ring-epoch gate (see rebalance.go): a coordinator
+	// whose topology view disagrees with this shard's gets 409 + the
+	// current RingState before any handler runs, and self-heals.
+	if !s.checkRingEpoch(sw, r) {
+		return
+	}
 	s.mux.ServeHTTP(sw, r)
 }
 

@@ -73,23 +73,40 @@ func newQCache(capacity int) *qcache {
 	}
 }
 
-// get returns the cached entry for key at any version; the caller decides
-// whether it is fresh enough to serve. currentVersion is used only for
-// hit/stale accounting.
-func (c *qcache) get(key string, currentVersion int64) (*qentry, bool) {
+// lookup returns the cached entry for key without touching the counters
+// — for callers (the coordinator) that learn the current version only
+// after deciding whether an entry exists, and account via noteHit /
+// noteStale / noteMiss themselves.
+func (c *qcache) lookup(key string) (*qentry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses.Add(1)
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
-	ent := el.Value.(*qentry)
+	return el.Value.(*qentry), true
+}
+
+// noteHit / noteStale / noteMiss record the outcome of a lookup: found
+// at the current version, found at an older one, or absent.
+func (c *qcache) noteHit()   { c.hits.Add(1) }
+func (c *qcache) noteStale() { c.staleHits.Add(1) }
+func (c *qcache) noteMiss()  { c.misses.Add(1) }
+
+// get returns the cached entry for key at any version; the caller decides
+// whether it is fresh enough to serve. currentVersion is used only for
+// hit/stale accounting.
+func (c *qcache) get(key string, currentVersion int64) (*qentry, bool) {
+	ent, ok := c.lookup(key)
+	if !ok {
+		c.noteMiss()
+		return nil, false
+	}
 	if ent.version == currentVersion {
-		c.hits.Add(1)
+		c.noteHit()
 	} else {
-		c.staleHits.Add(1)
+		c.noteStale()
 	}
 	return ent, true
 }

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/scatter"
+)
+
+// TestChaosRebalanceUnderLiveTraffic is the tentpole acceptance scenario:
+// a 4→6 rebalance under live mixed traffic, with the driver killed
+// mid-copy (resumed from the persisted journal by a fresh Migrator at a
+// higher term), a source shard partitioned mid-verify (the run fails,
+// heals, and a third driver finishes), and another shard partitioned
+// during cutover (the epoch push spins until the WHOLE fleet acks).
+// Throughout: no acknowledged write is lost, no read errors outside an
+// active fault window, and — whenever the fleet is quiesced at a phase
+// boundary — searches are bit-identical to the single-node oracle.
+func TestChaosRebalanceUnderLiveTraffic(t *testing.T) {
+	const corpus = 48
+	tc := newTestCluster(t, 4, fastPolicy(), true)
+	tc.seedSynthetic(t, corpus)
+	add := tc.addJoining(t, 2, true)
+	statePath := filepath.Join(t.TempDir(), "rebalance.state")
+
+	// Live traffic. Writers take traffic.RLock per operation so phase
+	// hooks can quiesce them (Lock) before running the strict equivalence
+	// battery; faultActive gates the checks that cannot hold while a shard
+	// is partitioned.
+	var traffic sync.RWMutex
+	var faultActive atomic.Bool
+	stop := make(chan struct{})
+	var ackedMu sync.Mutex
+	var acked []int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-time.After(3 * time.Millisecond):
+				}
+				traffic.RLock()
+				mesh := geom.Box(geom.V(0, 0, 0), geom.V(1+float64(w*1000+i)*0.01, 1, 1))
+				id, err := tc.coordC.InsertShape(fmt.Sprintf("live-%d-%d", w, i), 3, mesh)
+				if err == nil {
+					ackedMu.Lock()
+					acked = append(acked, id)
+					ackedMu.Unlock()
+				}
+				// An insert may legitimately fail while its write-ring owner
+				// is partitioned; only ACKED writes must survive.
+				traffic.RUnlock()
+			}
+		}(w)
+	}
+	searchReq := SearchRequest{
+		QueryVector: []float64{0.4, 0.6, 0.2},
+		Feature:     features.PrincipalMoments.String(),
+		K:           15,
+		Weights:     []float64{1.2, 0.8, 1.0},
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			okBefore := !faultActive.Load()
+			res, _, err := tc.coordC.SearchPartial(searchReq)
+			if err != nil {
+				if okBefore && !faultActive.Load() {
+					t.Errorf("search failed with no fault active: %v", err)
+				}
+				continue
+			}
+			seen := map[int64]bool{}
+			for _, r := range res {
+				if seen[r.ID] {
+					t.Errorf("search answer holds id %d twice", r.ID)
+				}
+				seen[r.ID] = true
+			}
+			// Reads of acknowledged writes must hit at every epoch — the
+			// double-routing window makes the moved ones reachable on either
+			// ring. Gated on fault windows: a partitioned owner cannot answer.
+			ackedMu.Lock()
+			var probe int64
+			if len(acked) > 0 {
+				probe = acked[len(acked)/2]
+			}
+			ackedMu.Unlock()
+			if probe != 0 && okBefore {
+				if _, err := tc.coordC.GetShape(probe); err != nil && !faultActive.Load() {
+					t.Errorf("acked id %d unreadable with no fault active: %v", probe, err)
+				}
+			}
+		}
+	}()
+
+	// syncRef copies every acked record the oracle is missing into the
+	// reference DB — byte-exact frames through the same export/import path
+	// the migration uses — so the equivalence battery stays meaningful as
+	// the writers grow the corpus. Call only with traffic quiesced.
+	syncRef := func() {
+		ackedMu.Lock()
+		ids := append([]int64(nil), acked...)
+		ackedMu.Unlock()
+		for _, id := range ids {
+			if _, ok := tc.refDB.Get(id); ok {
+				continue
+			}
+			for _, db := range tc.shardDBs {
+				if _, ok := db.Get(id); !ok {
+					continue
+				}
+				frames, err := db.ExportRecords([]int64{id})
+				if err != nil {
+					t.Fatalf("exporting %d for the oracle: %v", id, err)
+				}
+				if _, err := tc.refDB.ImportFrames(frames); err != nil {
+					t.Fatalf("importing %d into the oracle: %v", id, err)
+				}
+				break
+			}
+		}
+	}
+	// battery quiesces writers, syncs the oracle, and requires the merged
+	// answers to match it bit for bit — the "searches bit-identical at
+	// every phase" acceptance, run at every phase start without a fault.
+	battery := func(tag string) {
+		traffic.Lock()
+		defer traffic.Unlock()
+		syncRef()
+		tc.equivalence(t, tag)
+	}
+
+	// --- Act 1: driver killed mid-copy. ---
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	m1 := scatter.NewMigrator(tc.coord, scatter.MigrateOptions{
+		Target: 6, Add: add, BatchSize: 5, StatePath: statePath,
+		Logf: phaseHook(func(phase string) {
+			if phase == "copy" {
+				battery("run1 " + phase)
+				cancel1() // the coordinator "crashes" with copies in flight
+			}
+		}),
+	})
+	if err := m1.Run(ctx1); err == nil {
+		t.Fatal("killed driver reported success")
+	}
+	battery("after driver kill")
+
+	// --- Act 2: resumed driver loses a source shard mid-verify. ---
+	m2 := scatter.NewMigrator(tc.coord, scatter.MigrateOptions{
+		StatePath: statePath,
+		Logf: phaseHook(func(phase string) {
+			if phase == "verify" {
+				battery("run2 " + phase)
+				faultActive.Store(true)
+				tc.faults[1].SetPartition(true)
+			}
+		}),
+	})
+	if err := m2.Run(context.Background()); err == nil {
+		t.Fatal("driver succeeded with a source shard partitioned mid-verify")
+	}
+	tc.faults[1].SetPartition(false)
+	faultActive.Store(false)
+	time.Sleep(20 * time.Millisecond) // let the breaker cooldown lapse
+	battery("after verify partition healed")
+
+	// --- Act 3: a shard partitions during the cutover push; the epoch
+	// bump must wait for the WHOLE fleet — dropping anything before every
+	// shard acks double-routing would lose reads. ---
+	m3 := scatter.NewMigrator(tc.coord, scatter.MigrateOptions{
+		StatePath: statePath,
+		Logf: phaseHook(func(phase string) {
+			if phase == "cutover" {
+				faultActive.Store(true)
+				tc.faults[2].SetPartition(true)
+				go func() {
+					time.Sleep(250 * time.Millisecond)
+					tc.faults[2].SetPartition(false)
+					faultActive.Store(false)
+				}()
+			}
+			if phase == "drop" {
+				// Cutover fully acked despite the partition window; with the
+				// fault healed the battery must hold before anything is deleted.
+				if faultActive.Load() {
+					t.Error("drop phase entered while the cutover partition was still active")
+				}
+				battery("run3 " + phase)
+			}
+		}),
+	})
+	if err := m3.Run(context.Background()); err != nil {
+		t.Fatalf("final driver run failed: %v", err)
+	}
+	if got, want := m3.Status().Term, int64(3); got != want {
+		t.Errorf("final driver term %d, want %d (fenced above both dead drivers)", got, want)
+	}
+
+	close(stop)
+	wg.Wait()
+
+	// --- Aftermath: zero loss, zero duplicates, exact placement. ---
+	st := tc.coord.State()
+	if st.Epoch != 4 || st.Shards != 6 || st.Transitioning() {
+		t.Fatalf("final state = %+v, want static epoch 4 over 6 shards", st)
+	}
+	newRing, err := scatter.NewRing(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int{}
+	for s := 0; s < 6; s++ {
+		for _, id := range tc.shardDBs[s].IDs() {
+			counts[id]++
+			if owner := newRing.Owner(id); owner != s {
+				t.Errorf("id %d on shard %d, owned by %d", id, s, owner)
+			}
+		}
+	}
+	for id, n := range counts {
+		if n != 1 {
+			t.Errorf("id %d present on %d shards", id, n)
+		}
+	}
+	for id := int64(1); id <= corpus; id++ {
+		if counts[id] != 1 {
+			t.Errorf("seeded id %d lost (count %d)", id, counts[id])
+		}
+	}
+	ackedMu.Lock()
+	lost := 0
+	for _, id := range acked {
+		if counts[id] != 1 {
+			lost++
+		}
+	}
+	total := len(acked)
+	ackedMu.Unlock()
+	if lost != 0 {
+		t.Errorf("%d of %d acknowledged writes lost", lost, total)
+	}
+	if total == 0 {
+		t.Error("no writes were acknowledged during the migration — the chaos proved nothing")
+	}
+	battery("final")
+}

@@ -55,6 +55,13 @@ type Server struct {
 	// replay its stored result instead of double-inserting.
 	idemMu       sync.Mutex
 	idemInFlight map[string]chan struct{}
+	// rebalMu guards the live-rebalance driver below (see rebalance.go):
+	// at most one migration runs at a time; the Migrator outlives its run
+	// so /api/admin/rebalance can report the last outcome.
+	rebalMu     sync.Mutex
+	migrator    *scatter.Migrator
+	rebalActive bool
+	rebalCancel context.CancelFunc
 	// qcache is the version-tagged query-result cache (nil = disabled);
 	// see qcache.go. cacheGen is the coordinator-side write generation
 	// folded into dataVersion (routed writes bypass the local db).
@@ -106,6 +113,10 @@ type Config struct {
 	// CacheEntries bounds the query-result cache (entries, not bytes).
 	// Zero takes DefaultCacheEntries; negative disables the cache.
 	CacheEntries int
+	// RebalancePath is where a coordinator persists live-rebalance
+	// progress (the rebalance.state journal; see rebalance.go). Empty
+	// means migrations run without crash-resume.
+	RebalancePath string
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +166,13 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/api/browse", s.handleBrowse)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/cluster/bounds", s.handleClusterBounds)
+	s.mux.HandleFunc(RingPath, s.handleClusterRing)
+	s.mux.HandleFunc("/api/cluster/moved", s.handleClusterMoved)
+	s.mux.HandleFunc("/api/cluster/export", s.handleClusterExport)
+	s.mux.HandleFunc("/api/cluster/import", s.handleClusterImport)
+	s.mux.HandleFunc("/api/cluster/crc", s.handleClusterCRC)
+	s.mux.HandleFunc("/api/cluster/dropmoved", s.handleClusterDropMoved)
+	s.mux.HandleFunc("/api/admin/rebalance", s.handleAdminRebalance)
 	s.mux.HandleFunc("/api/admin/maintenance", s.handleMaintenance)
 	s.mux.HandleFunc("/api/admin/replication", s.handleAdminReplication)
 	s.mux.HandleFunc(replica.StatePath, s.handleReplState)
@@ -301,14 +319,21 @@ type StatsResponse struct {
 	Role     string                `json:"role,omitempty"`
 	MaxID    int64                 `json:"max_id"`
 	Shards   []scatter.ShardHealth `json:"shards,omitempty"`
+	// BreakerOpens is the fleet-wide total of circuit-breaker trips across
+	// all shard clients (coordinator only). Ring is the node's current
+	// versioned topology view; Rebalance reports a live or last-finished
+	// migration (coordinator only).
+	BreakerOpens int64                    `json:"breaker_opens,omitempty"`
+	Ring         *scatter.RingState       `json:"ring,omitempty"`
+	Rebalance    *scatter.MigrationStatus `json:"rebalance,omitempty"`
 	// Brownout observability: the serving tier the next search would get,
 	// in-flight gate occupancy, the decayed latency signal, and
 	// query-result cache counters.
-	Tier         string           `json:"tier,omitempty"`
-	GateInFlight int              `json:"gate_in_flight"`
-	GateCapacity int              `json:"gate_capacity,omitempty"`
-	LatencyEWMAMS int64           `json:"latency_ewma_ms"`
-	Cache        map[string]int64 `json:"cache,omitempty"`
+	Tier          string           `json:"tier,omitempty"`
+	GateInFlight  int              `json:"gate_in_flight"`
+	GateCapacity  int              `json:"gate_capacity,omitempty"`
+	LatencyEWMAMS int64            `json:"latency_ewma_ms"`
+	Cache         map[string]int64 `json:"cache,omitempty"`
 }
 
 // --- handlers ---
@@ -947,6 +972,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if db.HasIndex(k) {
 			resp.Features = append(resp.Features, k.String())
 		}
+	}
+	if c := s.cluster; c != nil && c.state != nil {
+		st := c.state.State()
+		resp.Ring = &st
 	}
 	s.fillPressureStats(&resp)
 	writeJSON(w, http.StatusOK, resp)

@@ -69,3 +69,21 @@ go test -run '^$' -fuzz '^FuzzReadSTL$' -fuzztime 5s ./internal/geom
 # goroutine hygiene), under the race detector, never cached.
 go test -race -count=1 -run 'Breaker|Probe|AttemptHedged' ./internal/scatter/...
 go test -race -count=1 -run 'Tier|Cache|Brownout|Partial|Staleness|ReadSplit|StandbyRefuses|ReplicaReads|ETag' ./internal/server/...
+# Rebalance gate: versioned ring-epoch transitions and fencing (the
+# scatter package already ran raced above), the migration primitives
+# (byte-exact export/import, corrupt-frame refusal before any apply,
+# durable batched deletes), and the end-to-end live-rebalance suite —
+# per-phase bit-identical equivalence, crash-resume at a higher term,
+# 409 epoch self-healing both ways, the admin endpoint, write-ring
+# insert routing, and the chaos acceptance (driver killed mid-copy,
+# partitions mid-verify and during cutover under live traffic) — under
+# the race detector, never cached.
+go test -race -count=1 -run 'ExportImport|ImportRejects|ContentCRC|RecordCRCs|DeleteMany|ExportRefuses' ./internal/shapedb/...
+go test -race -count=1 -run 'TestRebalance|TestChaosRebalance' ./internal/server/...
+# Benchrunner rebalance smoke: a toy live 4→6 migration under query
+# load must move records, keep answering throughout, finalize the ring,
+# and produce a BENCH_rebalance.json with zero 5xx answers.
+REBAL_SMOKE="$(mktemp -d)"
+go run ./cmd/benchrunner -fig rebalance -rebalance-size 400 -rebalance-out "$REBAL_SMOKE/BENCH_rebalance.json" > /dev/null
+go run ./cmd/benchrunner -check-rebalance "$REBAL_SMOKE/BENCH_rebalance.json"
+rm -rf "$REBAL_SMOKE"
