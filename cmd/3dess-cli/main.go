@@ -18,6 +18,8 @@
 //	feedback -id N -relevant 3,4 [-irrelevant 7] [-feature ...]
 //	browse  [-feature principal-moments]
 //	view    -id N                         dump the triangulated 3D view
+//	backup  -dir ./archive [-cluster url1,url2] [-verify]
+//	restore -dir ./archive (-data ./datadir [-at OFF] | -shards d1,d2,...)
 package main
 
 import (
@@ -63,6 +65,10 @@ func main() {
 		err = cmdBrowse(client, args)
 	case "view":
 		err = cmdView(client, args)
+	case "backup":
+		err = cmdBackup(*serverURL, args)
+	case "restore":
+		err = cmdRestore(args)
 	default:
 		log.Printf("unknown command %q", cmd)
 		usage()
@@ -75,7 +81,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: 3dess-cli [-server URL] <command> [flags]
-commands: list, stats, insert, ingest, query, feedback, browse, view
+commands: list, stats, insert, ingest, query, feedback, browse, view, backup, restore
 run "3dess-cli <command> -h" for command flags`)
 }
 

@@ -1,0 +1,333 @@
+package backup
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"threedess/internal/faultfs"
+)
+
+// FormatVersion stamps archives so a future layout change can refuse or
+// translate old ones instead of misreading them.
+const FormatVersion = 1
+
+// maxFrame mirrors the journal's cap on a frame header's claimed payload
+// length; anything larger marks the bytes as garbage, not a real frame.
+const maxFrame = 1 << 30
+
+// FrameInfo records one journal frame inside a segment: its absolute
+// journal offset, full framed size (header + payload), and the payload
+// CRC32 — re-verified by VerifyDir before any restore proceeds.
+type FrameInfo struct {
+	Off  int64  `json:"off"`
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc"`
+}
+
+// Segment is one archive file holding a contiguous run of journal bytes
+// [Start, Start+Size). Segments tile [0, Committed) with no gaps; a full
+// backup writes one, each incremental run appends another.
+type Segment struct {
+	Name   string      `json:"name"`
+	Start  int64       `json:"start"`
+	Size   int64       `json:"size"`
+	Frames []FrameInfo `json:"frames"`
+}
+
+// Manifest describes a node archive: which journal incarnation it
+// captured, how far, under what cluster context, and the per-frame
+// checksums restore verifies against. It is rewritten atomically
+// (tmp + rename + dir sync) after every segment lands, which is what
+// makes a killed backup resumable: on the next run everything the
+// manifest names is trusted, everything else is garbage to redo.
+type Manifest struct {
+	FormatVersion int       `json:"format_version"`
+	ReplEpoch     int64     `json:"repl_epoch"`
+	Committed     int64     `json:"committed"`
+	DBVersion     int64     `json:"db_version"`
+	RingEpoch     int64     `json:"ring_epoch"`
+	Segments      []Segment `json:"segments"`
+}
+
+const (
+	manifestName = "manifest.json"
+	segmentTmp   = "segment.tmp"
+)
+
+func segmentName(start int64) string { return fmt.Sprintf("segment-%016x.bin", start) }
+
+// CorruptError reports exactly which archive byte range failed
+// verification, so an operator knows what to re-copy or discard.
+type CorruptError struct {
+	Segment string // segment file name
+	Off     int64  // absolute journal offset of the bad frame
+	Detail  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("backup: corrupt archive: segment %s, journal offset %d: %s", e.Segment, e.Off, e.Detail)
+}
+
+// BackupNode captures src into dir. The first run writes a full backup;
+// later runs against the same journal epoch append only the frames past
+// the manifest's committed offset (incremental). If the source's epoch
+// changed — restart, compaction, replica reset — the old chain can no
+// longer be extended, so the archive is reset and recaptured in full.
+// A run killed partway leaves at most a dangling temp file and is safely
+// resumable: rerun and it continues from the last manifest state.
+//
+// The capture target is the committed offset observed at start; frames
+// committed while the backup streams are picked up by the next run.
+// Writes on the source are never stalled.
+func BackupNode(fsys faultfs.FS, src Source, dir string) (*Manifest, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("backup: creating archive dir: %w", err)
+	}
+	// A crash mid-segment leaves segment.tmp; it was never named by the
+	// manifest, so it is garbage to redo.
+	_ = fsys.Remove(filepath.Join(dir, segmentTmp))
+
+	st, err := src.State()
+	if err != nil {
+		return nil, err
+	}
+	m, err := readManifest(fsys, dir)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	if m != nil && m.ReplEpoch != st.Epoch {
+		// Epoch moved: the archived prefix belongs to a dead journal
+		// incarnation. Drop it and recapture in full.
+		for _, seg := range m.Segments {
+			_ = fsys.Remove(filepath.Join(dir, seg.Name))
+		}
+		_ = fsys.Remove(filepath.Join(dir, manifestName))
+		if err := fsys.SyncDir(dir); err != nil {
+			return nil, err
+		}
+		m = nil
+	}
+	if m == nil {
+		m = &Manifest{FormatVersion: FormatVersion, ReplEpoch: st.Epoch}
+	}
+	m.DBVersion, m.RingEpoch = st.DBVersion, st.RingEpoch
+
+	start, target := m.Committed, st.Committed
+	if start > target {
+		return nil, fmt.Errorf("backup: archive is ahead of source (archived %d, committed %d) at epoch %d", start, target, st.Epoch)
+	}
+	if start == target {
+		return m, nil // nothing new
+	}
+
+	seg, err := captureSegment(fsys, src, dir, st.Epoch, start, target)
+	if err != nil {
+		return nil, err
+	}
+	m.Segments = append(m.Segments, *seg)
+	m.Committed = seg.Start + seg.Size
+	if err := writeManifest(fsys, dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// captureSegment streams journal bytes [start, target) into a new
+// segment file, verifying every frame CRC as it lands, then publishes it
+// with tmp + rename + dir sync.
+func captureSegment(fsys faultfs.FS, src Source, dir string, epoch, start, target int64) (*Segment, error) {
+	tmpPath := filepath.Join(dir, segmentTmp)
+	f, err := fsys.OpenFile(tmpPath, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("backup: creating segment: %w", err)
+	}
+	defer f.Close()
+
+	seg := &Segment{Name: segmentName(start), Start: start}
+	off := start
+	for off < target {
+		chunk, _, err := src.Read(epoch, off, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		if len(chunk) == 0 {
+			return nil, fmt.Errorf("backup: source returned no bytes at offset %d (target %d)", off, target)
+		}
+		frames, err := walkFrames(chunk, off, seg.Name)
+		if err != nil {
+			return nil, err
+		}
+		if n, err := f.Write(chunk); err != nil {
+			return nil, fmt.Errorf("backup: writing segment: %w", err)
+		} else if n < len(chunk) {
+			return nil, fmt.Errorf("backup: writing segment: %w", io.ErrShortWrite)
+		}
+		seg.Frames = append(seg.Frames, frames...)
+		off += int64(len(chunk))
+	}
+	if off != target {
+		// Frame-aligned reads can only overshoot if the source and the
+		// manifest disagree about boundaries — refuse the archive.
+		return nil, fmt.Errorf("backup: segment ended at %d, expected %d (frame misalignment)", off, target)
+	}
+	seg.Size = off - start
+	if err := f.Sync(); err != nil {
+		return nil, fmt.Errorf("backup: syncing segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("backup: closing segment: %w", err)
+	}
+	if err := fsys.Rename(tmpPath, filepath.Join(dir, seg.Name)); err != nil {
+		return nil, fmt.Errorf("backup: publishing segment: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return nil, err
+	}
+	return seg, nil
+}
+
+// walkFrames parses a frame-aligned byte run starting at absolute journal
+// offset base, checking each payload against its header CRC.
+func walkFrames(buf []byte, base int64, segName string) ([]FrameInfo, error) {
+	var out []FrameInfo
+	off := 0
+	for off < len(buf) {
+		if off+8 > len(buf) {
+			return nil, &CorruptError{Segment: segName, Off: base + int64(off), Detail: "truncated frame header"}
+		}
+		size := int64(binary.LittleEndian.Uint32(buf[off:]))
+		want := binary.LittleEndian.Uint32(buf[off+4:])
+		if size > maxFrame {
+			return nil, &CorruptError{Segment: segName, Off: base + int64(off), Detail: fmt.Sprintf("implausible frame length %d", size)}
+		}
+		end := off + 8 + int(size)
+		if end > len(buf) {
+			return nil, &CorruptError{Segment: segName, Off: base + int64(off), Detail: "truncated frame payload"}
+		}
+		if got := crc32.ChecksumIEEE(buf[off+8 : end]); got != want {
+			return nil, &CorruptError{Segment: segName, Off: base + int64(off), Detail: fmt.Sprintf("frame CRC mismatch (stored %08x, computed %08x)", want, got)}
+		}
+		out = append(out, FrameInfo{Off: base + int64(off), Size: 8 + size, CRC: want})
+		off = end
+	}
+	return out, nil
+}
+
+// VerifyDir checks an archive end to end without touching anything else:
+// the manifest parses, segments tile [0, Committed) contiguously, every
+// segment file has exactly its manifested size, every frame re-hashes to
+// both its header CRC and its manifest CRC, and frames tile each segment
+// exactly. It returns the manifest on success and a *CorruptError (or a
+// structural error) naming the first problem otherwise.
+func VerifyDir(fsys faultfs.FS, dir string) (*Manifest, error) {
+	m, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("backup: reading manifest: %w", err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("backup: unsupported archive format version %d (want %d)", m.FormatVersion, FormatVersion)
+	}
+	next := int64(0)
+	for _, seg := range m.Segments {
+		if seg.Start != next {
+			return nil, fmt.Errorf("backup: archive gap: segment %s starts at %d, expected %d", seg.Name, seg.Start, next)
+		}
+		if err := verifySegment(fsys, dir, &seg); err != nil {
+			return nil, err
+		}
+		next = seg.Start + seg.Size
+	}
+	if next != m.Committed {
+		return nil, fmt.Errorf("backup: archive truncated: segments cover %d bytes, manifest commits %d", next, m.Committed)
+	}
+	return m, nil
+}
+
+func verifySegment(fsys faultfs.FS, dir string, seg *Segment) error {
+	f, err := fsys.Open(filepath.Join(dir, seg.Name))
+	if err != nil {
+		return fmt.Errorf("backup: opening segment %s: %w", seg.Name, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() != seg.Size {
+		return &CorruptError{Segment: seg.Name, Off: seg.Start, Detail: fmt.Sprintf("segment is %d bytes, manifest says %d", fi.Size(), seg.Size)}
+	}
+	buf := make([]byte, seg.Size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return fmt.Errorf("backup: reading segment %s: %w", seg.Name, err)
+	}
+	next := seg.Start
+	for _, fr := range seg.Frames {
+		if fr.Off != next {
+			return &CorruptError{Segment: seg.Name, Off: fr.Off, Detail: fmt.Sprintf("frame at %d does not abut previous end %d", fr.Off, next)}
+		}
+		lo := fr.Off - seg.Start
+		if fr.Size < 8 || lo+fr.Size > seg.Size {
+			return &CorruptError{Segment: seg.Name, Off: fr.Off, Detail: "frame extends past segment"}
+		}
+		b := buf[lo : lo+fr.Size]
+		size := int64(binary.LittleEndian.Uint32(b[0:]))
+		stored := binary.LittleEndian.Uint32(b[4:])
+		if size != fr.Size-8 {
+			return &CorruptError{Segment: seg.Name, Off: fr.Off, Detail: fmt.Sprintf("frame header claims %d payload bytes, manifest says %d", size, fr.Size-8)}
+		}
+		got := crc32.ChecksumIEEE(b[8:])
+		if got != stored || got != fr.CRC {
+			return &CorruptError{Segment: seg.Name, Off: fr.Off, Detail: fmt.Sprintf("frame CRC mismatch (manifest %08x, header %08x, computed %08x)", fr.CRC, stored, got)}
+		}
+		next = fr.Off + fr.Size
+	}
+	if next != seg.Start+seg.Size {
+		return &CorruptError{Segment: seg.Name, Off: next, Detail: "frames do not cover segment"}
+	}
+	return nil
+}
+
+func readManifest(fsys faultfs.FS, dir string) (*Manifest, error) {
+	f, err := fsys.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m Manifest
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("backup: parsing %s: %w", manifestName, err)
+	}
+	return &m, nil
+}
+
+func writeManifest(fsys faultfs.FS, dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("backup: writing manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("backup: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("backup: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("backup: publishing manifest: %w", err)
+	}
+	return fsys.SyncDir(dir)
+}

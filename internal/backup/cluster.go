@@ -1,0 +1,180 @@
+package backup
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"threedess/internal/faultfs"
+	"threedess/internal/scatter"
+	"threedess/internal/shapedb"
+)
+
+// ClusterManifest stamps a whole-cluster archive: how many shard
+// archives it holds and the ring epoch the fleet was fenced at while
+// they were taken.
+type ClusterManifest struct {
+	FormatVersion int      `json:"format_version"`
+	RingEpoch     int64    `json:"ring_epoch"`
+	Shards        []string `json:"shards"` // subdirectory per shard, in index order
+}
+
+const clusterManifestName = "cluster.json"
+
+func shardDirName(i int) string { return fmt.Sprintf("shard-%02d", i) }
+
+// BackupCluster captures every shard of a cluster into per-shard
+// subdirectories under dir, all within one ring-epoch fence: the fleet
+// must agree on a non-transitioning ring epoch before the first byte is
+// read AND still hold that same epoch after the last shard finishes.
+// Any rebalance racing the backup flips the epoch and fails the run,
+// so a cluster archive can never mix records from two ring layouts.
+// Per-shard captures are incremental exactly like BackupNode, and a
+// killed run resumes the same way.
+func BackupCluster(fsys faultfs.FS, srcs []Source, dir string) (*ClusterManifest, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("backup: cluster backup needs at least one shard source")
+	}
+	fence, err := ringFence(srcs)
+	if err != nil {
+		return nil, err
+	}
+	cm := &ClusterManifest{FormatVersion: FormatVersion, RingEpoch: fence}
+	for i, src := range srcs {
+		sub := shardDirName(i)
+		if _, err := BackupNode(fsys, src, filepath.Join(dir, sub)); err != nil {
+			return nil, fmt.Errorf("backup: shard %d: %w", i, err)
+		}
+		cm.Shards = append(cm.Shards, sub)
+	}
+	// Re-probe: if the ring moved while shards were streaming, some
+	// archives predate the move and some postdate it — refuse the set.
+	after, err := ringFence(srcs)
+	if err != nil {
+		return nil, err
+	}
+	if after != fence {
+		return nil, fmt.Errorf("backup: ring epoch moved during cluster backup (%d -> %d); rerun", fence, after)
+	}
+	if err := writeClusterManifest(fsys, dir, cm); err != nil {
+		return nil, err
+	}
+	return cm, nil
+}
+
+// ringFence probes every shard and returns the single ring epoch the
+// fleet agrees on, refusing a transitioning or split fleet.
+func ringFence(srcs []Source) (int64, error) {
+	var epoch int64
+	for i, src := range srcs {
+		st, err := src.State()
+		if err != nil {
+			return 0, fmt.Errorf("backup: probing shard %d: %w", i, err)
+		}
+		if st.RingTransitioning {
+			return 0, fmt.Errorf("backup: shard %d is mid-rebalance (ring epoch %d); wait for it to settle", i, st.RingEpoch)
+		}
+		if i == 0 {
+			epoch = st.RingEpoch
+		} else if st.RingEpoch != epoch {
+			return 0, fmt.Errorf("backup: ring epoch split: shard 0 at %d, shard %d at %d", epoch, i, st.RingEpoch)
+		}
+	}
+	return epoch, nil
+}
+
+// RestoreCluster replays a cluster archive onto dbs — which may number
+// differently from the shards that were backed up. Every shard archive
+// is CRC-verified, folded to its surviving record set (inserts minus
+// deletes) with shapedb.ReplayExports, and each record is routed to its
+// owner under a fresh len(dbs)-shard ring, landing through the same
+// validate-first ImportFrames path live migration uses. Frame bytes are
+// preserved verbatim, so every restored record is byte-identical to what
+// its source shard had acknowledged. It returns the total records
+// restored.
+func RestoreCluster(fsys faultfs.FS, dir string, dbs []*shapedb.DB) (int, error) {
+	cm, err := readClusterManifest(fsys, dir)
+	if err != nil {
+		return 0, err
+	}
+	ring, err := scatter.NewRing(len(dbs))
+	if err != nil {
+		return 0, err
+	}
+	for _, db := range dbs {
+		if db.Len() != 0 {
+			return 0, fmt.Errorf("backup: refusing cluster restore into a non-empty database (%d records)", db.Len())
+		}
+	}
+	buckets := make([][]shapedb.ExportFrame, len(dbs))
+	for _, sub := range cm.Shards {
+		raw, _, err := ReadArchive(fsys, filepath.Join(dir, sub))
+		if err != nil {
+			return 0, fmt.Errorf("backup: shard archive %s: %w", sub, err)
+		}
+		exports, err := shapedb.ReplayExports(raw)
+		if err != nil {
+			return 0, fmt.Errorf("backup: replaying shard archive %s: %w", sub, err)
+		}
+		for _, ex := range exports {
+			owner := ring.Owner(ex.ID)
+			buckets[owner] = append(buckets[owner], ex)
+		}
+	}
+	total := 0
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		n, err := dbs[i].ImportFrames(bucket)
+		if err != nil {
+			return total, fmt.Errorf("backup: importing into shard %d: %w", i, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+func readClusterManifest(fsys faultfs.FS, dir string) (*ClusterManifest, error) {
+	f, err := fsys.Open(filepath.Join(dir, clusterManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("backup: reading cluster manifest: %w", err)
+	}
+	defer f.Close()
+	var cm ClusterManifest
+	if err := json.NewDecoder(f).Decode(&cm); err != nil {
+		return nil, fmt.Errorf("backup: parsing %s: %w", clusterManifestName, err)
+	}
+	if cm.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("backup: unsupported cluster archive format version %d (want %d)", cm.FormatVersion, FormatVersion)
+	}
+	return &cm, nil
+}
+
+func writeClusterManifest(fsys faultfs.FS, dir string, cm *ClusterManifest) error {
+	data, err := json.MarshalIndent(cm, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, clusterManifestName+".tmp")
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("backup: writing cluster manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, clusterManifestName)); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

@@ -1,0 +1,137 @@
+package backup
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"threedess/internal/faultfs"
+)
+
+// journalFile mirrors shapedb's on-disk journal name: a node restore
+// materializes exactly the file shapedb.OpenFS replays.
+const journalFile = "shapes.journal"
+
+// RestoreReport says what a node restore did: how far the archive went,
+// where the replay was cut, and how many frames landed.
+type RestoreReport struct {
+	ReplEpoch int64 `json:"repl_epoch"`
+	Committed int64 `json:"committed"` // archive end
+	Cut       int64 `json:"cut"`       // offset actually restored to
+	Frames    int   `json:"frames"`
+}
+
+// RestoreNode rebuilds a data directory from an archive. The archive is
+// fully verified first — every CRC, every boundary — and the target is
+// refused if it already holds a journal, so a corrupt or truncated
+// archive can never damage existing data. pointInTime, when positive,
+// cuts the replay at the largest frame boundary not beyond that journal
+// offset (every manifest frame boundary is a consistent prefix, because
+// the journal is a pure redo log); zero or negative restores everything.
+//
+// The restored journal is byte-identical to the source's committed
+// prefix, so opening it with shapedb.OpenFS reproduces the source's
+// records, feature bounds, and similarity normalization exactly —
+// searches against the restored node are bit-identical to the source.
+func RestoreNode(fsys faultfs.FS, dir, targetDir string, pointInTime int64) (*RestoreReport, error) {
+	m, err := VerifyDir(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	target := filepath.Join(targetDir, journalFile)
+	if f, err := fsys.Open(target); err == nil {
+		f.Close()
+		return nil, fmt.Errorf("backup: refusing restore: %s already exists", target)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	cut, frames := m.Committed, 0
+	if pointInTime > 0 && pointInTime < m.Committed {
+		cut = 0
+	}
+	for _, seg := range m.Segments {
+		for _, fr := range seg.Frames {
+			end := fr.Off + fr.Size
+			if end > cut && pointInTime > 0 && end <= pointInTime {
+				cut = end
+			}
+			if end <= cut {
+				frames++
+			}
+		}
+	}
+
+	if err := fsys.MkdirAll(targetDir, 0o755); err != nil {
+		return nil, err
+	}
+	tmp := target + ".restore"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("backup: creating restored journal: %w", err)
+	}
+	if err := copyPrefix(fsys, dir, m, cut, f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("backup: syncing restored journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := fsys.Rename(tmp, target); err != nil {
+		return nil, fmt.Errorf("backup: publishing restored journal: %w", err)
+	}
+	if err := fsys.SyncDir(targetDir); err != nil {
+		return nil, err
+	}
+	return &RestoreReport{ReplEpoch: m.ReplEpoch, Committed: m.Committed, Cut: cut, Frames: frames}, nil
+}
+
+// copyPrefix streams archive bytes [0, cut) into w in segment order.
+func copyPrefix(fsys faultfs.FS, dir string, m *Manifest, cut int64, w io.Writer) error {
+	for _, seg := range m.Segments {
+		if seg.Start >= cut {
+			break
+		}
+		n := seg.Size
+		if seg.Start+n > cut {
+			n = cut - seg.Start
+		}
+		f, err := fsys.Open(filepath.Join(dir, seg.Name))
+		if err != nil {
+			return fmt.Errorf("backup: opening segment %s: %w", seg.Name, err)
+		}
+		_, err = io.CopyN(w, f, n)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("backup: copying segment %s: %w", seg.Name, err)
+		}
+	}
+	return nil
+}
+
+// ReadArchive returns the verified journal bytes [0, committed) of a
+// node archive — the cluster restore path folds these through
+// shapedb.ReplayExports to re-route records onto a new ring.
+func ReadArchive(fsys faultfs.FS, dir string) ([]byte, *Manifest, error) {
+	m, err := VerifyDir(fsys, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var buf grower
+	if err := copyPrefix(fsys, dir, m, m.Committed, &buf); err != nil {
+		return nil, nil, err
+	}
+	return buf.b, m, nil
+}
+
+type grower struct{ b []byte }
+
+func (g *grower) Write(p []byte) (int, error) {
+	g.b = append(g.b, p...)
+	return len(p), nil
+}

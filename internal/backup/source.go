@@ -1,0 +1,170 @@
+// Package backup implements verified online backup and point-in-time
+// restore for shape databases (DESIGN.md §15). A node backup captures a
+// frame-aligned prefix of the live journal up to the committed offset —
+// no write stall, because committed frames are immutable within a
+// replication epoch — into a directory of CRC-manifested segment files.
+// Incremental runs append only frames past the last manifest offset;
+// restore verifies every checksum before touching the target and can cut
+// the replay at an earlier journal offset (point-in-time). A cluster
+// backup fans the same node procedure across every shard under a
+// ring-epoch fence, and a cluster restore replays an N-shard archive
+// onto M fresh shards through the migration import path.
+package backup
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"threedess/internal/shapedb"
+)
+
+// ErrEpochChanged reports that the source's journal identity moved while
+// a backup was being taken (restart, compaction, replica reset). The
+// archive's incremental chain is broken; the caller must start a fresh
+// full backup, which BackupNode does automatically on the next run.
+var ErrEpochChanged = errors.New("backup: source journal epoch changed")
+
+// State is the backup-relevant snapshot of a source node: where its
+// journal stands, and the cluster context the archive will be stamped
+// with so restore can refuse to mix incompatible shards.
+type State struct {
+	// Epoch and Committed identify the journal stream (see
+	// shapedb.ReplState).
+	Epoch     int64 `json:"epoch"`
+	Committed int64 `json:"committed"`
+	// DBVersion is the record-set version counter at snapshot time —
+	// monotone per process, useful for operator sanity checks.
+	DBVersion int64 `json:"db_version"`
+	// RingEpoch is the cluster ring epoch the node is serving under
+	// (zero when standalone); RingTransitioning reports a rebalance in
+	// flight, during which cluster backups are refused.
+	RingEpoch         int64 `json:"ring_epoch"`
+	RingTransitioning bool  `json:"ring_transitioning"`
+	// ReadOnly reports the ENOSPC fence (shapedb.ErrReadOnly). Backups
+	// of a fenced node still work — the fence blocks writes, not reads.
+	ReadOnly bool `json:"read_only"`
+}
+
+// Source is a node a backup can be taken from: a state probe plus
+// frame-aligned journal reads. Read follows the shapedb.ReadJournal
+// contract — bytes from off cut at a frame boundary, never past the
+// committed offset, ErrEpochChanged if epoch no longer matches.
+type Source interface {
+	State() (State, error)
+	Read(epoch, off int64, maxBytes int) ([]byte, State, error)
+}
+
+// DBSource backs up a database in the same process. RingInfo, when
+// non-nil, supplies the cluster ring context for the archive stamp.
+type DBSource struct {
+	DB *shapedb.DB
+	// RingInfo returns (ring epoch, transitioning). Nil means
+	// standalone: epoch 0, never transitioning.
+	RingInfo func() (int64, bool)
+}
+
+func (s *DBSource) State() (State, error) {
+	rs := s.DB.ReplState()
+	st := State{
+		Epoch:     rs.Epoch,
+		Committed: rs.Committed,
+		DBVersion: s.DB.Version(),
+		ReadOnly:  s.DB.ReadOnlyErr() != nil,
+	}
+	if s.RingInfo != nil {
+		st.RingEpoch, st.RingTransitioning = s.RingInfo()
+	}
+	if rs.Epoch == 0 {
+		return st, fmt.Errorf("backup: source database is not durable (no journal)")
+	}
+	return st, nil
+}
+
+func (s *DBSource) Read(epoch, off int64, maxBytes int) ([]byte, State, error) {
+	chunk, rs, err := s.DB.ReadJournal(epoch, off, maxBytes)
+	st := State{Epoch: rs.Epoch, Committed: rs.Committed}
+	if errors.Is(err, shapedb.ErrReplEpoch) {
+		return nil, st, fmt.Errorf("%w (have %d, source %d)", ErrEpochChanged, epoch, rs.Epoch)
+	}
+	return chunk, st, err
+}
+
+// HTTP endpoints a server exposes for remote backup (see
+// internal/server/backup.go). The state endpoint returns a State JSON
+// document; the chunk endpoint streams raw frame-aligned journal bytes.
+const (
+	StatePath = "/api/admin/backup"
+	ChunkPath = "/api/admin/backup/chunk"
+
+	// Chunk response headers carrying the source's journal position.
+	EpochHeader     = "X-Backup-Epoch"
+	CommittedHeader = "X-Backup-Committed"
+)
+
+// HTTPSource backs up a remote node over its admin API.
+type HTTPSource struct {
+	// BaseURL is the node's root, e.g. "http://shard-0:8080".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (s *HTTPSource) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+func (s *HTTPSource) State() (State, error) {
+	resp, err := s.client().Get(s.BaseURL + StatePath)
+	if err != nil {
+		return State{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return State{}, httpError("state", resp)
+	}
+	var st State
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return State{}, fmt.Errorf("backup: decoding state from %s: %w", s.BaseURL, err)
+	}
+	return st, nil
+}
+
+func (s *HTTPSource) Read(epoch, off int64, maxBytes int) ([]byte, State, error) {
+	q := url.Values{}
+	q.Set("epoch", strconv.FormatInt(epoch, 10))
+	q.Set("off", strconv.FormatInt(off, 10))
+	q.Set("max", strconv.Itoa(maxBytes))
+	resp, err := s.client().Get(s.BaseURL + ChunkPath + "?" + q.Encode())
+	if err != nil {
+		return nil, State{}, err
+	}
+	defer resp.Body.Close()
+	var st State
+	st.Epoch, _ = strconv.ParseInt(resp.Header.Get(EpochHeader), 10, 64)
+	st.Committed, _ = strconv.ParseInt(resp.Header.Get(CommittedHeader), 10, 64)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		return nil, st, fmt.Errorf("%w (have %d, source %d)", ErrEpochChanged, epoch, st.Epoch)
+	default:
+		return nil, st, httpError("chunk", resp)
+	}
+	chunk, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, st, fmt.Errorf("backup: reading chunk body: %w", err)
+	}
+	return chunk, st, nil
+}
+
+func httpError(what string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("backup: %s request failed: %s: %s", what, resp.Status, body)
+}

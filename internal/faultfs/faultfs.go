@@ -139,6 +139,10 @@ type Injector struct {
 	ops     int64
 	crashed bool
 	fired   bool
+	// writeErr, when non-nil, makes every file write fail with it (after a
+	// torn prefix lands) until cleared — the disk-full regime, as opposed
+	// to the one-shot FailAt fault. See FailWritesWith.
+	writeErr error
 }
 
 // NewInjector wraps inner with an unarmed injector (a pure op counter).
@@ -186,6 +190,27 @@ func (in *Injector) dead() bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.crashed
+}
+
+// FailWritesWith puts the injector into a persistent write-failure regime:
+// every subsequent file write persists only a torn prefix of its buffer
+// and returns err — the disk-full (ENOSPC) shape, where the filesystem
+// stays alive, reads and syncs keep working, but no append can land.
+// Unlike the one-shot FailAt fault, the regime holds until
+// FailWritesWith(nil) clears it (space was freed). Writes in the regime
+// still count as injectable ops, so FailAt enumeration stays coherent.
+func (in *Injector) FailWritesWith(err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writeErr = err
+}
+
+// writeFailure returns the persistent write error currently armed (nil
+// when writes pass through).
+func (in *Injector) writeFailure() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.writeErr
 }
 
 func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
@@ -245,9 +270,15 @@ type injectedFile struct {
 }
 
 // Write persists only the first half of the buffer when its fault fires —
-// the torn write a crash or ENOSPC mid-append leaves behind.
+// the torn write a crash or ENOSPC mid-append leaves behind. The same
+// torn-prefix semantics apply under a FailWritesWith regime, except the
+// failure repeats for every write until the regime is cleared.
 func (f *injectedFile) Write(p []byte) (int, error) {
 	if err := f.in.step(); err != nil {
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, err
+	}
+	if err := f.in.writeFailure(); err != nil {
 		n, _ := f.File.Write(p[:len(p)/2])
 		return n, err
 	}

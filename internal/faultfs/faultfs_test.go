@@ -151,3 +151,42 @@ func TestInjectorErrorModeTearsWriteAndContinues(t *testing.T) {
 		t.Fatalf("file = %q, want %q (torn half + later write)", got, want)
 	}
 }
+
+// TestFailWritesWithRegime checks the persistent disk-full shape: every
+// write tears and returns the configured error, syncs and reads keep
+// working, and clearing the regime restores writes.
+func TestFailWritesWithRegime(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{})
+	path := filepath.Join(dir, "j")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("good")); err != nil {
+		t.Fatalf("write before regime: %v", err)
+	}
+
+	noSpace := errors.New("no space left on device")
+	inj.FailWritesWith(noSpace)
+	if _, err := f.Write([]byte("XXXX")); !errors.Is(err, noSpace) {
+		t.Fatalf("write in regime err = %v, want the configured error", err)
+	}
+	if _, err := f.Write([]byte("YYYY")); !errors.Is(err, noSpace) {
+		t.Fatalf("regime must persist across writes, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync in regime: %v (disk-full leaves fsync of old data working)", err)
+	}
+
+	inj.FailWritesWith(nil)
+	if _, err := f.Write([]byte("more")); err != nil {
+		t.Fatalf("write after clearing regime: %v", err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	// Each failing 4-byte write persisted a 2-byte torn prefix.
+	if got, want := string(data), "goodXXYYmore"; got != want {
+		t.Fatalf("file = %q, want %q", got, want)
+	}
+}

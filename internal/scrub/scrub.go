@@ -99,7 +99,7 @@ type ScrubReport struct {
 // CompactReport records one compaction attempt and why it ran.
 type CompactReport struct {
 	At      time.Time `json:"at"`
-	Trigger string    `json:"trigger"` // "ratio", "dead-entries", "quarantine-heal", "manual"
+	Trigger string    `json:"trigger"` // "ratio", "dead-entries", "quarantine-heal", "readonly-heal", "manual"
 	// Before/After are the journal stats around the rewrite.
 	Before shapedb.JournalStats `json:"before"`
 	After  shapedb.JournalStats `json:"after"`
@@ -330,6 +330,14 @@ func (m *Maintainer) CompactIfNeeded() *CompactReport {
 	}
 	trigger := ""
 	switch {
+	case stats.ReadOnly:
+		// Healing the write fence: a failed append/sync (typically disk
+		// full) fenced the DB read-only. Compaction rewrites the journal
+		// from the acknowledged in-memory state — usually much smaller
+		// than the dead-entry-laden log that filled the disk — and on
+		// success lifts the fence, restoring write service without a
+		// restart.
+		trigger = "readonly-heal"
 	case stats.UnhealedQuarantine > 0:
 		// Healing: rewrite the journal from the intact in-memory copies
 		// so the rotten frame cannot truncate the log on restart.
@@ -341,7 +349,7 @@ func (m *Maintainer) CompactIfNeeded() *CompactReport {
 	default:
 		return nil
 	}
-	if trigger != "quarantine-heal" && m.cfg.CompactMinInterval > 0 {
+	if trigger != "quarantine-heal" && trigger != "readonly-heal" && m.cfg.CompactMinInterval > 0 {
 		m.mu.Lock()
 		tooSoon := !m.lastCompactAt.IsZero() && time.Since(m.lastCompactAt) < m.cfg.CompactMinInterval
 		m.mu.Unlock()

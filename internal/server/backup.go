@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"threedess/internal/backup"
+	"threedess/internal/faultfs"
+	"threedess/internal/shapedb"
+)
+
+// The backup admin surface (DESIGN.md §15):
+//
+//	GET  /api/admin/backup        — backup-relevant node state (journal
+//	                                epoch/offset, ring epoch, read-only)
+//	GET  /api/admin/backup/chunk  — raw frame-aligned journal bytes, the
+//	                                remote capture stream backup.HTTPSource
+//	                                reads
+//	POST /api/admin/backup        — drive a server-side (incremental)
+//	                                backup into a local directory
+//
+// The chunk endpoint is the replication read path re-exposed over the
+// admin API: it serves only committed, CRC-framed bytes and refuses a
+// stale epoch with 409 so an archive can never splice two journal
+// incarnations.
+
+// ringInfo reports the node's cluster ring context for the archive
+// stamp: (epoch, transitioning). Standalone nodes report (0, false).
+func (s *Server) ringInfo() (int64, bool) {
+	c := s.cluster
+	if c == nil {
+		return 0, false
+	}
+	if c.state != nil {
+		st := c.state.State()
+		return st.Epoch, st.Transitioning()
+	}
+	if c.coord != nil {
+		st := c.coord.State()
+		return st.Epoch, st.Transitioning()
+	}
+	return 0, false
+}
+
+// backupSource is the in-process Source for this node, used by both the
+// state endpoint and server-side POST backups.
+func (s *Server) backupSource() *backup.DBSource {
+	return &backup.DBSource{DB: s.engine.DB(), RingInfo: s.ringInfo}
+}
+
+func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		src := s.backupSource()
+		st, err := src.State()
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case http.MethodPost:
+		s.handleBackupRun(w, r)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// BackupRunRequest is the POST body of /api/admin/backup: where on the
+// node's filesystem to write (or extend) the archive.
+type BackupRunRequest struct {
+	Dir string `json:"dir"`
+}
+
+// handleBackupRun drives a server-side backup. It is mutually exclusive
+// with live rebalancing — a migration rewrites record ownership across
+// the fleet, and an archive taken mid-move could capture a record on two
+// shards or neither — and with itself (one archive writer at a time).
+func (s *Server) handleBackupRun(w http.ResponseWriter, r *http.Request) {
+	var req BackupRunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeDecodeErr(w, err)
+		return
+	}
+	if req.Dir == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("backup dir required"))
+		return
+	}
+	s.rebalMu.Lock()
+	if s.rebalActive {
+		s.rebalMu.Unlock()
+		writeErr(w, http.StatusConflict, fmt.Errorf("rebalance in progress; backup refused"))
+		return
+	}
+	if s.backupActive {
+		s.rebalMu.Unlock()
+		writeErr(w, http.StatusConflict, fmt.Errorf("another backup is already running"))
+		return
+	}
+	s.backupActive = true
+	s.rebalMu.Unlock()
+	defer func() {
+		s.rebalMu.Lock()
+		s.backupActive = false
+		s.rebalMu.Unlock()
+	}()
+
+	m, err := backup.BackupNode(faultfs.OS{}, s.backupSource(), req.Dir)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dir":        req.Dir,
+		"repl_epoch": m.ReplEpoch,
+		"committed":  m.Committed,
+		"segments":   len(m.Segments),
+	})
+}
+
+// handleBackupChunk streams raw journal bytes for a remote backup. Query
+// params mirror backup.Source.Read: epoch, off, max. The response always
+// carries the node's current epoch and committed offset in headers so
+// the driver can track progress; a stale epoch is 409 (start a fresh
+// full backup), an offset past the committed end is 416.
+func (s *Server) handleBackupChunk(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	q := r.URL.Query()
+	epoch, err := strconv.ParseInt(q.Get("epoch"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad epoch %q", q.Get("epoch")))
+		return
+	}
+	off, err := strconv.ParseInt(q.Get("off"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad off %q", q.Get("off")))
+		return
+	}
+	maxBytes := 1 << 20
+	if v := q.Get("max"); v != "" {
+		if maxBytes, err = strconv.Atoi(v); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad max %q", v))
+			return
+		}
+	}
+	chunk, st, err := s.engine.DB().ReadJournal(epoch, off, maxBytes)
+	w.Header().Set(backup.EpochHeader, strconv.FormatInt(st.Epoch, 10))
+	w.Header().Set(backup.CommittedHeader, strconv.FormatInt(st.Committed, 10))
+	if err != nil {
+		switch {
+		case errors.Is(err, shapedb.ErrReplEpoch):
+			writeErr(w, http.StatusConflict, err)
+		case errors.Is(err, shapedb.ErrReplOffset):
+			writeErr(w, http.StatusRequestedRangeNotSatisfiable, err)
+		case errors.Is(err, shapedb.ErrNotDurable):
+			writeErr(w, http.StatusUnprocessableEntity, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(chunk)
+}

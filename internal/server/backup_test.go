@@ -1,0 +1,468 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"threedess/internal/backup"
+	"threedess/internal/core"
+	"threedess/internal/faultfs"
+	"threedess/internal/features"
+	"threedess/internal/geom"
+	"threedess/internal/scatter"
+	"threedess/internal/scrub"
+	"threedess/internal/shapedb"
+)
+
+// newDurableNode boots a server over an on-disk store whose filesystem
+// goes through an injector, so tests can pull the ENOSPC lever on a
+// serving node.
+func newDurableNode(t *testing.T, dir string) (*shapedb.DB, *faultfs.Injector, *Server) {
+	t.Helper()
+	inj := faultfs.NewInjector(faultfs.OS{})
+	db, err := shapedb.OpenFS(dir, features.Options{VoxelResolution: 20}, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, inj, NewWithConfig(core.NewEngine(db), Config{})
+}
+
+func TestBackupAdminEndpoints(t *testing.T) {
+	db, _, srv := newDurableNode(t, t.TempDir())
+	seedVectors(t, db, 8)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// State probe reflects the live journal.
+	var st backup.State
+	resp, err := http.Get(ts.URL + backup.StatePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", backup.StatePath, resp.StatusCode)
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	want := db.ReplState()
+	if st.Epoch != want.Epoch || st.Committed != want.Committed || st.ReadOnly {
+		t.Fatalf("state = %+v, want epoch %d committed %d", st, want.Epoch, want.Committed)
+	}
+
+	// A stale epoch on the chunk stream is refused with 409.
+	resp, err = http.Get(fmt.Sprintf("%s%s?epoch=%d&off=0&max=1024", ts.URL, backup.ChunkPath, want.Epoch+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale-epoch chunk: %d, want 409", resp.StatusCode)
+	}
+
+	// A remote backup over the HTTP source restores to the same records.
+	arcDir := t.TempDir()
+	if _, err := backup.BackupNode(faultfs.OS{}, &backup.HTTPSource{BaseURL: ts.URL}, arcDir); err != nil {
+		t.Fatalf("remote backup: %v", err)
+	}
+	dstDir := t.TempDir()
+	if _, err := backup.RestoreNode(faultfs.OS{}, arcDir, dstDir, 0); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	re, err := shapedb.Open(dstDir, features.Options{VoxelResolution: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != db.Len() {
+		t.Fatalf("restored %d records, want %d", re.Len(), db.Len())
+	}
+
+	// Server-side POST backup writes a verifiable archive...
+	post := func() *http.Response {
+		body, _ := json.Marshal(BackupRunRequest{Dir: filepath.Join(t.TempDir(), "arc")})
+		resp, err := http.Post(ts.URL+backup.StatePath, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST backup: %d, want 200", resp.StatusCode)
+	}
+	// ...but is refused while a rebalance holds the cluster in motion.
+	srv.rebalMu.Lock()
+	srv.rebalActive = true
+	srv.rebalMu.Unlock()
+	if resp := post(); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST backup during rebalance: %d, want 409", resp.StatusCode)
+	}
+}
+
+// durableCluster is a scatter-gather deployment over on-disk shard
+// stores, for backup/restore acceptance tests.
+type durableCluster struct {
+	coordC   *Client
+	shardDBs []*shapedb.DB
+	shardURL []string
+	ring     *scatter.Ring
+}
+
+func newDurableCluster(t *testing.T, shards int, dbs []*shapedb.DB) *durableCluster {
+	t.Helper()
+	dc := &durableCluster{shardDBs: dbs}
+	var specs []scatter.ShardSpec
+	for i := 0; i < shards; i++ {
+		if dc.shardDBs == nil {
+			t.Fatal("nil dbs")
+		}
+		engine := core.NewEngine(dc.shardDBs[i])
+		srv := NewWithConfig(engine, Config{})
+		if _, err := srv.SetShard(i, shards); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		dc.shardURL = append(dc.shardURL, ts.URL)
+		specs = append(specs, scatter.ShardSpec{Endpoints: []string{ts.URL}})
+	}
+	coord, err := scatter.New(specs, fastPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.ring = coord.Ring()
+	cdb, err := shapedb.Open("", features.Options{VoxelResolution: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cdb.Close() })
+	coordSrv := NewWithConfig(core.NewEngine(cdb), Config{CacheEntries: -1})
+	coordSrv.SetCoordinator(coord)
+	cts := httptest.NewServer(coordSrv)
+	t.Cleanup(cts.Close)
+	dc.coordC = NewClient(cts.URL)
+	return dc
+}
+
+func openDurableDBs(t *testing.T, n int) []*shapedb.DB {
+	t.Helper()
+	dbs := make([]*shapedb.DB, n)
+	for i := range dbs {
+		db, err := shapedb.Open(t.TempDir(), features.Options{VoxelResolution: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		dbs[i] = db
+	}
+	return dbs
+}
+
+// TestClusterBackupRestore4To6Shards is acceptance criterion (c): a
+// 4-shard cluster is backed up over the admin API under a ring-epoch
+// fence, the archive is restored onto a 6-shard cluster, and both
+// coordinators answer identical searches — values, order, and ties.
+func TestClusterBackupRestore4To6Shards(t *testing.T) {
+	const corpus = 50
+	src := newDurableCluster(t, 4, openDurableDBs(t, 4))
+
+	// Seed with guaranteed ties (every third record duplicates the
+	// previous vector), routed by ring ownership like live inserts.
+	rng := rand.New(rand.NewSource(11))
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	var prev features.Vector
+	for i := 1; i <= corpus; i++ {
+		vec := features.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+		if i%3 == 0 && prev != nil {
+			vec = append(features.Vector(nil), prev...)
+		}
+		prev = vec
+		set := features.Set{features.PrincipalMoments: vec}
+		shard := src.ring.Owner(int64(i))
+		if _, err := src.shardDBs[shard].InsertWith(fmt.Sprintf("syn-%d", i), i%7, mesh, set, shapedb.InsertOpts{ID: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Whole-cluster backup through the shards' admin APIs.
+	srcs := make([]backup.Source, len(src.shardURL))
+	for i, u := range src.shardURL {
+		srcs[i] = &backup.HTTPSource{BaseURL: u}
+	}
+	arcDir := t.TempDir()
+	if _, err := backup.BackupCluster(faultfs.OS{}, srcs, arcDir); err != nil {
+		t.Fatalf("cluster backup: %v", err)
+	}
+
+	// Restore the 4-shard archive onto 6 fresh stores and serve them.
+	dstDBs := openDurableDBs(t, 6)
+	n, err := backup.RestoreCluster(faultfs.OS{}, arcDir, dstDBs)
+	if err != nil {
+		t.Fatalf("cluster restore: %v", err)
+	}
+	if n != corpus {
+		t.Fatalf("restored %d records, want %d", n, corpus)
+	}
+	dst := newDurableCluster(t, 6, dstDBs)
+
+	feature := features.PrincipalMoments.String()
+	for trial := 0; trial < 4; trial++ {
+		qv := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		weights := []float64{0.5 + rng.Float64(), 0.5 + rng.Float64(), 0.5 + rng.Float64()}
+		for _, k := range []int{3, 17, corpus + 5} {
+			req := SearchRequest{QueryVector: qv, Feature: feature, K: k, Weights: weights}
+			before, err := src.coordC.Search(req)
+			if err != nil {
+				t.Fatalf("4-shard search: %v", err)
+			}
+			after, err := dst.coordC.Search(req)
+			if err != nil {
+				t.Fatalf("6-shard search: %v", err)
+			}
+			if !reflect.DeepEqual(before, after) {
+				t.Fatalf("top-%d trial %d: restored cluster diverged\n4-shard: %+v\n6-shard: %+v", k, trial, before, after)
+			}
+		}
+		thr := 0.3
+		req := SearchRequest{QueryVector: qv, Feature: feature, Threshold: &thr, Weights: weights}
+		before, err := src.coordC.Search(req)
+		if err != nil {
+			t.Fatalf("4-shard threshold search: %v", err)
+		}
+		after, err := dst.coordC.Search(req)
+		if err != nil {
+			t.Fatalf("6-shard threshold search: %v", err)
+		}
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("threshold trial %d: restored cluster diverged", trial)
+		}
+	}
+}
+
+// TestEnospcLiveTrafficDegradesToReadOnly is acceptance criterion (d):
+// the disk fills mid-ingest under live mixed traffic; every write that
+// was acknowledged before (or after heal) survives, reads keep answering
+// 2xx throughout, writes are refused with 503 + Retry-After, the node
+// reports the fence on /readyz and /api/stats, never crashes, and
+// compaction heals it once space frees.
+func TestEnospcLiveTrafficDegradesToReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	db, inj, srv := newDurableNode(t, dir)
+	maint := scrub.New(db, scrub.Config{CompactMinInterval: time.Hour})
+	srv.SetMaintenance(maint)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+
+	// Phase 1: healthy ingest. Everything acked here must survive.
+	var acked []int64
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	for i := 0; i < 5; i++ {
+		id, err := c.InsertShape(fmt.Sprintf("pre-%d", i), i, mesh)
+		if err != nil {
+			t.Fatalf("healthy insert: %v", err)
+		}
+		acked = append(acked, id)
+	}
+
+	// Phase 2: the disk fills.
+	inj.FailWritesWith(errors.New("no space left on device"))
+
+	// One in-flight write discovers it (the fence is raised by the failed
+	// append itself, not by a prior health check).
+	off, err := MeshToOFF(mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertBody := func(name string) *http.Response {
+		payload, _ := json.Marshal(map[string]any{"name": name, "group": 1, "mesh_off": off})
+		resp, err := http.Post(ts.URL+"/api/shapes", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := insertBody("doomed"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("insert on full disk: %d, want 503", resp.StatusCode)
+	}
+
+	// Mixed live traffic against the fenced node: reads 2xx, writes 503
+	// with a Retry-After hint, no crashes, concurrently.
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if w%2 == 0 {
+					if _, err := c.ListShapes(); err != nil {
+						errs <- fmt.Errorf("read under fence: %w", err)
+						return
+					}
+					if _, err := c.Stats(); err != nil {
+						errs <- fmt.Errorf("stats under fence: %w", err)
+						return
+					}
+				} else {
+					resp := insertBody(fmt.Sprintf("fenced-%d-%d", w, i))
+					if resp.StatusCode != http.StatusServiceUnavailable {
+						errs <- fmt.Errorf("write under fence: %d, want 503", resp.StatusCode)
+						return
+					}
+					if resp.Header.Get("Retry-After") == "" {
+						errs <- fmt.Errorf("503 without Retry-After")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The fence is visible to operators: /readyz stays ready (reads
+	// serve!) but reports it; /api/stats names the cause.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready map[string]any
+	json.NewDecoder(resp.Body).Decode(&ready)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ready["read_only"] != true {
+		t.Fatalf("readyz = %d %v, want 200 with read_only:true", resp.StatusCode, ready)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.ReadOnly || stats.ReadOnlyReason == "" {
+		t.Fatalf("stats do not report the fence: %+v", stats)
+	}
+
+	// Phase 3: space frees; the maintenance loop's compaction trigger
+	// heals the fence without a restart.
+	inj.FailWritesWith(nil)
+	rep := maint.CompactIfNeeded()
+	if rep == nil || rep.Trigger != "readonly-heal" {
+		t.Fatalf("compaction trigger = %+v, want readonly-heal", rep)
+	}
+	if rep.Error != "" {
+		t.Fatalf("heal compaction failed: %s", rep.Error)
+	}
+	id, err := c.InsertShape("post-heal", 9, mesh)
+	if err != nil {
+		t.Fatalf("insert after heal: %v", err)
+	}
+	acked = append(acked, id)
+
+	// Phase 4: zero acknowledged-write loss across a restart.
+	db.Close()
+	re, err := shapedb.Open(dir, features.Options{VoxelResolution: 20})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	for _, id := range acked {
+		if _, ok := re.Get(id); !ok {
+			t.Fatalf("acknowledged write %d lost", id)
+		}
+	}
+	if re.Len() != len(acked) {
+		t.Fatalf("recovered %d records, want exactly the %d acknowledged", re.Len(), len(acked))
+	}
+}
+
+// TestClientHonorsRetryAfterOn503 is the satellite-3 regression: a 503
+// bearing Retry-After (read-only fence, sync-ack outage) makes the
+// client wait exactly the hinted time and retry the SAME endpoint — no
+// failover churn, no exponential guesswork.
+func TestClientHonorsRetryAfterOn503(t *testing.T) {
+	var mu sync.Mutex
+	refusals := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if refusals < 2 {
+			refusals++
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "shapedb: database is read-only"})
+			return
+		}
+		json.NewEncoder(w).Encode([]ShapeInfo{})
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	c.MaxRetries = 3
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	if _, err := c.ListShapes(); err != nil {
+		t.Fatalf("request failed despite retryable 503s: %v", err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("client slept %d times (%v), want 2 hinted waits", len(slept), slept)
+	}
+	for _, d := range slept {
+		if d != 2*time.Second {
+			t.Fatalf("client slept %v, want the hinted 2s (backoff would differ)", d)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if refusals != 2 {
+		t.Fatalf("endpoint saw %d refusals, want 2 (client must stay on it)", refusals)
+	}
+}
+
+// TestClientRetargetsWriteOnFencedStandby503: a standby's 503 carries
+// both the primary pointer and (here) a Retry-After; the client must
+// follow the pointer for the write and honor the wait.
+func TestClientRetargetsWriteHonoringHint(t *testing.T) {
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusCreated, map[string]any{"id": int64(42)})
+	}))
+	t.Cleanup(primary.Close)
+	standby := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Replica-Primary", primary.URL)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "node is standby"})
+	}))
+	t.Cleanup(standby.Close)
+
+	c := NewClient(standby.URL)
+	c.MaxRetries = 2
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	mesh := geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	id, err := c.InsertShape("x", 1, mesh)
+	if err != nil {
+		t.Fatalf("write via standby redirect: %v", err)
+	}
+	if id != 42 {
+		t.Fatalf("id = %d, want 42 (from primary)", id)
+	}
+	if len(slept) != 1 || slept[0] != time.Second {
+		t.Fatalf("slept %v, want exactly the 1s hint", slept)
+	}
+}

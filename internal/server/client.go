@@ -211,9 +211,16 @@ func (c *Client) doCapture(method, path, idemKey string, body, out any, capture 
 			} else {
 				c.retarget(resp.Header.Get(replica.PrimaryHeader))
 			}
+			wait, hasHint := retryAfter(resp)
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			lastErr = fmt.Errorf("server: HTTP %d (not primary)", resp.StatusCode)
+			// Role refusals carry no Retry-After and resend immediately; a
+			// refusal that does carry one (e.g. the pointed-at primary is
+			// itself fenced read-only) says when retrying becomes useful.
+			if hasHint {
+				c.sleepFor(wait)
+			}
 			continue
 		case resp.StatusCode == http.StatusConflict && resendable && attempt < attempts-1:
 			// A 409 carrying a "ring" body is the cluster's epoch gate: the
@@ -235,16 +242,25 @@ func (c *Client) doCapture(method, path, idemKey string, body, out any, capture 
 			c.backoff(attempt + 1)
 			continue
 		case resp.StatusCode >= 500 && resendable && attempt < attempts-1:
+			wait, hasHint := retryAfter(resp)
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			lastErr = fmt.Errorf("server: HTTP %d", resp.StatusCode)
-			if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.StatusCode == http.StatusServiceUnavailable && !hasHint {
 				// Could be a draining or freshly-demoted node with no
 				// pointer to offer; try the next endpoint.
 				readOverride = ""
 				c.failEndpoint(base)
 			}
-			c.backoff(attempt + 1)
+			if hasHint {
+				// A 503 with Retry-After is a live node shedding work or
+				// fenced read-only (disk full): it still serves reads and
+				// will take writes again once healed, so keep it in the
+				// rotation and come back when it said to.
+				c.sleepFor(wait)
+			} else {
+				c.backoff(attempt + 1)
+			}
 			continue
 		}
 		if capture != nil {

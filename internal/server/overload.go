@@ -145,6 +145,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusServiceUnavailable
 		}
 	}
+	// The read-only fence degrades writes, not reads, so it never flips
+	// readiness — load balancers should keep routing searches here — but
+	// it is surfaced for operators and the write-path clients.
+	if err := s.engine.DB().ReadOnlyErr(); err != nil {
+		body["read_only"] = true
+		body["read_only_reason"] = err.Error()
+	}
 	if c := s.cluster; c != nil {
 		body["cluster_role"] = s.clusterRoleName()
 		if c.coord != nil {

@@ -73,15 +73,25 @@ func (s *Server) ReplicationNode() *replica.Node { return s.repl.Load() }
 // request was refused.
 func (s *Server) requireWritable(w http.ResponseWriter) bool {
 	n := s.repl.Load()
-	if n == nil || n.Role() == replica.RolePrimary {
-		return true
+	if n != nil && n.Role() != replica.RolePrimary {
+		if p := n.PrimaryURL(); p != "" {
+			w.Header().Set(replica.PrimaryHeader, p)
+		}
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("node is %s, not primary; writes go to %s", n.Role(), n.PrimaryURL()))
+		return false
 	}
-	if p := n.PrimaryURL(); p != "" {
-		w.Header().Set(replica.PrimaryHeader, p)
+	// The ENOSPC fence: a journal that failed an append or sync refuses
+	// further writes but keeps serving reads. Refusing up front (rather
+	// than letting the engine extract features first) saves the work and
+	// gives the client the same retryable 503 + Retry-After shape as a
+	// sync-ack failure.
+	if err := s.engine.DB().ReadOnlyErr(); err != nil {
+		s.setRetryAfter(w)
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return false
 	}
-	writeErr(w, http.StatusServiceUnavailable,
-		fmt.Errorf("node is %s, not primary; writes go to %s", n.Role(), n.PrimaryURL()))
-	return false
+	return true
 }
 
 // waitReplicated holds a mutating request until the standby has durably

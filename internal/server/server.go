@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"threedess/internal/backup"
 	"threedess/internal/core"
 	"threedess/internal/features"
 	"threedess/internal/geom"
@@ -62,6 +63,10 @@ type Server struct {
 	migrator    *scatter.Migrator
 	rebalActive bool
 	rebalCancel context.CancelFunc
+	// backupActive (also under rebalMu) serializes server-side backups
+	// and excludes them from running concurrently with a rebalance; see
+	// backup.go.
+	backupActive bool
 	// qcache is the version-tagged query-result cache (nil = disabled);
 	// see qcache.go. cacheGen is the coordinator-side write generation
 	// folded into dataVersion (routed writes bypass the local db).
@@ -173,6 +178,8 @@ func NewWithConfig(engine *core.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/api/cluster/crc", s.handleClusterCRC)
 	s.mux.HandleFunc("/api/cluster/dropmoved", s.handleClusterDropMoved)
 	s.mux.HandleFunc("/api/admin/rebalance", s.handleAdminRebalance)
+	s.mux.HandleFunc(backup.StatePath, s.handleBackup)
+	s.mux.HandleFunc(backup.ChunkPath, s.handleBackupChunk)
 	s.mux.HandleFunc("/api/admin/maintenance", s.handleMaintenance)
 	s.mux.HandleFunc("/api/admin/replication", s.handleAdminReplication)
 	s.mux.HandleFunc(replica.StatePath, s.handleReplState)
@@ -334,6 +341,12 @@ type StatsResponse struct {
 	GateCapacity  int              `json:"gate_capacity,omitempty"`
 	LatencyEWMAMS int64            `json:"latency_ewma_ms"`
 	Cache         map[string]int64 `json:"cache,omitempty"`
+	// ReadOnly reports the write fence raised after a failed journal
+	// append/sync (typically disk full): reads and searches keep serving
+	// while writes are refused with 503 + Retry-After until compaction
+	// heals the journal. See DESIGN.md §15.
+	ReadOnly       bool   `json:"read_only,omitempty"`
+	ReadOnlyReason string `json:"read_only_reason,omitempty"`
 }
 
 // --- handlers ---
@@ -357,6 +370,25 @@ func writeDecodeErr(w http.ResponseWriter, err error) {
 		return
 	}
 	writeErr(w, http.StatusBadRequest, err)
+}
+
+// writeStoreErr maps a failed store mutation. A read-only fence
+// (shapedb.ErrReadOnly, raised when a journal append or sync fails —
+// typically disk full) is a retryable outage, not a client error: 503
+// with a Retry-After hint, matching the sync-ack refusal shape clients
+// already handle. An id collision stays 409 so the coordinator's
+// allocate-and-retry loop keeps working; everything else falls through
+// to writeEngineErr with the handler's fallback status.
+func (s *Server) writeStoreErr(w http.ResponseWriter, err error, fallback int) {
+	switch {
+	case errors.Is(err, shapedb.ErrReadOnly):
+		s.setRetryAfter(w)
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, shapedb.ErrIDExists):
+		writeErr(w, http.StatusConflict, err)
+	default:
+		writeEngineErr(w, err, fallback)
+	}
 }
 
 // writeEngineErr reports an engine failure. Context errors get their own
@@ -439,13 +471,10 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 		}
 		res, err := s.engine.IngestMeshWith(req.Name, req.Group, mesh, nil, core.IngestOpts{Key: key, ID: req.ID})
 		if err != nil {
-			if errors.Is(err, shapedb.ErrIDExists) {
-				// The explicit id lost a race with another allocation; the
-				// coordinator bumps its counter and retries with a fresh id.
-				writeErr(w, http.StatusConflict, err)
-				return
-			}
-			writeErr(w, http.StatusUnprocessableEntity, err)
+			// 409 when the explicit id lost a race with another allocation
+			// (the coordinator bumps its counter and retries with a fresh
+			// id); 503 + Retry-After when the journal fenced read-only.
+			s.writeStoreErr(w, err, http.StatusUnprocessableEntity)
 			return
 		}
 		if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
@@ -520,11 +549,7 @@ func (s *Server) handleShapesBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.engine.IngestBatchKeyed(r.Context(), items, nil, key)
 	if err != nil {
-		if errors.Is(err, shapedb.ErrIDExists) {
-			writeErr(w, http.StatusConflict, err)
-			return
-		}
-		writeEngineErr(w, err, http.StatusUnprocessableEntity)
+		s.writeStoreErr(w, err, http.StatusUnprocessableEntity)
 		return
 	}
 	if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
@@ -612,7 +637,7 @@ func (s *Server) handleShapeByID(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if _, err := s.engine.DB().Delete(id); err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			s.writeStoreErr(w, err, http.StatusInternalServerError)
 			return
 		}
 		if err := s.waitReplicated(r, s.engine.DB().ReplState()); err != nil {
@@ -976,6 +1001,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if c := s.cluster; c != nil && c.state != nil {
 		st := c.state.State()
 		resp.Ring = &st
+	}
+	if err := db.ReadOnlyErr(); err != nil {
+		resp.ReadOnly, resp.ReadOnlyReason = true, err.Error()
 	}
 	s.fillPressureStats(&resp)
 	writeJSON(w, http.StatusOK, resp)

@@ -101,6 +101,14 @@ type DB struct {
 	// descriptor store above all — compare it against the version their
 	// snapshot was built from to detect staleness cheaply.
 	version int64
+	// fenced, when non-nil, is the read-only fence: a journal append or
+	// sync failed (disk full, I/O error) but the file was rolled back to
+	// the last acknowledged frame boundary, so reads, searches,
+	// replication reads, and backups keep serving while every mutation is
+	// refused with this error (wrapping ErrReadOnly). A successful
+	// compaction — which rewrites the journal from the in-memory state
+	// holding exactly the acknowledged writes — clears it.
+	fenced error
 }
 
 // frameRef locates one record's insert frame in the journal file.
@@ -303,6 +311,32 @@ type InsertOpts struct {
 // ErrIDExists reports an explicit-id insert whose id is already taken.
 var ErrIDExists = errors.New("shapedb: id already exists")
 
+// ErrReadOnly marks the database fenced read-only after a journal write
+// failure (typically disk exhaustion): the failed write was rolled back
+// and never acknowledged, reads keep serving, and every mutation is
+// refused with an error wrapping this sentinel until a successful
+// compaction (freed space) heals the fence.
+var ErrReadOnly = errors.New("shapedb: database is read-only")
+
+// fenceLocked flips the database read-only with the given cause (the
+// first cause wins) and returns the fence error. Callers hold the write
+// lock.
+func (db *DB) fenceLocked(cause error) error {
+	if db.fenced == nil {
+		db.fenced = fmt.Errorf("%w: journal write failed: %v", ErrReadOnly, cause)
+		db.wakeCommitWaiters()
+	}
+	return db.fenced
+}
+
+// ReadOnlyErr returns the read-only fence error (nil when the database
+// accepts writes). The serving layer maps it to 503 + Retry-After.
+func (db *DB) ReadOnlyErr() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.fenced
+}
+
 // InsertFull is Insert carrying per-kind degradation flags (stable feature
 // kind names whose extraction was skipped; see features.Degradation). The
 // flags are journaled with the record and survive recovery.
@@ -333,6 +367,9 @@ func (db *DB) InsertWith(name string, group int, mesh *geom.Mesh, set features.S
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.fenced != nil {
+		return 0, db.fenced
+	}
 	id := db.nextID
 	if o.ID != 0 {
 		if o.ID < 0 {
@@ -406,7 +443,10 @@ func checkFeatures(opts features.Options, set features.Set) error {
 }
 
 // logInsert journals the record and returns the frame it was written to
-// (zero ref for in-memory stores).
+// (zero ref for in-memory stores). A write or sync failure fences the
+// database read-only: the frame was rolled back (or the journal poisoned
+// if even that failed), so the insert was never acknowledged and the
+// in-memory state still holds exactly the acknowledged history.
 func (db *DB) logInsert(rec *Record) (frameRef, error) {
 	if db.journal == nil {
 		return frameRef{}, nil
@@ -414,10 +454,10 @@ func (db *DB) logInsert(rec *Record) (frameRef, error) {
 	e := entryOf(rec)
 	off := db.journal.off
 	if err := db.journal.append(e); err != nil {
-		return frameRef{}, err
+		return frameRef{}, db.fenceLocked(err)
 	}
-	if err := db.journal.sync(); err != nil {
-		return frameRef{}, err
+	if err := db.journal.commitFrom(off); err != nil {
+		return frameRef{}, db.fenceLocked(err)
 	}
 	return frameRef{off: off, size: db.journal.off - off}, nil
 }
@@ -496,15 +536,19 @@ func (db *DB) growBounds(k features.Kind, v features.Vector) {
 func (db *DB) Delete(id int64) (bool, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.fenced != nil {
+		return false, db.fenced
+	}
 	if _, ok := db.records[id]; !ok {
 		return false, nil
 	}
 	if db.journal != nil {
+		off := db.journal.off
 		if err := db.journal.append(&journalEntry{Op: opDelete, ID: id}); err != nil {
-			return false, err
+			return false, db.fenceLocked(err)
 		}
-		if err := db.journal.sync(); err != nil {
-			return false, err
+		if err := db.journal.commitFrom(off); err != nil {
+			return false, db.fenceLocked(err)
 		}
 		db.entryCount++
 	}
@@ -806,8 +850,15 @@ var ErrCompactionInProgress = errors.New("shapedb: compaction already in progres
 // ErrCompactionInProgress immediately rather than queueing a redundant
 // rewrite. On failure the original journal stays authoritative (a stale
 // temp file is discarded by the next Open); if the journal handle cannot
-// be restored the database degrades to fail-stop — reads keep working,
-// writes return the poisoning error.
+// be restored the database degrades to read-only — reads keep working,
+// writes return the fence error.
+//
+// Compaction is also the heal path out of the read-only fence (and out of
+// a poisoned journal): it writes a brand-new file from the in-memory
+// state — which holds exactly the acknowledged writes, because a failed
+// append is rolled back before it is ever applied — and atomically
+// renames it into place, so it deliberately proceeds when the journal is
+// fenced or poisoned. Full success clears the fence.
 func (db *DB) Compact() error {
 	if !db.compacting.CompareAndSwap(false, true) {
 		return ErrCompactionInProgress
@@ -817,9 +868,6 @@ func (db *DB) Compact() error {
 	defer db.mu.Unlock()
 	if db.journal == nil {
 		return nil
-	}
-	if db.journal.failed != nil {
-		return db.journal.failed
 	}
 	path := filepath.Join(db.dir, journalName)
 	tmp := filepath.Join(db.dir, compactName)
@@ -879,6 +927,10 @@ func (db *DB) Compact() error {
 	if db.journal.failed != nil {
 		return db.journal.failed
 	}
+	// The journal is a freshly-written, synced, renamed file and the append
+	// handle is live again: the write path is whole, so a read-only fence
+	// from an earlier append failure is healed.
+	db.fenced = nil
 	return nil
 }
 
@@ -901,11 +953,12 @@ func (db *DB) adoptFrames(newFrames map[int64]frameRef) {
 }
 
 // reopenJournal re-establishes the append handle at path, poisoning the
-// journal (fail-stop for writes) when the open fails.
+// journal and fencing the database read-only when the open fails.
 func (db *DB) reopenJournal(path string) {
 	j, err := openJournal(db.fsys, path)
 	if err != nil {
 		db.journal = poisonedJournal(err)
+		db.fenceLocked(err)
 		return
 	}
 	db.journal = j

@@ -260,12 +260,16 @@ func (db *DB) Quarantine(id int64, state ScrubState, detail string) bool {
 	if !ok {
 		return false
 	}
-	if db.journal != nil {
+	if db.journal != nil && db.fenced == nil {
 		// A failed append only means the next restart replays the insert
 		// (and re-quarantines it if still rotten); service-side removal
-		// below does not depend on it.
+		// below does not depend on it. commitFrom rolls a failed sync back
+		// rather than poisoning, and a fenced journal is skipped outright —
+		// quarantine must keep pulling rotten records out of service even
+		// when the disk is full.
+		off := db.journal.off
 		if err := db.journal.append(&journalEntry{Op: opDelete, ID: id}); err == nil {
-			if db.journal.sync() == nil {
+			if db.journal.commitFrom(off) == nil {
 				db.entryCount++
 			}
 		}
@@ -317,6 +321,12 @@ type JournalStats struct {
 	// in the journal file — nonzero until a compaction rewrites it.
 	Quarantined        int `json:"quarantined"`
 	UnhealedQuarantine int `json:"unhealed_quarantine"`
+	// ReadOnly reports the write fence: a journal append or sync failed
+	// (disk full), the failed frame was rolled back, and every mutation is
+	// refused until a successful compaction heals the fence. Reads keep
+	// serving throughout. ReadOnlyReason carries the fencing cause.
+	ReadOnly       bool   `json:"read_only,omitempty"`
+	ReadOnlyReason string `json:"read_only_reason,omitempty"`
 }
 
 // Amplification returns JournalBytes/LiveBytes (0 when nothing live).
@@ -338,6 +348,10 @@ func (db *DB) Stats() JournalStats {
 		LiveRecords:        len(db.records),
 		Quarantined:        len(db.quarantined),
 		UnhealedQuarantine: db.dirtyQuarantine,
+	}
+	if db.fenced != nil {
+		st.ReadOnly = true
+		st.ReadOnlyReason = db.fenced.Error()
 	}
 	if db.journal == nil {
 		return st

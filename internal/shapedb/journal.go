@@ -190,9 +190,34 @@ func (j *journal) rollback() error {
 	return err
 }
 
+// commitFrom syncs everything appended since prevOff. On a sync failure
+// the unsynced suffix is rolled back to prevOff — every earlier frame was
+// covered by its own successful fsync, so truncating away only the new,
+// never-acknowledged bytes leaves the file coherent at the last
+// acknowledged boundary, and the journal stays fully usable for reads,
+// replication, and backup. The journal is poisoned only when the rollback
+// itself fails, because then no boundary can be trusted anymore.
+func (j *journal) commitFrom(prevOff int64) error {
+	if j.failed != nil {
+		return j.failed
+	}
+	err := j.f.Sync()
+	if err == nil {
+		return nil
+	}
+	j.off = prevOff
+	if rerr := j.rollback(); rerr != nil {
+		j.failed = fmt.Errorf("shapedb: journal sync failed (%v) and rollback failed: %w", err, rerr)
+		return j.failed
+	}
+	return fmt.Errorf("shapedb: journal sync failed: %w", err)
+}
+
 // sync flushes the journal to stable storage. A sync failure poisons the
 // journal: the kernel may have dropped the dirty pages, so nothing after
-// this point can be promised durable.
+// this point can be promised durable. Write paths that can roll the
+// unsynced suffix back use commitFrom instead, which degrades to a
+// read-only fence rather than fail-stop.
 func (j *journal) sync() error {
 	if j.failed != nil {
 		return j.failed

@@ -208,6 +208,9 @@ func (db *DB) ImportFrames(frames []ExportFrame) (int, error) {
 
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.fenced != nil {
+		return 0, db.fenced
+	}
 	fresh := stage[:0]
 	for _, s := range stage {
 		if _, exists := db.records[s.ef.ID]; !exists {
@@ -227,10 +230,10 @@ func (db *DB) ImportFrames(frames []ExportFrame) (int, error) {
 		}
 		base := db.journal.off
 		if err := db.journal.appendRaw(chunk.Bytes()); err != nil {
-			return 0, err
+			return 0, db.fenceLocked(err)
 		}
-		if err := db.journal.sync(); err != nil {
-			return 0, err
+		if err := db.journal.commitFrom(base); err != nil {
+			return 0, db.fenceLocked(err)
 		}
 		off := base
 		for _, s := range fresh {
@@ -246,6 +249,55 @@ func (db *DB) ImportFrames(frames []ExportFrame) (int, error) {
 	}
 	db.wakeCommitWaiters()
 	return len(fresh), nil
+}
+
+// ReplayExports folds a stream of raw journal frames (inserts and
+// deletes, as produced by ReadJournal or a verified backup archive) down
+// to the surviving live record set and re-emits each survivor as an
+// ExportFrame: the exact original frame bytes plus the canonical content
+// CRC. It is the bridge from a node backup to the ring/migration copy
+// path — restore reads a shard's archived journal, folds it here, and
+// lands the survivors on their new owners via ImportFrames, which is how
+// an N-shard backup restores onto an M-shard cluster.
+func ReplayExports(chunk []byte) ([]ExportFrame, error) {
+	frames, err := parseFrames(chunk)
+	if err != nil {
+		return nil, err
+	}
+	live := make(map[int64]parsedFrame)
+	for _, fr := range frames {
+		switch fr.entry.Op {
+		case opInsert:
+			live[fr.entry.ID] = fr
+		case opDelete:
+			delete(live, fr.entry.ID)
+		default:
+			return nil, fmt.Errorf("shapedb: replay frame at %d holds unknown op %d", fr.off, fr.entry.Op)
+		}
+	}
+	ids := make([]int64, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]ExportFrame, 0, len(ids))
+	for _, id := range ids {
+		fr := live[id]
+		e := fr.entry
+		set, err := decodeFeatures(e.Features)
+		if err != nil {
+			return nil, fmt.Errorf("shapedb: replaying record %d: %w", id, err)
+		}
+		rec := &Record{
+			ID: e.ID, Name: e.Name, Group: e.Group,
+			Mesh:     &geom.Mesh{Vertices: e.Vertices, Faces: e.Faces},
+			Features: set, Degraded: e.Degraded,
+			IdemKey: e.IdemKey, IdemIndex: e.IdemIdx, IdemCount: e.IdemCnt,
+		}
+		frame := append([]byte(nil), chunk[fr.off:fr.off+fr.size]...)
+		out = append(out, ExportFrame{ID: id, Frame: frame, CRC: rec.ContentCRC()})
+	}
+	return out, nil
 }
 
 // RecordCRCs answers the verification round: for each requested id, the
@@ -274,6 +326,13 @@ func (db *DB) RecordCRCs(ids []int64) (crcs map[int64]uint32, missing []int64) {
 func (db *DB) DeleteMany(ids []int64) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.fenced != nil {
+		return 0, db.fenced
+	}
+	base := int64(0)
+	if db.journal != nil {
+		base = db.journal.off
+	}
 	dropped := 0
 	for _, id := range ids {
 		if _, ok := db.records[id]; !ok {
@@ -281,17 +340,25 @@ func (db *DB) DeleteMany(ids []int64) (int, error) {
 		}
 		if db.journal != nil {
 			if err := db.journal.append(&journalEntry{Op: opDelete, ID: id}); err != nil {
-				return dropped, err
+				// The failed append was rolled back but earlier deletes of
+				// this batch are already applied unsynced; fall through to
+				// commitFrom, which either makes them durable or rolls the
+				// whole batch's bytes back under the fence.
+				db.fenceLocked(err)
+				break
 			}
 			db.entryCount++
 		}
 		db.applyDelete(id)
 		dropped++
 	}
-	if dropped > 0 && db.journal != nil {
-		if err := db.journal.sync(); err != nil {
-			return dropped, err
+	if db.journal != nil && (dropped > 0 || db.fenced != nil) {
+		if err := db.journal.commitFrom(base); err != nil {
+			return dropped, db.fenceLocked(err)
 		}
+	}
+	if db.fenced != nil {
+		return dropped, db.fenced
 	}
 	if dropped > 0 {
 		db.wakeCommitWaiters()

@@ -87,3 +87,15 @@ REBAL_SMOKE="$(mktemp -d)"
 go run ./cmd/benchrunner -fig rebalance -rebalance-size 400 -rebalance-out "$REBAL_SMOKE/BENCH_rebalance.json" > /dev/null
 go run ./cmd/benchrunner -check-rebalance "$REBAL_SMOKE/BENCH_rebalance.json"
 rm -rf "$REBAL_SMOKE"
+# Disaster-recovery gate: the backup package (resumable crash-matrix
+# capture, point-in-time cuts, bit-rot refusal naming the frame,
+# ring-fenced cluster backup, N→M reshard restore, search-equivalence
+# property), the ENOSPC read-only fence at the store layer (zero
+# acked-write loss, clean-tail rollback, compaction heal) and at the
+# server layer (503 + Retry-After writes, 2xx reads, readyz/stats
+# reporting under live mixed traffic), and the client's Retry-After
+# honoring — under the race detector, never cached.
+go test -race -count=1 ./internal/backup/...
+go test -race -count=1 -run 'Enospc|Fenced|ReadJournalServes' ./internal/shapedb/...
+go test -race -count=1 -run 'FailWritesWith' ./internal/faultfs/...
+go test -race -count=1 -run 'Backup|Enospc|RetryAfter|Retargets' ./internal/server/...
